@@ -1,0 +1,165 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! * `conversion_backend` — interpreted vs naive DCG vs optimized DCG
+//!   (quantifies both the DCG win and the peephole win separately),
+//! * `extension_position` — unexpected field prepended (worst case, all
+//!   offsets shift) vs appended (the paper's recommended evolution, §4.4
+//!   last paragraph: "adding any additional [fields] at the end … would
+//!   minimize the overhead"),
+//! * `dcg_compile_cost` — the one-time code-generation cost that per-record
+//!   savings amortize (§3: "one-time costs of generating binary code …
+//!   far outweigh the costs of continually interpreting").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbio::{CodegenMode, DcgConverter, Plan};
+use pbio_bench::workloads::{
+    extended_schema_appended, extended_schema_prepended, extended_value, workload, MsgSize,
+};
+use pbio_bench::{prepare, WireFormat};
+use pbio_types::arch::ArchProfile;
+use pbio_types::layout::Layout;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn conversion_backend(c: &mut Criterion) {
+    let sparc = &ArchProfile::SPARC_V8;
+    let x86 = &ArchProfile::X86;
+    let mut g = c.benchmark_group("ablation_conversion_backend");
+    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for size in [MsgSize::K1, MsgSize::K100] {
+        for fmt in [WireFormat::PbioInterp, WireFormat::PbioDcgNaive, WireFormat::PbioDcg] {
+            let w = workload(size);
+            let mut pb = prepare(fmt, &w.schema, &w.schema, x86, sparc, &w.value);
+            g.bench_function(BenchmarkId::new(fmt.label(), size.label()), |b| {
+                b.iter(|| (pb.decode)())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn extension_position(c: &mut Criterion) {
+    let sparc = &ArchProfile::SPARC_V8;
+    let mut g = c.benchmark_group("ablation_extension_position");
+    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for size in [MsgSize::K1, MsgSize::K100] {
+        let w = workload(size);
+        let v = extended_value(&w.value);
+        // Homogeneous exchange, so the only conversion cost is the mismatch.
+        let pre = extended_schema_prepended(&w.schema);
+        let mut pb_pre = prepare(WireFormat::PbioDcg, &pre, &w.schema, sparc, sparc, &v);
+        g.bench_function(BenchmarkId::new("prepended_worst_case", size.label()), |b| {
+            b.iter(|| (pb_pre.decode)())
+        });
+        let app = extended_schema_appended(&w.schema);
+        let mut pb_app = prepare(WireFormat::PbioDcg, &app, &w.schema, sparc, sparc, &v);
+        g.bench_function(BenchmarkId::new("appended_recommended", size.label()), |b| {
+            b.iter(|| (pb_app.decode)())
+        });
+    }
+    g.finish();
+}
+
+fn dcg_compile_cost(c: &mut Criterion) {
+    let sparc = &ArchProfile::SPARC_V8;
+    let x86 = &ArchProfile::X86;
+    let mut g = c.benchmark_group("ablation_dcg_compile_cost");
+    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for size in [MsgSize::K1, MsgSize::K100] {
+        let w = workload(size);
+        let slay = Arc::new(Layout::of(&w.schema, x86).unwrap());
+        let dlay = Arc::new(Layout::of(&w.schema, sparc).unwrap());
+        let plan = Arc::new(Plan::build(slay, dlay));
+        for (label, mode) in [("naive", CodegenMode::Naive), ("optimized", CodegenMode::Optimized)] {
+            let plan = plan.clone();
+            g.bench_function(BenchmarkId::new(label, size.label()), |b| {
+                b.iter(|| DcgConverter::compile(plan.clone(), mode).unwrap().program().len())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn filter_backend(c: &mut Criterion) {
+    use pbio_chan::{FilterProgram, Predicate};
+    use pbio_types::value::encode_native;
+
+    let sparc = &ArchProfile::SPARC_V8;
+    let w = workload(MsgSize::K1);
+    let layout = Arc::new(Layout::of(&w.schema, sparc).unwrap());
+    let bytes = encode_native(&w.value, &layout).unwrap();
+    let pred = Predicate::gt("time", 1.0)
+        .and(Predicate::ne("seq", 0))
+        .or(Predicate::eq("valid", true));
+    let prog = FilterProgram::compile(pred, layout).unwrap();
+
+    let mut g = c.benchmark_group("ablation_filter_backend");
+    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    g.bench_function("compiled", |b| b.iter(|| prog.matches(&bytes).unwrap()));
+    g.bench_function("interpreted", |b| b.iter(|| prog.matches_interpreted(&bytes).unwrap()));
+    g.finish();
+}
+
+fn bounds_checking(c: &mut Criterion) {
+    use pbio_types::value::encode_native;
+
+    // Per-access checked dispatch vs the single up-front bounds check the
+    // static analysis enables (validate-once / run-fast).
+    let sparc = &ArchProfile::SPARC_V8;
+    let x86 = &ArchProfile::X86;
+    let mut g = c.benchmark_group("ablation_bounds_checking");
+    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for size in [MsgSize::K1, MsgSize::K100] {
+        let w = workload(size);
+        let slay = Arc::new(Layout::of(&w.schema, x86).unwrap());
+        let dlay = Arc::new(Layout::of(&w.schema, sparc).unwrap());
+        let wire = encode_native(&w.value, &slay).unwrap();
+        let plan = Arc::new(Plan::build(slay, dlay.clone()));
+        let conv = DcgConverter::compile(plan, CodegenMode::Optimized).unwrap();
+        let extents = conv.extents().expect("fixed records compile straight-line");
+        let prog = conv.program().clone();
+        let mut out = vec![0u8; dlay.size()];
+        g.bench_function(BenchmarkId::new("per_access_checked", size.label()), |b| {
+            b.iter(|| pbio_vrisc::run(&prog, &wire, &mut out, &[]).unwrap())
+        });
+        g.bench_function(BenchmarkId::new("single_check", size.label()), |b| {
+            b.iter(|| pbio_vrisc::run_straightline(&prog, &extents, &wire, &mut out).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn var_length_records(c: &mut Criterion) {
+    use pbio_bench::workloads::{particle_schema, particle_value};
+
+    // Nested records + runtime-sized arrays + strings: the shapes MPI's
+    // a-priori datatypes cannot express at all. Receive-side cost of the
+    // formats that can.
+    let sparc = &ArchProfile::SPARC_V8;
+    let x86 = &ArchProfile::X86_64;
+    let schema = particle_schema();
+    let mut g = c.benchmark_group("ablation_var_length_records");
+    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for neighbors in [4usize, 256] {
+        let value = particle_value(neighbors as u64, neighbors);
+        for fmt in [WireFormat::PbioDcg, WireFormat::Cdr, WireFormat::Xml] {
+            let mut pb = prepare(fmt, &schema, &schema, sparc, x86, &value);
+            g.bench_function(
+                BenchmarkId::new(fmt.label(), format!("{neighbors}nbrs")),
+                |b| b.iter(|| (pb.decode)()),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    conversion_backend,
+    extension_position,
+    dcg_compile_cost,
+    filter_backend,
+    bounds_checking,
+    var_length_records
+);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 2 — send-side encoding times on the Sparc.
+//!
+//! Compares the per-record sender cost of XML, MPICH-model, CORBA CDR and
+//! PBIO (NDR) across the paper's four message sizes. The paper's result:
+//! MPICH costs grow from 34 µs to 13 ms with record size; PBIO is flat
+//! (~3 µs) because NDR transmits the sender's native bytes untouched.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbio_bench::workloads::{workload, MsgSize};
+use pbio_bench::{prepare, WireFormat};
+use pbio_types::arch::ArchProfile;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let sparc = &ArchProfile::SPARC_V8;
+    let x86 = &ArchProfile::X86;
+    let mut g = c.benchmark_group("fig2_send_encode_sparc");
+    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for size in MsgSize::all() {
+        for fmt in [WireFormat::Xml, WireFormat::Mpi, WireFormat::Cdr, WireFormat::PbioDcg] {
+            let w = workload(size);
+            let mut pb = prepare(fmt, &w.schema, &w.schema, sparc, x86, &w.value);
+            g.bench_function(BenchmarkId::new(fmt.label(), size.label()), |b| {
+                b.iter(|| (pb.encode)())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

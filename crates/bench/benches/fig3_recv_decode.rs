@@ -1,0 +1,34 @@
+//! Figure 3 — receive-side decoding costs on the Sparc (heterogeneous).
+//!
+//! Interpreted converters only, as in the paper's Figure 3: XML (streaming
+//! parse + text→binary), MPICH (interpreted unpack into a separate buffer),
+//! CORBA CDR (packed-stream unmarshal) and PBIO's table-driven interpreter.
+//! Paper result: XML is 1-2 decimal orders of magnitude above PBIO; PBIO
+//! beats MPICH partly by reusing its buffer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbio_bench::workloads::{workload, MsgSize};
+use pbio_bench::{prepare, WireFormat};
+use pbio_types::arch::ArchProfile;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let sparc = &ArchProfile::SPARC_V8;
+    let x86 = &ArchProfile::X86;
+    let mut g = c.benchmark_group("fig3_recv_decode_sparc");
+    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for size in MsgSize::all() {
+        for fmt in [WireFormat::Xml, WireFormat::Mpi, WireFormat::Cdr, WireFormat::PbioInterp] {
+            let w = workload(size);
+            // x86 sends, Sparc receives.
+            let mut pb = prepare(fmt, &w.schema, &w.schema, x86, sparc, &w.value);
+            g.bench_function(BenchmarkId::new(fmt.label(), size.label()), |b| {
+                b.iter(|| (pb.decode)())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 4 — receiver-side costs: interpreted conversions (MPICH, PBIO)
+//! vs dynamically generated conversions (PBIO DCG).
+//!
+//! The paper's key performance result: "the dynamically generated conversion
+//! routine operates significantly faster than the interpreted version …
+//! bringing it down to near the level of a copy operation" (§4.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbio_bench::workloads::{workload, MsgSize};
+use pbio_bench::{prepare, WireFormat};
+use pbio_types::arch::ArchProfile;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let sparc = &ArchProfile::SPARC_V8;
+    let x86 = &ArchProfile::X86;
+    let mut g = c.benchmark_group("fig4_dcg_decode_sparc");
+    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for size in MsgSize::all() {
+        for fmt in [WireFormat::Mpi, WireFormat::PbioInterp, WireFormat::PbioDcg] {
+            let w = workload(size);
+            let mut pb = prepare(fmt, &w.schema, &w.schema, x86, sparc, &w.value);
+            g.bench_function(BenchmarkId::new(fmt.label(), size.label()), |b| {
+                b.iter(|| (pb.decode)())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 6 — receiver-side decoding with and without an unexpected field,
+//! heterogeneous case (x86 sender, Sparc receiver).
+//!
+//! The sender's format carries one extra field *before* all expected fields
+//! (worst case: every expected offset shifts). The paper's result: "the
+//! extra field has no effect upon the receive-side performance" — a
+//! conversion was happening anyway, and the generated routine simply reads
+//! from different offsets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbio_bench::workloads::{extended_schema_prepended, extended_value, workload, MsgSize};
+use pbio_bench::{prepare, WireFormat};
+use pbio_types::arch::ArchProfile;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let sparc = &ArchProfile::SPARC_V8;
+    let x86 = &ArchProfile::X86;
+    let mut g = c.benchmark_group("fig6_mismatch_hetero");
+    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for size in MsgSize::all() {
+        let w = workload(size);
+        let mut matched = prepare(WireFormat::PbioDcg, &w.schema, &w.schema, x86, sparc, &w.value);
+        g.bench_function(BenchmarkId::new("matched", size.label()), |b| {
+            b.iter(|| (matched.decode)())
+        });
+        let ext = extended_schema_prepended(&w.schema);
+        let v = extended_value(&w.value);
+        let mut mism = prepare(WireFormat::PbioDcg, &ext, &w.schema, x86, sparc, &v);
+        g.bench_function(BenchmarkId::new("mismatched", size.label()), |b| {
+            b.iter(|| (mism.decode)())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 7 — receiver-side decoding with and without an unexpected field,
+//! homogeneous case (Sparc to Sparc).
+//!
+//! Matched formats take PBIO's zero-copy path (no conversion at all); the
+//! unexpected field creates a layout mismatch that forces the generated
+//! conversion routine to relocate fields. The paper: "the resulting overhead
+//! is non-negligible … roughly comparable to the cost of a memcpy operation
+//! for the same amount of data".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pbio_bench::workloads::{extended_schema_prepended, extended_value, workload, MsgSize};
+use pbio_bench::{prepare, WireFormat};
+use pbio_types::arch::ArchProfile;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let sparc = &ArchProfile::SPARC_V8;
+    let mut g = c.benchmark_group("fig7_mismatch_homo");
+    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    for size in MsgSize::all() {
+        let w = workload(size);
+        let mut matched =
+            prepare(WireFormat::PbioDcg, &w.schema, &w.schema, sparc, sparc, &w.value);
+        g.bench_function(BenchmarkId::new("matched_zero_copy", size.label()), |b| {
+            b.iter(|| (matched.decode)())
+        });
+        let ext = extended_schema_prepended(&w.schema);
+        let v = extended_value(&w.value);
+        let mut mism = prepare(WireFormat::PbioDcg, &ext, &w.schema, sparc, sparc, &v);
+        g.bench_function(BenchmarkId::new("mismatched", size.label()), |b| {
+            b.iter(|| (mism.decode)())
+        });
+        // The paper compares the mismatch overhead to a memcpy of the same
+        // amount of data: include that as a reference series.
+        let layout = pbio_types::layout::Layout::of(&w.schema, sparc).unwrap();
+        let src = vec![7u8; layout.size()];
+        let mut dst = vec![0u8; layout.size()];
+        g.bench_function(BenchmarkId::new("memcpy_reference", size.label()), |b| {
+            b.iter(|| {
+                dst.copy_from_slice(&src);
+                std::hint::black_box(dst.len());
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

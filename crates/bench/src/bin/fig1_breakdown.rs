@@ -1,0 +1,89 @@
+//! Figure 1: cost breakdown for an MPICH message round-trip between the
+//! Sparc and the x86 over (modeled) 100 Mbps Ethernet.
+//!
+//! ```text
+//! cargo run -p pbio-bench --release --bin fig1_breakdown
+//! ```
+//!
+//! Prints, for each of the paper's four message sizes, the six components of
+//! the round trip (sparc encode, network, i86 decode, i86 encode, network,
+//! sparc decode) plus the CPU fraction — the paper's observation is that
+//! encode/decode "typically represent 66% of the total cost" (§4.1).
+
+use pbio_bench::workloads::{workload, MsgSize};
+use pbio_bench::{prepare, WireFormat};
+use pbio_net::{measure_leg, SimLink};
+use pbio_types::arch::ArchProfile;
+
+fn iters_for(size: MsgSize) -> u32 {
+    match size {
+        MsgSize::B100 => 20_000,
+        MsgSize::K1 => 10_000,
+        MsgSize::K10 => 2_000,
+        MsgSize::K100 => 300,
+    }
+}
+
+fn us(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn main() {
+    let link = SimLink::paper_ethernet();
+    let sparc = &ArchProfile::SPARC_V8;
+    let x86 = &ArchProfile::X86;
+    let era = pbio_bench::era::era_mode();
+
+    println!("Figure 1 — MPICH round-trip cost breakdown (sparc <-> x86, modeled 100 Mbps Ethernet)");
+    if era {
+        println!("(--era: CPU components scaled to the paper's 1999 hosts; see pbio_bench::era)");
+    } else {
+        println!("(raw host CPU times; pass --era to scale CPU to the paper's 1999 hosts)");
+    }
+    println!("(all times in microseconds; paper round-trips: 100b=660, 1Kb=1110, 10Kb=8430, 100Kb=80090)\n");
+    println!(
+        "{:>6} | {:>12} {:>10} {:>10} | {:>10} {:>10} {:>12} | {:>10} {:>8}",
+        "size", "sparc enc", "network", "i86 dec", "i86 enc", "network", "sparc dec", "total", "cpu frac"
+    );
+    println!("{}", "-".repeat(112));
+
+    for size in MsgSize::all() {
+        let w = workload(size);
+        let iters = iters_for(size);
+
+        // Forward leg: sparc encodes, x86 decodes.
+        let mut fwd = prepare(WireFormat::Mpi, &w.schema, &w.schema, sparc, x86, &w.value);
+        let mut fwd_costs = measure_leg(&link, &mut *fwd.encode, &mut *fwd.decode, iters);
+
+        // Reply leg: x86 encodes, sparc decodes.
+        let mut back = prepare(WireFormat::Mpi, &w.schema, &w.schema, x86, sparc, &w.value);
+        let mut back_costs = measure_leg(&link, &mut *back.encode, &mut *back.decode, iters);
+
+        if era {
+            use pbio_bench::era::{scale_leg, SPARC_FACTOR, X86_FACTOR};
+            fwd_costs = scale_leg(fwd_costs, SPARC_FACTOR, X86_FACTOR);
+            back_costs = scale_leg(back_costs, X86_FACTOR, SPARC_FACTOR);
+        }
+
+        let rt = pbio_net::RoundTripCosts { forward: fwd_costs, back: back_costs };
+        println!(
+            "{:>6} | {:>12.1} {:>10.1} {:>10.1} | {:>10.1} {:>10.1} {:>12.1} | {:>10.1} {:>7.0}%",
+            size.label(),
+            us(fwd_costs.encode),
+            us(fwd_costs.network),
+            us(fwd_costs.decode),
+            us(back_costs.encode),
+            us(back_costs.network),
+            us(back_costs.decode),
+            us(rt.total()),
+            rt.cpu_fraction() * 100.0
+        );
+    }
+
+    println!();
+    println!("Paper (Figure 1) reference components, microseconds:");
+    println!("  100b : sparc enc 34,  net 227,  i86 dec 63,   i86 enc 10,  net 227,  sparc dec 104");
+    println!("  1Kb  : sparc enc 86,  net 345,  i86 dec 106,  i86 enc 46,  net 345,  sparc dec 186");
+    println!("  10Kb : sparc enc 971, net 1940, i86 dec 1190, i86 enc 876, net 1940, sparc dec 1510");
+    println!("  100Kb: sparc enc 13310, net 15390, i86 dec 11630, i86 enc 8950, net 15390, sparc dec 15410");
+}

@@ -1,0 +1,104 @@
+//! Figure 5: round-trip cost comparison, PBIO (with DCG) vs MPICH.
+//!
+//! ```text
+//! cargo run -p pbio-bench --release --bin fig5_roundtrip
+//! ```
+//!
+//! The paper's headline: "PBIO can accomplish a round-trip in 45% of the
+//! time required by MPICH" at 100 KB, because the sender-side encoding cost
+//! is virtually eliminated and the receiver-side conversion is generated
+//! code (§4.3/Figure 5).
+
+use pbio_bench::workloads::{workload, MsgSize};
+use pbio_bench::{prepare, WireFormat};
+use pbio_net::{measure_leg, RoundTripCosts, SimLink};
+use pbio_types::arch::ArchProfile;
+
+fn iters_for(size: MsgSize) -> u32 {
+    match size {
+        MsgSize::B100 => 20_000,
+        MsgSize::K1 => 10_000,
+        MsgSize::K10 => 2_000,
+        MsgSize::K100 => 300,
+    }
+}
+
+fn us(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn round_trip(fmt: WireFormat, size: MsgSize, link: &SimLink, era: bool) -> RoundTripCosts {
+    let sparc = &ArchProfile::SPARC_V8;
+    let x86 = &ArchProfile::X86;
+    let w = workload(size);
+    let iters = iters_for(size);
+    let mut fwd = prepare(fmt, &w.schema, &w.schema, sparc, x86, &w.value);
+    let mut forward = measure_leg(link, &mut *fwd.encode, &mut *fwd.decode, iters);
+    let mut bck = prepare(fmt, &w.schema, &w.schema, x86, sparc, &w.value);
+    let mut back = measure_leg(link, &mut *bck.encode, &mut *bck.decode, iters);
+    if era {
+        use pbio_bench::era::{scale_leg, SPARC_FACTOR, X86_FACTOR};
+        forward = scale_leg(forward, SPARC_FACTOR, X86_FACTOR);
+        back = scale_leg(back, X86_FACTOR, SPARC_FACTOR);
+    }
+    RoundTripCosts { forward, back }
+}
+
+fn main() {
+    let link = SimLink::paper_ethernet();
+    let era = pbio_bench::era::era_mode();
+
+    println!("Figure 5 — round-trip comparison: PBIO DCG vs MPICH (sparc <-> x86)");
+    if era {
+        println!("(--era: CPU components scaled to the paper's 1999 hosts; see pbio_bench::era)");
+    } else {
+        println!("(raw host CPU times; pass --era to scale CPU to the paper's 1999 hosts)");
+    }
+    println!("(microseconds; paper: PBIO 100Kb round-trip = 35270 vs MPICH 80090, ratio 44%)\n");
+    println!(
+        "{:>6} | {:>22} | {:>22} | {:>12}",
+        "size", "MPICH total (enc/dec)", "PBIO total (enc/dec)", "PBIO/MPICH"
+    );
+    println!("{}", "-".repeat(76));
+
+    for size in MsgSize::all() {
+        let mpi = round_trip(WireFormat::Mpi, size, &link, era);
+        let pbio = round_trip(WireFormat::PbioDcg, size, &link, era);
+        let mpi_cpu = us(mpi.forward.encode + mpi.forward.decode + mpi.back.encode + mpi.back.decode);
+        let pbio_cpu =
+            us(pbio.forward.encode + pbio.forward.decode + pbio.back.encode + pbio.back.decode);
+        println!(
+            "{:>6} | {:>11.1} ({:>8.1}) | {:>11.1} ({:>8.1}) | {:>11.0}%",
+            size.label(),
+            us(mpi.total()),
+            mpi_cpu,
+            us(pbio.total()),
+            pbio_cpu,
+            us(pbio.total()) / us(mpi.total()) * 100.0
+        );
+    }
+
+    println!();
+    println!("Detailed PBIO legs (compare paper Figure 5 lower half):");
+    println!(
+        "{:>6} | {:>12} {:>10} {:>10} | {:>10} {:>10} {:>12}",
+        "size", "sparc enc", "network", "i86 dec", "i86 enc", "network", "sparc dec"
+    );
+    println!("{}", "-".repeat(86));
+    for size in MsgSize::all() {
+        let rt = round_trip(WireFormat::PbioDcg, size, &link, era);
+        println!(
+            "{:>6} | {:>12.2} {:>10.1} {:>10.1} | {:>10.2} {:>10.1} {:>12.1}",
+            size.label(),
+            us(rt.forward.encode),
+            us(rt.forward.network),
+            us(rt.forward.decode),
+            us(rt.back.encode),
+            us(rt.back.network),
+            us(rt.back.decode),
+        );
+    }
+    println!();
+    println!("Paper PBIO DCG reference (µs): 100b rt=620; 1Kb rt=870; 10Kb rt=4300; 100Kb rt=35270");
+    println!("Paper PBIO legs at 100Kb: enc 2, net 15390, i86 dec 3320 | enc 1, net 15390, sparc dec 1160");
+}

@@ -1,0 +1,184 @@
+//! Figures 2, 3, 4, 6 and 7 — one table per figure.
+//!
+//! ```text
+//! cargo run -p pbio-bench --release --bin figures
+//! ```
+//!
+//! * Fig. 2 — send-side encode times on the Sparc (XML / MPICH / CORBA / PBIO)
+//! * Fig. 3 — receive-side decode times on the Sparc, heterogeneous
+//!   (x86 sender), interpreted converters
+//! * Fig. 4 — receive-side: MPICH vs PBIO interpreted vs PBIO DCG
+//! * Fig. 6 — PBIO DCG receive with/without an unexpected field, heterogeneous
+//! * Fig. 7 — same, homogeneous (matched case is zero-copy)
+//!
+//! Times are per-record microseconds, averaged over many iterations.
+
+use pbio_bench::workloads::{
+    extended_schema_prepended, extended_value, workload, MsgSize,
+};
+use pbio_bench::{prepare, WireFormat};
+use pbio_net::time_avg;
+use pbio_types::arch::ArchProfile;
+
+fn iters_for(size: MsgSize) -> u32 {
+    match size {
+        MsgSize::B100 => 30_000,
+        MsgSize::K1 => 10_000,
+        MsgSize::K10 => 2_000,
+        MsgSize::K100 => 300,
+    }
+}
+
+/// Measure the encode closure of one prepared combination, in µs.
+fn encode_us(fmt: WireFormat, size: MsgSize, sp: &ArchProfile, dp: &ArchProfile) -> f64 {
+    let w = workload(size);
+    let mut pb = prepare(fmt, &w.schema, &w.schema, sp, dp, &w.value);
+    time_avg(|| { (pb.encode)(); }, iters_for(size)).as_secs_f64() * 1e6
+}
+
+/// Measure the decode closure, in µs.
+fn decode_us(fmt: WireFormat, size: MsgSize, sp: &ArchProfile, dp: &ArchProfile) -> f64 {
+    let w = workload(size);
+    let mut pb = prepare(fmt, &w.schema, &w.schema, sp, dp, &w.value);
+    time_avg(|| (pb.decode)(), iters_for(size)).as_secs_f64() * 1e6
+}
+
+/// Decode µs with a mismatched (extended) sender format.
+fn decode_mismatch_us(size: MsgSize, sp: &ArchProfile, dp: &ArchProfile) -> f64 {
+    let w = workload(size);
+    let ext = extended_schema_prepended(&w.schema);
+    let v = extended_value(&w.value);
+    let mut pb = prepare(WireFormat::PbioDcg, &ext, &w.schema, sp, dp, &v);
+    time_avg(|| (pb.decode)(), iters_for(size)).as_secs_f64() * 1e6
+}
+
+fn print_table(title: &str, columns: &[&str], rows: Vec<(MsgSize, Vec<f64>)>) {
+    println!("{title}");
+    print!("{:>6}", "size");
+    for c in columns {
+        print!(" | {c:>16}");
+    }
+    println!();
+    println!("{}", "-".repeat(8 + columns.len() * 19));
+    for (size, vals) in rows {
+        print!("{:>6}", size.label());
+        for v in vals {
+            print!(" | {v:>16.2}");
+        }
+        println!();
+    }
+    println!();
+}
+
+fn main() {
+    let sparc = &ArchProfile::SPARC_V8;
+    let x86 = &ArchProfile::X86;
+
+    // ---- Figure 2: sender encode on the Sparc ----
+    let formats2 = [WireFormat::Xml, WireFormat::Mpi, WireFormat::Cdr, WireFormat::PbioDcg];
+    let rows = MsgSize::all()
+        .into_iter()
+        .map(|size| {
+            let vals = formats2.iter().map(|f| encode_us(*f, size, sparc, x86)).collect();
+            (size, vals)
+        })
+        .collect();
+    print_table(
+        "Figure 2 — sender encode times on the Sparc (µs)\n\
+         (paper: MPICH 34 µs -> 13 ms with size; PBIO flat ~3 µs; XML far above all)",
+        &["XML", "MPICH", "CORBA", "PBIO"],
+        rows,
+    );
+
+    // ---- Figure 3: receiver decode on the Sparc, heterogeneous ----
+    let formats3 = [WireFormat::Xml, WireFormat::Mpi, WireFormat::Cdr, WireFormat::PbioInterp];
+    let rows = MsgSize::all()
+        .into_iter()
+        .map(|size| {
+            let vals = formats3.iter().map(|f| decode_us(*f, size, x86, sparc)).collect();
+            (size, vals)
+        })
+        .collect();
+    print_table(
+        "Figure 3 — receiver decode times on the Sparc, x86 sender (µs)\n\
+         (paper: XML 1-2 orders of magnitude above PBIO interpreted; PBIO < MPICH)",
+        &["XML", "MPICH", "CORBA", "PBIO interp"],
+        rows,
+    );
+
+    // ---- Figure 4: interpreted vs DCG receive ----
+    let formats4 = [WireFormat::Mpi, WireFormat::PbioInterp, WireFormat::PbioDcg];
+    let rows = MsgSize::all()
+        .into_iter()
+        .map(|size| {
+            let vals = formats4.iter().map(|f| decode_us(*f, size, x86, sparc)).collect();
+            (size, vals)
+        })
+        .collect();
+    print_table(
+        "Figure 4 — receiver decode: interpreted vs DCG conversions (µs)\n\
+         (paper: DCG 'significantly faster', near copy speed)",
+        &["MPICH", "PBIO interp", "PBIO DCG"],
+        rows,
+    );
+
+    // ---- Figure 6: heterogeneous receive, matched vs unexpected field ----
+    let rows = MsgSize::all()
+        .into_iter()
+        .map(|size| {
+            let matched = decode_us(WireFormat::PbioDcg, size, x86, sparc);
+            let mismatched = decode_mismatch_us(size, x86, sparc);
+            (size, vec![matched, mismatched])
+        })
+        .collect();
+    print_table(
+        "Figure 6 — heterogeneous receive (sparc side): matched vs unexpected leading field (µs)\n\
+         (paper: 'the extra field has no effect upon the receive-side performance')",
+        &["matched", "mismatched"],
+        rows,
+    );
+
+    // ---- Figure 7: homogeneous receive, matched vs unexpected field ----
+    let rows = MsgSize::all()
+        .into_iter()
+        .map(|size| {
+            let matched = decode_us(WireFormat::PbioDcg, size, sparc, sparc);
+            let mismatched = decode_mismatch_us(size, sparc, sparc);
+            (size, vec![matched, mismatched])
+        })
+        .collect();
+    print_table(
+        "Figure 7 — homogeneous receive (sparc-sparc): matched (zero-copy) vs unexpected field (µs)\n\
+         (paper: mismatch forces conversion; overhead ~= memcpy of the data)",
+        &["matched", "mismatched"],
+        rows,
+    );
+
+    // ---- Wire sizes (the paper's compactness discussion, §4.1/§5) ----
+    println!("Wire sizes in bytes (native record on the Sparc vs bytes on the wire)");
+    println!(
+        "{:>6} | {:>8} | {:>8} {:>8} {:>8} {:>10} | {:>9}",
+        "size", "native", "PBIO", "MPICH", "CORBA", "XML", "XML×native"
+    );
+    println!("{}", "-".repeat(76));
+    for size in MsgSize::all() {
+        let w = workload(size);
+        let native = pbio_types::layout::Layout::of(&w.schema, sparc).unwrap().size();
+        let mut row = Vec::new();
+        for fmt in [WireFormat::PbioDcg, WireFormat::Mpi, WireFormat::Cdr, WireFormat::Xml] {
+            row.push(prepare(fmt, &w.schema, &w.schema, sparc, x86, &w.value).wire.len());
+        }
+        println!(
+            "{:>6} | {:>8} | {:>8} {:>8} {:>8} {:>10} | {:>8.1}x",
+            size.label(),
+            native,
+            row[0],
+            row[1],
+            row[2],
+            row[3],
+            row[3] as f64 / native as f64
+        );
+    }
+    println!("\n(paper: XML expansion of 6-8x is not unusual for mixed text/numeric records;");
+    println!(" dense double arrays formatted at full precision land in the same range)");
+}

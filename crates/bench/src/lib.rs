@@ -1,0 +1,23 @@
+//! # pbio-bench — workloads and measurement plumbing for the evaluation
+//!
+//! Everything needed to regenerate the paper's figures:
+//!
+//! * [`workloads`] — the mixed-field record schemas at the paper's four
+//!   message sizes (100 B, 1 KB, 10 KB, 100 KB on the Sparc), value
+//!   generation, and the format-mismatch variants of §4.4,
+//! * [`protocols`] — uniform prepared encode/decode closures for every wire
+//!   format under test (PBIO zero-copy / interpreted / DCG, MPICH-model,
+//!   CORBA CDR, XML), so figures and Criterion benches measure identical
+//!   work.
+//!
+//! See `DESIGN.md` (per-experiment index) and `EXPERIMENTS.md`
+//! (paper-vs-measured results).
+
+#![warn(missing_docs)]
+
+pub mod era;
+pub mod protocols;
+pub mod workloads;
+
+pub use protocols::{prepare, ProtoBench, WireFormat};
+pub use workloads::{MsgSize, Workload};

@@ -1,0 +1,33 @@
+//! # pbio-cdr — a CORBA IIOP-style CDR wire format
+//!
+//! The paper's object-system baseline (§2): "CORBA-based object systems use
+//! IIOP as a wire format. IIOP attempts to reduce marshalling overhead by
+//! adopting a 'reader-makes-right' approach with respect to byte order (the
+//! actual byte order used in a message is specified by a header field). This
+//! additional flexibility … allows CORBA to avoid unnecessary byte-swapping
+//! in message exchanges between homogeneous systems but is not sufficient to
+//! allow such message exchanges without copying of data at both sender and
+//! receiver", because "in IIOP … atomic data elements are contiguous,
+//! without intervening space or padding" while native structs are padded.
+//!
+//! This crate reproduces those exact properties:
+//!
+//! * a 1-byte GIOP-style header flag carries the **writer's** byte order;
+//!   the writer never swaps ("reader makes right"),
+//! * the body is CDR: primitives aligned to their own size *within the
+//!   stream*, structs packed with no interfield padding, strings as
+//!   `u32 length + bytes + NUL`, sequences as `u32 count + elements`,
+//! * marshalling therefore always copies (native padded layout → packed
+//!   stream), and unmarshalling always copies back — even between identical
+//!   architectures. That mandatory double copy is what Figures 2 and 3
+//!   charge to CORBA.
+//!
+//! Like CORBA IDL stubs, the per-field operation list is precompiled once
+//! per type ([`CdrCodec::new`]) — the *compile-time* stub generation the
+//! paper contrasts with PBIO's *runtime* code generation.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+
+pub use codec::{CdrCodec, CdrError};

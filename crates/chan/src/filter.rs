@@ -1,0 +1,753 @@
+//! Predicates over record fields, compiled to vrisc at run time.
+//!
+//! A [`Predicate`] references fields of the *incoming wire format* by name;
+//! [`FilterProgram::compile`] resolves them against the wire [`Layout`] and
+//! generates straight-line comparison code (no per-event interpretation) —
+//! the same trick PBIO plays for conversions, applied to event filtering.
+//!
+//! Comparison semantics (shared by the compiled and interpreted
+//! evaluators, and differential-tested):
+//!
+//! * integer fields compare as their declared signedness;
+//! * float fields compare as IEEE `f64` (`<` is false on NaN); equality is
+//!   `!(a<b) && !(b<a)`, i.e. numeric equality except that two NaNs compare
+//!   equal — a documented artifact of building `==` from `<` in generated
+//!   code;
+//! * an integer literal against a float field is promoted to `f64`; a float
+//!   literal against an integer field promotes the *field* to `f64`;
+//! * `char` fields compare as their byte value; `bool` fields accept only
+//!   boolean literals and only `eq`/`ne`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use pbio_types::arch::Endianness;
+use pbio_types::layout::{ConcreteType, Layout};
+use pbio_types::prim;
+use pbio_vrisc::inst::{abi, Reg, Space};
+use pbio_vrisc::opt::optimize;
+use pbio_vrisc::{run, Assembler, ExecError, Program};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// A literal to compare a field against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Literal {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Boolean literal.
+    Bool(bool),
+}
+
+impl From<i64> for Literal {
+    fn from(v: i64) -> Literal {
+        Literal::Int(v)
+    }
+}
+impl From<i32> for Literal {
+    fn from(v: i32) -> Literal {
+        Literal::Int(v as i64)
+    }
+}
+impl From<f64> for Literal {
+    fn from(v: f64) -> Literal {
+        Literal::Float(v)
+    }
+}
+impl From<bool> for Literal {
+    fn from(v: bool) -> Literal {
+        Literal::Bool(v)
+    }
+}
+
+/// A boolean expression over scalar record fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (subscribe to everything).
+    True,
+    /// `field op literal`.
+    Cmp {
+        /// Field name in the incoming format.
+        field: String,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand side.
+        value: Literal,
+    },
+    /// Conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// `field op value` constructor.
+    pub fn cmp(field: impl Into<String>, op: CmpOp, value: impl Into<Literal>) -> Predicate {
+        Predicate::Cmp { field: field.into(), op, value: value.into() }
+    }
+
+    /// `field < value`.
+    pub fn lt(field: impl Into<String>, value: impl Into<Literal>) -> Predicate {
+        Predicate::cmp(field, CmpOp::Lt, value)
+    }
+    /// `field <= value`.
+    pub fn le(field: impl Into<String>, value: impl Into<Literal>) -> Predicate {
+        Predicate::cmp(field, CmpOp::Le, value)
+    }
+    /// `field > value`.
+    pub fn gt(field: impl Into<String>, value: impl Into<Literal>) -> Predicate {
+        Predicate::cmp(field, CmpOp::Gt, value)
+    }
+    /// `field >= value`.
+    pub fn ge(field: impl Into<String>, value: impl Into<Literal>) -> Predicate {
+        Predicate::cmp(field, CmpOp::Ge, value)
+    }
+    /// `field == value`.
+    pub fn eq(field: impl Into<String>, value: impl Into<Literal>) -> Predicate {
+        Predicate::cmp(field, CmpOp::Eq, value)
+    }
+    /// `field != value`.
+    pub fn ne(field: impl Into<String>, value: impl Into<Literal>) -> Predicate {
+        Predicate::cmp(field, CmpOp::Ne, value)
+    }
+
+    /// `self && other`.
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+    /// `self || other`.
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+    /// `!self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+}
+
+/// Errors from filter compilation or evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterError {
+    /// The predicate references a field the incoming format lacks.
+    UnknownField(String),
+    /// The referenced field is not a scalar.
+    NotScalar(String),
+    /// Literal type is incompatible with the field type.
+    TypeMismatch {
+        /// Field name.
+        field: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// Predicate nesting exceeds the register budget.
+    TooDeep(usize),
+    /// The generated program faulted (truncated record).
+    Exec(ExecError),
+}
+
+impl fmt::Display for FilterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FilterError::UnknownField(n) => write!(f, "filter references unknown field {n:?}"),
+            FilterError::NotScalar(n) => write!(f, "filter field {n:?} is not a scalar"),
+            FilterError::TypeMismatch { field, reason } => {
+                write!(f, "filter field {field:?}: {reason}")
+            }
+            FilterError::TooDeep(d) => write!(f, "predicate nesting {d} exceeds register budget"),
+            FilterError::Exec(e) => write!(f, "filter execution fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+impl From<ExecError> for FilterError {
+    fn from(e: ExecError) -> FilterError {
+        FilterError::Exec(e)
+    }
+}
+
+/// Maximum predicate nesting depth (bounded by the register file).
+pub const MAX_FILTER_DEPTH: usize = 10;
+
+const VAL_BASE: u8 = 8; // result registers, indexed by depth
+const FIELD_REG: Reg = Reg(20);
+const LIT_REG: Reg = Reg(21);
+const TMP_REG: Reg = Reg(22);
+
+/// A predicate compiled against one wire format.
+#[derive(Debug, Clone)]
+pub struct FilterProgram {
+    layout: Arc<Layout>,
+    predicate: Predicate,
+    program: Program,
+}
+
+impl FilterProgram {
+    /// Compile `predicate` against the incoming wire layout.
+    pub fn compile(predicate: Predicate, layout: Arc<Layout>) -> Result<FilterProgram, FilterError> {
+        let mut asm = Assembler::new();
+        let mut gen = FilterGen { asm: &mut asm, layout: &layout };
+        gen.emit(&predicate, 0)?;
+        // Result of the whole predicate is in VAL_BASE; store to Dst[0].
+        asm.st(1, abi::DST, 0, Reg(VAL_BASE));
+        let program = asm.finish().expect("filter codegen produces valid programs");
+        let program = optimize(&program);
+        Ok(FilterProgram { layout, predicate, program })
+    }
+
+    /// Evaluate against one wire record using the generated code.
+    pub fn matches(&self, record: &[u8]) -> Result<bool, FilterError> {
+        let mut out = [0u8; 1];
+        run(&self.program, record, &mut out, &[])?;
+        Ok(out[0] != 0)
+    }
+
+    /// Evaluate with the interpreted reference semantics (for testing and
+    /// as the no-DCG fallback).
+    pub fn matches_interpreted(&self, record: &[u8]) -> Result<bool, FilterError> {
+        eval_interpreted(&self.predicate, &self.layout, record)
+    }
+
+    /// The generated program (inspectable).
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The source predicate.
+    pub fn predicate(&self) -> &Predicate {
+        &self.predicate
+    }
+}
+
+struct FilterGen<'a> {
+    asm: &'a mut Assembler,
+    layout: &'a Layout,
+}
+
+#[derive(Clone, Copy)]
+enum FieldClass {
+    Signed(u8),
+    Unsigned(u8),
+    Float(u8),
+    Bool,
+}
+
+fn classify(layout: &Layout, name: &str) -> Result<(usize, FieldClass), FilterError> {
+    let field = layout
+        .field(name)
+        .ok_or_else(|| FilterError::UnknownField(name.to_owned()))?;
+    let class = match &field.ty {
+        ConcreteType::Int { bytes, signed: true } => FieldClass::Signed(*bytes),
+        ConcreteType::Int { bytes, signed: false } => FieldClass::Unsigned(*bytes),
+        ConcreteType::Float { bytes } => FieldClass::Float(*bytes),
+        ConcreteType::Char => FieldClass::Unsigned(1),
+        ConcreteType::Bool => FieldClass::Bool,
+        _ => return Err(FilterError::NotScalar(name.to_owned())),
+    };
+    Ok((field.offset, class))
+}
+
+impl FilterGen<'_> {
+    fn emit(&mut self, p: &Predicate, depth: usize) -> Result<(), FilterError> {
+        if depth >= MAX_FILTER_DEPTH {
+            return Err(FilterError::TooDeep(depth));
+        }
+        let res = Reg(VAL_BASE + depth as u8);
+        match p {
+            Predicate::True => self.asm.mov_imm(res, 1),
+            Predicate::Cmp { field, op, value } => self.emit_cmp(field, *op, *value, res)?,
+            Predicate::And(a, b) => {
+                self.emit(a, depth)?;
+                self.emit(b, depth + 1)?;
+                let rb = Reg(VAL_BASE + depth as u8 + 1);
+                self.asm.and(res, res, rb);
+            }
+            Predicate::Or(a, b) => {
+                self.emit(a, depth)?;
+                self.emit(b, depth + 1)?;
+                let rb = Reg(VAL_BASE + depth as u8 + 1);
+                self.asm.or(res, res, rb);
+            }
+            Predicate::Not(a) => {
+                self.emit(a, depth)?;
+                self.asm.set_eqz(res, res);
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_cmp(
+        &mut self,
+        field: &str,
+        op: CmpOp,
+        value: Literal,
+        res: Reg,
+    ) -> Result<(), FilterError> {
+        let (offset, class) = classify(self.layout, field)?;
+        let big = self.layout.endianness() == Endianness::Big;
+
+        // Decide the comparison domain.
+        enum Domain {
+            SignedInt(i64),
+            UnsignedInt(u64),
+            Float(f64),
+        }
+        let domain = match (class, value) {
+            (FieldClass::Bool, Literal::Bool(b)) => {
+                if !matches!(op, CmpOp::Eq | CmpOp::Ne) {
+                    return Err(FilterError::TypeMismatch {
+                        field: field.to_owned(),
+                        reason: "booleans support only eq/ne".into(),
+                    });
+                }
+                Domain::UnsignedInt(b as u64)
+            }
+            (FieldClass::Bool, _) | (_, Literal::Bool(_)) => {
+                return Err(FilterError::TypeMismatch {
+                    field: field.to_owned(),
+                    reason: "boolean literal requires a boolean field (and vice versa)".into(),
+                })
+            }
+            (FieldClass::Float(_), Literal::Int(i)) => Domain::Float(i as f64),
+            (FieldClass::Float(_), Literal::Float(x)) => Domain::Float(x),
+            (FieldClass::Signed(_), Literal::Float(x)) | (FieldClass::Unsigned(_), Literal::Float(x)) => {
+                Domain::Float(x)
+            }
+            (FieldClass::Signed(_), Literal::Int(i)) => Domain::SignedInt(i),
+            (FieldClass::Unsigned(_), Literal::Int(i)) => {
+                if i < 0 {
+                    // Unsigned field can never be < 0; fold to constants at
+                    // compile time for simplicity: field >= 0 always.
+                    let constant = match op {
+                        CmpOp::Lt | CmpOp::Le | CmpOp::Eq => 0u64,
+                        CmpOp::Gt | CmpOp::Ge | CmpOp::Ne => 1u64,
+                    };
+                    self.asm.mov_imm(res, constant);
+                    return Ok(());
+                }
+                Domain::UnsignedInt(i as u64)
+            }
+        };
+
+        // Load the field into FIELD_REG in comparison-domain form.
+        let (w, signed, float) = match class {
+            FieldClass::Signed(w) => (w, true, false),
+            FieldClass::Unsigned(w) => (w, false, false),
+            FieldClass::Float(w) => (w, false, true),
+            FieldClass::Bool => (1, false, false),
+        };
+        self.asm.ld(w, FIELD_REG, Space::Src, abi::SRC, offset as i32);
+        if big && w > 1 {
+            self.asm.bswap(w, FIELD_REG);
+        }
+        if signed && w < 8 {
+            self.asm.sext(w, FIELD_REG);
+        }
+        if float && w == 4 {
+            self.asm.cvt_f32_f64(FIELD_REG);
+        }
+        if matches!(domain, Domain::Float(_)) && !float {
+            // Integer field vs float literal: promote the field.
+            self.asm.cvt_i64_f64(FIELD_REG);
+        }
+
+        match domain {
+            Domain::SignedInt(lit) => {
+                self.asm.mov_imm(LIT_REG, lit as u64);
+                self.int_cmp(op, res, true);
+            }
+            Domain::UnsignedInt(lit) => {
+                self.asm.mov_imm(LIT_REG, lit);
+                self.int_cmp(op, res, false);
+            }
+            Domain::Float(lit) => {
+                self.asm.mov_imm(LIT_REG, lit.to_bits());
+                self.float_cmp(op, res);
+            }
+        }
+        Ok(())
+    }
+
+    fn int_cmp(&mut self, op: CmpOp, res: Reg, signed: bool) {
+        let slt = |asm: &mut Assembler, r, a, b| {
+            if signed {
+                asm.slt(r, a, b)
+            } else {
+                asm.sltu(r, a, b)
+            }
+        };
+        match op {
+            CmpOp::Lt => slt(self.asm, res, FIELD_REG, LIT_REG),
+            CmpOp::Gt => slt(self.asm, res, LIT_REG, FIELD_REG),
+            CmpOp::Ge => {
+                slt(self.asm, res, FIELD_REG, LIT_REG);
+                self.asm.set_eqz(res, res);
+            }
+            CmpOp::Le => {
+                slt(self.asm, res, LIT_REG, FIELD_REG);
+                self.asm.set_eqz(res, res);
+            }
+            CmpOp::Eq => {
+                self.asm.sub(res, FIELD_REG, LIT_REG);
+                self.asm.set_eqz(res, res);
+            }
+            CmpOp::Ne => {
+                self.asm.sub(res, FIELD_REG, LIT_REG);
+                self.asm.set_eqz(res, res);
+                self.asm.set_eqz(res, res);
+            }
+        }
+    }
+
+    fn float_cmp(&mut self, op: CmpOp, res: Reg) {
+        match op {
+            CmpOp::Lt => self.asm.flt_f64(res, FIELD_REG, LIT_REG),
+            CmpOp::Gt => self.asm.flt_f64(res, LIT_REG, FIELD_REG),
+            CmpOp::Ge => {
+                self.asm.flt_f64(res, FIELD_REG, LIT_REG);
+                self.asm.set_eqz(res, res);
+            }
+            CmpOp::Le => {
+                self.asm.flt_f64(res, LIT_REG, FIELD_REG);
+                self.asm.set_eqz(res, res);
+            }
+            CmpOp::Eq => {
+                // !(a<b) && !(b<a)
+                self.asm.flt_f64(res, FIELD_REG, LIT_REG);
+                self.asm.set_eqz(res, res);
+                self.asm.flt_f64(TMP_REG, LIT_REG, FIELD_REG);
+                self.asm.set_eqz(TMP_REG, TMP_REG);
+                self.asm.and(res, res, TMP_REG);
+            }
+            CmpOp::Ne => {
+                self.asm.flt_f64(res, FIELD_REG, LIT_REG);
+                self.asm.flt_f64(TMP_REG, LIT_REG, FIELD_REG);
+                self.asm.or(res, res, TMP_REG);
+            }
+        }
+    }
+}
+
+/// Interpreted reference evaluation with identical semantics.
+pub fn eval_interpreted(
+    p: &Predicate,
+    layout: &Layout,
+    record: &[u8],
+) -> Result<bool, FilterError> {
+    Ok(match p {
+        Predicate::True => true,
+        Predicate::And(a, b) => {
+            eval_interpreted(a, layout, record)? & eval_interpreted(b, layout, record)?
+        }
+        Predicate::Or(a, b) => {
+            eval_interpreted(a, layout, record)? | eval_interpreted(b, layout, record)?
+        }
+        Predicate::Not(a) => !eval_interpreted(a, layout, record)?,
+        Predicate::Cmp { field, op, value } => {
+            let (offset, class) = classify(layout, field)?;
+            let endian = layout.endianness();
+            let need = match class {
+                FieldClass::Signed(w) | FieldClass::Unsigned(w) | FieldClass::Float(w) => w as usize,
+                FieldClass::Bool => 1,
+            };
+            if offset + need > record.len() {
+                return Err(FilterError::Exec(ExecError::OutOfBounds {
+                    pc: 0,
+                    addr: offset as u64,
+                    len: need as u64,
+                    space: Space::Src,
+                    space_len: record.len(),
+                }));
+            }
+            match (class, *value) {
+                (FieldClass::Bool, Literal::Bool(b)) => {
+                    let v = record[offset] != 0;
+                    match op {
+                        CmpOp::Eq => v == b,
+                        CmpOp::Ne => v != b,
+                        _ => {
+                            return Err(FilterError::TypeMismatch {
+                                field: field.clone(),
+                                reason: "booleans support only eq/ne".into(),
+                            })
+                        }
+                    }
+                }
+                (FieldClass::Bool, _) | (_, Literal::Bool(_)) => {
+                    return Err(FilterError::TypeMismatch {
+                        field: field.clone(),
+                        reason: "boolean literal requires a boolean field (and vice versa)".into(),
+                    })
+                }
+                (FieldClass::Float(w), lit) => {
+                    let a = prim::read_float(record, offset, w, endian);
+                    let b = match lit {
+                        Literal::Int(i) => i as f64,
+                        Literal::Float(x) => x,
+                        Literal::Bool(_) => unreachable!(),
+                    };
+                    float_cmp_semantics(op, a, b)
+                }
+                (FieldClass::Signed(w), Literal::Float(x)) => {
+                    let a = prim::read_int(record, offset, w, endian) as f64;
+                    float_cmp_semantics(op, a, x)
+                }
+                (FieldClass::Unsigned(w), Literal::Float(x)) => {
+                    // Matches CvtI64F64 in generated code: via i64.
+                    let a = (prim::read_uint(record, offset, w, endian) as i64) as f64;
+                    float_cmp_semantics(op, a, x)
+                }
+                (FieldClass::Signed(w), Literal::Int(i)) => {
+                    let a = prim::read_int(record, offset, w, endian);
+                    int_cmp_semantics(op, a, i)
+                }
+                (FieldClass::Unsigned(w), Literal::Int(i)) => {
+                    let a = prim::read_uint(record, offset, w, endian);
+                    if i < 0 {
+                        matches!(op, CmpOp::Gt | CmpOp::Ge | CmpOp::Ne)
+                    } else {
+                        uint_cmp_semantics(op, a, i as u64)
+                    }
+                }
+            }
+        }
+    })
+}
+
+fn int_cmp_semantics(op: &CmpOp, a: i64, b: i64) -> bool {
+    match op {
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+    }
+}
+
+fn uint_cmp_semantics(op: &CmpOp, a: u64, b: u64) -> bool {
+    match op {
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+    }
+}
+
+/// Equality built from `<`, as the generated code does: two NaNs compare
+/// equal, NaN vs number compares unequal.
+// The negated comparisons are the point: `!(b < a)` is NOT `a <= b` when
+// NaN is involved, and these semantics must match `FltF64` + `SetEqZ`.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn float_cmp_semantics(op: &CmpOp, a: f64, b: f64) -> bool {
+    match op {
+        CmpOp::Lt => a < b,
+        CmpOp::Le => !(b < a),
+        CmpOp::Gt => b < a,
+        CmpOp::Ge => !(a < b),
+        CmpOp::Eq => !(a < b) && !(b < a),
+        CmpOp::Ne => (a < b) || (b < a),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbio_types::arch::ArchProfile;
+    use pbio_types::schema::{AtomType, FieldDecl, Schema};
+    use pbio_types::value::{encode_native, RecordValue, Value};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "event",
+            vec![
+                FieldDecl::atom("seq", AtomType::CInt),
+                FieldDecl::atom("level", AtomType::CUInt),
+                FieldDecl::atom("temp", AtomType::CDouble),
+                FieldDecl::atom("ratio", AtomType::CFloat),
+                FieldDecl::atom("alarm", AtomType::Bool),
+                FieldDecl::atom("tag", AtomType::Char),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn record(seq: i32, level: u32, temp: f64, alarm: bool) -> RecordValue {
+        RecordValue::new()
+            .with("seq", seq)
+            .with("level", level)
+            .with("temp", temp)
+            .with("ratio", 0.5f64)
+            .with("alarm", alarm)
+            .with("tag", Value::Char(b'x'))
+    }
+
+    fn check(pred: &Predicate, rv: &RecordValue, expect: bool) {
+        for p in [&ArchProfile::SPARC_V8, &ArchProfile::X86_64] {
+            let layout = Arc::new(Layout::of(&schema(), p).unwrap());
+            let bytes = encode_native(rv, &layout).unwrap();
+            let prog = FilterProgram::compile(pred.clone(), layout).unwrap();
+            assert_eq!(prog.matches(&bytes).unwrap(), expect, "{pred:?} on {}", p.name);
+            assert_eq!(
+                prog.matches_interpreted(&bytes).unwrap(),
+                expect,
+                "interp {pred:?} on {}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn integer_comparisons() {
+        let rv = record(5, 2, 20.0, false);
+        check(&Predicate::lt("seq", 6), &rv, true);
+        check(&Predicate::lt("seq", 5), &rv, false);
+        check(&Predicate::le("seq", 5), &rv, true);
+        check(&Predicate::gt("seq", 4), &rv, true);
+        check(&Predicate::ge("seq", 6), &rv, false);
+        check(&Predicate::eq("seq", 5), &rv, true);
+        check(&Predicate::ne("seq", 5), &rv, false);
+    }
+
+    #[test]
+    fn negative_signed_values() {
+        let rv = record(-3, 2, 20.0, false);
+        check(&Predicate::lt("seq", 0), &rv, true);
+        check(&Predicate::gt("seq", -10), &rv, true);
+        check(&Predicate::eq("seq", -3), &rv, true);
+        check(&Predicate::ge("seq", -3), &rv, true);
+    }
+
+    #[test]
+    fn unsigned_vs_negative_literal_folds() {
+        let rv = record(0, 7, 0.0, false);
+        check(&Predicate::lt("level", -1), &rv, false);
+        check(&Predicate::gt("level", -1), &rv, true);
+        check(&Predicate::ne("level", -1), &rv, true);
+        check(&Predicate::eq("level", -1), &rv, false);
+    }
+
+    #[test]
+    fn float_comparisons_and_promotion() {
+        let rv = record(1, 1, 36.75, false);
+        check(&Predicate::gt("temp", 36.5), &rv, true);
+        check(&Predicate::lt("temp", 36.5), &rv, false);
+        check(&Predicate::eq("temp", 36.75), &rv, true);
+        // Int literal promoted to float.
+        check(&Predicate::ge("temp", 36), &rv, true);
+        // Float literal against int field promotes the field.
+        check(&Predicate::gt("seq", 0.5), &rv, true);
+        check(&Predicate::lt("seq", 0.5), &rv, false);
+        // f32 field widened.
+        check(&Predicate::eq("ratio", 0.5), &rv, true);
+    }
+
+    #[test]
+    fn bool_and_char_fields() {
+        let rv = record(1, 1, 0.0, true);
+        check(&Predicate::eq("alarm", true), &rv, true);
+        check(&Predicate::ne("alarm", true), &rv, false);
+        check(&Predicate::eq("tag", b'x' as i64), &rv, true);
+        check(&Predicate::lt("tag", b'y' as i64), &rv, true);
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let rv = record(5, 2, 40.0, true);
+        let hot = Predicate::gt("temp", 38.0);
+        let alarmed = Predicate::eq("alarm", true);
+        check(&hot.clone().and(alarmed.clone()), &rv, true);
+        check(&hot.clone().and(Predicate::eq("seq", 9)), &rv, false);
+        check(&Predicate::eq("seq", 9).or(alarmed), &rv, true);
+        check(&hot.clone().not(), &rv, false);
+        check(&Predicate::True, &rv, true);
+        // Nested combination.
+        let complex = Predicate::gt("temp", 100.0)
+            .or(Predicate::ge("level", 2).and(Predicate::ne("seq", 0)))
+            .not();
+        check(&complex, &rv, false);
+    }
+
+    #[test]
+    fn type_errors_reported() {
+        let layout = Arc::new(Layout::of(&schema(), &ArchProfile::X86).unwrap());
+        assert!(matches!(
+            FilterProgram::compile(Predicate::lt("nope", 1), layout.clone()),
+            Err(FilterError::UnknownField(_))
+        ));
+        assert!(matches!(
+            FilterProgram::compile(Predicate::lt("alarm", 1), layout.clone()),
+            Err(FilterError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            FilterProgram::compile(Predicate::eq("seq", true), layout.clone()),
+            Err(FilterError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            FilterProgram::compile(Predicate::gt("alarm", true), layout),
+            Err(FilterError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn too_deep_predicates_rejected() {
+        // Depth grows along the *right* spine (left-leaning chains reuse the
+        // same result register, like left-to-right expression evaluation).
+        let mut p = Predicate::True;
+        for _ in 0..MAX_FILTER_DEPTH + 1 {
+            p = Predicate::True.and(p);
+        }
+        let layout = Arc::new(Layout::of(&schema(), &ArchProfile::X86).unwrap());
+        assert!(matches!(
+            FilterProgram::compile(p, layout),
+            Err(FilterError::TooDeep(_))
+        ));
+
+        // ...whereas an equally long left-leaning chain compiles fine.
+        let mut p = Predicate::True;
+        for _ in 0..MAX_FILTER_DEPTH + 5 {
+            p = p.and(Predicate::True);
+        }
+        let layout = Arc::new(Layout::of(&schema(), &ArchProfile::X86).unwrap());
+        assert!(FilterProgram::compile(p, layout).is_ok());
+    }
+
+    #[test]
+    fn truncated_record_errors() {
+        let layout = Arc::new(Layout::of(&schema(), &ArchProfile::X86).unwrap());
+        let prog = FilterProgram::compile(Predicate::gt("temp", 1.0), layout).unwrap();
+        assert!(matches!(prog.matches(&[0u8; 2]), Err(FilterError::Exec(_))));
+        assert!(matches!(prog.matches_interpreted(&[0u8; 2]), Err(FilterError::Exec(_))));
+    }
+
+    #[test]
+    fn compiled_program_is_small() {
+        let layout = Arc::new(Layout::of(&schema(), &ArchProfile::SPARC_V8).unwrap());
+        let pred = Predicate::gt("temp", 38.0).and(Predicate::eq("alarm", true));
+        let prog = FilterProgram::compile(pred, layout).unwrap();
+        assert!(prog.program().len() < 20, "{}", prog.program());
+    }
+}

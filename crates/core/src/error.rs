@@ -1,0 +1,79 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+use pbio_types::error::TypeError;
+use pbio_vrisc::ExecError;
+
+/// Errors from encoding, decoding, conversion and protocol handling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PbioError {
+    /// An error from the type/layout layer.
+    Type(TypeError),
+    /// The generated conversion program faulted (truncated message).
+    Exec(ExecError),
+    /// Malformed message framing.
+    Protocol(String),
+    /// A data message referenced a format id that was never registered.
+    UnknownFormat(u32),
+    /// A record payload was shorter than its format requires.
+    TruncatedRecord {
+        /// Bytes required.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+        /// What was being read.
+        context: String,
+    },
+}
+
+impl fmt::Display for PbioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PbioError::Type(e) => write!(f, "type error: {e}"),
+            PbioError::Exec(e) => write!(f, "conversion fault: {e}"),
+            PbioError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            PbioError::UnknownFormat(id) => write!(f, "unknown format id {id}"),
+            PbioError::TruncatedRecord { need, have, context } => {
+                write!(f, "truncated record while {context}: need {need} bytes, have {have}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PbioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PbioError::Type(e) => Some(e),
+            PbioError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TypeError> for PbioError {
+    fn from(e: TypeError) -> PbioError {
+        PbioError::Type(e)
+    }
+}
+
+impl From<ExecError> for PbioError {
+    fn from(e: ExecError) -> PbioError {
+        PbioError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = PbioError::from(TypeError::DuplicateField("q".into()));
+        assert!(e.to_string().contains('q'));
+        assert!(std::error::Error::source(&e).is_some());
+        let p = PbioError::Protocol("short header".into());
+        assert!(p.to_string().contains("short header"));
+        assert!(std::error::Error::source(&p).is_none());
+    }
+}

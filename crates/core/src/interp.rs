@@ -1,0 +1,457 @@
+//! The table-driven interpreted converter — PBIO's "initial choice" (§4.3).
+//!
+//! "Packages that marshal data themselves typically use … what amounts to a
+//! table-driven interpreter. This interpreter marshals or unmarshals
+//! application-defined data, making data movement and conversion decisions
+//! based upon a description of the structure" (§4.3). This module is exactly
+//! that: it walks the [`Plan`] step list for *every record*, dispatching on
+//! step kind each time. Figure 4's gap between this converter and the DCG
+//! converter ([`crate::codegen`]) is the paper's core performance result.
+
+use std::sync::Arc;
+
+use pbio_types::arch::Endianness;
+use pbio_types::layout::round_up;
+use pbio_types::prim;
+
+use crate::error::PbioError;
+use crate::plan::{Plan, ScalarKind, ScalarSig, Step};
+
+/// Alignment applied to payloads appended to the output variable region
+/// (matches `pbio_types::value`'s encoder so converted images are comparable
+/// to natively encoded ones).
+const VAR_REGION_ALIGN: usize = 8;
+
+/// Interpreted plan executor.
+#[derive(Debug, Clone)]
+pub struct InterpConverter {
+    plan: Arc<Plan>,
+}
+
+impl InterpConverter {
+    /// Wrap a plan for interpretation.
+    pub fn new(plan: Arc<Plan>) -> InterpConverter {
+        InterpConverter { plan }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Convert one incoming record to the receiver's native image.
+    pub fn convert(&self, src: &[u8]) -> Result<Vec<u8>, PbioError> {
+        let mut out = Vec::new();
+        self.convert_into(src, &mut out)?;
+        Ok(out)
+    }
+
+    /// Convert into a reusable buffer (cleared first). PBIO "reuses the
+    /// receive buffer" where MPICH allocates a separate unpack buffer (§4.3);
+    /// a caller-owned output buffer is the equivalent no-allocation path.
+    pub fn convert_into(&self, src: &[u8], out: &mut Vec<u8>) -> Result<(), PbioError> {
+        let dst_size = self.plan.dst.size();
+        out.clear();
+        out.resize(dst_size, 0);
+        exec_steps(
+            &self.plan.fixed_steps,
+            src,
+            0,
+            out,
+            0,
+            self.plan.src.endianness(),
+            self.plan.dst.endianness(),
+        )?;
+        exec_steps(
+            &self.plan.var_steps,
+            src,
+            0,
+            out,
+            0,
+            self.plan.src.endianness(),
+            self.plan.dst.endianness(),
+        )?;
+        Ok(())
+    }
+}
+
+fn need(src: &[u8], at: usize, len: usize, what: &str) -> Result<(), PbioError> {
+    if at.checked_add(len).is_none_or(|end| end > src.len()) {
+        return Err(PbioError::TruncatedRecord {
+            need: at + len,
+            have: src.len(),
+            context: what.to_owned(),
+        });
+    }
+    Ok(())
+}
+
+/// Execute steps with the given record/element base offsets.
+pub(crate) fn exec_steps(
+    steps: &[Step],
+    src: &[u8],
+    sbase: usize,
+    out: &mut Vec<u8>,
+    dbase: usize,
+    se: Endianness,
+    de: Endianness,
+) -> Result<(), PbioError> {
+    for step in steps {
+        match step {
+            Step::CopyBytes { src: s, dst: d, len } => {
+                let at = sbase + s;
+                need(src, at, *len, "copying bytes")?;
+                out[dbase + d..dbase + d + len].copy_from_slice(&src[at..at + len]);
+            }
+            Step::SwapScalar { w, src: s, dst: d } => {
+                let at = sbase + s;
+                let w = *w as usize;
+                need(src, at, w, "swapping scalar")?;
+                let dat = dbase + d;
+                for i in 0..w {
+                    out[dat + i] = src[at + w - 1 - i];
+                }
+            }
+            Step::ConvScalar { from, to, src: s, dst: d } => {
+                let at = sbase + s;
+                need(src, at, from.w as usize, "converting scalar")?;
+                conv_scalar(*from, *to, src, at, out, dbase + d);
+            }
+            Step::ZeroFill { dst: d, len } => {
+                out[dbase + d..dbase + d + len].fill(0);
+            }
+            Step::FixedLoop { count, src_stride, dst_stride, src: s, dst: d, body } => {
+                for i in 0..*count {
+                    exec_steps(
+                        body,
+                        src,
+                        sbase + s + i * src_stride,
+                        out,
+                        dbase + d + i * dst_stride,
+                        se,
+                        de,
+                    )?;
+                }
+            }
+            Step::VarBytes { src: s, dst: d } => {
+                let at = sbase + s;
+                need(src, at, 8, "reading string descriptor")?;
+                let off = prim::read_uint(src, at, 4, se) as usize;
+                let count = prim::read_uint(src, at + 4, 4, se) as usize;
+                need(src, off, count, "reading string payload")?;
+                let start = append_aligned(out);
+                out.extend_from_slice(&src[off..off + count]);
+                write_descriptor(out, dbase + d, de, start, count);
+            }
+            Step::VarLoop { src: s, dst: d, src_stride, dst_stride, body } => {
+                let at = sbase + s;
+                need(src, at, 8, "reading array descriptor")?;
+                let off = prim::read_uint(src, at, 4, se) as usize;
+                let count = prim::read_uint(src, at + 4, 4, se) as usize;
+                let total_src = count.checked_mul(*src_stride).ok_or(PbioError::TruncatedRecord {
+                    need: usize::MAX,
+                    have: src.len(),
+                    context: "var array size overflow".into(),
+                })?;
+                need(src, off, total_src, "reading var array payload")?;
+                let start = append_aligned(out);
+                out.resize(start + count * dst_stride, 0);
+                for i in 0..count {
+                    exec_steps(
+                        body,
+                        src,
+                        off + i * src_stride,
+                        out,
+                        start + i * dst_stride,
+                        se,
+                        de,
+                    )?;
+                }
+                write_descriptor(out, dbase + d, de, start, count);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn append_aligned(out: &mut Vec<u8>) -> usize {
+    let start = round_up(out.len(), VAR_REGION_ALIGN);
+    out.resize(start, 0);
+    start
+}
+
+fn write_descriptor(out: &mut [u8], at: usize, de: Endianness, start: usize, count: usize) {
+    prim::write_uint(out, at, 4, de, start as u64);
+    prim::write_uint(out, at + 4, 4, de, count as u64);
+}
+
+/// General scalar conversion. Semantics deliberately match the DCG backend
+/// instruction-for-instruction (C-like truncation on narrowing; unsigned
+/// 64-bit to float goes through i64, as `CvtI64F64` does), so the two
+/// converters are bit-identical on every input.
+fn conv_scalar(from: ScalarSig, to: ScalarSig, src: &[u8], at: usize, out: &mut [u8], dat: usize) {
+    match from.kind {
+        ScalarKind::Float => {
+            let v = prim::read_float(src, at, from.w, from.endian);
+            match to.kind {
+                ScalarKind::Float => prim::write_float(out, dat, to.w, to.endian, v),
+                _ => prim::write_uint(out, dat, to.w, to.endian, (v as i64) as u64),
+            }
+        }
+        ScalarKind::Signed => {
+            let v = prim::read_int(src, at, from.w, from.endian);
+            match to.kind {
+                ScalarKind::Float => prim::write_float(out, dat, to.w, to.endian, v as f64),
+                _ => prim::write_uint(out, dat, to.w, to.endian, v as u64),
+            }
+        }
+        ScalarKind::Unsigned | ScalarKind::Char | ScalarKind::Bool => {
+            let v = prim::read_uint(src, at, from.w, from.endian);
+            match to.kind {
+                ScalarKind::Float => {
+                    prim::write_float(out, dat, to.w, to.endian, (v as i64) as f64)
+                }
+                _ => prim::write_uint(out, dat, to.w, to.endian, v),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbio_types::arch::ArchProfile;
+    use pbio_types::layout::Layout;
+    use pbio_types::schema::{AtomType, FieldDecl, Schema, TypeDesc};
+    use pbio_types::value::{decode_native, encode_native, RecordValue, Value};
+
+    fn convert_between(
+        schema_s: &Schema,
+        schema_d: &Schema,
+        sp: &ArchProfile,
+        dp: &ArchProfile,
+        value: &RecordValue,
+    ) -> RecordValue {
+        let slay = Arc::new(Layout::of(schema_s, sp).unwrap());
+        let dlay = Arc::new(Layout::of(schema_d, dp).unwrap());
+        let wire = encode_native(value, &slay).unwrap();
+        let conv = InterpConverter::new(Arc::new(Plan::build(slay, dlay.clone())));
+        let native = conv.convert(&wire).unwrap();
+        decode_native(&native, &dlay).unwrap()
+    }
+
+    fn mixed() -> Schema {
+        Schema::new(
+            "mixed",
+            vec![
+                FieldDecl::atom("tag", AtomType::Char),
+                FieldDecl::atom("x", AtomType::CDouble),
+                FieldDecl::atom("count", AtomType::CInt),
+                FieldDecl::atom("flag", AtomType::Bool),
+                FieldDecl::atom("id", AtomType::CLong),
+                FieldDecl::atom("ratio", AtomType::CFloat),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn mixed_value() -> RecordValue {
+        RecordValue::new()
+            .with("tag", Value::Char(b'Q'))
+            .with("x", -17.625f64)
+            .with("count", 123_456i32)
+            .with("flag", true)
+            .with("id", -98_765i64)
+            .with("ratio", 0.25f64)
+    }
+
+    #[test]
+    fn every_profile_pair_round_trips() {
+        let schema = mixed();
+        let value = mixed_value();
+        for sp in ArchProfile::all() {
+            for dp in ArchProfile::all() {
+                let got = convert_between(&schema, &schema, sp, dp, &value);
+                assert_eq!(got, value, "{} -> {}", sp.name, dp.name);
+            }
+        }
+    }
+
+    #[test]
+    fn negative_long_widens_correctly() {
+        // The paper's example conversion: 4-byte integer -> 8-byte integer.
+        let schema = Schema::new("l", vec![FieldDecl::atom("id", AtomType::CLong)]).unwrap();
+        let value = RecordValue::new().with("id", -1i64);
+        let got = convert_between(
+            &schema,
+            &schema,
+            &ArchProfile::SPARC_V8,  // long = 4, BE
+            &ArchProfile::X86_64,    // long = 8, LE
+            &value,
+        );
+        assert_eq!(got.get("id"), Some(&Value::I64(-1)));
+    }
+
+    #[test]
+    fn long_narrowing_truncates_like_c() {
+        let schema = Schema::new("l", vec![FieldDecl::atom("id", AtomType::CLong)]).unwrap();
+        // 2^33 + 5 does not fit in an i32; C truncation keeps the low bits.
+        let value = RecordValue::new().with("id", (1i64 << 33) + 5);
+        let got = convert_between(
+            &schema,
+            &schema,
+            &ArchProfile::X86_64,
+            &ArchProfile::SPARC_V8,
+            &value,
+        );
+        assert_eq!(got.get("id"), Some(&Value::I64(5)));
+    }
+
+    #[test]
+    fn unexpected_leading_field_still_converts() {
+        // Figure 6/7 scenario: sender prepends an unknown field.
+        let sender = mixed()
+            .with_field_prepended(FieldDecl::atom("extra", AtomType::CDouble))
+            .unwrap();
+        let mut value = mixed_value();
+        value.set("extra", 9.75f64);
+        let got = convert_between(&sender, &mixed(), &ArchProfile::X86, &ArchProfile::X86, &value);
+        assert_eq!(got, mixed_value());
+    }
+
+    #[test]
+    fn missing_field_zero_filled() {
+        let sender = mixed().without_field("count").unwrap();
+        let mut value = mixed_value();
+        let v = value.clone();
+        // Remove count from sender's data.
+        value = RecordValue::new();
+        for (n, val) in v.fields() {
+            if n != "count" {
+                value.set(n.clone(), val.clone());
+            }
+        }
+        let got = convert_between(&sender, &mixed(), &ArchProfile::SPARC_V8, &ArchProfile::X86, &value);
+        assert_eq!(got.get("count"), Some(&Value::I64(0)));
+        assert_eq!(got.get("x"), Some(&Value::F64(-17.625)));
+    }
+
+    #[test]
+    fn arrays_and_nested_records_convert() {
+        let inner = std::sync::Arc::new(
+            Schema::new(
+                "inner",
+                vec![
+                    FieldDecl::atom("a", AtomType::CShort),
+                    FieldDecl::atom("b", AtomType::CDouble),
+                ],
+            )
+            .unwrap(),
+        );
+        let schema = Schema::new(
+            "nested",
+            vec![
+                FieldDecl::new("pts", TypeDesc::array(AtomType::CDouble, 5)),
+                FieldDecl::new("in", TypeDesc::Record(inner)),
+            ],
+        )
+        .unwrap();
+        let value = RecordValue::new()
+            .with(
+                "pts",
+                Value::Array((0..5).map(|i| Value::F64(i as f64 * 1.5)).collect()),
+            )
+            .with(
+                "in",
+                Value::Record(RecordValue::new().with("a", -2i32).with("b", 6.5f64)),
+            );
+        let got = convert_between(
+            &schema,
+            &schema,
+            &ArchProfile::SPARC_V9_64,
+            &ArchProfile::X86,
+            &value,
+        );
+        assert_eq!(got, value);
+    }
+
+    #[test]
+    fn strings_and_var_arrays_convert() {
+        let schema = Schema::new(
+            "v",
+            vec![
+                FieldDecl::atom("n", AtomType::CInt),
+                FieldDecl::new(
+                    "data",
+                    TypeDesc::Var(Box::new(TypeDesc::Atom(AtomType::CDouble)), "n".into()),
+                ),
+                FieldDecl::new("label", TypeDesc::String),
+            ],
+        )
+        .unwrap();
+        let value = RecordValue::new()
+            .with("n", 4i32)
+            .with(
+                "data",
+                Value::Array(vec![1.0.into(), 2.0.into(), 3.0.into(), 4.0.into()]),
+            )
+            .with("label", "heterogeneous");
+        for (sp, dp) in [
+            (&ArchProfile::SPARC_V8, &ArchProfile::X86),
+            (&ArchProfile::X86, &ArchProfile::SPARC_V9_64),
+            (&ArchProfile::ALPHA, &ArchProfile::MIPS_N32),
+        ] {
+            let got = convert_between(&schema, &schema, sp, dp, &value);
+            assert_eq!(got, value, "{} -> {}", sp.name, dp.name);
+        }
+    }
+
+    #[test]
+    fn truncated_record_is_an_error_not_a_panic() {
+        let schema = mixed();
+        let slay = Arc::new(Layout::of(&schema, &ArchProfile::SPARC_V8).unwrap());
+        let dlay = Arc::new(Layout::of(&schema, &ArchProfile::X86).unwrap());
+        let wire = encode_native(&mixed_value(), &slay).unwrap();
+        let conv = InterpConverter::new(Arc::new(Plan::build(slay, dlay)));
+        for cut in [0, 1, wire.len() / 2, wire.len() - 1] {
+            assert!(
+                matches!(conv.convert(&wire[..cut]), Err(PbioError::TruncatedRecord { .. })),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_var_descriptor_is_an_error() {
+        let schema = Schema::new(
+            "v",
+            vec![
+                FieldDecl::atom("n", AtomType::CInt),
+                FieldDecl::new("label", TypeDesc::String),
+            ],
+        )
+        .unwrap();
+        let slay = Arc::new(Layout::of(&schema, &ArchProfile::X86).unwrap());
+        let dlay = Arc::new(Layout::of(&schema, &ArchProfile::SPARC_V8).unwrap());
+        let value = RecordValue::new().with("n", 1i32).with("label", "ok");
+        let mut wire = encode_native(&value, &slay).unwrap();
+        let off = slay.field("label").unwrap().offset;
+        prim::write_uint(&mut wire, off + 4, 4, slay.endianness(), 1 << 20); // huge count
+        let conv = InterpConverter::new(Arc::new(Plan::build(slay, dlay)));
+        assert!(matches!(conv.convert(&wire), Err(PbioError::TruncatedRecord { .. })));
+    }
+
+    #[test]
+    fn convert_into_reuses_buffer() {
+        let schema = mixed();
+        let slay = Arc::new(Layout::of(&schema, &ArchProfile::SPARC_V8).unwrap());
+        let dlay = Arc::new(Layout::of(&schema, &ArchProfile::X86).unwrap());
+        let wire = encode_native(&mixed_value(), &slay).unwrap();
+        let conv = InterpConverter::new(Arc::new(Plan::build(slay, dlay.clone())));
+        let mut buf = Vec::with_capacity(1024);
+        let cap_ptr = buf.as_ptr();
+        conv.convert_into(&wire, &mut buf).unwrap();
+        assert_eq!(buf.as_ptr(), cap_ptr, "no reallocation");
+        assert_eq!(decode_native(&buf, &dlay).unwrap(), mixed_value());
+    }
+}

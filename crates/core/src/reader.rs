@@ -1,0 +1,529 @@
+//! The receiving side: format discovery, conversion dispatch, zero-copy.
+//!
+//! A [`Reader`] declares the record formats it *expects* (by name, with the
+//! layout its own architecture gives them) and then consumes the message
+//! stream. For each incoming format it picks the cheapest correct path, in
+//! the order the paper describes:
+//!
+//! 1. **Zero-copy** — the wire layout is bit-identical to the expected
+//!    native layout (homogeneous exchange): records are used "directly from
+//!    the message buffer" (§1).
+//! 2. **DCG conversion** — a customized `pbio-vrisc` routine is generated
+//!    "on the fly, as soon as the wire format is known" (§4.3) and run per
+//!    record.
+//! 3. **Interpreted conversion** — the table-driven fallback, selectable for
+//!    comparison (Figure 4 measures 2 vs 3).
+//!
+//! Formats the reader has *no* expectation for are still fully usable via
+//! reflection ([`RecordView`] over the wire layout): "generic components
+//! \[may\] operate upon data about which they have no a priori knowledge"
+//! (§4.4).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pbio_types::arch::ArchProfile;
+use pbio_types::layout::Layout;
+use pbio_types::meta::deserialize_layout;
+use pbio_types::schema::Schema;
+
+use crate::codegen::{CodegenMode, DcgConverter};
+use crate::error::PbioError;
+use crate::interp::InterpConverter;
+use crate::message::{Message, MessageIter};
+use crate::plan::{FieldReport, Plan};
+use crate::view::RecordView;
+
+/// Which conversion backend the reader builds for mismatched layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConversionMode {
+    /// Table-driven interpretation (the paper's baseline PBIO, Figure 3).
+    Interpreted,
+    /// Dynamic code generation without peephole optimization.
+    DcgNaive,
+    /// Dynamic code generation with peephole optimization (Figure 4's
+    /// "PBIO DCG"; the default).
+    Dcg,
+}
+
+enum Prepared {
+    /// Wire == native: hand out the receive buffer.
+    ZeroCopy { native: Arc<Layout> },
+    /// Interpreted conversion per record.
+    Interp { conv: InterpConverter, native: Arc<Layout> },
+    /// Compiled conversion per record.
+    Dcg { conv: Box<DcgConverter>, native: Arc<Layout> },
+    /// No expectation declared: reflection over the wire layout.
+    Reflect,
+}
+
+struct IncomingFormat {
+    wire: Arc<Layout>,
+    plan: Option<Arc<Plan>>,
+    prepared: Prepared,
+}
+
+/// The receiving endpoint of a PBIO stream.
+pub struct Reader {
+    profile: ArchProfile,
+    mode: ConversionMode,
+    expected: HashMap<String, Arc<Layout>>,
+    incoming: HashMap<u32, IncomingFormat>,
+    scratch: Vec<u8>,
+}
+
+impl Reader {
+    /// Create a reader with the default (optimized DCG) conversion mode.
+    pub fn new(profile: &ArchProfile) -> Reader {
+        Reader::with_mode(profile, ConversionMode::Dcg)
+    }
+
+    /// Create a reader with an explicit conversion mode.
+    pub fn with_mode(profile: &ArchProfile, mode: ConversionMode) -> Reader {
+        Reader {
+            profile: profile.clone(),
+            mode,
+            expected: HashMap::new(),
+            incoming: HashMap::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The reader's architecture.
+    pub fn profile(&self) -> &ArchProfile {
+        &self.profile
+    }
+
+    /// The conversion mode in force for newly discovered formats.
+    pub fn mode(&self) -> ConversionMode {
+        self.mode
+    }
+
+    /// Declare a record format this reader wants, laid out for its own
+    /// architecture. Matching is by format *name*; fields are later matched
+    /// by field name.
+    pub fn expect(&mut self, schema: &Schema) -> Result<(), PbioError> {
+        let layout = Arc::new(Layout::of(schema, &self.profile)?);
+        self.expected.insert(schema.name().to_owned(), layout);
+        Ok(())
+    }
+
+    /// Handle a format-registration message: deserialize the wire layout and
+    /// prepare the receive path (plan + converter) once.
+    pub fn on_format(&mut self, id: u32, meta: &[u8]) -> Result<Arc<Layout>, PbioError> {
+        let wire = Arc::new(deserialize_layout(meta)?);
+        let (plan, prepared) = match self.expected.get(wire.format_name()) {
+            None => (None, Prepared::Reflect),
+            Some(native) => {
+                let plan = Arc::new(Plan::build(wire.clone(), native.clone()));
+                let prepared = if plan.zero_copy {
+                    Prepared::ZeroCopy { native: native.clone() }
+                } else {
+                    match self.mode {
+                        ConversionMode::Interpreted => Prepared::Interp {
+                            conv: InterpConverter::new(plan.clone()),
+                            native: native.clone(),
+                        },
+                        ConversionMode::DcgNaive => Prepared::Dcg {
+                            conv: Box::new(DcgConverter::compile(plan.clone(), CodegenMode::Naive)?),
+                            native: native.clone(),
+                        },
+                        ConversionMode::Dcg => Prepared::Dcg {
+                            conv: Box::new(DcgConverter::compile(plan.clone(), CodegenMode::Optimized)?),
+                            native: native.clone(),
+                        },
+                    }
+                };
+                (Some(plan), prepared)
+            }
+        };
+        self.incoming.insert(id, IncomingFormat { wire: wire.clone(), plan, prepared });
+        Ok(wire)
+    }
+
+    /// Handle one data message, producing a [`RecordView`]. On the zero-copy
+    /// path the view borrows `payload`; otherwise it borrows the reader's
+    /// reusable conversion buffer (PBIO reuses buffers rather than
+    /// allocating per record, unlike MPICH — §4.3).
+    pub fn on_data<'a>(&'a mut self, id: u32, payload: &'a [u8]) -> Result<RecordView<'a>, PbioError> {
+        // Split the borrow: converters read `incoming`, conversion output
+        // goes to `scratch`.
+        let Reader { incoming, scratch, .. } = self;
+        let entry = incoming.get(&id).ok_or(PbioError::UnknownFormat(id))?;
+        match &entry.prepared {
+            Prepared::ZeroCopy { native } => {
+                if payload.len() < native.size() {
+                    return Err(PbioError::TruncatedRecord {
+                        need: native.size(),
+                        have: payload.len(),
+                        context: "zero-copy receive".into(),
+                    });
+                }
+                Ok(RecordView::borrowed(payload, native.clone()))
+            }
+            Prepared::Interp { conv, native } => {
+                conv.convert_into(payload, scratch)?;
+                Ok(RecordView::converted(scratch, native.clone()))
+            }
+            Prepared::Dcg { conv, native } => {
+                conv.convert_into(payload, scratch)?;
+                Ok(RecordView::converted(scratch, native.clone()))
+            }
+            Prepared::Reflect => {
+                if payload.len() < entry.wire.size() {
+                    return Err(PbioError::TruncatedRecord {
+                        need: entry.wire.size(),
+                        have: payload.len(),
+                        context: "reflective receive".into(),
+                    });
+                }
+                Ok(RecordView::borrowed(payload, entry.wire.clone()))
+            }
+        }
+    }
+
+    /// Process every complete message in `stream`, invoking `on_record` for
+    /// each data record. Returns the number of bytes consumed (callers keep
+    /// the unconsumed tail for the next read).
+    pub fn process<F>(&mut self, stream: &[u8], mut on_record: F) -> Result<usize, PbioError>
+    where
+        F: FnMut(RecordView<'_>),
+    {
+        let mut iter = MessageIter::new(stream);
+        let mut pending: Vec<(u32, std::ops::Range<usize>)> = Vec::new();
+        for msg in iter.by_ref() {
+            match msg? {
+                Message::Format { id, meta } => {
+                    self.on_format(id, meta)?;
+                }
+                Message::Data { id, payload } => {
+                    let start = payload.as_ptr() as usize - stream.as_ptr() as usize;
+                    pending.push((id, start..start + payload.len()));
+                }
+            }
+        }
+        let consumed = iter.consumed();
+        for (id, range) in pending {
+            let view = self.on_data(id, &stream[range.clone()])?;
+            on_record(view);
+        }
+        Ok(consumed)
+    }
+
+    /// The wire layout of a discovered format — PBIO *reflection*: "message
+    /// formats \[can\] be inspected before the message is received" (§4.4).
+    pub fn wire_layout(&self, id: u32) -> Option<&Arc<Layout>> {
+        self.incoming.get(&id).map(|f| &f.wire)
+    }
+
+    /// Per-field match report for a discovered format (None until the format
+    /// is seen, or when the reader had no expectation for it).
+    pub fn field_reports(&self, id: u32) -> Option<&[FieldReport]> {
+        self.incoming
+            .get(&id)
+            .and_then(|f| f.plan.as_deref())
+            .map(|p| p.reports.as_slice())
+    }
+
+    /// Whether records of `id` take the zero-copy path.
+    pub fn is_zero_copy(&self, id: u32) -> bool {
+        matches!(
+            self.incoming.get(&id).map(|f| &f.prepared),
+            Some(Prepared::ZeroCopy { .. })
+        )
+    }
+
+    /// DCG statistics for a format (None unless a DCG converter was built).
+    pub fn dcg_stats(&self, id: u32) -> Option<crate::codegen::CompileStats> {
+        match self.incoming.get(&id).map(|f| &f.prepared) {
+            Some(Prepared::Dcg { conv, .. }) => Some(*conv.stats()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::Writer;
+    use pbio_types::schema::{AtomType, FieldDecl};
+    use pbio_types::value::{RecordValue, Value};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "reading",
+            vec![
+                FieldDecl::atom("seq", AtomType::CInt),
+                FieldDecl::atom("t", AtomType::CDouble),
+                FieldDecl::atom("id", AtomType::CLong),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn value() -> RecordValue {
+        RecordValue::new()
+            .with("seq", 42i32)
+            .with("t", 98.6f64)
+            .with("id", -4i64)
+    }
+
+    fn exchange(sp: &ArchProfile, dp: &ArchProfile, mode: ConversionMode) -> (Reader, Vec<u8>) {
+        let mut w = Writer::new(sp);
+        let id = w.register(&schema()).unwrap();
+        let mut stream = Vec::new();
+        w.write_value(id, &value(), &mut stream).unwrap();
+        let mut r = Reader::with_mode(dp, mode);
+        r.expect(&schema()).unwrap();
+        (r, stream)
+    }
+
+    #[test]
+    fn homogeneous_exchange_is_zero_copy() {
+        let (mut r, stream) = exchange(&ArchProfile::SPARC_V8, &ArchProfile::SPARC_V8, ConversionMode::Dcg);
+        let mut seen = 0;
+        r.process(&stream, |view| {
+            assert!(view.is_zero_copy());
+            assert_eq!(view.get("seq"), Some(Value::I64(42)));
+            assert_eq!(view.get("t"), Some(Value::F64(98.6)));
+            seen += 1;
+        })
+        .unwrap();
+        assert_eq!(seen, 1);
+        assert!(r.is_zero_copy(0));
+    }
+
+    #[test]
+    fn heterogeneous_exchange_converts_under_all_modes() {
+        for mode in [ConversionMode::Interpreted, ConversionMode::DcgNaive, ConversionMode::Dcg] {
+            let (mut r, stream) = exchange(&ArchProfile::SPARC_V8, &ArchProfile::X86_64, mode);
+            let mut seen = 0;
+            r.process(&stream, |view| {
+                assert!(!view.is_zero_copy());
+                assert_eq!(view.get("seq"), Some(Value::I64(42)));
+                assert_eq!(view.get("t"), Some(Value::F64(98.6)));
+                assert_eq!(view.get("id"), Some(Value::I64(-4)));
+                seen += 1;
+            })
+            .unwrap();
+            assert_eq!(seen, 1, "{mode:?}");
+            assert!(!r.is_zero_copy(0));
+        }
+    }
+
+    #[test]
+    fn reflection_reads_unknown_formats() {
+        let mut w = Writer::new(&ArchProfile::SPARC_V8);
+        let id = w.register(&schema()).unwrap();
+        let mut stream = Vec::new();
+        w.write_value(id, &value(), &mut stream).unwrap();
+
+        // Receiver never declared any expectation.
+        let mut r = Reader::new(&ArchProfile::X86);
+        let mut names = Vec::new();
+        r.process(&stream, |view| {
+            // Reflection: enumerate fields from the wire layout.
+            for f in view.layout().fields() {
+                names.push(f.name.clone());
+            }
+            assert_eq!(view.get("t"), Some(Value::F64(98.6)));
+        })
+        .unwrap();
+        assert_eq!(names, vec!["seq", "t", "id"]);
+        assert_eq!(r.wire_layout(0).unwrap().arch_name(), "sparc-v8");
+    }
+
+    #[test]
+    fn type_extension_ignores_new_fields() {
+        // Sender evolves: adds a field the receiver doesn't know.
+        let extended = schema()
+            .with_field_appended(FieldDecl::atom("extra", AtomType::CDouble))
+            .unwrap();
+        let mut w = Writer::new(&ArchProfile::X86);
+        let id = w.register(&extended).unwrap();
+        let mut v = value();
+        v.set("extra", 7.5f64);
+        let mut stream = Vec::new();
+        w.write_value(id, &v, &mut stream).unwrap();
+
+        let mut r = Reader::new(&ArchProfile::X86);
+        r.expect(&schema()).unwrap();
+        let mut seen = 0;
+        r.process(&stream, |view| {
+            assert_eq!(view.get("seq"), Some(Value::I64(42)));
+            assert_eq!(view.get("extra"), None, "unknown field invisible to old receiver");
+            seen += 1;
+        })
+        .unwrap();
+        assert_eq!(seen, 1);
+        let reports = r.field_reports(0).unwrap();
+        assert!(reports.iter().all(|rep| rep.status == crate::plan::FieldStatus::Matched));
+    }
+
+    #[test]
+    fn appended_extension_keeps_zero_copy_path() {
+        // §4.4's recommended evolution: appending fields leaves homogeneous
+        // receivers on the zero-copy path.
+        let extended = schema()
+            .with_field_appended(FieldDecl::atom("extra", AtomType::CDouble))
+            .unwrap();
+        let mut w = Writer::new(&ArchProfile::X86_64);
+        let id = w.register(&extended).unwrap();
+        let mut v = value();
+        v.set("extra", 1.5f64);
+        let mut stream = Vec::new();
+        w.write_value(id, &v, &mut stream).unwrap();
+
+        let mut r = Reader::new(&ArchProfile::X86_64);
+        r.expect(&schema()).unwrap();
+        let mut seen = 0;
+        r.process(&stream, |view| {
+            assert!(view.is_zero_copy(), "appended extension must stay zero-copy");
+            assert_eq!(view.get("seq"), Some(Value::I64(42)));
+            seen += 1;
+        })
+        .unwrap();
+        assert_eq!(seen, 1);
+        assert!(r.is_zero_copy(0));
+
+        // Prepending instead forces a conversion.
+        let prepended = schema()
+            .with_field_prepended(FieldDecl::atom("extra", AtomType::CDouble))
+            .unwrap();
+        let mut w2 = Writer::new(&ArchProfile::X86_64);
+        let id2 = w2.register(&prepended).unwrap();
+        let mut stream2 = Vec::new();
+        w2.write_value(id2, &v, &mut stream2).unwrap();
+        let mut r2 = Reader::new(&ArchProfile::X86_64);
+        r2.expect(&schema()).unwrap();
+        r2.process(&stream2, |view| {
+            assert!(!view.is_zero_copy());
+            assert_eq!(view.get("seq"), Some(Value::I64(42)));
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn missing_field_reported_and_defaulted() {
+        let reduced = schema().without_field("id").unwrap();
+        let mut w = Writer::new(&ArchProfile::X86);
+        let id = w.register(&reduced).unwrap();
+        let mut v = RecordValue::new().with("seq", 1i32).with("t", 2.0f64);
+        let mut stream = Vec::new();
+        w.write_value(id, &v, &mut stream).unwrap();
+        v.set("id", 0i64);
+
+        let mut r = Reader::new(&ArchProfile::SPARC_V8);
+        r.expect(&schema()).unwrap();
+        r.process(&stream, |view| {
+            assert_eq!(view.get("id"), Some(Value::I64(0)));
+        })
+        .unwrap();
+        let reports = r.field_reports(0).unwrap();
+        assert_eq!(
+            reports.iter().find(|rep| rep.name == "id").unwrap().status,
+            crate::plan::FieldStatus::Missing
+        );
+    }
+
+    #[test]
+    fn data_before_format_is_an_error() {
+        let mut r = Reader::new(&ArchProfile::X86);
+        assert!(matches!(r.on_data(3, &[0u8; 16]), Err(PbioError::UnknownFormat(3))));
+    }
+
+    #[test]
+    fn re_registration_replaces_format_binding() {
+        // A sender restarts and reuses id 0 for a *different* layout (e.g.
+        // recompiled on another architecture). The reader must rebind.
+        let mut w1 = Writer::new(&ArchProfile::SPARC_V8);
+        let id1 = w1.register(&schema()).unwrap();
+        let mut s1 = Vec::new();
+        w1.write_value(id1, &value(), &mut s1).unwrap();
+
+        let mut w2 = Writer::new(&ArchProfile::X86_64);
+        let id2 = w2.register(&schema()).unwrap();
+        assert_eq!(id1, id2, "both local writers start at id 0");
+        let mut s2 = Vec::new();
+        w2.write_value(id2, &value(), &mut s2).unwrap();
+
+        let mut r = Reader::new(&ArchProfile::X86);
+        r.expect(&schema()).unwrap();
+        let mut seen = 0;
+        r.process(&s1, |view| {
+            assert_eq!(view.get("t"), Some(Value::F64(98.6)));
+            seen += 1;
+        })
+        .unwrap();
+        assert_eq!(r.wire_layout(0).unwrap().arch_name(), "sparc-v8");
+        r.process(&s2, |view| {
+            assert_eq!(view.get("t"), Some(Value::F64(98.6)));
+            seen += 1;
+        })
+        .unwrap();
+        assert_eq!(r.wire_layout(0).unwrap().arch_name(), "x86-64");
+        assert_eq!(seen, 2);
+    }
+
+    #[test]
+    fn incompatible_shape_zero_fills_and_reports() {
+        // Sender's "t" is an array; receiver expects a scalar: the field is
+        // defaulted and reported Incompatible, everything else converts.
+        let sender = Schema::new(
+            "reading",
+            vec![
+                FieldDecl::atom("seq", AtomType::CInt),
+                FieldDecl::new("t", pbio_types::schema::TypeDesc::array(AtomType::CDouble, 2)),
+                FieldDecl::atom("id", AtomType::CLong),
+            ],
+        )
+        .unwrap();
+        let mut w = Writer::new(&ArchProfile::X86);
+        let fmt = w.register(&sender).unwrap();
+        let v = RecordValue::new()
+            .with("seq", 42i32)
+            .with("t", Value::Array(vec![1.0.into(), 2.0.into()]))
+            .with("id", -4i64);
+        let mut stream = Vec::new();
+        w.write_value(fmt, &v, &mut stream).unwrap();
+
+        let mut r = Reader::new(&ArchProfile::SPARC_V8);
+        r.expect(&schema()).unwrap();
+        r.process(&stream, |view| {
+            assert_eq!(view.get("seq"), Some(Value::I64(42)));
+            assert_eq!(view.get("t"), Some(Value::F64(0.0)), "incompatible -> default");
+            assert_eq!(view.get("id"), Some(Value::I64(-4)));
+        })
+        .unwrap();
+        let reports = r.field_reports(0).unwrap();
+        assert_eq!(
+            reports.iter().find(|rep| rep.name == "t").unwrap().status,
+            crate::plan::FieldStatus::Incompatible
+        );
+    }
+
+    #[test]
+    fn partial_stream_reports_consumed() {
+        let (mut r, stream) = exchange(&ArchProfile::X86, &ArchProfile::X86, ConversionMode::Dcg);
+        // Feed all but the last byte: only the format message completes.
+        let cut = stream.len() - 1;
+        let consumed = r.process(&stream[..cut], |_| panic!("no complete record")).unwrap();
+        assert!(consumed < cut);
+        // Feeding the remainder from `consumed` yields the record.
+        let mut seen = 0;
+        r.process(&stream[consumed..], |_| seen += 1).unwrap();
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn dcg_stats_exposed_for_heterogeneous_formats() {
+        let (mut r, stream) = exchange(&ArchProfile::SPARC_V8, &ArchProfile::X86, ConversionMode::Dcg);
+        r.process(&stream, |_| {}).unwrap();
+        let stats = r.dcg_stats(0).unwrap();
+        assert!(stats.program_len > 0);
+        let (mut r2, stream2) =
+            exchange(&ArchProfile::SPARC_V8, &ArchProfile::SPARC_V8, ConversionMode::Dcg);
+        r2.process(&stream2, |_| {}).unwrap();
+        assert!(r2.dcg_stats(0).is_none(), "zero-copy path compiles nothing");
+    }
+}

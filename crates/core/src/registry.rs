@@ -1,0 +1,156 @@
+//! The format server: a shared, thread-safe format registry.
+//!
+//! Deployed PBIO used a *format server* so that all communicating parties
+//! agree on compact format identifiers and format meta-information is
+//! stored (and converters are built) once per distinct format, not once per
+//! connection. This module provides that component for in-process use:
+//! many [`crate::Writer`]s (e.g. one per connection, across threads) share
+//! one [`FormatServer`], so identical layouts get identical ids and their
+//! serialized metadata is computed exactly once.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use pbio_types::layout::Layout;
+use pbio_types::meta::serialize_layout;
+
+#[derive(Default)]
+struct Inner {
+    /// serialized metadata -> id (exact-match dedup).
+    by_meta: HashMap<Vec<u8>, u32>,
+    /// id -> (layout, serialized metadata).
+    by_id: HashMap<u32, (Arc<Layout>, Arc<Vec<u8>>)>,
+    next: u32,
+}
+
+/// A shared registry assigning stable ids to distinct wire formats.
+#[derive(Default)]
+pub struct FormatServer {
+    inner: RwLock<Inner>,
+}
+
+impl FormatServer {
+    /// Create a new, empty format server.
+    pub fn new() -> Arc<FormatServer> {
+        Arc::new(FormatServer::default())
+    }
+
+    /// Register a layout: returns its id, the (shared) serialized metadata,
+    /// and whether this call created a new entry. Identical layouts — same
+    /// fields, offsets, byte order, names — always receive the same id.
+    pub fn register(&self, layout: &Arc<Layout>) -> (u32, Arc<Vec<u8>>, bool) {
+        let meta = serialize_layout(layout);
+        {
+            let inner = self.inner.read();
+            if let Some(&id) = inner.by_meta.get(&meta) {
+                let (_, shared) = &inner.by_id[&id];
+                return (id, shared.clone(), false);
+            }
+        }
+        let mut inner = self.inner.write();
+        // Double-checked: another thread may have registered meanwhile.
+        if let Some(&id) = inner.by_meta.get(&meta) {
+            let (_, shared) = &inner.by_id[&id];
+            return (id, shared.clone(), false);
+        }
+        let id = inner.next;
+        inner.next += 1;
+        let shared = Arc::new(meta.clone());
+        inner.by_meta.insert(meta, id);
+        inner.by_id.insert(id, (layout.clone(), shared.clone()));
+        (id, shared, true)
+    }
+
+    /// Look up a layout by id.
+    pub fn lookup(&self, id: u32) -> Option<Arc<Layout>> {
+        self.inner.read().by_id.get(&id).map(|(l, _)| l.clone())
+    }
+
+    /// Serialized metadata for an id.
+    pub fn meta(&self, id: u32) -> Option<Arc<Vec<u8>>> {
+        self.inner.read().by_id.get(&id).map(|(_, m)| m.clone())
+    }
+
+    /// Number of distinct registered formats.
+    pub fn len(&self) -> usize {
+        self.inner.read().by_id.len()
+    }
+
+    /// True if nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbio_types::arch::ArchProfile;
+    use pbio_types::schema::{AtomType, FieldDecl, Schema};
+
+    fn layout(name: &str, profile: &ArchProfile) -> Arc<Layout> {
+        let s = Schema::new(
+            name,
+            vec![
+                FieldDecl::atom("a", AtomType::CInt),
+                FieldDecl::atom("b", AtomType::CDouble),
+            ],
+        )
+        .unwrap();
+        Arc::new(Layout::of(&s, profile).unwrap())
+    }
+
+    #[test]
+    fn identical_layouts_share_an_id() {
+        let server = FormatServer::new();
+        let l1 = layout("m", &ArchProfile::SPARC_V8);
+        let l2 = layout("m", &ArchProfile::SPARC_V8);
+        let (id1, meta1, new1) = server.register(&l1);
+        let (id2, meta2, new2) = server.register(&l2);
+        assert_eq!(id1, id2);
+        assert!(new1);
+        assert!(!new2);
+        assert!(Arc::ptr_eq(&meta1, &meta2), "metadata computed once");
+        assert_eq!(server.len(), 1);
+    }
+
+    #[test]
+    fn different_layouts_get_different_ids() {
+        let server = FormatServer::new();
+        let (a, _, _) = server.register(&layout("m", &ArchProfile::SPARC_V8));
+        let (b, _, _) = server.register(&layout("m", &ArchProfile::X86));
+        let (c, _, _) = server.register(&layout("other", &ArchProfile::SPARC_V8));
+        assert_ne!(a, b, "different architecture -> different format");
+        assert_ne!(a, c, "different name -> different format");
+        assert_eq!(server.len(), 3);
+    }
+
+    #[test]
+    fn lookup_round_trips() {
+        let server = FormatServer::new();
+        let l = layout("m", &ArchProfile::ALPHA);
+        let (id, meta, _) = server.register(&l);
+        assert_eq!(server.lookup(id).as_deref(), Some(&*l));
+        assert_eq!(server.meta(id), Some(meta));
+        assert_eq!(server.lookup(999), None);
+        assert_eq!(server.meta(999), None);
+    }
+
+    #[test]
+    fn concurrent_registration_is_consistent() {
+        let server = FormatServer::new();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let server = server.clone();
+            handles.push(std::thread::spawn(move || {
+                let l = layout("shared", &ArchProfile::X86_64);
+                server.register(&l).0
+            }));
+        }
+        let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]), "{ids:?}");
+        assert_eq!(server.len(), 1);
+    }
+}

@@ -1,0 +1,319 @@
+//! Zero-copy record views and typed field handles.
+//!
+//! When sender and receiver representations match, PBIO lets "received data
+//! … be used directly from the message buffer" (§1). A [`RecordView`] is
+//! that capability: it wraps bytes (borrowed straight from the receive
+//! buffer on the zero-copy path, or owned after conversion) together with
+//! the layout describing them, and offers field access without any up-front
+//! decoding.
+//!
+//! [`FieldHandle`]s are the fast path: resolve a field once, then read it
+//! per record with a couple of loads — the moral equivalent of a C program
+//! casting the buffer to `struct foo *` and dereferencing members.
+
+use std::borrow::Cow;
+use std::sync::Arc;
+
+use pbio_types::arch::Endianness;
+use pbio_types::error::TypeError;
+use pbio_types::layout::{ConcreteType, Layout};
+use pbio_types::prim;
+use pbio_types::value::{decode_native, RecordValue, Value};
+
+/// A record's bytes plus the layout that gives them meaning.
+#[derive(Debug, Clone)]
+pub struct RecordView<'a> {
+    bytes: Cow<'a, [u8]>,
+    layout: Arc<Layout>,
+    zero_copy: bool,
+}
+
+impl<'a> RecordView<'a> {
+    /// A view borrowing directly from the receive buffer (homogeneous path).
+    pub fn borrowed(bytes: &'a [u8], layout: Arc<Layout>) -> RecordView<'a> {
+        RecordView { bytes: Cow::Borrowed(bytes), layout, zero_copy: true }
+    }
+
+    /// A view over converted (owned) bytes.
+    pub fn owned(bytes: Vec<u8>, layout: Arc<Layout>) -> RecordView<'static> {
+        RecordView { bytes: Cow::Owned(bytes), layout, zero_copy: false }
+    }
+
+    /// A view over converted bytes held in a caller-owned scratch buffer
+    /// (borrowed, but *not* zero-copy: a conversion produced these bytes).
+    pub fn converted(bytes: &'a [u8], layout: Arc<Layout>) -> RecordView<'a> {
+        RecordView { bytes: Cow::Borrowed(bytes), layout, zero_copy: false }
+    }
+
+    /// The raw native image.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The layout describing [`RecordView::bytes`].
+    pub fn layout(&self) -> &Arc<Layout> {
+        &self.layout
+    }
+
+    /// True if this view aliases the receive buffer (no copy, no conversion
+    /// happened — the paper's homogeneous fast path).
+    pub fn is_zero_copy(&self) -> bool {
+        self.zero_copy
+    }
+
+    /// Resolve a field into a reusable [`FieldHandle`].
+    pub fn handle(&self, name: &str) -> Option<FieldHandle> {
+        FieldHandle::resolve(&self.layout, name)
+    }
+
+    /// Read one field dynamically (reflection-style access).
+    pub fn get(&self, name: &str) -> Option<Value> {
+        let field = self.layout.field(name)?;
+        read_value(&self.bytes, &field.ty, field.offset, self.layout.endianness()).ok()
+    }
+
+    /// Decode the whole record into a [`RecordValue`].
+    pub fn to_value(&self) -> Result<RecordValue, TypeError> {
+        decode_native(&self.bytes, &self.layout)
+    }
+
+    /// Convert into an owned view (copies if currently borrowed).
+    pub fn into_owned(self) -> RecordView<'static> {
+        RecordView {
+            bytes: Cow::Owned(self.bytes.into_owned()),
+            layout: self.layout,
+            zero_copy: false,
+        }
+    }
+}
+
+fn read_value(
+    bytes: &[u8],
+    ty: &ConcreteType,
+    offset: usize,
+    endian: Endianness,
+) -> Result<Value, TypeError> {
+    // Reuse the decoder in pbio-types by decoding a single-field record
+    // would allocate; instead mirror the scalar fast cases and fall back to
+    // decode for aggregates.
+    match ty {
+        ConcreteType::Int { bytes: w, signed: true } => {
+            check(bytes, offset, *w as usize)?;
+            Ok(Value::I64(prim::read_int(bytes, offset, *w, endian)))
+        }
+        ConcreteType::Int { bytes: w, signed: false } => {
+            check(bytes, offset, *w as usize)?;
+            Ok(Value::U64(prim::read_uint(bytes, offset, *w, endian)))
+        }
+        ConcreteType::Float { bytes: w } => {
+            check(bytes, offset, *w as usize)?;
+            Ok(Value::F64(prim::read_float(bytes, offset, *w, endian)))
+        }
+        ConcreteType::Char => {
+            check(bytes, offset, 1)?;
+            Ok(Value::Char(bytes[offset]))
+        }
+        ConcreteType::Bool => {
+            check(bytes, offset, 1)?;
+            Ok(Value::Bool(bytes[offset] != 0))
+        }
+        ConcreteType::FixedArray { elem, count, stride } => {
+            let mut items = Vec::with_capacity(*count);
+            for i in 0..*count {
+                items.push(read_value(bytes, elem, offset + i * stride, endian)?);
+            }
+            Ok(Value::Array(items))
+        }
+        ConcreteType::Record(sub) => {
+            let mut rv = RecordValue::new();
+            for f in sub.fields() {
+                rv.set(f.name.clone(), read_value(bytes, &f.ty, offset + f.offset, endian)?);
+            }
+            Ok(Value::Record(rv))
+        }
+        ConcreteType::String => {
+            check(bytes, offset, 8)?;
+            let start = prim::read_uint(bytes, offset, 4, endian) as usize;
+            let count = prim::read_uint(bytes, offset + 4, 4, endian) as usize;
+            check(bytes, start, count)?;
+            let s = std::str::from_utf8(&bytes[start..start + count])
+                .map_err(|_| TypeError::BadMeta("string payload is not UTF-8".into()))?;
+            Ok(Value::Str(s.to_owned()))
+        }
+        ConcreteType::VarArray { elem, stride, .. } => {
+            check(bytes, offset, 8)?;
+            let start = prim::read_uint(bytes, offset, 4, endian) as usize;
+            let count = prim::read_uint(bytes, offset + 4, 4, endian) as usize;
+            check(bytes, start, count.saturating_mul(*stride))?;
+            let mut items = Vec::with_capacity(count);
+            for i in 0..count {
+                items.push(read_value(bytes, elem, start + i * stride, endian)?);
+            }
+            Ok(Value::Array(items))
+        }
+    }
+}
+
+fn check(bytes: &[u8], offset: usize, len: usize) -> Result<(), TypeError> {
+    if offset.checked_add(len).is_none_or(|e| e > bytes.len()) {
+        return Err(TypeError::Truncated { context: format!("field access at offset {offset}") });
+    }
+    Ok(())
+}
+
+/// What a [`FieldHandle`] reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HandleKind {
+    Signed(u8),
+    Unsigned(u8),
+    Float(u8),
+    Char,
+    Bool,
+    Str,
+    Other,
+}
+
+/// A pre-resolved accessor for one scalar or string field: offset and shape
+/// are looked up once, reads are then branch-light.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldHandle {
+    offset: usize,
+    endian: Endianness,
+    kind: HandleKind,
+}
+
+impl FieldHandle {
+    /// Resolve `name` against `layout`.
+    pub fn resolve(layout: &Layout, name: &str) -> Option<FieldHandle> {
+        let f = layout.field(name)?;
+        let kind = match &f.ty {
+            ConcreteType::Int { bytes, signed: true } => HandleKind::Signed(*bytes),
+            ConcreteType::Int { bytes, signed: false } => HandleKind::Unsigned(*bytes),
+            ConcreteType::Float { bytes } => HandleKind::Float(*bytes),
+            ConcreteType::Char => HandleKind::Char,
+            ConcreteType::Bool => HandleKind::Bool,
+            ConcreteType::String => HandleKind::Str,
+            _ => HandleKind::Other,
+        };
+        Some(FieldHandle { offset: f.offset, endian: layout.endianness(), kind })
+    }
+
+    /// Read as a signed integer (integers, chars and bools widen).
+    pub fn read_i64(&self, bytes: &[u8]) -> Option<i64> {
+        match self.kind {
+            HandleKind::Signed(w) => Some(prim::read_int(bytes, self.offset, w, self.endian)),
+            HandleKind::Unsigned(w) => {
+                i64::try_from(prim::read_uint(bytes, self.offset, w, self.endian)).ok()
+            }
+            HandleKind::Char | HandleKind::Bool => Some(bytes[self.offset] as i64),
+            _ => None,
+        }
+    }
+
+    /// Read as a float.
+    pub fn read_f64(&self, bytes: &[u8]) -> Option<f64> {
+        match self.kind {
+            HandleKind::Float(w) => Some(prim::read_float(bytes, self.offset, w, self.endian)),
+            _ => None,
+        }
+    }
+
+    /// Read a string field.
+    pub fn read_str<'b>(&self, bytes: &'b [u8]) -> Option<&'b str> {
+        if self.kind != HandleKind::Str {
+            return None;
+        }
+        let start = prim::read_uint(bytes, self.offset, 4, self.endian) as usize;
+        let count = prim::read_uint(bytes, self.offset + 4, 4, self.endian) as usize;
+        std::str::from_utf8(bytes.get(start..start + count)?).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbio_types::arch::ArchProfile;
+    use pbio_types::schema::{AtomType, FieldDecl, Schema, TypeDesc};
+    use pbio_types::value::encode_native;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "s",
+            vec![
+                FieldDecl::atom("a", AtomType::CInt),
+                FieldDecl::atom("b", AtomType::CDouble),
+                FieldDecl::atom("c", AtomType::Char),
+                FieldDecl::atom("d", AtomType::Bool),
+                FieldDecl::new("v", TypeDesc::array(AtomType::CFloat, 3)),
+                FieldDecl::new("s", TypeDesc::String),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn value() -> RecordValue {
+        RecordValue::new()
+            .with("a", -5i32)
+            .with("b", 3.5f64)
+            .with("c", Value::Char(b'x'))
+            .with("d", true)
+            .with("v", Value::Array(vec![1.0.into(), 2.0.into(), 3.0.into()]))
+            .with("s", "zero copy")
+    }
+
+    #[test]
+    fn views_read_fields_on_all_profiles() {
+        for p in ArchProfile::all() {
+            let layout = Arc::new(Layout::of(&schema(), p).unwrap());
+            let img = encode_native(&value(), &layout).unwrap();
+            let view = RecordView::borrowed(&img, layout);
+            assert!(view.is_zero_copy());
+            assert_eq!(view.get("a"), Some(Value::I64(-5)));
+            assert_eq!(view.get("b"), Some(Value::F64(3.5)));
+            assert_eq!(view.get("c"), Some(Value::Char(b'x')));
+            assert_eq!(view.get("d"), Some(Value::Bool(true)));
+            assert_eq!(view.get("s"), Some(Value::Str("zero copy".into())));
+            assert_eq!(
+                view.get("v"),
+                Some(Value::Array(vec![1.0.into(), 2.0.into(), 3.0.into()]))
+            );
+            assert_eq!(view.get("nope"), None);
+            assert_eq!(view.to_value().unwrap(), value());
+        }
+    }
+
+    #[test]
+    fn handles_are_fast_path_equivalents() {
+        let layout = Arc::new(Layout::of(&schema(), &ArchProfile::SPARC_V8).unwrap());
+        let img = encode_native(&value(), &layout).unwrap();
+        let view = RecordView::borrowed(&img, layout);
+        let ha = view.handle("a").unwrap();
+        let hb = view.handle("b").unwrap();
+        let hs = view.handle("s").unwrap();
+        assert_eq!(ha.read_i64(view.bytes()), Some(-5));
+        assert_eq!(ha.read_f64(view.bytes()), None);
+        assert_eq!(hb.read_f64(view.bytes()), Some(3.5));
+        assert_eq!(hs.read_str(view.bytes()), Some("zero copy"));
+        assert_eq!(hs.read_i64(view.bytes()), None);
+    }
+
+    #[test]
+    fn owned_views_are_not_zero_copy() {
+        let layout = Arc::new(Layout::of(&schema(), &ArchProfile::X86).unwrap());
+        let img = encode_native(&value(), &layout).unwrap();
+        let view = RecordView::owned(img, layout);
+        assert!(!view.is_zero_copy());
+        assert_eq!(view.get("a"), Some(Value::I64(-5)));
+        let owned = view.into_owned();
+        assert!(!owned.is_zero_copy());
+    }
+
+    #[test]
+    fn truncated_view_reads_fail_cleanly() {
+        let layout = Arc::new(Layout::of(&schema(), &ArchProfile::X86).unwrap());
+        let img = encode_native(&value(), &layout).unwrap();
+        let view = RecordView::borrowed(&img[..4], layout);
+        assert_eq!(view.get("b"), None);
+        assert!(view.to_value().is_err());
+    }
+}

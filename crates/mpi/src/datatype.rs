@@ -1,0 +1,341 @@
+//! MPI-style datatype constructors.
+//!
+//! Mirrors the MPI type algebra: basic types (bound to C types whose size
+//! depends on the architecture), `MPI_Type_contiguous`, `MPI_Type_vector`,
+//! `MPI_Type_hvector`, `MPI_Type_hindexed` and `MPI_Type_struct`. A
+//! [`Datatype`] describes where elements live in *native* memory; the
+//! [`crate::engine`] walks it to pack/unpack.
+
+use std::fmt;
+use std::sync::Arc;
+
+use pbio_types::arch::ArchProfile;
+use pbio_types::layout::{resolve_atom, ConcreteType, Layout};
+use pbio_types::schema::{AtomType, Schema};
+#[cfg(test)]
+use pbio_types::schema::TypeDesc;
+
+/// Errors from datatype construction and the pack/unpack engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MpiError {
+    /// Variable-length fields cannot be described by MPI datatypes.
+    VariableLength(String),
+    /// Source or destination buffer too small.
+    Truncated {
+        /// What the engine was doing.
+        context: String,
+        /// Bytes needed.
+        need: usize,
+        /// Bytes available.
+        have: usize,
+    },
+    /// A schema/layout error while deriving a datatype.
+    BadSchema(String),
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::VariableLength(field) => {
+                write!(f, "field {field:?} is variable-length; MPI datatypes require a priori sizes")
+            }
+            MpiError::Truncated { context, need, have } => {
+                write!(f, "buffer truncated while {context}: need {need}, have {have}")
+            }
+            MpiError::BadSchema(msg) => write!(f, "cannot derive datatype: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// An MPI datatype: a description of typed elements at native offsets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Datatype {
+    /// A basic type (`MPI_INT`, `MPI_DOUBLE`, ...), bound to a C type.
+    Basic(AtomType),
+    /// `count` consecutive elements (`MPI_Type_contiguous`).
+    Contiguous {
+        /// Number of elements.
+        count: usize,
+        /// Element type.
+        inner: Arc<Datatype>,
+    },
+    /// `count` blocks of `blocklen` elements, block starts `stride` elements
+    /// apart (`MPI_Type_vector`).
+    Vector {
+        /// Number of blocks.
+        count: usize,
+        /// Elements per block.
+        blocklen: usize,
+        /// Distance between block starts, in elements.
+        stride: isize,
+        /// Element type.
+        inner: Arc<Datatype>,
+    },
+    /// Like `Vector` but the stride is in bytes (`MPI_Type_hvector`).
+    HVector {
+        /// Number of blocks.
+        count: usize,
+        /// Elements per block.
+        blocklen: usize,
+        /// Distance between block starts, in bytes.
+        byte_stride: isize,
+        /// Element type.
+        inner: Arc<Datatype>,
+    },
+    /// Blocks at explicit byte displacements (`MPI_Type_hindexed`).
+    HIndexed {
+        /// (byte displacement, element count) per block.
+        blocks: Vec<(usize, usize)>,
+        /// Element type.
+        inner: Arc<Datatype>,
+    },
+    /// Heterogeneous fields at byte offsets (`MPI_Type_struct`). `extent` is
+    /// the native size of one struct, including trailing padding.
+    Struct {
+        /// (byte offset, element count, element type) per field.
+        fields: Vec<(usize, usize, Arc<Datatype>)>,
+        /// Native extent in bytes.
+        extent: usize,
+    },
+}
+
+impl Datatype {
+    /// Native extent in bytes on `profile` — the span one element occupies
+    /// in memory (`MPI_Type_extent`).
+    pub fn extent(&self, profile: &ArchProfile) -> usize {
+        match self {
+            Datatype::Basic(atom) => native_width(*atom, profile),
+            Datatype::Contiguous { count, inner } => count * inner.extent(profile),
+            Datatype::Vector { count, blocklen, stride, inner } => {
+                let e = inner.extent(profile) as isize;
+                if *count == 0 {
+                    return 0;
+                }
+                (((*count as isize - 1) * stride + *blocklen as isize) * e).max(0) as usize
+            }
+            Datatype::HVector { count, blocklen, byte_stride, inner } => {
+                let e = inner.extent(profile) as isize;
+                if *count == 0 {
+                    return 0;
+                }
+                ((*count as isize - 1) * byte_stride + *blocklen as isize * e).max(0) as usize
+            }
+            Datatype::HIndexed { blocks, inner } => {
+                let e = inner.extent(profile);
+                blocks.iter().map(|(d, n)| d + n * e).max().unwrap_or(0)
+            }
+            Datatype::Struct { extent, .. } => *extent,
+        }
+    }
+
+    /// Number of basic elements in one instance (`MPI_Type_size` divided by
+    /// element widths; used for cost accounting).
+    pub fn element_count(&self) -> usize {
+        match self {
+            Datatype::Basic(_) => 1,
+            Datatype::Contiguous { count, inner } => count * inner.element_count(),
+            Datatype::Vector { count, blocklen, inner, .. }
+            | Datatype::HVector { count, blocklen, inner, .. } => {
+                count * blocklen * inner.element_count()
+            }
+            Datatype::HIndexed { blocks, inner } => {
+                blocks.iter().map(|(_, n)| n).sum::<usize>() * inner.element_count()
+            }
+            Datatype::Struct { fields, .. } => fields
+                .iter()
+                .map(|(_, n, t)| n * t.element_count())
+                .sum(),
+        }
+    }
+
+    /// Derive the `MPI_Type_struct` describing `schema` as laid out on
+    /// `profile` — what an MPI application would hand-build (and keep in
+    /// sync by hand) for its records.
+    ///
+    /// Basic types keep their *logical* identity (`CLong` stays `CLong`, not
+    /// "whatever width this machine happens to use"), so two machines
+    /// deriving datatypes from the same schema agree on the canonical wire
+    /// widths — the a-priori agreement MPI requires.
+    pub fn from_schema(schema: &Schema, profile: &ArchProfile) -> Result<Datatype, MpiError> {
+        let layout =
+            Layout::of(schema, profile).map_err(|e| MpiError::BadSchema(e.to_string()))?;
+        let mut fields = Vec::with_capacity(layout.fields().len());
+        for (decl, f) in schema.fields().iter().zip(layout.fields()) {
+            let (count, inner) = Self::from_pair(&f.name, &decl.ty, &f.ty, profile)?;
+            fields.push((f.offset, count, Arc::new(inner)));
+        }
+        Ok(Datatype::Struct { fields, extent: layout.size() })
+    }
+
+    fn from_pair(
+        name: &str,
+        lty: &pbio_types::schema::TypeDesc,
+        cty: &ConcreteType,
+        profile: &ArchProfile,
+    ) -> Result<(usize, Datatype), MpiError> {
+        use pbio_types::schema::TypeDesc as T;
+        Ok(match (lty, cty) {
+            (T::Atom(atom), _) => (1, Datatype::Basic(*atom)),
+            (T::Fixed(linner, _), ConcreteType::FixedArray { elem, count, stride }) => {
+                let (n, inner) = Self::from_pair(name, linner, elem, profile)?;
+                let inner_extent = inner.extent(profile) * n;
+                if *stride == inner_extent && n == 1 {
+                    (*count, inner)
+                } else if *stride == inner_extent {
+                    (1, Datatype::Contiguous { count: count * n, inner: Arc::new(inner) })
+                } else {
+                    // Padded elements: an hvector with the padded byte stride.
+                    (
+                        1,
+                        Datatype::HVector {
+                            count: *count,
+                            blocklen: n,
+                            byte_stride: *stride as isize,
+                            inner: Arc::new(inner),
+                        },
+                    )
+                }
+            }
+            (T::Record(sub_schema), ConcreteType::Record(sub_layout)) => {
+                let mut fields = Vec::with_capacity(sub_layout.fields().len());
+                for (decl, f) in sub_schema.fields().iter().zip(sub_layout.fields()) {
+                    let (count, inner) = Self::from_pair(&f.name, &decl.ty, &f.ty, profile)?;
+                    fields.push((f.offset, count, Arc::new(inner)));
+                }
+                (1, Datatype::Struct { fields, extent: sub_layout.size() })
+            }
+            (T::String, _) | (T::Var(..), _) => {
+                return Err(MpiError::VariableLength(name.to_owned()))
+            }
+            (l, c) => {
+                return Err(MpiError::BadSchema(format!(
+                    "schema/layout mismatch for {name:?}: {l:?} vs {c:?}"
+                )))
+            }
+        })
+    }
+}
+
+/// Width of a basic type in native memory on `profile`.
+pub fn native_width(atom: AtomType, profile: &ArchProfile) -> usize {
+    match resolve_atom(atom, profile).expect("basic atoms always resolve") {
+        ConcreteType::Int { bytes, .. } | ConcreteType::Float { bytes } => bytes as usize,
+        ConcreteType::Char | ConcreteType::Bool => 1,
+        _ => unreachable!(),
+    }
+}
+
+/// Width of a basic type on the canonical wire (architecture-independent,
+/// XDR-style: fixed regardless of the native `long` size).
+pub fn wire_width(atom: AtomType) -> usize {
+    match atom {
+        AtomType::I8 | AtomType::U8 | AtomType::Char | AtomType::Bool => 1,
+        AtomType::I16 | AtomType::U16 | AtomType::CShort | AtomType::CUShort => 2,
+        AtomType::I32 | AtomType::U32 | AtomType::CInt | AtomType::CUInt | AtomType::F32
+        | AtomType::CFloat => 4,
+        AtomType::I64
+        | AtomType::U64
+        | AtomType::CLong
+        | AtomType::CULong
+        | AtomType::F64
+        | AtomType::CDouble => 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbio_types::schema::FieldDecl;
+
+    fn mixed() -> Schema {
+        Schema::new(
+            "mixed",
+            vec![
+                FieldDecl::atom("tag", AtomType::Char),
+                FieldDecl::atom("x", AtomType::CDouble),
+                FieldDecl::atom("count", AtomType::CInt),
+                FieldDecl::atom("id", AtomType::CLong),
+                FieldDecl::new("v", TypeDesc::array(AtomType::CFloat, 4)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn struct_from_schema_matches_layout() {
+        for p in ArchProfile::all() {
+            let dt = Datatype::from_schema(&mixed(), p).unwrap();
+            let layout = Layout::of(&mixed(), p).unwrap();
+            assert_eq!(dt.extent(p), layout.size(), "{}", p.name);
+            match &dt {
+                Datatype::Struct { fields, .. } => assert_eq!(fields.len(), 5),
+                other => panic!("expected struct, got {other:?}"),
+            }
+            assert_eq!(dt.element_count(), 8); // 4 scalars + 4 array elems
+        }
+    }
+
+    #[test]
+    fn var_fields_rejected() {
+        let s = Schema::new(
+            "v",
+            vec![
+                FieldDecl::atom("n", AtomType::CInt),
+                FieldDecl::new("name", TypeDesc::String),
+            ],
+        )
+        .unwrap();
+        assert!(matches!(
+            Datatype::from_schema(&s, &ArchProfile::X86),
+            Err(MpiError::VariableLength(_))
+        ));
+    }
+
+    #[test]
+    fn vector_extent_math() {
+        let inner = Arc::new(Datatype::Basic(AtomType::CDouble));
+        let v = Datatype::Vector { count: 3, blocklen: 2, stride: 4, inner };
+        // Elements of 8 bytes: last block starts at 2*4*8=64, spans 2*8=16.
+        assert_eq!(v.extent(&ArchProfile::X86_64), 80);
+        assert_eq!(v.element_count(), 6);
+    }
+
+    #[test]
+    fn hvector_and_hindexed_extent() {
+        let inner = Arc::new(Datatype::Basic(AtomType::CInt));
+        let hv = Datatype::HVector { count: 2, blocklen: 3, byte_stride: 32, inner: inner.clone() };
+        assert_eq!(hv.extent(&ArchProfile::X86), 32 + 12);
+        let hi = Datatype::HIndexed { blocks: vec![(0, 2), (40, 1)], inner };
+        assert_eq!(hi.extent(&ArchProfile::X86), 44);
+        assert_eq!(hi.element_count(), 3);
+    }
+
+    #[test]
+    fn long_width_is_architecture_dependent() {
+        assert_eq!(native_width(AtomType::CLong, &ArchProfile::SPARC_V8), 4);
+        assert_eq!(native_width(AtomType::CLong, &ArchProfile::X86_64), 8);
+        // ...but the wire width is fixed.
+        assert_eq!(wire_width(AtomType::CLong), 8);
+    }
+
+    #[test]
+    fn contiguous_flattening() {
+        // A dense array of chars should become one contiguous of N chars.
+        let s = Schema::new(
+            "c",
+            vec![FieldDecl::new("name", TypeDesc::array(AtomType::Char, 20))],
+        )
+        .unwrap();
+        let dt = Datatype::from_schema(&s, &ArchProfile::X86).unwrap();
+        match dt {
+            Datatype::Struct { ref fields, .. } => match &*fields[0].2 {
+                Datatype::Basic(AtomType::Char) => assert_eq!(fields[0].1, 20),
+                Datatype::Contiguous { count, .. } => assert_eq!(*count, 20),
+                other => panic!("unexpected {other:?}"),
+            },
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+}

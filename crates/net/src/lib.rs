@@ -1,0 +1,31 @@
+//! # pbio-net — network model, transports, and the exchange harness
+//!
+//! The paper's evaluation ran between a Sun Ultra 30 and a Pentium II over
+//! 100 Mbps Ethernet. Figures 1 and 5 decompose each message round-trip
+//! into *encode → network → decode* legs; the network component is a
+//! size-proportional term, the encode/decode components are measured CPU
+//! time. This crate provides:
+//!
+//! * [`link::SimLink`] — a latency + bandwidth model of the wire, including
+//!   [`link::SimLink::paper_ethernet`], calibrated so that its one-way times
+//!   for 100 B / 1 KB / 10 KB / 100 KB messages match the network components
+//!   the paper reports in Figure 1,
+//! * [`clock::VirtualClock`] — accumulates simulated network time alongside
+//!   real measured CPU time,
+//! * [`transport`] — real byte transports (in-process duplex pipe and a TCP
+//!   loopback) used by integration tests to run actual PBIO/MPI/XML/CDR
+//!   streams end to end,
+//! * [`exchange`] — the measurement harness that produces the per-leg cost
+//!   breakdowns the figure binaries print.
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod exchange;
+pub mod link;
+pub mod transport;
+
+pub use clock::VirtualClock;
+pub use exchange::{measure_leg, time_avg, LegCosts, RoundTripCosts};
+pub use link::SimLink;
+pub use transport::{duplex_pipe, PipeEnd, TcpPipe};

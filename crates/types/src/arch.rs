@@ -1,0 +1,297 @@
+//! Architecture profiles: the machine models of the paper's testbed.
+//!
+//! The paper's experiments run between a Sun Ultra 30 (SPARC, big-endian) and
+//! a Pentium II (x86, little-endian). The costs PBIO, MPI, CORBA and XML pay
+//! are determined entirely by the *data representations* of the two ends:
+//! byte order, the sizes of C primitives (`long` is 4 bytes on Sparc V8 and
+//! x86 but 8 on Sparc V9-64 and Alpha), and compiler struct padding. An
+//! [`ArchProfile`] captures exactly those properties, so all conversion code
+//! paths run for real even though the host is a single machine.
+
+use std::fmt;
+
+/// Byte order of a machine or a wire format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endianness {
+    /// Most significant byte first (Sparc, MIPS-BE, network order).
+    Big,
+    /// Least significant byte first (x86, Alpha).
+    Little,
+}
+
+impl Endianness {
+    /// The byte order of the host this process runs on.
+    pub fn host() -> Endianness {
+        if cfg!(target_endian = "big") {
+            Endianness::Big
+        } else {
+            Endianness::Little
+        }
+    }
+}
+
+impl fmt::Display for Endianness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endianness::Big => write!(f, "big-endian"),
+            Endianness::Little => write!(f, "little-endian"),
+        }
+    }
+}
+
+/// A machine/ABI model: byte order, C primitive sizes, and alignment rules.
+///
+/// Profiles are value types; the catalogue of the paper's (and a few extra)
+/// architectures is available through the associated constants and
+/// [`ArchProfile::all`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArchProfile {
+    /// Short identifier, e.g. `"sparc-v8"`.
+    pub name: &'static str,
+    /// Byte order of multi-byte scalars.
+    pub endianness: Endianness,
+    /// Size of C `short` in bytes (2 on every profile we model).
+    pub short_bytes: u8,
+    /// Size of C `int` in bytes (4 on every profile we model).
+    pub int_bytes: u8,
+    /// Size of C `long` in bytes (4 on ILP32 ABIs, 8 on LP64 ABIs).
+    pub long_bytes: u8,
+    /// Size of C `long long` in bytes (8 everywhere).
+    pub long_long_bytes: u8,
+    /// Size of a data pointer in bytes (used for var-field descriptors).
+    pub pointer_bytes: u8,
+    /// Maximum alignment the compiler applies to a scalar. On i386 System V,
+    /// 8-byte scalars (`double`, `long long`) are aligned to 4 bytes inside
+    /// structs; everywhere else alignment is natural (== size).
+    pub max_scalar_align: u8,
+}
+
+impl ArchProfile {
+    /// SPARC V8 (the paper's Sun Ultra 30 in 32-bit mode): big-endian ILP32,
+    /// natural alignment.
+    pub const SPARC_V8: ArchProfile = ArchProfile {
+        name: "sparc-v8",
+        endianness: Endianness::Big,
+        short_bytes: 2,
+        int_bytes: 4,
+        long_bytes: 4,
+        long_long_bytes: 8,
+        pointer_bytes: 4,
+        max_scalar_align: 8,
+    };
+
+    /// SPARC V9 in 64-bit mode: big-endian LP64, natural alignment.
+    pub const SPARC_V9_64: ArchProfile = ArchProfile {
+        name: "sparc-v9-64",
+        endianness: Endianness::Big,
+        short_bytes: 2,
+        int_bytes: 4,
+        long_bytes: 8,
+        long_long_bytes: 8,
+        pointer_bytes: 8,
+        max_scalar_align: 8,
+    };
+
+    /// x86 / i386 System V (the paper's Pentium II): little-endian ILP32 with
+    /// 8-byte scalars aligned to only 4 bytes inside structs.
+    pub const X86: ArchProfile = ArchProfile {
+        name: "x86",
+        endianness: Endianness::Little,
+        short_bytes: 2,
+        int_bytes: 4,
+        long_bytes: 4,
+        long_long_bytes: 8,
+        pointer_bytes: 4,
+        max_scalar_align: 4,
+    };
+
+    /// x86-64 System V: little-endian LP64, natural alignment.
+    pub const X86_64: ArchProfile = ArchProfile {
+        name: "x86-64",
+        endianness: Endianness::Little,
+        short_bytes: 2,
+        int_bytes: 4,
+        long_bytes: 8,
+        long_long_bytes: 8,
+        pointer_bytes: 8,
+        max_scalar_align: 8,
+    };
+
+    /// DEC Alpha: little-endian LP64, natural alignment (a Vcode target in the
+    /// paper).
+    pub const ALPHA: ArchProfile = ArchProfile {
+        name: "alpha",
+        endianness: Endianness::Little,
+        short_bytes: 2,
+        int_bytes: 4,
+        long_bytes: 8,
+        long_long_bytes: 8,
+        pointer_bytes: 8,
+        max_scalar_align: 8,
+    };
+
+    /// MIPS new 32-bit ABI (n32): big-endian, 32-bit `long`, 64-bit registers,
+    /// natural alignment (a Vcode target in the paper).
+    pub const MIPS_N32: ArchProfile = ArchProfile {
+        name: "mips-n32",
+        endianness: Endianness::Big,
+        short_bytes: 2,
+        int_bytes: 4,
+        long_bytes: 4,
+        long_long_bytes: 8,
+        pointer_bytes: 4,
+        max_scalar_align: 8,
+    };
+
+    /// MIPS 64-bit ABI: big-endian LP64, natural alignment.
+    pub const MIPS_64: ArchProfile = ArchProfile {
+        name: "mips-64",
+        endianness: Endianness::Big,
+        short_bytes: 2,
+        int_bytes: 4,
+        long_bytes: 8,
+        long_long_bytes: 8,
+        pointer_bytes: 8,
+        max_scalar_align: 8,
+    };
+
+    /// StrongARM (SA-110, old ARM ABI): little-endian ILP32 with 8-byte
+    /// scalars aligned to 4 — one of the two platforms §5 names as upcoming
+    /// code-generation targets.
+    pub const STRONGARM: ArchProfile = ArchProfile {
+        name: "strongarm",
+        endianness: Endianness::Little,
+        short_bytes: 2,
+        int_bytes: 4,
+        long_bytes: 4,
+        long_long_bytes: 8,
+        pointer_bytes: 4,
+        max_scalar_align: 4,
+    };
+
+    /// Intel i960: little-endian ILP32, natural alignment — the other §5
+    /// target.
+    pub const I960: ArchProfile = ArchProfile {
+        name: "i960",
+        endianness: Endianness::Little,
+        short_bytes: 2,
+        int_bytes: 4,
+        long_bytes: 4,
+        long_long_bytes: 8,
+        pointer_bytes: 4,
+        max_scalar_align: 8,
+    };
+
+    /// All built-in profiles, useful for exhaustive cross-product tests.
+    pub fn all() -> &'static [ArchProfile] {
+        const ALL: [ArchProfile; 9] = [
+            ArchProfile::SPARC_V8,
+            ArchProfile::SPARC_V9_64,
+            ArchProfile::X86,
+            ArchProfile::X86_64,
+            ArchProfile::ALPHA,
+            ArchProfile::MIPS_N32,
+            ArchProfile::MIPS_64,
+            ArchProfile::STRONGARM,
+            ArchProfile::I960,
+        ];
+        &ALL
+    }
+
+    /// Look up a built-in profile by name.
+    pub fn by_name(name: &str) -> Option<&'static ArchProfile> {
+        ArchProfile::all().iter().find(|p| p.name == name)
+    }
+
+    /// Alignment (in bytes) the profile's C compiler gives a scalar of `size`
+    /// bytes: natural alignment capped at [`ArchProfile::max_scalar_align`].
+    pub fn scalar_align(&self, size: u8) -> usize {
+        (size.min(self.max_scalar_align)) as usize
+    }
+
+    /// True if two profiles produce bit-identical representations for every
+    /// schema — i.e. exchanges between them are *homogeneous* in the paper's
+    /// sense.
+    pub fn representation_compatible(&self, other: &ArchProfile) -> bool {
+        self.endianness == other.endianness
+            && self.short_bytes == other.short_bytes
+            && self.int_bytes == other.int_bytes
+            && self.long_bytes == other.long_bytes
+            && self.long_long_bytes == other.long_long_bytes
+            && self.pointer_bytes == other.pointer_bytes
+            && self.max_scalar_align == other.max_scalar_align
+    }
+}
+
+impl fmt::Display for ArchProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}, long={}B, ptr={}B)",
+            self.name, self.endianness, self.long_bytes, self.pointer_bytes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalogue_names_are_unique() {
+        let mut names: Vec<_> = ArchProfile::all().iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ArchProfile::all().len());
+    }
+
+    #[test]
+    fn by_name_roundtrips() {
+        for p in ArchProfile::all() {
+            assert_eq!(ArchProfile::by_name(p.name), Some(p));
+        }
+        assert_eq!(ArchProfile::by_name("vax"), None);
+    }
+
+    #[test]
+    fn x86_caps_scalar_alignment() {
+        assert_eq!(ArchProfile::X86.scalar_align(8), 4);
+        assert_eq!(ArchProfile::X86.scalar_align(4), 4);
+        assert_eq!(ArchProfile::X86.scalar_align(2), 2);
+        assert_eq!(ArchProfile::SPARC_V8.scalar_align(8), 8);
+    }
+
+    #[test]
+    fn paper_testbed_is_heterogeneous() {
+        assert!(!ArchProfile::SPARC_V8.representation_compatible(&ArchProfile::X86));
+        assert!(ArchProfile::SPARC_V8.representation_compatible(&ArchProfile::SPARC_V8));
+    }
+
+    #[test]
+    fn strongarm_matches_x86_representation() {
+        // Same endianness, sizes and alignment rules: exchanges between
+        // them are homogeneous even though the CPUs differ.
+        assert!(ArchProfile::STRONGARM.representation_compatible(&ArchProfile::X86));
+        // i960 uses natural alignment for 8-byte scalars, so it is NOT
+        // representation-compatible with x86/StrongARM.
+        assert!(!ArchProfile::I960.representation_compatible(&ArchProfile::X86));
+    }
+
+    #[test]
+    fn lp64_vs_ilp32_long_differs() {
+        assert_eq!(ArchProfile::SPARC_V8.long_bytes, 4);
+        assert_eq!(ArchProfile::SPARC_V9_64.long_bytes, 8);
+        assert!(!ArchProfile::SPARC_V8.representation_compatible(&ArchProfile::SPARC_V9_64));
+    }
+
+    #[test]
+    fn host_endianness_matches_cfg() {
+        // On any platform this test runs, the two must be consistent.
+        let e = Endianness::host();
+        if cfg!(target_endian = "little") {
+            assert_eq!(e, Endianness::Little);
+        } else {
+            assert_eq!(e, Endianness::Big);
+        }
+    }
+}

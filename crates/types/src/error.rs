@@ -1,0 +1,107 @@
+//! Error type shared by the schema, layout and value modules.
+
+use std::fmt;
+
+/// Errors produced while declaring schemas, laying out records, or encoding
+/// and decoding native byte images.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A field type string could not be parsed.
+    BadTypeString {
+        /// The offending type string.
+        input: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A schema refers to a length field that does not exist or is not an
+    /// integer field declared *before* the variable-length field using it.
+    BadLengthField {
+        /// Variable-length field name.
+        field: String,
+        /// The referenced length field.
+        len_field: String,
+    },
+    /// Duplicate field name within one record.
+    DuplicateField(String),
+    /// A record schema with no fields.
+    EmptySchema(String),
+    /// An atom size unsupported by the layout engine (only 1, 2, 4, 8).
+    BadAtomSize(u8),
+    /// Value does not match the field type during native encoding.
+    ValueMismatch {
+        /// Field being encoded.
+        field: String,
+        /// What the layout expected.
+        expected: String,
+        /// What the value actually was.
+        got: String,
+    },
+    /// A native byte image was too short or a var-offset pointed outside it.
+    Truncated {
+        /// What was being decoded when the buffer ran out.
+        context: String,
+    },
+    /// Metadata deserialization failed.
+    BadMeta(String),
+    /// Numeric value does not fit in the target field width.
+    Overflow {
+        /// Field being encoded.
+        field: String,
+        /// The value that did not fit.
+        value: String,
+        /// Target width in bytes.
+        bytes: u8,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::BadTypeString { input, reason } => {
+                write!(f, "cannot parse type string {input:?}: {reason}")
+            }
+            TypeError::BadLengthField { field, len_field } => write!(
+                f,
+                "variable-length field {field:?} references length field {len_field:?} \
+                 which is missing, non-integer, or declared later"
+            ),
+            TypeError::DuplicateField(name) => write!(f, "duplicate field name {name:?}"),
+            TypeError::EmptySchema(name) => write!(f, "schema {name:?} has no fields"),
+            TypeError::BadAtomSize(sz) => write!(f, "unsupported atom size {sz} bytes"),
+            TypeError::ValueMismatch {
+                field,
+                expected,
+                got,
+            } => write!(f, "field {field:?}: expected {expected}, got {got}"),
+            TypeError::Truncated { context } => write!(f, "buffer truncated while {context}"),
+            TypeError::BadMeta(reason) => write!(f, "bad format metadata: {reason}"),
+            TypeError::Overflow { field, value, bytes } => {
+                write!(f, "field {field:?}: value {value} does not fit in {bytes} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TypeError::BadTypeString {
+            input: "floot".into(),
+            reason: "unknown base type".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("floot"));
+        assert!(s.contains("unknown base type"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(TypeError::DuplicateField("x".into()));
+        assert!(e.to_string().contains('x'));
+    }
+}

@@ -1,0 +1,47 @@
+//! # pbio-types — type model, architecture profiles and layout engine
+//!
+//! This crate is the foundation of the PBIO (Portable Binary I/O) workspace, a
+//! reproduction of *"Efficient Wire Formats for High Performance Computing"*
+//! (Bustamante, Eisenhauer, Schwan, Widener — SC 2000).
+//!
+//! PBIO transmits records in the **Natural Data Representation** (NDR) of the
+//! sender: the bytes exactly as the sending machine's compiler laid them out in
+//! memory, accompanied by meta-information describing that layout. To
+//! reproduce the paper's heterogeneous Sparc ↔ x86 experiments on a single
+//! host, this crate models machine architectures explicitly:
+//!
+//! * [`arch::ArchProfile`] — endianness, C primitive sizes and alignment rules
+//!   of a machine/ABI (Sparc V8, Sparc V9 64-bit, x86, x86-64, Alpha, MIPS...).
+//! * [`schema::Schema`] — a *logical* record declaration (field names and
+//!   abstract types such as `integer`, `long`, `double`, arrays, nested
+//!   records), the same information a PBIO user supplies via `IOFieldList`.
+//! * [`layout`] — a C-compiler layout engine that turns a logical schema into
+//!   a [`layout::Layout`]: concrete offsets, sizes and padding for a given
+//!   architecture profile. A `Layout` *is* the wire-format meta-information
+//!   PBIO exchanges.
+//! * [`meta`] — a self-describing, byte-order-independent serialization of
+//!   `Layout`, used as the on-the-wire format description.
+//! * [`value`] — a dynamic record value model plus an encoder/decoder between
+//!   values and native byte images for any profile. This acts as the test
+//!   oracle for every wire format in the workspace: encode on profile A,
+//!   ship, decode on profile B, compare values.
+//! * [`typestr`] — parser for PBIO-style field type strings such as
+//!   `"integer"`, `"float[3]"`, `"double[dimen]"` or `"string"`.
+
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod error;
+pub mod layout;
+pub mod macros;
+pub mod meta;
+pub mod prim;
+pub mod schema;
+pub mod typestr;
+pub mod value;
+
+pub use arch::{ArchProfile, Endianness};
+pub use error::TypeError;
+pub use layout::{ConcreteType, Field, Layout};
+pub use schema::{AtomType, FieldDecl, Schema, TypeDesc};
+pub use value::{RecordValue, Value};

@@ -1,0 +1,712 @@
+//! Dynamic record values and the native-image encoder/decoder.
+//!
+//! A [`RecordValue`] is an architecture-independent record instance. The
+//! functions [`encode_native`] and [`decode_native`] translate between values
+//! and *native byte images* for any [`Layout`] — the bytes that would sit in
+//! the memory of a machine with that architecture profile.
+//!
+//! These two functions serve as the workspace-wide correctness oracle:
+//! encode a value on profile A, run it through any wire format, decode the
+//! result on profile B, and the recovered `RecordValue` must equal the
+//! original (up to deliberate narrowing documented per wire format).
+
+use std::fmt;
+
+use crate::arch::Endianness;
+use crate::error::TypeError;
+use crate::layout::{round_up, ConcreteType, Field, Layout};
+use crate::prim;
+
+/// A dynamically-typed field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Signed integer (any width; width checks happen at encode time).
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point (f32 fields narrow through `as f32` on encode).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// One character byte.
+    Char(u8),
+    /// Variable-length string (must not contain NUL when encoded).
+    Str(String),
+    /// Array (fixed or variable).
+    Array(Vec<Value>),
+    /// Nested record.
+    Record(RecordValue),
+}
+
+impl Value {
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::I64(_) => "i64",
+            Value::U64(_) => "u64",
+            Value::F64(_) => "f64",
+            Value::Bool(_) => "bool",
+            Value::Char(_) => "char",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Record(_) => "record",
+        }
+    }
+
+    /// Integer view accepting both signed and unsigned variants.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::U64(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// Float view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Nested record view.
+    pub fn as_record(&self) -> Option<&RecordValue> {
+        match self {
+            Value::Record(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::I64(v as i64)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::F64(v as f64)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::I64(v) => write!(f, "{v}"),
+            Value::U64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Char(c) => write!(f, "'{}'", *c as char),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{it}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Record(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// An ordered set of named field values — one record instance.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecordValue {
+    fields: Vec<(String, Value)>,
+}
+
+impl RecordValue {
+    /// An empty record value.
+    pub fn new() -> RecordValue {
+        RecordValue { fields: Vec::new() }
+    }
+
+    /// Builder-style field insertion.
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> RecordValue {
+        self.set(name, value);
+        self
+    }
+
+    /// Insert or replace a field.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(slot) = self.fields.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.fields.push((name, value));
+        }
+    }
+
+    /// Look up a field by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// All fields in insertion order.
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Compare with `other` restricted to the fields present in `self`
+    /// (order-insensitive). Useful when a receiver's schema is a subset of
+    /// the sender's (type extension).
+    pub fn subset_of(&self, other: &RecordValue) -> bool {
+        self.fields
+            .iter()
+            .all(|(n, v)| other.get(n) == Some(v))
+    }
+}
+
+impl fmt::Display for RecordValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (n, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{n}: {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Alignment applied to each payload in the variable region.
+const VAR_REGION_ALIGN: usize = 8;
+
+/// Encode `value` as a native byte image for `layout` (fixed part followed by
+/// the variable region, exactly the bytes a sender on that architecture would
+/// hold in memory and hand to PBIO).
+pub fn encode_native(value: &RecordValue, layout: &Layout) -> Result<Vec<u8>, TypeError> {
+    let mut buf = vec![0u8; layout.size()];
+    encode_record(value, layout, 0, &mut buf)?;
+    Ok(buf)
+}
+
+fn encode_record(
+    value: &RecordValue,
+    layout: &Layout,
+    base: usize,
+    buf: &mut Vec<u8>,
+) -> Result<(), TypeError> {
+    let endian = layout.endianness();
+    for field in layout.fields() {
+        let v = value.get(&field.name).ok_or_else(|| TypeError::ValueMismatch {
+            field: field.name.clone(),
+            expected: field.ty.describe(),
+            got: "missing value".into(),
+        })?;
+        encode_field(&field.name, &field.ty, v, value, base + field.offset, endian, buf)?;
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_field(
+    name: &str,
+    ty: &ConcreteType,
+    v: &Value,
+    parent: &RecordValue,
+    offset: usize,
+    endian: Endianness,
+    buf: &mut Vec<u8>,
+) -> Result<(), TypeError> {
+    match (ty, v) {
+        (ConcreteType::Int { bytes, signed: true }, _) => {
+            let val = v.as_i64().ok_or_else(|| mismatch(name, ty, v))?;
+            if !prim::fits_signed(val, *bytes) {
+                return Err(TypeError::Overflow {
+                    field: name.to_owned(),
+                    value: val.to_string(),
+                    bytes: *bytes,
+                });
+            }
+            prim::write_uint(buf, offset, *bytes, endian, val as u64);
+        }
+        (ConcreteType::Int { bytes, signed: false }, _) => {
+            let val = match v {
+                Value::U64(u) => *u,
+                Value::I64(i) if *i >= 0 => *i as u64,
+                _ => return Err(mismatch(name, ty, v)),
+            };
+            if !prim::fits_unsigned(val, *bytes) {
+                return Err(TypeError::Overflow {
+                    field: name.to_owned(),
+                    value: val.to_string(),
+                    bytes: *bytes,
+                });
+            }
+            prim::write_uint(buf, offset, *bytes, endian, val);
+        }
+        (ConcreteType::Float { bytes }, Value::F64(val)) => {
+            prim::write_float(buf, offset, *bytes, endian, *val);
+        }
+        (ConcreteType::Char, Value::Char(c)) => buf[offset] = *c,
+        (ConcreteType::Bool, Value::Bool(b)) => buf[offset] = *b as u8,
+        (ConcreteType::FixedArray { elem, count, stride }, Value::Array(items)) => {
+            if items.len() != *count {
+                return Err(TypeError::ValueMismatch {
+                    field: name.to_owned(),
+                    expected: format!("array of {count}"),
+                    got: format!("array of {}", items.len()),
+                });
+            }
+            for (i, item) in items.iter().enumerate() {
+                encode_field(name, elem, item, parent, offset + i * stride, endian, buf)?;
+            }
+        }
+        (ConcreteType::Record(sub), Value::Record(rv)) => {
+            encode_record(rv, sub, offset, buf)?;
+        }
+        (ConcreteType::String, Value::Str(s)) => {
+            let start = append_var(buf, s.as_bytes());
+            write_descriptor(buf, offset, endian, start, s.len());
+        }
+        (ConcreteType::VarArray { elem, stride, len_field }, Value::Array(items)) => {
+            // Cross-check against the declared length field when present.
+            if let Some(lf) = parent.get(len_field) {
+                if lf.as_i64() != Some(items.len() as i64) {
+                    return Err(TypeError::ValueMismatch {
+                        field: name.to_owned(),
+                        expected: format!("array length equal to field {len_field:?} ({lf})"),
+                        got: format!("array of {}", items.len()),
+                    });
+                }
+            }
+            let mut region = vec![0u8; items.len() * stride];
+            for (i, item) in items.iter().enumerate() {
+                encode_field(name, elem, item, parent, i * stride, endian, &mut region)?;
+            }
+            let start = append_var(buf, &region);
+            write_descriptor(buf, offset, endian, start, items.len());
+        }
+        _ => return Err(mismatch(name, ty, v)),
+    }
+    Ok(())
+}
+
+fn mismatch(name: &str, ty: &ConcreteType, v: &Value) -> TypeError {
+    TypeError::ValueMismatch {
+        field: name.to_owned(),
+        expected: ty.describe(),
+        got: v.kind().to_owned(),
+    }
+}
+
+fn append_var(buf: &mut Vec<u8>, payload: &[u8]) -> usize {
+    let start = round_up(buf.len(), VAR_REGION_ALIGN);
+    buf.resize(start, 0);
+    buf.extend_from_slice(payload);
+    start
+}
+
+fn write_descriptor(buf: &mut [u8], offset: usize, endian: Endianness, start: usize, count: usize) {
+    prim::write_uint(buf, offset, 4, endian, start as u64);
+    prim::write_uint(buf, offset + 4, 4, endian, count as u64);
+}
+
+/// Decode a native byte image produced for `layout` back into a
+/// [`RecordValue`].
+pub fn decode_native(bytes: &[u8], layout: &Layout) -> Result<RecordValue, TypeError> {
+    if bytes.len() < layout.size() {
+        return Err(TypeError::Truncated {
+            context: format!(
+                "decoding record {} (need {} bytes, have {})",
+                layout.format_name(),
+                layout.size(),
+                bytes.len()
+            ),
+        });
+    }
+    decode_record(bytes, layout, 0)
+}
+
+fn decode_record(bytes: &[u8], layout: &Layout, base: usize) -> Result<RecordValue, TypeError> {
+    let endian = layout.endianness();
+    let mut out = RecordValue::new();
+    for field in layout.fields() {
+        let v = decode_field(bytes, &field.ty, base + field.offset, endian, field)?;
+        out.set(field.name.clone(), v);
+    }
+    Ok(out)
+}
+
+fn decode_field(
+    bytes: &[u8],
+    ty: &ConcreteType,
+    offset: usize,
+    endian: Endianness,
+    field: &Field,
+) -> Result<Value, TypeError> {
+    let need = match ty {
+        ConcreteType::String | ConcreteType::VarArray { .. } => crate::layout::VAR_DESCRIPTOR_SIZE,
+        other => other.fixed_size(),
+    };
+    if offset + need > bytes.len() {
+        return Err(TypeError::Truncated {
+            context: format!("reading field {:?} at offset {offset}", field.name),
+        });
+    }
+    Ok(match ty {
+        ConcreteType::Int { bytes: w, signed: true } => {
+            Value::I64(prim::read_int(bytes, offset, *w, endian))
+        }
+        ConcreteType::Int { bytes: w, signed: false } => {
+            Value::U64(prim::read_uint(bytes, offset, *w, endian))
+        }
+        ConcreteType::Float { bytes: w } => Value::F64(prim::read_float(bytes, offset, *w, endian)),
+        ConcreteType::Char => Value::Char(bytes[offset]),
+        ConcreteType::Bool => Value::Bool(bytes[offset] != 0),
+        ConcreteType::FixedArray { elem, count, stride } => {
+            let mut items = Vec::with_capacity(*count);
+            for i in 0..*count {
+                items.push(decode_field(bytes, elem, offset + i * stride, endian, field)?);
+            }
+            Value::Array(items)
+        }
+        ConcreteType::Record(sub) => Value::Record(decode_record(bytes, sub, offset)?),
+        ConcreteType::String => {
+            let (start, count) = read_descriptor(bytes, offset, endian);
+            let end = start.checked_add(count).filter(|&e| e <= bytes.len()).ok_or_else(|| {
+                TypeError::Truncated {
+                    context: format!("string field {:?} payload", field.name),
+                }
+            })?;
+            let s = std::str::from_utf8(&bytes[start..end]).map_err(|_| TypeError::BadMeta(
+                format!("field {:?}: string payload is not UTF-8", field.name),
+            ))?;
+            Value::Str(s.to_owned())
+        }
+        ConcreteType::VarArray { elem, stride, .. } => {
+            let (start, count) = read_descriptor(bytes, offset, endian);
+            let total = count.checked_mul(*stride).ok_or_else(|| TypeError::Truncated {
+                context: format!("var array {:?} size overflow", field.name),
+            })?;
+            let end = start.checked_add(total).filter(|&e| e <= bytes.len()).ok_or_else(|| {
+                TypeError::Truncated {
+                    context: format!("var array {:?} payload", field.name),
+                }
+            })?;
+            let _ = end;
+            let mut items = Vec::with_capacity(count);
+            for i in 0..count {
+                items.push(decode_field(bytes, elem, start + i * stride, endian, field)?);
+            }
+            Value::Array(items)
+        }
+    })
+}
+
+fn read_descriptor(bytes: &[u8], offset: usize, endian: Endianness) -> (usize, usize) {
+    let start = prim::read_uint(bytes, offset, 4, endian) as usize;
+    let count = prim::read_uint(bytes, offset + 4, 4, endian) as usize;
+    (start, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::ArchProfile;
+    use crate::schema::{AtomType, FieldDecl, Schema, TypeDesc};
+
+    fn mixed_schema() -> Schema {
+        Schema::new(
+            "mixed",
+            vec![
+                FieldDecl::atom("tag", AtomType::Char),
+                FieldDecl::atom("x", AtomType::CDouble),
+                FieldDecl::atom("count", AtomType::CInt),
+                FieldDecl::atom("flag", AtomType::Bool),
+                FieldDecl::atom("id", AtomType::CLong),
+                FieldDecl::atom("ratio", AtomType::CFloat),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn mixed_value() -> RecordValue {
+        RecordValue::new()
+            .with("tag", Value::Char(b'Q'))
+            .with("x", -17.625f64)
+            .with("count", 123_456i32)
+            .with("flag", true)
+            .with("id", -98_765i64)
+            .with("ratio", 0.25f64)
+    }
+
+    #[test]
+    fn round_trip_every_profile() {
+        let schema = mixed_schema();
+        let value = mixed_value();
+        for p in ArchProfile::all() {
+            let layout = Layout::of(&schema, p).unwrap();
+            let img = encode_native(&value, &layout).unwrap();
+            assert_eq!(img.len(), layout.size());
+            let back = decode_native(&img, &layout).unwrap();
+            assert_eq!(back, value, "profile {}", p.name);
+        }
+    }
+
+    #[test]
+    fn big_endian_bytes_where_expected() {
+        let schema = Schema::new("one", vec![FieldDecl::atom("v", AtomType::CInt)]).unwrap();
+        let value = RecordValue::new().with("v", 0x01020304i32);
+        let be = encode_native(&value, &Layout::of(&schema, &ArchProfile::SPARC_V8).unwrap()).unwrap();
+        let le = encode_native(&value, &Layout::of(&schema, &ArchProfile::X86).unwrap()).unwrap();
+        assert_eq!(&be[..4], &[1, 2, 3, 4]);
+        assert_eq!(&le[..4], &[4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn fixed_arrays_round_trip() {
+        let schema = Schema::new(
+            "arr",
+            vec![FieldDecl::new(
+                "m",
+                TypeDesc::Fixed(Box::new(TypeDesc::array(AtomType::CDouble, 3)), 2),
+            )],
+        )
+        .unwrap();
+        let value = RecordValue::new().with(
+            "m",
+            Value::Array(vec![
+                Value::Array(vec![1.0.into(), 2.0.into(), 3.0.into()]),
+                Value::Array(vec![4.0.into(), 5.0.into(), 6.0.into()]),
+            ]),
+        );
+        for p in [&ArchProfile::SPARC_V8, &ArchProfile::X86_64] {
+            let layout = Layout::of(&schema, p).unwrap();
+            let img = encode_native(&value, &layout).unwrap();
+            assert_eq!(decode_native(&img, &layout).unwrap(), value);
+        }
+    }
+
+    #[test]
+    fn nested_records_round_trip() {
+        let inner = std::sync::Arc::new(
+            Schema::new(
+                "inner",
+                vec![
+                    FieldDecl::atom("a", AtomType::CShort),
+                    FieldDecl::atom("b", AtomType::CDouble),
+                ],
+            )
+            .unwrap(),
+        );
+        let outer = Schema::new(
+            "outer",
+            vec![
+                FieldDecl::atom("pre", AtomType::Char),
+                FieldDecl::new("in", TypeDesc::Record(inner)),
+            ],
+        )
+        .unwrap();
+        let value = RecordValue::new()
+            .with("pre", Value::Char(b'z'))
+            .with(
+                "in",
+                Value::Record(RecordValue::new().with("a", -3i32).with("b", 2.5f64)),
+            );
+        for p in ArchProfile::all() {
+            let layout = Layout::of(&outer, p).unwrap();
+            let img = encode_native(&value, &layout).unwrap();
+            assert_eq!(decode_native(&img, &layout).unwrap(), value, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn strings_and_var_arrays_round_trip() {
+        let schema = Schema::new(
+            "var",
+            vec![
+                FieldDecl::atom("n", AtomType::CInt),
+                FieldDecl::new(
+                    "data",
+                    TypeDesc::Var(Box::new(TypeDesc::Atom(AtomType::CDouble)), "n".into()),
+                ),
+                FieldDecl::new("name", TypeDesc::String),
+            ],
+        )
+        .unwrap();
+        let value = RecordValue::new()
+            .with("n", 3i32)
+            .with(
+                "data",
+                Value::Array(vec![1.5.into(), (-2.5).into(), 3.5.into()]),
+            )
+            .with("name", "hello wire");
+        for p in [&ArchProfile::SPARC_V8, &ArchProfile::X86, &ArchProfile::ALPHA] {
+            let layout = Layout::of(&schema, p).unwrap();
+            let img = encode_native(&value, &layout).unwrap();
+            assert!(img.len() > layout.size(), "var region appended");
+            assert_eq!(decode_native(&img, &layout).unwrap(), value, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn var_length_mismatch_rejected() {
+        let schema = Schema::new(
+            "var",
+            vec![
+                FieldDecl::atom("n", AtomType::CInt),
+                FieldDecl::new(
+                    "data",
+                    TypeDesc::Var(Box::new(TypeDesc::Atom(AtomType::CDouble)), "n".into()),
+                ),
+            ],
+        )
+        .unwrap();
+        let layout = Layout::of(&schema, &ArchProfile::X86).unwrap();
+        let value = RecordValue::new()
+            .with("n", 5i32)
+            .with("data", Value::Array(vec![1.0.into()]));
+        assert!(matches!(
+            encode_native(&value, &layout),
+            Err(TypeError::ValueMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        let schema = Schema::new("one", vec![FieldDecl::atom("v", AtomType::I16)]).unwrap();
+        let layout = Layout::of(&schema, &ArchProfile::X86).unwrap();
+        let value = RecordValue::new().with("v", 40_000i32);
+        assert!(matches!(
+            encode_native(&value, &layout),
+            Err(TypeError::Overflow { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_field_rejected() {
+        let schema = mixed_schema();
+        let layout = Layout::of(&schema, &ArchProfile::X86).unwrap();
+        let value = RecordValue::new().with("tag", Value::Char(b'a'));
+        assert!(matches!(
+            encode_native(&value, &layout),
+            Err(TypeError::ValueMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let schema = mixed_schema();
+        let layout = Layout::of(&schema, &ArchProfile::X86).unwrap();
+        let img = encode_native(&mixed_value(), &layout).unwrap();
+        assert!(matches!(
+            decode_native(&img[..img.len() - 1], &layout),
+            Err(TypeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_descriptor_rejected() {
+        let schema = Schema::new(
+            "var",
+            vec![
+                FieldDecl::atom("n", AtomType::CInt),
+                FieldDecl::new("name", TypeDesc::String),
+            ],
+        )
+        .unwrap();
+        let layout = Layout::of(&schema, &ArchProfile::X86).unwrap();
+        let value = RecordValue::new().with("n", 0i32).with("name", "abcdef");
+        let mut img = encode_native(&value, &layout).unwrap();
+        // Corrupt the descriptor to point past the end of the buffer.
+        let off = layout.field("name").unwrap().offset;
+        prim::write_uint(&mut img, off, 4, layout.endianness(), 10_000);
+        assert!(matches!(
+            decode_native(&img, &layout),
+            Err(TypeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn record_value_subset() {
+        let a = RecordValue::new().with("x", 1i32).with("y", 2i32);
+        let b = RecordValue::new().with("y", 2i32).with("x", 1i32).with("z", 3i32);
+        assert!(a.subset_of(&b));
+        assert!(!b.subset_of(&a));
+    }
+
+    #[test]
+    fn set_replaces_existing() {
+        let mut r = RecordValue::new();
+        r.set("x", 1i32);
+        r.set("x", 2i32);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get("x"), Some(&Value::I64(2)));
+    }
+
+    #[test]
+    fn display_formats() {
+        let r = RecordValue::new()
+            .with("a", 1i32)
+            .with("s", "hi")
+            .with("arr", Value::Array(vec![1.0.into(), 2.0.into()]));
+        let s = r.to_string();
+        assert!(s.contains("a: 1"));
+        assert!(s.contains("s: \"hi\""));
+        assert!(s.contains("arr: [1, 2]"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Static bounds analysis for straight-line programs.
+//!
+//! The conversion routines PBIO generates for fixed-layout records are
+//! *straight-line*: no branches, and every memory access is
+//! `cursor + constant` with cursors that are never modified. For such
+//! programs the exact memory footprint is known at generation time, so the
+//! per-access bounds checks in [`crate::exec::run`] are provably redundant
+//! once the buffer lengths have been checked **once** against the analyzed
+//! extents.
+//!
+//! [`analyze`] computes those extents (conservatively refusing anything it
+//! cannot prove); [`crate::exec::run_straightline`] uses them to execute
+//! with a single up-front check — the validate-once / run-fast split that
+//! high-performance Rust favors, applied to generated code.
+
+use crate::asm::Program;
+use crate::inst::{Inst, Reg, Space};
+
+/// The proven memory footprint of a straight-line program executed with all
+/// registers initialized to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Extents {
+    /// Bytes of source buffer the program may read (`src.len()` must be ≥).
+    pub src_needed: usize,
+    /// Bytes of destination buffer the program may access.
+    pub dst_needed: usize,
+    /// Number of instructions (all of which execute exactly once).
+    pub inst_count: usize,
+}
+
+/// Try to prove a program straight-line and compute its extents. Returns
+/// `None` when the program:
+///
+/// * contains any branch (loops execute data-dependent counts),
+/// * uses a runtime-length copy ([`Inst::MemcpyReg`]),
+/// * addresses memory through a register that any instruction writes
+///   (cursor arithmetic makes displacements non-constant), or
+/// * uses a negative displacement (would underflow the zero-initialized
+///   cursor).
+pub fn analyze(prog: &Program) -> Option<Extents> {
+    let insts = prog.insts();
+
+    // Pass 1: collect registers written anywhere.
+    let mut written = [false; crate::inst::NUM_REGS];
+    for inst in insts {
+        match inst {
+            Inst::Jmp { .. } | Inst::Brnz { .. } | Inst::Brz { .. } | Inst::MemcpyReg { .. } => {
+                return None
+            }
+            Inst::Ld { r, .. }
+            | Inst::Bswap { r, .. }
+            | Inst::SExt { r, .. }
+            | Inst::MovImm { r, .. }
+            | Inst::Mov { r, .. }
+            | Inst::Add { r, .. }
+            | Inst::AddImm { r, .. }
+            | Inst::Sub { r, .. }
+            | Inst::And { r, .. }
+            | Inst::Or { r, .. }
+            | Inst::Slt { r, .. }
+            | Inst::Sltu { r, .. }
+            | Inst::FltF64 { r, .. }
+            | Inst::SetEqZ { r, .. }
+            | Inst::CvtF32F64 { r }
+            | Inst::CvtF64F32 { r }
+            | Inst::CvtI64F64 { r }
+            | Inst::CvtF64I64 { r } => written[r.0 as usize] = true,
+            _ => {}
+        }
+    }
+
+    // Pass 2: every base register must be constant-zero (never written) and
+    // every displacement non-negative; accumulate extents.
+    let mut src_needed = 0usize;
+    let mut dst_needed = 0usize;
+    let base_ok = |written: &[bool; crate::inst::NUM_REGS], base: Reg| !written[base.0 as usize];
+    let touch = |needed: &mut usize, disp: i32, len: usize| -> Option<()> {
+        if disp < 0 {
+            return None;
+        }
+        *needed = (*needed).max(disp as usize + len);
+        Some(())
+    };
+    for inst in insts {
+        match *inst {
+            Inst::Ld { w, space, base, disp, .. } => {
+                if !base_ok(&written, base) {
+                    return None;
+                }
+                let needed = match space {
+                    Space::Src => &mut src_needed,
+                    Space::Dst => &mut dst_needed,
+                };
+                touch(needed, disp, w as usize)?;
+            }
+            Inst::St { w, base, disp, .. } => {
+                if !base_ok(&written, base) {
+                    return None;
+                }
+                touch(&mut dst_needed, disp, w as usize)?;
+            }
+            Inst::MemcpyImm { src_base, src_disp, dst_base, dst_disp, len } => {
+                if !base_ok(&written, src_base) || !base_ok(&written, dst_base) {
+                    return None;
+                }
+                touch(&mut src_needed, src_disp, len as usize)?;
+                touch(&mut dst_needed, dst_disp, len as usize)?;
+            }
+            Inst::MemsetZero { base, disp, len } => {
+                if !base_ok(&written, base) {
+                    return None;
+                }
+                touch(&mut dst_needed, disp, len as usize)?;
+            }
+            Inst::SwapMove { w, src_base, src_disp, dst_base, dst_disp } => {
+                if !base_ok(&written, src_base) || !base_ok(&written, dst_base) {
+                    return None;
+                }
+                touch(&mut src_needed, src_disp, w as usize)?;
+                touch(&mut dst_needed, dst_disp, w as usize)?;
+            }
+            Inst::SwapRun { w, src_base, src_disp, dst_base, dst_disp, count } => {
+                if !base_ok(&written, src_base) || !base_ok(&written, dst_base) {
+                    return None;
+                }
+                let total = w as usize * count as usize;
+                touch(&mut src_needed, src_disp, total)?;
+                touch(&mut dst_needed, dst_disp, total)?;
+            }
+            _ => {}
+        }
+    }
+    Some(Extents { src_needed, dst_needed, inst_count: insts.len() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::inst::abi;
+
+    #[test]
+    fn straight_line_program_analyzes() {
+        let mut a = Assembler::new();
+        a.ld(4, Reg(8), Space::Src, abi::SRC, 12);
+        a.bswap(4, Reg(8));
+        a.st(4, abi::DST, 20, Reg(8));
+        a.memcpy_imm(abi::SRC, 0, abi::DST, 0, 8);
+        a.memset_zero(abi::DST, 30, 2);
+        let p = a.finish().unwrap();
+        let e = analyze(&p).unwrap();
+        assert_eq!(e.src_needed, 16); // 12 + 4
+        assert_eq!(e.dst_needed, 32); // 30 + 2
+        assert_eq!(e.inst_count, p.len());
+    }
+
+    #[test]
+    fn branches_are_rejected() {
+        let mut a = Assembler::new();
+        let l = a.new_label();
+        a.mov_imm(Reg(8), 1);
+        a.bind(l);
+        a.add_imm(Reg(8), Reg(8), -1);
+        a.brnz(Reg(8), l);
+        let p = a.finish().unwrap();
+        assert_eq!(analyze(&p), None);
+    }
+
+    #[test]
+    fn written_base_registers_are_rejected() {
+        let mut a = Assembler::new();
+        a.add_imm(abi::SRC, abi::SRC, 4); // cursor arithmetic
+        a.ld(4, Reg(8), Space::Src, abi::SRC, 0);
+        a.st(4, abi::DST, 0, Reg(8));
+        let p = a.finish().unwrap();
+        assert_eq!(analyze(&p), None);
+    }
+
+    #[test]
+    fn negative_displacements_are_rejected() {
+        let mut a = Assembler::new();
+        a.memcpy_imm(abi::SRC, -4, abi::DST, 0, 4);
+        let p = a.finish().unwrap();
+        assert_eq!(analyze(&p), None);
+    }
+
+    #[test]
+    fn memcpy_reg_is_rejected() {
+        let mut a = Assembler::new();
+        a.mov_imm(Reg(8), 4);
+        a.memcpy_reg(abi::SRC, 0, abi::DST, 0, Reg(8));
+        let p = a.finish().unwrap();
+        assert_eq!(analyze(&p), None);
+    }
+
+    #[test]
+    fn swap_run_extents() {
+        let mut a = Assembler::new();
+        a.swap_run(8, abi::SRC, 16, abi::DST, 8, 10);
+        let p = a.finish().unwrap();
+        let e = analyze(&p).unwrap();
+        assert_eq!(e.src_needed, 96);
+        assert_eq!(e.dst_needed, 88);
+    }
+}

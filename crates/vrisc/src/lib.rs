@@ -1,0 +1,45 @@
+//! # pbio-vrisc — a Vcode-analogue dynamic code generation substrate
+//!
+//! The paper's PBIO removes receiver-side interpretation overhead by using
+//! **Vcode** (Engler, PLDI '96) to generate native machine code for each
+//! incoming wire format at run time: "Vcode essentially provides an API for a
+//! virtual RISC instruction set … native machine instructions are generated
+//! directly into a memory buffer and can be executed without reference to an
+//! external compiler or linker" (§4.3).
+//!
+//! Rust has no idiomatic runtime native-code generation, so this crate
+//! reproduces the *architecture* of Vcode rather than its mechanism:
+//!
+//! * [`inst::Inst`] — a virtual RISC instruction set sized like Vcode's
+//!   (loads/stores with displacement, byte-swaps, sign-extension, float
+//!   conversions, arithmetic, compare-and-branch, and block-copy intrinsics).
+//! * [`asm::Assembler`] — the Vcode-style emission API: conversion code is
+//!   *generated* instruction by instruction into a buffer, with labels and
+//!   fixups, then sealed into an executable [`asm::Program`].
+//! * [`opt`] — a peephole pass mirroring the paper's "runtime binary code
+//!   optimization methods" (§5): fuses load/swap/store triples and coalesces
+//!   adjacent moves into block operations, which is what lets generated
+//!   conversions run "near the level of a copy operation" (§4.3).
+//! * [`exec`] — the execution engine: a sealed program is *decoded once* into
+//!   a dense op array and then run by a tight dispatch loop with no
+//!   per-record descriptor walking — the analogue of jumping into generated
+//!   native code. A deliberately naive reference executor is kept alongside
+//!   for differential testing.
+//!
+//! The machine model is deliberately narrow, matching its one job (data
+//! format conversion): two memory spaces — a read-only **source** buffer
+//! (the receive buffer) and a writable **destination** buffer (the native
+//! record) — 32 general registers of 64 bits, and no heap.
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod asm;
+pub mod exec;
+pub mod inst;
+pub mod opt;
+
+pub use asm::{Assembler, Label, Program};
+pub use analysis::{analyze, Extents};
+pub use exec::{run, run_reference, run_straightline, ExecError, Stats};
+pub use inst::{Inst, Reg, Space};

@@ -1,0 +1,501 @@
+//! Peephole optimizer for generated conversion code.
+//!
+//! The paper notes (§5) that the authors were developing "selected runtime
+//! binary code optimization methods" on top of Vcode. This pass reproduces
+//! the two optimizations that matter for data conversion:
+//!
+//! 1. **Triple fusion** — the canonical per-field sequence `Ld; Bswap; St`
+//!    (or `Ld; St` for same-order moves) becomes a single [`Inst::SwapMove`]
+//!    / [`Inst::MemcpyImm`], eliminating register traffic and two dispatches.
+//! 2. **Run coalescing** — adjacent fused moves with contiguous source and
+//!    destination displacements become block operations
+//!    ([`Inst::SwapRun`] / a widened [`Inst::MemcpyImm`]), turning a field or
+//!    array conversion into something "near the level of a copy operation"
+//!    (§4.3) — the property the paper credits for PBIO's speed.
+//!
+//! Correctness discipline: fusion never crosses a basic-block boundary
+//! (branch or branch target), and a `Ld;…;St` triple is only fused when the
+//! scratch register is provably dead afterwards (redefined before any read
+//! within the block, or the program halts). The differential tests at the
+//! bottom run optimized and unoptimized programs against both executors.
+
+use std::collections::HashSet;
+
+use crate::asm::Program;
+use crate::inst::{Inst, Reg, Space};
+
+/// Statistics from one optimization run (reported by DCG benchmarks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// `Ld;Bswap;St` triples fused into `SwapMove`.
+    pub fused_swap_moves: usize,
+    /// `Ld;St` pairs fused into byte moves.
+    pub fused_moves: usize,
+    /// Runs coalesced into `SwapRun`/wide `MemcpyImm`.
+    pub runs_coalesced: usize,
+    /// Instruction count before optimization.
+    pub before: usize,
+    /// Instruction count after optimization.
+    pub after: usize,
+}
+
+/// Optimize a program (see module docs).
+pub fn optimize(prog: &Program) -> Program {
+    optimize_with_stats(prog).0
+}
+
+/// [`optimize`] returning fusion statistics.
+pub fn optimize_with_stats(prog: &Program) -> (Program, OptStats) {
+    let mut stats = OptStats {
+        before: prog.len(),
+        ..OptStats::default()
+    };
+    let fused = fuse_triples(prog.insts(), &mut stats);
+    let coalesced = coalesce_runs(&fused, &mut stats);
+    stats.after = coalesced.len();
+    (
+        Program::from_insts(coalesced).expect("optimizer produced invalid program"),
+        stats,
+    )
+}
+
+fn leaders(insts: &[Inst]) -> HashSet<u32> {
+    insts.iter().filter_map(|i| i.branch_target()).collect()
+}
+
+/// Registers read by an instruction.
+fn reads(inst: &Inst) -> Vec<Reg> {
+    match inst {
+        Inst::Ld { base, .. } => vec![*base],
+        Inst::St { base, r, .. } => vec![*base, *r],
+        Inst::Bswap { r, .. }
+        | Inst::SExt { r, .. }
+        | Inst::CvtF32F64 { r }
+        | Inst::CvtF64F32 { r }
+        | Inst::CvtI64F64 { r }
+        | Inst::CvtF64I64 { r }
+        | Inst::Brnz { r, .. }
+        | Inst::Brz { r, .. } => vec![*r],
+        Inst::Mov { from, .. } => vec![*from],
+        Inst::Add { a, b, .. }
+        | Inst::Sub { a, b, .. }
+        | Inst::And { a, b, .. }
+        | Inst::Or { a, b, .. }
+        | Inst::Slt { a, b, .. }
+        | Inst::Sltu { a, b, .. }
+        | Inst::FltF64 { a, b, .. } => vec![*a, *b],
+        Inst::AddImm { a, .. } | Inst::SetEqZ { a, .. } => vec![*a],
+        Inst::MemcpyImm { src_base, dst_base, .. } => vec![*src_base, *dst_base],
+        Inst::MemcpyReg { src_base, dst_base, len, .. } => vec![*src_base, *dst_base, *len],
+        Inst::MemsetZero { base, .. } => vec![*base],
+        Inst::SwapMove { src_base, dst_base, .. } | Inst::SwapRun { src_base, dst_base, .. } => {
+            vec![*src_base, *dst_base]
+        }
+        Inst::MovImm { .. } | Inst::Jmp { .. } | Inst::Halt => vec![],
+    }
+}
+
+/// Register written by an instruction, if any.
+fn writes(inst: &Inst) -> Option<Reg> {
+    match inst {
+        Inst::Ld { r, .. }
+        | Inst::Bswap { r, .. }
+        | Inst::SExt { r, .. }
+        | Inst::MovImm { r, .. }
+        | Inst::Mov { r, .. }
+        | Inst::Add { r, .. }
+        | Inst::AddImm { r, .. }
+        | Inst::Sub { r, .. }
+        | Inst::And { r, .. }
+        | Inst::Or { r, .. }
+        | Inst::Slt { r, .. }
+        | Inst::Sltu { r, .. }
+        | Inst::FltF64 { r, .. }
+        | Inst::SetEqZ { r, .. }
+        | Inst::CvtF32F64 { r }
+        | Inst::CvtF64F32 { r }
+        | Inst::CvtI64F64 { r }
+        | Inst::CvtF64I64 { r } => Some(*r),
+        _ => None,
+    }
+}
+
+/// Conservative deadness: scanning forward from `from`, `r` is dead if it is
+/// redefined before any read and before any block boundary, or the program
+/// provably halts first.
+fn reg_dead_after(insts: &[Inst], from: usize, r: Reg, leader_set: &HashSet<u32>) -> bool {
+    for (i, inst) in insts.iter().enumerate().skip(from) {
+        if leader_set.contains(&(i as u32)) {
+            return false; // someone may jump here with r live
+        }
+        if reads(inst).contains(&r) {
+            return false;
+        }
+        if writes(inst) == Some(r) {
+            return true;
+        }
+        match inst {
+            Inst::Halt => return true,
+            Inst::Jmp { .. } | Inst::Brnz { .. } | Inst::Brz { .. } => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Generic single-pass rewriter: `matcher(i)` may consume a window of
+/// instructions and emit a replacement; branch targets are remapped.
+fn rewrite(
+    insts: &[Inst],
+    leader_set: &HashSet<u32>,
+    mut matcher: impl FnMut(usize) -> Option<(usize, Inst)>,
+) -> Vec<Inst> {
+    let mut out: Vec<Inst> = Vec::with_capacity(insts.len());
+    // map[i] = index in `out` of the instruction that starts at old index i.
+    let mut map = vec![u32::MAX; insts.len() + 1];
+    let mut i = 0usize;
+    while i < insts.len() {
+        map[i] = out.len() as u32;
+        if let Some((consumed, replacement)) = matcher(i) {
+            debug_assert!(consumed >= 1);
+            // The window must not contain a leader other than at its start.
+            debug_assert!(
+                (i + 1..i + consumed).all(|j| !leader_set.contains(&(j as u32))),
+                "fusion window crosses a leader"
+            );
+            // Swallowed window positions should never be branch targets;
+            // map them defensively to the replacement op.
+            map[i + 1..i + consumed].fill(out.len() as u32);
+            out.push(replacement);
+            i += consumed;
+        } else {
+            out.push(insts[i]);
+            i += 1;
+        }
+    }
+    map[insts.len()] = out.len() as u32;
+    for inst in &mut out {
+        if let Some(t) = inst.branch_target() {
+            inst.set_branch_target(map[t as usize]);
+        }
+    }
+    out
+}
+
+/// Pass 1: fuse `Ld;Bswap;St` and `Ld;St` windows.
+fn fuse_triples(insts: &[Inst], stats: &mut OptStats) -> Vec<Inst> {
+    let leader_set = leaders(insts);
+    let mut swap_moves = 0usize;
+    let mut moves = 0usize;
+    let out = rewrite(insts, &leader_set, |i| {
+        let window_clear =
+            |n: usize| (i + 1..i + n).all(|j| j < insts.len() && !leader_set.contains(&(j as u32)));
+        // Ld(Src) ; Bswap(same w, same r) ; St(same w, same r)  ->  SwapMove
+        if i + 2 < insts.len() && window_clear(3) {
+            if let (
+                Inst::Ld { w, r, space: Space::Src, base: sb, disp: sd },
+                Inst::Bswap { w: w2, r: r2 },
+                Inst::St { w: w3, base: db, disp: dd, r: r3 },
+            ) = (insts[i], insts[i + 1], insts[i + 2])
+            {
+                if w == w2
+                    && w == w3
+                    && r == r2
+                    && r == r3
+                    && matches!(w, 2 | 4 | 8)
+                    && r != sb
+                    && r != db
+                    && reg_dead_after(insts, i + 3, r, &leader_set)
+                {
+                    swap_moves += 1;
+                    return Some((
+                        3,
+                        Inst::SwapMove { w, src_base: sb, src_disp: sd, dst_base: db, dst_disp: dd },
+                    ));
+                }
+            }
+        }
+        // Ld(Src) ; St(same w, same r)  ->  MemcpyImm(len = w)
+        if i + 1 < insts.len() && window_clear(2) {
+            if let (
+                Inst::Ld { w, r, space: Space::Src, base: sb, disp: sd },
+                Inst::St { w: w2, base: db, disp: dd, r: r2 },
+            ) = (insts[i], insts[i + 1])
+            {
+                if w == w2
+                    && r == r2
+                    && r != sb
+                    && r != db
+                    && reg_dead_after(insts, i + 2, r, &leader_set)
+                {
+                    moves += 1;
+                    return Some((
+                        2,
+                        Inst::MemcpyImm {
+                            src_base: sb,
+                            src_disp: sd,
+                            dst_base: db,
+                            dst_disp: dd,
+                            len: w as u32,
+                        },
+                    ));
+                }
+            }
+        }
+        None
+    });
+    stats.fused_swap_moves = swap_moves;
+    stats.fused_moves = moves;
+    out
+}
+
+/// Pass 2: coalesce contiguous fused moves into block operations.
+fn coalesce_runs(insts: &[Inst], stats: &mut OptStats) -> Vec<Inst> {
+    let leader_set = leaders(insts);
+    let mut runs = 0usize;
+    let out = rewrite(insts, &leader_set, |i| {
+        match insts[i] {
+            Inst::SwapMove { w, src_base, src_disp, dst_base, dst_disp } => {
+                let mut count = 1u32;
+                loop {
+                    let j = i + count as usize;
+                    if j >= insts.len() || leader_set.contains(&(j as u32)) {
+                        break;
+                    }
+                    match insts[j] {
+                        Inst::SwapMove {
+                            w: w2,
+                            src_base: sb2,
+                            src_disp: sd2,
+                            dst_base: db2,
+                            dst_disp: dd2,
+                        } if w2 == w
+                            && sb2 == src_base
+                            && db2 == dst_base
+                            && sd2 == src_disp + (count * w as u32) as i32
+                            && dd2 == dst_disp + (count * w as u32) as i32 =>
+                        {
+                            count += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                if count >= 2 {
+                    runs += 1;
+                    return Some((
+                        count as usize,
+                        Inst::SwapRun { w, src_base, src_disp, dst_base, dst_disp, count },
+                    ));
+                }
+                None
+            }
+            Inst::MemcpyImm { src_base, src_disp, dst_base, dst_disp, len } => {
+                let mut total = len;
+                let mut consumed = 1usize;
+                loop {
+                    let j = i + consumed;
+                    if j >= insts.len() || leader_set.contains(&(j as u32)) {
+                        break;
+                    }
+                    match insts[j] {
+                        Inst::MemcpyImm {
+                            src_base: sb2,
+                            src_disp: sd2,
+                            dst_base: db2,
+                            dst_disp: dd2,
+                            len: l2,
+                        } if sb2 == src_base
+                            && db2 == dst_base
+                            && sd2 == src_disp + total as i32
+                            && dd2 == dst_disp + total as i32 =>
+                        {
+                            total += l2;
+                            consumed += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                if consumed >= 2 {
+                    runs += 1;
+                    return Some((
+                        consumed,
+                        Inst::MemcpyImm { src_base, src_disp, dst_base, dst_disp, len: total },
+                    ));
+                }
+                None
+            }
+            _ => None,
+        }
+    });
+    stats.runs_coalesced = runs;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Assembler;
+    use crate::exec::{run, run_reference};
+    use crate::inst::abi;
+
+    /// Run `prog` and its optimized form through both engines; all four
+    /// destination buffers must agree.
+    fn assert_equivalent(prog: &Program, src: &[u8], dst_len: usize, init: &[(Reg, u64)]) -> Program {
+        let opt = optimize(prog);
+        let mut outs: Vec<Vec<u8>> = Vec::new();
+        for p in [prog, &opt] {
+            let mut d1 = vec![0u8; dst_len];
+            run(p, src, &mut d1, init).unwrap();
+            outs.push(d1);
+            let mut d2 = vec![0u8; dst_len];
+            run_reference(p, src, &mut d2, init).unwrap();
+            outs.push(d2);
+        }
+        assert!(outs.windows(2).all(|w| w[0] == w[1]), "optimized program diverges");
+        opt
+    }
+
+    fn triple(a: &mut Assembler, w: u8, disp: i32) {
+        a.ld(w, abi::SCRATCH0, Space::Src, abi::SRC, disp);
+        a.bswap(w, abi::SCRATCH0);
+        a.st(w, abi::DST, disp, abi::SCRATCH0);
+    }
+
+    #[test]
+    fn fuses_single_triple() {
+        let mut a = Assembler::new();
+        triple(&mut a, 4, 0);
+        let p = a.finish().unwrap();
+        let opt = assert_equivalent(&p, &[1, 2, 3, 4], 4, &[]);
+        assert_eq!(opt.len(), 2); // SwapMove + Halt
+        assert!(matches!(opt.insts()[0], Inst::SwapMove { w: 4, .. }));
+    }
+
+    #[test]
+    fn coalesces_contiguous_triples_into_run() {
+        let mut a = Assembler::new();
+        for k in 0..6 {
+            triple(&mut a, 8, k * 8);
+        }
+        let p = a.finish().unwrap();
+        let src: Vec<u8> = (0..48).collect();
+        let opt = assert_equivalent(&p, &src, 48, &[]);
+        assert_eq!(opt.len(), 2);
+        assert!(matches!(opt.insts()[0], Inst::SwapRun { w: 8, count: 6, .. }));
+    }
+
+    #[test]
+    fn coalesces_plain_moves_into_memcpy() {
+        let mut a = Assembler::new();
+        for k in 0..4 {
+            a.ld(4, abi::SCRATCH0, Space::Src, abi::SRC, k * 4);
+            a.st(4, abi::DST, k * 4, abi::SCRATCH0);
+        }
+        let p = a.finish().unwrap();
+        let src: Vec<u8> = (0..16).collect();
+        let opt = assert_equivalent(&p, &src, 16, &[]);
+        assert_eq!(opt.len(), 2);
+        assert!(matches!(opt.insts()[0], Inst::MemcpyImm { len: 16, .. }));
+    }
+
+    #[test]
+    fn mixed_width_runs_do_not_merge() {
+        let mut a = Assembler::new();
+        triple(&mut a, 4, 0);
+        triple(&mut a, 8, 4);
+        let p = a.finish().unwrap();
+        let src: Vec<u8> = (0..12).collect();
+        let opt = assert_equivalent(&p, &src, 12, &[]);
+        assert_eq!(opt.len(), 3); // SwapMove(4) + SwapMove(8) + Halt
+    }
+
+    #[test]
+    fn does_not_fuse_when_register_is_read_later() {
+        let mut a = Assembler::new();
+        a.ld(4, abi::SCRATCH0, Space::Src, abi::SRC, 0);
+        a.bswap(4, abi::SCRATCH0);
+        a.st(4, abi::DST, 0, abi::SCRATCH0);
+        // Reads the scratch register: the triple must NOT be fused.
+        a.st(4, abi::DST, 4, abi::SCRATCH0);
+        let p = a.finish().unwrap();
+        let opt = assert_equivalent(&p, &[1, 2, 3, 4], 8, &[]);
+        assert_eq!(opt.len(), p.len());
+    }
+
+    #[test]
+    fn fuses_when_register_is_redefined_later() {
+        let mut a = Assembler::new();
+        triple(&mut a, 4, 0);
+        a.mov_imm(abi::SCRATCH0, 0); // redefinition makes the scratch dead
+        let p = a.finish().unwrap();
+        let opt = assert_equivalent(&p, &[1, 2, 3, 4], 4, &[]);
+        assert!(matches!(opt.insts()[0], Inst::SwapMove { .. }));
+    }
+
+    #[test]
+    fn does_not_fuse_across_branch_targets() {
+        let mut a = Assembler::new();
+        let top = a.new_label();
+        a.mov_imm(Reg(9), 2);
+        a.ld(4, abi::SCRATCH0, Space::Src, abi::SRC, 0);
+        a.bind(top); // jump target lands between Ld and Bswap
+        a.bswap(4, abi::SCRATCH0);
+        a.st(4, abi::DST, 0, abi::SCRATCH0);
+        a.add_imm(Reg(9), Reg(9), -1);
+        a.brnz(Reg(9), top);
+        let p = a.finish().unwrap();
+        let opt = assert_equivalent(&p, &[1, 2, 3, 4], 4, &[]);
+        // Nothing fusable: the window would cross the leader.
+        assert_eq!(opt.len(), p.len());
+    }
+
+    #[test]
+    fn branch_targets_remap_after_fusion() {
+        // Loop over 3 elements, with a fusable prologue before the loop.
+        let mut a = Assembler::new();
+        triple(&mut a, 4, 0); // will fuse: indices shift
+        let top = a.new_label();
+        let done = a.new_label();
+        a.mov_imm(Reg(9), 3);
+        a.bind(top);
+        a.brz(Reg(9), done);
+        a.ld(1, Reg(10), Space::Src, abi::SRC, 4);
+        a.st(1, abi::DST, 4, Reg(10));
+        a.add_imm(abi::SRC, abi::SRC, 1);
+        a.add_imm(abi::DST, abi::DST, 1);
+        a.add_imm(Reg(9), Reg(9), -1);
+        a.jmp(top);
+        a.bind(done);
+        a.halt();
+        let p = a.finish().unwrap();
+        let src: Vec<u8> = vec![1, 2, 3, 4, 10, 11, 12];
+        assert_equivalent(&p, &src, 16, &[]);
+    }
+
+    #[test]
+    fn stats_are_reported() {
+        let mut a = Assembler::new();
+        for k in 0..3 {
+            triple(&mut a, 4, k * 4);
+        }
+        let p = a.finish().unwrap();
+        let (_, stats) = optimize_with_stats(&p);
+        assert_eq!(stats.fused_swap_moves, 3);
+        assert_eq!(stats.runs_coalesced, 1);
+        assert_eq!(stats.before, 10);
+        assert_eq!(stats.after, 2);
+    }
+
+    #[test]
+    fn non_contiguous_moves_stay_separate() {
+        let mut a = Assembler::new();
+        triple(&mut a, 4, 0);
+        triple(&mut a, 4, 12); // gap: not contiguous
+        let p = a.finish().unwrap();
+        let src: Vec<u8> = (0..16).collect();
+        let opt = assert_equivalent(&p, &src, 16, &[]);
+        assert_eq!(opt.len(), 3);
+        assert!(matches!(opt.insts()[0], Inst::SwapMove { .. }));
+        assert!(matches!(opt.insts()[1], Inst::SwapMove { .. }));
+    }
+}

@@ -1,0 +1,406 @@
+//! XML → binary record, via streaming handlers.
+//!
+//! This is the receive side of the paper's XML baseline: the parser "calls
+//! handler routines for every data element in the XML stream. That handler
+//! can interpret the element name, convert the data value from a string to
+//! the appropriate binary type and store it in the appropriate place. This
+//! flexibility makes XML extremely robust to changes in the incoming
+//! record" (§4.3) — and this decoder keeps that robustness: unknown
+//! elements are skipped, field order is irrelevant, missing fields stay
+//! zero-initialized, and the cost does not change when the sender's format
+//! differs from the receiver's (Figures 6/7 discussion, §4.4).
+
+use pbio_types::arch::Endianness;
+use pbio_types::layout::{round_up, ConcreteType, Layout};
+use pbio_types::prim;
+
+use crate::parser::{Parser, XmlError, XmlHandler};
+
+/// Decodes XML documents into native record images for one receiver layout.
+pub struct XmlDecoder {
+    layout: Layout,
+}
+
+impl XmlDecoder {
+    /// Create a decoder producing records laid out as `layout`.
+    pub fn new(layout: &Layout) -> XmlDecoder {
+        XmlDecoder { layout: layout.clone() }
+    }
+
+    /// The target layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Decode one document into a native record image.
+    pub fn decode(&self, xml: &str) -> Result<Vec<u8>, XmlError> {
+        let mut out = Vec::new();
+        self.decode_into(xml, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`XmlDecoder::decode`] into a reusable buffer (cleared first).
+    pub fn decode_into(&self, xml: &str, out: &mut Vec<u8>) -> Result<(), XmlError> {
+        out.clear();
+        out.resize(self.layout.size(), 0);
+        let mut state = State {
+            out: std::mem::take(out),
+            endian: self.layout.endianness(),
+            stack: Vec::with_capacity(8),
+            root: &self.layout,
+            seen_root: false,
+        };
+        let result = Parser::parse(xml, &mut state);
+        *out = state.out;
+        result
+    }
+}
+
+enum Frame<'l> {
+    Record { layout: &'l Layout, base: usize },
+    Scalar { ty: &'l ConcreteType, at: usize, text: String },
+    StringField { desc_at: usize, text: String },
+    FixedArr { elem: &'l ConcreteType, base: usize, stride: usize, count: usize, idx: usize },
+    VarArr { elem: &'l ConcreteType, stride: usize, desc_at: usize, start: usize, idx: usize },
+    Skip { depth: usize },
+}
+
+struct State<'l> {
+    out: Vec<u8>,
+    endian: Endianness,
+    stack: Vec<Frame<'l>>,
+    root: &'l Layout,
+    seen_root: bool,
+}
+
+fn name_matches(field: &str, elem: &str) -> bool {
+    // The emitter sanitizes names; compare under the same mapping.
+    if field == elem {
+        return true;
+    }
+    field.len() == elem.len()
+        && field.chars().zip(elem.chars()).all(|(f, e)| {
+            let f2 = if f.is_ascii_alphanumeric() || f == '_' || f == '-' { f } else { '_' };
+            f2 == e
+        })
+}
+
+impl<'l> State<'l> {
+    fn frame_for(&mut self, ty: &'l ConcreteType, at: usize) -> Frame<'l> {
+        match ty {
+            ConcreteType::FixedArray { elem, count, stride } => {
+                Frame::FixedArr { elem, base: at, stride: *stride, count: *count, idx: 0 }
+            }
+            ConcreteType::Record(sub) => Frame::Record { layout: sub, base: at },
+            ConcreteType::String => Frame::StringField { desc_at: at, text: String::new() },
+            ConcreteType::VarArray { elem, stride, .. } => {
+                let start = round_up(self.out.len(), 8);
+                self.out.resize(start, 0);
+                Frame::VarArr { elem, stride: *stride, desc_at: at, start, idx: 0 }
+            }
+            scalar => Frame::Scalar { ty: scalar, at, text: String::new() },
+        }
+    }
+}
+
+impl<'l> XmlHandler for State<'l> {
+    fn start_element(&mut self, name: &str, _attrs: &[(String, String)]) -> Result<(), XmlError> {
+        if !self.seen_root {
+            self.seen_root = true;
+            // Accept any root name: the receiver matches by field names.
+            self.stack.push(Frame::Record { layout: self.root, base: 0 });
+            return Ok(());
+        }
+        let frame = match self.stack.last_mut() {
+            None => return Err(XmlError { pos: 0, msg: "element after root closed".into() }),
+            Some(Frame::Skip { depth }) => {
+                *depth += 1;
+                return Ok(());
+            }
+            Some(Frame::Record { layout, base }) => {
+                let layout: &'l Layout = layout;
+                let base = *base;
+                match layout.fields().iter().find(|f| name_matches(&f.name, name)) {
+                    None => Frame::Skip { depth: 1 },
+                    Some(f) => {
+                        let ty: &'l ConcreteType = &f.ty;
+                        let at = base + f.offset;
+                        self.frame_for(ty, at)
+                    }
+                }
+            }
+            Some(Frame::FixedArr { elem, base, stride, count, idx }) => {
+                let elem: &'l ConcreteType = elem;
+                if *idx >= *count {
+                    // Extra members: skip (robustness over strictness).
+                    Frame::Skip { depth: 1 }
+                } else {
+                    let at = *base + *idx * *stride;
+                    *idx += 1;
+                    self.frame_for(elem, at)
+                }
+            }
+            Some(Frame::VarArr { elem, stride, start, idx, .. }) => {
+                let elem: &'l ConcreteType = elem;
+                let at = *start + *idx * *stride;
+                *idx += 1;
+                let need = at + *stride;
+                if self.out.len() < need {
+                    self.out.resize(need, 0);
+                }
+                self.frame_for(elem, at)
+            }
+            Some(Frame::Scalar { .. }) | Some(Frame::StringField { .. }) => {
+                Frame::Skip { depth: 1 }
+            }
+        };
+        self.stack.push(frame);
+        Ok(())
+    }
+
+    fn end_element(&mut self, _name: &str) -> Result<(), XmlError> {
+        match self.stack.last_mut() {
+            Some(Frame::Skip { depth }) if *depth > 1 => {
+                *depth -= 1;
+                return Ok(());
+            }
+            _ => {}
+        }
+        let frame = self.stack.pop().ok_or(XmlError { pos: 0, msg: "unbalanced end".into() })?;
+        match frame {
+            Frame::Scalar { ty, at, text } => {
+                store_scalar(ty, &mut self.out, at, self.endian, &text)?;
+            }
+            Frame::StringField { desc_at, text } => {
+                let start = round_up(self.out.len(), 8);
+                self.out.resize(start, 0);
+                self.out.extend_from_slice(text.as_bytes());
+                prim::write_uint(&mut self.out, desc_at, 4, self.endian, start as u64);
+                prim::write_uint(&mut self.out, desc_at + 4, 4, self.endian, text.len() as u64);
+            }
+            Frame::VarArr { desc_at, start, idx, .. } => {
+                prim::write_uint(&mut self.out, desc_at, 4, self.endian, start as u64);
+                prim::write_uint(&mut self.out, desc_at + 4, 4, self.endian, idx as u64);
+            }
+            Frame::Record { .. } | Frame::FixedArr { .. } | Frame::Skip { .. } => {}
+        }
+        Ok(())
+    }
+
+    fn characters(&mut self, text: &str) -> Result<(), XmlError> {
+        match self.stack.last_mut() {
+            Some(Frame::Scalar { text: buf, .. }) | Some(Frame::StringField { text: buf, .. }) => {
+                buf.push_str(text);
+            }
+            _ => {
+                // Ignore whitespace between structural elements; anything
+                // else is stray content we tolerate (robustness).
+            }
+        }
+        Ok(())
+    }
+}
+
+fn store_scalar(
+    ty: &ConcreteType,
+    out: &mut [u8],
+    at: usize,
+    endian: Endianness,
+    text: &str,
+) -> Result<(), XmlError> {
+    let bad = |msg: String| XmlError { pos: 0, msg };
+    match ty {
+        ConcreteType::Int { bytes, signed: true } => {
+            let text = text.trim();
+            let v: i64 = text.parse().map_err(|_| bad(format!("bad integer {text:?}")))?;
+            if !prim::fits_signed(v, *bytes) {
+                return Err(bad(format!("{v} does not fit in {bytes} bytes")));
+            }
+            prim::write_uint(out, at, *bytes, endian, v as u64);
+        }
+        ConcreteType::Int { bytes, signed: false } => {
+            let text = text.trim();
+            let v: u64 = text.parse().map_err(|_| bad(format!("bad unsigned {text:?}")))?;
+            if !prim::fits_unsigned(v, *bytes) {
+                return Err(bad(format!("{v} does not fit in {bytes} bytes")));
+            }
+            prim::write_uint(out, at, *bytes, endian, v);
+        }
+        ConcreteType::Float { bytes } => {
+            let text = text.trim();
+            let v: f64 = text.parse().map_err(|_| bad(format!("bad float {text:?}")))?;
+            prim::write_float(out, at, *bytes, endian, v);
+        }
+        ConcreteType::Char => {
+            // Char content is NOT trimmed: a space is a legitimate value.
+            let mut chars = text.chars();
+            let c = chars.next().ok_or_else(|| bad("empty char element".into()))?;
+            if chars.next().is_some() || !c.is_ascii() {
+                return Err(bad(format!("char element must hold one ASCII char, got {text:?}")));
+            }
+            out[at] = c as u8;
+        }
+        ConcreteType::Bool => {
+            let v = match text.trim() {
+                "true" | "1" => 1u8,
+                "false" | "0" => 0u8,
+                other => return Err(bad(format!("bad boolean {other:?}"))),
+            };
+            out[at] = v;
+        }
+        other => return Err(bad(format!("unexpected scalar store for {other:?}"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emitter::emit_record;
+    use pbio_types::arch::ArchProfile;
+    use pbio_types::schema::{AtomType, FieldDecl, Schema, TypeDesc};
+    use pbio_types::value::{decode_native, encode_native, RecordValue, Value};
+    use std::sync::Arc;
+
+    fn schema() -> Schema {
+        let inner = Arc::new(
+            Schema::new(
+                "pt",
+                vec![
+                    FieldDecl::atom("px", AtomType::CDouble),
+                    FieldDecl::atom("py", AtomType::CDouble),
+                ],
+            )
+            .unwrap(),
+        );
+        Schema::new(
+            "sample",
+            vec![
+                FieldDecl::atom("n", AtomType::CInt),
+                FieldDecl::atom("x", AtomType::CDouble),
+                FieldDecl::atom("c", AtomType::Char),
+                FieldDecl::atom("ok", AtomType::Bool),
+                FieldDecl::new("v", TypeDesc::array(AtomType::CFloat, 2)),
+                FieldDecl::new("p", TypeDesc::Record(inner)),
+                FieldDecl::new(
+                    "data",
+                    TypeDesc::Var(Box::new(TypeDesc::Atom(AtomType::CDouble)), "n".into()),
+                ),
+                FieldDecl::new("name", TypeDesc::String),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn value() -> RecordValue {
+        RecordValue::new()
+            .with("n", 2i32)
+            .with("x", -1.25f64)
+            .with("c", Value::Char(b'q'))
+            .with("ok", true)
+            .with("v", Value::Array(vec![0.5.into(), 1.5.into()]))
+            .with(
+                "p",
+                Value::Record(RecordValue::new().with("px", 3.0f64).with("py", 4.0f64)),
+            )
+            .with("data", Value::Array(vec![7.0.into(), 8.0.into()]))
+            .with("name", "x&y<z")
+    }
+
+    #[test]
+    fn full_round_trip_across_architectures() {
+        let schema = schema();
+        let v = value();
+        for sp in [&ArchProfile::SPARC_V8, &ArchProfile::X86, &ArchProfile::X86_64] {
+            for dp in [&ArchProfile::SPARC_V8, &ArchProfile::X86_64, &ArchProfile::MIPS_N32] {
+                let slay = Layout::of(&schema, sp).unwrap();
+                let dlay = Layout::of(&schema, dp).unwrap();
+                let native = encode_native(&v, &slay).unwrap();
+                let xml = emit_record(&slay, &native).unwrap();
+                let out = XmlDecoder::new(&dlay).decode(&xml).unwrap();
+                let got = decode_native(&out, &dlay).unwrap();
+                assert_eq!(got, v, "{} -> {}", sp.name, dp.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_elements_are_skipped() {
+        let dlay = Layout::of(&schema(), &ArchProfile::X86).unwrap();
+        let xml = "<sample><mystery><deep>1</deep></mystery><n>1</n>\
+                   <x>2.5</x><c>a</c><ok>false</ok><v><e>1</e><e>2</e></v>\
+                   <p><px>0</px><py>0</py></p><data><e>9</e></data><name>k</name></sample>";
+        let out = XmlDecoder::new(&dlay).decode(xml).unwrap();
+        let got = decode_native(&out, &dlay).unwrap();
+        assert_eq!(got.get("x"), Some(&Value::F64(2.5)));
+        assert_eq!(got.get("n"), Some(&Value::I64(1)));
+    }
+
+    #[test]
+    fn reordered_fields_land_correctly() {
+        let dlay = Layout::of(&schema(), &ArchProfile::SPARC_V8).unwrap();
+        let xml = "<anything><name>hi</name><x>6.5</x><ok>true</ok><c>z</c>\
+                   <v><e>1</e><e>2</e></v><data><e>1.5</e></data>\
+                   <p><py>2</py><px>1</px></p><n>1</n></anything>";
+        let out = XmlDecoder::new(&dlay).decode(xml).unwrap();
+        let got = decode_native(&out, &dlay).unwrap();
+        assert_eq!(got.get("x"), Some(&Value::F64(6.5)));
+        assert_eq!(got.get("name"), Some(&Value::Str("hi".into())));
+        let p = got.get("p").unwrap().as_record().unwrap();
+        assert_eq!(p.get("px"), Some(&Value::F64(1.0)));
+        assert_eq!(p.get("py"), Some(&Value::F64(2.0)));
+    }
+
+    #[test]
+    fn missing_fields_default_to_zero() {
+        let dlay = Layout::of(&schema(), &ArchProfile::X86).unwrap();
+        let xml = "<sample><x>1.5</x></sample>";
+        let out = XmlDecoder::new(&dlay).decode(xml).unwrap();
+        let got = decode_native(&out, &dlay).unwrap();
+        assert_eq!(got.get("x"), Some(&Value::F64(1.5)));
+        assert_eq!(got.get("n"), Some(&Value::I64(0)));
+        assert_eq!(got.get("name"), Some(&Value::Str(String::new())));
+        assert_eq!(got.get("data"), Some(&Value::Array(vec![])));
+    }
+
+    #[test]
+    fn extra_array_members_are_tolerated() {
+        let dlay = Layout::of(&schema(), &ArchProfile::X86).unwrap();
+        let xml = "<sample><v><e>1</e><e>2</e><e>3</e><e>4</e></v></sample>";
+        let out = XmlDecoder::new(&dlay).decode(xml).unwrap();
+        let got = decode_native(&out, &dlay).unwrap();
+        assert_eq!(
+            got.get("v"),
+            Some(&Value::Array(vec![Value::F64(1.0), Value::F64(2.0)]))
+        );
+    }
+
+    #[test]
+    fn bad_values_are_reported() {
+        let dlay = Layout::of(&schema(), &ArchProfile::X86).unwrap();
+        for bad in [
+            "<s><n>abc</n></s>",
+            "<s><n>99999999999999999999</n></s>",
+            "<s><ok>maybe</ok></s>",
+            "<s><c>ab</c></s>",
+            "<s><c></c></s>",
+            "<s><x>1.2.3</x></s>",
+        ] {
+            assert!(XmlDecoder::new(&dlay).decode(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn decode_into_reuses_buffer() {
+        let dlay = Layout::of(&schema(), &ArchProfile::X86).unwrap();
+        let slay = Layout::of(&schema(), &ArchProfile::SPARC_V8).unwrap();
+        let native = encode_native(&value(), &slay).unwrap();
+        let xml = emit_record(&slay, &native).unwrap();
+        let dec = XmlDecoder::new(&dlay);
+        let mut buf = Vec::with_capacity(4096);
+        let p = buf.as_ptr();
+        dec.decode_into(&xml, &mut buf).unwrap();
+        assert_eq!(buf.as_ptr(), p);
+        assert_eq!(decode_native(&buf, &dlay).unwrap(), value());
+    }
+}

@@ -1,0 +1,34 @@
+//! # pbio-xml — an XML wire format with an Expat-like streaming parser
+//!
+//! The paper's maximum-flexibility baseline (§2): "Rather than transmitting
+//! data in binary form, [XML's] wire format is ASCII text, with each record
+//! represented in textual form with header and trailer information
+//! identifying each field. This allows applications to communicate with no
+//! a priori knowledge of each other. However, XML encoding and decoding
+//! costs are substantially higher … due to the conversion of data from
+//! binary to ASCII and vice-versa. In addition, XML has substantially higher
+//! network transmission costs because the ASCII-encoded record is larger
+//! … (an expansion factor of 6-8 is not unusual)."
+//!
+//! The crate reproduces the whole XML path from scratch:
+//!
+//! * [`emitter`] — binary record → XML text (per-element binary→ASCII
+//!   conversion, the send-side cost of Figure 2),
+//! * [`parser`] — an Expat-model streaming parser: "calls handler routines
+//!   for every data element in the XML stream" (§4.3),
+//! * [`decoder`] — the handler set that matches element names to receiver
+//!   fields, converts text back to binary and stores it at the right native
+//!   offset (the receive-side cost of Figure 3). Like the paper's XML,
+//!   it is "extremely robust to changes in the incoming record": unknown
+//!   elements are skipped, reordered fields land correctly, and its cost is
+//!   unchanged by format mismatches (§4.4).
+
+#![warn(missing_docs)]
+
+pub mod decoder;
+pub mod emitter;
+pub mod parser;
+
+pub use decoder::XmlDecoder;
+pub use emitter::emit_record;
+pub use parser::{Parser, XmlError, XmlHandler};

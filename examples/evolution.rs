@@ -1,0 +1,117 @@
+//! Application evolution / type extension (§4.4): a producer adds fields to
+//! its message format; deployed consumers keep working without
+//! recompilation — new fields are simply ignored, and a consumer expecting
+//! a field the producer dropped sees a zero default plus a report.
+//!
+//! Also demonstrates the paper's advice that appending new fields (rather
+//! than inserting them) keeps old consumers on cheaper conversion paths.
+//!
+//! ```text
+//! cargo run -p pbio-examples --bin evolution
+//! ```
+
+use pbio::{FieldStatus, Reader, Writer};
+use pbio_types::schema::{AtomType, FieldDecl, Schema};
+use pbio_types::value::RecordValue;
+use pbio_types::ArchProfile;
+
+fn v1_schema() -> Schema {
+    Schema::new(
+        "status",
+        vec![
+            FieldDecl::atom("seq", AtomType::CInt),
+            FieldDecl::atom("load", AtomType::CDouble),
+        ],
+    )
+    .unwrap()
+}
+
+fn main() {
+    let arch = ArchProfile::X86_64;
+
+    // --- Generation 1: producer and consumer agree. ---
+    let mut producer_v1 = Writer::new(&arch);
+    let fmt1 = producer_v1.register(&v1_schema()).unwrap();
+    let mut stream = Vec::new();
+    producer_v1
+        .write_value(fmt1, &RecordValue::new().with("seq", 1i32).with("load", 0.25f64), &mut stream)
+        .unwrap();
+
+    let mut old_consumer = Reader::new(&arch);
+    old_consumer.expect(&v1_schema()).unwrap();
+    old_consumer
+        .process(&stream, |view| {
+            println!(
+                "v1 -> old consumer: seq={} load={} (zero-copy: {})",
+                view.get("seq").unwrap(),
+                view.get("load").unwrap(),
+                view.is_zero_copy()
+            );
+        })
+        .unwrap();
+
+    // --- Generation 2: the producer evolves, appending two fields. The old
+    //     consumer binary is untouched. ---
+    let v2_schema = v1_schema()
+        .with_field_appended(FieldDecl::atom("temperature", AtomType::CDouble))
+        .unwrap()
+        .with_field_appended(FieldDecl::atom("alarm", AtomType::Bool))
+        .unwrap();
+    let mut producer_v2 = Writer::new(&arch);
+    let fmt2 = producer_v2.register(&v2_schema).unwrap();
+    let mut stream2 = Vec::new();
+    producer_v2
+        .write_value(
+            fmt2,
+            &RecordValue::new()
+                .with("seq", 2i32)
+                .with("load", 0.75f64)
+                .with("temperature", 341.5f64)
+                .with("alarm", true),
+            &mut stream2,
+        )
+        .unwrap();
+
+    old_consumer
+        .process(&stream2, |view| {
+            println!(
+                "v2 -> old consumer: seq={} load={} — new fields invisible, no re-deploy",
+                view.get("seq").unwrap(),
+                view.get("load").unwrap(),
+            );
+            assert!(view.get("temperature").is_none());
+        })
+        .unwrap();
+    let reports = old_consumer.field_reports(0).unwrap();
+    println!(
+        "  old consumer match report: {:?}",
+        reports.iter().map(|r| (r.name.as_str(), r.status)).collect::<Vec<_>>()
+    );
+
+    // --- A NEW consumer expecting v2 reads old v1 data: the missing fields
+    //     are defaulted and reported. ---
+    let mut new_consumer = Reader::new(&arch);
+    new_consumer.expect(&v2_schema).unwrap();
+    new_consumer
+        .process(&stream, |view| {
+            println!(
+                "v1 -> new consumer: seq={} load={} temperature={} alarm={}",
+                view.get("seq").unwrap(),
+                view.get("load").unwrap(),
+                view.get("temperature").unwrap(), // defaulted to 0
+                view.get("alarm").unwrap(),       // defaulted to false
+            );
+        })
+        .unwrap();
+    let reports = new_consumer.field_reports(0).unwrap();
+    for r in reports {
+        if r.status == FieldStatus::Missing {
+            println!("  new consumer: field {:?} missing from sender (defaulted)", r.name);
+        }
+    }
+
+    println!();
+    println!("Contrast with MPI: any of these format changes would require");
+    println!("simultaneously updating every component — 'any variation in");
+    println!("message content invalidates communication' (§2).");
+}

@@ -1,0 +1,81 @@
+//! Portable binary trace files — the original "I/O" use of PBIO: a
+//! simulation writes its native records to a file; tools on any
+//! architecture read them back later, including generic tools that know
+//! nothing about the formats inside.
+//!
+//! ```text
+//! cargo run -p pbio-examples --bin trace_file
+//! ```
+
+use std::io::Cursor;
+
+use pbio::{FileReader, FileWriter};
+use pbio_types::schema::{AtomType, FieldDecl, Schema, TypeDesc};
+use pbio_types::value::{RecordValue, Value};
+use pbio_types::ArchProfile;
+
+fn main() {
+    let schema = Schema::new(
+        "checkpoint",
+        vec![
+            FieldDecl::atom("step", AtomType::CInt),
+            FieldDecl::atom("t", AtomType::CDouble),
+            FieldDecl::new("state", TypeDesc::array(AtomType::CDouble, 4)),
+            FieldDecl::new("note", TypeDesc::String),
+        ],
+    )
+    .unwrap();
+
+    // A big-endian MIPS machine writes the trace.
+    let mut fw = FileWriter::create(Vec::new(), &ArchProfile::MIPS_N32).unwrap();
+    let id = fw.register(&schema).unwrap();
+    for step in 0..4 {
+        fw.write_value(
+            id,
+            &RecordValue::new()
+                .with("step", step)
+                .with("t", step as f64 * 0.01)
+                .with(
+                    "state",
+                    Value::Array((0..4).map(|i| Value::F64((step * 4 + i) as f64)).collect()),
+                )
+                .with("note", format!("checkpoint {step}").as_str()),
+        )
+        .unwrap();
+    }
+    let bytes = fw.finish().unwrap();
+    println!("mips-n32 wrote a {}-byte trace with {} records\n", bytes.len(), 4);
+
+    // Years later: an x86-64 analysis tool that KNOWS the format.
+    let mut fr = FileReader::open(Cursor::new(&bytes), &ArchProfile::X86_64).unwrap();
+    fr.expect(&schema).unwrap();
+    println!("x86-64 analysis tool (declared schema, DCG conversion):");
+    fr.read_all(|view| {
+        println!(
+            "  step {} t={} note={}",
+            view.get("step").unwrap(),
+            view.get("t").unwrap(),
+            view.get("note").unwrap()
+        );
+    })
+    .unwrap();
+
+    // ...and a generic dump tool that knows NOTHING (pure reflection).
+    let mut dump = FileReader::open(Cursor::new(&bytes), &ArchProfile::X86).unwrap();
+    println!("\ngeneric dump tool (no schema declared, reflection):");
+    let mut first = true;
+    dump.read_all(|view| {
+        if first {
+            first = false;
+            println!(
+                "  format {:?} written on {:?}:",
+                view.layout().format_name(),
+                view.layout().arch_name()
+            );
+            for f in view.layout().fields() {
+                println!("    field {:<8} : {}", f.name, f.ty.describe());
+            }
+        }
+    })
+    .unwrap();
+}

@@ -1,0 +1,266 @@
+//! Cross-format integration: the same records through all four wire
+//! formats; wire-size and flexibility comparisons from the paper's
+//! qualitative claims.
+
+use pbio_bench::workloads::{workload, MsgSize};
+use pbio_bench::{prepare, WireFormat};
+use pbio_cdr::CdrCodec;
+use pbio_mpi::{mpi_pack, mpi_unpack, Datatype};
+use pbio_types::layout::Layout;
+use pbio_types::value::{decode_native, encode_native};
+use pbio_types::ArchProfile;
+use pbio_xml::{emit_record, XmlDecoder};
+
+/// Every wire format delivers the exact same record values for every
+/// workload size on the paper's testbed pair.
+#[test]
+fn all_formats_deliver_identical_values() {
+    let sp = &ArchProfile::SPARC_V8;
+    let dp = &ArchProfile::X86;
+    for size in [MsgSize::B100, MsgSize::K1, MsgSize::K10] {
+        let w = workload(size);
+        let slay = Layout::of(&w.schema, sp).unwrap();
+        let dlay = Layout::of(&w.schema, dp).unwrap();
+        let native = encode_native(&w.value, &slay).unwrap();
+
+        // PBIO: NDR + DCG conversion.
+        let plan = std::sync::Arc::new(pbio::Plan::build(
+            std::sync::Arc::new(slay.clone()),
+            std::sync::Arc::new(dlay.clone()),
+        ));
+        let out = pbio::DcgConverter::compile(plan, pbio::CodegenMode::Optimized)
+            .unwrap()
+            .convert(&native)
+            .unwrap();
+        assert_eq!(decode_native(&out, &dlay).unwrap(), w.value, "pbio {}", size.label());
+
+        // MPI.
+        let sdt = Datatype::from_schema(&w.schema, sp).unwrap();
+        let ddt = Datatype::from_schema(&w.schema, dp).unwrap();
+        let wire = mpi_pack(&sdt, sp, &native).unwrap();
+        let out = mpi_unpack(&ddt, dp, &wire).unwrap();
+        assert_eq!(decode_native(&out, &dlay).unwrap(), w.value, "mpi {}", size.label());
+
+        // CDR.
+        let sc = CdrCodec::new(&w.schema, sp).unwrap();
+        let dc = CdrCodec::new(&w.schema, dp).unwrap();
+        let out = dc.unmarshal(&sc.marshal(&native).unwrap()).unwrap();
+        assert_eq!(decode_native(&out, &dlay).unwrap(), w.value, "cdr {}", size.label());
+
+        // XML.
+        let xml = emit_record(&slay, &native).unwrap();
+        let out = XmlDecoder::new(&dlay).decode(&xml).unwrap();
+        assert_eq!(decode_native(&out, &dlay).unwrap(), w.value, "xml {}", size.label());
+    }
+}
+
+/// Wire-size claims from the paper: the XML encoding is several times the
+/// binary size; the binary formats are all within a modest factor of the
+/// native record.
+#[test]
+fn wire_size_relationships() {
+    let sp = &ArchProfile::SPARC_V8;
+    let dp = &ArchProfile::X86;
+    for size in [MsgSize::K1, MsgSize::K10] {
+        let w = workload(size);
+        let native_size = Layout::of(&w.schema, sp).unwrap().size();
+        let sizes: Vec<(WireFormat, usize)> = [
+            WireFormat::PbioDcg,
+            WireFormat::Mpi,
+            WireFormat::Cdr,
+            WireFormat::Xml,
+        ]
+        .into_iter()
+        .map(|f| (f, prepare(f, &w.schema, &w.schema, sp, dp, &w.value).wire.len()))
+        .collect();
+
+        for (f, s) in &sizes {
+            match f {
+                WireFormat::Xml => {
+                    assert!(*s > 2 * native_size, "XML expansion at {}: {s} vs {native_size}", size.label())
+                }
+                _ => assert!(
+                    *s < native_size + native_size / 4 + 64,
+                    "{f:?} wire {s} should be close to native {native_size}"
+                ),
+            }
+        }
+    }
+}
+
+/// Flexibility matrix (§2, §4.4): what happens when the sender's format has
+/// an extra leading field the receiver doesn't know about.
+#[test]
+fn format_evolution_flexibility_matrix() {
+    let p = &ArchProfile::X86;
+    let w = workload(MsgSize::B100);
+    let ext = pbio_bench::workloads::extended_schema_prepended(&w.schema);
+    let v = pbio_bench::workloads::extended_value(&w.value);
+    let slay = Layout::of(&ext, p).unwrap();
+    let dlay = Layout::of(&w.schema, p).unwrap();
+    let native = encode_native(&v, &slay).unwrap();
+
+    // PBIO: handles it, by design (field match by name).
+    let plan = std::sync::Arc::new(pbio::Plan::build(
+        std::sync::Arc::new(slay.clone()),
+        std::sync::Arc::new(dlay.clone()),
+    ));
+    let out = pbio::InterpConverter::new(plan).convert(&native).unwrap();
+    assert_eq!(decode_native(&out, &dlay).unwrap(), w.value);
+
+    // XML: also handles it (robust by self-description).
+    let xml = emit_record(&slay, &native).unwrap();
+    let out = XmlDecoder::new(&dlay).decode(&xml).unwrap();
+    assert_eq!(decode_native(&out, &dlay).unwrap(), w.value);
+
+    // MPI: silently corrupts — no metadata to detect the disagreement.
+    let sdt = Datatype::from_schema(&ext, p).unwrap();
+    let rdt = Datatype::from_schema(&w.schema, p).unwrap();
+    let wire = mpi_pack(&sdt, p, &native).unwrap();
+    let out = mpi_unpack(&rdt, p, &wire).unwrap();
+    assert_ne!(decode_native(&out, &dlay).unwrap(), w.value, "MPI silently corrupts");
+
+    // CDR: same story — stubs must agree a priori.
+    let sc = CdrCodec::new(&ext, p).unwrap();
+    let dc = CdrCodec::new(&w.schema, p).unwrap();
+    let marshalled = sc.marshal(&native).unwrap();
+    // A detected truncation/mis-framing error is also "not correct data".
+    if let Ok(out) = dc.unmarshal(&marshalled) {
+        assert_ne!(decode_native(&out, &dlay).unwrap(), w.value);
+    }
+}
+
+/// The particle workload (nested records + var arrays + strings) through
+/// the formats that can express it; MPI must reject it at datatype-build
+/// time — a-priori-agreement systems cannot describe runtime-sized records.
+#[test]
+fn particle_records_across_formats() {
+    use pbio_bench::workloads::{particle_schema, particle_value};
+    let schema = particle_schema();
+    let sp = &ArchProfile::SPARC_V8;
+    let dp = &ArchProfile::X86_64;
+    let slay = Layout::of(&schema, sp).unwrap();
+    let dlay = Layout::of(&schema, dp).unwrap();
+
+    for neighbors in [0usize, 5, 100] {
+        let value = particle_value(7 + neighbors as u64, neighbors);
+        let native = encode_native(&value, &slay).unwrap();
+
+        // PBIO (hybrid DCG + var interpretation).
+        let plan = std::sync::Arc::new(pbio::Plan::build(
+            std::sync::Arc::new(slay.clone()),
+            std::sync::Arc::new(dlay.clone()),
+        ));
+        let out = pbio::DcgConverter::compile(plan, pbio::CodegenMode::Optimized)
+            .unwrap()
+            .convert(&native)
+            .unwrap();
+        assert_eq!(decode_native(&out, &dlay).unwrap(), value, "pbio n={neighbors}");
+
+        // CDR sequences.
+        let sc = CdrCodec::new(&schema, sp).unwrap();
+        let dc = CdrCodec::new(&schema, dp).unwrap();
+        let out = dc.unmarshal(&sc.marshal(&native).unwrap()).unwrap();
+        assert_eq!(decode_native(&out, &dlay).unwrap(), value, "cdr n={neighbors}");
+
+        // XML.
+        let xml = emit_record(&slay, &native).unwrap();
+        let out = XmlDecoder::new(&dlay).decode(&xml).unwrap();
+        assert_eq!(decode_native(&out, &dlay).unwrap(), value, "xml n={neighbors}");
+    }
+
+    // MPI: no datatype for runtime-sized members.
+    assert!(matches!(
+        Datatype::from_schema(&schema, sp),
+        Err(pbio_mpi::MpiError::VariableLength(_))
+    ));
+}
+
+/// Variable-length arrays of *record* elements (fixed-size structs inside a
+/// runtime-sized list) — the deepest composite the type system allows.
+#[test]
+fn var_arrays_of_records() {
+    use pbio_types::schema::{AtomType, FieldDecl, Schema, TypeDesc};
+    use pbio_types::value::{RecordValue, Value};
+
+    let pair = std::sync::Arc::new(
+        Schema::new(
+            "pair",
+            vec![
+                FieldDecl::atom("k", AtomType::CInt),
+                FieldDecl::atom("w", AtomType::CDouble),
+            ],
+        )
+        .unwrap(),
+    );
+    let schema = Schema::new(
+        "sparse_row",
+        vec![
+            FieldDecl::atom("nnz", AtomType::CUInt),
+            FieldDecl::new(
+                "entries",
+                TypeDesc::Var(Box::new(TypeDesc::Record(pair)), "nnz".into()),
+            ),
+        ],
+    )
+    .unwrap();
+
+    let entry = |k: i32, w: f64| {
+        Value::Record(RecordValue::new().with("k", k).with("w", w))
+    };
+    let value = RecordValue::new()
+        .with("nnz", 3u32)
+        .with("entries", Value::Array(vec![entry(2, 0.5), entry(17, -1.25), entry(40, 3.0)]));
+
+    for (sp, dp) in [
+        (&ArchProfile::SPARC_V8, &ArchProfile::X86_64),
+        (&ArchProfile::X86, &ArchProfile::MIPS_N32),
+    ] {
+        let slay = Layout::of(&schema, sp).unwrap();
+        let dlay = Layout::of(&schema, dp).unwrap();
+        let native = encode_native(&value, &slay).unwrap();
+
+        // PBIO interpreted and DCG (hybrid).
+        let plan = std::sync::Arc::new(pbio::Plan::build(
+            std::sync::Arc::new(slay.clone()),
+            std::sync::Arc::new(dlay.clone()),
+        ));
+        let a = pbio::InterpConverter::new(plan.clone()).convert(&native).unwrap();
+        let b = pbio::DcgConverter::compile(plan, pbio::CodegenMode::Optimized)
+            .unwrap()
+            .convert(&native)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(decode_native(&a, &dlay).unwrap(), value, "{} -> {}", sp.name, dp.name);
+
+        // CDR and XML.
+        let sc = CdrCodec::new(&schema, sp).unwrap();
+        let dc = CdrCodec::new(&schema, dp).unwrap();
+        let out = dc.unmarshal(&sc.marshal(&native).unwrap()).unwrap();
+        assert_eq!(decode_native(&out, &dlay).unwrap(), value);
+        let xml = emit_record(&slay, &native).unwrap();
+        let out = XmlDecoder::new(&dlay).decode(&xml).unwrap();
+        assert_eq!(decode_native(&out, &dlay).unwrap(), value);
+    }
+}
+
+/// The 100KB workload through every format — a smoke test that nothing
+/// degrades at the paper's largest size.
+#[test]
+fn large_records_survive_every_format() {
+    let sp = &ArchProfile::SPARC_V9_64;
+    let dp = &ArchProfile::X86;
+    let w = workload(MsgSize::K100);
+    for fmt in [
+        WireFormat::PbioDcg,
+        WireFormat::PbioInterp,
+        WireFormat::PbioDcgNaive,
+        WireFormat::Mpi,
+        WireFormat::Cdr,
+        WireFormat::Xml,
+    ] {
+        let mut pb = prepare(fmt, &w.schema, &w.schema, sp, dp, &w.value);
+        assert!((pb.encode)() > 90_000, "{fmt:?}");
+        (pb.decode)();
+    }
+}

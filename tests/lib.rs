@@ -1,0 +1,224 @@
+//! Shared generators for the cross-crate integration and property tests.
+//!
+//! The central idea: generate *random record schemas* and *random record
+//! values constrained to survive every representation in the test matrix*
+//! (e.g. `long` values fit 4 bytes because some profiles are ILP32; `float`
+//! values are exactly f32-representable). Then any path through the system
+//! — native encode/decode, PBIO interpreted or DCG conversion, MPI
+//! pack/unpack, CDR marshal/unmarshal, XML emit/parse — must reproduce the
+//! original [`RecordValue`] exactly.
+
+use proptest::prelude::*;
+
+use pbio_types::schema::{AtomType, FieldDecl, Schema, TypeDesc};
+use pbio_types::value::{RecordValue, Value};
+
+/// All atoms the property tests exercise.
+pub fn atom_strategy() -> impl Strategy<Value = AtomType> {
+    prop_oneof![
+        Just(AtomType::I8),
+        Just(AtomType::I16),
+        Just(AtomType::I32),
+        Just(AtomType::I64),
+        Just(AtomType::U8),
+        Just(AtomType::U16),
+        Just(AtomType::U32),
+        Just(AtomType::U64),
+        Just(AtomType::F32),
+        Just(AtomType::F64),
+        Just(AtomType::Char),
+        Just(AtomType::Bool),
+        Just(AtomType::CShort),
+        Just(AtomType::CUShort),
+        Just(AtomType::CInt),
+        Just(AtomType::CUInt),
+        Just(AtomType::CLong),
+        Just(AtomType::CULong),
+        Just(AtomType::CFloat),
+        Just(AtomType::CDouble),
+    ]
+}
+
+/// A field type: an atom, a small fixed array, or (at depth 0) a nested
+/// record of atoms.
+fn typedesc_strategy(allow_nested: bool) -> BoxedStrategy<TypeDesc> {
+    let atom = atom_strategy().prop_map(TypeDesc::Atom);
+    let array = (atom_strategy(), 1usize..6)
+        .prop_map(|(a, n)| TypeDesc::Fixed(Box::new(TypeDesc::Atom(a)), n));
+    if allow_nested {
+        let nested = proptest::collection::vec(atom_strategy(), 1..4).prop_map(|atoms| {
+            let fields = atoms
+                .into_iter()
+                .enumerate()
+                .map(|(i, a)| FieldDecl::atom(format!("n{i}"), a))
+                .collect();
+            TypeDesc::Record(std::sync::Arc::new(
+                Schema::new("nested", fields).expect("valid nested schema"),
+            ))
+        });
+        prop_oneof![4 => atom, 2 => array, 1 => nested].boxed()
+    } else {
+        prop_oneof![4 => atom, 2 => array].boxed()
+    }
+}
+
+/// A random fixed-layout schema (1..7 fields, unique names, optional
+/// nesting, no variable-length parts — those are covered separately because
+/// MPI/CDR restrict them differently).
+pub fn schema_strategy() -> impl Strategy<Value = Schema> {
+    proptest::collection::vec(typedesc_strategy(true), 1..7).prop_map(|types| {
+        let fields = types
+            .into_iter()
+            .enumerate()
+            .map(|(i, ty)| FieldDecl::new(format!("f{i}"), ty))
+            .collect();
+        Schema::new("prop_record", fields).expect("valid generated schema")
+    })
+}
+
+/// A random schema that may also contain strings and var arrays (for the
+/// formats that support them: PBIO, CDR, XML).
+pub fn var_schema_strategy() -> impl Strategy<Value = Schema> {
+    (
+        proptest::collection::vec(typedesc_strategy(false), 1..5),
+        proptest::bool::ANY,
+        prop_oneof![
+            Just(None),
+            atom_strategy().prop_map(|a| Some(TypeDesc::Atom(a))),
+            proptest::collection::vec(atom_strategy(), 1..3).prop_map(|atoms| {
+                let fields = atoms
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, a)| FieldDecl::atom(format!("e{i}"), a))
+                    .collect();
+                Some(TypeDesc::Record(std::sync::Arc::new(
+                    Schema::new("velem", fields).expect("valid var-element schema"),
+                )))
+            }),
+        ],
+    )
+        .prop_map(|(types, with_string, var_elem)| {
+            let mut fields: Vec<FieldDecl> = types
+                .into_iter()
+                .enumerate()
+                .map(|(i, ty)| FieldDecl::new(format!("f{i}"), ty))
+                .collect();
+            if let Some(elem) = var_elem {
+                fields.insert(0, FieldDecl::atom("vlen", AtomType::CInt));
+                fields.push(FieldDecl::new(
+                    "vdata",
+                    TypeDesc::Var(Box::new(elem), "vlen".into()),
+                ));
+            }
+            if with_string {
+                fields.push(FieldDecl::new("label", TypeDesc::String));
+            }
+            Schema::new("prop_var_record", fields).expect("valid generated schema")
+        })
+}
+
+/// Strategy for a value of one atom, constrained to survive every profile
+/// and wire format in the matrix.
+fn atom_value_strategy(atom: AtomType) -> BoxedStrategy<Value> {
+    match atom {
+        AtomType::I8 => (i8::MIN..=i8::MAX).prop_map(|v| Value::I64(v as i64)).boxed(),
+        AtomType::I16 | AtomType::CShort => {
+            (i16::MIN..=i16::MAX).prop_map(|v| Value::I64(v as i64)).boxed()
+        }
+        // CLong is 4 bytes on ILP32 profiles: stay within i32.
+        AtomType::I32 | AtomType::CInt | AtomType::CLong | AtomType::I64 => {
+            (i32::MIN..=i32::MAX).prop_map(|v| Value::I64(v as i64)).boxed()
+        }
+        AtomType::U8 => (0u8..=u8::MAX).prop_map(|v| Value::U64(v as u64)).boxed(),
+        AtomType::U16 | AtomType::CUShort => {
+            (0u16..=u16::MAX).prop_map(|v| Value::U64(v as u64)).boxed()
+        }
+        AtomType::U32 | AtomType::CUInt | AtomType::CULong | AtomType::U64 => {
+            (0u32..=u32::MAX).prop_map(|v| Value::U64(v as u64)).boxed()
+        }
+        // f32-exact values so float width narrowing is lossless.
+        AtomType::F32 | AtomType::CFloat => {
+            (-1.0e6f32..1.0e6).prop_map(|v| Value::F64(v as f64)).boxed()
+        }
+        AtomType::F64 | AtomType::CDouble => (-1.0e9f64..1.0e9).prop_map(Value::F64).boxed(),
+        AtomType::Char => (0x20u8..0x7F).prop_map(Value::Char).boxed(),
+        AtomType::Bool => proptest::bool::ANY.prop_map(Value::Bool).boxed(),
+    }
+}
+
+fn type_value_strategy(ty: &TypeDesc) -> BoxedStrategy<Value> {
+    match ty {
+        TypeDesc::Atom(a) => atom_value_strategy(*a),
+        TypeDesc::Fixed(inner, n) => {
+            proptest::collection::vec(type_value_strategy(inner), *n..=*n)
+                .prop_map(Value::Array)
+                .boxed()
+        }
+        TypeDesc::Var(inner, _) => proptest::collection::vec(type_value_strategy(inner), 0..5)
+            .prop_map(Value::Array)
+            .boxed(),
+        TypeDesc::String => "[ -~]{0,24}".prop_map(Value::Str).boxed(),
+        TypeDesc::Record(sub) => record_value_strategy_schema(sub.clone()).prop_map(Value::Record).boxed(),
+    }
+}
+
+fn record_value_strategy_schema(schema: std::sync::Arc<Schema>) -> BoxedStrategy<RecordValue> {
+    let strategies: Vec<(String, BoxedStrategy<Value>)> = schema
+        .fields()
+        .iter()
+        .map(|f| (f.name.clone(), type_value_strategy(&f.ty)))
+        .collect();
+    let names: Vec<String> = strategies.iter().map(|(n, _)| n.clone()).collect();
+    strategies
+        .into_iter()
+        .map(|(_, s)| s)
+        .collect::<Vec<_>>()
+        .prop_map(move |values| {
+            let mut rv = RecordValue::new();
+            for (n, v) in names.iter().zip(values) {
+                rv.set(n.clone(), v);
+            }
+            rv
+        })
+        .boxed()
+}
+
+/// A random value matching `schema`, with var-array length fields fixed up
+/// to match their arrays.
+pub fn value_strategy(schema: &Schema) -> BoxedStrategy<RecordValue> {
+    let schema = std::sync::Arc::new(schema.clone());
+    let fixup = schema.clone();
+    record_value_strategy_schema(schema)
+        .prop_map(move |mut rv| {
+            // Fix up var-array length fields to match the generated arrays.
+            for f in fixup.fields() {
+                if let TypeDesc::Var(_, len_field) = &f.ty {
+                    let n = rv.get(&f.name).and_then(|v| v.as_array()).map_or(0, |a| a.len());
+                    rv.set(len_field.clone(), Value::I64(n as i64));
+                }
+            }
+            rv
+        })
+        .boxed()
+}
+
+/// (schema, value) pairs for fixed-layout records.
+pub fn schema_and_value() -> impl Strategy<Value = (Schema, RecordValue)> {
+    schema_strategy().prop_flat_map(|schema| {
+        let vs = value_strategy(&schema);
+        (Just(schema), vs)
+    })
+}
+
+/// (schema, value) pairs that may include variable-length fields.
+pub fn var_schema_and_value() -> impl Strategy<Value = (Schema, RecordValue)> {
+    var_schema_strategy().prop_flat_map(|schema| {
+        let vs = value_strategy(&schema);
+        (Just(schema), vs)
+    })
+}
+
+/// A strategy picking any built-in architecture profile.
+pub fn profile_strategy() -> impl Strategy<Value = &'static pbio_types::ArchProfile> {
+    (0..pbio_types::ArchProfile::all().len()).prop_map(|i| &pbio_types::ArchProfile::all()[i])
+}

@@ -1,0 +1,171 @@
+//! Property-based tests: random schemas × random values × random
+//! architecture pairs, through every data path in the workspace.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use pbio::{CodegenMode, DcgConverter, InterpConverter, Plan};
+use pbio_cdr::CdrCodec;
+use pbio_integration::{
+    profile_strategy, schema_and_value, var_schema_and_value,
+};
+use pbio_mpi::{mpi_pack, mpi_unpack, packed_size, Datatype};
+use pbio_types::layout::Layout;
+use pbio_types::meta::{deserialize_layout, serialize_layout};
+use pbio_types::value::{decode_native, encode_native};
+use pbio_xml::{emit_record, XmlDecoder};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Native image encode/decode is the identity on every profile.
+    #[test]
+    fn native_round_trip((schema, value) in var_schema_and_value(), p in profile_strategy()) {
+        let layout = Layout::of(&schema, p).unwrap();
+        let img = encode_native(&value, &layout).unwrap();
+        let back = decode_native(&img, &layout).unwrap();
+        prop_assert_eq!(back, value);
+    }
+
+    /// Format metadata serialization round-trips for any schema/profile.
+    #[test]
+    fn meta_round_trip((schema, _) in var_schema_and_value(), p in profile_strategy()) {
+        let layout = Layout::of(&schema, p).unwrap();
+        let bytes = serialize_layout(&layout);
+        prop_assert_eq!(deserialize_layout(&bytes).unwrap(), layout);
+    }
+
+    /// The three PBIO conversion backends agree bit-for-bit and reproduce
+    /// the original value across any (sender, receiver) profile pair.
+    #[test]
+    fn conversion_backends_agree(
+        (schema, value) in var_schema_and_value(),
+        sp in profile_strategy(),
+        dp in profile_strategy(),
+    ) {
+        let slay = Arc::new(Layout::of(&schema, sp).unwrap());
+        let dlay = Arc::new(Layout::of(&schema, dp).unwrap());
+        let wire = encode_native(&value, &slay).unwrap();
+        let plan = Arc::new(Plan::build(slay, dlay.clone()));
+
+        let a = InterpConverter::new(plan.clone()).convert(&wire).unwrap();
+        let b = DcgConverter::compile(plan.clone(), CodegenMode::Naive).unwrap().convert(&wire).unwrap();
+        let c = DcgConverter::compile(plan, CodegenMode::Optimized).unwrap().convert(&wire).unwrap();
+        prop_assert_eq!(&a, &b, "interp vs naive DCG");
+        prop_assert_eq!(&a, &c, "interp vs optimized DCG");
+        prop_assert_eq!(decode_native(&a, &dlay).unwrap(), value);
+    }
+
+    /// Receiver-side type extension: the receiver expects a subset of the
+    /// sender's fields (we drop the last field); all surviving fields
+    /// convert correctly and nothing crashes.
+    #[test]
+    fn subset_receiver_gets_matching_fields(
+        (schema, value) in schema_and_value(),
+        sp in profile_strategy(),
+        dp in profile_strategy(),
+    ) {
+        prop_assume!(schema.fields().len() >= 2);
+        let last = schema.fields().last().unwrap().name.clone();
+        let receiver = schema.without_field(&last).unwrap();
+        let slay = Arc::new(Layout::of(&schema, sp).unwrap());
+        let dlay = Arc::new(Layout::of(&receiver, dp).unwrap());
+        let wire = encode_native(&value, &slay).unwrap();
+        let plan = Arc::new(Plan::build(slay, dlay.clone()));
+        let out = DcgConverter::compile(plan, CodegenMode::Optimized).unwrap().convert(&wire).unwrap();
+        let got = decode_native(&out, &dlay).unwrap();
+        prop_assert!(got.subset_of(&value), "got {} from {}", got, value);
+    }
+
+    /// MPI pack/unpack reproduces the value across any profile pair, and the
+    /// wire size is architecture-independent.
+    #[test]
+    fn mpi_round_trip(
+        (schema, value) in schema_and_value(),
+        sp in profile_strategy(),
+        dp in profile_strategy(),
+    ) {
+        let sdt = Datatype::from_schema(&schema, sp).unwrap();
+        let ddt = Datatype::from_schema(&schema, dp).unwrap();
+        prop_assert_eq!(packed_size(&sdt), packed_size(&ddt));
+        let slay = Layout::of(&schema, sp).unwrap();
+        let dlay = Layout::of(&schema, dp).unwrap();
+        let native = encode_native(&value, &slay).unwrap();
+        let wire = mpi_pack(&sdt, sp, &native).unwrap();
+        prop_assert_eq!(wire.len(), packed_size(&sdt));
+        let out = mpi_unpack(&ddt, dp, &wire).unwrap();
+        prop_assert_eq!(decode_native(&out, &dlay).unwrap(), value);
+    }
+
+    /// CDR marshal/unmarshal reproduces the value across any profile pair.
+    #[test]
+    fn cdr_round_trip(
+        (schema, value) in var_schema_and_value(),
+        sp in profile_strategy(),
+        dp in profile_strategy(),
+    ) {
+        let sc = CdrCodec::new(&schema, sp).unwrap();
+        let dc = CdrCodec::new(&schema, dp).unwrap();
+        let native = encode_native(&value, sc.layout()).unwrap();
+        let wire = sc.marshal(&native).unwrap();
+        let out = dc.unmarshal(&wire).unwrap();
+        prop_assert_eq!(decode_native(&out, dc.layout()).unwrap(), value);
+    }
+
+    /// XML emit/parse reproduces the value across any profile pair.
+    #[test]
+    fn xml_round_trip(
+        (schema, value) in var_schema_and_value(),
+        sp in profile_strategy(),
+        dp in profile_strategy(),
+    ) {
+        let slay = Layout::of(&schema, sp).unwrap();
+        let dlay = Layout::of(&schema, dp).unwrap();
+        let native = encode_native(&value, &slay).unwrap();
+        let xml = emit_record(&slay, &native).unwrap();
+        let out = XmlDecoder::new(&dlay).decode(&xml).unwrap();
+        prop_assert_eq!(decode_native(&out, &dlay).unwrap(), value);
+    }
+
+    /// Truncating a wire record never panics any converter — it errors.
+    #[test]
+    fn truncation_never_panics(
+        (schema, value) in schema_and_value(),
+        sp in profile_strategy(),
+        dp in profile_strategy(),
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let slay = Arc::new(Layout::of(&schema, sp).unwrap());
+        let dlay = Arc::new(Layout::of(&schema, dp).unwrap());
+        let wire = encode_native(&value, &slay).unwrap();
+        let cut = (wire.len() as u64 * cut_ppm as u64 / 1_000_000) as usize;
+        prop_assume!(cut < wire.len());
+        let plan = Arc::new(Plan::build(slay, dlay));
+        // Any result is fine as long as it is an Err, not a panic — unless
+        // the truncated prefix still covers every byte the plan reads.
+        let _ = InterpConverter::new(plan.clone()).convert(&wire[..cut]);
+        let _ = DcgConverter::compile(plan, CodegenMode::Optimized).unwrap().convert(&wire[..cut]);
+    }
+
+    /// Corrupting arbitrary wire bytes never panics the PBIO receive path
+    /// (values may of course differ).
+    #[test]
+    fn corruption_never_panics(
+        (schema, value) in var_schema_and_value(),
+        sp in profile_strategy(),
+        dp in profile_strategy(),
+        idx_ppm in 0u32..1_000_000,
+        byte in 0u8..=255,
+    ) {
+        let slay = Arc::new(Layout::of(&schema, sp).unwrap());
+        let dlay = Arc::new(Layout::of(&schema, dp).unwrap());
+        let mut wire = encode_native(&value, &slay).unwrap();
+        let idx = (wire.len() as u64 * idx_ppm as u64 / 1_000_000) as usize;
+        prop_assume!(idx < wire.len());
+        wire[idx] = byte;
+        let plan = Arc::new(Plan::build(slay, dlay));
+        let _ = InterpConverter::new(plan.clone()).convert(&wire);
+        let _ = DcgConverter::compile(plan, CodegenMode::Optimized).unwrap().convert(&wire);
+    }
+}

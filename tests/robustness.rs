@@ -1,0 +1,137 @@
+//! Adversarial-input robustness: nothing in the receive path may panic on
+//! arbitrary bytes — malformed wire data must surface as errors.
+//!
+//! A wire-format library's parsers sit directly on the network; "a
+//! malformed message crashed the simulation's monitor" is precisely the
+//! kind of failure a production release cannot have. These property tests
+//! throw random bytes (and structured-then-mutilated bytes) at every
+//! decoder in the workspace.
+
+use proptest::prelude::*;
+
+use pbio::message::{parse_message, MessageIter};
+use pbio::Reader;
+use pbio_integration::{profile_strategy, var_schema_and_value};
+use pbio_types::layout::Layout;
+use pbio_types::meta::{deserialize_layout, serialize_layout};
+use pbio_types::value::encode_native;
+use pbio_types::ArchProfile;
+use pbio_xml::{Parser, XmlDecoder, XmlHandler};
+
+struct NullHandler;
+
+impl XmlHandler for NullHandler {
+    fn start_element(&mut self, _: &str, _: &[(String, String)]) -> Result<(), pbio_xml::XmlError> {
+        Ok(())
+    }
+    fn end_element(&mut self, _: &str) -> Result<(), pbio_xml::XmlError> {
+        Ok(())
+    }
+    fn characters(&mut self, _: &str) -> Result<(), pbio_xml::XmlError> {
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The message framer accepts or rejects arbitrary bytes without panic.
+    #[test]
+    fn message_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = parse_message(&bytes);
+        for msg in MessageIter::new(&bytes) {
+            let _ = msg;
+        }
+    }
+
+    /// The metadata deserializer survives arbitrary bytes.
+    #[test]
+    fn meta_deserializer_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = deserialize_layout(&bytes);
+    }
+
+    /// ...including *mutated valid* metadata, which exercises the deep
+    /// parsing paths that pure noise never reaches.
+    #[test]
+    fn mutated_meta_never_panics(
+        (schema, _) in var_schema_and_value(),
+        p in profile_strategy(),
+        idx_ppm in 0u32..1_000_000,
+        byte in any::<u8>(),
+    ) {
+        let layout = Layout::of(&schema, p).unwrap();
+        let mut bytes = serialize_layout(&layout);
+        let idx = (bytes.len() as u64 * idx_ppm as u64 / 1_000_000) as usize;
+        prop_assume!(idx < bytes.len());
+        bytes[idx] = byte;
+        let _ = deserialize_layout(&bytes);
+    }
+
+    /// The XML parser survives arbitrary strings.
+    #[test]
+    fn xml_parser_never_panics(s in "\\PC*") {
+        let _ = Parser::parse(&s, &mut NullHandler);
+    }
+
+    /// The XML decoder survives arbitrary well-formed-ish documents.
+    #[test]
+    fn xml_decoder_never_panics(body in "[a-z<>/&#;0-9 .\\-]{0,200}") {
+        let doc = format!("<r>{body}</r>");
+        let layout = Layout::of(
+            &pbio_types::schema::Schema::new(
+                "r",
+                vec![pbio_types::schema::FieldDecl::atom(
+                    "a",
+                    pbio_types::schema::AtomType::CInt,
+                )],
+            )
+            .unwrap(),
+            &ArchProfile::X86,
+        )
+        .unwrap();
+        let _ = XmlDecoder::new(&layout).decode(&doc);
+    }
+
+    /// A PBIO reader fed arbitrary bytes errors out or waits for more input
+    /// — never panics, never fabricates records from noise when no format
+    /// was registered.
+    #[test]
+    fn reader_never_panics_on_noise(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        p in profile_strategy(),
+    ) {
+        let mut reader = Reader::new(p);
+        let _ = reader.process(&bytes, |_| {});
+    }
+
+    /// A reader fed a *valid stream with one mutated byte* errors or
+    /// delivers (possibly wrong) data — never panics. This covers the
+    /// deep conversion paths driven by attacker-controlled metadata.
+    #[test]
+    fn reader_never_panics_on_mutated_stream(
+        (schema, value) in var_schema_and_value(),
+        sp in profile_strategy(),
+        dp in profile_strategy(),
+        idx_ppm in 0u32..1_000_000,
+        byte in any::<u8>(),
+    ) {
+        let mut writer = pbio::Writer::new(sp);
+        let fmt = writer.register(&schema).unwrap();
+        let native = encode_native(&value, writer.layout(fmt).unwrap()).unwrap();
+        let mut stream = Vec::new();
+        writer.write(fmt, &native, &mut stream).unwrap();
+        let idx = (stream.len() as u64 * idx_ppm as u64 / 1_000_000) as usize;
+        prop_assume!(idx < stream.len());
+        stream[idx] = byte;
+
+        let mut reader = Reader::new(dp);
+        reader.expect(&schema).unwrap();
+        let _ = reader.process(&stream, |view| {
+            // Reads through the view must also be panic-free.
+            for f in view.layout().fields().to_vec() {
+                let _ = view.get(&f.name);
+            }
+            let _ = view.to_value();
+        });
+    }
+}
