@@ -25,9 +25,15 @@ fn conversion_backend(c: &mut Criterion) {
     let sparc = &ArchProfile::SPARC_V8;
     let x86 = &ArchProfile::X86;
     let mut g = c.benchmark_group("ablation_conversion_backend");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     for size in [MsgSize::K1, MsgSize::K100] {
-        for fmt in [WireFormat::PbioInterp, WireFormat::PbioDcgNaive, WireFormat::PbioDcg] {
+        for fmt in [
+            WireFormat::PbioInterp,
+            WireFormat::PbioDcgNaive,
+            WireFormat::PbioDcg,
+        ] {
             let w = workload(size);
             let mut pb = prepare(fmt, &w.schema, &w.schema, x86, sparc, &w.value);
             g.bench_function(BenchmarkId::new(fmt.label(), size.label()), |b| {
@@ -41,21 +47,25 @@ fn conversion_backend(c: &mut Criterion) {
 fn extension_position(c: &mut Criterion) {
     let sparc = &ArchProfile::SPARC_V8;
     let mut g = c.benchmark_group("ablation_extension_position");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     for size in [MsgSize::K1, MsgSize::K100] {
         let w = workload(size);
         let v = extended_value(&w.value);
         // Homogeneous exchange, so the only conversion cost is the mismatch.
         let pre = extended_schema_prepended(&w.schema);
         let mut pb_pre = prepare(WireFormat::PbioDcg, &pre, &w.schema, sparc, sparc, &v);
-        g.bench_function(BenchmarkId::new("prepended_worst_case", size.label()), |b| {
-            b.iter(|| (pb_pre.decode)())
-        });
+        g.bench_function(
+            BenchmarkId::new("prepended_worst_case", size.label()),
+            |b| b.iter(|| (pb_pre.decode)()),
+        );
         let app = extended_schema_appended(&w.schema);
         let mut pb_app = prepare(WireFormat::PbioDcg, &app, &w.schema, sparc, sparc, &v);
-        g.bench_function(BenchmarkId::new("appended_recommended", size.label()), |b| {
-            b.iter(|| (pb_app.decode)())
-        });
+        g.bench_function(
+            BenchmarkId::new("appended_recommended", size.label()),
+            |b| b.iter(|| (pb_app.decode)()),
+        );
     }
     g.finish();
 }
@@ -64,16 +74,26 @@ fn dcg_compile_cost(c: &mut Criterion) {
     let sparc = &ArchProfile::SPARC_V8;
     let x86 = &ArchProfile::X86;
     let mut g = c.benchmark_group("ablation_dcg_compile_cost");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     for size in [MsgSize::K1, MsgSize::K100] {
         let w = workload(size);
         let slay = Arc::new(Layout::of(&w.schema, x86).unwrap());
         let dlay = Arc::new(Layout::of(&w.schema, sparc).unwrap());
         let plan = Arc::new(Plan::build(slay, dlay));
-        for (label, mode) in [("naive", CodegenMode::Naive), ("optimized", CodegenMode::Optimized)] {
+        for (label, mode) in [
+            ("naive", CodegenMode::Naive),
+            ("optimized", CodegenMode::Optimized),
+        ] {
             let plan = plan.clone();
             g.bench_function(BenchmarkId::new(label, size.label()), |b| {
-                b.iter(|| DcgConverter::compile(plan.clone(), mode).unwrap().program().len())
+                b.iter(|| {
+                    DcgConverter::compile(plan.clone(), mode)
+                        .unwrap()
+                        .program()
+                        .len()
+                })
             });
         }
     }
@@ -94,9 +114,13 @@ fn filter_backend(c: &mut Criterion) {
     let prog = FilterProgram::compile(pred, layout).unwrap();
 
     let mut g = c.benchmark_group("ablation_filter_backend");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     g.bench_function("compiled", |b| b.iter(|| prog.matches(&bytes).unwrap()));
-    g.bench_function("interpreted", |b| b.iter(|| prog.matches_interpreted(&bytes).unwrap()));
+    g.bench_function("interpreted", |b| {
+        b.iter(|| prog.matches_interpreted(&bytes).unwrap())
+    });
     g.finish();
 }
 
@@ -108,7 +132,9 @@ fn bounds_checking(c: &mut Criterion) {
     let sparc = &ArchProfile::SPARC_V8;
     let x86 = &ArchProfile::X86;
     let mut g = c.benchmark_group("ablation_bounds_checking");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     for size in [MsgSize::K1, MsgSize::K100] {
         let w = workload(size);
         let slay = Arc::new(Layout::of(&w.schema, x86).unwrap());
@@ -139,7 +165,9 @@ fn var_length_records(c: &mut Criterion) {
     let x86 = &ArchProfile::X86_64;
     let schema = particle_schema();
     let mut g = c.benchmark_group("ablation_var_length_records");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     for neighbors in [4usize, 256] {
         let value = particle_value(neighbors as u64, neighbors);
         for fmt in [WireFormat::PbioDcg, WireFormat::Cdr, WireFormat::Xml] {

@@ -15,9 +15,16 @@ fn bench(c: &mut Criterion) {
     let sparc = &ArchProfile::SPARC_V8;
     let x86 = &ArchProfile::X86;
     let mut g = c.benchmark_group("fig2_send_encode_sparc");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     for size in MsgSize::all() {
-        for fmt in [WireFormat::Xml, WireFormat::Mpi, WireFormat::Cdr, WireFormat::PbioDcg] {
+        for fmt in [
+            WireFormat::Xml,
+            WireFormat::Mpi,
+            WireFormat::Cdr,
+            WireFormat::PbioDcg,
+        ] {
             let w = workload(size);
             let mut pb = prepare(fmt, &w.schema, &w.schema, sparc, x86, &w.value);
             g.bench_function(BenchmarkId::new(fmt.label(), size.label()), |b| {

@@ -16,9 +16,16 @@ fn bench(c: &mut Criterion) {
     let sparc = &ArchProfile::SPARC_V8;
     let x86 = &ArchProfile::X86;
     let mut g = c.benchmark_group("fig3_recv_decode_sparc");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     for size in MsgSize::all() {
-        for fmt in [WireFormat::Xml, WireFormat::Mpi, WireFormat::Cdr, WireFormat::PbioInterp] {
+        for fmt in [
+            WireFormat::Xml,
+            WireFormat::Mpi,
+            WireFormat::Cdr,
+            WireFormat::PbioInterp,
+        ] {
             let w = workload(size);
             // x86 sends, Sparc receives.
             let mut pb = prepare(fmt, &w.schema, &w.schema, x86, sparc, &w.value);

@@ -15,7 +15,9 @@ fn bench(c: &mut Criterion) {
     let sparc = &ArchProfile::SPARC_V8;
     let x86 = &ArchProfile::X86;
     let mut g = c.benchmark_group("fig4_dcg_decode_sparc");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     for size in MsgSize::all() {
         for fmt in [WireFormat::Mpi, WireFormat::PbioInterp, WireFormat::PbioDcg] {
             let w = workload(size);

@@ -17,10 +17,19 @@ fn bench(c: &mut Criterion) {
     let sparc = &ArchProfile::SPARC_V8;
     let x86 = &ArchProfile::X86;
     let mut g = c.benchmark_group("fig6_mismatch_hetero");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     for size in MsgSize::all() {
         let w = workload(size);
-        let mut matched = prepare(WireFormat::PbioDcg, &w.schema, &w.schema, x86, sparc, &w.value);
+        let mut matched = prepare(
+            WireFormat::PbioDcg,
+            &w.schema,
+            &w.schema,
+            x86,
+            sparc,
+            &w.value,
+        );
         g.bench_function(BenchmarkId::new("matched", size.label()), |b| {
             b.iter(|| (matched.decode)())
         });

@@ -16,11 +16,19 @@ use std::time::Duration;
 fn bench(c: &mut Criterion) {
     let sparc = &ArchProfile::SPARC_V8;
     let mut g = c.benchmark_group("fig7_mismatch_homo");
-    g.sample_size(20).warm_up_time(Duration::from_millis(300)).measurement_time(Duration::from_secs(1));
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
     for size in MsgSize::all() {
         let w = workload(size);
-        let mut matched =
-            prepare(WireFormat::PbioDcg, &w.schema, &w.schema, sparc, sparc, &w.value);
+        let mut matched = prepare(
+            WireFormat::PbioDcg,
+            &w.schema,
+            &w.schema,
+            sparc,
+            sparc,
+            &w.value,
+        );
         g.bench_function(BenchmarkId::new("matched_zero_copy", size.label()), |b| {
             b.iter(|| (matched.decode)())
         });

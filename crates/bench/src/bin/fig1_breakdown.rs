@@ -34,7 +34,9 @@ fn main() {
     let x86 = &ArchProfile::X86;
     let era = pbio_bench::era::era_mode();
 
-    println!("Figure 1 — MPICH round-trip cost breakdown (sparc <-> x86, modeled 100 Mbps Ethernet)");
+    println!(
+        "Figure 1 — MPICH round-trip cost breakdown (sparc <-> x86, modeled 100 Mbps Ethernet)"
+    );
     if era {
         println!("(--era: CPU components scaled to the paper's 1999 hosts; see pbio_bench::era)");
     } else {
@@ -43,7 +45,15 @@ fn main() {
     println!("(all times in microseconds; paper round-trips: 100b=660, 1Kb=1110, 10Kb=8430, 100Kb=80090)\n");
     println!(
         "{:>6} | {:>12} {:>10} {:>10} | {:>10} {:>10} {:>12} | {:>10} {:>8}",
-        "size", "sparc enc", "network", "i86 dec", "i86 enc", "network", "sparc dec", "total", "cpu frac"
+        "size",
+        "sparc enc",
+        "network",
+        "i86 dec",
+        "i86 enc",
+        "network",
+        "sparc dec",
+        "total",
+        "cpu frac"
     );
     println!("{}", "-".repeat(112));
 
@@ -65,7 +75,10 @@ fn main() {
             back_costs = scale_leg(back_costs, X86_FACTOR, SPARC_FACTOR);
         }
 
-        let rt = pbio_net::RoundTripCosts { forward: fwd_costs, back: back_costs };
+        let rt = pbio_net::RoundTripCosts {
+            forward: fwd_costs,
+            back: back_costs,
+        };
         println!(
             "{:>6} | {:>12.1} {:>10.1} {:>10.1} | {:>10.1} {:>10.1} {:>12.1} | {:>10.1} {:>7.0}%",
             size.label(),
@@ -82,8 +95,14 @@ fn main() {
 
     println!();
     println!("Paper (Figure 1) reference components, microseconds:");
-    println!("  100b : sparc enc 34,  net 227,  i86 dec 63,   i86 enc 10,  net 227,  sparc dec 104");
-    println!("  1Kb  : sparc enc 86,  net 345,  i86 dec 106,  i86 enc 46,  net 345,  sparc dec 186");
-    println!("  10Kb : sparc enc 971, net 1940, i86 dec 1190, i86 enc 876, net 1940, sparc dec 1510");
+    println!(
+        "  100b : sparc enc 34,  net 227,  i86 dec 63,   i86 enc 10,  net 227,  sparc dec 104"
+    );
+    println!(
+        "  1Kb  : sparc enc 86,  net 345,  i86 dec 106,  i86 enc 46,  net 345,  sparc dec 186"
+    );
+    println!(
+        "  10Kb : sparc enc 971, net 1940, i86 dec 1190, i86 enc 876, net 1940, sparc dec 1510"
+    );
     println!("  100Kb: sparc enc 13310, net 15390, i86 dec 11630, i86 enc 8950, net 15390, sparc dec 15410");
 }

@@ -64,7 +64,8 @@ fn main() {
     for size in MsgSize::all() {
         let mpi = round_trip(WireFormat::Mpi, size, &link, era);
         let pbio = round_trip(WireFormat::PbioDcg, size, &link, era);
-        let mpi_cpu = us(mpi.forward.encode + mpi.forward.decode + mpi.back.encode + mpi.back.decode);
+        let mpi_cpu =
+            us(mpi.forward.encode + mpi.forward.decode + mpi.back.encode + mpi.back.decode);
         let pbio_cpu =
             us(pbio.forward.encode + pbio.forward.decode + pbio.back.encode + pbio.back.decode);
         println!(
@@ -99,6 +100,8 @@ fn main() {
         );
     }
     println!();
-    println!("Paper PBIO DCG reference (µs): 100b rt=620; 1Kb rt=870; 10Kb rt=4300; 100Kb rt=35270");
+    println!(
+        "Paper PBIO DCG reference (µs): 100b rt=620; 1Kb rt=870; 10Kb rt=4300; 100Kb rt=35270"
+    );
     println!("Paper PBIO legs at 100Kb: enc 2, net 15390, i86 dec 3320 | enc 1, net 15390, sparc dec 1160");
 }

@@ -13,9 +13,7 @@
 //!
 //! Times are per-record microseconds, averaged over many iterations.
 
-use pbio_bench::workloads::{
-    extended_schema_prepended, extended_value, workload, MsgSize,
-};
+use pbio_bench::workloads::{extended_schema_prepended, extended_value, workload, MsgSize};
 use pbio_bench::{prepare, WireFormat};
 use pbio_net::time_avg;
 use pbio_types::arch::ArchProfile;
@@ -33,7 +31,14 @@ fn iters_for(size: MsgSize) -> u32 {
 fn encode_us(fmt: WireFormat, size: MsgSize, sp: &ArchProfile, dp: &ArchProfile) -> f64 {
     let w = workload(size);
     let mut pb = prepare(fmt, &w.schema, &w.schema, sp, dp, &w.value);
-    time_avg(|| { (pb.encode)(); }, iters_for(size)).as_secs_f64() * 1e6
+    time_avg(
+        || {
+            (pb.encode)();
+        },
+        iters_for(size),
+    )
+    .as_secs_f64()
+        * 1e6
 }
 
 /// Measure the decode closure, in µs.
@@ -75,11 +80,19 @@ fn main() {
     let x86 = &ArchProfile::X86;
 
     // ---- Figure 2: sender encode on the Sparc ----
-    let formats2 = [WireFormat::Xml, WireFormat::Mpi, WireFormat::Cdr, WireFormat::PbioDcg];
+    let formats2 = [
+        WireFormat::Xml,
+        WireFormat::Mpi,
+        WireFormat::Cdr,
+        WireFormat::PbioDcg,
+    ];
     let rows = MsgSize::all()
         .into_iter()
         .map(|size| {
-            let vals = formats2.iter().map(|f| encode_us(*f, size, sparc, x86)).collect();
+            let vals = formats2
+                .iter()
+                .map(|f| encode_us(*f, size, sparc, x86))
+                .collect();
             (size, vals)
         })
         .collect();
@@ -91,11 +104,19 @@ fn main() {
     );
 
     // ---- Figure 3: receiver decode on the Sparc, heterogeneous ----
-    let formats3 = [WireFormat::Xml, WireFormat::Mpi, WireFormat::Cdr, WireFormat::PbioInterp];
+    let formats3 = [
+        WireFormat::Xml,
+        WireFormat::Mpi,
+        WireFormat::Cdr,
+        WireFormat::PbioInterp,
+    ];
     let rows = MsgSize::all()
         .into_iter()
         .map(|size| {
-            let vals = formats3.iter().map(|f| decode_us(*f, size, x86, sparc)).collect();
+            let vals = formats3
+                .iter()
+                .map(|f| decode_us(*f, size, x86, sparc))
+                .collect();
             (size, vals)
         })
         .collect();
@@ -111,7 +132,10 @@ fn main() {
     let rows = MsgSize::all()
         .into_iter()
         .map(|size| {
-            let vals = formats4.iter().map(|f| decode_us(*f, size, x86, sparc)).collect();
+            let vals = formats4
+                .iter()
+                .map(|f| decode_us(*f, size, x86, sparc))
+                .collect();
             (size, vals)
         })
         .collect();
@@ -163,10 +187,21 @@ fn main() {
     println!("{}", "-".repeat(76));
     for size in MsgSize::all() {
         let w = workload(size);
-        let native = pbio_types::layout::Layout::of(&w.schema, sparc).unwrap().size();
+        let native = pbio_types::layout::Layout::of(&w.schema, sparc)
+            .unwrap()
+            .size();
         let mut row = Vec::new();
-        for fmt in [WireFormat::PbioDcg, WireFormat::Mpi, WireFormat::Cdr, WireFormat::Xml] {
-            row.push(prepare(fmt, &w.schema, &w.schema, sparc, x86, &w.value).wire.len());
+        for fmt in [
+            WireFormat::PbioDcg,
+            WireFormat::Mpi,
+            WireFormat::Cdr,
+            WireFormat::Xml,
+        ] {
+            row.push(
+                prepare(fmt, &w.schema, &w.schema, sparc, x86, &w.value)
+                    .wire
+                    .len(),
+            );
         }
         println!(
             "{:>6} | {:>8} | {:>8} {:>8} {:>8} {:>10} | {:>8.1}x",

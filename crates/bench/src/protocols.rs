@@ -79,9 +79,30 @@ pub fn prepare(
     value: &RecordValue,
 ) -> ProtoBench {
     match format {
-        WireFormat::PbioDcg => prepare_pbio(sender_schema, receiver_schema, sp, dp, value, Backend::Dcg(CodegenMode::Optimized)),
-        WireFormat::PbioDcgNaive => prepare_pbio(sender_schema, receiver_schema, sp, dp, value, Backend::Dcg(CodegenMode::Naive)),
-        WireFormat::PbioInterp => prepare_pbio(sender_schema, receiver_schema, sp, dp, value, Backend::Interp),
+        WireFormat::PbioDcg => prepare_pbio(
+            sender_schema,
+            receiver_schema,
+            sp,
+            dp,
+            value,
+            Backend::Dcg(CodegenMode::Optimized),
+        ),
+        WireFormat::PbioDcgNaive => prepare_pbio(
+            sender_schema,
+            receiver_schema,
+            sp,
+            dp,
+            value,
+            Backend::Dcg(CodegenMode::Naive),
+        ),
+        WireFormat::PbioInterp => prepare_pbio(
+            sender_schema,
+            receiver_schema,
+            sp,
+            dp,
+            value,
+            Backend::Interp,
+        ),
         WireFormat::Mpi => prepare_mpi(sender_schema, receiver_schema, sp, dp, value),
         WireFormat::Cdr => prepare_cdr(sender_schema, receiver_schema, sp, dp, value),
         WireFormat::Xml => prepare_xml(sender_schema, receiver_schema, sp, dp, value),
@@ -108,7 +129,9 @@ fn prepare_pbio(
     // Steady state: announce the format once so per-record framing is just
     // the data header.
     let mut warmup = Vec::new();
-    writer.write(fmt, &native, &mut warmup).expect("warmup write");
+    writer
+        .write(fmt, &native, &mut warmup)
+        .expect("warmup write");
 
     let mut out = Vec::with_capacity(native.len() + 64);
     writer.write(fmt, &native, &mut out).expect("wire write");
@@ -155,7 +178,11 @@ fn prepare_pbio(
         }
     };
 
-    ProtoBench { wire, encode, decode }
+    ProtoBench {
+        wire,
+        encode,
+        decode,
+    }
 }
 
 fn prepare_mpi(
@@ -190,7 +217,11 @@ fn prepare_mpi(
         std::hint::black_box(out.len());
     });
 
-    ProtoBench { wire, encode, decode }
+    ProtoBench {
+        wire,
+        encode,
+        decode,
+    }
 }
 
 fn prepare_cdr(
@@ -215,11 +246,16 @@ fn prepare_cdr(
     let wire_dec = wire.clone();
     let mut dec_buf: Vec<u8> = Vec::new();
     let decode = Box::new(move || {
-        dc.unmarshal_into(&wire_dec, &mut dec_buf).expect("unmarshal");
+        dc.unmarshal_into(&wire_dec, &mut dec_buf)
+            .expect("unmarshal");
         std::hint::black_box(dec_buf.len());
     });
 
-    ProtoBench { wire, encode, decode }
+    ProtoBench {
+        wire,
+        encode,
+        decode,
+    }
 }
 
 fn prepare_xml(
@@ -251,12 +287,21 @@ fn prepare_xml(
         std::hint::black_box(dec_buf.len());
     });
 
-    ProtoBench { wire, encode, decode }
+    ProtoBench {
+        wire,
+        encode,
+        decode,
+    }
 }
 
 /// All formats compared in Figures 2 and 3.
 pub fn figure23_formats() -> [WireFormat; 4] {
-    [WireFormat::Xml, WireFormat::Mpi, WireFormat::Cdr, WireFormat::PbioInterp]
+    [
+        WireFormat::Xml,
+        WireFormat::Mpi,
+        WireFormat::Cdr,
+        WireFormat::PbioInterp,
+    ]
 }
 
 #[cfg(test)]
@@ -293,13 +338,21 @@ mod tests {
     #[test]
     fn pbio_wire_is_smallest_mpi_packed_xml_biggest() {
         let w = workload(MsgSize::K1);
-        let sizes: Vec<(WireFormat, usize)> = [WireFormat::PbioDcg, WireFormat::Mpi, WireFormat::Xml]
-            .into_iter()
-            .map(|f| {
-                let pb = prepare(f, &w.schema, &w.schema, &ArchProfile::SPARC_V8, &ArchProfile::X86, &w.value);
-                (f, pb.wire.len())
-            })
-            .collect();
+        let sizes: Vec<(WireFormat, usize)> =
+            [WireFormat::PbioDcg, WireFormat::Mpi, WireFormat::Xml]
+                .into_iter()
+                .map(|f| {
+                    let pb = prepare(
+                        f,
+                        &w.schema,
+                        &w.schema,
+                        &ArchProfile::SPARC_V8,
+                        &ArchProfile::X86,
+                        &w.value,
+                    );
+                    (f, pb.wire.len())
+                })
+                .collect();
         let pbio = sizes[0].1;
         let mpi = sizes[1].1;
         let xml = sizes[2].1;

@@ -121,7 +121,9 @@ pub fn value_for(schema: &Schema, seed: u64) -> RecordValue {
             "coords" => {
                 // Count comes from the schema's fixed array length.
                 if let pbio_types::schema::TypeDesc::Fixed(_, n) = &f.ty {
-                    let items = (0..*n).map(|_| Value::F64(rng.gen_range(-1.0e3..1.0e3))).collect();
+                    let items = (0..*n)
+                        .map(|_| Value::F64(rng.gen_range(-1.0e3..1.0e3)))
+                        .collect();
                     v.set("coords", Value::Array(items));
                 }
             }
@@ -135,7 +137,11 @@ pub fn value_for(schema: &Schema, seed: u64) -> RecordValue {
 pub fn workload(size: MsgSize) -> Workload {
     let schema = sized_schema(size);
     let value = value_for(&schema, 0x5EED_0000 + size.target_bytes() as u64);
-    Workload { schema, value, size }
+    Workload {
+        schema,
+        value,
+        size,
+    }
 }
 
 /// A second workload family: particle/molecular-dynamics records with a
@@ -161,7 +167,10 @@ pub fn particle_schema() -> Schema {
             FieldDecl::atom("id", AtomType::CLong),
             FieldDecl::atom("species", AtomType::Char),
             FieldDecl::atom("charge", AtomType::CFloat),
-            FieldDecl::new("position", pbio_types::schema::TypeDesc::Record(vec3.clone())),
+            FieldDecl::new(
+                "position",
+                pbio_types::schema::TypeDesc::Record(vec3.clone()),
+            ),
             FieldDecl::new("velocity", pbio_types::schema::TypeDesc::Record(vec3)),
             FieldDecl::atom("n_neighbors", AtomType::CUInt),
             FieldDecl::new(
@@ -196,9 +205,16 @@ pub fn particle_value(seed: u64, neighbors: usize) -> RecordValue {
         .with("n_neighbors", neighbors as u32)
         .with(
             "neighbors",
-            Value::Array((0..neighbors).map(|_| Value::I64(rng.gen_range(0..1_000_000i32) as i64)).collect()),
+            Value::Array(
+                (0..neighbors)
+                    .map(|_| Value::I64(rng.gen_range(0..1_000_000i32) as i64))
+                    .collect(),
+            ),
         )
-        .with("origin", format!("rank-{}", rng.gen_range(0..64u32)).as_str())
+        .with(
+            "origin",
+            format!("rank-{}", rng.gen_range(0..64u32)).as_str(),
+        )
 }
 
 /// The §4.4 mismatch scenario: the sender's format with one *unexpected*
@@ -264,10 +280,7 @@ mod tests {
 
     #[test]
     fn different_sizes_differ() {
-        assert_ne!(
-            workload(MsgSize::B100).schema,
-            workload(MsgSize::K1).schema
-        );
+        assert_ne!(workload(MsgSize::B100).schema, workload(MsgSize::K1).schema);
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub enum CdrError {
 impl fmt::Display for CdrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CdrError::Truncated { context, need, have } => {
+            CdrError::Truncated {
+                context,
+                need,
+                have,
+            } => {
                 write!(f, "truncated while {context}: need {need}, have {have}")
             }
             CdrError::BadSchema(m) => write!(f, "bad schema: {m}"),
@@ -57,12 +61,21 @@ enum Kind {
 #[derive(Debug, Clone)]
 enum Op {
     /// One scalar: native (offset, width) <-> wire (aligned, canonical width).
-    Scalar { off: usize, nw: u8, ww: u8, kind: Kind },
+    Scalar {
+        off: usize,
+        nw: u8,
+        ww: u8,
+        kind: Kind,
+    },
     /// A string field (native descriptor at `off`).
     Str { off: usize },
     /// A sequence (var array): native descriptor at `off`, element ops with
     /// element-relative native offsets, native element stride.
-    Seq { off: usize, stride: usize, elem: Vec<Op> },
+    Seq {
+        off: usize,
+        stride: usize,
+        elem: Vec<Op>,
+    },
 }
 
 /// Size of the GIOP-style message header (flag byte + padding).
@@ -84,7 +97,11 @@ impl CdrCodec {
         for (decl, field) in schema.fields().iter().zip(layout.fields()) {
             flatten(&decl.ty, &field.ty, field.offset, &mut ops)?;
         }
-        Ok(CdrCodec { profile: profile.clone(), layout, ops })
+        Ok(CdrCodec {
+            profile: profile.clone(),
+            layout,
+            ops,
+        })
     }
 
     /// The native layout this codec reads/writes.
@@ -138,7 +155,15 @@ impl CdrCodec {
         out.resize(self.layout.size(), 0);
         let body = &wire[HEADER_SIZE..];
         let mut cursor = 0usize;
-        unmarshal_ops(&self.ops, body, &mut cursor, se, out, 0, self.profile.endianness)?;
+        unmarshal_ops(
+            &self.ops,
+            body,
+            &mut cursor,
+            se,
+            out,
+            0,
+            self.profile.endianness,
+        )?;
         Ok(())
     }
 
@@ -146,8 +171,7 @@ impl CdrCodec {
     /// byte-swapping (false on homogeneous exchanges — reader-makes-right's
     /// one saving).
     pub fn needs_swap(&self, wire: &[u8]) -> bool {
-        !wire.is_empty()
-            && (wire[0] == 1) != (self.profile.endianness == Endianness::Little)
+        !wire.is_empty() && (wire[0] == 1) != (self.profile.endianness == Endianness::Little)
     }
 }
 
@@ -163,8 +187,14 @@ fn flatten(
     match (lty, cty) {
         (TypeDesc::Atom(atom), _) => {
             let (nw, kind) = match cty {
-                ConcreteType::Int { bytes, signed: true } => (*bytes, Kind::Signed),
-                ConcreteType::Int { bytes, signed: false } => (*bytes, Kind::Unsigned),
+                ConcreteType::Int {
+                    bytes,
+                    signed: true,
+                } => (*bytes, Kind::Signed),
+                ConcreteType::Int {
+                    bytes,
+                    signed: false,
+                } => (*bytes, Kind::Unsigned),
                 ConcreteType::Float { bytes } => (*bytes, Kind::Float),
                 ConcreteType::Char | ConcreteType::Bool => (1, Kind::Byte),
                 other => return Err(CdrError::BadSchema(format!("atom resolved to {other:?}"))),
@@ -173,7 +203,14 @@ fn flatten(
             ops.push(Op::Scalar { off, nw, ww, kind });
             Ok(())
         }
-        (TypeDesc::Fixed(linner, n), ConcreteType::FixedArray { elem, count, stride }) => {
+        (
+            TypeDesc::Fixed(linner, n),
+            ConcreteType::FixedArray {
+                elem,
+                count,
+                stride,
+            },
+        ) => {
             debug_assert_eq!(n, count);
             for i in 0..*count {
                 flatten(linner, elem, off + i * stride, ops)?;
@@ -193,10 +230,16 @@ fn flatten(
         (TypeDesc::Var(linner, _), ConcreteType::VarArray { elem, stride, .. }) => {
             let mut elem_ops = Vec::new();
             flatten(linner, elem, 0, &mut elem_ops)?;
-            ops.push(Op::Seq { off, stride: *stride, elem: elem_ops });
+            ops.push(Op::Seq {
+                off,
+                stride: *stride,
+                elem: elem_ops,
+            });
             Ok(())
         }
-        (l, c) => Err(CdrError::BadSchema(format!("mismatched types {l:?} vs {c:?}"))),
+        (l, c) => Err(CdrError::BadSchema(format!(
+            "mismatched types {l:?} vs {c:?}"
+        ))),
     }
 }
 
@@ -449,8 +492,12 @@ mod tests {
         let value = mixed_value();
         let be = CdrCodec::new(&schema, &ArchProfile::SPARC_V8).unwrap();
         let le = CdrCodec::new(&schema, &ArchProfile::X86).unwrap();
-        let wb = be.marshal(&encode_native(&value, be.layout()).unwrap()).unwrap();
-        let wl = le.marshal(&encode_native(&value, le.layout()).unwrap()).unwrap();
+        let wb = be
+            .marshal(&encode_native(&value, be.layout()).unwrap())
+            .unwrap();
+        let wl = le
+            .marshal(&encode_native(&value, le.layout()).unwrap())
+            .unwrap();
         assert_eq!(wb[0], 0, "BE flag");
         assert_eq!(wl[0], 1, "LE flag");
         // Same logical content, same packed body length regardless of sender.
@@ -527,7 +574,10 @@ mod tests {
         let codec = CdrCodec::new(&schema, &ArchProfile::X86).unwrap();
         let native = encode_native(&mixed_value(), codec.layout()).unwrap();
         let wire = codec.marshal(&native).unwrap();
-        assert!(matches!(codec.unmarshal(&wire[..2]), Err(CdrError::Truncated { .. })));
+        assert!(matches!(
+            codec.unmarshal(&wire[..2]),
+            Err(CdrError::Truncated { .. })
+        ));
         assert!(matches!(
             codec.unmarshal(&wire[..wire.len() - 2]),
             Err(CdrError::Truncated { .. })

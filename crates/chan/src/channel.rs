@@ -8,6 +8,11 @@
 //! uninteresting events are dropped *before* any conversion or delivery
 //! work is spent on them — the "derived event channel" idea, with the
 //! filter compiled by the same DCG machinery as the conversions.
+//!
+//! The per-event loop (filter gate, counters, delivery) lives in
+//! [`crate::dispatch`], shared with the networked daemon in `pbio-serv`;
+//! this module supplies the *local* subscriber: convert for the
+//! subscriber's architecture and invoke its callback.
 
 use std::sync::Arc;
 
@@ -17,11 +22,10 @@ use pbio_types::layout::Layout;
 use pbio_types::schema::Schema;
 use pbio_types::value::{encode_native, RecordValue};
 
+use crate::dispatch::{DeliveryOutcome, Fanout, Subscriber};
 use crate::filter::{FilterError, FilterProgram, Predicate};
 
-/// Identifies one subscription on a channel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct SubscriptionId(usize);
+pub use crate::dispatch::SubscriptionId;
 
 /// Per-channel delivery counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -73,15 +77,42 @@ enum Delivery {
     /// Wire and native layouts are zero-copy compatible.
     ZeroCopy { native: Arc<Layout> },
     /// Generated conversion per delivered event.
-    Convert { conv: Box<DcgConverter>, native: Arc<Layout>, buf: Vec<u8> },
+    Convert {
+        conv: Box<DcgConverter>,
+        native: Arc<Layout>,
+        buf: Vec<u8>,
+    },
 }
 
-struct Subscription {
-    id: SubscriptionId,
+/// The local (in-process) subscriber: filter gate plus convert-and-invoke.
+struct LocalSubscriber {
     filter: Option<FilterProgram>,
     delivery: Delivery,
     sink: Box<dyn FnMut(RecordView<'_>) + Send>,
-    active: bool,
+}
+
+impl Subscriber for LocalSubscriber {
+    type Error = ChannelError;
+
+    fn accepts(&mut self, _format: u32, wire: &[u8]) -> Result<bool, ChannelError> {
+        match &self.filter {
+            Some(filter) => Ok(filter.matches(wire)?),
+            None => Ok(true),
+        }
+    }
+
+    fn deliver(&mut self, _format: u32, wire: &[u8]) -> Result<DeliveryOutcome, ChannelError> {
+        match &mut self.delivery {
+            Delivery::ZeroCopy { native } => {
+                (self.sink)(RecordView::borrowed(wire, native.clone()));
+            }
+            Delivery::Convert { conv, native, buf } => {
+                conv.convert_into(wire, buf)?;
+                (self.sink)(RecordView::converted(buf, native.clone()));
+            }
+        }
+        Ok(DeliveryOutcome::Delivered)
+    }
 }
 
 /// An event channel: publish records in the source's native representation;
@@ -89,8 +120,7 @@ struct Subscription {
 /// architecture and declared schema.
 pub struct Channel {
     source: Arc<Layout>,
-    subs: Vec<Subscription>,
-    stats: ChannelStats,
+    fanout: Fanout<LocalSubscriber>,
 }
 
 impl Channel {
@@ -98,7 +128,10 @@ impl Channel {
     /// machine with `profile`.
     pub fn new(schema: &Schema, profile: &ArchProfile) -> Result<Channel, ChannelError> {
         let source = Arc::new(Layout::of(schema, profile).map_err(PbioError::from)?);
-        Ok(Channel { source, subs: Vec::new(), stats: ChannelStats::default() })
+        Ok(Channel {
+            source,
+            fanout: Fanout::new(),
+        })
     }
 
     /// The source's wire layout (what subscribers' filters run against).
@@ -134,55 +167,31 @@ impl Channel {
             None => None,
             Some(p) => Some(FilterProgram::compile(p, self.source.clone())?),
         };
-        let id = SubscriptionId(self.subs.len());
-        self.subs.push(Subscription { id, filter, delivery, sink: Box::new(sink), active: true });
-        Ok(id)
+        Ok(self.fanout.subscribe(LocalSubscriber {
+            filter,
+            delivery,
+            sink: Box::new(sink),
+        }))
     }
 
     /// Cancel a subscription.
     pub fn unsubscribe(&mut self, id: SubscriptionId) -> Result<(), ChannelError> {
-        let sub = self
-            .subs
-            .iter_mut()
-            .find(|s| s.id == id)
-            .ok_or(ChannelError::UnknownSubscription(id))?;
-        sub.active = false;
-        Ok(())
+        if self.fanout.unsubscribe(id) {
+            Ok(())
+        } else {
+            Err(ChannelError::UnknownSubscription(id))
+        }
     }
 
     /// Number of active subscriptions.
     pub fn subscriber_count(&self) -> usize {
-        self.subs.iter().filter(|s| s.active).count()
+        self.fanout.active_count()
     }
 
     /// Publish one event given as the source's native bytes. Returns the
     /// number of subscribers it was delivered to.
     pub fn publish(&mut self, native: &[u8]) -> Result<usize, ChannelError> {
-        self.stats.published += 1;
-        let mut delivered = 0usize;
-        for sub in &mut self.subs {
-            if !sub.active {
-                continue;
-            }
-            if let Some(filter) = &sub.filter {
-                if !filter.matches(native)? {
-                    self.stats.filtered_out += 1;
-                    continue;
-                }
-            }
-            match &mut sub.delivery {
-                Delivery::ZeroCopy { native: layout } => {
-                    (sub.sink)(RecordView::borrowed(native, layout.clone()));
-                }
-                Delivery::Convert { conv, native: layout, buf } => {
-                    conv.convert_into(native, buf)?;
-                    (sub.sink)(RecordView::converted(buf, layout.clone()));
-                }
-            }
-            delivered += 1;
-            self.stats.delivered += 1;
-        }
-        Ok(delivered)
+        self.fanout.publish(0, native)
     }
 
     /// Publish a dynamic value (encoded through the source layout first —
@@ -194,7 +203,12 @@ impl Channel {
 
     /// Delivery counters.
     pub fn stats(&self) -> ChannelStats {
-        self.stats
+        let s = self.fanout.stats();
+        ChannelStats {
+            published: s.published,
+            delivered: s.delivered,
+            filtered_out: s.filtered_out,
+        }
     }
 }
 
@@ -219,7 +233,10 @@ mod tests {
     }
 
     fn reading(seq: i32, temp: f64, alarm: bool) -> RecordValue {
-        RecordValue::new().with("seq", seq).with("temp", temp).with("alarm", alarm)
+        RecordValue::new()
+            .with("seq", seq)
+            .with("temp", temp)
+            .with("alarm", alarm)
     }
 
     #[test]
@@ -241,7 +258,9 @@ mod tests {
         .unwrap();
 
         for i in 0..5 {
-            let n = chan.publish_value(&reading(i, 20.0 + i as f64, false)).unwrap();
+            let n = chan
+                .publish_value(&reading(i, 20.0 + i as f64, false))
+                .unwrap();
             assert_eq!(n, 2);
         }
         assert_eq!(a.load(Ordering::Relaxed), 5);
@@ -317,8 +336,16 @@ mod tests {
     fn bad_filter_rejected_at_subscribe_time() {
         let mut chan = Channel::new(&schema(), &ArchProfile::X86).unwrap();
         let err = chan
-            .subscribe(&schema(), &ArchProfile::X86, Some(Predicate::lt("nope", 1)), |_| {})
+            .subscribe(
+                &schema(),
+                &ArchProfile::X86,
+                Some(Predicate::lt("nope", 1)),
+                |_| {},
+            )
             .unwrap_err();
-        assert!(matches!(err, ChannelError::Filter(FilterError::UnknownField(_))));
+        assert!(matches!(
+            err,
+            ChannelError::Filter(FilterError::UnknownField(_))
+        ));
     }
 }

@@ -1,0 +1,243 @@
+//! Subscriber fan-out, factored out of [`crate::channel::Channel`] so the
+//! in-process channel and the networked daemon (`pbio-serv`) share one
+//! dispatch engine.
+//!
+//! The engine owns the per-event loop — skip inactive subscribers, ask each
+//! one's filter, count filtered/delivered/dropped — while the two halves of
+//! subscriber behavior stay pluggable through the [`Subscriber`] trait:
+//!
+//! * the local channel's subscriber converts the record for its
+//!   architecture and invokes a callback;
+//! * the daemon's subscriber compiles the filter per incoming wire format
+//!   and enqueues the untouched wire bytes on a bounded outbound queue
+//!   (which may drop, hence [`DeliveryOutcome::Dropped`]).
+
+/// Identifies one subscription on a fan-out (and, re-exported, on a
+/// [`crate::channel::Channel`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubscriptionId(pub(crate) usize);
+
+/// What a subscriber did with an event it accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOutcome {
+    /// The event reached the subscriber (invoked, or enqueued for it).
+    Delivered,
+    /// The subscriber's queue was full and policy discarded an event.
+    Dropped,
+}
+
+/// One subscriber endpoint: a filter decision plus a delivery action.
+pub trait Subscriber {
+    /// Error type surfaced through [`Fanout::publish`].
+    type Error;
+
+    /// Should this event (format id + wire-format bytes) be delivered?
+    /// Runs *before* any conversion or copying — the "filter at the
+    /// source" the paper's §5 envisions.
+    fn accepts(&mut self, format: u32, wire: &[u8]) -> Result<bool, Self::Error>;
+
+    /// Deliver the accepted event.
+    fn deliver(&mut self, format: u32, wire: &[u8]) -> Result<DeliveryOutcome, Self::Error>;
+}
+
+/// Event-loop counters, shared by every fan-out user.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Events published into the fan-out.
+    pub published: u64,
+    /// (subscriber, event) deliveries performed.
+    pub delivered: u64,
+    /// (subscriber, event) pairs suppressed by filters before any work.
+    pub filtered_out: u64,
+    /// Events discarded by subscriber backpressure policy.
+    pub dropped: u64,
+}
+
+struct Entry<S> {
+    id: SubscriptionId,
+    sub: S,
+    active: bool,
+}
+
+/// The shared fan-out engine: an ordered set of subscribers and the
+/// publish loop over them.
+pub struct Fanout<S> {
+    subs: Vec<Entry<S>>,
+    next: usize,
+    stats: DispatchStats,
+}
+
+impl<S> Default for Fanout<S> {
+    fn default() -> Fanout<S> {
+        Fanout::new()
+    }
+}
+
+impl<S> Fanout<S> {
+    /// An empty fan-out.
+    pub fn new() -> Fanout<S> {
+        Fanout {
+            subs: Vec::new(),
+            next: 0,
+            stats: DispatchStats::default(),
+        }
+    }
+
+    /// Add a subscriber; ids are never reused.
+    pub fn subscribe(&mut self, sub: S) -> SubscriptionId {
+        let id = SubscriptionId(self.next);
+        self.next += 1;
+        self.subs.push(Entry {
+            id,
+            sub,
+            active: true,
+        });
+        id
+    }
+
+    /// Deactivate a subscription. Returns `false` if the id is unknown.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> bool {
+        match self.subs.iter_mut().find(|e| e.id == id) {
+            Some(e) => {
+                e.active = false;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of active subscriptions.
+    pub fn active_count(&self) -> usize {
+        self.subs.iter().filter(|e| e.active).count()
+    }
+
+    /// Mutable access to one subscriber (daemon bookkeeping).
+    pub fn get_mut(&mut self, id: SubscriptionId) -> Option<&mut S> {
+        self.subs
+            .iter_mut()
+            .find(|e| e.id == id)
+            .map(|e| &mut e.sub)
+    }
+
+    /// Iterate over `(id, subscriber)` for the active subscriptions.
+    pub fn iter_active_mut(&mut self) -> impl Iterator<Item = (SubscriptionId, &mut S)> {
+        self.subs
+            .iter_mut()
+            .filter(|e| e.active)
+            .map(|e| (e.id, &mut e.sub))
+    }
+
+    /// Drop subscriptions (active or not) failing the predicate — used by
+    /// the daemon to reap subscribers whose connection went away.
+    pub fn retain(&mut self, mut keep: impl FnMut(SubscriptionId, &mut S) -> bool) {
+        self.subs.retain_mut(|e| keep(e.id, &mut e.sub));
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> DispatchStats {
+        self.stats
+    }
+}
+
+impl<S: Subscriber> Fanout<S> {
+    /// Publish one event to every active subscriber whose filter accepts
+    /// it. Returns the number of deliveries.
+    pub fn publish(&mut self, format: u32, wire: &[u8]) -> Result<usize, S::Error> {
+        self.stats.published += 1;
+        let mut delivered = 0usize;
+        for entry in &mut self.subs {
+            if !entry.active {
+                continue;
+            }
+            if !entry.sub.accepts(format, wire)? {
+                self.stats.filtered_out += 1;
+                continue;
+            }
+            match entry.sub.deliver(format, wire)? {
+                DeliveryOutcome::Delivered => {
+                    delivered += 1;
+                    self.stats.delivered += 1;
+                }
+                DeliveryOutcome::Dropped => {
+                    self.stats.dropped += 1;
+                }
+            }
+        }
+        Ok(delivered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct TestSub {
+        threshold: u8,
+        seen: Vec<u8>,
+        capacity: usize,
+    }
+
+    impl Subscriber for TestSub {
+        type Error = ();
+
+        fn accepts(&mut self, _format: u32, wire: &[u8]) -> Result<bool, ()> {
+            Ok(wire[0] >= self.threshold)
+        }
+
+        fn deliver(&mut self, _format: u32, wire: &[u8]) -> Result<DeliveryOutcome, ()> {
+            if self.seen.len() >= self.capacity {
+                return Ok(DeliveryOutcome::Dropped);
+            }
+            self.seen.push(wire[0]);
+            Ok(DeliveryOutcome::Delivered)
+        }
+    }
+
+    #[test]
+    fn filters_deliveries_and_drops_are_counted() {
+        let mut fanout = Fanout::new();
+        let all = fanout.subscribe(TestSub {
+            threshold: 0,
+            seen: Vec::new(),
+            capacity: 2,
+        });
+        let high = fanout.subscribe(TestSub {
+            threshold: 10,
+            seen: Vec::new(),
+            capacity: 99,
+        });
+        for v in [1u8, 5, 20, 30] {
+            fanout.publish(0, &[v]).unwrap();
+        }
+        assert_eq!(fanout.stats().published, 4);
+        // `all` accepts everything but its capacity drops the last two.
+        assert_eq!(fanout.get_mut(all).unwrap().seen, vec![1, 5]);
+        assert_eq!(fanout.get_mut(high).unwrap().seen, vec![20, 30]);
+        assert_eq!(fanout.stats().filtered_out, 2);
+        assert_eq!(fanout.stats().dropped, 2);
+        assert_eq!(fanout.stats().delivered, 4);
+    }
+
+    #[test]
+    fn unsubscribe_and_retain() {
+        let mut fanout = Fanout::new();
+        let a = fanout.subscribe(TestSub {
+            threshold: 0,
+            seen: Vec::new(),
+            capacity: 9,
+        });
+        let b = fanout.subscribe(TestSub {
+            threshold: 0,
+            seen: Vec::new(),
+            capacity: 9,
+        });
+        assert_eq!(fanout.active_count(), 2);
+        assert!(fanout.unsubscribe(a));
+        assert!(!fanout.unsubscribe(SubscriptionId(99)));
+        assert_eq!(fanout.active_count(), 1);
+        fanout.publish(0, &[3]).unwrap();
+        assert_eq!(fanout.get_mut(b).unwrap().seen, vec![3]);
+        fanout.retain(|id, _| id != b);
+        assert_eq!(fanout.active_count(), 0);
+    }
+}

@@ -102,7 +102,11 @@ pub enum Predicate {
 impl Predicate {
     /// `field op value` constructor.
     pub fn cmp(field: impl Into<String>, op: CmpOp, value: impl Into<Literal>) -> Predicate {
-        Predicate::Cmp { field: field.into(), op, value: value.into() }
+        Predicate::Cmp {
+            field: field.into(),
+            op,
+            value: value.into(),
+        }
     }
 
     /// `field < value`.
@@ -163,6 +167,8 @@ pub enum FilterError {
     TooDeep(usize),
     /// The generated program faulted (truncated record).
     Exec(ExecError),
+    /// Malformed serialized predicate (see [`crate::wire`]).
+    Wire(String),
 }
 
 impl fmt::Display for FilterError {
@@ -175,6 +181,7 @@ impl fmt::Display for FilterError {
             }
             FilterError::TooDeep(d) => write!(f, "predicate nesting {d} exceeds register budget"),
             FilterError::Exec(e) => write!(f, "filter execution fault: {e}"),
+            FilterError::Wire(msg) => write!(f, "malformed serialized predicate: {msg}"),
         }
     }
 }
@@ -205,15 +212,27 @@ pub struct FilterProgram {
 
 impl FilterProgram {
     /// Compile `predicate` against the incoming wire layout.
-    pub fn compile(predicate: Predicate, layout: Arc<Layout>) -> Result<FilterProgram, FilterError> {
+    pub fn compile(
+        predicate: Predicate,
+        layout: Arc<Layout>,
+    ) -> Result<FilterProgram, FilterError> {
         let mut asm = Assembler::new();
-        let mut gen = FilterGen { asm: &mut asm, layout: &layout };
+        let mut gen = FilterGen {
+            asm: &mut asm,
+            layout: &layout,
+        };
         gen.emit(&predicate, 0)?;
         // Result of the whole predicate is in VAL_BASE; store to Dst[0].
         asm.st(1, abi::DST, 0, Reg(VAL_BASE));
-        let program = asm.finish().expect("filter codegen produces valid programs");
+        let program = asm
+            .finish()
+            .expect("filter codegen produces valid programs");
         let program = optimize(&program);
-        Ok(FilterProgram { layout, predicate, program })
+        Ok(FilterProgram {
+            layout,
+            predicate,
+            program,
+        })
     }
 
     /// Evaluate against one wire record using the generated code.
@@ -258,8 +277,14 @@ fn classify(layout: &Layout, name: &str) -> Result<(usize, FieldClass), FilterEr
         .field(name)
         .ok_or_else(|| FilterError::UnknownField(name.to_owned()))?;
     let class = match &field.ty {
-        ConcreteType::Int { bytes, signed: true } => FieldClass::Signed(*bytes),
-        ConcreteType::Int { bytes, signed: false } => FieldClass::Unsigned(*bytes),
+        ConcreteType::Int {
+            bytes,
+            signed: true,
+        } => FieldClass::Signed(*bytes),
+        ConcreteType::Int {
+            bytes,
+            signed: false,
+        } => FieldClass::Unsigned(*bytes),
         ConcreteType::Float { bytes } => FieldClass::Float(*bytes),
         ConcreteType::Char => FieldClass::Unsigned(1),
         ConcreteType::Bool => FieldClass::Bool,
@@ -331,9 +356,8 @@ impl FilterGen<'_> {
             }
             (FieldClass::Float(_), Literal::Int(i)) => Domain::Float(i as f64),
             (FieldClass::Float(_), Literal::Float(x)) => Domain::Float(x),
-            (FieldClass::Signed(_), Literal::Float(x)) | (FieldClass::Unsigned(_), Literal::Float(x)) => {
-                Domain::Float(x)
-            }
+            (FieldClass::Signed(_), Literal::Float(x))
+            | (FieldClass::Unsigned(_), Literal::Float(x)) => Domain::Float(x),
             (FieldClass::Signed(_), Literal::Int(i)) => Domain::SignedInt(i),
             (FieldClass::Unsigned(_), Literal::Int(i)) => {
                 if i < 0 {
@@ -357,7 +381,8 @@ impl FilterGen<'_> {
             FieldClass::Float(w) => (w, false, true),
             FieldClass::Bool => (1, false, false),
         };
-        self.asm.ld(w, FIELD_REG, Space::Src, abi::SRC, offset as i32);
+        self.asm
+            .ld(w, FIELD_REG, Space::Src, abi::SRC, offset as i32);
         if big && w > 1 {
             self.asm.bswap(w, FIELD_REG);
         }
@@ -468,7 +493,9 @@ pub fn eval_interpreted(
             let (offset, class) = classify(layout, field)?;
             let endian = layout.endianness();
             let need = match class {
-                FieldClass::Signed(w) | FieldClass::Unsigned(w) | FieldClass::Float(w) => w as usize,
+                FieldClass::Signed(w) | FieldClass::Unsigned(w) | FieldClass::Float(w) => {
+                    w as usize
+                }
                 FieldClass::Bool => 1,
             };
             if offset + need > record.len() {
@@ -610,7 +637,12 @@ mod tests {
             let layout = Arc::new(Layout::of(&schema(), p).unwrap());
             let bytes = encode_native(rv, &layout).unwrap();
             let prog = FilterProgram::compile(pred.clone(), layout).unwrap();
-            assert_eq!(prog.matches(&bytes).unwrap(), expect, "{pred:?} on {}", p.name);
+            assert_eq!(
+                prog.matches(&bytes).unwrap(),
+                expect,
+                "{pred:?} on {}",
+                p.name
+            );
             assert_eq!(
                 prog.matches_interpreted(&bytes).unwrap(),
                 expect,
@@ -740,7 +772,10 @@ mod tests {
         let layout = Arc::new(Layout::of(&schema(), &ArchProfile::X86).unwrap());
         let prog = FilterProgram::compile(Predicate::gt("temp", 1.0), layout).unwrap();
         assert!(matches!(prog.matches(&[0u8; 2]), Err(FilterError::Exec(_))));
-        assert!(matches!(prog.matches_interpreted(&[0u8; 2]), Err(FilterError::Exec(_))));
+        assert!(matches!(
+            prog.matches_interpreted(&[0u8; 2]),
+            Err(FilterError::Exec(_))
+        ));
     }
 
     #[test]

@@ -21,12 +21,22 @@
 //!   interpreted reference evaluator used for differential testing,
 //! * [`channel::Channel`] — a single-process event channel: one source
 //!   format, many subscribers, each with its own architecture, its own
-//!   expected schema (PBIO type extension applies) and an optional filter.
+//!   expected schema (PBIO type extension applies) and an optional filter,
+//! * [`dispatch::Fanout`] — the per-event loop (filter gate, counters,
+//!   delivery outcomes) shared between [`channel::Channel`] and the
+//!   networked daemon in `pbio-serv`,
+//! * [`wire`] — a compact serialization for predicates, so a remote
+//!   subscriber can ship its filter to the daemon for evaluation at the
+//!   source.
 
 #![warn(missing_docs)]
 
 pub mod channel;
+pub mod dispatch;
 pub mod filter;
+pub mod wire;
 
 pub use channel::{Channel, ChannelStats, SubscriptionId};
+pub use dispatch::{DeliveryOutcome, DispatchStats, Fanout, Subscriber};
 pub use filter::{CmpOp, FilterError, FilterProgram, Literal, Predicate};
+pub use wire::{deserialize_predicate, serialize_predicate};

@@ -1,0 +1,227 @@
+//! Wire encoding for [`Predicate`]s, so a subscriber can ship its filter
+//! to a remote event-channel daemon (`pbio-serv`), which compiles it
+//! against each publisher's wire format and evaluates it at the source.
+//!
+//! The encoding is a compact big-endian preorder walk:
+//!
+//! ```text
+//! pred    := 0x00                          -- True
+//!          | 0x01 op:u8 lit nlen:u16be name[nlen]
+//!          | 0x02 pred pred                -- And
+//!          | 0x03 pred pred                -- Or
+//!          | 0x04 pred                     -- Not
+//! lit     := 0x00 i64be | 0x01 f64bits:u64be | 0x02 bool:u8
+//! ```
+//!
+//! Deserialization is defensive — it parses attacker-visible bytes on the
+//! daemon — with strict bounds checks and a nesting-depth limit.
+
+use crate::filter::{CmpOp, FilterError, Literal, Predicate};
+
+/// Maximum nesting depth accepted by [`deserialize_predicate`].
+pub const MAX_PREDICATE_DEPTH: usize = 64;
+
+const TAG_TRUE: u8 = 0x00;
+const TAG_CMP: u8 = 0x01;
+const TAG_AND: u8 = 0x02;
+const TAG_OR: u8 = 0x03;
+const TAG_NOT: u8 = 0x04;
+
+const LIT_INT: u8 = 0x00;
+const LIT_FLOAT: u8 = 0x01;
+const LIT_BOOL: u8 = 0x02;
+
+fn op_code(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Lt => 0,
+        CmpOp::Le => 1,
+        CmpOp::Gt => 2,
+        CmpOp::Ge => 3,
+        CmpOp::Eq => 4,
+        CmpOp::Ne => 5,
+    }
+}
+
+fn op_from(code: u8) -> Option<CmpOp> {
+    Some(match code {
+        0 => CmpOp::Lt,
+        1 => CmpOp::Le,
+        2 => CmpOp::Gt,
+        3 => CmpOp::Ge,
+        4 => CmpOp::Eq,
+        5 => CmpOp::Ne,
+        _ => return None,
+    })
+}
+
+/// Serialize a predicate to its wire form.
+pub fn serialize_predicate(pred: &Predicate) -> Vec<u8> {
+    let mut out = Vec::new();
+    emit(pred, &mut out);
+    out
+}
+
+fn emit(pred: &Predicate, out: &mut Vec<u8>) {
+    match pred {
+        Predicate::True => out.push(TAG_TRUE),
+        Predicate::Cmp { field, op, value } => {
+            out.push(TAG_CMP);
+            out.push(op_code(*op));
+            match value {
+                Literal::Int(v) => {
+                    out.push(LIT_INT);
+                    out.extend_from_slice(&v.to_be_bytes());
+                }
+                Literal::Float(v) => {
+                    out.push(LIT_FLOAT);
+                    out.extend_from_slice(&v.to_bits().to_be_bytes());
+                }
+                Literal::Bool(v) => {
+                    out.push(LIT_BOOL);
+                    out.push(*v as u8);
+                }
+            }
+            debug_assert!(field.len() <= u16::MAX as usize);
+            out.extend_from_slice(&(field.len() as u16).to_be_bytes());
+            out.extend_from_slice(field.as_bytes());
+        }
+        Predicate::And(a, b) => {
+            out.push(TAG_AND);
+            emit(a, out);
+            emit(b, out);
+        }
+        Predicate::Or(a, b) => {
+            out.push(TAG_OR);
+            emit(a, out);
+            emit(b, out);
+        }
+        Predicate::Not(a) => {
+            out.push(TAG_NOT);
+            emit(a, out);
+        }
+    }
+}
+
+/// Deserialize a predicate from its wire form. The whole input must be
+/// consumed — trailing bytes are an error.
+pub fn deserialize_predicate(bytes: &[u8]) -> Result<Predicate, FilterError> {
+    let mut pos = 0usize;
+    let pred = parse(bytes, &mut pos, 0)?;
+    if pos != bytes.len() {
+        return Err(FilterError::Wire(format!(
+            "{} trailing bytes after predicate",
+            bytes.len() - pos
+        )));
+    }
+    Ok(pred)
+}
+
+fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], FilterError> {
+    let end = pos.checked_add(n).filter(|&e| e <= bytes.len());
+    match end {
+        Some(end) => {
+            let s = &bytes[*pos..end];
+            *pos = end;
+            Ok(s)
+        }
+        None => Err(FilterError::Wire("truncated predicate".into())),
+    }
+}
+
+fn parse(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Predicate, FilterError> {
+    if depth > MAX_PREDICATE_DEPTH {
+        return Err(FilterError::Wire(format!(
+            "predicate nesting exceeds {MAX_PREDICATE_DEPTH}"
+        )));
+    }
+    let tag = take(bytes, pos, 1)?[0];
+    match tag {
+        TAG_TRUE => Ok(Predicate::True),
+        TAG_CMP => {
+            let op = op_from(take(bytes, pos, 1)?[0])
+                .ok_or_else(|| FilterError::Wire("unknown comparison operator".into()))?;
+            let value = match take(bytes, pos, 1)?[0] {
+                LIT_INT => {
+                    let raw: [u8; 8] = take(bytes, pos, 8)?.try_into().unwrap();
+                    Literal::Int(i64::from_be_bytes(raw))
+                }
+                LIT_FLOAT => {
+                    let raw: [u8; 8] = take(bytes, pos, 8)?.try_into().unwrap();
+                    Literal::Float(f64::from_bits(u64::from_be_bytes(raw)))
+                }
+                LIT_BOOL => Literal::Bool(take(bytes, pos, 1)?[0] != 0),
+                other => {
+                    return Err(FilterError::Wire(format!(
+                        "unknown literal tag {other:#04x}"
+                    )))
+                }
+            };
+            let nlen = {
+                let raw: [u8; 2] = take(bytes, pos, 2)?.try_into().unwrap();
+                u16::from_be_bytes(raw) as usize
+            };
+            let field = std::str::from_utf8(take(bytes, pos, nlen)?)
+                .map_err(|_| FilterError::Wire("field name is not UTF-8".into()))?
+                .to_owned();
+            Ok(Predicate::Cmp { field, op, value })
+        }
+        TAG_AND => Ok(Predicate::And(
+            Box::new(parse(bytes, pos, depth + 1)?),
+            Box::new(parse(bytes, pos, depth + 1)?),
+        )),
+        TAG_OR => Ok(Predicate::Or(
+            Box::new(parse(bytes, pos, depth + 1)?),
+            Box::new(parse(bytes, pos, depth + 1)?),
+        )),
+        TAG_NOT => Ok(Predicate::Not(Box::new(parse(bytes, pos, depth + 1)?))),
+        other => Err(FilterError::Wire(format!(
+            "unknown predicate tag {other:#04x}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let preds = [
+            Predicate::True,
+            Predicate::gt("temp", 25.5),
+            Predicate::eq("alarm", true),
+            Predicate::le("seq", 3i64)
+                .and(Predicate::ne("level", 0i64))
+                .or(Predicate::lt("ratio", -1.25).not()),
+        ];
+        for p in &preds {
+            let bytes = serialize_predicate(p);
+            assert_eq!(&deserialize_predicate(&bytes).unwrap(), p, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_errors_not_panics() {
+        let good = serialize_predicate(&Predicate::gt("temperature", 1.0));
+        for cut in 0..good.len() {
+            assert!(deserialize_predicate(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        for first in [0x05u8, 0x7F, 0xFF] {
+            assert!(deserialize_predicate(&[first]).is_err());
+        }
+        // Trailing bytes rejected.
+        let mut extra = good.clone();
+        extra.push(0);
+        assert!(deserialize_predicate(&extra).is_err());
+    }
+
+    #[test]
+    fn depth_bomb_is_rejected() {
+        let mut bytes = vec![0x04u8; MAX_PREDICATE_DEPTH + 10];
+        bytes.push(0x00);
+        assert!(matches!(
+            deserialize_predicate(&bytes),
+            Err(FilterError::Wire(_))
+        ));
+    }
+}

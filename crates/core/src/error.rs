@@ -34,8 +34,15 @@ impl fmt::Display for PbioError {
             PbioError::Exec(e) => write!(f, "conversion fault: {e}"),
             PbioError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             PbioError::UnknownFormat(id) => write!(f, "unknown format id {id}"),
-            PbioError::TruncatedRecord { need, have, context } => {
-                write!(f, "truncated record while {context}: need {need} bytes, have {have}")
+            PbioError::TruncatedRecord {
+                need,
+                have,
+                context,
+            } => {
+                write!(
+                    f,
+                    "truncated record while {context}: need {need} bytes, have {have}"
+                )
             }
         }
     }

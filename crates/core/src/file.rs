@@ -44,7 +44,12 @@ impl<W: Write> FileWriter<W> {
     pub fn create(mut sink: W, profile: &ArchProfile) -> Result<FileWriter<W>, PbioError> {
         sink.write_all(FILE_MAGIC).map_err(io_err)?;
         sink.write_all(&[FILE_VERSION]).map_err(io_err)?;
-        Ok(FileWriter { writer: Writer::new(profile), sink, buf: Vec::new(), records: 0 })
+        Ok(FileWriter {
+            writer: Writer::new(profile),
+            sink,
+            buf: Vec::new(),
+            records: 0,
+        })
     }
 
     /// Register a record format (meta-information is written to the file the
@@ -235,7 +240,12 @@ mod tests {
         let mut fr = FileReader::open(Cursor::new(&bytes), &ArchProfile::X86).unwrap();
         let mut names = Vec::new();
         fr.read_all(|view| {
-            names = view.layout().fields().iter().map(|f| f.name.clone()).collect();
+            names = view
+                .layout()
+                .fields()
+                .iter()
+                .map(|f| f.name.clone())
+                .collect();
             assert!(view.get("energy").is_some());
         })
         .unwrap();
@@ -278,7 +288,8 @@ mod tests {
         let t = fw.register(&schema()).unwrap();
         let a = fw.register(&other).unwrap();
         fw.write_value(t, &record(0)).unwrap();
-        fw.write_value(a, &RecordValue::new().with("flag", true)).unwrap();
+        fw.write_value(a, &RecordValue::new().with("flag", true))
+            .unwrap();
         fw.write_value(t, &record(1)).unwrap();
         let bytes = fw.finish().unwrap();
 
@@ -286,7 +297,8 @@ mod tests {
         fr.expect(&schema()).unwrap();
         fr.expect(&other).unwrap();
         let mut kinds = Vec::new();
-        fr.read_all(|view| kinds.push(view.layout().format_name().to_owned())).unwrap();
+        fr.read_all(|view| kinds.push(view.layout().format_name().to_owned()))
+            .unwrap();
         assert_eq!(kinds, vec!["trace", "aux", "trace"]);
     }
 

@@ -98,7 +98,11 @@ pub(crate) fn exec_steps(
 ) -> Result<(), PbioError> {
     for step in steps {
         match step {
-            Step::CopyBytes { src: s, dst: d, len } => {
+            Step::CopyBytes {
+                src: s,
+                dst: d,
+                len,
+            } => {
                 let at = sbase + s;
                 need(src, at, *len, "copying bytes")?;
                 out[dbase + d..dbase + d + len].copy_from_slice(&src[at..at + len]);
@@ -112,7 +116,12 @@ pub(crate) fn exec_steps(
                     out[dat + i] = src[at + w - 1 - i];
                 }
             }
-            Step::ConvScalar { from, to, src: s, dst: d } => {
+            Step::ConvScalar {
+                from,
+                to,
+                src: s,
+                dst: d,
+            } => {
                 let at = sbase + s;
                 need(src, at, from.w as usize, "converting scalar")?;
                 conv_scalar(*from, *to, src, at, out, dbase + d);
@@ -120,7 +129,14 @@ pub(crate) fn exec_steps(
             Step::ZeroFill { dst: d, len } => {
                 out[dbase + d..dbase + d + len].fill(0);
             }
-            Step::FixedLoop { count, src_stride, dst_stride, src: s, dst: d, body } => {
+            Step::FixedLoop {
+                count,
+                src_stride,
+                dst_stride,
+                src: s,
+                dst: d,
+                body,
+            } => {
                 for i in 0..*count {
                     exec_steps(
                         body,
@@ -143,16 +159,25 @@ pub(crate) fn exec_steps(
                 out.extend_from_slice(&src[off..off + count]);
                 write_descriptor(out, dbase + d, de, start, count);
             }
-            Step::VarLoop { src: s, dst: d, src_stride, dst_stride, body } => {
+            Step::VarLoop {
+                src: s,
+                dst: d,
+                src_stride,
+                dst_stride,
+                body,
+            } => {
                 let at = sbase + s;
                 need(src, at, 8, "reading array descriptor")?;
                 let off = prim::read_uint(src, at, 4, se) as usize;
                 let count = prim::read_uint(src, at + 4, 4, se) as usize;
-                let total_src = count.checked_mul(*src_stride).ok_or(PbioError::TruncatedRecord {
-                    need: usize::MAX,
-                    have: src.len(),
-                    context: "var array size overflow".into(),
-                })?;
+                let total_src =
+                    count
+                        .checked_mul(*src_stride)
+                        .ok_or(PbioError::TruncatedRecord {
+                            need: usize::MAX,
+                            have: src.len(),
+                            context: "var array size overflow".into(),
+                        })?;
                 need(src, off, total_src, "reading var array payload")?;
                 let start = append_aligned(out);
                 out.resize(start + count * dst_stride, 0);
@@ -285,8 +310,8 @@ mod tests {
         let got = convert_between(
             &schema,
             &schema,
-            &ArchProfile::SPARC_V8,  // long = 4, BE
-            &ArchProfile::X86_64,    // long = 8, LE
+            &ArchProfile::SPARC_V8, // long = 4, BE
+            &ArchProfile::X86_64,   // long = 8, LE
             &value,
         );
         assert_eq!(got.get("id"), Some(&Value::I64(-1)));
@@ -315,7 +340,13 @@ mod tests {
             .unwrap();
         let mut value = mixed_value();
         value.set("extra", 9.75f64);
-        let got = convert_between(&sender, &mixed(), &ArchProfile::X86, &ArchProfile::X86, &value);
+        let got = convert_between(
+            &sender,
+            &mixed(),
+            &ArchProfile::X86,
+            &ArchProfile::X86,
+            &value,
+        );
         assert_eq!(got, mixed_value());
     }
 
@@ -331,7 +362,13 @@ mod tests {
                 value.set(n.clone(), val.clone());
             }
         }
-        let got = convert_between(&sender, &mixed(), &ArchProfile::SPARC_V8, &ArchProfile::X86, &value);
+        let got = convert_between(
+            &sender,
+            &mixed(),
+            &ArchProfile::SPARC_V8,
+            &ArchProfile::X86,
+            &value,
+        );
         assert_eq!(got.get("count"), Some(&Value::I64(0)));
         assert_eq!(got.get("x"), Some(&Value::F64(-17.625)));
     }
@@ -415,7 +452,10 @@ mod tests {
         let conv = InterpConverter::new(Arc::new(Plan::build(slay, dlay)));
         for cut in [0, 1, wire.len() / 2, wire.len() - 1] {
             assert!(
-                matches!(conv.convert(&wire[..cut]), Err(PbioError::TruncatedRecord { .. })),
+                matches!(
+                    conv.convert(&wire[..cut]),
+                    Err(PbioError::TruncatedRecord { .. })
+                ),
                 "cut at {cut}"
             );
         }
@@ -438,7 +478,10 @@ mod tests {
         let off = slay.field("label").unwrap().offset;
         prim::write_uint(&mut wire, off + 4, 4, slay.endianness(), 1 << 20); // huge count
         let conv = InterpConverter::new(Arc::new(Plan::build(slay, dlay)));
-        assert!(matches!(conv.convert(&wire), Err(PbioError::TruncatedRecord { .. })));
+        assert!(matches!(
+            conv.convert(&wire),
+            Err(PbioError::TruncatedRecord { .. })
+        ));
     }
 
     #[test]

@@ -74,7 +74,9 @@ pub fn parse_message(buf: &[u8]) -> Result<Option<(Message<'_>, usize)>, PbioErr
         KIND_FORMAT => Message::Format { id, meta: body },
         KIND_DATA => Message::Data { id, payload: body },
         other => {
-            return Err(PbioError::Protocol(format!("unknown message kind {other:#04x}")))
+            return Err(PbioError::Protocol(format!(
+                "unknown message kind {other:#04x}"
+            )))
         }
     };
     Ok(Some((msg, total)))
@@ -90,7 +92,11 @@ pub struct MessageIter<'a> {
 impl<'a> MessageIter<'a> {
     /// Iterate messages in `buf` starting at offset 0.
     pub fn new(buf: &'a [u8]) -> MessageIter<'a> {
-        MessageIter { buf, pos: 0, failed: false }
+        MessageIter {
+            buf,
+            pos: 0,
+            failed: false,
+        }
     }
 
     /// Bytes consumed so far (useful for stream buffering: unconsumed bytes
@@ -132,7 +138,13 @@ mod tests {
         buf.extend_from_slice(b"abc");
         let (msg, used) = parse_message(&buf).unwrap().unwrap();
         assert_eq!(used, 12);
-        assert_eq!(msg, Message::Data { id: 7, payload: b"abc" });
+        assert_eq!(
+            msg,
+            Message::Data {
+                id: 7,
+                payload: b"abc"
+            }
+        );
     }
 
     #[test]
@@ -164,8 +176,17 @@ mod tests {
         buf.extend_from_slice(b"partial");
 
         let mut it = MessageIter::new(&buf);
-        assert_eq!(it.next().unwrap().unwrap(), Message::Format { id: 1, meta: b"m1" });
-        assert_eq!(it.next().unwrap().unwrap(), Message::Data { id: 1, payload: b"d4ta" });
+        assert_eq!(
+            it.next().unwrap().unwrap(),
+            Message::Format { id: 1, meta: b"m1" }
+        );
+        assert_eq!(
+            it.next().unwrap().unwrap(),
+            Message::Data {
+                id: 1,
+                payload: b"d4ta"
+            }
+        );
         assert!(it.next().is_none());
         assert_eq!(it.consumed(), 11 + 13);
     }

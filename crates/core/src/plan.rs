@@ -48,15 +48,37 @@ pub struct ScalarSig {
 impl ScalarSig {
     fn of(ty: &ConcreteType, endian: Endianness) -> Option<ScalarSig> {
         Some(match ty {
-            ConcreteType::Int { bytes, signed: true } => {
-                ScalarSig { w: *bytes, kind: ScalarKind::Signed, endian }
-            }
-            ConcreteType::Int { bytes, signed: false } => {
-                ScalarSig { w: *bytes, kind: ScalarKind::Unsigned, endian }
-            }
-            ConcreteType::Float { bytes } => ScalarSig { w: *bytes, kind: ScalarKind::Float, endian },
-            ConcreteType::Char => ScalarSig { w: 1, kind: ScalarKind::Char, endian },
-            ConcreteType::Bool => ScalarSig { w: 1, kind: ScalarKind::Bool, endian },
+            ConcreteType::Int {
+                bytes,
+                signed: true,
+            } => ScalarSig {
+                w: *bytes,
+                kind: ScalarKind::Signed,
+                endian,
+            },
+            ConcreteType::Int {
+                bytes,
+                signed: false,
+            } => ScalarSig {
+                w: *bytes,
+                kind: ScalarKind::Unsigned,
+                endian,
+            },
+            ConcreteType::Float { bytes } => ScalarSig {
+                w: *bytes,
+                kind: ScalarKind::Float,
+                endian,
+            },
+            ConcreteType::Char => ScalarSig {
+                w: 1,
+                kind: ScalarKind::Char,
+                endian,
+            },
+            ConcreteType::Bool => ScalarSig {
+                w: 1,
+                kind: ScalarKind::Bool,
+                endian,
+            },
             _ => return None,
         })
     }
@@ -221,8 +243,14 @@ impl Plan {
         for dfield in dst.fields() {
             match src.field(&dfield.name) {
                 None => {
-                    reports.push(FieldReport { name: dfield.name.clone(), status: FieldStatus::Missing });
-                    fixed_steps.push(Step::ZeroFill { dst: dfield.offset, len: dfield.size });
+                    reports.push(FieldReport {
+                        name: dfield.name.clone(),
+                        status: FieldStatus::Missing,
+                    });
+                    fixed_steps.push(Step::ZeroFill {
+                        dst: dfield.offset,
+                        len: dfield.size,
+                    });
                 }
                 Some(sfield) => {
                     let mut steps = Vec::new();
@@ -236,7 +264,10 @@ impl Plan {
                         &mut steps,
                     );
                     if ok {
-                        reports.push(FieldReport { name: dfield.name.clone(), status: FieldStatus::Matched });
+                        reports.push(FieldReport {
+                            name: dfield.name.clone(),
+                            status: FieldStatus::Matched,
+                        });
                         for s in steps {
                             if s.is_variable() {
                                 var_steps.push(s);
@@ -249,7 +280,10 @@ impl Plan {
                             name: dfield.name.clone(),
                             status: FieldStatus::Incompatible,
                         });
-                        fixed_steps.push(Step::ZeroFill { dst: dfield.offset, len: dfield.size });
+                        fixed_steps.push(Step::ZeroFill {
+                            dst: dfield.offset,
+                            len: dfield.size,
+                        });
                     }
                 }
             }
@@ -263,7 +297,16 @@ impl Plan {
             .collect();
 
         let fixed_steps = merge_copies(fixed_steps);
-        Plan { src, dst, fixed_steps, var_steps, reports, identical, zero_copy, ignored_fields }
+        Plan {
+            src,
+            dst,
+            fixed_steps,
+            var_steps,
+            reports,
+            identical,
+            zero_copy,
+            ignored_fields,
+        }
     }
 
     /// All steps, fixed first (the order the interpreter executes them).
@@ -273,12 +316,17 @@ impl Plan {
 
     /// Report for one receiver field.
     pub fn report(&self, name: &str) -> Option<FieldStatus> {
-        self.reports.iter().find(|r| r.name == name).map(|r| r.status)
+        self.reports
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.status)
     }
 
     /// True if every receiver field matched a sender field.
     pub fn fully_matched(&self) -> bool {
-        self.reports.iter().all(|r| r.status == FieldStatus::Matched)
+        self.reports
+            .iter()
+            .all(|r| r.status == FieldStatus::Matched)
     }
 }
 
@@ -300,8 +348,16 @@ fn build_pair(
     }
     match (sty, dty) {
         (
-            ConcreteType::FixedArray { elem: selem, count: scount, stride: sstride },
-            ConcreteType::FixedArray { elem: delem, count: dcount, stride: dstride },
+            ConcreteType::FixedArray {
+                elem: selem,
+                count: scount,
+                stride: sstride,
+            },
+            ConcreteType::FixedArray {
+                elem: delem,
+                count: dcount,
+                stride: dstride,
+            },
         ) => {
             let n = (*scount).min(*dcount);
             if !emit_array(selem, delem, *sstride, *dstride, n, soff, doff, se, de, out) {
@@ -320,7 +376,10 @@ fn build_pair(
             // offsets (the paper's "subroutines to convert complex subtypes").
             for df in dlay.fields() {
                 match slay.field(&df.name) {
-                    None => out.push(Step::ZeroFill { dst: doff + df.offset, len: df.size }),
+                    None => out.push(Step::ZeroFill {
+                        dst: doff + df.offset,
+                        len: df.size,
+                    }),
                     Some(sf) => {
                         if !build_pair(
                             &sf.ty,
@@ -331,7 +390,10 @@ fn build_pair(
                             dlay.endianness(),
                             out,
                         ) {
-                            out.push(Step::ZeroFill { dst: doff + df.offset, len: df.size });
+                            out.push(Step::ZeroFill {
+                                dst: doff + df.offset,
+                                len: df.size,
+                            });
                         }
                     }
                 }
@@ -339,12 +401,23 @@ fn build_pair(
             true
         }
         (ConcreteType::String, ConcreteType::String) => {
-            out.push(Step::VarBytes { src: soff, dst: doff });
+            out.push(Step::VarBytes {
+                src: soff,
+                dst: doff,
+            });
             true
         }
         (
-            ConcreteType::VarArray { elem: selem, stride: sstride, .. },
-            ConcreteType::VarArray { elem: delem, stride: dstride, .. },
+            ConcreteType::VarArray {
+                elem: selem,
+                stride: sstride,
+                ..
+            },
+            ConcreteType::VarArray {
+                elem: delem,
+                stride: dstride,
+                ..
+            },
         ) => {
             let mut body = Vec::new();
             if !build_pair(selem, delem, 0, 0, se, de, &mut body) {
@@ -365,9 +438,17 @@ fn build_pair(
 
 fn scalar_step(from: ScalarSig, to: ScalarSig, src: usize, dst: usize) -> Step {
     if from.copy_compatible(&to) {
-        Step::CopyBytes { src, dst, len: from.w as usize }
+        Step::CopyBytes {
+            src,
+            dst,
+            len: from.w as usize,
+        }
     } else if from.swap_compatible(&to) {
-        Step::SwapScalar { w: from.w, src, dst }
+        Step::SwapScalar {
+            w: from.w,
+            src,
+            dst,
+        }
     } else {
         Step::ConvScalar { from, to, src, dst }
     }
@@ -396,8 +477,16 @@ fn emit_array(
     // Whole-array fast paths when elements are dense on both sides.
     if body.len() == 1 {
         match body[0] {
-            Step::CopyBytes { src: 0, dst: 0, len } if len == sstride && len == dstride => {
-                out.push(Step::CopyBytes { src: soff, dst: doff, len: n * len });
+            Step::CopyBytes {
+                src: 0,
+                dst: 0,
+                len,
+            } if len == sstride && len == dstride => {
+                out.push(Step::CopyBytes {
+                    src: soff,
+                    dst: doff,
+                    len: n * len,
+                });
                 return true;
             }
             _ => {}
@@ -421,7 +510,11 @@ fn merge_copies(steps: Vec<Step>) -> Vec<Step> {
     let mut out: Vec<Step> = Vec::with_capacity(steps.len());
     for s in steps {
         if let (
-            Some(Step::CopyBytes { src: psrc, dst: pdst, len: plen }),
+            Some(Step::CopyBytes {
+                src: psrc,
+                dst: pdst,
+                len: plen,
+            }),
             Step::CopyBytes { src, dst, len },
         ) = (out.last_mut(), &s)
         {
@@ -431,8 +524,13 @@ fn merge_copies(steps: Vec<Step>) -> Vec<Step> {
             }
         }
         // Merge adjacent zero-fills too.
-        if let (Some(Step::ZeroFill { dst: pdst, len: plen }), Step::ZeroFill { dst, len }) =
-            (out.last_mut(), &s)
+        if let (
+            Some(Step::ZeroFill {
+                dst: pdst,
+                len: plen,
+            }),
+            Step::ZeroFill { dst, len },
+        ) = (out.last_mut(), &s)
         {
             if *pdst + *plen == *dst {
                 *plen += *len;
@@ -486,10 +584,14 @@ mod tests {
         let plan = Plan::build(s, d);
         assert!(!plan.identical);
         assert!(plan.fully_matched());
-        let has_swap = plan.fixed_steps.iter().any(|s| matches!(s, Step::SwapScalar { .. }));
-        let has_conv = plan.fixed_steps.iter().any(
-            |s| matches!(s, Step::ConvScalar { from, to, .. } if from.w == 4 && to.w == 8),
-        );
+        let has_swap = plan
+            .fixed_steps
+            .iter()
+            .any(|s| matches!(s, Step::SwapScalar { .. }));
+        let has_conv = plan
+            .fixed_steps
+            .iter()
+            .any(|s| matches!(s, Step::ConvScalar { from, to, .. } if from.w == 4 && to.w == 8));
         assert!(has_swap, "{:?}", plan.fixed_steps);
         assert!(has_conv, "{:?}", plan.fixed_steps);
     }
@@ -575,7 +677,10 @@ mod tests {
         // Same endianness, same f64: the whole array is one CopyBytes.
         let plan = Plan::build(s, d);
         assert_eq!(plan.fixed_steps.len(), 1);
-        assert!(matches!(plan.fixed_steps[0], Step::CopyBytes { len: 800, .. }));
+        assert!(matches!(
+            plan.fixed_steps[0],
+            Step::CopyBytes { len: 800, .. }
+        ));
     }
 
     #[test]
@@ -589,7 +694,9 @@ mod tests {
         let plan = Plan::build(s, d);
         assert_eq!(plan.fixed_steps.len(), 1);
         match &plan.fixed_steps[0] {
-            Step::FixedLoop { count: 100, body, .. } => {
+            Step::FixedLoop {
+                count: 100, body, ..
+            } => {
                 assert_eq!(body.len(), 1);
                 assert!(matches!(body[0], Step::SwapScalar { w: 8, .. }));
             }
@@ -599,12 +706,21 @@ mod tests {
 
     #[test]
     fn array_shrink_and_grow() {
-        let sender =
-            Schema::new("a", vec![FieldDecl::new("v", TypeDesc::array(AtomType::CInt, 4))]).unwrap();
-        let recv_small =
-            Schema::new("a", vec![FieldDecl::new("v", TypeDesc::array(AtomType::CInt, 2))]).unwrap();
-        let recv_big =
-            Schema::new("a", vec![FieldDecl::new("v", TypeDesc::array(AtomType::CInt, 8))]).unwrap();
+        let sender = Schema::new(
+            "a",
+            vec![FieldDecl::new("v", TypeDesc::array(AtomType::CInt, 4))],
+        )
+        .unwrap();
+        let recv_small = Schema::new(
+            "a",
+            vec![FieldDecl::new("v", TypeDesc::array(AtomType::CInt, 2))],
+        )
+        .unwrap();
+        let recv_big = Schema::new(
+            "a",
+            vec![FieldDecl::new("v", TypeDesc::array(AtomType::CInt, 8))],
+        )
+        .unwrap();
         let s = Arc::new(Layout::of(&sender, &ArchProfile::X86).unwrap());
         let d1 = Arc::new(Layout::of(&recv_small, &ArchProfile::X86).unwrap());
         let d2 = Arc::new(Layout::of(&recv_big, &ArchProfile::X86).unwrap());

@@ -50,9 +50,15 @@ enum Prepared {
     /// Wire == native: hand out the receive buffer.
     ZeroCopy { native: Arc<Layout> },
     /// Interpreted conversion per record.
-    Interp { conv: InterpConverter, native: Arc<Layout> },
+    Interp {
+        conv: InterpConverter,
+        native: Arc<Layout>,
+    },
     /// Compiled conversion per record.
-    Dcg { conv: Box<DcgConverter>, native: Arc<Layout> },
+    Dcg {
+        conv: Box<DcgConverter>,
+        native: Arc<Layout>,
+    },
     /// No expectation declared: reflection over the wire layout.
     Reflect,
 }
@@ -117,7 +123,9 @@ impl Reader {
             Some(native) => {
                 let plan = Arc::new(Plan::build(wire.clone(), native.clone()));
                 let prepared = if plan.zero_copy {
-                    Prepared::ZeroCopy { native: native.clone() }
+                    Prepared::ZeroCopy {
+                        native: native.clone(),
+                    }
                 } else {
                     match self.mode {
                         ConversionMode::Interpreted => Prepared::Interp {
@@ -125,11 +133,17 @@ impl Reader {
                             native: native.clone(),
                         },
                         ConversionMode::DcgNaive => Prepared::Dcg {
-                            conv: Box::new(DcgConverter::compile(plan.clone(), CodegenMode::Naive)?),
+                            conv: Box::new(DcgConverter::compile(
+                                plan.clone(),
+                                CodegenMode::Naive,
+                            )?),
                             native: native.clone(),
                         },
                         ConversionMode::Dcg => Prepared::Dcg {
-                            conv: Box::new(DcgConverter::compile(plan.clone(), CodegenMode::Optimized)?),
+                            conv: Box::new(DcgConverter::compile(
+                                plan.clone(),
+                                CodegenMode::Optimized,
+                            )?),
                             native: native.clone(),
                         },
                     }
@@ -137,7 +151,14 @@ impl Reader {
                 (Some(plan), prepared)
             }
         };
-        self.incoming.insert(id, IncomingFormat { wire: wire.clone(), plan, prepared });
+        self.incoming.insert(
+            id,
+            IncomingFormat {
+                wire: wire.clone(),
+                plan,
+                prepared,
+            },
+        );
         Ok(wire)
     }
 
@@ -145,10 +166,16 @@ impl Reader {
     /// path the view borrows `payload`; otherwise it borrows the reader's
     /// reusable conversion buffer (PBIO reuses buffers rather than
     /// allocating per record, unlike MPICH — §4.3).
-    pub fn on_data<'a>(&'a mut self, id: u32, payload: &'a [u8]) -> Result<RecordView<'a>, PbioError> {
+    pub fn on_data<'a>(
+        &'a mut self,
+        id: u32,
+        payload: &'a [u8],
+    ) -> Result<RecordView<'a>, PbioError> {
         // Split the borrow: converters read `incoming`, conversion output
         // goes to `scratch`.
-        let Reader { incoming, scratch, .. } = self;
+        let Reader {
+            incoming, scratch, ..
+        } = self;
         let entry = incoming.get(&id).ok_or(PbioError::UnknownFormat(id))?;
         match &entry.prepared {
             Prepared::ZeroCopy { native } => {
@@ -280,7 +307,11 @@ mod tests {
 
     #[test]
     fn homogeneous_exchange_is_zero_copy() {
-        let (mut r, stream) = exchange(&ArchProfile::SPARC_V8, &ArchProfile::SPARC_V8, ConversionMode::Dcg);
+        let (mut r, stream) = exchange(
+            &ArchProfile::SPARC_V8,
+            &ArchProfile::SPARC_V8,
+            ConversionMode::Dcg,
+        );
         let mut seen = 0;
         r.process(&stream, |view| {
             assert!(view.is_zero_copy());
@@ -295,7 +326,11 @@ mod tests {
 
     #[test]
     fn heterogeneous_exchange_converts_under_all_modes() {
-        for mode in [ConversionMode::Interpreted, ConversionMode::DcgNaive, ConversionMode::Dcg] {
+        for mode in [
+            ConversionMode::Interpreted,
+            ConversionMode::DcgNaive,
+            ConversionMode::Dcg,
+        ] {
             let (mut r, stream) = exchange(&ArchProfile::SPARC_V8, &ArchProfile::X86_64, mode);
             let mut seen = 0;
             r.process(&stream, |view| {
@@ -351,13 +386,19 @@ mod tests {
         let mut seen = 0;
         r.process(&stream, |view| {
             assert_eq!(view.get("seq"), Some(Value::I64(42)));
-            assert_eq!(view.get("extra"), None, "unknown field invisible to old receiver");
+            assert_eq!(
+                view.get("extra"),
+                None,
+                "unknown field invisible to old receiver"
+            );
             seen += 1;
         })
         .unwrap();
         assert_eq!(seen, 1);
         let reports = r.field_reports(0).unwrap();
-        assert!(reports.iter().all(|rep| rep.status == crate::plan::FieldStatus::Matched));
+        assert!(reports
+            .iter()
+            .all(|rep| rep.status == crate::plan::FieldStatus::Matched));
     }
 
     #[test]
@@ -378,7 +419,10 @@ mod tests {
         r.expect(&schema()).unwrap();
         let mut seen = 0;
         r.process(&stream, |view| {
-            assert!(view.is_zero_copy(), "appended extension must stay zero-copy");
+            assert!(
+                view.is_zero_copy(),
+                "appended extension must stay zero-copy"
+            );
             assert_eq!(view.get("seq"), Some(Value::I64(42)));
             seen += 1;
         })
@@ -429,7 +473,10 @@ mod tests {
     #[test]
     fn data_before_format_is_an_error() {
         let mut r = Reader::new(&ArchProfile::X86);
-        assert!(matches!(r.on_data(3, &[0u8; 16]), Err(PbioError::UnknownFormat(3))));
+        assert!(matches!(
+            r.on_data(3, &[0u8; 16]),
+            Err(PbioError::UnknownFormat(3))
+        ));
     }
 
     #[test]
@@ -473,7 +520,10 @@ mod tests {
             "reading",
             vec![
                 FieldDecl::atom("seq", AtomType::CInt),
-                FieldDecl::new("t", pbio_types::schema::TypeDesc::array(AtomType::CDouble, 2)),
+                FieldDecl::new(
+                    "t",
+                    pbio_types::schema::TypeDesc::array(AtomType::CDouble, 2),
+                ),
                 FieldDecl::atom("id", AtomType::CLong),
             ],
         )
@@ -491,7 +541,11 @@ mod tests {
         r.expect(&schema()).unwrap();
         r.process(&stream, |view| {
             assert_eq!(view.get("seq"), Some(Value::I64(42)));
-            assert_eq!(view.get("t"), Some(Value::F64(0.0)), "incompatible -> default");
+            assert_eq!(
+                view.get("t"),
+                Some(Value::F64(0.0)),
+                "incompatible -> default"
+            );
             assert_eq!(view.get("id"), Some(Value::I64(-4)));
         })
         .unwrap();
@@ -507,7 +561,9 @@ mod tests {
         let (mut r, stream) = exchange(&ArchProfile::X86, &ArchProfile::X86, ConversionMode::Dcg);
         // Feed all but the last byte: only the format message completes.
         let cut = stream.len() - 1;
-        let consumed = r.process(&stream[..cut], |_| panic!("no complete record")).unwrap();
+        let consumed = r
+            .process(&stream[..cut], |_| panic!("no complete record"))
+            .unwrap();
         assert!(consumed < cut);
         // Feeding the remainder from `consumed` yields the record.
         let mut seen = 0;
@@ -517,12 +573,19 @@ mod tests {
 
     #[test]
     fn dcg_stats_exposed_for_heterogeneous_formats() {
-        let (mut r, stream) = exchange(&ArchProfile::SPARC_V8, &ArchProfile::X86, ConversionMode::Dcg);
+        let (mut r, stream) = exchange(
+            &ArchProfile::SPARC_V8,
+            &ArchProfile::X86,
+            ConversionMode::Dcg,
+        );
         r.process(&stream, |_| {}).unwrap();
         let stats = r.dcg_stats(0).unwrap();
         assert!(stats.program_len > 0);
-        let (mut r2, stream2) =
-            exchange(&ArchProfile::SPARC_V8, &ArchProfile::SPARC_V8, ConversionMode::Dcg);
+        let (mut r2, stream2) = exchange(
+            &ArchProfile::SPARC_V8,
+            &ArchProfile::SPARC_V8,
+            ConversionMode::Dcg,
+        );
         r2.process(&stream2, |_| {}).unwrap();
         assert!(r2.dcg_stats(0).is_none(), "zero-copy path compiles nothing");
     }

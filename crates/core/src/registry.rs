@@ -63,6 +63,40 @@ impl FormatServer {
         (id, shared, true)
     }
 
+    /// Register a format from its *serialized* meta-information, as a
+    /// network daemon receives it during a session handshake. Deduplicates
+    /// by exact metadata bytes, so a layout registered via [`register`] and
+    /// the same layout arriving off the wire share one id. Returns the id,
+    /// the deserialized layout, and whether this call created a new entry.
+    ///
+    /// [`register`]: FormatServer::register
+    pub fn register_meta(
+        &self,
+        meta: &[u8],
+    ) -> Result<(u32, Arc<Layout>, bool), crate::error::PbioError> {
+        {
+            let inner = self.inner.read();
+            if let Some(&id) = inner.by_meta.get(meta) {
+                let (layout, _) = &inner.by_id[&id];
+                return Ok((id, layout.clone(), false));
+            }
+        }
+        // Deserialize outside the write lock: it validates attacker-visible
+        // bytes and can be slow; only the table insert needs exclusivity.
+        let layout = Arc::new(pbio_types::meta::deserialize_layout(meta)?);
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.by_meta.get(meta) {
+            let (layout, _) = &inner.by_id[&id];
+            return Ok((id, layout.clone(), false));
+        }
+        let id = inner.next;
+        inner.next += 1;
+        let shared = Arc::new(meta.to_vec());
+        inner.by_meta.insert(meta.to_vec(), id);
+        inner.by_id.insert(id, (layout.clone(), shared));
+        Ok((id, layout, true))
+    }
+
     /// Look up a layout by id.
     pub fn lookup(&self, id: u32) -> Option<Arc<Layout>> {
         self.inner.read().by_id.get(&id).map(|(l, _)| l.clone())
@@ -136,6 +170,29 @@ mod tests {
         assert_eq!(server.meta(id), Some(meta));
         assert_eq!(server.lookup(999), None);
         assert_eq!(server.meta(999), None);
+    }
+
+    #[test]
+    fn register_meta_dedups_against_register() {
+        let server = FormatServer::new();
+        let l = layout("m", &ArchProfile::SPARC_V8);
+        let (id, meta, _) = server.register(&l);
+        // The same format arriving off the wire maps to the same id.
+        let (wire_id, wire_layout, created) = server.register_meta(&meta).unwrap();
+        assert_eq!(wire_id, id);
+        assert!(!created);
+        assert_eq!(&*wire_layout, &*l);
+        // A new format arriving only as metadata gets a fresh id.
+        let other = layout("other", &ArchProfile::X86);
+        let other_meta = pbio_types::meta::serialize_layout(&other);
+        let (oid, olayout, ocreated) = server.register_meta(&other_meta).unwrap();
+        assert_ne!(oid, id);
+        assert!(ocreated);
+        assert_eq!(&*olayout, &*other);
+        assert_eq!(server.len(), 2);
+        // Garbage metadata is rejected, not registered.
+        assert!(server.register_meta(&[0xFF, 0x00, 0x13]).is_err());
+        assert_eq!(server.len(), 2);
     }
 
     #[test]

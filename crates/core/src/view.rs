@@ -31,18 +31,30 @@ pub struct RecordView<'a> {
 impl<'a> RecordView<'a> {
     /// A view borrowing directly from the receive buffer (homogeneous path).
     pub fn borrowed(bytes: &'a [u8], layout: Arc<Layout>) -> RecordView<'a> {
-        RecordView { bytes: Cow::Borrowed(bytes), layout, zero_copy: true }
+        RecordView {
+            bytes: Cow::Borrowed(bytes),
+            layout,
+            zero_copy: true,
+        }
     }
 
     /// A view over converted (owned) bytes.
     pub fn owned(bytes: Vec<u8>, layout: Arc<Layout>) -> RecordView<'static> {
-        RecordView { bytes: Cow::Owned(bytes), layout, zero_copy: false }
+        RecordView {
+            bytes: Cow::Owned(bytes),
+            layout,
+            zero_copy: false,
+        }
     }
 
     /// A view over converted bytes held in a caller-owned scratch buffer
     /// (borrowed, but *not* zero-copy: a conversion produced these bytes).
     pub fn converted(bytes: &'a [u8], layout: Arc<Layout>) -> RecordView<'a> {
-        RecordView { bytes: Cow::Borrowed(bytes), layout, zero_copy: false }
+        RecordView {
+            bytes: Cow::Borrowed(bytes),
+            layout,
+            zero_copy: false,
+        }
     }
 
     /// The raw native image.
@@ -69,7 +81,13 @@ impl<'a> RecordView<'a> {
     /// Read one field dynamically (reflection-style access).
     pub fn get(&self, name: &str) -> Option<Value> {
         let field = self.layout.field(name)?;
-        read_value(&self.bytes, &field.ty, field.offset, self.layout.endianness()).ok()
+        read_value(
+            &self.bytes,
+            &field.ty,
+            field.offset,
+            self.layout.endianness(),
+        )
+        .ok()
     }
 
     /// Decode the whole record into a [`RecordValue`].
@@ -97,11 +115,17 @@ fn read_value(
     // would allocate; instead mirror the scalar fast cases and fall back to
     // decode for aggregates.
     match ty {
-        ConcreteType::Int { bytes: w, signed: true } => {
+        ConcreteType::Int {
+            bytes: w,
+            signed: true,
+        } => {
             check(bytes, offset, *w as usize)?;
             Ok(Value::I64(prim::read_int(bytes, offset, *w, endian)))
         }
-        ConcreteType::Int { bytes: w, signed: false } => {
+        ConcreteType::Int {
+            bytes: w,
+            signed: false,
+        } => {
             check(bytes, offset, *w as usize)?;
             Ok(Value::U64(prim::read_uint(bytes, offset, *w, endian)))
         }
@@ -117,7 +141,11 @@ fn read_value(
             check(bytes, offset, 1)?;
             Ok(Value::Bool(bytes[offset] != 0))
         }
-        ConcreteType::FixedArray { elem, count, stride } => {
+        ConcreteType::FixedArray {
+            elem,
+            count,
+            stride,
+        } => {
             let mut items = Vec::with_capacity(*count);
             for i in 0..*count {
                 items.push(read_value(bytes, elem, offset + i * stride, endian)?);
@@ -127,7 +155,10 @@ fn read_value(
         ConcreteType::Record(sub) => {
             let mut rv = RecordValue::new();
             for f in sub.fields() {
-                rv.set(f.name.clone(), read_value(bytes, &f.ty, offset + f.offset, endian)?);
+                rv.set(
+                    f.name.clone(),
+                    read_value(bytes, &f.ty, offset + f.offset, endian)?,
+                );
             }
             Ok(Value::Record(rv))
         }
@@ -156,7 +187,9 @@ fn read_value(
 
 fn check(bytes: &[u8], offset: usize, len: usize) -> Result<(), TypeError> {
     if offset.checked_add(len).is_none_or(|e| e > bytes.len()) {
-        return Err(TypeError::Truncated { context: format!("field access at offset {offset}") });
+        return Err(TypeError::Truncated {
+            context: format!("field access at offset {offset}"),
+        });
     }
     Ok(())
 }
@@ -187,15 +220,25 @@ impl FieldHandle {
     pub fn resolve(layout: &Layout, name: &str) -> Option<FieldHandle> {
         let f = layout.field(name)?;
         let kind = match &f.ty {
-            ConcreteType::Int { bytes, signed: true } => HandleKind::Signed(*bytes),
-            ConcreteType::Int { bytes, signed: false } => HandleKind::Unsigned(*bytes),
+            ConcreteType::Int {
+                bytes,
+                signed: true,
+            } => HandleKind::Signed(*bytes),
+            ConcreteType::Int {
+                bytes,
+                signed: false,
+            } => HandleKind::Unsigned(*bytes),
             ConcreteType::Float { bytes } => HandleKind::Float(*bytes),
             ConcreteType::Char => HandleKind::Char,
             ConcreteType::Bool => HandleKind::Bool,
             ConcreteType::String => HandleKind::Str,
             _ => HandleKind::Other,
         };
-        Some(FieldHandle { offset: f.offset, endian: layout.endianness(), kind })
+        Some(FieldHandle {
+            offset: f.offset,
+            endian: layout.endianness(),
+            kind,
+        })
     }
 
     /// Read as a signed integer (integers, chars and bools widen).

@@ -91,9 +91,11 @@ impl Writer {
                 (id, Arc::new(serialize_layout(&layout)))
             }
         };
-        self.formats
-            .entry(id)
-            .or_insert(WriterFormat { layout, meta, announced: false });
+        self.formats.entry(id).or_insert(WriterFormat {
+            layout,
+            meta,
+            announced: false,
+        });
         Ok(FormatId(id))
     }
 
@@ -106,10 +108,16 @@ impl Writer {
     }
 
     fn format_mut(&mut self, id: FormatId) -> Result<&mut WriterFormat, PbioError> {
-        self.formats.get_mut(&id.0).ok_or(PbioError::UnknownFormat(id.0))
+        self.formats
+            .get_mut(&id.0)
+            .ok_or(PbioError::UnknownFormat(id.0))
     }
 
-    fn validate_payload(fmt: &WriterFormat, payload_len: usize, id: FormatId) -> Result<(), PbioError> {
+    fn validate_payload(
+        fmt: &WriterFormat,
+        payload_len: usize,
+        id: FormatId,
+    ) -> Result<(), PbioError> {
         let need = fmt.layout.size();
         let exact = fmt.layout.is_fixed_layout();
         if payload_len < need || (exact && payload_len != need) {
@@ -125,7 +133,12 @@ impl Writer {
     /// Emit the control bytes for one record — the registration message (once
     /// per format) and the data header — *without* touching the payload.
     /// Callers transmit `payload` separately (vectored / zero-copy I/O).
-    pub fn frame(&mut self, id: FormatId, payload_len: usize, out: &mut Vec<u8>) -> Result<(), PbioError> {
+    pub fn frame(
+        &mut self,
+        id: FormatId,
+        payload_len: usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), PbioError> {
         let fmt = self.format_mut(id)?;
         Self::validate_payload(fmt, payload_len, id)?;
         if !fmt.announced {
@@ -140,7 +153,12 @@ impl Writer {
     /// Frame and append one record in the sender's native representation.
     /// This is the whole of PBIO's per-record sender-side work: one header
     /// and one buffered copy of the native bytes.
-    pub fn write(&mut self, id: FormatId, payload: &[u8], out: &mut Vec<u8>) -> Result<(), PbioError> {
+    pub fn write(
+        &mut self,
+        id: FormatId,
+        payload: &[u8],
+        out: &mut Vec<u8>,
+    ) -> Result<(), PbioError> {
         self.frame(id, payload.len(), out)?;
         out.extend_from_slice(payload);
         Ok(())
@@ -224,7 +242,10 @@ mod tests {
         ));
         // Oversized fixed-layout payload also rejected.
         let too_big = vec![0u8; w.layout(id).unwrap().size() + 1];
-        assert!(matches!(w.write(id, &too_big, &mut out), Err(PbioError::Protocol(_))));
+        assert!(matches!(
+            w.write(id, &too_big, &mut out),
+            Err(PbioError::Protocol(_))
+        ));
     }
 
     #[test]

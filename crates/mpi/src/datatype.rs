@@ -11,9 +11,9 @@ use std::sync::Arc;
 
 use pbio_types::arch::ArchProfile;
 use pbio_types::layout::{resolve_atom, ConcreteType, Layout};
-use pbio_types::schema::{AtomType, Schema};
 #[cfg(test)]
 use pbio_types::schema::TypeDesc;
+use pbio_types::schema::{AtomType, Schema};
 
 /// Errors from datatype construction and the pack/unpack engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,10 +37,20 @@ impl fmt::Display for MpiError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MpiError::VariableLength(field) => {
-                write!(f, "field {field:?} is variable-length; MPI datatypes require a priori sizes")
+                write!(
+                    f,
+                    "field {field:?} is variable-length; MPI datatypes require a priori sizes"
+                )
             }
-            MpiError::Truncated { context, need, have } => {
-                write!(f, "buffer truncated while {context}: need {need}, have {have}")
+            MpiError::Truncated {
+                context,
+                need,
+                have,
+            } => {
+                write!(
+                    f,
+                    "buffer truncated while {context}: need {need}, have {have}"
+                )
             }
             MpiError::BadSchema(msg) => write!(f, "cannot derive datatype: {msg}"),
         }
@@ -108,14 +118,24 @@ impl Datatype {
         match self {
             Datatype::Basic(atom) => native_width(*atom, profile),
             Datatype::Contiguous { count, inner } => count * inner.extent(profile),
-            Datatype::Vector { count, blocklen, stride, inner } => {
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                inner,
+            } => {
                 let e = inner.extent(profile) as isize;
                 if *count == 0 {
                     return 0;
                 }
                 (((*count as isize - 1) * stride + *blocklen as isize) * e).max(0) as usize
             }
-            Datatype::HVector { count, blocklen, byte_stride, inner } => {
+            Datatype::HVector {
+                count,
+                blocklen,
+                byte_stride,
+                inner,
+            } => {
                 let e = inner.extent(profile) as isize;
                 if *count == 0 {
                     return 0;
@@ -136,17 +156,24 @@ impl Datatype {
         match self {
             Datatype::Basic(_) => 1,
             Datatype::Contiguous { count, inner } => count * inner.element_count(),
-            Datatype::Vector { count, blocklen, inner, .. }
-            | Datatype::HVector { count, blocklen, inner, .. } => {
-                count * blocklen * inner.element_count()
+            Datatype::Vector {
+                count,
+                blocklen,
+                inner,
+                ..
             }
+            | Datatype::HVector {
+                count,
+                blocklen,
+                inner,
+                ..
+            } => count * blocklen * inner.element_count(),
             Datatype::HIndexed { blocks, inner } => {
                 blocks.iter().map(|(_, n)| n).sum::<usize>() * inner.element_count()
             }
-            Datatype::Struct { fields, .. } => fields
-                .iter()
-                .map(|(_, n, t)| n * t.element_count())
-                .sum(),
+            Datatype::Struct { fields, .. } => {
+                fields.iter().map(|(_, n, t)| n * t.element_count()).sum()
+            }
         }
     }
 
@@ -159,14 +186,16 @@ impl Datatype {
     /// deriving datatypes from the same schema agree on the canonical wire
     /// widths — the a-priori agreement MPI requires.
     pub fn from_schema(schema: &Schema, profile: &ArchProfile) -> Result<Datatype, MpiError> {
-        let layout =
-            Layout::of(schema, profile).map_err(|e| MpiError::BadSchema(e.to_string()))?;
+        let layout = Layout::of(schema, profile).map_err(|e| MpiError::BadSchema(e.to_string()))?;
         let mut fields = Vec::with_capacity(layout.fields().len());
         for (decl, f) in schema.fields().iter().zip(layout.fields()) {
             let (count, inner) = Self::from_pair(&f.name, &decl.ty, &f.ty, profile)?;
             fields.push((f.offset, count, Arc::new(inner)));
         }
-        Ok(Datatype::Struct { fields, extent: layout.size() })
+        Ok(Datatype::Struct {
+            fields,
+            extent: layout.size(),
+        })
     }
 
     fn from_pair(
@@ -178,13 +207,26 @@ impl Datatype {
         use pbio_types::schema::TypeDesc as T;
         Ok(match (lty, cty) {
             (T::Atom(atom), _) => (1, Datatype::Basic(*atom)),
-            (T::Fixed(linner, _), ConcreteType::FixedArray { elem, count, stride }) => {
+            (
+                T::Fixed(linner, _),
+                ConcreteType::FixedArray {
+                    elem,
+                    count,
+                    stride,
+                },
+            ) => {
                 let (n, inner) = Self::from_pair(name, linner, elem, profile)?;
                 let inner_extent = inner.extent(profile) * n;
                 if *stride == inner_extent && n == 1 {
                     (*count, inner)
                 } else if *stride == inner_extent {
-                    (1, Datatype::Contiguous { count: count * n, inner: Arc::new(inner) })
+                    (
+                        1,
+                        Datatype::Contiguous {
+                            count: count * n,
+                            inner: Arc::new(inner),
+                        },
+                    )
                 } else {
                     // Padded elements: an hvector with the padded byte stride.
                     (
@@ -204,7 +246,13 @@ impl Datatype {
                     let (count, inner) = Self::from_pair(&f.name, &decl.ty, &f.ty, profile)?;
                     fields.push((f.offset, count, Arc::new(inner)));
                 }
-                (1, Datatype::Struct { fields, extent: sub_layout.size() })
+                (
+                    1,
+                    Datatype::Struct {
+                        fields,
+                        extent: sub_layout.size(),
+                    },
+                )
             }
             (T::String, _) | (T::Var(..), _) => {
                 return Err(MpiError::VariableLength(name.to_owned()))
@@ -233,7 +281,11 @@ pub fn wire_width(atom: AtomType) -> usize {
     match atom {
         AtomType::I8 | AtomType::U8 | AtomType::Char | AtomType::Bool => 1,
         AtomType::I16 | AtomType::U16 | AtomType::CShort | AtomType::CUShort => 2,
-        AtomType::I32 | AtomType::U32 | AtomType::CInt | AtomType::CUInt | AtomType::F32
+        AtomType::I32
+        | AtomType::U32
+        | AtomType::CInt
+        | AtomType::CUInt
+        | AtomType::F32
         | AtomType::CFloat => 4,
         AtomType::I64
         | AtomType::U64
@@ -296,7 +348,12 @@ mod tests {
     #[test]
     fn vector_extent_math() {
         let inner = Arc::new(Datatype::Basic(AtomType::CDouble));
-        let v = Datatype::Vector { count: 3, blocklen: 2, stride: 4, inner };
+        let v = Datatype::Vector {
+            count: 3,
+            blocklen: 2,
+            stride: 4,
+            inner,
+        };
         // Elements of 8 bytes: last block starts at 2*4*8=64, spans 2*8=16.
         assert_eq!(v.extent(&ArchProfile::X86_64), 80);
         assert_eq!(v.element_count(), 6);
@@ -305,9 +362,17 @@ mod tests {
     #[test]
     fn hvector_and_hindexed_extent() {
         let inner = Arc::new(Datatype::Basic(AtomType::CInt));
-        let hv = Datatype::HVector { count: 2, blocklen: 3, byte_stride: 32, inner: inner.clone() };
+        let hv = Datatype::HVector {
+            count: 2,
+            blocklen: 3,
+            byte_stride: 32,
+            inner: inner.clone(),
+        };
         assert_eq!(hv.extent(&ArchProfile::X86), 32 + 12);
-        let hi = Datatype::HIndexed { blocks: vec![(0, 2), (40, 1)], inner };
+        let hi = Datatype::HIndexed {
+            blocks: vec![(0, 2), (40, 1)],
+            inner,
+        };
         assert_eq!(hi.extent(&ArchProfile::X86), 44);
         assert_eq!(hi.element_count(), 3);
     }

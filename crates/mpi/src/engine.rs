@@ -22,17 +22,22 @@ pub fn packed_size(dt: &Datatype) -> usize {
     match dt {
         Datatype::Basic(atom) => wire_width(*atom),
         Datatype::Contiguous { count, inner } => count * packed_size(inner),
-        Datatype::Vector { count, blocklen, inner, .. }
-        | Datatype::HVector { count, blocklen, inner, .. } => {
-            count * blocklen * packed_size(inner)
+        Datatype::Vector {
+            count,
+            blocklen,
+            inner,
+            ..
         }
+        | Datatype::HVector {
+            count,
+            blocklen,
+            inner,
+            ..
+        } => count * blocklen * packed_size(inner),
         Datatype::HIndexed { blocks, inner } => {
             blocks.iter().map(|(_, n)| n).sum::<usize>() * packed_size(inner)
         }
-        Datatype::Struct { fields, .. } => fields
-            .iter()
-            .map(|(_, n, t)| n * packed_size(t))
-            .sum(),
+        Datatype::Struct { fields, .. } => fields.iter().map(|(_, n, t)| n * packed_size(t)).sum(),
     }
 }
 
@@ -71,7 +76,12 @@ fn pack_walk(
             }
             Ok(())
         }
-        Datatype::Vector { count, blocklen, stride, inner } => {
+        Datatype::Vector {
+            count,
+            blocklen,
+            stride,
+            inner,
+        } => {
             let e = inner.extent(profile) as isize;
             for b in 0..*count as isize {
                 for i in 0..*blocklen as isize {
@@ -81,7 +91,12 @@ fn pack_walk(
             }
             Ok(())
         }
-        Datatype::HVector { count, blocklen, byte_stride, inner } => {
+        Datatype::HVector {
+            count,
+            blocklen,
+            byte_stride,
+            inner,
+        } => {
             let e = inner.extent(profile) as isize;
             for b in 0..*count as isize {
                 for i in 0..*blocklen as isize {
@@ -131,11 +146,17 @@ fn pack_basic(
     let start = out.len();
     out.resize(start + ww, 0);
     match resolve_atom(atom, profile).expect("basic atom") {
-        ConcreteType::Int { bytes, signed: true } => {
+        ConcreteType::Int {
+            bytes,
+            signed: true,
+        } => {
             let v = prim::read_int(src, at, bytes, profile.endianness);
             prim::write_uint(out, start, ww as u8, Endianness::Big, v as u64);
         }
-        ConcreteType::Int { bytes, signed: false } => {
+        ConcreteType::Int {
+            bytes,
+            signed: false,
+        } => {
             let v = prim::read_uint(src, at, bytes, profile.endianness);
             prim::write_uint(out, start, ww as u8, Endianness::Big, v);
         }
@@ -176,7 +197,12 @@ fn unpack_walk(
             }
             Ok(())
         }
-        Datatype::Vector { count, blocklen, stride, inner } => {
+        Datatype::Vector {
+            count,
+            blocklen,
+            stride,
+            inner,
+        } => {
             let e = inner.extent(profile) as isize;
             for b in 0..*count as isize {
                 for i in 0..*blocklen as isize {
@@ -186,7 +212,12 @@ fn unpack_walk(
             }
             Ok(())
         }
-        Datatype::HVector { count, blocklen, byte_stride, inner } => {
+        Datatype::HVector {
+            count,
+            blocklen,
+            byte_stride,
+            inner,
+        } => {
             let e = inner.extent(profile) as isize;
             for b in 0..*count as isize {
                 for i in 0..*blocklen as isize {
@@ -242,11 +273,17 @@ fn unpack_basic(
         });
     }
     match resolve_atom(atom, profile).expect("basic atom") {
-        ConcreteType::Int { bytes, signed: true } => {
+        ConcreteType::Int {
+            bytes,
+            signed: true,
+        } => {
             let v = prim::read_int(wire, *cursor, ww as u8, Endianness::Big);
             prim::write_uint(dst, at, bytes, profile.endianness, v as u64);
         }
-        ConcreteType::Int { bytes, signed: false } => {
+        ConcreteType::Int {
+            bytes,
+            signed: false,
+        } => {
             let v = prim::read_uint(wire, *cursor, ww as u8, Endianness::Big);
             prim::write_uint(dst, at, bytes, profile.endianness, v);
         }
@@ -291,7 +328,10 @@ mod tests {
             .with("count", -9i32)
             .with("flag", true)
             .with("id", 100_000i64)
-            .with("v", Value::Array(vec![0.5.into(), 1.5.into(), 2.5.into(), 3.5.into()]))
+            .with(
+                "v",
+                Value::Array(vec![0.5.into(), 1.5.into(), 2.5.into(), 3.5.into()]),
+            )
     }
 
     #[test]
@@ -389,7 +429,13 @@ mod tests {
         let p = &ArchProfile::X86;
         let mut native = vec![0u8; 16];
         for i in 0..4u32 {
-            prim::write_uint(&mut native, (i * 4) as usize, 4, p.endianness, (i + 1) as u64);
+            prim::write_uint(
+                &mut native,
+                (i * 4) as usize,
+                4,
+                p.endianness,
+                (i + 1) as u64,
+            );
         }
         let wire = mpi_pack(&hi, p, &native).unwrap();
         let vals: Vec<u64> = (0..3)

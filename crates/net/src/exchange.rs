@@ -128,7 +128,10 @@ mod tests {
             wire_bytes: 0,
         };
         assert!((leg.cpu_fraction() - 0.6).abs() < 1e-9);
-        let rt = RoundTripCosts { forward: leg, back: leg };
+        let rt = RoundTripCosts {
+            forward: leg,
+            back: leg,
+        };
         assert!((rt.cpu_fraction() - 0.6).abs() < 1e-9);
         assert_eq!(rt.total(), Duration::from_micros(200));
     }

@@ -1,0 +1,238 @@
+//! Session-frame codec for networked PBIO services.
+//!
+//! `pbio-serv` (and anything else that runs PBIO over a socket) speaks a
+//! stream of fixed-header frames, one level *below* the PBIO record stream:
+//! PBIO's own format/data messages ride inside frame bodies, while the
+//! frame header carries session-protocol concerns (frame kind plus two
+//! 32-bit arguments whose meaning the kind defines — channel ids, format
+//! ids, status codes).
+//!
+//! ```text
+//! frame := kind:u8  a:u32be  b:u32be  len:u32be  body[len]
+//! ```
+//!
+//! The codec is transport-agnostic over `std::io` streams and is
+//! timeout-aware: with a read timeout armed on the underlying socket,
+//! [`read_frame`] returns [`FrameError::Timeout`] *only* when it fires
+//! before the first byte of a frame. Once a header byte has arrived the
+//! codec keeps reading until the frame completes — senders write frames
+//! atomically, so a partially received frame means bytes in flight, not an
+//! idle peer — which keeps the stream from desynchronizing on a timeout.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Size of the fixed frame header.
+pub const FRAME_HEADER_SIZE: usize = 13;
+
+/// Upper bound on a frame body; larger lengths are rejected as corrupt
+/// (protects the reader from allocating on a garbage length field).
+pub const MAX_FRAME_BODY: usize = 64 << 20;
+
+/// One session frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame kind; meanings are assigned by the protocol layer above.
+    pub kind: u8,
+    /// First kind-defined argument.
+    pub a: u32,
+    /// Second kind-defined argument.
+    pub b: u32,
+    /// Frame body.
+    pub body: Vec<u8>,
+}
+
+impl Frame {
+    /// A frame with an empty body.
+    pub fn control(kind: u8, a: u32, b: u32) -> Frame {
+        Frame {
+            kind,
+            a,
+            b,
+            body: Vec::new(),
+        }
+    }
+
+    /// A frame with a body.
+    pub fn with_body(kind: u8, a: u32, b: u32, body: Vec<u8>) -> Frame {
+        Frame { kind, a, b, body }
+    }
+}
+
+/// Errors surfaced by the frame codec.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The socket's read timeout fired while waiting for a frame to begin.
+    Timeout,
+    /// The peer closed the connection cleanly (EOF between frames).
+    Closed,
+    /// The header announced a body longer than [`MAX_FRAME_BODY`].
+    TooLarge(usize),
+    /// Connection truncated mid-frame, or any other I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Timeout => write!(f, "timed out waiting for a frame"),
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::TooLarge(n) => {
+                write!(
+                    f,
+                    "frame body of {n} bytes exceeds the {MAX_FRAME_BODY} byte limit"
+                )
+            }
+            FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> FrameError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => FrameError::Timeout,
+            _ => FrameError::Io(e),
+        }
+    }
+}
+
+/// True for the error kinds a read timeout produces (platform-dependent).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Fill `buf` completely, retrying through timeouts and interrupts.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted || is_timeout(&e) => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Serialize `frame` to `w` as one atomic write (single `write_all` of a
+/// pre-assembled buffer, so concurrent writers interleave only at frame
+/// granularity when each frame is written under the same lock).
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    debug_assert!(frame.body.len() <= MAX_FRAME_BODY);
+    let mut buf = Vec::with_capacity(FRAME_HEADER_SIZE + frame.body.len());
+    buf.push(frame.kind);
+    buf.extend_from_slice(&frame.a.to_be_bytes());
+    buf.extend_from_slice(&frame.b.to_be_bytes());
+    buf.extend_from_slice(&(frame.body.len() as u32).to_be_bytes());
+    buf.extend_from_slice(&frame.body);
+    w.write_all(&buf)
+}
+
+/// Read one frame from `r`.
+///
+/// With a read timeout armed on `r`, returns [`FrameError::Timeout`] if it
+/// fires before a frame begins, and [`FrameError::Closed`] on EOF at a
+/// frame boundary. Mid-frame EOF is an [`FrameError::Io`] error.
+pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
+    // First byte separately: a timeout or EOF *here* is an idle peer or a
+    // clean close, not a protocol error.
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Err(FrameError::Closed),
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => return Err(FrameError::Timeout),
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let mut rest = [0u8; FRAME_HEADER_SIZE - 1];
+    read_full(r, &mut rest)?;
+    let a = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]);
+    let b = u32::from_be_bytes([rest[4], rest[5], rest[6], rest[7]]);
+    let len = u32::from_be_bytes([rest[8], rest[9], rest[10], rest[11]]) as usize;
+    if len > MAX_FRAME_BODY {
+        return Err(FrameError::TooLarge(len));
+    }
+    let mut body = vec![0u8; len];
+    read_full(r, &mut body)?;
+    Ok(Frame {
+        kind: first[0],
+        a,
+        b,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trip() {
+        let frames = [
+            Frame::control(0x10, 7, 9),
+            Frame::with_body(0x22, 0, u32::MAX, b"payload".to_vec()),
+            Frame::with_body(0x01, 1, 2, vec![0u8; 100_000]),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        let mut r = Cursor::new(wire);
+        for f in &frames {
+            assert_eq!(&read_frame(&mut r).unwrap(), f);
+        }
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut wire = Vec::new();
+        wire.push(0x10);
+        wire.extend_from_slice(&0u32.to_be_bytes());
+        wire.extend_from_slice(&0u32.to_be_bytes());
+        wire.extend_from_slice(&(MAX_FRAME_BODY as u32 + 1).to_be_bytes());
+        let mut r = Cursor::new(wire);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn truncated_mid_frame_is_io_error() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::with_body(0x11, 1, 2, b"abcdef".to_vec())).unwrap();
+        wire.truncate(wire.len() - 3);
+        let mut r = Cursor::new(wire);
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn timeout_maps_to_typed_error() {
+        struct TimeoutReader;
+        impl Read for TimeoutReader {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    "timeout",
+                ))
+            }
+        }
+        assert!(matches!(
+            read_frame(&mut TimeoutReader),
+            Err(FrameError::Timeout)
+        ));
+    }
+}

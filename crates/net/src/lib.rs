@@ -13,8 +13,10 @@
 //! * [`clock::VirtualClock`] — accumulates simulated network time alongside
 //!   real measured CPU time,
 //! * [`transport`] — real byte transports (in-process duplex pipe and a TCP
-//!   loopback) used by integration tests to run actual PBIO/MPI/XML/CDR
-//!   streams end to end,
+//!   loopback, with read-timeout plumbing) used by integration tests to run
+//!   actual PBIO/MPI/XML/CDR streams end to end,
+//! * [`frame`] — the timeout-aware session-frame codec `pbio-serv` speaks
+//!   on the wire (PBIO record streams ride inside frame bodies),
 //! * [`exchange`] — the measurement harness that produces the per-leg cost
 //!   breakdowns the figure binaries print.
 
@@ -22,10 +24,12 @@
 
 pub mod clock;
 pub mod exchange;
+pub mod frame;
 pub mod link;
 pub mod transport;
 
 pub use clock::VirtualClock;
 pub use exchange::{measure_leg, time_avg, LegCosts, RoundTripCosts};
+pub use frame::{read_frame, write_frame, Frame, FrameError};
 pub use link::SimLink;
-pub use transport::{duplex_pipe, PipeEnd, TcpPipe};
+pub use transport::{duplex_pipe, PipeEnd, TcpPipe, TransportError};

@@ -70,10 +70,7 @@ mod tests {
         };
         assert_eq!(l.transfer_time(0), Duration::from_micros(100));
         assert_eq!(l.transfer_time(1000), Duration::from_micros(200));
-        assert_eq!(
-            l.round_trip_time(1000, 0),
-            Duration::from_micros(300)
-        );
+        assert_eq!(l.round_trip_time(1000, 0), Duration::from_micros(300));
     }
 
     #[test]
@@ -90,7 +87,10 @@ mod tests {
         for (bytes, expect_us) in cases {
             let got = l.transfer_time(bytes).as_secs_f64() * 1e6;
             let err = (got - expect_us).abs() / expect_us;
-            assert!(err < 0.15, "{bytes} B: got {got:.1} µs, paper {expect_us} µs");
+            assert!(
+                err < 0.15,
+                "{bytes} B: got {got:.1} µs, paper {expect_us} µs"
+            );
         }
     }
 
@@ -98,8 +98,7 @@ mod tests {
     fn faster_links_are_faster() {
         let n = 100_000;
         assert!(
-            SimLink::datacenter_10g().transfer_time(n)
-                < SimLink::ideal_100mbps().transfer_time(n)
+            SimLink::datacenter_10g().transfer_time(n) < SimLink::ideal_100mbps().transfer_time(n)
         );
         assert!(
             SimLink::ideal_100mbps().transfer_time(n) < SimLink::paper_ethernet().transfer_time(n)

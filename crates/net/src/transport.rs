@@ -5,10 +5,46 @@
 //! real channels (in-process and TCP loopback) and verify framing survives
 //! arbitrary segmentation.
 
-use std::io::{Read, Write};
+use std::fmt;
+use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Errors from the TCP transport, distinguishing "the read timeout fired"
+/// from real failures so callers can poll without parsing `io::Error`s.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The armed read timeout elapsed before any byte arrived.
+    Timeout,
+    /// The peer closed the connection.
+    Closed,
+    /// Any other I/O failure.
+    Io(io::Error),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Timeout => write!(f, "read timed out"),
+            TransportError::Closed => write!(f, "connection closed"),
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> TransportError {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => TransportError::Timeout,
+            io::ErrorKind::UnexpectedEof => TransportError::Closed,
+            _ => TransportError::Io(e),
+        }
+    }
+}
 
 /// One end of an in-process duplex byte pipe.
 pub struct PipeEnd {
@@ -23,8 +59,16 @@ pub fn duplex_pipe() -> (PipeEnd, PipeEnd) {
     let (atx, brx) = unbounded();
     let (btx, arx) = unbounded();
     (
-        PipeEnd { tx: atx, rx: arx, pending: Vec::new() },
-        PipeEnd { tx: btx, rx: brx, pending: Vec::new() },
+        PipeEnd {
+            tx: atx,
+            rx: arx,
+            pending: Vec::new(),
+        },
+        PipeEnd {
+            tx: btx,
+            rx: brx,
+            pending: Vec::new(),
+        },
     )
 }
 
@@ -71,15 +115,69 @@ impl TcpPipe {
         Ok(TcpPipe { client, server })
     }
 
+    /// Arm (or clear, with `None`) a read timeout on both ends. While armed,
+    /// the receive methods return [`TransportError::Timeout`] instead of
+    /// blocking forever when the peer goes quiet.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.client.set_read_timeout(timeout)?;
+        self.server.set_read_timeout(timeout)
+    }
+
+    /// Arm a read timeout on the client end only.
+    pub fn set_client_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.client.set_read_timeout(timeout)
+    }
+
+    /// Arm a read timeout on the server end only.
+    pub fn set_server_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.server.set_read_timeout(timeout)
+    }
+
     /// Write all of `bytes` on the client side.
-    pub fn client_send(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+    pub fn client_send(&mut self, bytes: &[u8]) -> io::Result<()> {
         self.client.write_all(bytes)
     }
 
-    /// Read exactly `n` bytes on the server side.
-    pub fn server_recv(&mut self, n: usize) -> std::io::Result<Vec<u8>> {
+    /// Write all of `bytes` on the server side.
+    pub fn server_send(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.server.write_all(bytes)
+    }
+
+    /// Read exactly `n` bytes on the server side. With a read timeout
+    /// armed, a quiet peer yields [`TransportError::Timeout`].
+    pub fn server_recv(&mut self, n: usize) -> Result<Vec<u8>, TransportError> {
+        Self::recv_exact(&mut self.server, n)
+    }
+
+    /// Read exactly `n` bytes on the client side. With a read timeout
+    /// armed, a quiet peer yields [`TransportError::Timeout`].
+    pub fn client_recv(&mut self, n: usize) -> Result<Vec<u8>, TransportError> {
+        Self::recv_exact(&mut self.client, n)
+    }
+
+    fn recv_exact(stream: &mut TcpStream, n: usize) -> Result<Vec<u8>, TransportError> {
         let mut buf = vec![0u8; n];
-        self.server.read_exact(&mut buf)?;
+        let mut filled = 0;
+        while filled < n {
+            match stream.read(&mut buf[filled..]) {
+                Ok(0) => return Err(TransportError::Closed),
+                Ok(got) => filled += got,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // A timeout with some bytes already read means data is in
+                // flight (sender mid-write); keep waiting for the rest so
+                // the caller never observes a torn read.
+                Err(e)
+                    if filled > 0
+                        && matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) =>
+                {
+                    continue
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
         Ok(buf)
     }
 }
@@ -123,5 +221,30 @@ mod tests {
         pipe.client_send(b"0123456789").unwrap();
         let got = pipe.server_recv(10).unwrap();
         assert_eq!(got, b"0123456789");
+        pipe.server_send(b"ack").unwrap();
+        assert_eq!(pipe.client_recv(3).unwrap(), b"ack");
+    }
+
+    #[test]
+    fn read_timeout_yields_typed_error() {
+        let mut pipe = TcpPipe::open().unwrap();
+        pipe.set_read_timeout(Some(Duration::from_millis(30)))
+            .unwrap();
+        let t = std::time::Instant::now();
+        assert!(matches!(pipe.server_recv(1), Err(TransportError::Timeout)));
+        assert!(t.elapsed() < Duration::from_secs(5));
+        // Data sent after a timeout is still received in order.
+        pipe.client_send(b"x").unwrap();
+        assert_eq!(pipe.server_recv(1).unwrap(), b"x");
+    }
+
+    #[test]
+    fn peer_close_yields_typed_error() {
+        let mut pipe = TcpPipe::open().unwrap();
+        pipe.set_read_timeout(Some(Duration::from_millis(30)))
+            .unwrap();
+        drop(pipe.client.try_clone().map(|_| ()));
+        pipe.client.shutdown(std::net::Shutdown::Both).unwrap();
+        assert!(matches!(pipe.server_recv(1), Err(TransportError::Closed)));
     }
 }

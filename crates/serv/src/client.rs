@@ -1,0 +1,350 @@
+//! The blocking client: one TCP session with a serv daemon.
+//!
+//! A [`ServClient`] plays either or both protocol roles:
+//!
+//! * **publisher** — register formats once ([`ServClient::register_format`]
+//!   ships the serialized layout; the daemon dedups it against every other
+//!   session's), then [`ServClient::publish`] native bytes with no
+//!   per-event encoding at all: the NDR sender-side O(1) cost.
+//! * **subscriber** — [`ServClient::subscribe`] with an optional
+//!   [`Predicate`] (evaluated on the daemon, against the publisher's wire
+//!   format, before transmission), then [`ServClient::poll`] events. All
+//!   receive-side conversion runs here, in an embedded [`pbio::Reader`]:
+//!   homogeneous publisher/subscriber pairs stay zero-copy, heterogeneous
+//!   pairs get a DCG conversion compiled on first contact with the format.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pbio::{PbioError, Reader, RecordView};
+use pbio_chan::filter::Predicate;
+use pbio_chan::wire::serialize_predicate;
+use pbio_net::frame::{read_frame, write_frame, Frame, FrameError};
+use pbio_types::arch::ArchProfile;
+use pbio_types::layout::Layout;
+use pbio_types::meta::serialize_layout;
+use pbio_types::schema::Schema;
+use pbio_types::value::{encode_native, RecordValue};
+
+use crate::error::ServError;
+use crate::protocol::*;
+
+/// Smallest read timeout we arm (zero would disable the timeout entirely).
+const MIN_TIMEOUT: Duration = Duration::from_millis(1);
+
+/// Default per-call timeout for handshake and acknowledged requests.
+const DEFAULT_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One event delivered to a subscriber: the record, viewed through the
+/// subscriber's own layout (converted if the publisher's architecture
+/// differs, borrowed straight from the receive buffer if not).
+pub struct Event<'a> {
+    /// Channel the event arrived on.
+    pub channel: u32,
+    /// Daemon-global format id of the record.
+    pub format: u32,
+    /// The record itself.
+    pub view: RecordView<'a>,
+}
+
+/// Client-side receive counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Events received.
+    pub events: u64,
+    /// Events used directly from the receive buffer (no conversion).
+    pub zero_copy_events: u64,
+    /// Events that went through a generated conversion.
+    pub converted_events: u64,
+}
+
+/// A blocking connection to a [`crate::ServDaemon`].
+pub struct ServClient {
+    stream: TcpStream,
+    profile: ArchProfile,
+    reader: Reader,
+    /// Daemon-global format id -> this client's native layout (for
+    /// encoding values to publish).
+    formats: HashMap<u32, Arc<Layout>>,
+    /// Frames that arrived while awaiting an acknowledgement.
+    pending: VecDeque<Frame>,
+    /// Body of the event currently viewed (zero-copy views borrow it).
+    event_buf: Vec<u8>,
+    timeout: Duration,
+    next_token: u32,
+    stats: ClientStats,
+}
+
+impl ServClient {
+    /// Connect and complete the session handshake.
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        profile: &ArchProfile,
+    ) -> Result<ServClient, ServError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut client = ServClient {
+            stream,
+            profile: profile.clone(),
+            reader: Reader::new(profile),
+            formats: HashMap::new(),
+            pending: VecDeque::new(),
+            event_buf: Vec::new(),
+            timeout: DEFAULT_TIMEOUT,
+            next_token: 0,
+            stats: ClientStats::default(),
+        };
+        client.send(Frame::with_body(
+            K_HELLO,
+            PROTOCOL_VERSION,
+            0,
+            profile.name.as_bytes().to_vec(),
+        ))?;
+        let ack = client.await_ack(K_HELLO_ACK, PROTOCOL_VERSION)?;
+        debug_assert_eq!(ack.kind, K_HELLO_ACK);
+        Ok(client)
+    }
+
+    /// Set the timeout applied to acknowledged requests (format and
+    /// channel registration, subscription, disconnect).
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout.max(MIN_TIMEOUT);
+    }
+
+    /// This client's architecture profile.
+    pub fn profile(&self) -> &ArchProfile {
+        &self.profile
+    }
+
+    /// Register a format for publishing. The layout is computed for this
+    /// client's architecture, serialized, and shipped once; the returned
+    /// id is the daemon-global format id (identical layouts registered by
+    /// any session share it).
+    pub fn register_format(&mut self, schema: &Schema) -> Result<u32, ServError> {
+        let layout = Arc::new(Layout::of(schema, &self.profile).map_err(PbioError::from)?);
+        let meta = serialize_layout(&layout);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.send(Frame::with_body(K_FORMAT, token, 0, meta))?;
+        let ack = self.await_ack(K_FORMAT_ACK, token)?;
+        self.formats.insert(ack.b, layout);
+        Ok(ack.b)
+    }
+
+    /// Create or open the named channel; returns its id.
+    pub fn open_channel(&mut self, name: &str) -> Result<u32, ServError> {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.send(Frame::with_body(
+            K_CHANNEL,
+            token,
+            0,
+            name.as_bytes().to_vec(),
+        ))?;
+        Ok(self.await_ack(K_CHANNEL_ACK, token)?.b)
+    }
+
+    /// Subscribe to a channel. `schema` declares the record this
+    /// subscriber expects (laid out for its own architecture; fields are
+    /// matched by name, PBIO type-extension rules apply). `filter`, if
+    /// given, is shipped to the daemon and evaluated there — at the
+    /// source — so rejected events are never transmitted.
+    pub fn subscribe(
+        &mut self,
+        channel: u32,
+        schema: &Schema,
+        filter: Option<&Predicate>,
+    ) -> Result<(), ServError> {
+        self.reader.expect(schema)?;
+        let (flagged, body) = match filter {
+            Some(p) => (1, serialize_predicate(p)),
+            None => (0, Vec::new()),
+        };
+        self.send(Frame::with_body(K_SUBSCRIBE, channel, flagged, body))?;
+        self.await_ack(K_SUBSCRIBE_ACK, channel)?;
+        Ok(())
+    }
+
+    /// Publish one event: the record's native bytes, sent as-is (no
+    /// translation — the wire format *is* this machine's memory layout).
+    /// Fire-and-forget; delivery errors surface on the daemon side.
+    pub fn publish(&mut self, channel: u32, format: u32, native: &[u8]) -> Result<(), ServError> {
+        let layout = self
+            .formats
+            .get(&format)
+            .ok_or(ServError::UnknownFormat(format))?;
+        if native.len() < layout.size() {
+            return Err(ServError::Protocol(format!(
+                "payload is {} bytes, format {format} requires {}",
+                native.len(),
+                layout.size()
+            )));
+        }
+        self.send(Frame::with_body(
+            K_PUBLISH,
+            channel,
+            format,
+            native.to_vec(),
+        ))
+    }
+
+    /// Publish a dynamic value, encoding it through the registered
+    /// layout first (convenience for tests and tools; hot paths publish
+    /// native bytes directly).
+    pub fn publish_value(
+        &mut self,
+        channel: u32,
+        format: u32,
+        value: &RecordValue,
+    ) -> Result<(), ServError> {
+        let layout = self
+            .formats
+            .get(&format)
+            .ok_or(ServError::UnknownFormat(format))?;
+        let native = encode_native(value, layout).map_err(PbioError::from)?;
+        self.send(Frame::with_body(K_PUBLISH, channel, format, native))
+    }
+
+    /// Wait up to `timeout` for the next event. Returns `Ok(None)` when
+    /// the timeout elapses with no event. Format announcements are
+    /// consumed transparently (they prepare the reader's conversion — or
+    /// zero-copy — path before the first record of each format).
+    pub fn poll(&mut self, timeout: Duration) -> Result<Option<Event<'_>>, ServError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let frame = match self.pending.pop_front() {
+                Some(f) => f,
+                None => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Ok(None);
+                    }
+                    self.stream
+                        .set_read_timeout(Some((deadline - now).max(MIN_TIMEOUT)))?;
+                    match read_frame(&mut self.stream) {
+                        Ok(f) => f,
+                        Err(FrameError::Timeout) => return Ok(None),
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            };
+            match frame.kind {
+                K_ANNOUNCE => {
+                    self.reader.on_format(frame.a, &frame.body)?;
+                }
+                K_EVENT => {
+                    self.stats.events += 1;
+                    if self.reader.is_zero_copy(frame.b) {
+                        self.stats.zero_copy_events += 1;
+                    } else {
+                        self.stats.converted_events += 1;
+                    }
+                    self.event_buf = frame.body;
+                    let view = self.reader.on_data(frame.b, &self.event_buf)?;
+                    return Ok(Some(Event {
+                        channel: frame.a,
+                        format: frame.b,
+                        view,
+                    }));
+                }
+                K_ERROR => return Err(remote_error(&frame)),
+                other => {
+                    return Err(ServError::Protocol(format!(
+                        "unexpected frame kind {other:#04x} while polling"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Whether records of a format reach this subscriber zero-copy
+    /// (unknown formats report `false`).
+    pub fn is_zero_copy(&self, format: u32) -> bool {
+        self.reader.is_zero_copy(format)
+    }
+
+    /// DCG compile statistics for a format — `None` when no conversion
+    /// was ever built (zero-copy path, or format not yet seen).
+    pub fn dcg_stats(&self, format: u32) -> Option<pbio::CompileStats> {
+        self.reader.dcg_stats(format)
+    }
+
+    /// Receive counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Graceful disconnect: announce departure and wait for the daemon's
+    /// acknowledgement (bounded by the client timeout), so queued frames
+    /// are flushed on both sides before the socket closes.
+    pub fn disconnect(mut self) -> Result<(), ServError> {
+        self.send(Frame::control(K_BYE, 0, 0))?;
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServError::Timeout);
+            }
+            self.stream
+                .set_read_timeout(Some((deadline - now).max(MIN_TIMEOUT)))?;
+            match read_frame(&mut self.stream) {
+                Ok(f) if f.kind == K_BYE_ACK => return Ok(()),
+                // Late events/announcements racing the goodbye: discard.
+                Ok(f) if f.kind == K_EVENT || f.kind == K_ANNOUNCE => continue,
+                Ok(f) if f.kind == K_ERROR => return Err(remote_error(&f)),
+                Ok(f) => {
+                    return Err(ServError::Protocol(format!(
+                        "unexpected frame kind {:#04x} during disconnect",
+                        f.kind
+                    )))
+                }
+                Err(FrameError::Timeout) => continue,
+                Err(FrameError::Closed) => return Ok(()),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn send(&mut self, frame: Frame) -> Result<(), ServError> {
+        write_frame(&mut self.stream, &frame)?;
+        self.stream.flush()?;
+        Ok(())
+    }
+
+    /// Read until the expected acknowledgement (kind + echoed token in
+    /// `a`) arrives, buffering any events or announcements that race it.
+    fn await_ack(&mut self, kind: u8, token: u32) -> Result<Frame, ServError> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServError::Timeout);
+            }
+            self.stream
+                .set_read_timeout(Some((deadline - now).max(MIN_TIMEOUT)))?;
+            match read_frame(&mut self.stream) {
+                Ok(f) if f.kind == kind && f.a == token => return Ok(f),
+                Ok(f) if f.kind == K_EVENT || f.kind == K_ANNOUNCE => self.pending.push_back(f),
+                Ok(f) if f.kind == K_ERROR => return Err(remote_error(&f)),
+                Ok(f) => {
+                    return Err(ServError::Protocol(format!(
+                        "expected frame kind {kind:#04x}, got {:#04x}",
+                        f.kind
+                    )))
+                }
+                Err(FrameError::Timeout) => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}
+
+fn remote_error(frame: &Frame) -> ServError {
+    ServError::Remote {
+        code: frame.a,
+        message: String::from_utf8_lossy(&frame.body).into_owned(),
+    }
+}

@@ -1,0 +1,754 @@
+//! The event-channel daemon: a thread-per-connection TCP server that
+//! routes published events to subscribers, filtering at the source.
+//!
+//! All connections share one [`FormatServer`], so a format registered by
+//! one publisher is known — under the same id — to every session, and its
+//! metadata is validated and stored exactly once. Event bodies are the
+//! publisher's NDR bytes and are forwarded verbatim; the daemon never
+//! builds a conversion, which is what keeps the homogeneous
+//! publisher/subscriber path zero-copy end to end.
+//!
+//! Each subscription may carry a predicate (shipped in the wire form of
+//! [`pbio_chan::wire`]). The daemon compiles it with the DCG filter
+//! machinery against each *publisher's* wire format — lazily, once per
+//! (subscription, format) — and evaluates it before any bytes are queued,
+//! so filtered events are never transmitted.
+//!
+//! Slow subscribers get a bounded outbound queue with a drop-oldest
+//! policy: publishers never block on a stalled consumer, and control
+//! frames (acks, format announcements) are exempt so the session itself
+//! cannot be dropped.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::convert::Infallible;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pbio::FormatServer;
+use pbio_chan::dispatch::{DeliveryOutcome, Fanout, Subscriber, SubscriptionId};
+use pbio_chan::filter::{FilterProgram, Predicate};
+use pbio_chan::wire::deserialize_predicate;
+use pbio_net::frame::{read_frame, write_frame, Frame, FrameError, FRAME_HEADER_SIZE};
+use pbio_types::arch::ArchProfile;
+
+use crate::protocol::*;
+
+/// How often a blocked connection thread wakes to check for shutdown.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServConfig {
+    /// Maximum events queued per connection before drop-oldest kicks in.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServConfig {
+    fn default() -> ServConfig {
+        ServConfig {
+            queue_capacity: 256,
+        }
+    }
+}
+
+/// A snapshot of the daemon's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServStats {
+    /// Connections currently in a session (post-handshake).
+    pub active_connections: u64,
+    /// Events received from publishers.
+    pub events_in: u64,
+    /// Event frames written to subscriber sockets.
+    pub events_out: u64,
+    /// (subscription, event) pairs suppressed by a filter before any
+    /// bytes were queued or sent.
+    pub filtered_at_source: u64,
+    /// Events discarded by the drop-oldest backpressure policy.
+    pub dropped: u64,
+    /// Frame bytes received (headers + bodies).
+    pub bytes_in: u64,
+    /// Frame bytes sent (headers + bodies).
+    pub bytes_out: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    active_connections: AtomicU64,
+    events_in: AtomicU64,
+    events_out: AtomicU64,
+    filtered_at_source: AtomicU64,
+    dropped: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServStats {
+        ServStats {
+            active_connections: self.active_connections.load(Ordering::Relaxed),
+            events_in: self.events_in.load(Ordering::Relaxed),
+            events_out: self.events_out.load(Ordering::Relaxed),
+            filtered_at_source: self.filtered_at_source.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Outbound queue: bounded for events, unbounded for control frames.
+
+struct OutboundQ {
+    frames: VecDeque<Frame>,
+    events: usize,
+    closed: bool,
+}
+
+struct Outbound {
+    q: Mutex<OutboundQ>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+enum Enqueue {
+    Sent,
+    DroppedOldest,
+    Closed,
+}
+
+impl Outbound {
+    fn new(capacity: usize) -> Outbound {
+        Outbound {
+            q: Mutex::new(OutboundQ {
+                frames: VecDeque::new(),
+                events: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Queue a frame for the writer thread. Control frames always fit;
+    /// when the event budget is exhausted the *oldest queued event* is
+    /// discarded to admit the new one (fresh data beats stale data for
+    /// monitoring-style consumers).
+    fn send(&self, frame: Frame) -> Enqueue {
+        let mut q = self.q.lock().unwrap_or_else(|p| p.into_inner());
+        if q.closed {
+            return Enqueue::Closed;
+        }
+        let is_event = frame.kind == K_EVENT;
+        let mut outcome = Enqueue::Sent;
+        if is_event && q.events >= self.capacity {
+            if let Some(i) = q.frames.iter().position(|f| f.kind == K_EVENT) {
+                q.frames.remove(i);
+                q.events -= 1;
+                outcome = Enqueue::DroppedOldest;
+            }
+        }
+        if is_event {
+            q.events += 1;
+        }
+        q.frames.push_back(frame);
+        drop(q);
+        self.ready.notify_one();
+        outcome
+    }
+
+    fn close(&self) {
+        let mut q = self.q.lock().unwrap_or_else(|p| p.into_inner());
+        q.closed = true;
+        drop(q);
+        self.ready.notify_all();
+    }
+
+    /// Next frame to write; blocks. `None` once closed *and* drained, so
+    /// already-queued acks still reach the peer after a graceful close.
+    fn pop(&self) -> Option<Frame> {
+        let mut q = self.q.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(f) = q.frames.pop_front() {
+                if f.kind == K_EVENT {
+                    q.events -= 1;
+                }
+                return Some(f);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.ready.wait(q).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection shared state and the remote subscriber.
+
+struct ConnShared {
+    outbound: Outbound,
+    /// Format ids already announced on this connection.
+    announced: Mutex<HashSet<u32>>,
+    alive: AtomicBool,
+}
+
+/// A subscription as seen by a channel's [`Fanout`]: the filter decision
+/// plus "enqueue the untouched wire bytes on the connection".
+struct RemoteSubscriber {
+    conn: Arc<ConnShared>,
+    channel: u32,
+    predicate: Option<Predicate>,
+    /// Filter compiled per publisher wire format, lazily. `None` records
+    /// a format the predicate cannot be compiled against (e.g. it names a
+    /// field that format lacks): such events can never satisfy the
+    /// predicate, so they are rejected.
+    compiled: HashMap<u32, Option<FilterProgram>>,
+    formats: Arc<FormatServer>,
+}
+
+impl Subscriber for RemoteSubscriber {
+    type Error = Infallible;
+
+    fn accepts(&mut self, format: u32, wire: &[u8]) -> Result<bool, Infallible> {
+        if !self.conn.alive.load(Ordering::Relaxed) {
+            return Ok(false);
+        }
+        let RemoteSubscriber {
+            predicate,
+            compiled,
+            formats,
+            ..
+        } = self;
+        let Some(pred) = predicate else {
+            return Ok(true);
+        };
+        let prog = compiled.entry(format).or_insert_with(|| {
+            formats
+                .lookup(format)
+                .and_then(|layout| FilterProgram::compile(pred.clone(), layout).ok())
+        });
+        match prog {
+            Some(p) => Ok(p.matches(wire).unwrap_or(false)),
+            None => Ok(false),
+        }
+    }
+
+    fn deliver(&mut self, format: u32, wire: &[u8]) -> Result<DeliveryOutcome, Infallible> {
+        // Announce the format once per connection, strictly before its
+        // first event; the lock spans both enqueues so a concurrent
+        // publisher on another channel cannot interleave.
+        let mut ann = self
+            .conn
+            .announced
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        if !ann.contains(&format) {
+            if let Some(meta) = self.formats.meta(format) {
+                self.conn
+                    .outbound
+                    .send(Frame::with_body(K_ANNOUNCE, format, 0, meta.to_vec()));
+                ann.insert(format);
+            }
+        }
+        let outcome = self.conn.outbound.send(Frame::with_body(
+            K_EVENT,
+            self.channel,
+            format,
+            wire.to_vec(),
+        ));
+        drop(ann);
+        Ok(match outcome {
+            Enqueue::Sent => DeliveryOutcome::Delivered,
+            // The new event was admitted but an older one was discarded;
+            // report the discard so it lands in the drop counters.
+            Enqueue::DroppedOldest => DeliveryOutcome::Dropped,
+            Enqueue::Closed => DeliveryOutcome::Dropped,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Daemon state.
+
+struct Channels {
+    by_name: HashMap<String, u32>,
+    by_id: HashMap<u32, Arc<Mutex<Fanout<RemoteSubscriber>>>>,
+    next: u32,
+}
+
+struct State {
+    formats: Arc<FormatServer>,
+    channels: Mutex<Channels>,
+    stats: Counters,
+    shutdown: AtomicBool,
+    queue_capacity: usize,
+    next_conn: AtomicU64,
+}
+
+impl State {
+    fn open_channel(&self, name: &str) -> u32 {
+        let mut chans = self.channels.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(&id) = chans.by_name.get(name) {
+            return id;
+        }
+        let id = chans.next;
+        chans.next += 1;
+        chans.by_name.insert(name.to_owned(), id);
+        chans.by_id.insert(id, Arc::new(Mutex::new(Fanout::new())));
+        id
+    }
+
+    fn channel(&self, id: u32) -> Option<Arc<Mutex<Fanout<RemoteSubscriber>>>> {
+        self.channels
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .by_id
+            .get(&id)
+            .cloned()
+    }
+}
+
+/// The event-channel daemon. Binding spawns the accept loop; dropping (or
+/// calling [`ServDaemon::shutdown`]) stops it and joins every connection
+/// thread.
+pub struct ServDaemon {
+    state: Arc<State>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServDaemon {
+    /// Bind with default configuration.
+    pub fn bind(addr: impl ToSocketAddrs) -> io::Result<ServDaemon> {
+        ServDaemon::bind_with(addr, ServConfig::default())
+    }
+
+    /// Bind and start serving. `addr` may be `"127.0.0.1:0"` to let the
+    /// OS pick a port — see [`ServDaemon::local_addr`].
+    pub fn bind_with(addr: impl ToSocketAddrs, config: ServConfig) -> io::Result<ServDaemon> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(State {
+            formats: FormatServer::new(),
+            channels: Mutex::new(Channels {
+                by_name: HashMap::new(),
+                by_id: HashMap::new(),
+                next: 0,
+            }),
+            stats: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            queue_capacity: config.queue_capacity,
+            next_conn: AtomicU64::new(0),
+        });
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_state = state.clone();
+        let accept_conns = conn_threads.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("pbio-serv-accept".into())
+            .spawn(move || accept_loop(listener, accept_state, accept_conns))?;
+        Ok(ServDaemon {
+            state,
+            addr,
+            accept_thread: Some(accept_thread),
+            conn_threads,
+        })
+    }
+
+    /// The address the daemon is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared format registry (ids here are the protocol's format ids).
+    pub fn formats(&self) -> &Arc<FormatServer> {
+        &self.state.formats
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServStats {
+        self.state.stats.snapshot()
+    }
+
+    /// Stop accepting, disconnect everyone, and join all threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if self.state.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<_> = {
+            let mut conns = self.conn_threads.lock().unwrap_or_else(|p| p.into_inner());
+            conns.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServDaemon {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<State>, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((s, _)) => s,
+            Err(_) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let conn_state = state.clone();
+        let handle = std::thread::Builder::new()
+            .name("pbio-serv-conn".into())
+            .spawn(move || handle_connection(stream, conn_state));
+        if let Ok(h) = handle {
+            conns.lock().unwrap_or_else(|p| p.into_inner()).push(h);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection protocol machine.
+
+fn send_error(out: &Outbound, code: u32, message: impl Into<String>) {
+    out.send(Frame::with_body(
+        K_ERROR,
+        code,
+        0,
+        message.into().into_bytes(),
+    ));
+}
+
+fn handle_connection(mut stream: TcpStream, state: Arc<State>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+
+    // --- Handshake: one HELLO, answered directly (no writer thread yet).
+    let hello = loop {
+        match read_frame(&mut stream) {
+            Ok(f) => break f,
+            Err(FrameError::Timeout) => {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    };
+    if hello.kind != K_HELLO {
+        let _ = write_frame(
+            &mut stream,
+            &Frame::with_body(K_ERROR, E_PROTOCOL, 0, b"expected HELLO".to_vec()),
+        );
+        return;
+    }
+    if hello.a != PROTOCOL_VERSION {
+        let msg = format!("unsupported protocol version {}", hello.a);
+        let _ = write_frame(
+            &mut stream,
+            &Frame::with_body(K_ERROR, E_VERSION, 0, msg.into_bytes()),
+        );
+        return;
+    }
+    let arch_ok = std::str::from_utf8(&hello.body)
+        .ok()
+        .and_then(ArchProfile::by_name)
+        .is_some();
+    if !arch_ok {
+        let _ = write_frame(
+            &mut stream,
+            &Frame::with_body(K_ERROR, E_ARCH, 0, b"unknown architecture profile".to_vec()),
+        );
+        return;
+    }
+    let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed) as u32;
+    if write_frame(
+        &mut stream,
+        &Frame::control(K_HELLO_ACK, PROTOCOL_VERSION, conn_id),
+    )
+    .is_err()
+    {
+        return;
+    }
+
+    // --- Session: all further writes go through the outbound queue.
+    let conn = Arc::new(ConnShared {
+        outbound: Outbound::new(state.queue_capacity),
+        announced: Mutex::new(HashSet::new()),
+        alive: AtomicBool::new(true),
+    });
+    let writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let writer_conn = conn.clone();
+    let writer_state = state.clone();
+    let writer_thread = std::thread::Builder::new()
+        .name("pbio-serv-write".into())
+        .spawn(move || writer_loop(writer, writer_conn, writer_state));
+    let Ok(writer_thread) = writer_thread else {
+        return;
+    };
+
+    state
+        .stats
+        .active_connections
+        .fetch_add(1, Ordering::Relaxed);
+    let mut subscriptions: Vec<(u32, SubscriptionId)> = Vec::new();
+
+    loop {
+        let frame = match read_frame(&mut stream) {
+            Ok(f) => f,
+            Err(FrameError::Timeout) => {
+                if state.shutdown.load(Ordering::SeqCst) || !conn.alive.load(Ordering::Relaxed) {
+                    break;
+                }
+                continue;
+            }
+            Err(_) => break,
+        };
+        state.stats.bytes_in.fetch_add(
+            (FRAME_HEADER_SIZE + frame.body.len()) as u64,
+            Ordering::Relaxed,
+        );
+        match frame.kind {
+            K_FORMAT => match state.formats.register_meta(&frame.body) {
+                Ok((id, _, _)) => {
+                    conn.outbound
+                        .send(Frame::control(K_FORMAT_ACK, frame.a, id));
+                }
+                Err(e) => send_error(&conn.outbound, E_FORMAT, e.to_string()),
+            },
+            K_CHANNEL => match std::str::from_utf8(&frame.body) {
+                Ok(name) => {
+                    let id = state.open_channel(name);
+                    conn.outbound
+                        .send(Frame::control(K_CHANNEL_ACK, frame.a, id));
+                }
+                Err(_) => send_error(&conn.outbound, E_PROTOCOL, "channel name is not UTF-8"),
+            },
+            K_SUBSCRIBE => {
+                let predicate = if frame.b == 1 {
+                    match deserialize_predicate(&frame.body) {
+                        Ok(p) => Some(p),
+                        Err(e) => {
+                            send_error(&conn.outbound, E_PREDICATE, e.to_string());
+                            continue;
+                        }
+                    }
+                } else {
+                    None
+                };
+                let Some(fanout) = state.channel(frame.a) else {
+                    send_error(
+                        &conn.outbound,
+                        E_CHANNEL,
+                        format!("unknown channel {}", frame.a),
+                    );
+                    continue;
+                };
+                let sub = RemoteSubscriber {
+                    conn: conn.clone(),
+                    channel: frame.a,
+                    predicate,
+                    compiled: HashMap::new(),
+                    formats: state.formats.clone(),
+                };
+                let id = fanout
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .subscribe(sub);
+                subscriptions.push((frame.a, id));
+                conn.outbound
+                    .send(Frame::control(K_SUBSCRIBE_ACK, frame.a, 0));
+            }
+            K_PUBLISH => {
+                state.stats.events_in.fetch_add(1, Ordering::Relaxed);
+                let Some(layout) = state.formats.lookup(frame.b) else {
+                    send_error(
+                        &conn.outbound,
+                        E_FORMAT,
+                        format!("unknown format {}", frame.b),
+                    );
+                    continue;
+                };
+                if frame.body.len() < layout.size() {
+                    send_error(
+                        &conn.outbound,
+                        E_PROTOCOL,
+                        format!(
+                            "event payload is {} bytes, format {} requires {}",
+                            frame.body.len(),
+                            frame.b,
+                            layout.size()
+                        ),
+                    );
+                    continue;
+                }
+                let Some(fanout) = state.channel(frame.a) else {
+                    send_error(
+                        &conn.outbound,
+                        E_CHANNEL,
+                        format!("unknown channel {}", frame.a),
+                    );
+                    continue;
+                };
+                let mut fanout = fanout.lock().unwrap_or_else(|p| p.into_inner());
+                let before = fanout.stats();
+                let _ = fanout.publish(frame.b, &frame.body);
+                let after = fanout.stats();
+                state
+                    .stats
+                    .filtered_at_source
+                    .fetch_add(after.filtered_out - before.filtered_out, Ordering::Relaxed);
+                state
+                    .stats
+                    .dropped
+                    .fetch_add(after.dropped - before.dropped, Ordering::Relaxed);
+            }
+            K_BYE => {
+                conn.outbound.send(Frame::control(K_BYE_ACK, 0, 0));
+                break;
+            }
+            other => send_error(
+                &conn.outbound,
+                E_PROTOCOL,
+                format!("unexpected frame kind {other:#04x}"),
+            ),
+        }
+    }
+
+    // --- Teardown: detach subscriptions, flush the queue, join the writer.
+    conn.alive.store(false, Ordering::Relaxed);
+    for (chan, sub) in subscriptions {
+        if let Some(fanout) = state.channel(chan) {
+            fanout
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .retain(|id, _| id != sub);
+        }
+    }
+    conn.outbound.close();
+    let _ = writer_thread.join();
+    state
+        .stats
+        .active_connections
+        .fetch_sub(1, Ordering::Relaxed);
+}
+
+fn writer_loop(mut stream: TcpStream, conn: Arc<ConnShared>, state: Arc<State>) {
+    while let Some(frame) = conn.outbound.pop() {
+        if write_frame(&mut stream, &frame).is_err() {
+            // Peer gone: stop queuing for it and wake the reader.
+            conn.alive.store(false, Ordering::Relaxed);
+            conn.outbound.close();
+            return;
+        }
+        if frame.kind == K_EVENT {
+            state.stats.events_out.fetch_add(1, Ordering::Relaxed);
+        }
+        state.stats.bytes_out.fetch_add(
+            (FRAME_HEADER_SIZE + frame.body.len()) as u64,
+            Ordering::Relaxed,
+        );
+    }
+    let _ = stream.shutdown(Shutdown::Write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbound_drops_oldest_event_but_never_control_frames() {
+        let out = Outbound::new(2);
+        assert!(matches!(
+            out.send(Frame::with_body(K_EVENT, 0, 0, vec![1])),
+            Enqueue::Sent
+        ));
+        assert!(matches!(
+            out.send(Frame::with_body(K_EVENT, 0, 0, vec![2])),
+            Enqueue::Sent
+        ));
+        // Control frame squeezes in regardless of the event budget.
+        assert!(matches!(
+            out.send(Frame::control(K_SUBSCRIBE_ACK, 0, 0)),
+            Enqueue::Sent
+        ));
+        // Third event evicts the oldest event, not the ack.
+        assert!(matches!(
+            out.send(Frame::with_body(K_EVENT, 0, 0, vec![3])),
+            Enqueue::DroppedOldest
+        ));
+        out.close();
+        let mut kinds_bodies: Vec<(u8, Vec<u8>)> = Vec::new();
+        while let Some(f) = out.pop() {
+            kinds_bodies.push((f.kind, f.body));
+        }
+        assert_eq!(
+            kinds_bodies,
+            vec![
+                (K_EVENT, vec![2]),
+                (K_SUBSCRIBE_ACK, vec![]),
+                (K_EVENT, vec![3]),
+            ]
+        );
+    }
+
+    #[test]
+    fn outbound_close_drains_then_ends() {
+        let out = Outbound::new(4);
+        out.send(Frame::control(K_BYE_ACK, 0, 0));
+        out.close();
+        assert!(matches!(
+            out.send(Frame::control(K_BYE_ACK, 0, 0)),
+            Enqueue::Closed
+        ));
+        assert_eq!(out.pop().map(|f| f.kind), Some(K_BYE_ACK));
+        assert!(out.pop().is_none());
+    }
+
+    #[test]
+    fn open_channel_is_create_or_get() {
+        let state = State {
+            formats: FormatServer::new(),
+            channels: Mutex::new(Channels {
+                by_name: HashMap::new(),
+                by_id: HashMap::new(),
+                next: 0,
+            }),
+            stats: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            queue_capacity: 4,
+            next_conn: AtomicU64::new(0),
+        };
+        let a = state.open_channel("alpha");
+        let b = state.open_channel("beta");
+        assert_ne!(a, b);
+        assert_eq!(state.open_channel("alpha"), a);
+        assert!(state.channel(a).is_some());
+        assert!(state.channel(99).is_none());
+    }
+}

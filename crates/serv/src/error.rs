@@ -1,0 +1,72 @@
+//! Client-side error type.
+
+use std::fmt;
+use std::io;
+
+use pbio::PbioError;
+use pbio_net::frame::FrameError;
+
+/// Errors surfaced by [`crate::ServClient`].
+#[derive(Debug)]
+pub enum ServError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The session stream desynchronized or truncated.
+    Frame(FrameError),
+    /// A per-call timeout elapsed.
+    Timeout,
+    /// The peer violated the session protocol.
+    Protocol(String),
+    /// The daemon rejected a request (code from [`crate::protocol`]).
+    Remote {
+        /// Error code (`E_*` in [`crate::protocol`]).
+        code: u32,
+        /// Human-readable description from the daemon.
+        message: String,
+    },
+    /// Publishing with a format id this client never registered.
+    UnknownFormat(u32),
+    /// PBIO encode/decode failure.
+    Pbio(PbioError),
+}
+
+impl fmt::Display for ServError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServError::Io(e) => write!(f, "i/o error: {e}"),
+            ServError::Frame(e) => write!(f, "session stream error: {e}"),
+            ServError::Timeout => write!(f, "request timed out"),
+            ServError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            ServError::Remote { code, message } => {
+                write!(f, "daemon rejected request (code {code}): {message}")
+            }
+            ServError::UnknownFormat(id) => {
+                write!(f, "format {id} was not registered on this client")
+            }
+            ServError::Pbio(e) => write!(f, "pbio error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServError {}
+
+impl From<io::Error> for ServError {
+    fn from(e: io::Error) -> ServError {
+        ServError::Io(e)
+    }
+}
+
+impl From<FrameError> for ServError {
+    fn from(e: FrameError) -> ServError {
+        match e {
+            FrameError::Timeout => ServError::Timeout,
+            other => ServError::Frame(other),
+        }
+    }
+}
+
+impl From<PbioError> for ServError {
+    fn from(e: PbioError) -> ServError {
+        ServError::Pbio(e)
+    }
+}

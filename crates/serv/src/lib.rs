@@ -1,0 +1,39 @@
+//! # pbio-serv — a networked event-channel service over NDR
+//!
+//! The deployment the paper's systems (DataExchange, ECho) ran in
+//! production: a daemon that many processes — simulations, monitors,
+//! visualizations, each compiled for its own architecture — connect to
+//! over TCP, publishing and subscribing on named event channels. The
+//! properties the paper measures survive the network hop intact:
+//!
+//! * **Sender-side O(1)**: publishers transmit records in their native
+//!   memory layout. The daemon forwards those bytes verbatim; nothing in
+//!   the path re-encodes a record, ever.
+//! * **Receiver-side conversion**: each subscriber's client embeds a
+//!   [`pbio::Reader`]; conversions are generated on first contact with
+//!   each publisher's wire format. A subscriber on the publisher's own
+//!   architecture stays zero-copy end to end.
+//! * **Formats registered once**: the daemon holds one shared
+//!   [`pbio::FormatServer`]. Format metadata crosses each publisher's
+//!   socket once, and identical formats from different publishers share
+//!   one daemon-global id.
+//! * **Filtering at the source** (§5): a subscription may carry a
+//!   predicate. The daemon compiles it against each publisher's wire
+//!   format with the same DCG machinery as the conversions and evaluates
+//!   it *before* transmission, so unwanted events never touch the wire.
+//!
+//! Layering: [`protocol`] defines the session frames (carried by
+//! [`pbio_net::frame`]); [`daemon`] is the thread-per-connection server
+//! built on [`pbio_chan::dispatch::Fanout`]; [`client`] is the blocking
+//! client library.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod error;
+pub mod protocol;
+
+pub use client::{ClientStats, Event, ServClient};
+pub use daemon::{ServConfig, ServDaemon, ServStats};
+pub use error::ServError;

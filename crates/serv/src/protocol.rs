@@ -1,0 +1,99 @@
+//! The serv session protocol: frame kinds and error codes.
+//!
+//! Every exchange is a [`pbio_net::frame::Frame`]:
+//!
+//! ```text
+//! frame := kind:u8  a:u32be  b:u32be  len:u32be  body[len]
+//! ```
+//!
+//! with `a`/`b` meanings assigned per kind below. A session runs:
+//!
+//! ```text
+//! client                                  daemon
+//!   | HELLO    a=version   body=arch name   |
+//!   |  -------------------------------->    |
+//!   |            HELLO_ACK a=version b=conn |
+//!   |  <--------------------------------    |
+//!   | FORMAT   a=token     body=layout meta |   (once per distinct format;
+//!   |  -------------------------------->    |    daemon dedups via its
+//!   |            FORMAT_ACK a=token b=fmt   |    shared FormatServer)
+//!   |  <--------------------------------    |
+//!   | CHANNEL  a=token     body=name        |   (create-or-open by name)
+//!   |  -------------------------------->    |
+//!   |            CHANNEL_ACK a=token b=chan |
+//!   |  <--------------------------------    |
+//!   | SUBSCRIBE a=chan b=1? body=predicate  |   (b=1: body is a serialized
+//!   |  -------------------------------->    |    pbio-chan predicate, to be
+//!   |            SUBSCRIBE_ACK a=chan       |    evaluated at the source)
+//!   |  <--------------------------------    |
+//!   | PUBLISH  a=chan b=fmt body=NDR bytes  |   (fire-and-forget)
+//!   |  -------------------------------->    |
+//!   |            ANNOUNCE a=fmt body=meta   |   (once per (conn, format),
+//!   |  <--------------------------------    |    before its first event)
+//!   |            EVENT    a=chan b=fmt      |   (sender's untouched native
+//!   |  <--------------------------------    |    bytes; receiver converts)
+//!   | BYE                                   |
+//!   |  -------------------------------->    |
+//!   |            BYE_ACK                    |
+//!   |  <--------------------------------    |
+//! ```
+//!
+//! Event bodies are the publisher's NDR bytes, forwarded verbatim: the
+//! daemon never converts. Filters run on the daemon against the
+//! *publisher's* wire format, so rejected events cost no transmission —
+//! the paper's "filter at the source" (§5) for derived event channels.
+
+/// Protocol version carried in `HELLO`/`HELLO_ACK`.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Client → daemon: open a session. `a` = version, body = architecture
+/// profile name (e.g. `"sparc-v8"`).
+pub const K_HELLO: u8 = 0x01;
+/// Daemon → client: session accepted. `a` = version, `b` = connection id.
+pub const K_HELLO_ACK: u8 = 0x02;
+/// Client → daemon: register a format. `a` = client token, body =
+/// serialized layout meta-information.
+pub const K_FORMAT: u8 = 0x10;
+/// Daemon → client: format registered. `a` = echoed token, `b` = the
+/// daemon-global format id.
+pub const K_FORMAT_ACK: u8 = 0x11;
+/// Client → daemon: create-or-open a named channel. `a` = client token,
+/// body = UTF-8 channel name.
+pub const K_CHANNEL: u8 = 0x12;
+/// Daemon → client: channel ready. `a` = echoed token, `b` = channel id.
+pub const K_CHANNEL_ACK: u8 = 0x13;
+/// Client → daemon: subscribe to a channel. `a` = channel id, `b` = 1 if
+/// the body carries a serialized predicate ([`pbio_chan::wire`]), else 0.
+pub const K_SUBSCRIBE: u8 = 0x14;
+/// Daemon → client: subscription active. `a` = channel id.
+pub const K_SUBSCRIBE_ACK: u8 = 0x15;
+/// Client → daemon: publish an event. `a` = channel id, `b` = format id,
+/// body = the record's native (NDR) bytes. No acknowledgement.
+pub const K_PUBLISH: u8 = 0x20;
+/// Daemon → subscriber: an event. `a` = channel id, `b` = format id,
+/// body = the *publisher's* NDR bytes, forwarded without conversion.
+pub const K_EVENT: u8 = 0x21;
+/// Daemon → subscriber: format meta for an id the subscriber is about to
+/// see. `a` = format id, body = serialized layout. Sent once per
+/// (connection, format), always before that format's first [`K_EVENT`].
+pub const K_ANNOUNCE: u8 = 0x22;
+/// Client → daemon: graceful disconnect.
+pub const K_BYE: u8 = 0x30;
+/// Daemon → client: disconnect acknowledged; no further frames follow.
+pub const K_BYE_ACK: u8 = 0x31;
+/// Daemon → client: request failed. `a` = error code ([`E_PROTOCOL`]…),
+/// body = UTF-8 description.
+pub const K_ERROR: u8 = 0x7F;
+
+/// Malformed or unexpected frame.
+pub const E_PROTOCOL: u32 = 1;
+/// `HELLO` carried an unsupported protocol version.
+pub const E_VERSION: u32 = 2;
+/// `HELLO` named an unknown architecture profile.
+pub const E_ARCH: u32 = 3;
+/// Bad format metadata, or a publish for an unregistered format id.
+pub const E_FORMAT: u32 = 4;
+/// Unknown channel id.
+pub const E_CHANNEL: u32 = 5;
+/// Undecodable subscription predicate.
+pub const E_PREDICATE: u32 = 6;

@@ -75,8 +75,15 @@ impl fmt::Display for TypeError {
             } => write!(f, "field {field:?}: expected {expected}, got {got}"),
             TypeError::Truncated { context } => write!(f, "buffer truncated while {context}"),
             TypeError::BadMeta(reason) => write!(f, "bad format metadata: {reason}"),
-            TypeError::Overflow { field, value, bytes } => {
-                write!(f, "field {field:?}: value {value} does not fit in {bytes} bytes")
+            TypeError::Overflow {
+                field,
+                value,
+                bytes,
+            } => {
+                write!(
+                    f,
+                    "field {field:?}: value {value} does not fit in {bytes} bytes"
+                )
             }
         }
     }

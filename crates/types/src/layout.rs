@@ -103,15 +103,24 @@ impl ConcreteType {
     pub fn is_scalar(&self) -> bool {
         matches!(
             self,
-            ConcreteType::Int { .. } | ConcreteType::Float { .. } | ConcreteType::Char | ConcreteType::Bool
+            ConcreteType::Int { .. }
+                | ConcreteType::Float { .. }
+                | ConcreteType::Char
+                | ConcreteType::Bool
         )
     }
 
     /// A short human-readable rendering, e.g. `i4`, `f8`, `f8[3]`.
     pub fn describe(&self) -> String {
         match self {
-            ConcreteType::Int { bytes, signed: true } => format!("i{bytes}"),
-            ConcreteType::Int { bytes, signed: false } => format!("u{bytes}"),
+            ConcreteType::Int {
+                bytes,
+                signed: true,
+            } => format!("i{bytes}"),
+            ConcreteType::Int {
+                bytes,
+                signed: false,
+            } => format!("u{bytes}"),
             ConcreteType::Float { bytes } => format!("f{bytes}"),
             ConcreteType::Char => "char".into(),
             ConcreteType::Bool => "bool".into(),
@@ -120,7 +129,9 @@ impl ConcreteType {
             }
             ConcreteType::Record(l) => format!("record {}", l.format_name()),
             ConcreteType::String => "string".into(),
-            ConcreteType::VarArray { elem, len_field, .. } => {
+            ConcreteType::VarArray {
+                elem, len_field, ..
+            } => {
                 format!("{}[{len_field}]", elem.describe())
             }
         }
@@ -320,11 +331,9 @@ impl Layout {
         self.endianness == other.endianness
             && self.size == other.size
             && self.fields.len() == other.fields.len()
-            && self
-                .fields
-                .iter()
-                .zip(&other.fields)
-                .all(|(a, b)| a.name == b.name && a.offset == b.offset && types_identical(&a.ty, &b.ty))
+            && self.fields.iter().zip(&other.fields).all(|(a, b)| {
+                a.name == b.name && a.offset == b.offset && types_identical(&a.ty, &b.ty)
+            })
     }
 
     /// True if a record written with wire layout `wire` can be used
@@ -352,20 +361,42 @@ impl Layout {
 fn types_identical(a: &ConcreteType, b: &ConcreteType) -> bool {
     match (a, b) {
         (
-            ConcreteType::Int { bytes: ab, signed: asg },
-            ConcreteType::Int { bytes: bb, signed: bsg },
+            ConcreteType::Int {
+                bytes: ab,
+                signed: asg,
+            },
+            ConcreteType::Int {
+                bytes: bb,
+                signed: bsg,
+            },
         ) => ab == bb && asg == bsg,
         (ConcreteType::Float { bytes: ab }, ConcreteType::Float { bytes: bb }) => ab == bb,
         (ConcreteType::Char, ConcreteType::Char) | (ConcreteType::Bool, ConcreteType::Bool) => true,
         (
-            ConcreteType::FixedArray { elem: ae, count: ac, stride: ast },
-            ConcreteType::FixedArray { elem: be, count: bc, stride: bst },
+            ConcreteType::FixedArray {
+                elem: ae,
+                count: ac,
+                stride: ast,
+            },
+            ConcreteType::FixedArray {
+                elem: be,
+                count: bc,
+                stride: bst,
+            },
         ) => ac == bc && ast == bst && types_identical(ae, be),
         (ConcreteType::Record(al), ConcreteType::Record(bl)) => al.wire_identical(bl),
         (ConcreteType::String, ConcreteType::String) => true,
         (
-            ConcreteType::VarArray { elem: ae, stride: ast, .. },
-            ConcreteType::VarArray { elem: be, stride: bst, .. },
+            ConcreteType::VarArray {
+                elem: ae,
+                stride: ast,
+                ..
+            },
+            ConcreteType::VarArray {
+                elem: be,
+                stride: bst,
+                ..
+            },
         ) => ast == bst && types_identical(ae, be),
         _ => false,
     }
@@ -381,24 +412,66 @@ pub fn round_up(n: usize, align: usize) -> usize {
 /// Resolve a logical atom to its concrete width and kind on `profile`.
 pub fn resolve_atom(atom: AtomType, profile: &ArchProfile) -> Result<ConcreteType, TypeError> {
     let t = match atom {
-        AtomType::I8 => ConcreteType::Int { bytes: 1, signed: true },
-        AtomType::I16 => ConcreteType::Int { bytes: 2, signed: true },
-        AtomType::I32 => ConcreteType::Int { bytes: 4, signed: true },
-        AtomType::I64 => ConcreteType::Int { bytes: 8, signed: true },
-        AtomType::U8 => ConcreteType::Int { bytes: 1, signed: false },
-        AtomType::U16 => ConcreteType::Int { bytes: 2, signed: false },
-        AtomType::U32 => ConcreteType::Int { bytes: 4, signed: false },
-        AtomType::U64 => ConcreteType::Int { bytes: 8, signed: false },
+        AtomType::I8 => ConcreteType::Int {
+            bytes: 1,
+            signed: true,
+        },
+        AtomType::I16 => ConcreteType::Int {
+            bytes: 2,
+            signed: true,
+        },
+        AtomType::I32 => ConcreteType::Int {
+            bytes: 4,
+            signed: true,
+        },
+        AtomType::I64 => ConcreteType::Int {
+            bytes: 8,
+            signed: true,
+        },
+        AtomType::U8 => ConcreteType::Int {
+            bytes: 1,
+            signed: false,
+        },
+        AtomType::U16 => ConcreteType::Int {
+            bytes: 2,
+            signed: false,
+        },
+        AtomType::U32 => ConcreteType::Int {
+            bytes: 4,
+            signed: false,
+        },
+        AtomType::U64 => ConcreteType::Int {
+            bytes: 8,
+            signed: false,
+        },
         AtomType::F32 | AtomType::CFloat => ConcreteType::Float { bytes: 4 },
         AtomType::F64 | AtomType::CDouble => ConcreteType::Float { bytes: 8 },
         AtomType::Char => ConcreteType::Char,
         AtomType::Bool => ConcreteType::Bool,
-        AtomType::CShort => ConcreteType::Int { bytes: profile.short_bytes, signed: true },
-        AtomType::CUShort => ConcreteType::Int { bytes: profile.short_bytes, signed: false },
-        AtomType::CInt => ConcreteType::Int { bytes: profile.int_bytes, signed: true },
-        AtomType::CUInt => ConcreteType::Int { bytes: profile.int_bytes, signed: false },
-        AtomType::CLong => ConcreteType::Int { bytes: profile.long_bytes, signed: true },
-        AtomType::CULong => ConcreteType::Int { bytes: profile.long_bytes, signed: false },
+        AtomType::CShort => ConcreteType::Int {
+            bytes: profile.short_bytes,
+            signed: true,
+        },
+        AtomType::CUShort => ConcreteType::Int {
+            bytes: profile.short_bytes,
+            signed: false,
+        },
+        AtomType::CInt => ConcreteType::Int {
+            bytes: profile.int_bytes,
+            signed: true,
+        },
+        AtomType::CUInt => ConcreteType::Int {
+            bytes: profile.int_bytes,
+            signed: false,
+        },
+        AtomType::CLong => ConcreteType::Int {
+            bytes: profile.long_bytes,
+            signed: true,
+        },
+        AtomType::CULong => ConcreteType::Int {
+            bytes: profile.long_bytes,
+            signed: false,
+        },
     };
     if let ConcreteType::Int { bytes, .. } | ConcreteType::Float { bytes } = &t {
         if !matches!(bytes, 1 | 2 | 4 | 8) {
@@ -558,15 +631,22 @@ mod tests {
     #[test]
     fn zero_copy_prefix_compatibility() {
         let s = mixed_schema();
-        let extended = s.with_field_appended(FieldDecl::atom("extra", AtomType::CInt)).unwrap();
+        let extended = s
+            .with_field_appended(FieldDecl::atom("extra", AtomType::CInt))
+            .unwrap();
         let native = Layout::of(&s, &ArchProfile::SPARC_V8).unwrap();
         let wire_app = Layout::of(&extended, &ArchProfile::SPARC_V8).unwrap();
         // Appended extension: expected fields untouched -> in-place usable.
         assert!(native.zero_copy_prefix_of(&wire_app));
-        assert!(!wire_app.zero_copy_prefix_of(&native), "reverse needs the extra field");
+        assert!(
+            !wire_app.zero_copy_prefix_of(&native),
+            "reverse needs the extra field"
+        );
 
         // Prepended extension shifts offsets -> not in-place usable.
-        let prepended = s.with_field_prepended(FieldDecl::atom("extra", AtomType::CInt)).unwrap();
+        let prepended = s
+            .with_field_prepended(FieldDecl::atom("extra", AtomType::CInt))
+            .unwrap();
         let wire_pre = Layout::of(&prepended, &ArchProfile::SPARC_V8).unwrap();
         assert!(!native.zero_copy_prefix_of(&wire_pre));
 
@@ -582,7 +662,9 @@ mod tests {
     #[test]
     fn wire_identity_is_field_sensitive() {
         let s1 = mixed_schema();
-        let s2 = s1.with_field_appended(FieldDecl::atom("extra", AtomType::CInt)).unwrap();
+        let s2 = s1
+            .with_field_appended(FieldDecl::atom("extra", AtomType::CInt))
+            .unwrap();
         let a = Layout::of(&s1, &ArchProfile::SPARC_V8).unwrap();
         let b = Layout::of(&s2, &ArchProfile::SPARC_V8).unwrap();
         assert!(!a.wire_identical(&b));

@@ -69,7 +69,11 @@ fn put_type(out: &mut Vec<u8>, ty: &ConcreteType) {
         }
         ConcreteType::Char => out.push(TAG_CHAR),
         ConcreteType::Bool => out.push(TAG_BOOL),
-        ConcreteType::FixedArray { elem, count, stride } => {
+        ConcreteType::FixedArray {
+            elem,
+            count,
+            stride,
+        } => {
             out.push(TAG_FIXED_ARRAY);
             put_u32(out, *count as u32);
             put_u32(out, *stride as u32);
@@ -80,7 +84,11 @@ fn put_type(out: &mut Vec<u8>, ty: &ConcreteType) {
             put_layout(out, sub);
         }
         ConcreteType::String => out.push(TAG_STRING),
-        ConcreteType::VarArray { elem, stride, len_field } => {
+        ConcreteType::VarArray {
+            elem,
+            stride,
+            len_field,
+        } => {
             out.push(TAG_VAR_ARRAY);
             put_u32(out, *stride as u32);
             put_str(out, len_field);
@@ -185,9 +193,21 @@ fn get_layout(r: &mut Reader<'_>) -> Result<Layout, TypeError> {
                 "field {name:?} ({offset}+{fsize}) exceeds record size {size}"
             )));
         }
-        fields.push(Field { name, ty, offset, size: fsize });
+        fields.push(Field {
+            name,
+            ty,
+            offset,
+            size: fsize,
+        });
     }
-    Ok(Layout::from_parts(format_name, arch_name, endianness, fields, size, align))
+    Ok(Layout::from_parts(
+        format_name,
+        arch_name,
+        endianness,
+        fields,
+        size,
+        align,
+    ))
 }
 
 fn get_type(r: &mut Reader<'_>) -> Result<ConcreteType, TypeError> {
@@ -218,9 +238,15 @@ fn get_type(r: &mut Reader<'_>) -> Result<ConcreteType, TypeError> {
             let stride = r.u32()? as usize;
             let elem = get_type(r)?;
             if stride < elem.fixed_size() {
-                return Err(TypeError::BadMeta("array stride smaller than element".into()));
+                return Err(TypeError::BadMeta(
+                    "array stride smaller than element".into(),
+                ));
             }
-            ConcreteType::FixedArray { elem: Box::new(elem), count, stride }
+            ConcreteType::FixedArray {
+                elem: Box::new(elem),
+                count,
+                stride,
+            }
         }
         TAG_RECORD => ConcreteType::Record(std::sync::Arc::new(get_layout(r)?)),
         TAG_STRING => ConcreteType::String,
@@ -229,9 +255,15 @@ fn get_type(r: &mut Reader<'_>) -> Result<ConcreteType, TypeError> {
             let len_field = r.string()?;
             let elem = get_type(r)?;
             if stride < elem.fixed_size() {
-                return Err(TypeError::BadMeta("var-array stride smaller than element".into()));
+                return Err(TypeError::BadMeta(
+                    "var-array stride smaller than element".into(),
+                ));
             }
-            ConcreteType::VarArray { elem: Box::new(elem), stride, len_field }
+            ConcreteType::VarArray {
+                elem: Box::new(elem),
+                stride,
+                len_field,
+            }
         }
         other => return Err(TypeError::BadMeta(format!("unknown type tag {other:#x}"))),
     })
@@ -287,7 +319,10 @@ mod tests {
         let layout = Layout::of(&rich_schema(), &ArchProfile::X86).unwrap();
         let mut bytes = serialize_layout(&layout);
         bytes[0] = b'X';
-        assert!(matches!(deserialize_layout(&bytes), Err(TypeError::BadMeta(_))));
+        assert!(matches!(
+            deserialize_layout(&bytes),
+            Err(TypeError::BadMeta(_))
+        ));
     }
 
     #[test]
@@ -295,7 +330,10 @@ mod tests {
         let layout = Layout::of(&rich_schema(), &ArchProfile::X86).unwrap();
         let mut bytes = serialize_layout(&layout);
         bytes[4] = 99;
-        assert!(matches!(deserialize_layout(&bytes), Err(TypeError::BadMeta(_))));
+        assert!(matches!(
+            deserialize_layout(&bytes),
+            Err(TypeError::BadMeta(_))
+        ));
     }
 
     #[test]
@@ -316,7 +354,10 @@ mod tests {
         let layout = Layout::of(&rich_schema(), &ArchProfile::X86).unwrap();
         let mut bytes = serialize_layout(&layout);
         bytes.push(0);
-        assert!(matches!(deserialize_layout(&bytes), Err(TypeError::BadMeta(_))));
+        assert!(matches!(
+            deserialize_layout(&bytes),
+            Err(TypeError::BadMeta(_))
+        ));
     }
 
     #[test]
@@ -327,7 +368,10 @@ mod tests {
         // The record size field is at offset 4(magic+ver) + 2+3("one") + 2+3("x86") + 1(endian).
         let size_off = 5 + 2 + 3 + 2 + 3 + 1;
         bytes[size_off..size_off + 4].copy_from_slice(&1u32.to_be_bytes());
-        assert!(matches!(deserialize_layout(&bytes), Err(TypeError::BadMeta(_))));
+        assert!(matches!(
+            deserialize_layout(&bytes),
+            Err(TypeError::BadMeta(_))
+        ));
     }
 
     #[test]

@@ -222,8 +222,7 @@ impl Schema {
         match ty {
             TypeDesc::Var(inner, len_field) => {
                 let ok = earlier.iter().any(|e| {
-                    e.name == *len_field
-                        && matches!(&e.ty, TypeDesc::Atom(a) if a.is_integer())
+                    e.name == *len_field && matches!(&e.ty, TypeDesc::Atom(a) if a.is_integer())
                 });
                 if !ok {
                     return Err(TypeError::BadLengthField {
@@ -393,8 +392,11 @@ mod tests {
         .unwrap();
         assert!(s.has_variable_part());
 
-        let nested = Schema::new("outer", vec![FieldDecl::new("inner", TypeDesc::Record(Arc::new(s)))])
-            .unwrap();
+        let nested = Schema::new(
+            "outer",
+            vec![FieldDecl::new("inner", TypeDesc::Record(Arc::new(s)))],
+        )
+        .unwrap();
         assert!(nested.has_variable_part());
     }
 

@@ -145,9 +145,7 @@ fn parse_dims(whole: &str, mut s: &str) -> Result<Vec<Dim>, TypeError> {
                 });
             }
             dims.push(Dim::Fixed(n));
-        } else if body
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        } else if body.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
             && !body.chars().next().unwrap().is_ascii_digit()
         {
             dims.push(Dim::Runtime(body.to_owned()));
@@ -241,7 +239,10 @@ mod tests {
         let t = parse_type_string("double[nrows][3]").unwrap();
         assert_eq!(
             t,
-            TypeDesc::Var(Box::new(TypeDesc::array(AtomType::CDouble, 3)), "nrows".into())
+            TypeDesc::Var(
+                Box::new(TypeDesc::array(AtomType::CDouble, 3)),
+                "nrows".into()
+            )
         );
     }
 

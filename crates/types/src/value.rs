@@ -212,9 +212,7 @@ impl RecordValue {
     /// (order-insensitive). Useful when a receiver's schema is a subset of
     /// the sender's (type extension).
     pub fn subset_of(&self, other: &RecordValue) -> bool {
-        self.fields
-            .iter()
-            .all(|(n, v)| other.get(n) == Some(v))
+        self.fields.iter().all(|(n, v)| other.get(n) == Some(v))
     }
 }
 
@@ -251,12 +249,22 @@ fn encode_record(
 ) -> Result<(), TypeError> {
     let endian = layout.endianness();
     for field in layout.fields() {
-        let v = value.get(&field.name).ok_or_else(|| TypeError::ValueMismatch {
-            field: field.name.clone(),
-            expected: field.ty.describe(),
-            got: "missing value".into(),
-        })?;
-        encode_field(&field.name, &field.ty, v, value, base + field.offset, endian, buf)?;
+        let v = value
+            .get(&field.name)
+            .ok_or_else(|| TypeError::ValueMismatch {
+                field: field.name.clone(),
+                expected: field.ty.describe(),
+                got: "missing value".into(),
+            })?;
+        encode_field(
+            &field.name,
+            &field.ty,
+            v,
+            value,
+            base + field.offset,
+            endian,
+            buf,
+        )?;
     }
     Ok(())
 }
@@ -272,7 +280,13 @@ fn encode_field(
     buf: &mut Vec<u8>,
 ) -> Result<(), TypeError> {
     match (ty, v) {
-        (ConcreteType::Int { bytes, signed: true }, _) => {
+        (
+            ConcreteType::Int {
+                bytes,
+                signed: true,
+            },
+            _,
+        ) => {
             let val = v.as_i64().ok_or_else(|| mismatch(name, ty, v))?;
             if !prim::fits_signed(val, *bytes) {
                 return Err(TypeError::Overflow {
@@ -283,7 +297,13 @@ fn encode_field(
             }
             prim::write_uint(buf, offset, *bytes, endian, val as u64);
         }
-        (ConcreteType::Int { bytes, signed: false }, _) => {
+        (
+            ConcreteType::Int {
+                bytes,
+                signed: false,
+            },
+            _,
+        ) => {
             let val = match v {
                 Value::U64(u) => *u,
                 Value::I64(i) if *i >= 0 => *i as u64,
@@ -303,7 +323,14 @@ fn encode_field(
         }
         (ConcreteType::Char, Value::Char(c)) => buf[offset] = *c,
         (ConcreteType::Bool, Value::Bool(b)) => buf[offset] = *b as u8,
-        (ConcreteType::FixedArray { elem, count, stride }, Value::Array(items)) => {
+        (
+            ConcreteType::FixedArray {
+                elem,
+                count,
+                stride,
+            },
+            Value::Array(items),
+        ) => {
             if items.len() != *count {
                 return Err(TypeError::ValueMismatch {
                     field: name.to_owned(),
@@ -322,7 +349,14 @@ fn encode_field(
             let start = append_var(buf, s.as_bytes());
             write_descriptor(buf, offset, endian, start, s.len());
         }
-        (ConcreteType::VarArray { elem, stride, len_field }, Value::Array(items)) => {
+        (
+            ConcreteType::VarArray {
+                elem,
+                stride,
+                len_field,
+            },
+            Value::Array(items),
+        ) => {
             // Cross-check against the declared length field when present.
             if let Some(lf) = parent.get(len_field) {
                 if lf.as_i64() != Some(items.len() as i64) {
@@ -408,49 +442,74 @@ fn decode_field(
         });
     }
     Ok(match ty {
-        ConcreteType::Int { bytes: w, signed: true } => {
-            Value::I64(prim::read_int(bytes, offset, *w, endian))
-        }
-        ConcreteType::Int { bytes: w, signed: false } => {
-            Value::U64(prim::read_uint(bytes, offset, *w, endian))
-        }
+        ConcreteType::Int {
+            bytes: w,
+            signed: true,
+        } => Value::I64(prim::read_int(bytes, offset, *w, endian)),
+        ConcreteType::Int {
+            bytes: w,
+            signed: false,
+        } => Value::U64(prim::read_uint(bytes, offset, *w, endian)),
         ConcreteType::Float { bytes: w } => Value::F64(prim::read_float(bytes, offset, *w, endian)),
         ConcreteType::Char => Value::Char(bytes[offset]),
         ConcreteType::Bool => Value::Bool(bytes[offset] != 0),
-        ConcreteType::FixedArray { elem, count, stride } => {
+        ConcreteType::FixedArray {
+            elem,
+            count,
+            stride,
+        } => {
             let mut items = Vec::with_capacity(*count);
             for i in 0..*count {
-                items.push(decode_field(bytes, elem, offset + i * stride, endian, field)?);
+                items.push(decode_field(
+                    bytes,
+                    elem,
+                    offset + i * stride,
+                    endian,
+                    field,
+                )?);
             }
             Value::Array(items)
         }
         ConcreteType::Record(sub) => Value::Record(decode_record(bytes, sub, offset)?),
         ConcreteType::String => {
             let (start, count) = read_descriptor(bytes, offset, endian);
-            let end = start.checked_add(count).filter(|&e| e <= bytes.len()).ok_or_else(|| {
-                TypeError::Truncated {
+            let end = start
+                .checked_add(count)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| TypeError::Truncated {
                     context: format!("string field {:?} payload", field.name),
-                }
+                })?;
+            let s = std::str::from_utf8(&bytes[start..end]).map_err(|_| {
+                TypeError::BadMeta(format!(
+                    "field {:?}: string payload is not UTF-8",
+                    field.name
+                ))
             })?;
-            let s = std::str::from_utf8(&bytes[start..end]).map_err(|_| TypeError::BadMeta(
-                format!("field {:?}: string payload is not UTF-8", field.name),
-            ))?;
             Value::Str(s.to_owned())
         }
         ConcreteType::VarArray { elem, stride, .. } => {
             let (start, count) = read_descriptor(bytes, offset, endian);
-            let total = count.checked_mul(*stride).ok_or_else(|| TypeError::Truncated {
-                context: format!("var array {:?} size overflow", field.name),
-            })?;
-            let end = start.checked_add(total).filter(|&e| e <= bytes.len()).ok_or_else(|| {
-                TypeError::Truncated {
+            let total = count
+                .checked_mul(*stride)
+                .ok_or_else(|| TypeError::Truncated {
+                    context: format!("var array {:?} size overflow", field.name),
+                })?;
+            let end = start
+                .checked_add(total)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| TypeError::Truncated {
                     context: format!("var array {:?} payload", field.name),
-                }
-            })?;
+                })?;
             let _ = end;
             let mut items = Vec::with_capacity(count);
             for i in 0..count {
-                items.push(decode_field(bytes, elem, start + i * stride, endian, field)?);
+                items.push(decode_field(
+                    bytes,
+                    elem,
+                    start + i * stride,
+                    endian,
+                    field,
+                )?);
             }
             Value::Array(items)
         }
@@ -511,7 +570,11 @@ mod tests {
     fn big_endian_bytes_where_expected() {
         let schema = Schema::new("one", vec![FieldDecl::atom("v", AtomType::CInt)]).unwrap();
         let value = RecordValue::new().with("v", 0x01020304i32);
-        let be = encode_native(&value, &Layout::of(&schema, &ArchProfile::SPARC_V8).unwrap()).unwrap();
+        let be = encode_native(
+            &value,
+            &Layout::of(&schema, &ArchProfile::SPARC_V8).unwrap(),
+        )
+        .unwrap();
         let le = encode_native(&value, &Layout::of(&schema, &ArchProfile::X86).unwrap()).unwrap();
         assert_eq!(&be[..4], &[1, 2, 3, 4]);
         assert_eq!(&le[..4], &[4, 3, 2, 1]);
@@ -561,12 +624,10 @@ mod tests {
             ],
         )
         .unwrap();
-        let value = RecordValue::new()
-            .with("pre", Value::Char(b'z'))
-            .with(
-                "in",
-                Value::Record(RecordValue::new().with("a", -3i32).with("b", 2.5f64)),
-            );
+        let value = RecordValue::new().with("pre", Value::Char(b'z')).with(
+            "in",
+            Value::Record(RecordValue::new().with("a", -3i32).with("b", 2.5f64)),
+        );
         for p in ArchProfile::all() {
             let layout = Layout::of(&outer, p).unwrap();
             let img = encode_native(&value, &layout).unwrap();
@@ -595,7 +656,11 @@ mod tests {
                 Value::Array(vec![1.5.into(), (-2.5).into(), 3.5.into()]),
             )
             .with("name", "hello wire");
-        for p in [&ArchProfile::SPARC_V8, &ArchProfile::X86, &ArchProfile::ALPHA] {
+        for p in [
+            &ArchProfile::SPARC_V8,
+            &ArchProfile::X86,
+            &ArchProfile::ALPHA,
+        ] {
             let layout = Layout::of(&schema, p).unwrap();
             let img = encode_native(&value, &layout).unwrap();
             assert!(img.len() > layout.size(), "var region appended");
@@ -684,7 +749,10 @@ mod tests {
     #[test]
     fn record_value_subset() {
         let a = RecordValue::new().with("x", 1i32).with("y", 2i32);
-        let b = RecordValue::new().with("y", 2i32).with("x", 1i32).with("z", 3i32);
+        let b = RecordValue::new()
+            .with("y", 2i32)
+            .with("x", 1i32)
+            .with("z", 3i32);
         assert!(a.subset_of(&b));
         assert!(!b.subset_of(&a));
     }

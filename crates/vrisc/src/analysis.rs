@@ -83,7 +83,13 @@ pub fn analyze(prog: &Program) -> Option<Extents> {
     };
     for inst in insts {
         match *inst {
-            Inst::Ld { w, space, base, disp, .. } => {
+            Inst::Ld {
+                w,
+                space,
+                base,
+                disp,
+                ..
+            } => {
                 if !base_ok(&written, base) {
                     return None;
                 }
@@ -99,7 +105,13 @@ pub fn analyze(prog: &Program) -> Option<Extents> {
                 }
                 touch(&mut dst_needed, disp, w as usize)?;
             }
-            Inst::MemcpyImm { src_base, src_disp, dst_base, dst_disp, len } => {
+            Inst::MemcpyImm {
+                src_base,
+                src_disp,
+                dst_base,
+                dst_disp,
+                len,
+            } => {
                 if !base_ok(&written, src_base) || !base_ok(&written, dst_base) {
                     return None;
                 }
@@ -112,14 +124,27 @@ pub fn analyze(prog: &Program) -> Option<Extents> {
                 }
                 touch(&mut dst_needed, disp, len as usize)?;
             }
-            Inst::SwapMove { w, src_base, src_disp, dst_base, dst_disp } => {
+            Inst::SwapMove {
+                w,
+                src_base,
+                src_disp,
+                dst_base,
+                dst_disp,
+            } => {
                 if !base_ok(&written, src_base) || !base_ok(&written, dst_base) {
                     return None;
                 }
                 touch(&mut src_needed, src_disp, w as usize)?;
                 touch(&mut dst_needed, dst_disp, w as usize)?;
             }
-            Inst::SwapRun { w, src_base, src_disp, dst_base, dst_disp, count } => {
+            Inst::SwapRun {
+                w,
+                src_base,
+                src_disp,
+                dst_base,
+                dst_disp,
+                count,
+            } => {
                 if !base_ok(&written, src_base) || !base_ok(&written, dst_base) {
                     return None;
                 }
@@ -130,7 +155,11 @@ pub fn analyze(prog: &Program) -> Option<Extents> {
             _ => {}
         }
     }
-    Some(Extents { src_needed, dst_needed, inst_count: insts.len() })
+    Some(Extents {
+        src_needed,
+        dst_needed,
+        inst_count: insts.len(),
+    })
 }
 
 #[cfg(test)]

@@ -149,7 +149,13 @@ impl Assembler {
         let w = self.check_width(w);
         let r = self.check_reg(r);
         let base = self.check_reg(base);
-        self.emit(Inst::Ld { w, r, space, base, disp });
+        self.emit(Inst::Ld {
+            w,
+            r,
+            space,
+            base,
+            disp,
+        });
     }
 
     /// Emit a store of the low `w` bytes of `r` to `Dst[base+disp]`.
@@ -296,18 +302,44 @@ impl Assembler {
     }
 
     /// Emit a fixed-length block copy from `Src` to `Dst`.
-    pub fn memcpy_imm(&mut self, src_base: Reg, src_disp: i32, dst_base: Reg, dst_disp: i32, len: u32) {
+    pub fn memcpy_imm(
+        &mut self,
+        src_base: Reg,
+        src_disp: i32,
+        dst_base: Reg,
+        dst_disp: i32,
+        len: u32,
+    ) {
         let src_base = self.check_reg(src_base);
         let dst_base = self.check_reg(dst_base);
-        self.emit(Inst::MemcpyImm { src_base, src_disp, dst_base, dst_disp, len });
+        self.emit(Inst::MemcpyImm {
+            src_base,
+            src_disp,
+            dst_base,
+            dst_disp,
+            len,
+        });
     }
 
     /// Emit a runtime-length block copy from `Src` to `Dst`.
-    pub fn memcpy_reg(&mut self, src_base: Reg, src_disp: i32, dst_base: Reg, dst_disp: i32, len: Reg) {
+    pub fn memcpy_reg(
+        &mut self,
+        src_base: Reg,
+        src_disp: i32,
+        dst_base: Reg,
+        dst_disp: i32,
+        len: Reg,
+    ) {
         let src_base = self.check_reg(src_base);
         let dst_base = self.check_reg(dst_base);
         let len = self.check_reg(len);
-        self.emit(Inst::MemcpyReg { src_base, src_disp, dst_base, dst_disp, len });
+        self.emit(Inst::MemcpyReg {
+            src_base,
+            src_disp,
+            dst_base,
+            dst_disp,
+            len,
+        });
     }
 
     /// Emit a zero-fill of `len` bytes in `Dst`.
@@ -319,13 +351,28 @@ impl Assembler {
     /// Emit a byte-swapping block copy of `count` scalars of width `w`.
     /// Normally a peephole product, but code generators that statically know
     /// an array is a uniform swap may emit it directly.
-    pub fn swap_run(&mut self, w: u8, src_base: Reg, src_disp: i32, dst_base: Reg, dst_disp: i32, count: u32) {
+    pub fn swap_run(
+        &mut self,
+        w: u8,
+        src_base: Reg,
+        src_disp: i32,
+        dst_base: Reg,
+        dst_disp: i32,
+        count: u32,
+    ) {
         if !matches!(w, 2 | 4 | 8) {
             self.errors.push(AsmError::BadWidth(w));
         }
         let src_base = self.check_reg(src_base);
         let dst_base = self.check_reg(dst_base);
-        self.emit(Inst::SwapRun { w, src_base, src_disp, dst_base, dst_disp, count });
+        self.emit(Inst::SwapRun {
+            w,
+            src_base,
+            src_disp,
+            dst_base,
+            dst_disp,
+            count,
+        });
     }
 
     /// Emit `Halt`.
@@ -401,12 +448,22 @@ fn validate(insts: &[Inst]) -> Result<(), AsmError> {
             | Inst::Sltu { r, a, b }
             | Inst::FltF64 { r, a, b } => &[*r, *a, *b],
             Inst::AddImm { r, a, .. } | Inst::SetEqZ { r, a } => &[*r, *a],
-            Inst::MemcpyImm { src_base, dst_base, .. } => &[*src_base, *dst_base],
-            Inst::MemcpyReg { src_base, dst_base, len, .. } => &[*src_base, *dst_base, *len],
+            Inst::MemcpyImm {
+                src_base, dst_base, ..
+            } => &[*src_base, *dst_base],
+            Inst::MemcpyReg {
+                src_base,
+                dst_base,
+                len,
+                ..
+            } => &[*src_base, *dst_base, *len],
             Inst::MemsetZero { base, .. } => &[*base],
-            Inst::SwapMove { src_base, dst_base, .. } | Inst::SwapRun { src_base, dst_base, .. } => {
-                &[*src_base, *dst_base]
+            Inst::SwapMove {
+                src_base, dst_base, ..
             }
+            | Inst::SwapRun {
+                src_base, dst_base, ..
+            } => &[*src_base, *dst_base],
             Inst::Jmp { .. } | Inst::Halt => &[],
         };
         for r in regs {
@@ -416,13 +473,15 @@ fn validate(insts: &[Inst]) -> Result<(), AsmError> {
         }
         match inst {
             Inst::Ld { w, .. } | Inst::St { w, .. } | Inst::SExt { from: w, .. }
-                if !matches!(w, 1 | 2 | 4 | 8) => {
-                    return Err(AsmError::BadWidth(*w));
-                }
+                if !matches!(w, 1 | 2 | 4 | 8) =>
+            {
+                return Err(AsmError::BadWidth(*w));
+            }
             Inst::Bswap { w, .. } | Inst::SwapMove { w, .. } | Inst::SwapRun { w, .. }
-                if !matches!(w, 2 | 4 | 8) => {
-                    return Err(AsmError::BadWidth(*w));
-                }
+                if !matches!(w, 2 | 4 | 8) =>
+            {
+                return Err(AsmError::BadWidth(*w));
+            }
             _ => {}
         }
     }
@@ -459,7 +518,13 @@ mod tests {
         a.bind(out);
         a.halt();
         let p = a.finish().unwrap();
-        assert_eq!(p.insts()[1], Inst::Brz { r: Reg(2), target: 4 });
+        assert_eq!(
+            p.insts()[1],
+            Inst::Brz {
+                r: Reg(2),
+                target: 4
+            }
+        );
         assert_eq!(p.insts()[3], Inst::Jmp { target: 1 });
     }
 

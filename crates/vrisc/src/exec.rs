@@ -82,7 +82,13 @@ fn check_range(
     let end = addr.checked_add(len);
     match end {
         Some(e) if e <= space_len as u64 => Ok(addr as usize),
-        _ => Err(ExecError::OutOfBounds { pc, addr, len, space, space_len }),
+        _ => Err(ExecError::OutOfBounds {
+            pc,
+            addr,
+            len,
+            space,
+            space_len,
+        }),
     }
 }
 
@@ -167,7 +173,13 @@ pub fn run_with_limit(
         let inst = insts[pc];
         pc += 1;
         match inst {
-            Inst::Ld { w, r, space, base, disp } => {
+            Inst::Ld {
+                w,
+                r,
+                space,
+                base,
+                disp,
+            } => {
                 let addr = addr_of(&regs, base, disp);
                 let buf: &[u8] = match space {
                     Space::Src => src,
@@ -241,26 +253,71 @@ pub fn run_with_limit(
                     pc = target as usize;
                 }
             }
-            Inst::MemcpyImm { src_base, src_disp, dst_base, dst_disp, len } => {
-                memcpy(&regs, pc - 1, src, dst, src_base, src_disp, dst_base, dst_disp, len as u64)?;
+            Inst::MemcpyImm {
+                src_base,
+                src_disp,
+                dst_base,
+                dst_disp,
+                len,
+            } => {
+                memcpy(
+                    &regs,
+                    pc - 1,
+                    src,
+                    dst,
+                    src_base,
+                    src_disp,
+                    dst_base,
+                    dst_disp,
+                    len as u64,
+                )?;
             }
-            Inst::MemcpyReg { src_base, src_disp, dst_base, dst_disp, len } => {
+            Inst::MemcpyReg {
+                src_base,
+                src_disp,
+                dst_base,
+                dst_disp,
+                len,
+            } => {
                 let n = regs[len.0 as usize];
-                memcpy(&regs, pc - 1, src, dst, src_base, src_disp, dst_base, dst_disp, n)?;
+                memcpy(
+                    &regs,
+                    pc - 1,
+                    src,
+                    dst,
+                    src_base,
+                    src_disp,
+                    dst_base,
+                    dst_disp,
+                    n,
+                )?;
             }
             Inst::MemsetZero { base, disp, len } => {
                 let addr = addr_of(&regs, base, disp);
                 let at = check_range(pc - 1, addr, len as u64, Space::Dst, dst.len())?;
                 dst[at..at + len as usize].fill(0);
             }
-            Inst::SwapMove { w, src_base, src_disp, dst_base, dst_disp } => {
+            Inst::SwapMove {
+                w,
+                src_base,
+                src_disp,
+                dst_base,
+                dst_disp,
+            } => {
                 let saddr = addr_of(&regs, src_base, src_disp);
                 let daddr = addr_of(&regs, dst_base, dst_disp);
                 let sat = check_range(pc - 1, saddr, w as u64, Space::Src, src.len())?;
                 let dat = check_range(pc - 1, daddr, w as u64, Space::Dst, dst.len())?;
                 swap_copy(src, sat, dst, dat, w);
             }
-            Inst::SwapRun { w, src_base, src_disp, dst_base, dst_disp, count } => {
+            Inst::SwapRun {
+                w,
+                src_base,
+                src_disp,
+                dst_base,
+                dst_disp,
+                count,
+            } => {
                 let total = (w as u64) * (count as u64);
                 let saddr = addr_of(&regs, src_base, src_disp);
                 let daddr = addr_of(&regs, dst_base, dst_disp);
@@ -378,14 +435,20 @@ pub fn run_straightline(
             space_len: dst.len(),
         });
     }
-    debug_assert_eq!(prog.insts().len(), extents.inst_count, "extents from another program");
+    debug_assert_eq!(
+        prog.insts().len(),
+        extents.inst_count,
+        "extents from another program"
+    );
 
     let mut regs = [0u64; NUM_REGS];
     for inst in prog.insts() {
         // Straight-line: every base register is provably zero, so addresses
         // are the (non-negative) displacements themselves.
         match *inst {
-            Inst::Ld { w, r, space, disp, .. } => {
+            Inst::Ld {
+                w, r, space, disp, ..
+            } => {
                 let buf: &[u8] = match space {
                     Space::Src => src,
                     Space::Dst => dst,
@@ -440,7 +503,12 @@ pub fn run_straightline(
             Inst::CvtF64I64 { r } => {
                 regs[r.0 as usize] = (f64::from_bits(regs[r.0 as usize]) as i64) as u64
             }
-            Inst::MemcpyImm { src_disp, dst_disp, len, .. } => {
+            Inst::MemcpyImm {
+                src_disp,
+                dst_disp,
+                len,
+                ..
+            } => {
                 let (s, d, n) = (src_disp as usize, dst_disp as usize, len as usize);
                 debug_assert!(s + n <= src.len() && d + n <= dst.len());
                 // SAFETY: both ranges are within the checked extents.
@@ -454,7 +522,12 @@ pub fn run_straightline(
                 // SAFETY: within the checked destination extent.
                 unsafe { std::ptr::write_bytes(dst.as_mut_ptr().add(d), 0, n) };
             }
-            Inst::SwapMove { w, src_disp, dst_disp, .. } => {
+            Inst::SwapMove {
+                w,
+                src_disp,
+                dst_disp,
+                ..
+            } => {
                 let (s, d) = (src_disp as usize, dst_disp as usize);
                 debug_assert!(s + w as usize <= src.len() && d + w as usize <= dst.len());
                 // SAFETY: within the checked extents.
@@ -463,7 +536,13 @@ pub fn run_straightline(
                     store_unchecked(dst, d, w, v);
                 }
             }
-            Inst::SwapRun { w, src_disp, dst_disp, count, .. } => {
+            Inst::SwapRun {
+                w,
+                src_disp,
+                dst_disp,
+                count,
+                ..
+            } => {
                 let ws = w as usize;
                 for i in 0..count as usize {
                     let (s, d) = (src_disp as usize + i * ws, dst_disp as usize + i * ws);
@@ -533,15 +612,40 @@ pub fn run_reference(
     loop {
         executed += 1;
         if executed > DEFAULT_STEP_LIMIT {
-            return Err(ExecError::StepLimit { limit: DEFAULT_STEP_LIMIT });
+            return Err(ExecError::StepLimit {
+                limit: DEFAULT_STEP_LIMIT,
+            });
         }
         let inst = insts[pc];
         pc += 1;
         match inst {
-            Inst::SwapMove { w, src_base, src_disp, dst_base, dst_disp } => {
-                scalar_swap_move(&regs, pc - 1, src, dst, w, src_base, src_disp, dst_base, dst_disp)?;
+            Inst::SwapMove {
+                w,
+                src_base,
+                src_disp,
+                dst_base,
+                dst_disp,
+            } => {
+                scalar_swap_move(
+                    &regs,
+                    pc - 1,
+                    src,
+                    dst,
+                    w,
+                    src_base,
+                    src_disp,
+                    dst_base,
+                    dst_disp,
+                )?;
             }
-            Inst::SwapRun { w, src_base, src_disp, dst_base, dst_disp, count } => {
+            Inst::SwapRun {
+                w,
+                src_base,
+                src_disp,
+                dst_base,
+                dst_disp,
+                count,
+            } => {
                 for i in 0..count as i64 {
                     let off = (i * w as i64) as i32;
                     scalar_swap_move(
@@ -557,7 +661,13 @@ pub fn run_reference(
                     )?;
                 }
             }
-            Inst::MemcpyImm { src_base, src_disp, dst_base, dst_disp, len } => {
+            Inst::MemcpyImm {
+                src_base,
+                src_disp,
+                dst_base,
+                dst_disp,
+                len,
+            } => {
                 for i in 0..len as i64 {
                     let saddr = addr_of(&regs, src_base, src_disp + i as i32);
                     let daddr = addr_of(&regs, dst_base, dst_disp + i as i32);
@@ -626,7 +736,13 @@ fn step_simple(
     dst: &mut [u8],
 ) -> Result<(), ExecError> {
     match inst {
-        Inst::Ld { w, r, space, base, disp } => {
+        Inst::Ld {
+            w,
+            r,
+            space,
+            base,
+            disp,
+        } => {
             let addr = addr_of(regs, base, disp);
             let buf: &[u8] = match space {
                 Space::Src => src,
@@ -685,7 +801,13 @@ fn step_simple(
             regs[r.0 as usize] = (f64::from_bits(regs[r.0 as usize]) as i64) as u64
         }
         #[allow(clippy::manual_memcpy)] // the reference engine is deliberately naive
-        Inst::MemcpyReg { src_base, src_disp, dst_base, dst_disp, len } => {
+        Inst::MemcpyReg {
+            src_base,
+            src_disp,
+            dst_base,
+            dst_disp,
+            len,
+        } => {
             let n = regs[len.0 as usize];
             let saddr = addr_of(regs, src_base, src_disp);
             let daddr = addr_of(regs, dst_base, dst_disp);
@@ -836,7 +958,13 @@ mod tests {
     #[test]
     fn fused_ops_match_scalar_semantics() {
         let p = Program::from_insts(vec![
-            Inst::SwapMove { w: 4, src_base: abi::SRC, src_disp: 0, dst_base: abi::DST, dst_disp: 0 },
+            Inst::SwapMove {
+                w: 4,
+                src_base: abi::SRC,
+                src_disp: 0,
+                dst_base: abi::DST,
+                dst_disp: 0,
+            },
             Inst::SwapRun {
                 w: 2,
                 src_base: abi::SRC,
@@ -873,7 +1001,10 @@ mod tests {
             let (d, _) = both(&p, &src, total, &[]);
             for c in 0..count as usize {
                 for i in 0..w as usize {
-                    assert_eq!(d[c * w as usize + i], src[c * w as usize + w as usize - 1 - i]);
+                    assert_eq!(
+                        d[c * w as usize + i],
+                        src[c * w as usize + w as usize - 1 - i]
+                    );
                 }
             }
         }
@@ -886,7 +1017,13 @@ mod tests {
         let p = a.finish().unwrap();
         let mut dst = vec![0u8; 8];
         let err = run(&p, &[1, 2, 3], &mut dst, &[]).unwrap_err();
-        assert!(matches!(err, ExecError::OutOfBounds { space: Space::Src, .. }));
+        assert!(matches!(
+            err,
+            ExecError::OutOfBounds {
+                space: Space::Src,
+                ..
+            }
+        ));
         let err2 = run_reference(&p, &[1, 2, 3], &mut dst, &[]).unwrap_err();
         assert_eq!(err, err2);
     }
@@ -947,7 +1084,10 @@ mod tests {
             asm.st(8, abi::DST, 24, Reg(15));
             let p = asm.finish().unwrap();
             let (d, _) = both(&p, &[], 32, &[]);
-            assert_eq!(i64::from_le_bytes(d[0..8].try_into().unwrap()), a.wrapping_sub(b));
+            assert_eq!(
+                i64::from_le_bytes(d[0..8].try_into().unwrap()),
+                a.wrapping_sub(b)
+            );
             assert_eq!(d[8], (a < b) as u8, "slt {a} {b}");
             assert_eq!(d[9], ((a as u64) < (b as u64)) as u8, "sltu {a} {b}");
             assert_eq!(d[10], (a == b) as u8, "seqz {a} {b}");
@@ -1010,11 +1150,17 @@ mod tests {
         let mut short = vec![0u8; 10];
         assert!(matches!(
             run_straightline(&p, &extents, &src, &mut short),
-            Err(ExecError::OutOfBounds { space: Space::Dst, .. })
+            Err(ExecError::OutOfBounds {
+                space: Space::Dst,
+                ..
+            })
         ));
         assert!(matches!(
             run_straightline(&p, &extents, &src[..4], &mut d2),
-            Err(ExecError::OutOfBounds { space: Space::Src, .. })
+            Err(ExecError::OutOfBounds {
+                space: Space::Src,
+                ..
+            })
         ));
     }
 

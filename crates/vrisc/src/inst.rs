@@ -301,7 +301,10 @@ pub enum Inst {
 impl Inst {
     /// True for control-transfer instructions.
     pub fn is_branch(&self) -> bool {
-        matches!(self, Inst::Jmp { .. } | Inst::Brnz { .. } | Inst::Brz { .. })
+        matches!(
+            self,
+            Inst::Jmp { .. } | Inst::Brnz { .. } | Inst::Brz { .. }
+        )
     }
 
     /// Branch target, if any.
@@ -337,7 +340,13 @@ mod tests {
         j.set_branch_target(9);
         assert_eq!(j.branch_target(), Some(9));
 
-        let mut ld = Inst::Ld { w: 4, r: Reg(2), space: Space::Src, base: abi::SRC, disp: 0 };
+        let mut ld = Inst::Ld {
+            w: 4,
+            r: Reg(2),
+            space: Space::Src,
+            base: abi::SRC,
+            disp: 0,
+        };
         assert!(!ld.is_branch());
         assert_eq!(ld.branch_target(), None);
         ld.set_branch_target(3); // no-op

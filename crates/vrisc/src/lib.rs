@@ -39,7 +39,7 @@ pub mod exec;
 pub mod inst;
 pub mod opt;
 
-pub use asm::{Assembler, Label, Program};
 pub use analysis::{analyze, Extents};
+pub use asm::{Assembler, Label, Program};
 pub use exec::{run, run_reference, run_straightline, ExecError, Stats};
 pub use inst::{Inst, Reg, Space};

@@ -85,10 +85,22 @@ fn reads(inst: &Inst) -> Vec<Reg> {
         | Inst::Sltu { a, b, .. }
         | Inst::FltF64 { a, b, .. } => vec![*a, *b],
         Inst::AddImm { a, .. } | Inst::SetEqZ { a, .. } => vec![*a],
-        Inst::MemcpyImm { src_base, dst_base, .. } => vec![*src_base, *dst_base],
-        Inst::MemcpyReg { src_base, dst_base, len, .. } => vec![*src_base, *dst_base, *len],
+        Inst::MemcpyImm {
+            src_base, dst_base, ..
+        } => vec![*src_base, *dst_base],
+        Inst::MemcpyReg {
+            src_base,
+            dst_base,
+            len,
+            ..
+        } => vec![*src_base, *dst_base, *len],
         Inst::MemsetZero { base, .. } => vec![*base],
-        Inst::SwapMove { src_base, dst_base, .. } | Inst::SwapRun { src_base, dst_base, .. } => {
+        Inst::SwapMove {
+            src_base, dst_base, ..
+        }
+        | Inst::SwapRun {
+            src_base, dst_base, ..
+        } => {
             vec![*src_base, *dst_base]
         }
         Inst::MovImm { .. } | Inst::Jmp { .. } | Inst::Halt => vec![],
@@ -193,9 +205,20 @@ fn fuse_triples(insts: &[Inst], stats: &mut OptStats) -> Vec<Inst> {
         // Ld(Src) ; Bswap(same w, same r) ; St(same w, same r)  ->  SwapMove
         if i + 2 < insts.len() && window_clear(3) {
             if let (
-                Inst::Ld { w, r, space: Space::Src, base: sb, disp: sd },
+                Inst::Ld {
+                    w,
+                    r,
+                    space: Space::Src,
+                    base: sb,
+                    disp: sd,
+                },
                 Inst::Bswap { w: w2, r: r2 },
-                Inst::St { w: w3, base: db, disp: dd, r: r3 },
+                Inst::St {
+                    w: w3,
+                    base: db,
+                    disp: dd,
+                    r: r3,
+                },
             ) = (insts[i], insts[i + 1], insts[i + 2])
             {
                 if w == w2
@@ -210,7 +233,13 @@ fn fuse_triples(insts: &[Inst], stats: &mut OptStats) -> Vec<Inst> {
                     swap_moves += 1;
                     return Some((
                         3,
-                        Inst::SwapMove { w, src_base: sb, src_disp: sd, dst_base: db, dst_disp: dd },
+                        Inst::SwapMove {
+                            w,
+                            src_base: sb,
+                            src_disp: sd,
+                            dst_base: db,
+                            dst_disp: dd,
+                        },
                     ));
                 }
             }
@@ -218,8 +247,19 @@ fn fuse_triples(insts: &[Inst], stats: &mut OptStats) -> Vec<Inst> {
         // Ld(Src) ; St(same w, same r)  ->  MemcpyImm(len = w)
         if i + 1 < insts.len() && window_clear(2) {
             if let (
-                Inst::Ld { w, r, space: Space::Src, base: sb, disp: sd },
-                Inst::St { w: w2, base: db, disp: dd, r: r2 },
+                Inst::Ld {
+                    w,
+                    r,
+                    space: Space::Src,
+                    base: sb,
+                    disp: sd,
+                },
+                Inst::St {
+                    w: w2,
+                    base: db,
+                    disp: dd,
+                    r: r2,
+                },
             ) = (insts[i], insts[i + 1])
             {
                 if w == w2
@@ -253,79 +293,102 @@ fn fuse_triples(insts: &[Inst], stats: &mut OptStats) -> Vec<Inst> {
 fn coalesce_runs(insts: &[Inst], stats: &mut OptStats) -> Vec<Inst> {
     let leader_set = leaders(insts);
     let mut runs = 0usize;
-    let out = rewrite(insts, &leader_set, |i| {
-        match insts[i] {
-            Inst::SwapMove { w, src_base, src_disp, dst_base, dst_disp } => {
-                let mut count = 1u32;
-                loop {
-                    let j = i + count as usize;
-                    if j >= insts.len() || leader_set.contains(&(j as u32)) {
-                        break;
-                    }
-                    match insts[j] {
-                        Inst::SwapMove {
-                            w: w2,
-                            src_base: sb2,
-                            src_disp: sd2,
-                            dst_base: db2,
-                            dst_disp: dd2,
-                        } if w2 == w
-                            && sb2 == src_base
-                            && db2 == dst_base
-                            && sd2 == src_disp + (count * w as u32) as i32
-                            && dd2 == dst_disp + (count * w as u32) as i32 =>
-                        {
-                            count += 1;
-                        }
-                        _ => break,
-                    }
+    let out = rewrite(insts, &leader_set, |i| match insts[i] {
+        Inst::SwapMove {
+            w,
+            src_base,
+            src_disp,
+            dst_base,
+            dst_disp,
+        } => {
+            let mut count = 1u32;
+            loop {
+                let j = i + count as usize;
+                if j >= insts.len() || leader_set.contains(&(j as u32)) {
+                    break;
                 }
-                if count >= 2 {
-                    runs += 1;
-                    return Some((
-                        count as usize,
-                        Inst::SwapRun { w, src_base, src_disp, dst_base, dst_disp, count },
-                    ));
+                match insts[j] {
+                    Inst::SwapMove {
+                        w: w2,
+                        src_base: sb2,
+                        src_disp: sd2,
+                        dst_base: db2,
+                        dst_disp: dd2,
+                    } if w2 == w
+                        && sb2 == src_base
+                        && db2 == dst_base
+                        && sd2 == src_disp + (count * w as u32) as i32
+                        && dd2 == dst_disp + (count * w as u32) as i32 =>
+                    {
+                        count += 1;
+                    }
+                    _ => break,
                 }
-                None
             }
-            Inst::MemcpyImm { src_base, src_disp, dst_base, dst_disp, len } => {
-                let mut total = len;
-                let mut consumed = 1usize;
-                loop {
-                    let j = i + consumed;
-                    if j >= insts.len() || leader_set.contains(&(j as u32)) {
-                        break;
-                    }
-                    match insts[j] {
-                        Inst::MemcpyImm {
-                            src_base: sb2,
-                            src_disp: sd2,
-                            dst_base: db2,
-                            dst_disp: dd2,
-                            len: l2,
-                        } if sb2 == src_base
-                            && db2 == dst_base
-                            && sd2 == src_disp + total as i32
-                            && dd2 == dst_disp + total as i32 =>
-                        {
-                            total += l2;
-                            consumed += 1;
-                        }
-                        _ => break,
-                    }
-                }
-                if consumed >= 2 {
-                    runs += 1;
-                    return Some((
-                        consumed,
-                        Inst::MemcpyImm { src_base, src_disp, dst_base, dst_disp, len: total },
-                    ));
-                }
-                None
+            if count >= 2 {
+                runs += 1;
+                return Some((
+                    count as usize,
+                    Inst::SwapRun {
+                        w,
+                        src_base,
+                        src_disp,
+                        dst_base,
+                        dst_disp,
+                        count,
+                    },
+                ));
             }
-            _ => None,
+            None
         }
+        Inst::MemcpyImm {
+            src_base,
+            src_disp,
+            dst_base,
+            dst_disp,
+            len,
+        } => {
+            let mut total = len;
+            let mut consumed = 1usize;
+            loop {
+                let j = i + consumed;
+                if j >= insts.len() || leader_set.contains(&(j as u32)) {
+                    break;
+                }
+                match insts[j] {
+                    Inst::MemcpyImm {
+                        src_base: sb2,
+                        src_disp: sd2,
+                        dst_base: db2,
+                        dst_disp: dd2,
+                        len: l2,
+                    } if sb2 == src_base
+                        && db2 == dst_base
+                        && sd2 == src_disp + total as i32
+                        && dd2 == dst_disp + total as i32 =>
+                    {
+                        total += l2;
+                        consumed += 1;
+                    }
+                    _ => break,
+                }
+            }
+            if consumed >= 2 {
+                runs += 1;
+                return Some((
+                    consumed,
+                    Inst::MemcpyImm {
+                        src_base,
+                        src_disp,
+                        dst_base,
+                        dst_disp,
+                        len: total,
+                    },
+                ));
+            }
+            None
+        }
+        _ => None,
     });
     stats.runs_coalesced = runs;
     out
@@ -340,7 +403,12 @@ mod tests {
 
     /// Run `prog` and its optimized form through both engines; all four
     /// destination buffers must agree.
-    fn assert_equivalent(prog: &Program, src: &[u8], dst_len: usize, init: &[(Reg, u64)]) -> Program {
+    fn assert_equivalent(
+        prog: &Program,
+        src: &[u8],
+        dst_len: usize,
+        init: &[(Reg, u64)],
+    ) -> Program {
         let opt = optimize(prog);
         let mut outs: Vec<Vec<u8>> = Vec::new();
         for p in [prog, &opt] {
@@ -351,7 +419,10 @@ mod tests {
             run_reference(p, src, &mut d2, init).unwrap();
             outs.push(d2);
         }
-        assert!(outs.windows(2).all(|w| w[0] == w[1]), "optimized program diverges");
+        assert!(
+            outs.windows(2).all(|w| w[0] == w[1]),
+            "optimized program diverges"
+        );
         opt
     }
 
@@ -381,7 +452,10 @@ mod tests {
         let src: Vec<u8> = (0..48).collect();
         let opt = assert_equivalent(&p, &src, 48, &[]);
         assert_eq!(opt.len(), 2);
-        assert!(matches!(opt.insts()[0], Inst::SwapRun { w: 8, count: 6, .. }));
+        assert!(matches!(
+            opt.insts()[0],
+            Inst::SwapRun { w: 8, count: 6, .. }
+        ));
     }
 
     #[test]

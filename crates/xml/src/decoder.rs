@@ -24,7 +24,9 @@ pub struct XmlDecoder {
 impl XmlDecoder {
     /// Create a decoder producing records laid out as `layout`.
     pub fn new(layout: &Layout) -> XmlDecoder {
-        XmlDecoder { layout: layout.clone() }
+        XmlDecoder {
+            layout: layout.clone(),
+        }
     }
 
     /// The target layout.
@@ -57,12 +59,36 @@ impl XmlDecoder {
 }
 
 enum Frame<'l> {
-    Record { layout: &'l Layout, base: usize },
-    Scalar { ty: &'l ConcreteType, at: usize, text: String },
-    StringField { desc_at: usize, text: String },
-    FixedArr { elem: &'l ConcreteType, base: usize, stride: usize, count: usize, idx: usize },
-    VarArr { elem: &'l ConcreteType, stride: usize, desc_at: usize, start: usize, idx: usize },
-    Skip { depth: usize },
+    Record {
+        layout: &'l Layout,
+        base: usize,
+    },
+    Scalar {
+        ty: &'l ConcreteType,
+        at: usize,
+        text: String,
+    },
+    StringField {
+        desc_at: usize,
+        text: String,
+    },
+    FixedArr {
+        elem: &'l ConcreteType,
+        base: usize,
+        stride: usize,
+        count: usize,
+        idx: usize,
+    },
+    VarArr {
+        elem: &'l ConcreteType,
+        stride: usize,
+        desc_at: usize,
+        start: usize,
+        idx: usize,
+    },
+    Skip {
+        depth: usize,
+    },
 }
 
 struct State<'l> {
@@ -80,7 +106,11 @@ fn name_matches(field: &str, elem: &str) -> bool {
     }
     field.len() == elem.len()
         && field.chars().zip(elem.chars()).all(|(f, e)| {
-            let f2 = if f.is_ascii_alphanumeric() || f == '_' || f == '-' { f } else { '_' };
+            let f2 = if f.is_ascii_alphanumeric() || f == '_' || f == '-' {
+                f
+            } else {
+                '_'
+            };
             f2 == e
         })
 }
@@ -88,17 +118,41 @@ fn name_matches(field: &str, elem: &str) -> bool {
 impl<'l> State<'l> {
     fn frame_for(&mut self, ty: &'l ConcreteType, at: usize) -> Frame<'l> {
         match ty {
-            ConcreteType::FixedArray { elem, count, stride } => {
-                Frame::FixedArr { elem, base: at, stride: *stride, count: *count, idx: 0 }
-            }
-            ConcreteType::Record(sub) => Frame::Record { layout: sub, base: at },
-            ConcreteType::String => Frame::StringField { desc_at: at, text: String::new() },
+            ConcreteType::FixedArray {
+                elem,
+                count,
+                stride,
+            } => Frame::FixedArr {
+                elem,
+                base: at,
+                stride: *stride,
+                count: *count,
+                idx: 0,
+            },
+            ConcreteType::Record(sub) => Frame::Record {
+                layout: sub,
+                base: at,
+            },
+            ConcreteType::String => Frame::StringField {
+                desc_at: at,
+                text: String::new(),
+            },
             ConcreteType::VarArray { elem, stride, .. } => {
                 let start = round_up(self.out.len(), 8);
                 self.out.resize(start, 0);
-                Frame::VarArr { elem, stride: *stride, desc_at: at, start, idx: 0 }
+                Frame::VarArr {
+                    elem,
+                    stride: *stride,
+                    desc_at: at,
+                    start,
+                    idx: 0,
+                }
             }
-            scalar => Frame::Scalar { ty: scalar, at, text: String::new() },
+            scalar => Frame::Scalar {
+                ty: scalar,
+                at,
+                text: String::new(),
+            },
         }
     }
 }
@@ -108,11 +162,19 @@ impl<'l> XmlHandler for State<'l> {
         if !self.seen_root {
             self.seen_root = true;
             // Accept any root name: the receiver matches by field names.
-            self.stack.push(Frame::Record { layout: self.root, base: 0 });
+            self.stack.push(Frame::Record {
+                layout: self.root,
+                base: 0,
+            });
             return Ok(());
         }
         let frame = match self.stack.last_mut() {
-            None => return Err(XmlError { pos: 0, msg: "element after root closed".into() }),
+            None => {
+                return Err(XmlError {
+                    pos: 0,
+                    msg: "element after root closed".into(),
+                })
+            }
             Some(Frame::Skip { depth }) => {
                 *depth += 1;
                 return Ok(());
@@ -129,7 +191,13 @@ impl<'l> XmlHandler for State<'l> {
                     }
                 }
             }
-            Some(Frame::FixedArr { elem, base, stride, count, idx }) => {
+            Some(Frame::FixedArr {
+                elem,
+                base,
+                stride,
+                count,
+                idx,
+            }) => {
                 let elem: &'l ConcreteType = elem;
                 if *idx >= *count {
                     // Extra members: skip (robustness over strictness).
@@ -140,7 +208,13 @@ impl<'l> XmlHandler for State<'l> {
                     self.frame_for(elem, at)
                 }
             }
-            Some(Frame::VarArr { elem, stride, start, idx, .. }) => {
+            Some(Frame::VarArr {
+                elem,
+                stride,
+                start,
+                idx,
+                ..
+            }) => {
                 let elem: &'l ConcreteType = elem;
                 let at = *start + *idx * *stride;
                 *idx += 1;
@@ -166,7 +240,10 @@ impl<'l> XmlHandler for State<'l> {
             }
             _ => {}
         }
-        let frame = self.stack.pop().ok_or(XmlError { pos: 0, msg: "unbalanced end".into() })?;
+        let frame = self.stack.pop().ok_or(XmlError {
+            pos: 0,
+            msg: "unbalanced end".into(),
+        })?;
         match frame {
             Frame::Scalar { ty, at, text } => {
                 store_scalar(ty, &mut self.out, at, self.endian, &text)?;
@@ -176,9 +253,20 @@ impl<'l> XmlHandler for State<'l> {
                 self.out.resize(start, 0);
                 self.out.extend_from_slice(text.as_bytes());
                 prim::write_uint(&mut self.out, desc_at, 4, self.endian, start as u64);
-                prim::write_uint(&mut self.out, desc_at + 4, 4, self.endian, text.len() as u64);
+                prim::write_uint(
+                    &mut self.out,
+                    desc_at + 4,
+                    4,
+                    self.endian,
+                    text.len() as u64,
+                );
             }
-            Frame::VarArr { desc_at, start, idx, .. } => {
+            Frame::VarArr {
+                desc_at,
+                start,
+                idx,
+                ..
+            } => {
                 prim::write_uint(&mut self.out, desc_at, 4, self.endian, start as u64);
                 prim::write_uint(&mut self.out, desc_at + 4, 4, self.endian, idx as u64);
             }
@@ -210,17 +298,27 @@ fn store_scalar(
 ) -> Result<(), XmlError> {
     let bad = |msg: String| XmlError { pos: 0, msg };
     match ty {
-        ConcreteType::Int { bytes, signed: true } => {
+        ConcreteType::Int {
+            bytes,
+            signed: true,
+        } => {
             let text = text.trim();
-            let v: i64 = text.parse().map_err(|_| bad(format!("bad integer {text:?}")))?;
+            let v: i64 = text
+                .parse()
+                .map_err(|_| bad(format!("bad integer {text:?}")))?;
             if !prim::fits_signed(v, *bytes) {
                 return Err(bad(format!("{v} does not fit in {bytes} bytes")));
             }
             prim::write_uint(out, at, *bytes, endian, v as u64);
         }
-        ConcreteType::Int { bytes, signed: false } => {
+        ConcreteType::Int {
+            bytes,
+            signed: false,
+        } => {
             let text = text.trim();
-            let v: u64 = text.parse().map_err(|_| bad(format!("bad unsigned {text:?}")))?;
+            let v: u64 = text
+                .parse()
+                .map_err(|_| bad(format!("bad unsigned {text:?}")))?;
             if !prim::fits_unsigned(v, *bytes) {
                 return Err(bad(format!("{v} does not fit in {bytes} bytes")));
             }
@@ -228,15 +326,21 @@ fn store_scalar(
         }
         ConcreteType::Float { bytes } => {
             let text = text.trim();
-            let v: f64 = text.parse().map_err(|_| bad(format!("bad float {text:?}")))?;
+            let v: f64 = text
+                .parse()
+                .map_err(|_| bad(format!("bad float {text:?}")))?;
             prim::write_float(out, at, *bytes, endian, v);
         }
         ConcreteType::Char => {
             // Char content is NOT trimmed: a space is a legitimate value.
             let mut chars = text.chars();
-            let c = chars.next().ok_or_else(|| bad("empty char element".into()))?;
+            let c = chars
+                .next()
+                .ok_or_else(|| bad("empty char element".into()))?;
             if chars.next().is_some() || !c.is_ascii() {
-                return Err(bad(format!("char element must hold one ASCII char, got {text:?}")));
+                return Err(bad(format!(
+                    "char element must hold one ASCII char, got {text:?}"
+                )));
             }
             out[at] = c as u8;
         }
@@ -311,8 +415,16 @@ mod tests {
     fn full_round_trip_across_architectures() {
         let schema = schema();
         let v = value();
-        for sp in [&ArchProfile::SPARC_V8, &ArchProfile::X86, &ArchProfile::X86_64] {
-            for dp in [&ArchProfile::SPARC_V8, &ArchProfile::X86_64, &ArchProfile::MIPS_N32] {
+        for sp in [
+            &ArchProfile::SPARC_V8,
+            &ArchProfile::X86,
+            &ArchProfile::X86_64,
+        ] {
+            for dp in [
+                &ArchProfile::SPARC_V8,
+                &ArchProfile::X86_64,
+                &ArchProfile::MIPS_N32,
+            ] {
                 let slay = Layout::of(&schema, sp).unwrap();
                 let dlay = Layout::of(&schema, dp).unwrap();
                 let native = encode_native(&v, &slay).unwrap();

@@ -40,7 +40,13 @@ fn sanitize(name: &str) -> String {
     // Format names become element names; keep them XML-safe.
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == '-' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.is_empty() || s.chars().next().unwrap().is_ascii_digit() {
         s.insert(0, '_');
@@ -48,7 +54,12 @@ fn sanitize(name: &str) -> String {
     s
 }
 
-fn emit_fields(layout: &Layout, native: &[u8], base: usize, out: &mut String) -> Result<(), TypeError> {
+fn emit_fields(
+    layout: &Layout,
+    native: &[u8],
+    base: usize,
+    out: &mut String,
+) -> Result<(), TypeError> {
     let endian = layout.endianness();
     for f in layout.fields() {
         let name = sanitize(&f.name);
@@ -75,14 +86,22 @@ fn emit_value(
         other => other.fixed_size(),
     };
     if at + need > native.len() {
-        return Err(TypeError::Truncated { context: format!("emitting XML at offset {at}") });
+        return Err(TypeError::Truncated {
+            context: format!("emitting XML at offset {at}"),
+        });
     }
     match ty {
-        ConcreteType::Int { bytes, signed: true } => {
+        ConcreteType::Int {
+            bytes,
+            signed: true,
+        } => {
             let v = prim::read_int(native, at, *bytes, endian);
             push_i64(out, v);
         }
-        ConcreteType::Int { bytes, signed: false } => {
+        ConcreteType::Int {
+            bytes,
+            signed: false,
+        } => {
             let v = prim::read_uint(native, at, *bytes, endian);
             out.push_str(&v.to_string());
         }
@@ -97,7 +116,11 @@ fn emit_value(
             escape_into(c.encode_utf8(&mut buf), out);
         }
         ConcreteType::Bool => out.push_str(if native[at] != 0 { "true" } else { "false" }),
-        ConcreteType::FixedArray { elem, count, stride } => {
+        ConcreteType::FixedArray {
+            elem,
+            count,
+            stride,
+        } => {
             for i in 0..*count {
                 out.push('<');
                 out.push_str(ELEM_TAG);
@@ -113,7 +136,9 @@ fn emit_value(
             let start = prim::read_uint(native, at, 4, endian) as usize;
             let count = prim::read_uint(native, at + 4, 4, endian) as usize;
             if start + count > native.len() {
-                return Err(TypeError::Truncated { context: "emitting string payload".into() });
+                return Err(TypeError::Truncated {
+                    context: "emitting string payload".into(),
+                });
             }
             let s = std::str::from_utf8(&native[start..start + count])
                 .map_err(|_| TypeError::BadMeta("string payload is not UTF-8".into()))?;
@@ -123,7 +148,9 @@ fn emit_value(
             let start = prim::read_uint(native, at, 4, endian) as usize;
             let count = prim::read_uint(native, at + 4, 4, endian) as usize;
             if start + count * stride > native.len() {
-                return Err(TypeError::Truncated { context: "emitting var array payload".into() });
+                return Err(TypeError::Truncated {
+                    context: "emitting var array payload".into(),
+                });
             }
             for i in 0..count {
                 out.push('<');
@@ -195,7 +222,11 @@ mod tests {
         let layout = pbio_types::layout::Layout::of(&s, &ArchProfile::X86).unwrap();
         let value = RecordValue::new().with(
             "d",
-            Value::Array((0..100).map(|i| Value::F64(i as f64 * 0.123456789 + 1000.0)).collect()),
+            Value::Array(
+                (0..100)
+                    .map(|i| Value::F64(i as f64 * 0.123456789 + 1000.0))
+                    .collect(),
+            ),
         );
         let native = encode_native(&value, &layout).unwrap();
         let xml = emit_record(&layout, &native).unwrap();

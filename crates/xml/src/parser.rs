@@ -69,10 +69,16 @@ impl Parser {
             flush_text(input, ts, bytes.len(), &stack, handler)?;
         }
         if let Some(open) = stack.last() {
-            return Err(XmlError { pos, msg: format!("unclosed element <{open}>") });
+            return Err(XmlError {
+                pos,
+                msg: format!("unclosed element <{open}>"),
+            });
         }
         if !seen_root {
-            return Err(XmlError { pos: 0, msg: "no root element".into() });
+            return Err(XmlError {
+                pos: 0,
+                msg: "no root element".into(),
+            });
         }
         Ok(())
     }
@@ -87,7 +93,10 @@ impl Parser {
         let bytes = input.as_bytes();
         let pos = start + 1;
         if pos >= bytes.len() {
-            return Err(XmlError { pos: start, msg: "dangling '<'".into() });
+            return Err(XmlError {
+                pos: start,
+                msg: "dangling '<'".into(),
+            });
         }
         match bytes[pos] {
             b'!' => {
@@ -95,7 +104,10 @@ impl Parser {
                 if input[pos..].starts_with("!--") {
                     match input[pos + 3..].find("-->") {
                         Some(i) => Ok(pos + 3 + i + 3),
-                        None => Err(XmlError { pos: start, msg: "unterminated comment".into() }),
+                        None => Err(XmlError {
+                            pos: start,
+                            msg: "unterminated comment".into(),
+                        }),
                     }
                 } else if input[pos..].starts_with("![CDATA[") {
                     match input[pos + 8..].find("]]>") {
@@ -110,15 +122,24 @@ impl Parser {
                             handler.characters(text)?;
                             Ok(pos + 8 + i + 3)
                         }
-                        None => Err(XmlError { pos: start, msg: "unterminated CDATA".into() }),
+                        None => Err(XmlError {
+                            pos: start,
+                            msg: "unterminated CDATA".into(),
+                        }),
                     }
                 } else {
-                    Err(XmlError { pos: start, msg: "unsupported '<!' construct".into() })
+                    Err(XmlError {
+                        pos: start,
+                        msg: "unsupported '<!' construct".into(),
+                    })
                 }
             }
             b'?' => match input[pos..].find("?>") {
                 Some(i) => Ok(pos + i + 2),
-                None => Err(XmlError { pos: start, msg: "unterminated processing instruction".into() }),
+                None => Err(XmlError {
+                    pos: start,
+                    msg: "unterminated processing instruction".into(),
+                }),
             },
             b'/' => {
                 let close = input[pos..].find('>').ok_or(XmlError {
@@ -127,7 +148,10 @@ impl Parser {
                 })?;
                 let name = input[pos + 1..pos + close].trim();
                 if name.is_empty() || !is_name(name) {
-                    return Err(XmlError { pos: start, msg: format!("bad end tag name {name:?}") });
+                    return Err(XmlError {
+                        pos: start,
+                        msg: format!("bad end tag name {name:?}"),
+                    });
                 }
                 match stack.pop() {
                     Some(open) if open == name => {}
@@ -138,7 +162,10 @@ impl Parser {
                         })
                     }
                     None => {
-                        return Err(XmlError { pos: start, msg: format!("stray </{name}>") })
+                        return Err(XmlError {
+                            pos: start,
+                            msg: format!("stray </{name}>"),
+                        })
                     }
                 }
                 handler.end_element(name)?;
@@ -156,7 +183,10 @@ impl Parser {
                 let (name, attrs) = parse_tag_body(body, start)?;
                 if stack.is_empty() {
                     if *seen_root {
-                        return Err(XmlError { pos: start, msg: "multiple root elements".into() });
+                        return Err(XmlError {
+                            pos: start,
+                            msg: "multiple root elements".into(),
+                        });
                     }
                     *seen_root = true;
                 }
@@ -184,7 +214,10 @@ fn flush_text<H: XmlHandler>(
         if raw.trim().is_empty() {
             return Ok(());
         }
-        return Err(XmlError { pos: start, msg: "character data outside root".into() });
+        return Err(XmlError {
+            pos: start,
+            msg: "character data outside root".into(),
+        });
     }
     let decoded = decode_entities(raw, start)?;
     handler.characters(&decoded)
@@ -222,7 +255,10 @@ fn parse_tag_body(body: &str, pos: usize) -> Result<(String, Vec<(String, String
         .unwrap_or(body.len());
     let name = &body[..name_end];
     if !is_name(name) {
-        return Err(XmlError { pos, msg: format!("bad element name {name:?}") });
+        return Err(XmlError {
+            pos,
+            msg: format!("bad element name {name:?}"),
+        });
     }
     let mut attrs = Vec::new();
     let mut rest = body[name_end..].trim_start();
@@ -233,7 +269,10 @@ fn parse_tag_body(body: &str, pos: usize) -> Result<(String, Vec<(String, String
         })?;
         let aname = rest[..eq].trim();
         if !is_name(aname) {
-            return Err(XmlError { pos, msg: format!("bad attribute name {aname:?}") });
+            return Err(XmlError {
+                pos,
+                msg: format!("bad attribute name {aname:?}"),
+            });
         }
         let after = rest[eq + 1..].trim_start();
         let quote = after.chars().next().ok_or(XmlError {
@@ -241,7 +280,10 @@ fn parse_tag_body(body: &str, pos: usize) -> Result<(String, Vec<(String, String
             msg: "attribute value missing".into(),
         })?;
         if quote != '"' && quote != '\'' {
-            return Err(XmlError { pos, msg: "attribute value must be quoted".into() });
+            return Err(XmlError {
+                pos,
+                msg: "attribute value must be quoted".into(),
+            });
         }
         let vend = after[1..].find(quote).ok_or(XmlError {
             pos,
@@ -279,7 +321,10 @@ pub fn decode_entities(raw: &str, pos: usize) -> Result<String, XmlError> {
                 let cp = u32::from_str_radix(&ent[2..], 16)
                     .ok()
                     .and_then(char::from_u32)
-                    .ok_or(XmlError { pos, msg: format!("bad character reference &{ent};") })?;
+                    .ok_or(XmlError {
+                        pos,
+                        msg: format!("bad character reference &{ent};"),
+                    })?;
                 out.push(cp);
             }
             _ if ent.starts_with('#') => {
@@ -287,10 +332,18 @@ pub fn decode_entities(raw: &str, pos: usize) -> Result<String, XmlError> {
                     .parse::<u32>()
                     .ok()
                     .and_then(char::from_u32)
-                    .ok_or(XmlError { pos, msg: format!("bad character reference &{ent};") })?;
+                    .ok_or(XmlError {
+                        pos,
+                        msg: format!("bad character reference &{ent};"),
+                    })?;
                 out.push(cp);
             }
-            _ => return Err(XmlError { pos, msg: format!("unknown entity &{ent};") }),
+            _ => {
+                return Err(XmlError {
+                    pos,
+                    msg: format!("unknown entity &{ent};"),
+                })
+            }
         }
         rest = &tail[semi + 1..];
     }
@@ -320,7 +373,11 @@ mod tests {
     }
 
     impl XmlHandler for Recorder {
-        fn start_element(&mut self, name: &str, attrs: &[(String, String)]) -> Result<(), XmlError> {
+        fn start_element(
+            &mut self,
+            name: &str,
+            attrs: &[(String, String)],
+        ) -> Result<(), XmlError> {
             let mut s = format!("+{name}");
             for (k, v) in attrs {
                 s.push_str(&format!(" {k}={v}"));
@@ -382,16 +439,16 @@ mod tests {
     #[test]
     fn malformed_documents_error() {
         for bad in [
-            "<r><a></r>",          // mismatch
-            "<r>",                 // unclosed
-            "</r>",                // stray close
-            "text",                // no root
-            "<r></r><r2></r2>",    // two roots
-            "<r>&unknown;</r>",    // bad entity
-            "<r><a b></a></r>",    // attr without value
-            "<1bad></1bad>",       // bad name
-            "<r><!-- x</r>",       // unterminated comment
-            "<r>&#xZZ;</r>",       // bad char ref
+            "<r><a></r>",       // mismatch
+            "<r>",              // unclosed
+            "</r>",             // stray close
+            "text",             // no root
+            "<r></r><r2></r2>", // two roots
+            "<r>&unknown;</r>", // bad entity
+            "<r><a b></a></r>", // attr without value
+            "<1bad></1bad>",    // bad name
+            "<r><!-- x</r>",    // unterminated comment
+            "<r>&#xZZ;</r>",    // bad char ref
         ] {
             let mut rec = Recorder::default();
             assert!(Parser::parse(bad, &mut rec).is_err(), "{bad:?}");

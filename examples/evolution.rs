@@ -34,7 +34,11 @@ fn main() {
     let fmt1 = producer_v1.register(&v1_schema()).unwrap();
     let mut stream = Vec::new();
     producer_v1
-        .write_value(fmt1, &RecordValue::new().with("seq", 1i32).with("load", 0.25f64), &mut stream)
+        .write_value(
+            fmt1,
+            &RecordValue::new().with("seq", 1i32).with("load", 0.25f64),
+            &mut stream,
+        )
         .unwrap();
 
     let mut old_consumer = Reader::new(&arch);
@@ -85,7 +89,10 @@ fn main() {
     let reports = old_consumer.field_reports(0).unwrap();
     println!(
         "  old consumer match report: {:?}",
-        reports.iter().map(|r| (r.name.as_str(), r.status)).collect::<Vec<_>>()
+        reports
+            .iter()
+            .map(|r| (r.name.as_str(), r.status))
+            .collect::<Vec<_>>()
     );
 
     // --- A NEW consumer expecting v2 reads old v1 data: the missing fields
@@ -106,7 +113,10 @@ fn main() {
     let reports = new_consumer.field_reports(0).unwrap();
     for r in reports {
         if r.status == FieldStatus::Missing {
-            println!("  new consumer: field {:?} missing from sender (defaulted)", r.name);
+            println!(
+                "  new consumer: field {:?} missing from sender (defaulted)",
+                r.name
+            );
         }
     }
 

@@ -42,8 +42,9 @@ fn run_simulation(stream: &mut Vec<u8>) {
     let diag = writer.register(&diag_schema).unwrap();
 
     for step in 0..3 {
-        let displacements: Vec<Value> =
-            (0..6).map(|i| Value::F64((step * 6 + i) as f64 * 0.01)).collect();
+        let displacements: Vec<Value> = (0..6)
+            .map(|i| Value::F64((step * 6 + i) as f64 * 0.01))
+            .collect();
         writer
             .write_value(
                 mesh,

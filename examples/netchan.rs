@@ -1,0 +1,97 @@
+//! Networked event channels: publish/subscribe between threads over real
+//! loopback TCP, through the `pbio-serv` daemon.
+//!
+//! A simulation thread (compiled for big-endian SPARC, as far as the wire
+//! is concerned) publishes telemetry in its native memory layout; the
+//! daemon filters at the source; a monitoring thread on x86-64 receives
+//! only the alarming readings, converted by code generated on first
+//! contact with the publisher's format.
+//!
+//! ```text
+//! cargo run -p pbio-examples --bin netchan
+//! ```
+
+use std::time::Duration;
+
+use pbio_chan::Predicate;
+use pbio_serv::{ServClient, ServDaemon};
+use pbio_types::schema::{AtomType, FieldDecl, Schema};
+use pbio_types::value::RecordValue;
+use pbio_types::ArchProfile;
+
+fn telemetry() -> Schema {
+    Schema::new(
+        "telemetry",
+        vec![
+            FieldDecl::atom("step", AtomType::CInt),
+            FieldDecl::atom("max_temp", AtomType::CDouble),
+            FieldDecl::atom("diverged", AtomType::Bool),
+        ],
+    )
+    .unwrap()
+}
+
+fn main() {
+    // The daemon: in production a standalone process; here, in-process.
+    let daemon = ServDaemon::bind("127.0.0.1:0").unwrap();
+    let addr = daemon.local_addr();
+    println!("daemon listening on {addr}");
+
+    // Subscriber thread: a monitor on x86-64 that only wants trouble.
+    // Its predicate ships to the daemon and runs against the publisher's
+    // wire bytes, so calm readings never cross the socket.
+    let monitor = std::thread::spawn(move || {
+        let mut client = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+        let chan = client.open_channel("telemetry").unwrap();
+        let alarms = Predicate::gt("max_temp", 1000.0).or(Predicate::eq("diverged", true));
+        client.subscribe(chan, &telemetry(), Some(&alarms)).unwrap();
+        println!("[monitor/x86-64] subscribed with filter: max_temp > 1000 || diverged");
+
+        let mut seen = 0;
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while seen < 3 && std::time::Instant::now() < deadline {
+            if let Some(event) = client.poll(Duration::from_millis(500)).unwrap() {
+                println!(
+                    "[monitor/x86-64] ALARM step={} max_temp={} diverged={} (converted: {})",
+                    event.view.get("step").unwrap(),
+                    event.view.get("max_temp").unwrap(),
+                    event.view.get("diverged").unwrap(),
+                    !event.view.is_zero_copy(),
+                );
+                seen += 1;
+            }
+        }
+        client.disconnect().unwrap();
+    });
+
+    // Publisher thread: the simulation, publishing every step in its
+    // native layout — constant per-event cost, no packing.
+    let sim = std::thread::spawn(move || {
+        let mut client = ServClient::connect(addr, &ArchProfile::SPARC_V8).unwrap();
+        let fmt = client.register_format(&telemetry()).unwrap();
+        let chan = client.open_channel("telemetry").unwrap();
+        // Give the monitor a moment to attach its subscription.
+        std::thread::sleep(Duration::from_millis(300));
+        for step in 0..20 {
+            let temp = 900.0 + f64::from(step) * 20.0; // crosses 1000 at step 6
+            let diverged = step == 13;
+            let r = RecordValue::new()
+                .with("step", step)
+                .with("max_temp", temp)
+                .with("diverged", diverged);
+            client.publish_value(chan, fmt, &r).unwrap();
+        }
+        println!("[sim/sparc-v8] published 20 steps");
+        client.disconnect().unwrap();
+    });
+
+    sim.join().unwrap();
+    monitor.join().unwrap();
+
+    let stats = daemon.stats();
+    println!(
+        "daemon: {} events in, {} out, {} filtered at the source",
+        stats.events_in, stats.events_out, stats.filtered_at_source
+    );
+    daemon.shutdown();
+}

@@ -44,7 +44,11 @@ fn main() {
         .unwrap();
     }
     let bytes = fw.finish().unwrap();
-    println!("mips-n32 wrote a {}-byte trace with {} records\n", bytes.len(), 4);
+    println!(
+        "mips-n32 wrote a {}-byte trace with {} records\n",
+        bytes.len(),
+        4
+    );
 
     // Years later: an x86-64 analysis tool that KNOWS the format.
     let mut fr = FileReader::open(Cursor::new(&bytes), &ArchProfile::X86_64).unwrap();

@@ -40,7 +40,14 @@ fn main() {
     ] {
         let mut pb = prepare(fmt, &w.schema, &w.schema, sparc, x86, &w.value);
         let iters = 5_000;
-        let enc = time_avg(|| { (pb.encode)(); }, iters).as_secs_f64() * 1e6;
+        let enc = time_avg(
+            || {
+                (pb.encode)();
+            },
+            iters,
+        )
+        .as_secs_f64()
+            * 1e6;
         let dec = time_avg(|| (pb.decode)(), iters).as_secs_f64() * 1e6;
         println!(
             "{:<18} {:>12} {:>16.2} {:>16.2}",

@@ -1,0 +1,75 @@
+//! Offline shim for `parking_lot`: the subset of its API this workspace
+//! uses, backed by `std::sync`. Unlike std, `parking_lot` locks do not
+//! poison, so a poisoned std lock is recovered transparently.
+
+use std::sync::{self, LockResult};
+
+/// Non-poisoning reader-writer lock (std-backed).
+#[derive(Default, Debug)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+fn recover<G>(r: LockResult<G>) -> G {
+    r.unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl<T> RwLock<T> {
+    /// Create a new lock.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock(sync::RwLock::new(value))
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read guard.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        recover(self.0.read())
+    }
+
+    /// Acquire an exclusive write guard.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        recover(self.0.write())
+    }
+}
+
+/// Non-poisoning mutex (std-backed).
+#[derive(Default, Debug)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex(sync::Mutex::new(value))
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock.
+    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
+        recover(self.0.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_round_trip() {
+        let l = RwLock::new(1);
+        assert_eq!(*l.read(), 1);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+    }
+
+    #[test]
+    fn mutex_round_trip() {
+        let m = Mutex::new(vec![1]);
+        m.lock().push(2);
+        assert_eq!(*m.lock(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,41 @@
+//! The `any::<T>()` entry point for types with a canonical strategy.
+
+use std::ops::RangeInclusive;
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical full-range strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<u8>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = RangeInclusive<$t>;
+
+            fn arbitrary() -> RangeInclusive<$t> {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    type Strategy = crate::bool::Any;
+
+    fn arbitrary() -> crate::bool::Any {
+        crate::bool::ANY
+    }
+}

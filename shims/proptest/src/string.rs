@@ -1,0 +1,127 @@
+//! Regex-ish string generation for `&str` strategies.
+//!
+//! Supports exactly the pattern shapes this workspace's tests use:
+//!
+//! * `"\\PC*"` — any printable characters (proptest's "not control");
+//! * `"[class]{min,max}"` — a character class (literals, `a-z` ranges,
+//!   backslash escapes) repeated a bounded number of times;
+//! * `"[class]*"` / `"[class]+"` — the same with default bounds.
+//!
+//! Anything else is treated as a literal string.
+
+use crate::test_runner::TestRng;
+
+/// Generate one string matching `pattern` (see module docs for the
+/// supported subset).
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    if pattern == "\\PC*" || pattern == "\\\\PC*" {
+        // Printable characters, mostly ASCII with some multi-byte ones.
+        let n = rng.below(48);
+        return (0..n)
+            .map(|_| match rng.below(8) {
+                0 => char::from_u32(0xA1 + rng.below(0x1000) as u32).unwrap_or('¿'),
+                _ => (0x20 + rng.below(0x5F) as u8) as char,
+            })
+            .collect();
+    }
+    if let Some(parsed) = parse_class_repeat(pattern) {
+        let (alphabet, min, max) = parsed;
+        if alphabet.is_empty() {
+            return String::new();
+        }
+        let n = min + rng.below(max - min + 1);
+        return (0..n)
+            .map(|_| alphabet[rng.below(alphabet.len())])
+            .collect();
+    }
+    pattern.to_owned()
+}
+
+/// Parse `[class]{min,max}`, `[class]*` or `[class]+` into
+/// (alphabet, min, max). Returns `None` for any other shape.
+fn parse_class_repeat(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let (class, tail) = (&rest[..close], &rest[close + 1..]);
+
+    let mut alphabet = Vec::new();
+    let mut chars = class.chars().peekable();
+    let mut prev: Option<char> = None;
+    while let Some(c) = chars.next() {
+        let literal = if c == '\\' { chars.next()? } else { c };
+        if literal == '-' && c != '\\' {
+            // Range like `a-z` (a bare `-` with a preceding literal and a
+            // following char); otherwise a literal dash.
+            match (prev, chars.peek().copied()) {
+                (Some(lo), Some(hi)) => {
+                    chars.next();
+                    for u in (lo as u32 + 1)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(u) {
+                            alphabet.push(ch);
+                        }
+                    }
+                    prev = None;
+                    continue;
+                }
+                _ => {
+                    alphabet.push('-');
+                    prev = Some('-');
+                    continue;
+                }
+            }
+        }
+        alphabet.push(literal);
+        prev = Some(literal);
+    }
+
+    let (min, max) = match tail {
+        "*" => (0, 32),
+        "+" => (1, 32),
+        _ => {
+            let body = tail.strip_prefix('{')?.strip_suffix('}')?;
+            let (lo, hi) = body.split_once(',')?;
+            (lo.trim().parse().ok()?, hi.trim().parse().ok()?)
+        }
+    };
+    if min > max {
+        return None;
+    }
+    Some((alphabet, min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("string::tests", 0)
+    }
+
+    #[test]
+    fn class_with_ranges_and_escapes() {
+        let (alphabet, min, max) = parse_class_repeat("[a-z<>/&#;0-9 .\\-]{0,200}").unwrap();
+        assert!(alphabet.contains(&'a') && alphabet.contains(&'z'));
+        assert!(alphabet.contains(&'0') && alphabet.contains(&'9'));
+        assert!(alphabet.contains(&'-') && alphabet.contains(&'.') && alphabet.contains(&' '));
+        assert_eq!((min, max), (0, 200));
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample_pattern("[ -~]{0,24}", &mut r);
+            assert!(s.len() <= 24);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_any() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample_pattern("\\PC*", &mut r);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+}

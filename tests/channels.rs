@@ -161,13 +161,20 @@ fn channel_delivery_matches_filter_semantics() {
         Predicate::eq("alarm", true),
         Predicate::le("seq", 3).and(Predicate::ne("level", 0)),
     ];
-    let logs: Vec<Arc<Mutex<Vec<i64>>>> =
-        (0..preds.len()).map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
-    let targets = [&ArchProfile::X86, &ArchProfile::X86_64, &ArchProfile::MIPS_64];
+    let logs: Vec<Arc<Mutex<Vec<i64>>>> = (0..preds.len())
+        .map(|_| Arc::new(Mutex::new(Vec::new())))
+        .collect();
+    let targets = [
+        &ArchProfile::X86,
+        &ArchProfile::X86_64,
+        &ArchProfile::MIPS_64,
+    ];
     for ((pred, log), target) in preds.iter().zip(&logs).zip(targets) {
         let log = log.clone();
         chan.subscribe(&schema, target, Some(pred.clone()), move |view| {
-            log.lock().unwrap().push(view.get("seq").unwrap().as_i64().unwrap());
+            log.lock()
+                .unwrap()
+                .push(view.get("seq").unwrap().as_i64().unwrap());
         })
         .unwrap();
     }
@@ -226,18 +233,24 @@ fn format_server_and_channel_pipeline() {
     let mut chan = Channel::new(&schema, &ArchProfile::X86_64).unwrap();
     let seen = Arc::new(Mutex::new(0usize));
     let seen2 = seen.clone();
-    chan.subscribe(&schema, &ArchProfile::SPARC_V9_64, Some(Predicate::eq("alarm", true)), move |view| {
-        assert_eq!(view.get("temp"), Some(Value::F64(42.0)));
-        *seen2.lock().unwrap() += 1;
-    })
+    chan.subscribe(
+        &schema,
+        &ArchProfile::SPARC_V9_64,
+        Some(Predicate::eq("alarm", true)),
+        move |view| {
+            assert_eq!(view.get("temp"), Some(Value::F64(42.0)));
+            *seen2.lock().unwrap() += 1;
+        },
+    )
     .unwrap();
 
     let mut republished = Vec::new();
     for stream in [&stream_a, &stream_b] {
-        relay.process(stream, |view| {
-            republished.push(view.to_value().unwrap());
-        })
-        .unwrap();
+        relay
+            .process(stream, |view| {
+                republished.push(view.to_value().unwrap());
+            })
+            .unwrap();
     }
     for v in &republished {
         chan.publish_value(v).unwrap();

@@ -32,25 +32,45 @@ fn all_formats_deliver_identical_values() {
             .unwrap()
             .convert(&native)
             .unwrap();
-        assert_eq!(decode_native(&out, &dlay).unwrap(), w.value, "pbio {}", size.label());
+        assert_eq!(
+            decode_native(&out, &dlay).unwrap(),
+            w.value,
+            "pbio {}",
+            size.label()
+        );
 
         // MPI.
         let sdt = Datatype::from_schema(&w.schema, sp).unwrap();
         let ddt = Datatype::from_schema(&w.schema, dp).unwrap();
         let wire = mpi_pack(&sdt, sp, &native).unwrap();
         let out = mpi_unpack(&ddt, dp, &wire).unwrap();
-        assert_eq!(decode_native(&out, &dlay).unwrap(), w.value, "mpi {}", size.label());
+        assert_eq!(
+            decode_native(&out, &dlay).unwrap(),
+            w.value,
+            "mpi {}",
+            size.label()
+        );
 
         // CDR.
         let sc = CdrCodec::new(&w.schema, sp).unwrap();
         let dc = CdrCodec::new(&w.schema, dp).unwrap();
         let out = dc.unmarshal(&sc.marshal(&native).unwrap()).unwrap();
-        assert_eq!(decode_native(&out, &dlay).unwrap(), w.value, "cdr {}", size.label());
+        assert_eq!(
+            decode_native(&out, &dlay).unwrap(),
+            w.value,
+            "cdr {}",
+            size.label()
+        );
 
         // XML.
         let xml = emit_record(&slay, &native).unwrap();
         let out = XmlDecoder::new(&dlay).decode(&xml).unwrap();
-        assert_eq!(decode_native(&out, &dlay).unwrap(), w.value, "xml {}", size.label());
+        assert_eq!(
+            decode_native(&out, &dlay).unwrap(),
+            w.value,
+            "xml {}",
+            size.label()
+        );
     }
 }
 
@@ -71,13 +91,24 @@ fn wire_size_relationships() {
             WireFormat::Xml,
         ]
         .into_iter()
-        .map(|f| (f, prepare(f, &w.schema, &w.schema, sp, dp, &w.value).wire.len()))
+        .map(|f| {
+            (
+                f,
+                prepare(f, &w.schema, &w.schema, sp, dp, &w.value)
+                    .wire
+                    .len(),
+            )
+        })
         .collect();
 
         for (f, s) in &sizes {
             match f {
                 WireFormat::Xml => {
-                    assert!(*s > 2 * native_size, "XML expansion at {}: {s} vs {native_size}", size.label())
+                    assert!(
+                        *s > 2 * native_size,
+                        "XML expansion at {}: {s} vs {native_size}",
+                        size.label()
+                    )
                 }
                 _ => assert!(
                     *s < native_size + native_size / 4 + 64,
@@ -118,7 +149,11 @@ fn format_evolution_flexibility_matrix() {
     let rdt = Datatype::from_schema(&w.schema, p).unwrap();
     let wire = mpi_pack(&sdt, p, &native).unwrap();
     let out = mpi_unpack(&rdt, p, &wire).unwrap();
-    assert_ne!(decode_native(&out, &dlay).unwrap(), w.value, "MPI silently corrupts");
+    assert_ne!(
+        decode_native(&out, &dlay).unwrap(),
+        w.value,
+        "MPI silently corrupts"
+    );
 
     // CDR: same story — stubs must agree a priori.
     let sc = CdrCodec::new(&ext, p).unwrap();
@@ -155,18 +190,30 @@ fn particle_records_across_formats() {
             .unwrap()
             .convert(&native)
             .unwrap();
-        assert_eq!(decode_native(&out, &dlay).unwrap(), value, "pbio n={neighbors}");
+        assert_eq!(
+            decode_native(&out, &dlay).unwrap(),
+            value,
+            "pbio n={neighbors}"
+        );
 
         // CDR sequences.
         let sc = CdrCodec::new(&schema, sp).unwrap();
         let dc = CdrCodec::new(&schema, dp).unwrap();
         let out = dc.unmarshal(&sc.marshal(&native).unwrap()).unwrap();
-        assert_eq!(decode_native(&out, &dlay).unwrap(), value, "cdr n={neighbors}");
+        assert_eq!(
+            decode_native(&out, &dlay).unwrap(),
+            value,
+            "cdr n={neighbors}"
+        );
 
         // XML.
         let xml = emit_record(&slay, &native).unwrap();
         let out = XmlDecoder::new(&dlay).decode(&xml).unwrap();
-        assert_eq!(decode_native(&out, &dlay).unwrap(), value, "xml n={neighbors}");
+        assert_eq!(
+            decode_native(&out, &dlay).unwrap(),
+            value,
+            "xml n={neighbors}"
+        );
     }
 
     // MPI: no datatype for runtime-sized members.
@@ -205,12 +252,11 @@ fn var_arrays_of_records() {
     )
     .unwrap();
 
-    let entry = |k: i32, w: f64| {
-        Value::Record(RecordValue::new().with("k", k).with("w", w))
-    };
-    let value = RecordValue::new()
-        .with("nnz", 3u32)
-        .with("entries", Value::Array(vec![entry(2, 0.5), entry(17, -1.25), entry(40, 3.0)]));
+    let entry = |k: i32, w: f64| Value::Record(RecordValue::new().with("k", k).with("w", w));
+    let value = RecordValue::new().with("nnz", 3u32).with(
+        "entries",
+        Value::Array(vec![entry(2, 0.5), entry(17, -1.25), entry(40, 3.0)]),
+    );
 
     for (sp, dp) in [
         (&ArchProfile::SPARC_V8, &ArchProfile::X86_64),
@@ -225,13 +271,21 @@ fn var_arrays_of_records() {
             std::sync::Arc::new(slay.clone()),
             std::sync::Arc::new(dlay.clone()),
         ));
-        let a = pbio::InterpConverter::new(plan.clone()).convert(&native).unwrap();
+        let a = pbio::InterpConverter::new(plan.clone())
+            .convert(&native)
+            .unwrap();
         let b = pbio::DcgConverter::compile(plan, pbio::CodegenMode::Optimized)
             .unwrap()
             .convert(&native)
             .unwrap();
         assert_eq!(a, b);
-        assert_eq!(decode_native(&a, &dlay).unwrap(), value, "{} -> {}", sp.name, dp.name);
+        assert_eq!(
+            decode_native(&a, &dlay).unwrap(),
+            value,
+            "{} -> {}",
+            sp.name,
+            dp.name
+        );
 
         // CDR and XML.
         let sc = CdrCodec::new(&schema, sp).unwrap();

@@ -28,7 +28,11 @@ fn telemetry_record(seq: i32) -> RecordValue {
         .with("value", seq as f64 * 0.5 - 3.0)
         .with(
             "samples",
-            Value::Array((0..5).map(|i| Value::F64((seq + i) as f64 * 0.25)).collect()),
+            Value::Array(
+                (0..5)
+                    .map(|i| Value::F64((seq + i) as f64 * 0.25))
+                    .collect(),
+            ),
         )
         .with("source", format!("sensor-{seq}").as_str())
 }
@@ -45,7 +49,9 @@ fn pipe_exchange_all_profile_pairs() {
             let (mut tx, mut rx) = duplex_pipe();
             let mut out = Vec::new();
             for seq in 0..4 {
-                writer.write_value(fmt, &telemetry_record(seq), &mut out).unwrap();
+                writer
+                    .write_value(fmt, &telemetry_record(seq), &mut out)
+                    .unwrap();
             }
             // Send in deliberately awkward segments.
             for chunk in out.chunks(13) {
@@ -62,7 +68,13 @@ fn pipe_exchange_all_profile_pairs() {
             assert_eq!(consumed, buf.len(), "{} -> {}", sp.name, dp.name);
             assert_eq!(got.len(), 4);
             for (seq, v) in got.iter().enumerate() {
-                assert_eq!(v, &telemetry_record(seq as i32), "{} -> {}", sp.name, dp.name);
+                assert_eq!(
+                    v,
+                    &telemetry_record(seq as i32),
+                    "{} -> {}",
+                    sp.name,
+                    dp.name
+                );
             }
         }
     }
@@ -77,7 +89,9 @@ fn incremental_stream_consumption() {
     let fmt = writer.register(&schema).unwrap();
     let mut stream = Vec::new();
     for seq in 0..3 {
-        writer.write_value(fmt, &telemetry_record(seq), &mut stream).unwrap();
+        writer
+            .write_value(fmt, &telemetry_record(seq), &mut stream)
+            .unwrap();
     }
 
     let mut reader = Reader::new(&ArchProfile::X86_64);
@@ -107,7 +121,9 @@ fn tcp_exchange() {
     let fmt = writer.register(&schema).unwrap();
     let mut stream = Vec::new();
     for seq in 0..5 {
-        writer.write_value(fmt, &telemetry_record(seq), &mut stream).unwrap();
+        writer
+            .write_value(fmt, &telemetry_record(seq), &mut stream)
+            .unwrap();
     }
 
     let mut pipe = TcpPipe::open().unwrap();
@@ -144,15 +160,21 @@ fn multiplexed_formats_with_reflection() {
     let f1 = writer.register(&known).unwrap();
     let f2 = writer.register(&unknown).unwrap();
     let mut stream = Vec::new();
-    writer.write_value(f1, &telemetry_record(0), &mut stream).unwrap();
+    writer
+        .write_value(f1, &telemetry_record(0), &mut stream)
+        .unwrap();
     writer
         .write_value(
             f2,
-            &RecordValue::new().with("code", 418i32).with("msg", "teapot"),
+            &RecordValue::new()
+                .with("code", 418i32)
+                .with("msg", "teapot"),
             &mut stream,
         )
         .unwrap();
-    writer.write_value(f1, &telemetry_record(1), &mut stream).unwrap();
+    writer
+        .write_value(f1, &telemetry_record(1), &mut stream)
+        .unwrap();
 
     let mut reader = Reader::new(&ArchProfile::SPARC_V9_64);
     reader.expect(&known).unwrap();
@@ -187,7 +209,11 @@ fn zero_copy_aliases_receive_buffer() {
     let fmt = writer.register(&schema).unwrap();
     let mut stream = Vec::new();
     writer
-        .write_value(fmt, &RecordValue::new().with("a", 1i32).with("b", 2.0f64), &mut stream)
+        .write_value(
+            fmt,
+            &RecordValue::new().with("a", 1i32).with("b", 2.0f64),
+            &mut stream,
+        )
         .unwrap();
 
     let mut reader = Reader::new(&ArchProfile::X86_64);
@@ -197,7 +223,10 @@ fn zero_copy_aliases_receive_buffer() {
         .process(&stream, |view| {
             assert!(view.is_zero_copy());
             let p = view.bytes().as_ptr() as usize;
-            assert!(range.contains(&p), "zero-copy view must alias the stream buffer");
+            assert!(
+                range.contains(&p),
+                "zero-copy view must alias the stream buffer"
+            );
         })
         .unwrap();
 }
@@ -210,15 +239,23 @@ fn conversion_modes_equivalent_end_to_end() {
     let fmt = writer.register(&schema).unwrap();
     let mut stream = Vec::new();
     for seq in 0..3 {
-        writer.write_value(fmt, &telemetry_record(seq), &mut stream).unwrap();
+        writer
+            .write_value(fmt, &telemetry_record(seq), &mut stream)
+            .unwrap();
     }
 
     let mut results = Vec::new();
-    for mode in [ConversionMode::Interpreted, ConversionMode::DcgNaive, ConversionMode::Dcg] {
+    for mode in [
+        ConversionMode::Interpreted,
+        ConversionMode::DcgNaive,
+        ConversionMode::Dcg,
+    ] {
         let mut reader = Reader::with_mode(&ArchProfile::X86, mode);
         reader.expect(&schema).unwrap();
         let mut got = Vec::new();
-        reader.process(&stream, |view| got.push(view.to_value().unwrap())).unwrap();
+        reader
+            .process(&stream, |view| got.push(view.to_value().unwrap()))
+            .unwrap();
         results.push(got);
     }
     assert_eq!(results[0], results[1]);
@@ -269,7 +306,9 @@ fn corrupt_stream_errors() {
     let mut writer = Writer::new(&ArchProfile::X86);
     let fmt = writer.register(&schema).unwrap();
     let mut stream = Vec::new();
-    writer.write_value(fmt, &telemetry_record(0), &mut stream).unwrap();
+    writer
+        .write_value(fmt, &telemetry_record(0), &mut stream)
+        .unwrap();
     stream[0] = 0xFF; // bad message kind
 
     let mut reader = Reader::new(&ArchProfile::X86);

@@ -121,14 +121,16 @@ pub fn var_schema_strategy() -> impl Strategy<Value = Schema> {
 /// and wire format in the matrix.
 fn atom_value_strategy(atom: AtomType) -> BoxedStrategy<Value> {
     match atom {
-        AtomType::I8 => (i8::MIN..=i8::MAX).prop_map(|v| Value::I64(v as i64)).boxed(),
-        AtomType::I16 | AtomType::CShort => {
-            (i16::MIN..=i16::MAX).prop_map(|v| Value::I64(v as i64)).boxed()
-        }
+        AtomType::I8 => (i8::MIN..=i8::MAX)
+            .prop_map(|v| Value::I64(v as i64))
+            .boxed(),
+        AtomType::I16 | AtomType::CShort => (i16::MIN..=i16::MAX)
+            .prop_map(|v| Value::I64(v as i64))
+            .boxed(),
         // CLong is 4 bytes on ILP32 profiles: stay within i32.
-        AtomType::I32 | AtomType::CInt | AtomType::CLong | AtomType::I64 => {
-            (i32::MIN..=i32::MAX).prop_map(|v| Value::I64(v as i64)).boxed()
-        }
+        AtomType::I32 | AtomType::CInt | AtomType::CLong | AtomType::I64 => (i32::MIN..=i32::MAX)
+            .prop_map(|v| Value::I64(v as i64))
+            .boxed(),
         AtomType::U8 => (0u8..=u8::MAX).prop_map(|v| Value::U64(v as u64)).boxed(),
         AtomType::U16 | AtomType::CUShort => {
             (0u16..=u16::MAX).prop_map(|v| Value::U64(v as u64)).boxed()
@@ -137,9 +139,9 @@ fn atom_value_strategy(atom: AtomType) -> BoxedStrategy<Value> {
             (0u32..=u32::MAX).prop_map(|v| Value::U64(v as u64)).boxed()
         }
         // f32-exact values so float width narrowing is lossless.
-        AtomType::F32 | AtomType::CFloat => {
-            (-1.0e6f32..1.0e6).prop_map(|v| Value::F64(v as f64)).boxed()
-        }
+        AtomType::F32 | AtomType::CFloat => (-1.0e6f32..1.0e6)
+            .prop_map(|v| Value::F64(v as f64))
+            .boxed(),
         AtomType::F64 | AtomType::CDouble => (-1.0e9f64..1.0e9).prop_map(Value::F64).boxed(),
         AtomType::Char => (0x20u8..0x7F).prop_map(Value::Char).boxed(),
         AtomType::Bool => proptest::bool::ANY.prop_map(Value::Bool).boxed(),
@@ -149,16 +151,16 @@ fn atom_value_strategy(atom: AtomType) -> BoxedStrategy<Value> {
 fn type_value_strategy(ty: &TypeDesc) -> BoxedStrategy<Value> {
     match ty {
         TypeDesc::Atom(a) => atom_value_strategy(*a),
-        TypeDesc::Fixed(inner, n) => {
-            proptest::collection::vec(type_value_strategy(inner), *n..=*n)
-                .prop_map(Value::Array)
-                .boxed()
-        }
+        TypeDesc::Fixed(inner, n) => proptest::collection::vec(type_value_strategy(inner), *n..=*n)
+            .prop_map(Value::Array)
+            .boxed(),
         TypeDesc::Var(inner, _) => proptest::collection::vec(type_value_strategy(inner), 0..5)
             .prop_map(Value::Array)
             .boxed(),
         TypeDesc::String => "[ -~]{0,24}".prop_map(Value::Str).boxed(),
-        TypeDesc::Record(sub) => record_value_strategy_schema(sub.clone()).prop_map(Value::Record).boxed(),
+        TypeDesc::Record(sub) => record_value_strategy_schema(sub.clone())
+            .prop_map(Value::Record)
+            .boxed(),
     }
 }
 
@@ -193,7 +195,10 @@ pub fn value_strategy(schema: &Schema) -> BoxedStrategy<RecordValue> {
             // Fix up var-array length fields to match the generated arrays.
             for f in fixup.fields() {
                 if let TypeDesc::Var(_, len_field) = &f.ty {
-                    let n = rv.get(&f.name).and_then(|v| v.as_array()).map_or(0, |a| a.len());
+                    let n = rv
+                        .get(&f.name)
+                        .and_then(|v| v.as_array())
+                        .map_or(0, |a| a.len());
                     rv.set(len_field.clone(), Value::I64(n as i64));
                 }
             }

@@ -1,0 +1,300 @@
+//! End-to-end exercise of the `pbio-serv` event-channel daemon over
+//! loopback TCP: a heterogeneous publisher, subscribers on other
+//! architectures (one with a source-side filter), and the zero-copy
+//! guarantee for a homogeneous subscriber.
+
+use std::time::{Duration, Instant};
+
+use pbio_chan::Predicate;
+use pbio_serv::{ServClient, ServConfig, ServDaemon, ServError};
+use pbio_types::arch::ArchProfile;
+use pbio_types::schema::{AtomType, FieldDecl, Schema};
+use pbio_types::value::{RecordValue, Value};
+
+fn telemetry_schema() -> Schema {
+    Schema::new(
+        "telemetry",
+        vec![
+            FieldDecl::atom("seq", AtomType::CInt),
+            FieldDecl::atom("temp", AtomType::CDouble),
+            FieldDecl::atom("alarm", AtomType::Bool),
+        ],
+    )
+    .unwrap()
+}
+
+fn reading(seq: i32, temp: f64, alarm: bool) -> RecordValue {
+    RecordValue::new()
+        .with("seq", seq)
+        .with("temp", temp)
+        .with("alarm", alarm)
+}
+
+/// Poll `client` until `n` events arrive (bounded), returning
+/// `(seq, temp, zero_copy)` per event.
+fn collect(client: &mut ServClient, n: usize) -> Vec<(i64, f64, bool)> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut out = Vec::new();
+    while out.len() < n && Instant::now() < deadline {
+        let Some(event) = client.poll(Duration::from_millis(200)).unwrap() else {
+            continue;
+        };
+        let Some(Value::I64(seq)) = event.view.get("seq") else {
+            panic!("seq missing or mistyped")
+        };
+        let Some(Value::F64(temp)) = event.view.get("temp") else {
+            panic!("temp missing or mistyped")
+        };
+        out.push((seq, temp, event.view.is_zero_copy()));
+    }
+    out
+}
+
+#[test]
+fn cross_architecture_pubsub_with_source_side_filter() {
+    let daemon = ServDaemon::bind("127.0.0.1:0").unwrap();
+    let addr = daemon.local_addr();
+    let schema = telemetry_schema();
+
+    // Publisher compiled for big-endian SPARC; subscribers on two
+    // little-endian x86 flavors. All conversion happens at the receivers.
+    let mut publisher = ServClient::connect(addr, &ArchProfile::SPARC_V8).unwrap();
+    let fmt = publisher.register_format(&schema).unwrap();
+    let chan = publisher.open_channel("telemetry").unwrap();
+
+    let mut plain = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let plain_chan = plain.open_channel("telemetry").unwrap();
+    assert_eq!(plain_chan, chan, "channels are shared by name");
+    plain.subscribe(plain_chan, &schema, None).unwrap();
+
+    let mut filtered = ServClient::connect(addr, &ArchProfile::X86).unwrap();
+    let filtered_chan = filtered.open_channel("telemetry").unwrap();
+    let hot = Predicate::gt("temp", 30.0);
+    filtered
+        .subscribe(filtered_chan, &schema, Some(&hot))
+        .unwrap();
+
+    let readings = [
+        reading(1, 25.0, false),
+        reading(2, 35.5, false),
+        reading(3, 10.0, true),
+        reading(4, 40.25, false),
+    ];
+    for r in &readings {
+        publisher.publish_value(chan, fmt, r).unwrap();
+    }
+
+    // The unfiltered x86-64 subscriber sees everything, converted.
+    let got = collect(&mut plain, 4);
+    assert_eq!(
+        got,
+        vec![
+            (1, 25.0, false),
+            (2, 35.5, false),
+            (3, 10.0, false),
+            (4, 40.25, false),
+        ],
+        "sparc-v8 records must convert exactly on x86-64"
+    );
+    assert!(!plain.is_zero_copy(fmt));
+    assert_eq!(plain.stats().converted_events, 4);
+    assert_eq!(plain.stats().zero_copy_events, 0);
+
+    // The filtered x86 subscriber sees only the hot readings; the cold
+    // ones were suppressed on the daemon, before transmission.
+    let got = collect(&mut filtered, 2);
+    assert_eq!(got, vec![(2, 35.5, false), (4, 40.25, false)]);
+    assert!(
+        filtered.poll(Duration::from_millis(200)).unwrap().is_none(),
+        "no extra events"
+    );
+
+    let stats = daemon.stats();
+    assert_eq!(stats.events_in, 4);
+    assert_eq!(
+        stats.filtered_at_source, 2,
+        "two cold readings filtered at the source"
+    );
+    assert_eq!(stats.dropped, 0);
+    assert_eq!(
+        stats.events_out, 6,
+        "4 to the plain subscriber + 2 to the filtered one"
+    );
+    assert_eq!(stats.active_connections, 3);
+
+    publisher.disconnect().unwrap();
+    plain.disconnect().unwrap();
+    filtered.disconnect().unwrap();
+    daemon.shutdown();
+}
+
+#[test]
+fn homogeneous_subscriber_stays_zero_copy() {
+    let daemon = ServDaemon::bind("127.0.0.1:0").unwrap();
+    let addr = daemon.local_addr();
+    let schema = telemetry_schema();
+
+    let mut publisher = ServClient::connect(addr, &ArchProfile::SPARC_V9_64).unwrap();
+    let fmt = publisher.register_format(&schema).unwrap();
+    let chan = publisher.open_channel("telemetry").unwrap();
+
+    let mut same_arch = ServClient::connect(addr, &ArchProfile::SPARC_V9_64).unwrap();
+    let sub_chan = same_arch.open_channel("telemetry").unwrap();
+    same_arch.subscribe(sub_chan, &schema, None).unwrap();
+
+    for i in 0..3 {
+        publisher
+            .publish_value(chan, fmt, &reading(i, f64::from(i) * 1.5, false))
+            .unwrap();
+    }
+
+    let got = collect(&mut same_arch, 3);
+    assert_eq!(
+        got,
+        vec![(0, 0.0, true), (1, 1.5, true), (2, 3.0, true)],
+        "same-architecture records are used straight from the receive buffer"
+    );
+    assert!(same_arch.is_zero_copy(fmt));
+    assert!(
+        same_arch.dcg_stats(fmt).is_none(),
+        "no conversion plan may be compiled for the homogeneous path"
+    );
+    assert_eq!(same_arch.stats().zero_copy_events, 3);
+    assert_eq!(same_arch.stats().converted_events, 0);
+
+    publisher.disconnect().unwrap();
+    same_arch.disconnect().unwrap();
+    daemon.shutdown();
+}
+
+#[test]
+fn format_metadata_is_registered_once_across_publishers() {
+    let daemon = ServDaemon::bind("127.0.0.1:0").unwrap();
+    let addr = daemon.local_addr();
+    let schema = telemetry_schema();
+
+    let mut p1 = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let mut p2 = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let mut p3 = ServClient::connect(addr, &ArchProfile::MIPS_64).unwrap();
+    let f1 = p1.register_format(&schema).unwrap();
+    let f2 = p2.register_format(&schema).unwrap();
+    let f3 = p3.register_format(&schema).unwrap();
+    assert_eq!(
+        f1, f2,
+        "identical layouts from different sessions share one id"
+    );
+    assert_ne!(
+        f1, f3,
+        "a different architecture is a different wire format"
+    );
+    assert_eq!(daemon.formats().len(), 2);
+
+    p1.disconnect().unwrap();
+    p2.disconnect().unwrap();
+    p3.disconnect().unwrap();
+    daemon.shutdown();
+}
+
+#[test]
+fn daemon_rejects_bad_requests_with_typed_errors() {
+    let daemon = ServDaemon::bind("127.0.0.1:0").unwrap();
+    let addr = daemon.local_addr();
+    let schema = telemetry_schema();
+
+    let mut client = ServClient::connect(addr, &ArchProfile::X86).unwrap();
+
+    // Subscribing to a channel nobody opened.
+    let err = client.subscribe(42, &schema, None).unwrap_err();
+    assert!(
+        matches!(err, ServError::Remote { code, .. } if code == pbio_serv::protocol::E_CHANNEL),
+        "{err}"
+    );
+
+    // Publishing with a format id this client never registered fails
+    // locally, before any bytes hit the wire.
+    let chan = client.open_channel("telemetry").unwrap();
+    let err = client.publish(chan, 7, &[0u8; 64]).unwrap_err();
+    assert!(matches!(err, ServError::UnknownFormat(7)), "{err}");
+
+    // A payload shorter than the registered layout is refused locally too.
+    let fmt = client.register_format(&schema).unwrap();
+    let err = client.publish(chan, fmt, &[0u8; 2]).unwrap_err();
+    assert!(matches!(err, ServError::Protocol(_)), "{err}");
+
+    // The session is still healthy after the rejections.
+    client.subscribe(chan, &schema, None).unwrap();
+    client
+        .publish_value(chan, fmt, &reading(9, 1.0, false))
+        .unwrap();
+    let got = collect(&mut client, 1);
+    assert_eq!(got, vec![(9, 1.0, true)]);
+
+    client.disconnect().unwrap();
+    daemon.shutdown();
+}
+
+#[test]
+fn slow_subscriber_backpressure_drops_oldest_not_newest() {
+    let daemon = ServDaemon::bind_with("127.0.0.1:0", ServConfig { queue_capacity: 8 }).unwrap();
+    let addr = daemon.local_addr();
+    let schema = telemetry_schema();
+
+    let mut publisher = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let fmt = publisher.register_format(&schema).unwrap();
+    let chan = publisher.open_channel("firehose").unwrap();
+
+    let mut slow = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let sub_chan = slow.open_channel("firehose").unwrap();
+    slow.subscribe(sub_chan, &schema, None).unwrap();
+
+    // Flood far past the queue capacity without the subscriber draining.
+    let total = 500;
+    for i in 0..total {
+        publisher
+            .publish_value(chan, fmt, &reading(i, 0.0, false))
+            .unwrap();
+    }
+
+    // Wait for the daemon to ingest the whole flood.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while daemon.stats().events_in < u64::from(total as u32) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(daemon.stats().events_in, 500);
+
+    // Drain: the subscriber must observe a suffix-biased subset ending in
+    // the *newest* event — drop-oldest never sacrifices fresh data.
+    let mut seqs = Vec::new();
+    let drain_deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < drain_deadline {
+        match slow.poll(Duration::from_millis(300)).unwrap() {
+            Some(event) => {
+                let Some(Value::I64(seq)) = event.view.get("seq") else {
+                    panic!()
+                };
+                seqs.push(seq);
+            }
+            None => break,
+        }
+    }
+    assert!(!seqs.is_empty());
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "delivery preserves publish order"
+    );
+    assert_eq!(
+        *seqs.last().unwrap(),
+        499,
+        "the newest event always survives"
+    );
+    let stats = daemon.stats();
+    assert_eq!(
+        stats.dropped + stats.events_out,
+        500,
+        "every event was either delivered or counted as dropped"
+    );
+
+    publisher.disconnect().unwrap();
+    slow.disconnect().unwrap();
+    daemon.shutdown();
+}

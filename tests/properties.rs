@@ -7,9 +7,7 @@ use proptest::prelude::*;
 
 use pbio::{CodegenMode, DcgConverter, InterpConverter, Plan};
 use pbio_cdr::CdrCodec;
-use pbio_integration::{
-    profile_strategy, schema_and_value, var_schema_and_value,
-};
+use pbio_integration::{profile_strategy, schema_and_value, var_schema_and_value};
 use pbio_mpi::{mpi_pack, mpi_unpack, packed_size, Datatype};
 use pbio_types::layout::Layout;
 use pbio_types::meta::{deserialize_layout, serialize_layout};
