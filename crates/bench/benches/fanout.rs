@@ -1,0 +1,215 @@
+//! Fan-out benchmark: one publisher, N subscribers, one daemon.
+//!
+//! Measures the serv/net/core delivery path end to end over loopback TCP:
+//! events/sec (publisher clock: first publish until every subscriber has
+//! received every event) and heap allocations per published event, counted
+//! by a wrapping global allocator across the whole process — daemon fan-out,
+//! writer threads and subscriber decode included. The allocation count is
+//! the tentpole metric: with shared event buffers it must stay O(1) in the
+//! subscriber count instead of O(subscribers).
+//!
+//! Runs as a plain `harness = false` binary. `--smoke` runs one tiny
+//! configuration (CI bit-rot check); the default sweep is 1 / 8 / 64
+//! subscribers, homogeneous (subscriber arch == publisher arch, zero-copy
+//! receive) and heterogeneous (big-endian subscribers, DCG-converted
+//! receive).
+
+use std::alloc::{GlobalAlloc, Layout as AllocLayout, System};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pbio_bench::workloads::{workload, MsgSize};
+use pbio_serv::{ServClient, ServConfig, ServDaemon};
+use pbio_types::arch::ArchProfile;
+use pbio_types::layout::Layout;
+use pbio_types::value::encode_native;
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every alloc/realloc in the process bumps one counter.
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: AllocLayout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: AllocLayout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: AllocLayout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: AllocLayout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+// ---------------------------------------------------------------------------
+
+const CHANNEL: &str = "fanout-bench";
+const CASE_DEADLINE: Duration = Duration::from_secs(120);
+
+struct CaseResult {
+    subscribers: usize,
+    heterogeneous: bool,
+    events: u64,
+    events_per_sec: f64,
+    deliveries_per_sec: f64,
+    allocs_per_event: f64,
+}
+
+/// Wait until every per-subscriber counter reaches `target`.
+fn wait_for(counters: &[Arc<AtomicU64>], target: u64, start: Instant, what: &str) {
+    loop {
+        if counters.iter().all(|c| c.load(Ordering::Acquire) >= target) {
+            return;
+        }
+        if start.elapsed() > CASE_DEADLINE {
+            let got: Vec<u64> = counters.iter().map(|c| c.load(Ordering::Acquire)).collect();
+            panic!("timed out waiting for {what}: want {target} per subscriber, got {got:?}");
+        }
+        std::thread::yield_now();
+    }
+}
+
+fn run_case(subscribers: usize, heterogeneous: bool, warmup: u64, events: u64) -> CaseResult {
+    let pub_profile = ArchProfile::X86_64;
+    let sub_profile = if heterogeneous {
+        ArchProfile::SPARC_V8
+    } else {
+        ArchProfile::X86_64
+    };
+
+    let w = workload(MsgSize::B100);
+    let daemon = ServDaemon::bind_with(
+        "127.0.0.1:0",
+        ServConfig {
+            queue_capacity: (warmup + events) as usize + 64,
+        },
+    )
+    .expect("bind daemon");
+    let addr = daemon.local_addr();
+
+    let total = warmup + events;
+    let received: Vec<Arc<AtomicU64>> = (0..subscribers)
+        .map(|_| Arc::new(AtomicU64::new(0)))
+        .collect();
+    let ready = Arc::new(AtomicUsize::new(0));
+
+    let mut sub_threads = Vec::with_capacity(subscribers);
+    for counter in &received {
+        let counter = Arc::clone(counter);
+        let schema = w.schema.clone();
+        let profile = sub_profile.clone();
+        let ready = ready.clone();
+        sub_threads.push(std::thread::spawn(move || {
+            let mut client = ServClient::connect(addr, &profile).expect("subscriber connect");
+            let chan = client.open_channel(CHANNEL).expect("open channel");
+            client.subscribe(chan, &schema, None).expect("subscribe");
+            ready.fetch_add(1, Ordering::Release);
+            let start = Instant::now();
+            while counter.load(Ordering::Acquire) < total {
+                match client.poll(Duration::from_millis(200)) {
+                    Ok(Some(_event)) => {
+                        counter.fetch_add(1, Ordering::Release);
+                    }
+                    Ok(None) => {
+                        if start.elapsed() > CASE_DEADLINE {
+                            panic!("subscriber starved");
+                        }
+                    }
+                    Err(e) => panic!("subscriber poll failed: {e}"),
+                }
+            }
+            client.disconnect().expect("disconnect");
+        }));
+    }
+
+    let mut publisher = ServClient::connect(addr, &pub_profile).expect("publisher connect");
+    let chan = publisher.open_channel(CHANNEL).expect("open channel");
+    let fmt = publisher.register_format(&w.schema).expect("register");
+    let layout = Layout::of(&w.schema, &pub_profile).expect("layout");
+    let native = encode_native(&w.value, &layout).expect("encode");
+
+    let setup_start = Instant::now();
+    while ready.load(Ordering::Acquire) < subscribers {
+        if setup_start.elapsed() > CASE_DEADLINE {
+            panic!("subscribers failed to subscribe in time");
+        }
+        std::thread::yield_now();
+    }
+
+    // Warmup: announce the format everywhere, compile conversions, open
+    // TCP windows — steady state is what we want to measure.
+    for _ in 0..warmup {
+        publisher.publish(chan, fmt, &native).expect("publish");
+    }
+    wait_for(&received, warmup, setup_start, "warmup delivery");
+
+    let allocs_before = ALLOCATIONS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    for _ in 0..events {
+        publisher.publish(chan, fmt, &native).expect("publish");
+    }
+    wait_for(&received, total, t0, "measured delivery");
+    let elapsed = t0.elapsed();
+    let allocs_after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    for t in sub_threads {
+        t.join().expect("subscriber thread");
+    }
+    publisher.disconnect().expect("publisher disconnect");
+
+    let stats = daemon.stats();
+    assert_eq!(stats.dropped, 0, "benchmark must run drop-free: {stats:?}");
+    daemon.shutdown();
+
+    let secs = elapsed.as_secs_f64();
+    CaseResult {
+        subscribers,
+        heterogeneous,
+        events,
+        events_per_sec: events as f64 / secs,
+        deliveries_per_sec: (events as f64 * subscribers as f64) / secs,
+        allocs_per_event: (allocs_after - allocs_before) as f64 / events as f64,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (subscriber_counts, warmup, events): (&[usize], u64, u64) = if smoke {
+        (&[1], 10, 50)
+    } else {
+        (&[1, 8, 64], 200, 2000)
+    };
+
+    println!("fan-out benchmark: 100b records, publisher x86-64, loopback TCP");
+    println!("| subs | mode   | events/s | deliveries/s | allocs/event |");
+    println!("|------|--------|----------|--------------|--------------|");
+    for &heterogeneous in &[false, true] {
+        for &subs in subscriber_counts {
+            let r = run_case(subs, heterogeneous, warmup, events);
+            println!(
+                "| {:>4} | {} | {:>8.0} | {:>12.0} | {:>12.1} |",
+                r.subscribers,
+                if r.heterogeneous { "hetero" } else { "homo  " },
+                r.events_per_sec,
+                r.deliveries_per_sec,
+                r.allocs_per_event,
+            );
+            let _ = r.events;
+        }
+    }
+}

@@ -101,7 +101,11 @@ impl Subscriber for LocalSubscriber {
         }
     }
 
-    fn deliver(&mut self, _format: u32, wire: &[u8]) -> Result<DeliveryOutcome, ChannelError> {
+    fn deliver(
+        &mut self,
+        _format: u32,
+        wire: &pbio_net::buf::WireBuf,
+    ) -> Result<DeliveryOutcome, ChannelError> {
         match &mut self.delivery {
             Delivery::ZeroCopy { native } => {
                 (self.sink)(RecordView::borrowed(wire, native.clone()));

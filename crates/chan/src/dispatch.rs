@@ -11,6 +11,13 @@
 //! * the daemon's subscriber compiles the filter per incoming wire format
 //!   and enqueues the untouched wire bytes on a bounded outbound queue
 //!   (which may drop, hence [`DeliveryOutcome::Dropped`]).
+//!
+//! Delivery hands each subscriber a shared [`WireBuf`], so fanning one
+//! event out to N subscribers costs at most one allocation total (and
+//! none at all when every filter rejects it, or when the publisher
+//! already holds shared bytes — [`Fanout::publish_shared`]).
+
+use pbio_net::buf::WireBuf;
 
 /// Identifies one subscription on a fan-out (and, re-exported, on a
 /// [`crate::channel::Channel`]).
@@ -36,8 +43,10 @@ pub trait Subscriber {
     /// source" the paper's §5 envisions.
     fn accepts(&mut self, format: u32, wire: &[u8]) -> Result<bool, Self::Error>;
 
-    /// Deliver the accepted event.
-    fn deliver(&mut self, format: u32, wire: &[u8]) -> Result<DeliveryOutcome, Self::Error>;
+    /// Deliver the accepted event. The body is shared: subscribers that
+    /// need to keep it (e.g. queue it for a connection's writer thread)
+    /// clone the [`WireBuf`] — a refcount bump, not a copy.
+    fn deliver(&mut self, format: u32, wire: &WireBuf) -> Result<DeliveryOutcome, Self::Error>;
 }
 
 /// Event-loop counters, shared by every fan-out user.
@@ -142,7 +151,27 @@ impl<S> Fanout<S> {
 impl<S: Subscriber> Fanout<S> {
     /// Publish one event to every active subscriber whose filter accepts
     /// it. Returns the number of deliveries.
+    ///
+    /// The shared delivery buffer is materialized lazily, on the first
+    /// acceptance: an event every filter rejects allocates nothing, and
+    /// one any number of subscribers accept allocates exactly once.
     pub fn publish(&mut self, format: u32, wire: &[u8]) -> Result<usize, S::Error> {
+        self.publish_impl(format, wire, None)
+    }
+
+    /// [`Fanout::publish`] for a publisher that already holds the event
+    /// in shared storage (the daemon's ingest path): delivery is pure
+    /// refcount bumps, zero allocations.
+    pub fn publish_shared(&mut self, format: u32, wire: &WireBuf) -> Result<usize, S::Error> {
+        self.publish_impl(format, wire, Some(wire.clone()))
+    }
+
+    fn publish_impl(
+        &mut self,
+        format: u32,
+        wire: &[u8],
+        mut shared: Option<WireBuf>,
+    ) -> Result<usize, S::Error> {
         self.stats.published += 1;
         let mut delivered = 0usize;
         for entry in &mut self.subs {
@@ -153,7 +182,8 @@ impl<S: Subscriber> Fanout<S> {
                 self.stats.filtered_out += 1;
                 continue;
             }
-            match entry.sub.deliver(format, wire)? {
+            let buf = shared.get_or_insert_with(|| WireBuf::copy_from(wire));
+            match entry.sub.deliver(format, buf)? {
                 DeliveryOutcome::Delivered => {
                     delivered += 1;
                     self.stats.delivered += 1;
@@ -174,7 +204,17 @@ mod tests {
     struct TestSub {
         threshold: u8,
         seen: Vec<u8>,
+        bufs: Vec<WireBuf>,
         capacity: usize,
+    }
+
+    fn sub(threshold: u8, capacity: usize) -> TestSub {
+        TestSub {
+            threshold,
+            seen: Vec::new(),
+            bufs: Vec::new(),
+            capacity,
+        }
     }
 
     impl Subscriber for TestSub {
@@ -184,11 +224,12 @@ mod tests {
             Ok(wire[0] >= self.threshold)
         }
 
-        fn deliver(&mut self, _format: u32, wire: &[u8]) -> Result<DeliveryOutcome, ()> {
+        fn deliver(&mut self, _format: u32, wire: &WireBuf) -> Result<DeliveryOutcome, ()> {
             if self.seen.len() >= self.capacity {
                 return Ok(DeliveryOutcome::Dropped);
             }
             self.seen.push(wire[0]);
+            self.bufs.push(wire.clone());
             Ok(DeliveryOutcome::Delivered)
         }
     }
@@ -196,16 +237,8 @@ mod tests {
     #[test]
     fn filters_deliveries_and_drops_are_counted() {
         let mut fanout = Fanout::new();
-        let all = fanout.subscribe(TestSub {
-            threshold: 0,
-            seen: Vec::new(),
-            capacity: 2,
-        });
-        let high = fanout.subscribe(TestSub {
-            threshold: 10,
-            seen: Vec::new(),
-            capacity: 99,
-        });
+        let all = fanout.subscribe(sub(0, 2));
+        let high = fanout.subscribe(sub(10, 99));
         for v in [1u8, 5, 20, 30] {
             fanout.publish(0, &[v]).unwrap();
         }
@@ -219,18 +252,30 @@ mod tests {
     }
 
     #[test]
+    fn deliveries_share_one_buffer_per_event() {
+        let mut fanout = Fanout::new();
+        let ids: Vec<_> = (0..4).map(|_| fanout.subscribe(sub(0, 9))).collect();
+        fanout.publish(0, &[42]).unwrap();
+        let first = fanout.get_mut(ids[0]).unwrap().bufs[0].clone();
+        for &id in &ids {
+            let b = &fanout.get_mut(id).unwrap().bufs[0];
+            assert!(
+                WireBuf::ptr_eq(b, &first),
+                "every subscriber sees the same shared storage"
+            );
+        }
+        // publish_shared hands the caller's buffer through untouched.
+        let shared = WireBuf::copy_from(&[43]);
+        fanout.publish_shared(0, &shared).unwrap();
+        let b = &fanout.get_mut(ids[1]).unwrap().bufs[1];
+        assert!(WireBuf::ptr_eq(b, &shared));
+    }
+
+    #[test]
     fn unsubscribe_and_retain() {
         let mut fanout = Fanout::new();
-        let a = fanout.subscribe(TestSub {
-            threshold: 0,
-            seen: Vec::new(),
-            capacity: 9,
-        });
-        let b = fanout.subscribe(TestSub {
-            threshold: 0,
-            seen: Vec::new(),
-            capacity: 9,
-        });
+        let a = fanout.subscribe(sub(0, 9));
+        let b = fanout.subscribe(sub(0, 9));
         assert_eq!(fanout.active_count(), 2);
         assert!(fanout.unsubscribe(a));
         assert!(!fanout.unsubscribe(SubscriptionId(99)));

@@ -16,6 +16,7 @@ use pbio_types::prim;
 
 use crate::error::PbioError;
 use crate::plan::{Plan, ScalarKind, ScalarSig, Step};
+use crate::pool::{BufPool, PooledBuf};
 
 /// Alignment applied to payloads appended to the output variable region
 /// (matches `pbio_types::value`'s encoder so converted images are comparable
@@ -40,8 +41,21 @@ impl InterpConverter {
     }
 
     /// Convert one incoming record to the receiver's native image.
+    ///
+    /// Allocates a fresh output per record — a convenience for tests and
+    /// one-shot tools. Hot paths use [`InterpConverter::convert_into`] (a
+    /// caller-reused buffer) or [`InterpConverter::convert_pooled`].
     pub fn convert(&self, src: &[u8]) -> Result<Vec<u8>, PbioError> {
         let mut out = Vec::new();
+        self.convert_into(src, &mut out)?;
+        Ok(out)
+    }
+
+    /// Convert into a buffer drawn from `pool` (it returns to the pool when
+    /// the result drops): the steady state recycles a few buffers forever
+    /// instead of allocating per record.
+    pub fn convert_pooled(&self, src: &[u8], pool: &Arc<BufPool>) -> Result<PooledBuf, PbioError> {
+        let mut out = pool.get(self.plan.dst.size());
         self.convert_into(src, &mut out)?;
         Ok(out)
     }
@@ -114,6 +128,22 @@ pub(crate) fn exec_steps(
                 let dat = dbase + d;
                 for i in 0..w {
                     out[dat + i] = src[at + w - 1 - i];
+                }
+            }
+            Step::SwapRun {
+                w,
+                src: s,
+                dst: d,
+                count,
+            } => {
+                let w = *w as usize;
+                let at = sbase + s;
+                need(src, at, w * count, "swapping scalar run")?;
+                let dat = dbase + d;
+                for e in 0..*count {
+                    for i in 0..w {
+                        out[dat + e * w + i] = src[at + e * w + w - 1 - i];
+                    }
                 }
             }
             Step::ConvScalar {

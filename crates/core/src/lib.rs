@@ -57,6 +57,7 @@ pub mod file;
 pub mod interp;
 pub mod message;
 pub mod plan;
+pub mod pool;
 pub mod reader;
 pub mod registry;
 pub mod view;
@@ -67,6 +68,7 @@ pub use error::PbioError;
 pub use file::{FileReader, FileWriter};
 pub use interp::InterpConverter;
 pub use plan::{FieldReport, FieldStatus, Plan, Step};
+pub use pool::{BufPool, PoolStats, PooledBuf};
 pub use reader::{ConversionMode, Reader};
 pub use registry::FormatServer;
 pub use view::{FieldHandle, RecordView};

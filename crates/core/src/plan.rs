@@ -117,6 +117,20 @@ pub enum Step {
         /// Destination offset.
         dst: usize,
     },
+    /// `count` same-width swaps over dense runs on both sides — what a run
+    /// of adjacent [`Step::SwapScalar`]s fuses into (the swap analogue of
+    /// the contiguous-copy merge): one step, and one block instruction in
+    /// the DCG backend, per run instead of per field.
+    SwapRun {
+        /// Scalar width (2, 4 or 8).
+        w: u8,
+        /// Source offset of element 0.
+        src: usize,
+        /// Destination offset of element 0.
+        dst: usize,
+        /// Number of scalars in the run.
+        count: usize,
+    },
     /// General scalar conversion (size, signedness, class and/or order).
     ConvScalar {
         /// Signature in the incoming buffer.
@@ -503,9 +517,13 @@ fn emit_array(
     true
 }
 
-/// Merge adjacent `CopyBytes` steps that are contiguous on both sides — this
-/// is what makes the homogeneous mismatch case of Figure 7 cost roughly one
-/// `memcpy` per contiguous region rather than one per field.
+/// Merge adjacent steps that are contiguous on both sides: `CopyBytes` runs
+/// become one big copy (what makes the homogeneous mismatch case of Figure 7
+/// cost roughly one `memcpy` per contiguous region rather than one per
+/// field), `ZeroFill` runs coalesce, and runs of same-width `SwapScalar`s
+/// whose scalars are dense on both sides fuse into a single
+/// [`Step::SwapRun`] — one step (and one DCG block instruction) per run, so
+/// a struct of many like-typed fields converts like an array.
 fn merge_copies(steps: Vec<Step>) -> Vec<Step> {
     let mut out: Vec<Step> = Vec::with_capacity(steps.len());
     for s in steps {
@@ -535,6 +553,42 @@ fn merge_copies(steps: Vec<Step>) -> Vec<Step> {
             if *pdst + *plen == *dst {
                 *plen += *len;
                 continue;
+            }
+        }
+        // Fuse same-width byte-swaps over dense runs. A pair of adjacent
+        // SwapScalars starts a SwapRun; further scalars extend it.
+        if let Step::SwapScalar { w, src, dst } = &s {
+            let stride = *w as usize;
+            let pair = match out.last() {
+                Some(Step::SwapScalar {
+                    w: pw,
+                    src: psrc,
+                    dst: pdst,
+                }) if pw == w && *psrc + stride == *src && *pdst + stride == *dst => {
+                    Some(Step::SwapRun {
+                        w: *w,
+                        src: *psrc,
+                        dst: *pdst,
+                        count: 2,
+                    })
+                }
+                _ => None,
+            };
+            if let Some(run) = pair {
+                *out.last_mut().unwrap() = run;
+                continue;
+            }
+            if let Some(Step::SwapRun {
+                w: pw,
+                src: psrc,
+                dst: pdst,
+                count,
+            }) = out.last_mut()
+            {
+                if *pw == *w && *psrc + *count * stride == *src && *pdst + *count * stride == *dst {
+                    *count += 1;
+                    continue;
+                }
             }
         }
         out.push(s);
@@ -624,6 +678,63 @@ mod tests {
             .filter(|s| matches!(s, Step::CopyBytes { .. }))
             .collect();
         assert!(copies.len() <= 2, "{copies:?}");
+    }
+
+    #[test]
+    fn adjacent_swaps_fuse_into_a_run() {
+        // 16 consecutive i32 fields across an endianness flip: dense,
+        // same-width swaps on both sides fuse into one SwapRun.
+        let schema = Schema::new(
+            "regs",
+            (0..16)
+                .map(|i| FieldDecl::atom(format!("r{i}"), AtomType::I32))
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let (s, d) = layouts(&schema, &ArchProfile::SPARC_V8, &ArchProfile::X86);
+        let plan = Plan::build(s, d);
+        assert_eq!(plan.fixed_steps.len(), 1, "{:?}", plan.fixed_steps);
+        assert!(matches!(
+            plan.fixed_steps[0],
+            Step::SwapRun {
+                w: 4,
+                src: 0,
+                dst: 0,
+                count: 16
+            }
+        ));
+    }
+
+    #[test]
+    fn swap_runs_stop_at_width_changes_and_gaps() {
+        // i32 i32 | i64 i64 | i16: three runs (one per width; the pair
+        // fusions), never one — widths must match and offsets stay dense.
+        let schema = Schema::new(
+            "mixedw",
+            vec![
+                FieldDecl::atom("a", AtomType::I32),
+                FieldDecl::atom("b", AtomType::I32),
+                FieldDecl::atom("c", AtomType::I64),
+                FieldDecl::atom("d", AtomType::I64),
+                FieldDecl::atom("e", AtomType::I16),
+            ],
+        )
+        .unwrap();
+        let (s, d) = layouts(&schema, &ArchProfile::SPARC_V8, &ArchProfile::X86);
+        let plan = Plan::build(s, d);
+        let runs: Vec<_> = plan
+            .fixed_steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::SwapRun { w, count, .. } => Some((*w, *count)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(runs, vec![(4, 2), (8, 2)], "{:?}", plan.fixed_steps);
+        assert!(plan
+            .fixed_steps
+            .iter()
+            .any(|s| matches!(s, Step::SwapScalar { w: 2, .. })));
     }
 
     #[test]

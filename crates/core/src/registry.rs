@@ -20,8 +20,9 @@ use pbio_types::meta::serialize_layout;
 struct Inner {
     /// serialized metadata -> id (exact-match dedup).
     by_meta: HashMap<Vec<u8>, u32>,
-    /// id -> (layout, serialized metadata).
-    by_id: HashMap<u32, (Arc<Layout>, Arc<Vec<u8>>)>,
+    /// id -> (layout, serialized metadata). Metadata is an `Arc<[u8]>`
+    /// so transports can announce it to a peer by bumping a refcount.
+    by_id: HashMap<u32, (Arc<Layout>, Arc<[u8]>)>,
     next: u32,
 }
 
@@ -40,7 +41,7 @@ impl FormatServer {
     /// Register a layout: returns its id, the (shared) serialized metadata,
     /// and whether this call created a new entry. Identical layouts — same
     /// fields, offsets, byte order, names — always receive the same id.
-    pub fn register(&self, layout: &Arc<Layout>) -> (u32, Arc<Vec<u8>>, bool) {
+    pub fn register(&self, layout: &Arc<Layout>) -> (u32, Arc<[u8]>, bool) {
         let meta = serialize_layout(layout);
         {
             let inner = self.inner.read();
@@ -57,7 +58,7 @@ impl FormatServer {
         }
         let id = inner.next;
         inner.next += 1;
-        let shared = Arc::new(meta.clone());
+        let shared: Arc<[u8]> = Arc::from(meta.as_slice());
         inner.by_meta.insert(meta, id);
         inner.by_id.insert(id, (layout.clone(), shared.clone()));
         (id, shared, true)
@@ -91,7 +92,7 @@ impl FormatServer {
         }
         let id = inner.next;
         inner.next += 1;
-        let shared = Arc::new(meta.to_vec());
+        let shared: Arc<[u8]> = Arc::from(meta);
         inner.by_meta.insert(meta.to_vec(), id);
         inner.by_id.insert(id, (layout.clone(), shared));
         Ok((id, layout, true))
@@ -102,8 +103,9 @@ impl FormatServer {
         self.inner.read().by_id.get(&id).map(|(l, _)| l.clone())
     }
 
-    /// Serialized metadata for an id.
-    pub fn meta(&self, id: u32) -> Option<Arc<Vec<u8>>> {
+    /// Serialized metadata for an id (shared — announcing it to a peer
+    /// costs a refcount bump).
+    pub fn meta(&self, id: u32) -> Option<Arc<[u8]>> {
         self.inner.read().by_id.get(&id).map(|(_, m)| m.clone())
     }
 

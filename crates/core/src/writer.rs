@@ -21,10 +21,11 @@ use pbio_types::arch::ArchProfile;
 use pbio_types::layout::Layout;
 use pbio_types::meta::serialize_layout;
 use pbio_types::schema::Schema;
-use pbio_types::value::{encode_native, RecordValue};
+use pbio_types::value::{encode_native, encode_native_into, RecordValue};
 
 use crate::error::PbioError;
 use crate::message::{put_header, KIND_DATA, KIND_FORMAT};
+use crate::pool::BufPool;
 use crate::registry::FormatServer;
 
 /// Identifier assigned to a registered format (stream-scoped for local
@@ -35,7 +36,7 @@ pub struct FormatId(pub u32);
 
 struct WriterFormat {
     layout: Arc<Layout>,
-    meta: Arc<Vec<u8>>,
+    meta: Arc<[u8]>,
     announced: bool,
 }
 
@@ -45,6 +46,9 @@ pub struct Writer {
     formats: HashMap<u32, WriterFormat>,
     next_local: u32,
     server: Option<Arc<FormatServer>>,
+    /// Scratch for value encoding ([`Writer::write_value`]); shareable via
+    /// [`Writer::with_pool`] so co-located writers recycle one freelist.
+    pool: Arc<BufPool>,
 }
 
 impl Writer {
@@ -55,6 +59,7 @@ impl Writer {
             formats: HashMap::new(),
             next_local: 0,
             server: None,
+            pool: BufPool::new(),
         }
     }
 
@@ -67,7 +72,19 @@ impl Writer {
             formats: HashMap::new(),
             next_local: 0,
             server: Some(server),
+            pool: BufPool::new(),
         }
+    }
+
+    /// Replace this writer's scratch pool with a shared one.
+    pub fn with_pool(mut self, pool: Arc<BufPool>) -> Writer {
+        self.pool = pool;
+        self
+    }
+
+    /// The writer's scratch pool (counters via [`BufPool::stats`]).
+    pub fn pool(&self) -> &Arc<BufPool> {
+        &self.pool
     }
 
     /// The writer's architecture.
@@ -88,7 +105,7 @@ impl Writer {
             None => {
                 let id = self.next_local;
                 self.next_local += 1;
-                (id, Arc::new(serialize_layout(&layout)))
+                (id, Arc::from(serialize_layout(&layout)))
             }
         };
         self.formats.entry(id).or_insert(WriterFormat {
@@ -174,12 +191,15 @@ impl Writer {
         out: &mut Vec<u8>,
     ) -> Result<(), PbioError> {
         let layout = self.layout(id)?.clone();
-        let native = encode_native(value, &layout)?;
+        let mut native = self.pool.get(layout.size());
+        encode_native_into(value, &layout, &mut native)?;
         self.write(id, &native, out)
     }
 
     /// Encode a value to this writer's native representation without writing
-    /// it (application-side data preparation).
+    /// it (application-side data preparation). Allocates per call — a test
+    /// and tooling convenience; [`Writer::write_value`] encodes through the
+    /// writer's pool instead.
     pub fn encode_value(&self, id: FormatId, value: &RecordValue) -> Result<Vec<u8>, PbioError> {
         let layout = self.layout(id)?;
         Ok(encode_native(value, layout)?)

@@ -1,0 +1,226 @@
+//! Shared immutable wire buffers.
+//!
+//! A published event is fanned out to every subscriber on a channel. If
+//! each delivery owns its bytes, one event costs one allocation *per
+//! subscriber* — exactly the copy regime NDR exists to avoid. [`WireBuf`]
+//! makes the body of a frame a reference-counted, immutable byte slice:
+//! materialized once when the event enters the daemon, then handed to any
+//! number of outbound queues by bumping a refcount. Cloning and
+//! sub-slicing never touch the bytes.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte buffer (a view into an
+/// `Arc<[u8]>`).
+///
+/// `WireBuf` dereferences to `&[u8]`, so read-side code is unchanged;
+/// producers choose between [`WireBuf::from`] (takes ownership of an
+/// existing allocation) and [`WireBuf::copy_from`] (one copy into fresh
+/// shared storage — the *single* allocation a published event pays).
+#[derive(Clone)]
+pub struct WireBuf {
+    data: Arc<[u8]>,
+    start: usize,
+    len: usize,
+}
+
+impl WireBuf {
+    /// The empty buffer. Does not allocate.
+    pub fn empty() -> WireBuf {
+        WireBuf {
+            data: Arc::from([] as [u8; 0]),
+            start: 0,
+            len: 0,
+        }
+    }
+
+    /// Copy `bytes` into fresh shared storage (one allocation).
+    pub fn copy_from(bytes: &[u8]) -> WireBuf {
+        let data: Arc<[u8]> = Arc::from(bytes);
+        WireBuf {
+            start: 0,
+            len: data.len(),
+            data,
+        }
+    }
+
+    /// A sub-slice sharing this buffer's storage. No bytes move.
+    ///
+    /// # Panics
+    /// Panics if `offset + len` exceeds this buffer's length.
+    pub fn slice(&self, offset: usize, len: usize) -> WireBuf {
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= self.len),
+            "slice {offset}+{len} out of bounds of {} byte WireBuf",
+            self.len
+        );
+        WireBuf {
+            data: self.data.clone(),
+            start: self.start + offset,
+            len,
+        }
+    }
+
+    /// Length of the view in bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bytes of the view.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
+    }
+
+    /// True when both views share storage *and* window — a refcount bump
+    /// produced one from the other (diagnostic, used in tests).
+    pub fn ptr_eq(a: &WireBuf, b: &WireBuf) -> bool {
+        Arc::ptr_eq(&a.data, &b.data) && a.start == b.start && a.len == b.len
+    }
+}
+
+impl Deref for WireBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for WireBuf {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for WireBuf {
+    /// Take ownership of `v`'s bytes. (`Arc<[u8]>` stores its refcounts
+    /// inline, so this moves the bytes into one fresh shared allocation.)
+    fn from(v: Vec<u8>) -> WireBuf {
+        let data: Arc<[u8]> = Arc::from(v);
+        WireBuf {
+            start: 0,
+            len: data.len(),
+            data,
+        }
+    }
+}
+
+impl From<Arc<[u8]>> for WireBuf {
+    /// Share an existing `Arc<[u8]>` — a refcount bump, no allocation.
+    fn from(data: Arc<[u8]>) -> WireBuf {
+        WireBuf {
+            start: 0,
+            len: data.len(),
+            data,
+        }
+    }
+}
+
+impl From<&[u8]> for WireBuf {
+    fn from(bytes: &[u8]) -> WireBuf {
+        WireBuf::copy_from(bytes)
+    }
+}
+
+impl<const N: usize> From<&[u8; N]> for WireBuf {
+    fn from(bytes: &[u8; N]) -> WireBuf {
+        WireBuf::copy_from(bytes)
+    }
+}
+
+impl PartialEq for WireBuf {
+    fn eq(&self, other: &WireBuf) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for WireBuf {}
+
+impl PartialEq<[u8]> for WireBuf {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<Vec<u8>> for WireBuf {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl fmt::Debug for WireBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "WireBuf({} bytes", self.len)?;
+        if self.start != 0 || self.len != self.data.len() {
+            write!(
+                f,
+                " @{}..{} of {}",
+                self.start,
+                self.start + self.len,
+                self.data.len()
+            )?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Default for WireBuf {
+    fn default() -> WireBuf {
+        WireBuf::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = WireBuf::copy_from(b"hello world");
+        let b = a.clone();
+        assert!(WireBuf::ptr_eq(&a, &b));
+        assert_eq!(b, *b"hello world".as_slice());
+    }
+
+    #[test]
+    fn slice_is_a_view() {
+        let a = WireBuf::from(b"hello world".to_vec());
+        let hello = a.slice(0, 5);
+        let world = a.slice(6, 5);
+        assert_eq!(&hello[..], b"hello");
+        assert_eq!(&world[..], b"world");
+        assert!(!WireBuf::ptr_eq(&a, &world));
+        // Sub-slicing a sub-slice composes offsets.
+        assert_eq!(&world.slice(1, 3)[..], b"orl");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_bounds_checked() {
+        WireBuf::copy_from(b"abc").slice(1, 3);
+    }
+
+    #[test]
+    fn empty_and_equality() {
+        assert!(WireBuf::empty().is_empty());
+        assert_eq!(WireBuf::empty(), WireBuf::from(Vec::new()));
+        assert_eq!(WireBuf::copy_from(b"ab"), b"ab".to_vec());
+        assert_ne!(WireBuf::copy_from(b"ab"), WireBuf::copy_from(b"ba"));
+    }
+
+    #[test]
+    fn from_arc_does_not_copy() {
+        let arc: Arc<[u8]> = Arc::from(b"meta".as_slice());
+        let buf = WireBuf::from(arc.clone());
+        assert_eq!(Arc::strong_count(&arc), 2);
+        assert_eq!(&buf[..], b"meta");
+    }
+}

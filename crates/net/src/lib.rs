@@ -17,17 +17,22 @@
 //!   actual PBIO/MPI/XML/CDR streams end to end,
 //! * [`frame`] — the timeout-aware session-frame codec `pbio-serv` speaks
 //!   on the wire (PBIO record streams ride inside frame bodies),
+//! * [`buf`] — [`buf::WireBuf`], the shared immutable byte buffer frame
+//!   bodies are made of, so fanning one event out to many connections is
+//!   refcount bumps rather than copies,
 //! * [`exchange`] — the measurement harness that produces the per-leg cost
 //!   breakdowns the figure binaries print.
 
 #![warn(missing_docs)]
 
+pub mod buf;
 pub mod clock;
 pub mod exchange;
 pub mod frame;
 pub mod link;
 pub mod transport;
 
+pub use buf::WireBuf;
 pub use clock::VirtualClock;
 pub use exchange::{measure_leg, time_avg, LegCosts, RoundTripCosts};
 pub use frame::{read_frame, write_frame, Frame, FrameError};

@@ -14,20 +14,22 @@
 //!   pairs get a DCG conversion compiled on first contact with the format.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::Write;
+use std::io::{BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pbio::{PbioError, Reader, RecordView};
+use pbio::{BufPool, PbioError, PooledBuf, Reader, RecordView};
 use pbio_chan::filter::Predicate;
 use pbio_chan::wire::serialize_predicate;
-use pbio_net::frame::{read_frame, write_frame, Frame, FrameError};
+use pbio_net::frame::{
+    read_frame, read_frame_body, read_frame_header, write_frame_raw, Frame, FrameError,
+};
 use pbio_types::arch::ArchProfile;
 use pbio_types::layout::Layout;
 use pbio_types::meta::serialize_layout;
 use pbio_types::schema::Schema;
-use pbio_types::value::{encode_native, RecordValue};
+use pbio_types::value::{encode_native_into, RecordValue};
 
 use crate::error::ServError;
 use crate::protocol::*;
@@ -61,9 +63,16 @@ pub struct ClientStats {
     pub converted_events: u64,
 }
 
+/// Receive-buffer size: large enough that one of the daemon's coalesced
+/// write batches arrives in a single read syscall.
+const READ_BUF_SIZE: usize = 64 * 1024;
+
 /// A blocking connection to a [`crate::ServDaemon`].
 pub struct ServClient {
+    /// Write half (and the socket handle timeouts are armed on).
     stream: TcpStream,
+    /// Buffered read half of the same socket.
+    rx: BufReader<TcpStream>,
     profile: ArchProfile,
     reader: Reader,
     /// Daemon-global format id -> this client's native layout (for
@@ -71,8 +80,12 @@ pub struct ServClient {
     formats: HashMap<u32, Arc<Layout>>,
     /// Frames that arrived while awaiting an acknowledgement.
     pending: VecDeque<Frame>,
-    /// Body of the event currently viewed (zero-copy views borrow it).
-    event_buf: Vec<u8>,
+    /// Scratch pool: frame bodies and value-encoding buffers cycle
+    /// through it, so the steady-state decode path never allocates.
+    pool: Arc<BufPool>,
+    /// Body of the event currently viewed (zero-copy views borrow it);
+    /// returns to the pool when the next event replaces it.
+    event_buf: PooledBuf,
     timeout: Duration,
     next_token: u32,
     stats: ClientStats,
@@ -86,23 +99,23 @@ impl ServClient {
     ) -> Result<ServClient, ServError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let rx = BufReader::with_capacity(READ_BUF_SIZE, stream.try_clone()?);
+        let pool = BufPool::new();
+        let event_buf = pool.get(0);
         let mut client = ServClient {
             stream,
+            rx,
             profile: profile.clone(),
             reader: Reader::new(profile),
             formats: HashMap::new(),
             pending: VecDeque::new(),
-            event_buf: Vec::new(),
+            pool,
+            event_buf,
             timeout: DEFAULT_TIMEOUT,
             next_token: 0,
             stats: ClientStats::default(),
         };
-        client.send(Frame::with_body(
-            K_HELLO,
-            PROTOCOL_VERSION,
-            0,
-            profile.name.as_bytes().to_vec(),
-        ))?;
+        client.send_raw(K_HELLO, PROTOCOL_VERSION, 0, profile.name.as_bytes())?;
         let ack = client.await_ack(K_HELLO_ACK, PROTOCOL_VERSION)?;
         debug_assert_eq!(ack.kind, K_HELLO_ACK);
         Ok(client)
@@ -128,7 +141,7 @@ impl ServClient {
         let meta = serialize_layout(&layout);
         let token = self.next_token;
         self.next_token += 1;
-        self.send(Frame::with_body(K_FORMAT, token, 0, meta))?;
+        self.send_raw(K_FORMAT, token, 0, &meta)?;
         let ack = self.await_ack(K_FORMAT_ACK, token)?;
         self.formats.insert(ack.b, layout);
         Ok(ack.b)
@@ -138,12 +151,7 @@ impl ServClient {
     pub fn open_channel(&mut self, name: &str) -> Result<u32, ServError> {
         let token = self.next_token;
         self.next_token += 1;
-        self.send(Frame::with_body(
-            K_CHANNEL,
-            token,
-            0,
-            name.as_bytes().to_vec(),
-        ))?;
+        self.send_raw(K_CHANNEL, token, 0, name.as_bytes())?;
         Ok(self.await_ack(K_CHANNEL_ACK, token)?.b)
     }
 
@@ -163,7 +171,7 @@ impl ServClient {
             Some(p) => (1, serialize_predicate(p)),
             None => (0, Vec::new()),
         };
-        self.send(Frame::with_body(K_SUBSCRIBE, channel, flagged, body))?;
+        self.send_raw(K_SUBSCRIBE, channel, flagged, &body)?;
         self.await_ack(K_SUBSCRIBE_ACK, channel)?;
         Ok(())
     }
@@ -183,12 +191,7 @@ impl ServClient {
                 layout.size()
             )));
         }
-        self.send(Frame::with_body(
-            K_PUBLISH,
-            channel,
-            format,
-            native.to_vec(),
-        ))
+        self.send_raw(K_PUBLISH, channel, format, native)
     }
 
     /// Publish a dynamic value, encoding it through the registered
@@ -203,9 +206,11 @@ impl ServClient {
         let layout = self
             .formats
             .get(&format)
-            .ok_or(ServError::UnknownFormat(format))?;
-        let native = encode_native(value, layout).map_err(PbioError::from)?;
-        self.send(Frame::with_body(K_PUBLISH, channel, format, native))
+            .ok_or(ServError::UnknownFormat(format))?
+            .clone();
+        let mut native = self.pool.get(layout.size());
+        encode_native_into(value, &layout, &mut native).map_err(PbioError::from)?;
+        self.send_raw(K_PUBLISH, channel, format, &native)
     }
 
     /// Wait up to `timeout` for the next event. Returns `Ok(None)` when
@@ -215,42 +220,64 @@ impl ServClient {
     pub fn poll(&mut self, timeout: Duration) -> Result<Option<Event<'_>>, ServError> {
         let deadline = Instant::now() + timeout;
         loop {
-            let frame = match self.pending.pop_front() {
-                Some(f) => f,
+            // One frame per iteration: (kind, a, b) plus its body in a
+            // pooled buffer. The steady state (frames read off the
+            // socket, bodies cycling through the pool) allocates nothing.
+            let (kind, a, b, body) = match self.pending.pop_front() {
+                Some(f) => {
+                    let mut buf = self.pool.get(f.body.len());
+                    buf.extend_from_slice(&f.body);
+                    (f.kind, f.a, f.b, buf)
+                }
                 None => {
-                    let now = Instant::now();
-                    if now >= deadline {
-                        return Ok(None);
+                    // Arm the socket timeout only when the next read will
+                    // actually hit the socket; frames already sitting in
+                    // the receive buffer cost no syscalls at all.
+                    if self.rx.buffer().is_empty() {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Ok(None);
+                        }
+                        self.stream
+                            .set_read_timeout(Some((deadline - now).max(MIN_TIMEOUT)))?;
                     }
-                    self.stream
-                        .set_read_timeout(Some((deadline - now).max(MIN_TIMEOUT)))?;
-                    match read_frame(&mut self.stream) {
-                        Ok(f) => f,
+                    let header = match read_frame_header(&mut self.rx) {
+                        Ok(h) => h,
                         Err(FrameError::Timeout) => return Ok(None),
                         Err(e) => return Err(e.into()),
-                    }
+                    };
+                    let mut buf = self.pool.get(header.len);
+                    read_frame_body(&mut self.rx, header.len, &mut buf)?;
+                    (header.kind, header.a, header.b, buf)
                 }
             };
-            match frame.kind {
+            match kind {
                 K_ANNOUNCE => {
-                    self.reader.on_format(frame.a, &frame.body)?;
+                    self.reader.on_format(a, &body)?;
                 }
                 K_EVENT => {
                     self.stats.events += 1;
-                    if self.reader.is_zero_copy(frame.b) {
+                    if self.reader.is_zero_copy(b) {
                         self.stats.zero_copy_events += 1;
                     } else {
                         self.stats.converted_events += 1;
                     }
-                    self.event_buf = frame.body;
-                    let view = self.reader.on_data(frame.b, &self.event_buf)?;
+                    // The previous event's buffer returns to the pool
+                    // here, ready for the next frame read.
+                    self.event_buf = body;
+                    let view = self.reader.on_data(b, &self.event_buf)?;
                     return Ok(Some(Event {
-                        channel: frame.a,
-                        format: frame.b,
+                        channel: a,
+                        format: b,
                         view,
                     }));
                 }
-                K_ERROR => return Err(remote_error(&frame)),
+                K_ERROR => {
+                    return Err(ServError::Remote {
+                        code: a,
+                        message: String::from_utf8_lossy(&body).into_owned(),
+                    })
+                }
                 other => {
                     return Err(ServError::Protocol(format!(
                         "unexpected frame kind {other:#04x} while polling"
@@ -281,7 +308,7 @@ impl ServClient {
     /// acknowledgement (bounded by the client timeout), so queued frames
     /// are flushed on both sides before the socket closes.
     pub fn disconnect(mut self) -> Result<(), ServError> {
-        self.send(Frame::control(K_BYE, 0, 0))?;
+        self.send_raw(K_BYE, 0, 0, &[])?;
         let deadline = Instant::now() + self.timeout;
         loop {
             let now = Instant::now();
@@ -290,7 +317,7 @@ impl ServClient {
             }
             self.stream
                 .set_read_timeout(Some((deadline - now).max(MIN_TIMEOUT)))?;
-            match read_frame(&mut self.stream) {
+            match read_frame(&mut self.rx) {
                 Ok(f) if f.kind == K_BYE_ACK => return Ok(()),
                 // Late events/announcements racing the goodbye: discard.
                 Ok(f) if f.kind == K_EVENT || f.kind == K_ANNOUNCE => continue,
@@ -308,8 +335,10 @@ impl ServClient {
         }
     }
 
-    fn send(&mut self, frame: Frame) -> Result<(), ServError> {
-        write_frame(&mut self.stream, &frame)?;
+    /// Write one frame, borrowing the body from the caller: a stack
+    /// header plus a vectored write, no intermediate buffer.
+    fn send_raw(&mut self, kind: u8, a: u32, b: u32, body: &[u8]) -> Result<(), ServError> {
+        write_frame_raw(&mut self.stream, kind, a, b, body)?;
         self.stream.flush()?;
         Ok(())
     }
@@ -325,7 +354,7 @@ impl ServClient {
             }
             self.stream
                 .set_read_timeout(Some((deadline - now).max(MIN_TIMEOUT)))?;
-            match read_frame(&mut self.stream) {
+            match read_frame(&mut self.rx) {
                 Ok(f) if f.kind == kind && f.a == token => return Ok(f),
                 Ok(f) if f.kind == K_EVENT || f.kind == K_ANNOUNCE => self.pending.push_back(f),
                 Ok(f) if f.kind == K_ERROR => return Err(remote_error(&f)),

@@ -18,27 +18,43 @@
 //! policy: publishers never block on a stalled consumer, and control
 //! frames (acks, format announcements) are exempt so the session itself
 //! cannot be dropped.
+//!
+//! The fan-out path is allocation-flat: a published event is copied once
+//! into a shared [`WireBuf`] as it is read off the publisher's socket
+//! (its receive scratch comes from a capacity-classed [`BufPool`]), and
+//! every subscriber queue, ANNOUNCE body, and outgoing frame after that
+//! is a refcount bump. Writer threads drain their queues in batches
+//! through vectored writes — a hot connection pays ~one syscall per
+//! [`pbio_net::frame::MAX_WRITE_BATCH`] frames, not per event.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::convert::Infallible;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use pbio::FormatServer;
+use pbio::{BufPool, FormatServer};
 use pbio_chan::dispatch::{DeliveryOutcome, Fanout, Subscriber, SubscriptionId};
 use pbio_chan::filter::{FilterProgram, Predicate};
 use pbio_chan::wire::deserialize_predicate;
-use pbio_net::frame::{read_frame, write_frame, Frame, FrameError, FRAME_HEADER_SIZE};
+use pbio_net::buf::WireBuf;
+use pbio_net::frame::{
+    read_frame, read_frame_body, read_frame_header, write_frame, write_frames, Frame, FrameError,
+    FRAME_HEADER_SIZE, MAX_WRITE_BATCH,
+};
 use pbio_types::arch::ArchProfile;
 
 use crate::protocol::*;
 
 /// How often a blocked connection thread wakes to check for shutdown.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// Receive-buffer size for each connection's read side — large enough to
+/// swallow a full writer batch ([`MAX_WRITE_BATCH`] frames) in one syscall.
+const READ_BUF_SIZE: usize = 64 * 1024;
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -73,6 +89,15 @@ pub struct ServStats {
     pub bytes_in: u64,
     /// Frame bytes sent (headers + bodies).
     pub bytes_out: u64,
+    /// Frames written as part of a coalesced batch of ≥ 2 frames.
+    pub frames_batched: u64,
+    /// Vectored writes issued by writer threads (each covers a whole
+    /// batch; `bytes_out / writes` is the realized batching factor).
+    pub writes: u64,
+    /// Receive-scratch requests served from the buffer pool.
+    pub pool_hits: u64,
+    /// Receive-scratch requests that had to allocate.
+    pub pool_misses: u64,
 }
 
 #[derive(Default)]
@@ -84,10 +109,13 @@ struct Counters {
     dropped: AtomicU64,
     bytes_in: AtomicU64,
     bytes_out: AtomicU64,
+    frames_batched: AtomicU64,
+    writes: AtomicU64,
 }
 
 impl Counters {
-    fn snapshot(&self) -> ServStats {
+    fn snapshot(&self, pool: &BufPool) -> ServStats {
+        let pool = pool.stats();
         ServStats {
             active_connections: self.active_connections.load(Ordering::Relaxed),
             events_in: self.events_in.load(Ordering::Relaxed),
@@ -96,6 +124,10 @@ impl Counters {
             dropped: self.dropped.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            frames_batched: self.frames_batched.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
         }
     }
 }
@@ -170,17 +202,39 @@ impl Outbound {
 
     /// Next frame to write; blocks. `None` once closed *and* drained, so
     /// already-queued acks still reach the peer after a graceful close.
+    #[cfg(test)]
     fn pop(&self) -> Option<Frame> {
+        let mut batch = Vec::with_capacity(1);
+        if self.pop_batch(&mut batch, 1) {
+            batch.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Drain up to `max` queued frames into `out`; blocks until at least
+    /// one frame is available. Returns `false` once closed *and* drained
+    /// (already-queued acks still reach the peer after a graceful close).
+    /// Everything already queued when the writer wakes goes out in one
+    /// batch — the coalescing that turns a hot channel's frame-per-event
+    /// stream into ~one syscall per batch.
+    fn pop_batch(&self, out: &mut Vec<Frame>, max: usize) -> bool {
         let mut q = self.q.lock().unwrap_or_else(|p| p.into_inner());
         loop {
-            if let Some(f) = q.frames.pop_front() {
-                if f.kind == K_EVENT {
-                    q.events -= 1;
+            if !q.frames.is_empty() {
+                while out.len() < max {
+                    let Some(f) = q.frames.pop_front() else {
+                        break;
+                    };
+                    if f.kind == K_EVENT {
+                        q.events -= 1;
+                    }
+                    out.push(f);
                 }
-                return Some(f);
+                return true;
             }
             if q.closed {
-                return None;
+                return false;
             }
             q = self.ready.wait(q).unwrap_or_else(|p| p.into_inner());
         }
@@ -190,11 +244,48 @@ impl Outbound {
 // ---------------------------------------------------------------------------
 // Per-connection shared state and the remote subscriber.
 
+/// A snapshot of one connection's writer-side counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Daemon-assigned connection id (echoed in the HELLO ack).
+    pub conn: u32,
+    /// Frame bytes written to this connection (headers + bodies).
+    pub bytes_sent: u64,
+    /// Frames written to this connection.
+    pub frames_sent: u64,
+    /// Frames that went out as part of a coalesced batch of ≥ 2.
+    pub frames_batched: u64,
+    /// Vectored writes issued for this connection.
+    pub writes: u64,
+}
+
+#[derive(Default)]
+struct ConnCounters {
+    bytes_sent: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_batched: AtomicU64,
+    writes: AtomicU64,
+}
+
 struct ConnShared {
+    id: u32,
     outbound: Outbound,
     /// Format ids already announced on this connection.
     announced: Mutex<HashSet<u32>>,
     alive: AtomicBool,
+    counters: ConnCounters,
+}
+
+impl ConnShared {
+    fn stats(&self) -> ConnStats {
+        ConnStats {
+            conn: self.id,
+            bytes_sent: self.counters.bytes_sent.load(Ordering::Relaxed),
+            frames_sent: self.counters.frames_sent.load(Ordering::Relaxed),
+            frames_batched: self.counters.frames_batched.load(Ordering::Relaxed),
+            writes: self.counters.writes.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A subscription as seen by a channel's [`Fanout`]: the filter decision
@@ -238,7 +329,7 @@ impl Subscriber for RemoteSubscriber {
         }
     }
 
-    fn deliver(&mut self, format: u32, wire: &[u8]) -> Result<DeliveryOutcome, Infallible> {
+    fn deliver(&mut self, format: u32, wire: &WireBuf) -> Result<DeliveryOutcome, Infallible> {
         // Announce the format once per connection, strictly before its
         // first event; the lock spans both enqueues so a concurrent
         // publisher on another channel cannot interleave.
@@ -249,17 +340,22 @@ impl Subscriber for RemoteSubscriber {
             .unwrap_or_else(|p| p.into_inner());
         if !ann.contains(&format) {
             if let Some(meta) = self.formats.meta(format) {
-                self.conn
-                    .outbound
-                    .send(Frame::with_body(K_ANNOUNCE, format, 0, meta.to_vec()));
+                // The registry's metadata is already shared storage.
+                self.conn.outbound.send(Frame::with_body(
+                    K_ANNOUNCE,
+                    format,
+                    0,
+                    WireBuf::from(meta),
+                ));
                 ann.insert(format);
             }
         }
+        // Per-subscriber cost of an event: one refcount bump.
         let outcome = self.conn.outbound.send(Frame::with_body(
             K_EVENT,
             self.channel,
             format,
-            wire.to_vec(),
+            wire.clone(),
         ));
         drop(ann);
         Ok(match outcome {
@@ -288,9 +384,19 @@ struct State {
     shutdown: AtomicBool,
     queue_capacity: usize,
     next_conn: AtomicU64,
+    /// Receive-scratch pool, shared by every connection's read loop.
+    pool: Arc<BufPool>,
+    /// Live connections, for per-connection stats.
+    conns: Mutex<Vec<Weak<ConnShared>>>,
 }
 
 impl State {
+    fn track(&self, conn: &Arc<ConnShared>) {
+        let mut conns = self.conns.lock().unwrap_or_else(|p| p.into_inner());
+        conns.retain(|w| w.strong_count() > 0);
+        conns.push(Arc::downgrade(conn));
+    }
+
     fn open_channel(&self, name: &str) -> u32 {
         let mut chans = self.channels.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(&id) = chans.by_name.get(name) {
@@ -345,6 +451,8 @@ impl ServDaemon {
             shutdown: AtomicBool::new(false),
             queue_capacity: config.queue_capacity,
             next_conn: AtomicU64::new(0),
+            pool: BufPool::new(),
+            conns: Mutex::new(Vec::new()),
         });
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
         let accept_state = state.clone();
@@ -372,7 +480,17 @@ impl ServDaemon {
 
     /// Current counters.
     pub fn stats(&self) -> ServStats {
-        self.state.stats.snapshot()
+        self.state.stats.snapshot(&self.state.pool)
+    }
+
+    /// Writer-side counters for each connection still alive.
+    pub fn conn_stats(&self) -> Vec<ConnStats> {
+        let conns = self.state.conns.lock().unwrap_or_else(|p| p.into_inner());
+        conns
+            .iter()
+            .filter_map(|w| w.upgrade())
+            .map(|c| c.stats())
+            .collect()
     }
 
     /// Stop accepting, disconnect everyone, and join all threads.
@@ -441,9 +559,12 @@ fn send_error(out: &Outbound, code: u32, message: impl Into<String>) {
     ));
 }
 
-fn handle_connection(mut stream: TcpStream, state: Arc<State>) {
+fn handle_connection(stream: TcpStream, state: Arc<State>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    // Buffer the receive side: a publisher burst (or a client's batched
+    // writer) lands in ~one read syscall instead of two per frame.
+    let mut stream = io::BufReader::with_capacity(READ_BUF_SIZE, stream);
 
     // --- Handshake: one HELLO, answered directly (no writer thread yet).
     let hello = loop {
@@ -459,7 +580,7 @@ fn handle_connection(mut stream: TcpStream, state: Arc<State>) {
     };
     if hello.kind != K_HELLO {
         let _ = write_frame(
-            &mut stream,
+            stream.get_mut(),
             &Frame::with_body(K_ERROR, E_PROTOCOL, 0, b"expected HELLO".to_vec()),
         );
         return;
@@ -467,7 +588,7 @@ fn handle_connection(mut stream: TcpStream, state: Arc<State>) {
     if hello.a != PROTOCOL_VERSION {
         let msg = format!("unsupported protocol version {}", hello.a);
         let _ = write_frame(
-            &mut stream,
+            stream.get_mut(),
             &Frame::with_body(K_ERROR, E_VERSION, 0, msg.into_bytes()),
         );
         return;
@@ -478,14 +599,14 @@ fn handle_connection(mut stream: TcpStream, state: Arc<State>) {
         .is_some();
     if !arch_ok {
         let _ = write_frame(
-            &mut stream,
+            stream.get_mut(),
             &Frame::with_body(K_ERROR, E_ARCH, 0, b"unknown architecture profile".to_vec()),
         );
         return;
     }
     let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed) as u32;
     if write_frame(
-        &mut stream,
+        stream.get_mut(),
         &Frame::control(K_HELLO_ACK, PROTOCOL_VERSION, conn_id),
     )
     .is_err()
@@ -495,11 +616,14 @@ fn handle_connection(mut stream: TcpStream, state: Arc<State>) {
 
     // --- Session: all further writes go through the outbound queue.
     let conn = Arc::new(ConnShared {
+        id: conn_id,
         outbound: Outbound::new(state.queue_capacity),
         announced: Mutex::new(HashSet::new()),
         alive: AtomicBool::new(true),
+        counters: ConnCounters::default(),
     });
-    let writer = match stream.try_clone() {
+    state.track(&conn);
+    let writer = match stream.get_ref().try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
@@ -519,8 +643,11 @@ fn handle_connection(mut stream: TcpStream, state: Arc<State>) {
     let mut subscriptions: Vec<(u32, SubscriptionId)> = Vec::new();
 
     loop {
-        let frame = match read_frame(&mut stream) {
-            Ok(f) => f,
+        // Steady-state receive: header first, then the body into a
+        // pool-recycled scratch buffer sized by the header — no per-frame
+        // allocation once the pool is warm.
+        let header = match read_frame_header(&mut stream) {
+            Ok(h) => h,
             Err(FrameError::Timeout) => {
                 if state.shutdown.load(Ordering::SeqCst) || !conn.alive.load(Ordering::Relaxed) {
                     break;
@@ -529,29 +656,33 @@ fn handle_connection(mut stream: TcpStream, state: Arc<State>) {
             }
             Err(_) => break,
         };
-        state.stats.bytes_in.fetch_add(
-            (FRAME_HEADER_SIZE + frame.body.len()) as u64,
-            Ordering::Relaxed,
-        );
-        match frame.kind {
-            K_FORMAT => match state.formats.register_meta(&frame.body) {
+        let mut body = state.pool.get(header.len);
+        if read_frame_body(&mut stream, header.len, &mut body).is_err() {
+            break;
+        }
+        state
+            .stats
+            .bytes_in
+            .fetch_add((FRAME_HEADER_SIZE + header.len) as u64, Ordering::Relaxed);
+        match header.kind {
+            K_FORMAT => match state.formats.register_meta(&body) {
                 Ok((id, _, _)) => {
                     conn.outbound
-                        .send(Frame::control(K_FORMAT_ACK, frame.a, id));
+                        .send(Frame::control(K_FORMAT_ACK, header.a, id));
                 }
                 Err(e) => send_error(&conn.outbound, E_FORMAT, e.to_string()),
             },
-            K_CHANNEL => match std::str::from_utf8(&frame.body) {
+            K_CHANNEL => match std::str::from_utf8(&body) {
                 Ok(name) => {
                     let id = state.open_channel(name);
                     conn.outbound
-                        .send(Frame::control(K_CHANNEL_ACK, frame.a, id));
+                        .send(Frame::control(K_CHANNEL_ACK, header.a, id));
                 }
                 Err(_) => send_error(&conn.outbound, E_PROTOCOL, "channel name is not UTF-8"),
             },
             K_SUBSCRIBE => {
-                let predicate = if frame.b == 1 {
-                    match deserialize_predicate(&frame.body) {
+                let predicate = if header.b == 1 {
+                    match deserialize_predicate(&body) {
                         Ok(p) => Some(p),
                         Err(e) => {
                             send_error(&conn.outbound, E_PREDICATE, e.to_string());
@@ -561,17 +692,17 @@ fn handle_connection(mut stream: TcpStream, state: Arc<State>) {
                 } else {
                     None
                 };
-                let Some(fanout) = state.channel(frame.a) else {
+                let Some(fanout) = state.channel(header.a) else {
                     send_error(
                         &conn.outbound,
                         E_CHANNEL,
-                        format!("unknown channel {}", frame.a),
+                        format!("unknown channel {}", header.a),
                     );
                     continue;
                 };
                 let sub = RemoteSubscriber {
                     conn: conn.clone(),
-                    channel: frame.a,
+                    channel: header.a,
                     predicate,
                     compiled: HashMap::new(),
                     formats: state.formats.clone(),
@@ -580,44 +711,47 @@ fn handle_connection(mut stream: TcpStream, state: Arc<State>) {
                     .lock()
                     .unwrap_or_else(|p| p.into_inner())
                     .subscribe(sub);
-                subscriptions.push((frame.a, id));
+                subscriptions.push((header.a, id));
                 conn.outbound
-                    .send(Frame::control(K_SUBSCRIBE_ACK, frame.a, 0));
+                    .send(Frame::control(K_SUBSCRIBE_ACK, header.a, 0));
             }
             K_PUBLISH => {
                 state.stats.events_in.fetch_add(1, Ordering::Relaxed);
-                let Some(layout) = state.formats.lookup(frame.b) else {
+                let Some(layout) = state.formats.lookup(header.b) else {
                     send_error(
                         &conn.outbound,
                         E_FORMAT,
-                        format!("unknown format {}", frame.b),
+                        format!("unknown format {}", header.b),
                     );
                     continue;
                 };
-                if frame.body.len() < layout.size() {
+                if body.len() < layout.size() {
                     send_error(
                         &conn.outbound,
                         E_PROTOCOL,
                         format!(
                             "event payload is {} bytes, format {} requires {}",
-                            frame.body.len(),
-                            frame.b,
+                            body.len(),
+                            header.b,
                             layout.size()
                         ),
                     );
                     continue;
                 }
-                let Some(fanout) = state.channel(frame.a) else {
+                let Some(fanout) = state.channel(header.a) else {
                     send_error(
                         &conn.outbound,
                         E_CHANNEL,
-                        format!("unknown channel {}", frame.a),
+                        format!("unknown channel {}", header.a),
                     );
                     continue;
                 };
+                // The one allocation a published event costs, however
+                // many subscribers it fans out to: its shared body.
+                let wire = WireBuf::copy_from(&body);
                 let mut fanout = fanout.lock().unwrap_or_else(|p| p.into_inner());
                 let before = fanout.stats();
-                let _ = fanout.publish(frame.b, &frame.body);
+                let _ = fanout.publish_shared(header.b, &wire);
                 let after = fanout.stats();
                 state
                     .stats
@@ -659,20 +793,39 @@ fn handle_connection(mut stream: TcpStream, state: Arc<State>) {
 }
 
 fn writer_loop(mut stream: TcpStream, conn: Arc<ConnShared>, state: Arc<State>) {
-    while let Some(frame) = conn.outbound.pop() {
-        if write_frame(&mut stream, &frame).is_err() {
-            // Peer gone: stop queuing for it and wake the reader.
-            conn.alive.store(false, Ordering::Relaxed);
-            conn.outbound.close();
-            return;
+    let mut batch: Vec<Frame> = Vec::with_capacity(MAX_WRITE_BATCH);
+    loop {
+        batch.clear();
+        if !conn.outbound.pop_batch(&mut batch, MAX_WRITE_BATCH) {
+            break;
         }
-        if frame.kind == K_EVENT {
-            state.stats.events_out.fetch_add(1, Ordering::Relaxed);
+        let bytes = match write_frames(&mut stream, &batch) {
+            Ok(n) => n as u64,
+            Err(_) => {
+                // Peer gone: stop queuing for it and wake the reader.
+                conn.alive.store(false, Ordering::Relaxed);
+                conn.outbound.close();
+                return;
+            }
+        };
+        let events = batch.iter().filter(|f| f.kind == K_EVENT).count() as u64;
+        state.stats.events_out.fetch_add(events, Ordering::Relaxed);
+        state.stats.bytes_out.fetch_add(bytes, Ordering::Relaxed);
+        state.stats.writes.fetch_add(1, Ordering::Relaxed);
+        conn.counters.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+        conn.counters
+            .frames_sent
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        conn.counters.writes.fetch_add(1, Ordering::Relaxed);
+        if batch.len() > 1 {
+            state
+                .stats
+                .frames_batched
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            conn.counters
+                .frames_batched
+                .fetch_add(batch.len() as u64, Ordering::Relaxed);
         }
-        state.stats.bytes_out.fetch_add(
-            (FRAME_HEADER_SIZE + frame.body.len()) as u64,
-            Ordering::Relaxed,
-        );
     }
     let _ = stream.shutdown(Shutdown::Write);
 }
@@ -705,7 +858,7 @@ mod tests {
         out.close();
         let mut kinds_bodies: Vec<(u8, Vec<u8>)> = Vec::new();
         while let Some(f) = out.pop() {
-            kinds_bodies.push((f.kind, f.body));
+            kinds_bodies.push((f.kind, f.body.to_vec()));
         }
         assert_eq!(
             kinds_bodies,
@@ -715,6 +868,33 @@ mod tests {
                 (K_EVENT, vec![3]),
             ]
         );
+    }
+
+    #[test]
+    fn pop_batch_drains_everything_queued() {
+        let out = Outbound::new(8);
+        for i in 0..5u8 {
+            out.send(Frame::with_body(K_EVENT, 0, 0, vec![i]));
+        }
+        out.send(Frame::control(K_SUBSCRIBE_ACK, 0, 0));
+        let mut batch = Vec::new();
+        assert!(out.pop_batch(&mut batch, MAX_WRITE_BATCH));
+        assert_eq!(batch.len(), 6, "one wakeup drains the whole queue");
+        // Event accounting went down with the drain: room for more again.
+        for i in 0..8u8 {
+            assert!(matches!(
+                out.send(Frame::with_body(K_EVENT, 0, 0, vec![i])),
+                Enqueue::Sent
+            ));
+        }
+        let mut rest = Vec::new();
+        assert!(out.pop_batch(&mut rest, 3));
+        assert_eq!(rest.len(), 3, "batch size is capped by `max`");
+        out.close();
+        let mut tail = Vec::new();
+        assert!(out.pop_batch(&mut tail, MAX_WRITE_BATCH));
+        assert_eq!(tail.len(), 5, "close still drains queued frames");
+        assert!(!out.pop_batch(&mut tail, MAX_WRITE_BATCH));
     }
 
     #[test]
@@ -743,6 +923,8 @@ mod tests {
             shutdown: AtomicBool::new(false),
             queue_capacity: 4,
             next_conn: AtomicU64::new(0),
+            pool: BufPool::new(),
+            conns: Mutex::new(Vec::new()),
         };
         let a = state.open_channel("alpha");
         let b = state.open_channel("beta");

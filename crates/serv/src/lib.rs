@@ -35,5 +35,5 @@ pub mod error;
 pub mod protocol;
 
 pub use client::{ClientStats, Event, ServClient};
-pub use daemon::{ServConfig, ServDaemon, ServStats};
+pub use daemon::{ConnStats, ServConfig, ServDaemon, ServStats};
 pub use error::ServError;

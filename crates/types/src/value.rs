@@ -235,10 +235,27 @@ const VAR_REGION_ALIGN: usize = 8;
 /// Encode `value` as a native byte image for `layout` (fixed part followed by
 /// the variable region, exactly the bytes a sender on that architecture would
 /// hold in memory and hand to PBIO).
+///
+/// Allocates the image fresh per call — a convenience for tests and one-shot
+/// tools. Repeated encoders use [`encode_native_into`] with a reused buffer.
 pub fn encode_native(value: &RecordValue, layout: &Layout) -> Result<Vec<u8>, TypeError> {
-    let mut buf = vec![0u8; layout.size()];
-    encode_record(value, layout, 0, &mut buf)?;
+    let mut buf = Vec::new();
+    encode_native_into(value, layout, &mut buf)?;
     Ok(buf)
+}
+
+/// [`encode_native`] into a caller-supplied buffer (cleared and resized;
+/// its capacity is reused), so repeated encoding — a publisher encoding a
+/// value per event, a pooled scratch buffer — allocates nothing in steady
+/// state.
+pub fn encode_native_into(
+    value: &RecordValue,
+    layout: &Layout,
+    buf: &mut Vec<u8>,
+) -> Result<(), TypeError> {
+    buf.clear();
+    buf.resize(layout.size(), 0);
+    encode_record(value, layout, 0, buf)
 }
 
 fn encode_record(

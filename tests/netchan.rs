@@ -298,3 +298,100 @@ fn slow_subscriber_backpressure_drops_oldest_not_newest() {
     slow.disconnect().unwrap();
     daemon.shutdown();
 }
+
+#[test]
+fn drop_oldest_accounting_is_exact_across_many_slow_subscribers() {
+    // Several subscribers behind tiny queues, flooded while none of them
+    // drain: the batched writer and the drop-oldest policy together must
+    // keep the global ledger exact — every (subscriber, event) pair is
+    // either written to a socket or counted as dropped, never both, never
+    // neither — and each subscriber still sees an ordered, newest-ending
+    // suffix of the flood.
+    const SUBS: usize = 3;
+    const TOTAL: i32 = 400;
+
+    let daemon = ServDaemon::bind_with("127.0.0.1:0", ServConfig { queue_capacity: 8 }).unwrap();
+    let addr = daemon.local_addr();
+    let schema = telemetry_schema();
+
+    let mut publisher = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let fmt = publisher.register_format(&schema).unwrap();
+    let chan = publisher.open_channel("firehose").unwrap();
+
+    let mut subs = Vec::new();
+    for _ in 0..SUBS {
+        let mut s = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+        let c = s.open_channel("firehose").unwrap();
+        s.subscribe(c, &schema, None).unwrap();
+        subs.push(s);
+    }
+
+    for i in 0..TOTAL {
+        publisher
+            .publish_value(chan, fmt, &reading(i, 0.0, false))
+            .unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while daemon.stats().events_in < TOTAL as u64 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(daemon.stats().events_in, TOTAL as u64);
+
+    // Drain every subscriber to exhaustion; the flood has fully landed, so
+    // once a poll times out that subscriber's stream is finished.
+    let mut received_total = 0u64;
+    for (n, sub) in subs.iter_mut().enumerate() {
+        let mut seqs = Vec::new();
+        let drain_deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < drain_deadline {
+            match sub.poll(Duration::from_millis(300)).unwrap() {
+                Some(event) => {
+                    let Some(Value::I64(seq)) = event.view.get("seq") else {
+                        panic!()
+                    };
+                    seqs.push(seq);
+                }
+                None => break,
+            }
+        }
+        assert!(!seqs.is_empty(), "subscriber {n} starved");
+        assert!(
+            seqs.windows(2).all(|w| w[0] < w[1]),
+            "subscriber {n} saw out-of-order delivery"
+        );
+        assert_eq!(
+            *seqs.last().unwrap(),
+            i64::from(TOTAL - 1),
+            "subscriber {n} lost the newest event"
+        );
+        received_total += seqs.len() as u64;
+    }
+
+    let stats = daemon.stats();
+    assert_eq!(
+        stats.events_out + stats.dropped,
+        TOTAL as u64 * SUBS as u64,
+        "ledger must balance: {stats:?}"
+    );
+    assert_eq!(
+        stats.events_out, received_total,
+        "every written event was received exactly once"
+    );
+    assert_eq!(stats.filtered_at_source, 0);
+    assert!(stats.dropped > 0, "the flood must overrun a queue of 8");
+    assert!(stats.writes > 0 && stats.bytes_out > 0);
+    // Per-connection ledgers sum to the global one (plus control traffic:
+    // acks and the one ANNOUNCE per subscriber are frames too).
+    let conn_frames: u64 = daemon.conn_stats().iter().map(|c| c.frames_sent).sum();
+    assert!(
+        conn_frames >= received_total,
+        "per-connection frame counts ({conn_frames}) must cover all \
+         delivered events ({received_total})"
+    );
+
+    publisher.disconnect().unwrap();
+    for s in subs {
+        s.disconnect().unwrap();
+    }
+    daemon.shutdown();
+}

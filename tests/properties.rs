@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use pbio::{CodegenMode, DcgConverter, InterpConverter, Plan};
+use pbio::{BufPool, CodegenMode, DcgConverter, InterpConverter, Plan};
 use pbio_cdr::CdrCodec;
 use pbio_integration::{profile_strategy, schema_and_value, var_schema_and_value};
 use pbio_mpi::{mpi_pack, mpi_unpack, packed_size, Datatype};
@@ -53,6 +53,52 @@ proptest! {
         prop_assert_eq!(&a, &b, "interp vs naive DCG");
         prop_assert_eq!(&a, &c, "interp vs optimized DCG");
         prop_assert_eq!(decode_native(&a, &dlay).unwrap(), value);
+    }
+
+    /// Converting through a pooled buffer — including one recycled from an
+    /// earlier conversion of a *different* record, so stale bytes and stale
+    /// capacity are both in play — is byte-identical to a fresh allocation.
+    #[test]
+    fn pooled_conversion_matches_fresh(
+        (schema, value) in var_schema_and_value(),
+        (schema2, value2) in var_schema_and_value(),
+        sp in profile_strategy(),
+        dp in profile_strategy(),
+    ) {
+        let pool = BufPool::new();
+        // Dirty the pool with a conversion of an unrelated layout.
+        {
+            let slay = Arc::new(Layout::of(&schema2, dp).unwrap());
+            let dlay = Arc::new(Layout::of(&schema2, sp).unwrap());
+            let wire = encode_native(&value2, &slay).unwrap();
+            let plan = Arc::new(Plan::build(slay, dlay));
+            let _ = InterpConverter::new(plan).convert_pooled(&wire, &pool).unwrap();
+        }
+        let slay = Arc::new(Layout::of(&schema, sp).unwrap());
+        let dlay = Arc::new(Layout::of(&schema, dp).unwrap());
+        let wire = encode_native(&value, &slay).unwrap();
+        let plan = Arc::new(Plan::build(slay, dlay.clone()));
+
+        let interp = InterpConverter::new(plan.clone());
+        let dcg = DcgConverter::compile(plan, CodegenMode::Optimized).unwrap();
+        let fresh_i = interp.convert(&wire).unwrap();
+        let fresh_d = dcg.convert(&wire).unwrap();
+        // Two pooled conversions back to back: the second reuses the
+        // buffer the first returned.
+        for _ in 0..2 {
+            let pi = interp.convert_pooled(&wire, &pool).unwrap();
+            prop_assert_eq!(&fresh_i[..], &pi[..], "interp pooled vs fresh");
+        }
+        for _ in 0..2 {
+            let pd = dcg.convert_pooled(&wire, &pool).unwrap();
+            prop_assert_eq!(&fresh_d[..], &pd[..], "dcg pooled vs fresh");
+        }
+        // Every pooled conversion drew from the pool (hit or miss; a buffer
+        // grown past its class by a variable region may re-file higher and
+        // miss the next same-size get, so hits alone aren't deterministic).
+        let s = pool.stats();
+        prop_assert_eq!(s.hits + s.misses, 5);
+        prop_assert_eq!(decode_native(&fresh_i, &dlay).unwrap(), value);
     }
 
     /// Receiver-side type extension: the receiver expects a subset of the
