@@ -97,6 +97,9 @@ fn run_case(subscribers: usize, heterogeneous: bool, warmup: u64, events: u64) -
         "127.0.0.1:0",
         ServConfig {
             queue_capacity: (warmup + events) as usize + 64,
+            // The allocation count below must see only the event path,
+            // not a concurrent stats publisher.
+            stats_interval: None,
         },
     )
     .expect("bind daemon");

@@ -1,0 +1,76 @@
+//! Observability overhead guard.
+//!
+//! The obs layer's contract is that instrumentation is cheap enough to
+//! leave on: a span is two monotonic-clock reads and one sharded atomic
+//! histogram record. This bench times the instrumented encode hot path
+//! ([`pbio::Writer::write_value`], which wraps its encode in a span)
+//! with spans enabled and with spans disabled (`pbio_obs::set_enabled`
+//! turns `Span::enter` into a no-op), prints both, and in `--guard` mode
+//! fails if the enabled path exceeds a generous noise bound over the
+//! disabled one — a CI tripwire against accidentally putting locks or
+//! allocation into the measurement path.
+//!
+//! Runs as a plain `harness = false` binary (like `fanout`): `--guard`
+//! enforces the bound, the default just reports.
+
+use std::time::Instant;
+
+use pbio::Writer;
+use pbio_bench::workloads::{workload, MsgSize};
+use pbio_types::arch::ArchProfile;
+
+/// Iterations per timed repetition.
+const ITERS: u32 = 30_000;
+/// Repetitions; the minimum is reported (least-noise estimate).
+const REPS: usize = 7;
+
+/// ns/op for one encode pass over the workload record.
+fn measure() -> f64 {
+    let w = workload(MsgSize::B100);
+    let mut writer = Writer::new(&ArchProfile::X86_64);
+    let id = writer.register(&w.schema).expect("register");
+    let mut out = Vec::with_capacity(4096);
+    // Warm the pool and the format announcement out of the timed region.
+    for _ in 0..1_000 {
+        out.clear();
+        writer.write_value(id, &w.value, &mut out).expect("encode");
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            out.clear();
+            writer.write_value(id, &w.value, &mut out).expect("encode");
+        }
+        let ns = start.elapsed().as_nanos() as f64 / f64::from(ITERS);
+        best = best.min(ns);
+    }
+    best
+}
+
+fn main() {
+    let guard = std::env::args().any(|a| a == "--guard");
+
+    pbio_obs::set_enabled(true);
+    let enabled_ns = measure();
+    pbio_obs::set_enabled(false);
+    let disabled_ns = measure();
+    pbio_obs::set_enabled(true);
+
+    let delta = enabled_ns - disabled_ns;
+    let ratio = enabled_ns / disabled_ns;
+    println!("encode with spans enabled:  {enabled_ns:>8.1} ns/op");
+    println!("encode with spans disabled: {disabled_ns:>8.1} ns/op");
+    println!("overhead: {delta:+.1} ns/op ({ratio:.3}x)");
+
+    // Span cost is ~two clock reads + one atomic histogram record; the
+    // bound is deliberately loose so scheduler noise cannot trip it, while
+    // a lock or allocation smuggled into the span path still will.
+    if guard && delta > 300.0 && ratio > 2.0 {
+        eprintln!("GUARD FAILED: span overhead exceeds noise bound");
+        std::process::exit(1);
+    }
+    if guard {
+        println!("GUARD OK");
+    }
+}

@@ -17,7 +17,10 @@
 //! none at all when every filter rejects it, or when the publisher
 //! already holds shared bytes — [`Fanout::publish_shared`]).
 
+use std::sync::Arc;
+
 use pbio_net::buf::WireBuf;
+use pbio_obs::{Counter, Histogram, Span};
 
 /// Identifies one subscription on a fan-out (and, re-exported, on a
 /// [`crate::channel::Channel`]).
@@ -68,12 +71,26 @@ struct Entry<S> {
     active: bool,
 }
 
+/// Optional registry-backed observation hooks for a fan-out. Installed by
+/// owners that keep a metric registry (the daemon); when absent the publish
+/// loop stays exactly as cheap as before.
+pub struct FanoutObs {
+    /// Time spent in the whole per-event fan-out loop.
+    pub fanout_ns: Arc<Histogram>,
+    /// Time spent evaluating subscriber filters (per subscriber ask).
+    pub filter_ns: Arc<Histogram>,
+    /// Events discarded by subscriber backpressure (mirrors
+    /// [`DispatchStats::dropped`] into a registry).
+    pub dropped: Arc<Counter>,
+}
+
 /// The shared fan-out engine: an ordered set of subscribers and the
 /// publish loop over them.
 pub struct Fanout<S> {
     subs: Vec<Entry<S>>,
     next: usize,
     stats: DispatchStats,
+    obs: Option<FanoutObs>,
 }
 
 impl<S> Default for Fanout<S> {
@@ -89,7 +106,13 @@ impl<S> Fanout<S> {
             subs: Vec::new(),
             next: 0,
             stats: DispatchStats::default(),
+            obs: None,
         }
+    }
+
+    /// Install observation hooks (see [`FanoutObs`]).
+    pub fn set_obs(&mut self, obs: FanoutObs) {
+        self.obs = Some(obs);
     }
 
     /// Add a subscriber; ids are never reused.
@@ -173,12 +196,17 @@ impl<S: Subscriber> Fanout<S> {
         mut shared: Option<WireBuf>,
     ) -> Result<usize, S::Error> {
         self.stats.published += 1;
+        let _fanout_span = self.obs.as_ref().map(|o| Span::enter(&o.fanout_ns));
         let mut delivered = 0usize;
         for entry in &mut self.subs {
             if !entry.active {
                 continue;
             }
-            if !entry.sub.accepts(format, wire)? {
+            let accepted = {
+                let _filter_span = self.obs.as_ref().map(|o| Span::enter(&o.filter_ns));
+                entry.sub.accepts(format, wire)?
+            };
+            if !accepted {
                 self.stats.filtered_out += 1;
                 continue;
             }
@@ -190,6 +218,9 @@ impl<S: Subscriber> Fanout<S> {
                 }
                 DeliveryOutcome::Dropped => {
                     self.stats.dropped += 1;
+                    if let Some(o) = &self.obs {
+                        o.dropped.inc();
+                    }
                 }
             }
         }

@@ -64,6 +64,7 @@ impl InterpConverter {
     /// receive buffer" where MPICH allocates a separate unpack buffer (§4.3);
     /// a caller-owned output buffer is the equivalent no-allocation path.
     pub fn convert_into(&self, src: &[u8], out: &mut Vec<u8>) -> Result<(), PbioError> {
+        let _span = pbio_obs::Span::enter(crate::metrics::convert_interp_ns());
         let dst_size = self.plan.dst.size();
         out.clear();
         out.resize(dst_size, 0);

@@ -56,6 +56,7 @@ pub mod error;
 pub mod file;
 pub mod interp;
 pub mod message;
+pub mod metrics;
 pub mod plan;
 pub mod pool;
 pub mod reader;

@@ -1,0 +1,42 @@
+//! Pre-resolved handles into the global obs registry for core hot paths.
+//!
+//! Handles resolve once per process (first use) and are plain `Arc`s after
+//! that, so instrumented paths never take the registry lock. Names follow
+//! the paper's component decomposition: `encode_ns` is the sender-side
+//! encode stage, `convert_*_ns` the receiver-side convert stage, and
+//! `plan_build_ns` / `dcg_compile_ns` the one-time per-format setup costs.
+
+use std::sync::{Arc, OnceLock};
+
+use pbio_obs::{Histogram, Registry};
+
+macro_rules! global_hist {
+    ($(#[$doc:meta])* $fn_name:ident => $metric:literal) => {
+        $(#[$doc])*
+        pub fn $fn_name() -> &'static Arc<Histogram> {
+            static H: OnceLock<Arc<Histogram>> = OnceLock::new();
+            H.get_or_init(|| Registry::global().histogram($metric))
+        }
+    };
+}
+
+global_hist!(
+    /// Encode stage: [`crate::writer::Writer::write_value`].
+    encode_ns => "encode_ns"
+);
+global_hist!(
+    /// Conversion-plan construction: [`crate::plan::Plan::build`].
+    plan_build_ns => "plan_build_ns"
+);
+global_hist!(
+    /// Dynamic code generation: `DcgConverter::compile`.
+    dcg_compile_ns => "dcg_compile_ns"
+);
+global_hist!(
+    /// Convert stage through the generated-code converter.
+    convert_dcg_ns => "convert_dcg_ns"
+);
+global_hist!(
+    /// Convert stage through the interpreted converter.
+    convert_interp_ns => "convert_interp_ns"
+);

@@ -248,6 +248,7 @@ pub struct Plan {
 impl Plan {
     /// Build a conversion plan from `src` (wire) to `dst` (native).
     pub fn build(src: Arc<Layout>, dst: Arc<Layout>) -> Plan {
+        let _span = pbio_obs::Span::enter(crate::metrics::plan_build_ns());
         let identical = src.wire_identical(&dst);
         let zero_copy = identical || dst.zero_copy_prefix_of(&src);
         let mut fixed_steps = Vec::new();

@@ -12,8 +12,9 @@
 //! hits: zero heap allocation, observable through [`BufPool::stats`].
 
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+use pbio_obs::Counter;
 
 /// Smallest capacity class, in bytes.
 const MIN_CLASS_BYTES: usize = 64;
@@ -40,8 +41,10 @@ pub struct PoolStats {
 /// hands out keep a handle back to it for their return trip.
 pub struct BufPool {
     classes: Mutex<[Vec<Vec<u8>>; NUM_CLASSES]>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    // Shared obs counters so an owning component can adopt them into its
+    // metric registry (`Registry::register_counter`) without double counting.
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
 }
 
 /// Smallest class index whose buffers hold `n` bytes, if any class does.
@@ -76,9 +79,19 @@ impl BufPool {
     pub fn new() -> Arc<BufPool> {
         Arc::new(BufPool {
             classes: Mutex::new(std::array::from_fn(|_| Vec::new())),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
         })
+    }
+
+    /// The hit counter, shareable with a metric registry.
+    pub fn hit_counter(&self) -> &Arc<Counter> {
+        &self.hits
+    }
+
+    /// The miss counter, shareable with a metric registry.
+    pub fn miss_counter(&self) -> &Arc<Counter> {
+        &self.misses
     }
 
     /// A cleared buffer with capacity for at least `capacity` bytes.
@@ -94,17 +107,17 @@ impl BufPool {
                 };
                 match recycled {
                     Some(b) => {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.hits.inc();
                         b
                     }
                     None => {
-                        self.misses.fetch_add(1, Ordering::Relaxed);
+                        self.misses.inc();
                         Vec::with_capacity(class_bytes(idx))
                     }
                 }
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 Vec::with_capacity(capacity)
             }
         };
@@ -129,8 +142,8 @@ impl BufPool {
     /// Current counters.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
         }
     }
 }

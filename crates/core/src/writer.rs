@@ -17,6 +17,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use pbio_obs::Span;
 use pbio_types::arch::ArchProfile;
 use pbio_types::layout::Layout;
 use pbio_types::meta::serialize_layout;
@@ -192,7 +193,10 @@ impl Writer {
     ) -> Result<(), PbioError> {
         let layout = self.layout(id)?.clone();
         let mut native = self.pool.get(layout.size());
-        encode_native_into(value, &layout, &mut native)?;
+        {
+            let _span = Span::enter(crate::metrics::encode_ns());
+            encode_native_into(value, &layout, &mut native)?;
+        }
         self.write(id, &native, out)
     }
 

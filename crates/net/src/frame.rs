@@ -29,6 +29,7 @@ use std::fmt;
 use std::io::{self, IoSlice, Read, Write};
 
 use crate::buf::WireBuf;
+use crate::metrics::net_metrics;
 
 /// Size of the fixed frame header.
 pub const FRAME_HEADER_SIZE: usize = 13;
@@ -217,7 +218,12 @@ pub fn write_frame_raw(
     h[5..9].copy_from_slice(&b.to_be_bytes());
     h[9..13].copy_from_slice(&(body.len() as u32).to_be_bytes());
     let mut slices = [IoSlice::new(&h), IoSlice::new(body)];
-    write_all_vectored(w, &mut slices)
+    write_all_vectored(w, &mut slices)?;
+    let m = net_metrics();
+    m.writes.inc();
+    m.frames_out.inc();
+    m.bytes_out.add((FRAME_HEADER_SIZE + body.len()) as u64);
+    Ok(())
 }
 
 /// Write a batch of frames, coalescing up to [`MAX_WRITE_BATCH`] frames
@@ -225,6 +231,7 @@ pub fn write_frame_raw(
 /// hot connection pays ~one syscall per batch instead of per frame.
 /// Returns the total number of bytes written.
 pub fn write_frames(w: &mut impl Write, frames: &[Frame]) -> io::Result<usize> {
+    let m = net_metrics();
     let mut total = 0;
     for chunk in frames.chunks(MAX_WRITE_BATCH) {
         let mut headers = [[0u8; FRAME_HEADER_SIZE]; MAX_WRITE_BATCH];
@@ -234,6 +241,7 @@ pub fn write_frames(w: &mut impl Write, frames: &[Frame]) -> io::Result<usize> {
         }
         let mut slices = [IoSlice::new(&[]); 2 * MAX_WRITE_BATCH];
         let mut n = 0;
+        let mut chunk_bytes = 0;
         for (h, frame) in headers.iter().zip(chunk) {
             slices[n] = IoSlice::new(h);
             n += 1;
@@ -241,9 +249,14 @@ pub fn write_frames(w: &mut impl Write, frames: &[Frame]) -> io::Result<usize> {
                 slices[n] = IoSlice::new(&frame.body);
                 n += 1;
             }
-            total += FRAME_HEADER_SIZE + frame.body.len();
+            chunk_bytes += FRAME_HEADER_SIZE + frame.body.len();
         }
         write_all_vectored(w, &mut slices[..n])?;
+        total += chunk_bytes;
+        m.writes.inc();
+        m.write_batch.record(chunk.len() as u64);
+        m.frames_out.add(chunk.len() as u64);
+        m.bytes_out.add(chunk_bytes as u64);
     }
     Ok(total)
 }
@@ -275,6 +288,9 @@ pub fn read_frame_header(r: &mut impl Read) -> Result<FrameHeader, FrameError> {
     if len > MAX_FRAME_BODY {
         return Err(FrameError::TooLarge(len));
     }
+    let m = net_metrics();
+    m.frames_in.inc();
+    m.bytes_in.add(FRAME_HEADER_SIZE as u64);
     Ok(FrameHeader {
         kind: first[0],
         a,
@@ -284,11 +300,39 @@ pub fn read_frame_header(r: &mut impl Read) -> Result<FrameHeader, FrameError> {
 }
 
 /// Read the `len`-byte body that follows a [`read_frame_header`] into
-/// `buf` (resized to exactly `len`; its capacity is reused).
+/// `buf` (cleared, then filled to exactly `len`; its capacity is reused).
+///
+/// The body is read through `Read::take` + `read_to_end` into the cleared
+/// vector, so reused capacity is *not* redundantly zero-filled before being
+/// overwritten — on the steady-state receive path that removed a memset of
+/// every frame body. Timeouts and interrupts mid-body are retried just as
+/// [`read_full`] would: partial data read before the error stays appended
+/// and the `take` limit accounts for it.
 pub fn read_frame_body(r: &mut impl Read, len: usize, buf: &mut Vec<u8>) -> Result<(), FrameError> {
     buf.clear();
-    buf.resize(len, 0);
-    read_full(r, buf)
+    if len > 0 {
+        // +1 so the final length-check read in `read_to_end` lands in spare
+        // capacity instead of triggering an amortized (doubling) grow when
+        // the capacity is exactly `len`.
+        buf.reserve(len + 1);
+        let mut take = Read::take(r, len as u64);
+        loop {
+            match take.read_to_end(buf) {
+                Ok(_) if buf.len() >= len => break,
+                Ok(_) => {
+                    // `read_to_end` returned before the limit: inner EOF.
+                    return Err(FrameError::Io(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed mid-frame",
+                    )));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted || is_timeout(&e) => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+    }
+    net_metrics().bytes_in.add(len as u64);
+    Ok(())
 }
 
 /// Read one frame, placing its body in `buf` — the steady-state receive
@@ -306,8 +350,8 @@ pub fn read_frame_into(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<FrameHead
 /// Timeout semantics are those of [`read_frame_header`].
 pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
     let header = read_frame_header(r)?;
-    let mut body = vec![0u8; header.len];
-    read_full(r, &mut body)?;
+    let mut body = Vec::new();
+    read_frame_body(r, header.len, &mut body)?;
     Ok(Frame {
         kind: header.kind,
         a: header.a,
@@ -402,6 +446,68 @@ mod tests {
         assert_eq!((h2.kind, h2.len), (0x22, 8));
         assert_eq!(buf, vec![9u8; 8]);
         assert_eq!(buf.capacity(), cap, "smaller body reuses the allocation");
+    }
+
+    #[test]
+    fn body_read_retries_through_mid_body_timeouts() {
+        /// Yields the wire three bytes at a time with a timeout between
+        /// every chunk, as a socket under load would.
+        struct Stutter {
+            data: Vec<u8>,
+            pos: usize,
+            ready: bool,
+        }
+        impl Read for Stutter {
+            fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+                if !self.ready {
+                    self.ready = true;
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "timeout"));
+                }
+                self.ready = false;
+                let n = out.len().min(3).min(self.data.len() - self.pos);
+                out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let frame = Frame::with_body(0x21, 1, 2, (0u8..100).collect::<Vec<u8>>());
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let mut r = Stutter {
+            data: wire,
+            pos: 0,
+            ready: false,
+        };
+        let mut buf = Vec::new();
+        // The header's first byte surfaces the timeout (idle peer)…
+        assert!(matches!(
+            read_frame_into(&mut r, &mut buf),
+            Err(FrameError::Timeout)
+        ));
+        // …after which the frame reads to completion through every
+        // mid-header and mid-body timeout.
+        let h = read_frame_into(&mut r, &mut buf).unwrap();
+        assert_eq!((h.kind, h.len), (0x21, 100));
+        assert_eq!(buf, (0u8..100).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn body_reads_leave_no_stale_bytes() {
+        // A big body then a small one through the same buffer: the second
+        // read must end at exactly `len` with the first frame's bytes gone.
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::with_body(0x21, 0, 0, vec![0xAAu8; 300])).unwrap();
+        write_frame(&mut wire, &Frame::with_body(0x22, 0, 0, vec![0x55u8; 5])).unwrap();
+        write_frame(&mut wire, &Frame::control(0x23, 0, 0)).unwrap();
+        let mut r = Cursor::new(wire);
+        let mut buf = Vec::new();
+        read_frame_into(&mut r, &mut buf).unwrap();
+        assert_eq!(buf, vec![0xAAu8; 300]);
+        read_frame_into(&mut r, &mut buf).unwrap();
+        assert_eq!(buf, vec![0x55u8; 5]);
+        let h = read_frame_into(&mut r, &mut buf).unwrap();
+        assert_eq!(h.len, 0);
+        assert!(buf.is_empty(), "zero-length body clears the buffer");
     }
 
     #[test]

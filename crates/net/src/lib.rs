@@ -30,6 +30,7 @@ pub mod clock;
 pub mod exchange;
 pub mod frame;
 pub mod link;
+pub mod metrics;
 pub mod transport;
 
 pub use buf::WireBuf;

@@ -1,0 +1,42 @@
+//! Process-global frame-I/O metrics.
+//!
+//! The frame codec counts bytes, frames, and vectored writes (≈ syscalls)
+//! into the global obs registry, and records the batch size of every
+//! coalesced write — the "send" component's raw material in the paper's
+//! decomposition. Handles resolve once; counting is a relaxed atomic add.
+
+use std::sync::{Arc, OnceLock};
+
+use pbio_obs::{Counter, Histogram, Registry};
+
+/// Pre-resolved handles for the frame codec's counters.
+pub struct NetMetrics {
+    /// Bytes read off the wire (headers + bodies).
+    pub bytes_in: Arc<Counter>,
+    /// Bytes written to the wire (headers + bodies).
+    pub bytes_out: Arc<Counter>,
+    /// Frames fully read.
+    pub frames_in: Arc<Counter>,
+    /// Frames fully written.
+    pub frames_out: Arc<Counter>,
+    /// Vectored write calls issued (≈ syscalls on a raw socket).
+    pub writes: Arc<Counter>,
+    /// Frames coalesced per vectored write.
+    pub write_batch: Arc<Histogram>,
+}
+
+/// The codec's metric handles (resolved into [`Registry::global`] once).
+pub fn net_metrics() -> &'static NetMetrics {
+    static M: OnceLock<NetMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = Registry::global();
+        NetMetrics {
+            bytes_in: r.counter("net_bytes_in"),
+            bytes_out: r.counter("net_bytes_out"),
+            frames_in: r.counter("net_frames_in"),
+            frames_out: r.counter("net_frames_out"),
+            writes: r.counter("net_writes"),
+            write_batch: r.histogram("net_write_batch"),
+        }
+    })
+}

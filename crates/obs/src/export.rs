@@ -1,0 +1,234 @@
+//! Dogfooding: describe a registry [`Snapshot`] as a PBIO record.
+//!
+//! The stats record is an ordinary PBIO format — its schema is generated from
+//! the snapshot's metric names, laid out for the publisher's architecture,
+//! registered like any other format and published on the reserved `$stats`
+//! channel. Heterogeneous subscribers therefore receive stats through the
+//! exact conversion machinery the stats are measuring.
+//!
+//! Field mapping (all fixed-size, so the record stays zero-copy eligible):
+//!
+//! | metric              | fields                                            |
+//! |---------------------|---------------------------------------------------|
+//! | header              | `role: u32`, `id: u32`, `seq: u64`, `t_ns: u64`   |
+//! | counter `x`         | `c_x: u64`                                        |
+//! | gauge `x`           | `g_x: i64`                                        |
+//! | histogram `x`       | `h_x_count: u64`, `h_x_sum: u64`, `h_x_b: u64[B]` |
+
+use pbio_types::schema::{AtomType, FieldDecl, Schema, TypeDesc};
+use pbio_types::value::{RecordValue, Value};
+
+use crate::metric::{HistogramSnapshot, BUCKETS};
+use crate::registry::Snapshot;
+
+/// Name of the generated stats format and of the reserved channel.
+pub const STATS_FORMAT_NAME: &str = "$stats";
+
+/// Snapshot publisher roles carried in the `role` header field.
+pub const ROLE_DAEMON: u32 = 0;
+/// See [`ROLE_DAEMON`].
+pub const ROLE_CLIENT: u32 = 1;
+
+/// Identity of one stats record: who published it and when.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsHeader {
+    /// [`ROLE_DAEMON`] or [`ROLE_CLIENT`].
+    pub role: u32,
+    /// Publisher id (daemon: 0; client: its connection id).
+    pub id: u32,
+    /// Monotonic sequence number per publisher.
+    pub seq: u64,
+    /// Publisher-local monotonic timestamp in ns (for rate computation).
+    pub t_ns: u64,
+}
+
+/// Map a metric name to a PBIO field-name-safe form.
+pub fn sanitize_metric_name(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Generate the PBIO schema describing `snap`. Field order follows the
+/// snapshot's (sorted) metric order, so equal metric sets produce equal
+/// schemas — and equal serialized `FormatMeta`, letting the format registry
+/// dedup successive publications.
+pub fn stats_schema(snap: &Snapshot) -> Schema {
+    let mut fields = vec![
+        FieldDecl::atom("role", AtomType::U32),
+        FieldDecl::atom("id", AtomType::U32),
+        FieldDecl::atom("seq", AtomType::U64),
+        FieldDecl::atom("t_ns", AtomType::U64),
+    ];
+    let mut push = |f: FieldDecl| {
+        if !fields.iter().any(|e| e.name == f.name) {
+            fields.push(f);
+        }
+    };
+    for (name, _) in &snap.counters {
+        push(FieldDecl::atom(
+            format!("c_{}", sanitize_metric_name(name)),
+            AtomType::U64,
+        ));
+    }
+    for (name, _) in &snap.gauges {
+        push(FieldDecl::atom(
+            format!("g_{}", sanitize_metric_name(name)),
+            AtomType::I64,
+        ));
+    }
+    for (name, _) in &snap.histograms {
+        let base = sanitize_metric_name(name);
+        push(FieldDecl::atom(format!("h_{base}_count"), AtomType::U64));
+        push(FieldDecl::atom(format!("h_{base}_sum"), AtomType::U64));
+        push(FieldDecl::new(
+            format!("h_{base}_b"),
+            TypeDesc::array(AtomType::U64, BUCKETS),
+        ));
+    }
+    Schema::new(STATS_FORMAT_NAME, fields).expect("stats schema is always valid")
+}
+
+/// Build the record value carrying `snap` under `header`, matching
+/// [`stats_schema`]`(snap)` field for field.
+pub fn stats_value(header: &StatsHeader, snap: &Snapshot) -> RecordValue {
+    let mut rv = RecordValue::new()
+        .with("role", header.role)
+        .with("id", header.id)
+        .with("seq", header.seq)
+        .with("t_ns", header.t_ns);
+    for (name, v) in &snap.counters {
+        rv.set(format!("c_{}", sanitize_metric_name(name)), *v);
+    }
+    for (name, v) in &snap.gauges {
+        rv.set(format!("g_{}", sanitize_metric_name(name)), *v);
+    }
+    for (name, h) in &snap.histograms {
+        let base = sanitize_metric_name(name);
+        rv.set(format!("h_{base}_count"), h.count);
+        rv.set(format!("h_{base}_sum"), h.sum);
+        rv.set(
+            format!("h_{base}_b"),
+            Value::Array(h.buckets.iter().map(|&b| Value::U64(b)).collect()),
+        );
+    }
+    rv
+}
+
+fn as_u64(v: &Value) -> Option<u64> {
+    match v {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) => u64::try_from(*n).ok(),
+        _ => None,
+    }
+}
+
+/// Parse a stats record (decoded or converted from the wire) back into a
+/// header and snapshot. Unknown fields are ignored; returns `None` if the
+/// record lacks the header fields entirely.
+pub fn snapshot_from_value(rv: &RecordValue) -> Option<(StatsHeader, Snapshot)> {
+    let header = StatsHeader {
+        role: as_u64(rv.get("role")?)? as u32,
+        id: as_u64(rv.get("id")?)? as u32,
+        seq: as_u64(rv.get("seq")?)?,
+        t_ns: as_u64(rv.get("t_ns")?)?,
+    };
+    let mut snap = Snapshot::default();
+    for (name, value) in rv.fields() {
+        if let Some(rest) = name.strip_prefix("c_") {
+            if let Some(v) = as_u64(value) {
+                snap.counters.push((rest.to_owned(), v));
+            }
+        } else if let Some(rest) = name.strip_prefix("g_") {
+            if let Some(v) = value.as_i64() {
+                snap.gauges.push((rest.to_owned(), v));
+            }
+        } else if let Some(rest) = name.strip_prefix("h_") {
+            // Keyed off the `_count` field; `_sum` and `_b` are looked up.
+            let Some(base) = rest.strip_suffix("_count") else {
+                continue;
+            };
+            let mut h = HistogramSnapshot {
+                count: as_u64(value)?,
+                ..HistogramSnapshot::default()
+            };
+            if let Some(sum) = rv.get(&format!("h_{base}_sum")).and_then(as_u64) {
+                h.sum = sum;
+            }
+            if let Some(buckets) = rv.get(&format!("h_{base}_b")).and_then(|v| v.as_array()) {
+                for (slot, v) in h.buckets.iter_mut().zip(buckets.iter()) {
+                    *slot = as_u64(v).unwrap_or(0);
+                }
+            }
+            snap.histograms.push((base.to_owned(), h));
+        }
+    }
+    snap.counters.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+    snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    Some((header, snap))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use pbio_types::arch::ArchProfile;
+    use pbio_types::layout::Layout;
+    use pbio_types::value::{decode_native, encode_native};
+
+    fn sample() -> (StatsHeader, Snapshot) {
+        let r = Registry::new();
+        r.counter("events_in").add(17);
+        r.counter("bytes.out").add(4096); // needs sanitizing
+        r.gauge("active_connections").set(3);
+        let h = r.histogram("encode_ns");
+        h.record(0);
+        h.record(800);
+        h.record(70_000);
+        let header = StatsHeader {
+            role: ROLE_DAEMON,
+            id: 0,
+            seq: 9,
+            t_ns: 123_456,
+        };
+        (header, r.snapshot())
+    }
+
+    #[test]
+    fn schema_and_value_field_sets_match() {
+        let (header, snap) = sample();
+        let schema = stats_schema(&snap);
+        let value = stats_value(&header, &snap);
+        assert_eq!(schema.fields().len(), value.len());
+        for f in schema.fields() {
+            assert!(value.get(&f.name).is_some(), "value missing {}", f.name);
+        }
+    }
+
+    #[test]
+    fn native_round_trip_preserves_snapshot() {
+        let (header, snap) = sample();
+        let schema = stats_schema(&snap);
+        let value = stats_value(&header, &snap);
+        let layout = Layout::of(&schema, &ArchProfile::X86_64).unwrap();
+        let bytes = encode_native(&value, &layout).unwrap();
+        let decoded = decode_native(&bytes, &layout).unwrap();
+        let (header2, snap2) = snapshot_from_value(&decoded).unwrap();
+        assert_eq!(header, header2);
+        assert_eq!(snap2.counter("events_in"), Some(17));
+        assert_eq!(snap2.counter("bytes_out"), Some(4096));
+        assert_eq!(snap2.gauge("active_connections"), Some(3));
+        let h = snap2.histogram("encode_ns").unwrap();
+        assert_eq!(h, snap.histogram("encode_ns").unwrap());
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 70_800);
+    }
+
+    #[test]
+    fn equal_metric_sets_produce_equal_schemas() {
+        let (_, snap) = sample();
+        let (_, snap2) = sample();
+        assert_eq!(stats_schema(&snap), stats_schema(&snap2));
+    }
+}

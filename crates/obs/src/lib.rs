@@ -1,0 +1,38 @@
+//! `pbio-obs` — low-overhead instrumentation for the PBIO stack.
+//!
+//! The paper's analysis (Figure 1) decomposes a message exchange into
+//! encode / send / receive / convert; this crate provides the machinery to
+//! measure those components on the live paths:
+//!
+//! * [`Counter`] / [`Gauge`] — single relaxed atomics;
+//! * [`Histogram`] — fixed-bucket log2 latency histogram, sharded across a
+//!   few cache lines so concurrent recorders don't contend;
+//! * [`Registry`] — name → metric map; resolve a handle once, record through
+//!   the `Arc` forever after (the hot path never touches the registry);
+//! * [`Span`] — RAII timer recording elapsed ns into a histogram on drop,
+//!   globally disableable via [`set_enabled`] for overhead comparisons;
+//! * [`TraceRing`] — preallocated bounded ring of recent trace events;
+//! * [`export`] — describes a registry [`Snapshot`] as a PBIO record so
+//!   stats travel the wire format they measure (the `$stats` channel).
+//!
+//! Module-level instrumentation (encoders, converters, frame I/O) records
+//! into [`Registry::global`]; daemons and clients own per-instance
+//! registries so components sharing a process keep separate books.
+
+pub mod export;
+mod metric;
+mod registry;
+mod span;
+mod trace;
+
+pub use metric::{
+    bucket_index, bucket_lower, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,
+};
+pub use registry::{enabled, epoch_ns, set_enabled, Registry, Snapshot};
+pub use span::Span;
+pub use trace::{TraceEvent, TraceRing};
+
+/// Shorthand for [`Registry::global`].
+pub fn global() -> &'static std::sync::Arc<Registry> {
+    Registry::global()
+}

@@ -1,0 +1,311 @@
+//! Sharded metric registry and whole-registry snapshots.
+//!
+//! Metric *lookup* (by name) takes a shard lock once; hot paths hold the
+//! returned `Arc` handle and never touch the registry again. A process-global
+//! registry backs module-level instrumentation (encode, convert, frame I/O);
+//! daemons and clients own per-instance registries so parallel components in
+//! one process keep separate books.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::metric::{Counter, Gauge, Histogram, HistogramSnapshot};
+use crate::trace::{TraceEvent, TraceRing};
+
+const REG_SHARDS: usize = 8;
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named collection of metrics plus a bounded trace ring.
+pub struct Registry {
+    shards: [Mutex<Vec<(String, Metric)>>; REG_SHARDS],
+    trace: TraceRing,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+fn shard_for(name: &str) -> usize {
+    // FNV-1a; cheap and stable, only used at handle-resolution time.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h as usize) % REG_SHARDS
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            trace: TraceRing::new(256),
+        }
+    }
+
+    /// The process-global registry used by module-level instrumentation
+    /// (encode/convert timings, frame-level byte counters).
+    pub fn global() -> &'static Arc<Registry> {
+        static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+        GLOBAL.get_or_init(|| Arc::new(Registry::new()))
+    }
+
+    fn resolve<T, F, G>(&self, name: &str, extract: F, create: G) -> Arc<T>
+    where
+        F: Fn(&Metric) -> Option<&Arc<T>>,
+        G: FnOnce() -> (Arc<T>, Metric),
+    {
+        let mut shard = self.shards[shard_for(name)].lock().unwrap();
+        if let Some((_, m)) = shard.iter().find(|(n, _)| n == name) {
+            return extract(m)
+                .unwrap_or_else(|| panic!("metric {name:?} already registered as a {}", m.kind()))
+                .clone();
+        }
+        let (handle, metric) = create();
+        shard.push((name.to_owned(), metric));
+        handle
+    }
+
+    /// Get or create the counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.resolve(
+            name,
+            |m| match m {
+                Metric::Counter(c) => Some(c),
+                _ => None,
+            },
+            || {
+                let c = Arc::new(Counter::new());
+                (c.clone(), Metric::Counter(c))
+            },
+        )
+    }
+
+    /// Get or create the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.resolve(
+            name,
+            |m| match m {
+                Metric::Gauge(g) => Some(g),
+                _ => None,
+            },
+            || {
+                let g = Arc::new(Gauge::new());
+                (g.clone(), Metric::Gauge(g))
+            },
+        )
+    }
+
+    /// Get or create the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.resolve(
+            name,
+            |m| match m {
+                Metric::Histogram(h) => Some(h),
+                _ => None,
+            },
+            || {
+                let h = Arc::new(Histogram::new());
+                (h.clone(), Metric::Histogram(h))
+            },
+        )
+    }
+
+    /// Register (or replace) `name` with an externally-owned counter — used to
+    /// adopt counters that live inside another component (e.g. a `BufPool`).
+    pub fn register_counter(&self, name: &str, counter: Arc<Counter>) {
+        let mut shard = self.shards[shard_for(name)].lock().unwrap();
+        if let Some(slot) = shard.iter_mut().find(|(n, _)| n == name) {
+            slot.1 = Metric::Counter(counter);
+        } else {
+            shard.push((name.to_owned(), Metric::Counter(counter)));
+        }
+    }
+
+    /// Append an event to the bounded trace ring.
+    pub fn trace(&self, stage: &'static str, value: u64) {
+        self.trace.push(stage, value);
+    }
+
+    /// The most recent trace events, oldest first.
+    pub fn recent_traces(&self) -> Vec<TraceEvent> {
+        self.trace.recent()
+    }
+
+    /// A consistent-enough copy of every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        for shard in &self.shards {
+            let shard = shard.lock().unwrap();
+            for (name, metric) in shard.iter() {
+                match metric {
+                    Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                    Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                    Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+                }
+            }
+        }
+        snap.sort();
+        snap
+    }
+}
+
+/// A point-in-time copy of a registry's metrics, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram snapshots by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    fn sort(&mut self) {
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        self.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    }
+
+    /// Counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Gauge value by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Merge another snapshot into this one: counters and gauges add,
+    /// histograms merge bucket-wise, names union.
+    pub fn merge_from(&mut self, other: &Snapshot) {
+        for (name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some(slot) => slot.1 += v,
+                None => self.counters.push((name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| n == name) {
+                Some(slot) => slot.1 += v,
+                None => self.gauges.push((name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some(slot) => slot.1.merge(h),
+                None => self.histograms.push((name.clone(), *h)),
+            }
+        }
+        self.sort();
+    }
+}
+
+/// Whether span timing is enabled (checked by [`crate::Span::enter`]).
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enable or disable span timing. Counters are unaffected; spans
+/// become no-ops so the overhead of `Instant::now()` can be measured away.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether span timing is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Nanoseconds since the process-wide observation epoch (first call).
+pub fn epoch_ns() -> u64 {
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    let epoch = *EPOCH.get_or_init(std::time::Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared() {
+        let r = Registry::new();
+        let a = r.counter("events");
+        let b = r.counter("events");
+        a.add(3);
+        b.inc();
+        assert_eq!(r.snapshot().counter("events"), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.histogram("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_merges() {
+        let r = Registry::new();
+        r.counter("b").add(1);
+        r.counter("a").add(2);
+        r.gauge("depth").set(-3);
+        r.histogram("lat").record(100);
+
+        let mut s1 = r.snapshot();
+        let names: Vec<&str> = s1.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b"]);
+
+        r.counter("c").add(7);
+        r.histogram("lat").record(200);
+        let s2 = r.snapshot();
+        s1.merge_from(&s2);
+        assert_eq!(s1.counter("a"), Some(4));
+        assert_eq!(s1.counter("c"), Some(7));
+        assert_eq!(s1.gauge("depth"), Some(-6));
+        assert_eq!(s1.histogram("lat").unwrap().count, 3);
+    }
+
+    #[test]
+    fn adopted_counter_is_read_through() {
+        let r = Registry::new();
+        let external = Arc::new(Counter::new());
+        external.add(41);
+        r.register_counter("pool_hits", external.clone());
+        external.inc();
+        assert_eq!(r.snapshot().counter("pool_hits"), Some(42));
+    }
+}

@@ -1,0 +1,65 @@
+//! Lightweight span timers: `Span::enter` starts the clock, dropping the
+//! guard records the elapsed nanoseconds into a histogram.
+//!
+//! When spans are disabled via [`crate::set_enabled`]`(false)` the guard is
+//! inert — no `Instant::now()` call is made — so instrumented code can be
+//! compared against an uninstrumented baseline at runtime.
+
+use std::time::Instant;
+
+use crate::metric::Histogram;
+use crate::registry::enabled;
+
+/// An RAII timing guard; records elapsed ns into its histogram on drop.
+#[must_use = "a span records on drop; binding it to _ discards the timing"]
+pub struct Span<'a> {
+    hist: &'a Histogram,
+    start: Option<Instant>,
+}
+
+impl<'a> Span<'a> {
+    /// Start timing into `hist` (a no-op guard if spans are disabled).
+    #[inline]
+    pub fn enter(hist: &'a Histogram) -> Span<'a> {
+        Span {
+            hist,
+            start: enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.hist.record_duration(start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::set_enabled;
+
+    // One test, not two: `set_enabled` is process-global and the test
+    // harness runs tests concurrently.
+    #[test]
+    fn span_records_on_drop_and_disabling_makes_it_inert() {
+        let h = Histogram::new();
+        {
+            let _span = Span::enter(&h);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!(snap.sum >= 1_000_000, "recorded {} ns", snap.sum);
+
+        set_enabled(false);
+        {
+            let _span = Span::enter(&h);
+        }
+        set_enabled(true);
+        assert_eq!(h.snapshot().count, 1);
+    }
+}

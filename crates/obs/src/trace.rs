@@ -1,0 +1,102 @@
+//! A bounded ring buffer of recent trace events.
+//!
+//! The ring is preallocated at construction; pushing overwrites the oldest
+//! slot and never allocates. Stages are `&'static str` so events are plain
+//! `Copy` data.
+
+use std::sync::Mutex;
+
+use crate::registry::epoch_ns;
+
+/// One recorded event: a stage label, a timestamp relative to the process
+/// observation epoch, and a free-form value (duration, count, error code...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Stage label (e.g. `"drop_oldest"`, `"stats_tick"`).
+    pub stage: &'static str,
+    /// Nanoseconds since [`epoch_ns`]'s epoch at push time.
+    pub at_ns: u64,
+    /// Event-specific value.
+    pub value: u64,
+}
+
+struct Inner {
+    slots: Box<[TraceEvent]>,
+    next: usize,
+    len: usize,
+}
+
+/// Fixed-capacity ring of [`TraceEvent`]s.
+pub struct TraceRing {
+    inner: Mutex<Inner>,
+}
+
+impl TraceRing {
+    /// Preallocate a ring holding `capacity` events (min 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        let capacity = capacity.max(1);
+        let empty = TraceEvent {
+            stage: "",
+            at_ns: 0,
+            value: 0,
+        };
+        TraceRing {
+            inner: Mutex::new(Inner {
+                slots: vec![empty; capacity].into_boxed_slice(),
+                next: 0,
+                len: 0,
+            }),
+        }
+    }
+
+    /// Append an event, overwriting the oldest when full.
+    pub fn push(&self, stage: &'static str, value: u64) {
+        let at_ns = epoch_ns();
+        let mut inner = self.inner.lock().unwrap();
+        let cap = inner.slots.len();
+        let next = inner.next;
+        inner.slots[next] = TraceEvent {
+            stage,
+            at_ns,
+            value,
+        };
+        inner.next = (next + 1) % cap;
+        inner.len = (inner.len + 1).min(cap);
+    }
+
+    /// The buffered events, oldest first.
+    pub fn recent(&self) -> Vec<TraceEvent> {
+        let inner = self.inner.lock().unwrap();
+        let cap = inner.slots.len();
+        let start = (inner.next + cap - inner.len) % cap;
+        (0..inner.len)
+            .map(|i| inner.slots[(start + i) % cap])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_the_most_recent() {
+        let ring = TraceRing::new(3);
+        for i in 0..5u64 {
+            ring.push("tick", i);
+        }
+        let events = ring.recent();
+        let values: Vec<u64> = events.iter().map(|e| e.value).collect();
+        assert_eq!(values, [2, 3, 4]);
+        assert!(events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+    }
+
+    #[test]
+    fn partial_fill_in_order() {
+        let ring = TraceRing::new(8);
+        ring.push("a", 1);
+        ring.push("b", 2);
+        let stages: Vec<&str> = ring.recent().iter().map(|e| e.stage).collect();
+        assert_eq!(stages, ["a", "b"]);
+    }
+}

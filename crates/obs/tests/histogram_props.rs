@@ -1,0 +1,81 @@
+//! Property tests for the log2 histogram: bucket invariants, merge
+//! commutativity/associativity, and quantile bounds.
+
+use pbio_obs::{bucket_index, bucket_lower, bucket_upper, Histogram, HistogramSnapshot, BUCKETS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+fn merged(a: &HistogramSnapshot, b: &HistogramSnapshot) -> HistogramSnapshot {
+    let mut m = *a;
+    m.merge(b);
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every value lands in exactly the bucket whose bounds contain it.
+    #[test]
+    fn bucket_bounds_contain_their_values(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(bucket_lower(i) <= v);
+        prop_assert!(v <= bucket_upper(i));
+        if i + 1 < BUCKETS {
+            prop_assert!(bucket_upper(i) < bucket_lower(i + 1));
+        }
+    }
+
+    /// count == #observations, sum == Σ values, buckets partition the count.
+    #[test]
+    fn snapshot_accounts_for_every_observation(values in vec(0u64..1u64 << 40, 0..200)) {
+        let s = record_all(&values);
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        prop_assert_eq!(s.buckets.iter().sum::<u64>(), s.count);
+        for &v in &values {
+            prop_assert!(s.buckets[bucket_index(v)] > 0);
+        }
+    }
+
+    /// Recording two batches separately and merging equals recording them
+    /// together, in either merge order.
+    #[test]
+    fn merge_is_commutative_and_matches_joint_recording(
+        xs in vec(0u64..1u64 << 40, 0..100),
+        ys in vec(0u64..1u64 << 40, 0..100),
+    ) {
+        let a = record_all(&xs);
+        let b = record_all(&ys);
+        let joint: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+        let ab = merged(&a, &b);
+        prop_assert_eq!(ab, merged(&b, &a));
+        prop_assert_eq!(ab, record_all(&joint));
+    }
+
+    /// Quantiles are monotone in q and bracket the extremes.
+    #[test]
+    fn quantiles_are_monotone_and_bracket(values in vec(0u64..1u64 << 40, 1..200)) {
+        let s = record_all(&values);
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        let mut prev = 0u64;
+        for step in 0..=10u32 {
+            let q = s.quantile(f64::from(step) / 10.0);
+            prop_assert!(q >= prev, "quantile not monotone");
+            prev = q;
+        }
+        // The lowest quantile's bucket holds the minimum; the highest
+        // quantile is an upper bound for the maximum.
+        prop_assert_eq!(s.quantile(0.0), bucket_upper(bucket_index(min)));
+        prop_assert!(s.quantile(1.0) >= max);
+    }
+}

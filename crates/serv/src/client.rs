@@ -24,12 +24,15 @@ use pbio_chan::filter::Predicate;
 use pbio_chan::wire::serialize_predicate;
 use pbio_net::frame::{
     read_frame, read_frame_body, read_frame_header, write_frame_raw, Frame, FrameError,
+    FRAME_HEADER_SIZE,
 };
+use pbio_obs::export::{snapshot_from_value, stats_schema, stats_value, StatsHeader, ROLE_CLIENT};
+use pbio_obs::{epoch_ns, Counter, Histogram, Registry, Snapshot, Span};
 use pbio_types::arch::ArchProfile;
 use pbio_types::layout::Layout;
-use pbio_types::meta::serialize_layout;
+use pbio_types::meta::{deserialize_layout, serialize_layout};
 use pbio_types::schema::Schema;
-use pbio_types::value::{encode_native_into, RecordValue};
+use pbio_types::value::{decode_native, encode_native_into, RecordValue};
 
 use crate::error::ServError;
 use crate::protocol::*;
@@ -52,7 +55,8 @@ pub struct Event<'a> {
     pub view: RecordView<'a>,
 }
 
-/// Client-side receive counters.
+/// Client-side counters — the same shape of books the daemon keeps, so a
+/// monitoring consumer can line both up stage by stage.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClientStats {
     /// Events received.
@@ -61,7 +65,51 @@ pub struct ClientStats {
     pub zero_copy_events: u64,
     /// Events that went through a generated conversion.
     pub converted_events: u64,
+    /// Frame bytes received (headers + bodies).
+    pub bytes_in: u64,
+    /// Frame bytes sent (headers + bodies).
+    pub bytes_out: u64,
+    /// Scratch-buffer requests served from the pool.
+    pub pool_hits: u64,
+    /// Scratch-buffer requests that had to allocate.
+    pub pool_misses: u64,
+    /// Events discarded because they raced an acknowledged request and
+    /// overflowed the bounded pending queue.
+    pub dropped: u64,
 }
+
+/// Pre-resolved handles into the client's per-instance registry.
+struct ClientMetrics {
+    events: Arc<Counter>,
+    zero_copy_events: Arc<Counter>,
+    converted_events: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    dropped: Arc<Counter>,
+    /// Time encoding a [`RecordValue`] in [`ServClient::publish_value`].
+    encode_ns: Arc<Histogram>,
+    /// Time converting a received record that was not zero-copy.
+    convert_ns: Arc<Histogram>,
+}
+
+impl ClientMetrics {
+    fn resolve(reg: &Registry) -> ClientMetrics {
+        ClientMetrics {
+            events: reg.counter("client_events"),
+            zero_copy_events: reg.counter("client_zero_copy_events"),
+            converted_events: reg.counter("client_converted_events"),
+            bytes_in: reg.counter("client_bytes_in"),
+            bytes_out: reg.counter("client_bytes_out"),
+            dropped: reg.counter("client_dropped"),
+            encode_ns: reg.histogram("client_encode_ns"),
+            convert_ns: reg.histogram("client_convert_ns"),
+        }
+    }
+}
+
+/// Events buffered while awaiting an acknowledgement before drop-oldest
+/// kicks in (control frames are never dropped).
+const MAX_PENDING_EVENTS: usize = 256;
 
 /// Receive-buffer size: large enough that one of the daemon's coalesced
 /// write batches arrives in a single read syscall.
@@ -88,7 +136,32 @@ pub struct ServClient {
     event_buf: PooledBuf,
     timeout: Duration,
     next_token: u32,
-    stats: ClientStats,
+    /// Daemon-assigned connection id (from the HELLO ack) — stamps this
+    /// client's stats records.
+    conn_id: u32,
+    /// Per-client metric registry ([`ClientStats`] is a view of it).
+    registry: Arc<Registry>,
+    metrics: ClientMetrics,
+    /// Wire layouts by format id, from ANNOUNCE frames: enough to decode
+    /// any announced record without a declared expectation.
+    wire_layouts: HashMap<u32, Arc<Layout>>,
+    /// Cached `$stats` schema/format pair, re-registered only when the
+    /// metric set (hence the schema) changes.
+    stats_format: Option<(Schema, u32)>,
+    stats_seq: u64,
+}
+
+/// One event delivered raw: the publisher's untouched NDR bytes plus the
+/// wire layout they were announced with (see [`ServClient::poll_raw`]).
+pub struct RawEvent<'a> {
+    /// Channel the event arrived on.
+    pub channel: u32,
+    /// Daemon-global format id of the record.
+    pub format: u32,
+    /// The publisher's layout, as announced.
+    pub layout: Arc<Layout>,
+    /// The record's native bytes, exactly as published.
+    pub bytes: &'a [u8],
 }
 
 impl ServClient {
@@ -102,6 +175,11 @@ impl ServClient {
         let rx = BufReader::with_capacity(READ_BUF_SIZE, stream.try_clone()?);
         let pool = BufPool::new();
         let event_buf = pool.get(0);
+        let registry = Arc::new(Registry::new());
+        let metrics = ClientMetrics::resolve(&registry);
+        // Adopt the pool's counters so the registry reads them through.
+        registry.register_counter("pool_hits", pool.hit_counter().clone());
+        registry.register_counter("pool_misses", pool.miss_counter().clone());
         let mut client = ServClient {
             stream,
             rx,
@@ -113,11 +191,17 @@ impl ServClient {
             event_buf,
             timeout: DEFAULT_TIMEOUT,
             next_token: 0,
-            stats: ClientStats::default(),
+            conn_id: 0,
+            registry,
+            metrics,
+            wire_layouts: HashMap::new(),
+            stats_format: None,
+            stats_seq: 0,
         };
         client.send_raw(K_HELLO, PROTOCOL_VERSION, 0, profile.name.as_bytes())?;
         let ack = client.await_ack(K_HELLO_ACK, PROTOCOL_VERSION)?;
         debug_assert_eq!(ack.kind, K_HELLO_ACK);
+        client.conn_id = ack.b;
         Ok(client)
     }
 
@@ -167,6 +251,19 @@ impl ServClient {
         filter: Option<&Predicate>,
     ) -> Result<(), ServError> {
         self.reader.expect(schema)?;
+        self.subscribe_raw(channel, filter)
+    }
+
+    /// Subscribe without declaring an expected record schema. Events on
+    /// such a channel must be consumed through [`ServClient::poll_raw`],
+    /// which hands back the publisher's bytes and announced layout — the
+    /// path for consumers (like stats monitors) that discover record
+    /// shapes dynamically from the announcements themselves.
+    pub fn subscribe_raw(
+        &mut self,
+        channel: u32,
+        filter: Option<&Predicate>,
+    ) -> Result<(), ServError> {
         let (flagged, body) = match filter {
             Some(p) => (1, serialize_predicate(p)),
             None => (0, Vec::new()),
@@ -209,7 +306,10 @@ impl ServClient {
             .ok_or(ServError::UnknownFormat(format))?
             .clone();
         let mut native = self.pool.get(layout.size());
-        encode_native_into(value, &layout, &mut native).map_err(PbioError::from)?;
+        {
+            let _span = Span::enter(&self.metrics.encode_ns);
+            encode_native_into(value, &layout, &mut native).map_err(PbioError::from)?;
+        }
         self.send_raw(K_PUBLISH, channel, format, &native)
     }
 
@@ -220,51 +320,27 @@ impl ServClient {
     pub fn poll(&mut self, timeout: Duration) -> Result<Option<Event<'_>>, ServError> {
         let deadline = Instant::now() + timeout;
         loop {
-            // One frame per iteration: (kind, a, b) plus its body in a
-            // pooled buffer. The steady state (frames read off the
-            // socket, bodies cycling through the pool) allocates nothing.
-            let (kind, a, b, body) = match self.pending.pop_front() {
-                Some(f) => {
-                    let mut buf = self.pool.get(f.body.len());
-                    buf.extend_from_slice(&f.body);
-                    (f.kind, f.a, f.b, buf)
-                }
-                None => {
-                    // Arm the socket timeout only when the next read will
-                    // actually hit the socket; frames already sitting in
-                    // the receive buffer cost no syscalls at all.
-                    if self.rx.buffer().is_empty() {
-                        let now = Instant::now();
-                        if now >= deadline {
-                            return Ok(None);
-                        }
-                        self.stream
-                            .set_read_timeout(Some((deadline - now).max(MIN_TIMEOUT)))?;
-                    }
-                    let header = match read_frame_header(&mut self.rx) {
-                        Ok(h) => h,
-                        Err(FrameError::Timeout) => return Ok(None),
-                        Err(e) => return Err(e.into()),
-                    };
-                    let mut buf = self.pool.get(header.len);
-                    read_frame_body(&mut self.rx, header.len, &mut buf)?;
-                    (header.kind, header.a, header.b, buf)
-                }
+            let Some((kind, a, b, body)) = self.next_frame(deadline)? else {
+                return Ok(None);
             };
             match kind {
                 K_ANNOUNCE => {
+                    self.note_wire_format(a, &body);
                     self.reader.on_format(a, &body)?;
                 }
                 K_EVENT => {
-                    self.stats.events += 1;
-                    if self.reader.is_zero_copy(b) {
-                        self.stats.zero_copy_events += 1;
+                    self.metrics.events.inc();
+                    let zero_copy = self.reader.is_zero_copy(b);
+                    if zero_copy {
+                        self.metrics.zero_copy_events.inc();
                     } else {
-                        self.stats.converted_events += 1;
+                        self.metrics.converted_events.inc();
                     }
                     // The previous event's buffer returns to the pool
                     // here, ready for the next frame read.
                     self.event_buf = body;
+                    let convert_hist = (!zero_copy).then(|| self.metrics.convert_ns.clone());
+                    let _span = convert_hist.as_ref().map(|h| Span::enter(h));
                     let view = self.reader.on_data(b, &self.event_buf)?;
                     return Ok(Some(Event {
                         channel: a,
@@ -287,6 +363,92 @@ impl ServClient {
         }
     }
 
+    /// [`ServClient::poll`] without the embedded reader: events come back
+    /// as the publisher's untouched bytes plus the announced wire layout,
+    /// for subscriptions made with [`ServClient::subscribe_raw`].
+    pub fn poll_raw(&mut self, timeout: Duration) -> Result<Option<RawEvent<'_>>, ServError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let Some((kind, a, b, body)) = self.next_frame(deadline)? else {
+                return Ok(None);
+            };
+            match kind {
+                K_ANNOUNCE => self.note_wire_format(a, &body),
+                K_EVENT => {
+                    self.metrics.events.inc();
+                    let Some(layout) = self.wire_layouts.get(&b).cloned() else {
+                        return Err(ServError::Protocol(format!(
+                            "event for unannounced format {b}"
+                        )));
+                    };
+                    self.event_buf = body;
+                    return Ok(Some(RawEvent {
+                        channel: a,
+                        format: b,
+                        layout,
+                        bytes: &self.event_buf,
+                    }));
+                }
+                K_ERROR => {
+                    return Err(ServError::Remote {
+                        code: a,
+                        message: String::from_utf8_lossy(&body).into_owned(),
+                    })
+                }
+                other => {
+                    return Err(ServError::Protocol(format!(
+                        "unexpected frame kind {other:#04x} while polling"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Next frame as `(kind, a, b, body)`, from the pending queue or the
+    /// socket; `None` once `deadline` passes. One frame per call: the
+    /// steady state (frames read off the socket, bodies cycling through
+    /// the pool) allocates nothing.
+    fn next_frame(
+        &mut self,
+        deadline: Instant,
+    ) -> Result<Option<(u8, u32, u32, PooledBuf)>, ServError> {
+        if let Some(f) = self.pending.pop_front() {
+            let mut buf = self.pool.get(f.body.len());
+            buf.extend_from_slice(&f.body);
+            return Ok(Some((f.kind, f.a, f.b, buf)));
+        }
+        // Arm the socket timeout only when the next read will actually
+        // hit the socket; frames already sitting in the receive buffer
+        // cost no syscalls at all.
+        if self.rx.buffer().is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            self.stream
+                .set_read_timeout(Some((deadline - now).max(MIN_TIMEOUT)))?;
+        }
+        let header = match read_frame_header(&mut self.rx) {
+            Ok(h) => h,
+            Err(FrameError::Timeout) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let mut buf = self.pool.get(header.len);
+        read_frame_body(&mut self.rx, header.len, &mut buf)?;
+        self.metrics
+            .bytes_in
+            .add((FRAME_HEADER_SIZE + header.len) as u64);
+        Ok(Some((header.kind, header.a, header.b, buf)))
+    }
+
+    /// Remember the wire layout an ANNOUNCE carried (undecodable metadata
+    /// is left for [`pbio::Reader::on_format`] to report).
+    fn note_wire_format(&mut self, format: u32, meta: &[u8]) {
+        if let Ok(layout) = deserialize_layout(meta) {
+            self.wire_layouts.insert(format, Arc::new(layout));
+        }
+    }
+
     /// Whether records of a format reach this subscriber zero-copy
     /// (unknown formats report `false`).
     pub fn is_zero_copy(&self, format: u32) -> bool {
@@ -299,9 +461,75 @@ impl ServClient {
         self.reader.dcg_stats(format)
     }
 
-    /// Receive counters.
+    /// Counters (a fixed-field view of [`ServClient::registry`]).
     pub fn stats(&self) -> ClientStats {
-        self.stats
+        let pool = self.pool.stats();
+        ClientStats {
+            events: self.metrics.events.get(),
+            zero_copy_events: self.metrics.zero_copy_events.get(),
+            converted_events: self.metrics.converted_events.get(),
+            bytes_in: self.metrics.bytes_in.get(),
+            bytes_out: self.metrics.bytes_out.get(),
+            pool_hits: pool.hits,
+            pool_misses: pool.misses,
+            dropped: self.metrics.dropped.get(),
+        }
+    }
+
+    /// This client's metric registry: every [`ClientStats`] field plus
+    /// the encode/convert latency histograms.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The daemon-assigned connection id (echoed in the HELLO ack).
+    pub fn conn_id(&self) -> u32 {
+        self.conn_id
+    }
+
+    /// Pull a one-shot stats snapshot from the daemon ([`K_STATS`]). The
+    /// record arrives as native bytes in the daemon's own stats layout
+    /// (announced first), and is decoded here — across architectures if
+    /// need be — into a header plus [`Snapshot`].
+    pub fn pull_stats(&mut self) -> Result<(StatsHeader, Snapshot), ServError> {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.send_raw(K_STATS, token, 0, &[])?;
+        let ack = self.await_ack(K_STATS_ACK, token)?;
+        let layout = self.wire_layouts.get(&ack.b).cloned().ok_or_else(|| {
+            ServError::Protocol(format!("stats format {} was never announced", ack.b))
+        })?;
+        let value = decode_native(&ack.body, &layout).map_err(PbioError::from)?;
+        snapshot_from_value(&value)
+            .ok_or_else(|| ServError::Protocol("stats record lacks header fields".into()))
+    }
+
+    /// Publish a snapshot of this client's own registry on `channel`
+    /// (normally the daemon's `$stats` channel, opened by name via
+    /// [`ServClient::open_channel`]). The snapshot's schema is generated
+    /// from the metric set and registered like any other format — stats
+    /// travel the wire as ordinary PBIO records, laid out for *this*
+    /// client's architecture.
+    pub fn publish_stats(&mut self, channel: u32) -> Result<(), ServError> {
+        let snap = self.registry.snapshot();
+        let header = StatsHeader {
+            role: ROLE_CLIENT,
+            id: self.conn_id,
+            seq: self.stats_seq,
+            t_ns: epoch_ns(),
+        };
+        self.stats_seq += 1;
+        let schema = stats_schema(&snap);
+        let format = match &self.stats_format {
+            Some((cached, id)) if *cached == schema => *id,
+            _ => {
+                let id = self.register_format(&schema)?;
+                self.stats_format = Some((schema.clone(), id));
+                id
+            }
+        };
+        let value = stats_value(&header, &snap);
+        self.publish_value(channel, format, &value)
     }
 
     /// Graceful disconnect: announce departure and wait for the daemon's
@@ -340,6 +568,9 @@ impl ServClient {
     fn send_raw(&mut self, kind: u8, a: u32, b: u32, body: &[u8]) -> Result<(), ServError> {
         write_frame_raw(&mut self.stream, kind, a, b, body)?;
         self.stream.flush()?;
+        self.metrics
+            .bytes_out
+            .add((FRAME_HEADER_SIZE + body.len()) as u64);
         Ok(())
     }
 
@@ -355,19 +586,49 @@ impl ServClient {
             self.stream
                 .set_read_timeout(Some((deadline - now).max(MIN_TIMEOUT)))?;
             match read_frame(&mut self.rx) {
-                Ok(f) if f.kind == kind && f.a == token => return Ok(f),
-                Ok(f) if f.kind == K_EVENT || f.kind == K_ANNOUNCE => self.pending.push_back(f),
-                Ok(f) if f.kind == K_ERROR => return Err(remote_error(&f)),
                 Ok(f) => {
-                    return Err(ServError::Protocol(format!(
-                        "expected frame kind {kind:#04x}, got {:#04x}",
-                        f.kind
-                    )))
+                    self.metrics
+                        .bytes_in
+                        .add((FRAME_HEADER_SIZE + f.body.len()) as u64);
+                    if f.kind == kind && f.a == token {
+                        return Ok(f);
+                    }
+                    match f.kind {
+                        // Note announced layouts immediately, so a reply
+                        // that depends on one (K_STATS_ACK) can decode
+                        // even though the frame itself is only buffered.
+                        K_ANNOUNCE => {
+                            self.note_wire_format(f.a, &f.body);
+                            self.pending.push_back(f);
+                        }
+                        K_EVENT => self.buffer_event(f),
+                        K_ERROR => return Err(remote_error(&f)),
+                        other => {
+                            return Err(ServError::Protocol(format!(
+                                "expected frame kind {kind:#04x}, got {other:#04x}",
+                            )))
+                        }
+                    }
                 }
                 Err(FrameError::Timeout) => continue,
                 Err(e) => return Err(e.into()),
             }
         }
+    }
+
+    /// Buffer an event that raced an acknowledged request, dropping the
+    /// oldest buffered *event* (never a control frame) once the bounded
+    /// budget is exhausted — the client-side mirror of the daemon's
+    /// outbound drop-oldest policy.
+    fn buffer_event(&mut self, f: Frame) {
+        let events = self.pending.iter().filter(|p| p.kind == K_EVENT).count();
+        if events >= MAX_PENDING_EVENTS {
+            if let Some(i) = self.pending.iter().position(|p| p.kind == K_EVENT) {
+                self.pending.remove(i);
+                self.metrics.dropped.inc();
+            }
+        }
+        self.pending.push_back(f);
     }
 }
 

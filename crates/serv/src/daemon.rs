@@ -37,7 +37,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use pbio::{BufPool, FormatServer};
-use pbio_chan::dispatch::{DeliveryOutcome, Fanout, Subscriber, SubscriptionId};
+use pbio_chan::dispatch::{DeliveryOutcome, Fanout, FanoutObs, Subscriber, SubscriptionId};
 use pbio_chan::filter::{FilterProgram, Predicate};
 use pbio_chan::wire::deserialize_predicate;
 use pbio_net::buf::WireBuf;
@@ -45,7 +45,11 @@ use pbio_net::frame::{
     read_frame, read_frame_body, read_frame_header, write_frame, write_frames, Frame, FrameError,
     FRAME_HEADER_SIZE, MAX_WRITE_BATCH,
 };
+use pbio_obs::export::{stats_schema, stats_value, StatsHeader, ROLE_DAEMON};
+use pbio_obs::{epoch_ns, Counter, Gauge, Histogram, Registry, Span};
 use pbio_types::arch::ArchProfile;
+use pbio_types::layout::Layout;
+use pbio_types::value::encode_native_into;
 
 use crate::protocol::*;
 
@@ -61,15 +65,26 @@ const READ_BUF_SIZE: usize = 64 * 1024;
 pub struct ServConfig {
     /// Maximum events queued per connection before drop-oldest kicks in.
     pub queue_capacity: usize,
+    /// How often the daemon publishes a snapshot of its metric registry
+    /// on the reserved [`STATS_CHANNEL`] — as an ordinary PBIO record,
+    /// through the same fan-out every other event takes. `None` disables
+    /// the publisher thread (one-shot [`K_STATS`] pulls still work).
+    pub stats_interval: Option<Duration>,
 }
 
 impl Default for ServConfig {
     fn default() -> ServConfig {
         ServConfig {
             queue_capacity: 256,
+            stats_interval: Some(Duration::from_secs(1)),
         }
     }
 }
+
+/// Architecture profile the daemon lays its own stats records out in.
+/// Subscribers on other architectures receive them through the ordinary
+/// conversion path — the stats channel dogfoods the machinery it measures.
+const STATS_PROFILE: &ArchProfile = &ArchProfile::X86_64;
 
 /// A snapshot of the daemon's counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -100,32 +115,60 @@ pub struct ServStats {
     pub pool_misses: u64,
 }
 
-#[derive(Default)]
-struct Counters {
-    active_connections: AtomicU64,
-    events_in: AtomicU64,
-    events_out: AtomicU64,
-    filtered_at_source: AtomicU64,
-    dropped: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    frames_batched: AtomicU64,
-    writes: AtomicU64,
+/// The daemon's metric handles, resolved once from its per-instance
+/// [`Registry`]. Hot paths touch only these `Arc`s; [`ServStats`] and the
+/// `$stats` channel are both views of the same registry.
+struct ServMetrics {
+    active_connections: Arc<Gauge>,
+    events_in: Arc<Counter>,
+    events_out: Arc<Counter>,
+    filtered_at_source: Arc<Counter>,
+    dropped: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    frames_batched: Arc<Counter>,
+    writes: Arc<Counter>,
+    /// Time handling one received frame (post-read, dispatch included).
+    recv_ns: Arc<Histogram>,
+    /// Time in one writer-thread vectored write (whole batch).
+    send_ns: Arc<Histogram>,
+    /// Time fanning one event out to a channel's subscribers.
+    fanout_ns: Arc<Histogram>,
+    /// Time evaluating one subscriber filter.
+    filter_ns: Arc<Histogram>,
 }
 
-impl Counters {
+impl ServMetrics {
+    fn resolve(reg: &Registry) -> ServMetrics {
+        ServMetrics {
+            active_connections: reg.gauge("serv_active_connections"),
+            events_in: reg.counter("serv_events_in"),
+            events_out: reg.counter("serv_events_out"),
+            filtered_at_source: reg.counter("serv_filtered_at_source"),
+            dropped: reg.counter("serv_dropped"),
+            bytes_in: reg.counter("serv_bytes_in"),
+            bytes_out: reg.counter("serv_bytes_out"),
+            frames_batched: reg.counter("serv_frames_batched"),
+            writes: reg.counter("serv_writes"),
+            recv_ns: reg.histogram("serv_recv_ns"),
+            send_ns: reg.histogram("serv_send_ns"),
+            fanout_ns: reg.histogram("serv_fanout_ns"),
+            filter_ns: reg.histogram("serv_filter_ns"),
+        }
+    }
+
     fn snapshot(&self, pool: &BufPool) -> ServStats {
         let pool = pool.stats();
         ServStats {
-            active_connections: self.active_connections.load(Ordering::Relaxed),
-            events_in: self.events_in.load(Ordering::Relaxed),
-            events_out: self.events_out.load(Ordering::Relaxed),
-            filtered_at_source: self.filtered_at_source.load(Ordering::Relaxed),
-            dropped: self.dropped.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            frames_batched: self.frames_batched.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
+            active_connections: u64::try_from(self.active_connections.get()).unwrap_or(0),
+            events_in: self.events_in.get(),
+            events_out: self.events_out.get(),
+            filtered_at_source: self.filtered_at_source.get(),
+            dropped: self.dropped.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+            frames_batched: self.frames_batched.get(),
+            writes: self.writes.get(),
             pool_hits: pool.hits,
             pool_misses: pool.misses,
         }
@@ -380,7 +423,10 @@ struct Channels {
 struct State {
     formats: Arc<FormatServer>,
     channels: Mutex<Channels>,
-    stats: Counters,
+    /// Per-daemon metric registry; the source of [`ServStats`] and of the
+    /// snapshots published on [`STATS_CHANNEL`].
+    registry: Arc<Registry>,
+    metrics: ServMetrics,
     shutdown: AtomicBool,
     queue_capacity: usize,
     next_conn: AtomicU64,
@@ -388,9 +434,41 @@ struct State {
     pool: Arc<BufPool>,
     /// Live connections, for per-connection stats.
     conns: Mutex<Vec<Weak<ConnShared>>>,
+    /// Sequence number stamped into stats records.
+    stats_seq: AtomicU64,
+    /// Channel id of the pre-opened [`STATS_CHANNEL`].
+    stats_channel: u32,
 }
 
 impl State {
+    fn new(config: &ServConfig) -> State {
+        let registry = Arc::new(Registry::new());
+        let metrics = ServMetrics::resolve(&registry);
+        let pool = BufPool::new();
+        // Adopt the pool's own counters: one set of books, read through.
+        registry.register_counter("pool_hits", pool.hit_counter().clone());
+        registry.register_counter("pool_misses", pool.miss_counter().clone());
+        let mut state = State {
+            formats: FormatServer::new(),
+            channels: Mutex::new(Channels {
+                by_name: HashMap::new(),
+                by_id: HashMap::new(),
+                next: 0,
+            }),
+            registry,
+            metrics,
+            shutdown: AtomicBool::new(false),
+            queue_capacity: config.queue_capacity,
+            next_conn: AtomicU64::new(0),
+            pool,
+            conns: Mutex::new(Vec::new()),
+            stats_seq: AtomicU64::new(0),
+            stats_channel: 0,
+        };
+        state.stats_channel = state.open_channel(STATS_CHANNEL);
+        state
+    }
+
     fn track(&self, conn: &Arc<ConnShared>) {
         let mut conns = self.conns.lock().unwrap_or_else(|p| p.into_inner());
         conns.retain(|w| w.strong_count() > 0);
@@ -404,9 +482,38 @@ impl State {
         }
         let id = chans.next;
         chans.next += 1;
+        let mut fanout = Fanout::new();
+        fanout.set_obs(FanoutObs {
+            fanout_ns: self.metrics.fanout_ns.clone(),
+            filter_ns: self.metrics.filter_ns.clone(),
+            dropped: self.metrics.dropped.clone(),
+        });
         chans.by_name.insert(name.to_owned(), id);
-        chans.by_id.insert(id, Arc::new(Mutex::new(Fanout::new())));
+        chans.by_id.insert(id, Arc::new(Mutex::new(fanout)));
         id
+    }
+
+    /// Encode one snapshot of the daemon's registry (merged with the
+    /// process-global module metrics) as a PBIO record: generate its
+    /// schema, register the layout like any client format (equal metric
+    /// sets dedup to the same id), and return `(format id, NDR bytes)`.
+    fn encode_stats(&self) -> Option<(u32, WireBuf)> {
+        let seq = self.stats_seq.fetch_add(1, Ordering::Relaxed);
+        let mut snap = self.registry.snapshot();
+        snap.merge_from(&Registry::global().snapshot());
+        let header = StatsHeader {
+            role: ROLE_DAEMON,
+            id: 0,
+            seq,
+            t_ns: epoch_ns(),
+        };
+        let schema = stats_schema(&snap);
+        let layout = Arc::new(Layout::of(&schema, STATS_PROFILE).ok()?);
+        let (format, _, _) = self.formats.register(&layout);
+        let value = stats_value(&header, &snap);
+        let mut buf = self.pool.get(layout.size());
+        encode_native_into(&value, &layout, &mut buf).ok()?;
+        Some((format, WireBuf::copy_from(&buf)))
     }
 
     fn channel(&self, id: u32) -> Option<Arc<Mutex<Fanout<RemoteSubscriber>>>> {
@@ -426,6 +533,7 @@ pub struct ServDaemon {
     state: Arc<State>,
     addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
+    stats_thread: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -440,30 +548,29 @@ impl ServDaemon {
     pub fn bind_with(addr: impl ToSocketAddrs, config: ServConfig) -> io::Result<ServDaemon> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(State {
-            formats: FormatServer::new(),
-            channels: Mutex::new(Channels {
-                by_name: HashMap::new(),
-                by_id: HashMap::new(),
-                next: 0,
-            }),
-            stats: Counters::default(),
-            shutdown: AtomicBool::new(false),
-            queue_capacity: config.queue_capacity,
-            next_conn: AtomicU64::new(0),
-            pool: BufPool::new(),
-            conns: Mutex::new(Vec::new()),
-        });
+        let state = Arc::new(State::new(&config));
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
         let accept_state = state.clone();
         let accept_conns = conn_threads.clone();
         let accept_thread = std::thread::Builder::new()
             .name("pbio-serv-accept".into())
             .spawn(move || accept_loop(listener, accept_state, accept_conns))?;
+        let stats_thread = match config.stats_interval {
+            Some(interval) => {
+                let stats_state = state.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("pbio-serv-stats".into())
+                        .spawn(move || stats_loop(stats_state, interval))?,
+                )
+            }
+            None => None,
+        };
         Ok(ServDaemon {
             state,
             addr,
             accept_thread: Some(accept_thread),
+            stats_thread,
             conn_threads,
         })
     }
@@ -478,9 +585,15 @@ impl ServDaemon {
         &self.state.formats
     }
 
-    /// Current counters.
+    /// Current counters (a fixed-field view of [`ServDaemon::registry`]).
     pub fn stats(&self) -> ServStats {
-        self.state.stats.snapshot(&self.state.pool)
+        self.state.metrics.snapshot(&self.state.pool)
+    }
+
+    /// The daemon's metric registry: every [`ServStats`] field plus the
+    /// latency histograms, as published on the `$stats` channel.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.state.registry
     }
 
     /// Writer-side counters for each connection still alive.
@@ -505,6 +618,9 @@ impl ServDaemon {
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.stats_thread.take() {
             let _ = h.join();
         }
         let handles: Vec<_> = {
@@ -545,6 +661,39 @@ fn accept_loop(listener: TcpListener, state: Arc<State>, conns: Arc<Mutex<Vec<Jo
             conns.lock().unwrap_or_else(|p| p.into_inner()).push(h);
         }
     }
+}
+
+/// Periodically publish the daemon's registry snapshot on the reserved
+/// stats channel, through the same fan-out path as any client event:
+/// subscribers get the record announced, filtered, queued, and batched
+/// exactly like application data.
+fn stats_loop(state: Arc<State>, interval: Duration) {
+    let step = interval.min(POLL_INTERVAL).max(Duration::from_millis(1));
+    let mut since_tick = Duration::ZERO;
+    loop {
+        std::thread::sleep(step);
+        if state.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        since_tick += step;
+        if since_tick < interval {
+            continue;
+        }
+        since_tick = Duration::ZERO;
+        publish_stats(&state);
+    }
+}
+
+fn publish_stats(state: &State) {
+    let Some((format, wire)) = state.encode_stats() else {
+        return;
+    };
+    let Some(fanout) = state.channel(state.stats_channel) else {
+        return;
+    };
+    let mut fanout = fanout.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = fanout.publish_shared(format, &wire);
+    state.registry.trace("stats_publish", format as u64);
 }
 
 // ---------------------------------------------------------------------------
@@ -636,10 +785,7 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
         return;
     };
 
-    state
-        .stats
-        .active_connections
-        .fetch_add(1, Ordering::Relaxed);
+    state.metrics.active_connections.inc();
     let mut subscriptions: Vec<(u32, SubscriptionId)> = Vec::new();
 
     loop {
@@ -661,9 +807,12 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
             break;
         }
         state
-            .stats
+            .metrics
             .bytes_in
-            .fetch_add((FRAME_HEADER_SIZE + header.len) as u64, Ordering::Relaxed);
+            .add((FRAME_HEADER_SIZE + header.len) as u64);
+        // Times the handling of this frame (dispatch included), not the
+        // blocking read above it.
+        let _recv_span = Span::enter(&state.metrics.recv_ns);
         match header.kind {
             K_FORMAT => match state.formats.register_meta(&body) {
                 Ok((id, _, _)) => {
@@ -716,7 +865,7 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
                     .send(Frame::control(K_SUBSCRIBE_ACK, header.a, 0));
             }
             K_PUBLISH => {
-                state.stats.events_in.fetch_add(1, Ordering::Relaxed);
+                state.metrics.events_in.inc();
                 let Some(layout) = state.formats.lookup(header.b) else {
                     send_error(
                         &conn.outbound,
@@ -753,15 +902,36 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
                 let before = fanout.stats();
                 let _ = fanout.publish_shared(header.b, &wire);
                 let after = fanout.stats();
+                // Drops are already counted by the fan-out's obs hook;
+                // only the filter suppressions need mirroring here.
                 state
-                    .stats
+                    .metrics
                     .filtered_at_source
-                    .fetch_add(after.filtered_out - before.filtered_out, Ordering::Relaxed);
-                state
-                    .stats
-                    .dropped
-                    .fetch_add(after.dropped - before.dropped, Ordering::Relaxed);
+                    .add(after.filtered_out - before.filtered_out);
             }
+            K_STATS => match state.encode_stats() {
+                Some((format, wire)) => {
+                    // Announce the snapshot's format once per connection
+                    // (under the same lock the event path uses), so the
+                    // client can decode the body that follows.
+                    let mut ann = conn.announced.lock().unwrap_or_else(|p| p.into_inner());
+                    if !ann.contains(&format) {
+                        if let Some(meta) = state.formats.meta(format) {
+                            conn.outbound.send(Frame::with_body(
+                                K_ANNOUNCE,
+                                format,
+                                0,
+                                WireBuf::from(meta),
+                            ));
+                            ann.insert(format);
+                        }
+                    }
+                    conn.outbound
+                        .send(Frame::with_body(K_STATS_ACK, header.a, format, wire));
+                    drop(ann);
+                }
+                None => send_error(&conn.outbound, E_FORMAT, "stats snapshot encoding failed"),
+            },
             K_BYE => {
                 conn.outbound.send(Frame::control(K_BYE_ACK, 0, 0));
                 break;
@@ -786,10 +956,7 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
     }
     conn.outbound.close();
     let _ = writer_thread.join();
-    state
-        .stats
-        .active_connections
-        .fetch_sub(1, Ordering::Relaxed);
+    state.metrics.active_connections.dec();
 }
 
 fn writer_loop(mut stream: TcpStream, conn: Arc<ConnShared>, state: Arc<State>) {
@@ -799,7 +966,11 @@ fn writer_loop(mut stream: TcpStream, conn: Arc<ConnShared>, state: Arc<State>) 
         if !conn.outbound.pop_batch(&mut batch, MAX_WRITE_BATCH) {
             break;
         }
-        let bytes = match write_frames(&mut stream, &batch) {
+        let written = {
+            let _send_span = Span::enter(&state.metrics.send_ns);
+            write_frames(&mut stream, &batch)
+        };
+        let bytes = match written {
             Ok(n) => n as u64,
             Err(_) => {
                 // Peer gone: stop queuing for it and wake the reader.
@@ -809,19 +980,16 @@ fn writer_loop(mut stream: TcpStream, conn: Arc<ConnShared>, state: Arc<State>) 
             }
         };
         let events = batch.iter().filter(|f| f.kind == K_EVENT).count() as u64;
-        state.stats.events_out.fetch_add(events, Ordering::Relaxed);
-        state.stats.bytes_out.fetch_add(bytes, Ordering::Relaxed);
-        state.stats.writes.fetch_add(1, Ordering::Relaxed);
+        state.metrics.events_out.add(events);
+        state.metrics.bytes_out.add(bytes);
+        state.metrics.writes.inc();
         conn.counters.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
         conn.counters
             .frames_sent
             .fetch_add(batch.len() as u64, Ordering::Relaxed);
         conn.counters.writes.fetch_add(1, Ordering::Relaxed);
         if batch.len() > 1 {
-            state
-                .stats
-                .frames_batched
-                .fetch_add(batch.len() as u64, Ordering::Relaxed);
+            state.metrics.frames_batched.add(batch.len() as u64);
             conn.counters
                 .frames_batched
                 .fetch_add(batch.len() as u64, Ordering::Relaxed);
@@ -912,25 +1080,34 @@ mod tests {
 
     #[test]
     fn open_channel_is_create_or_get() {
-        let state = State {
-            formats: FormatServer::new(),
-            channels: Mutex::new(Channels {
-                by_name: HashMap::new(),
-                by_id: HashMap::new(),
-                next: 0,
-            }),
-            stats: Counters::default(),
-            shutdown: AtomicBool::new(false),
+        let state = State::new(&ServConfig {
             queue_capacity: 4,
-            next_conn: AtomicU64::new(0),
-            pool: BufPool::new(),
-            conns: Mutex::new(Vec::new()),
-        };
+            stats_interval: None,
+        });
         let a = state.open_channel("alpha");
         let b = state.open_channel("beta");
         assert_ne!(a, b);
         assert_eq!(state.open_channel("alpha"), a);
         assert!(state.channel(a).is_some());
         assert!(state.channel(99).is_none());
+        // The stats channel is pre-opened and create-or-get finds it.
+        assert_eq!(state.open_channel(STATS_CHANNEL), state.stats_channel);
+    }
+
+    #[test]
+    fn encoded_stats_dedup_until_the_metric_set_changes() {
+        let state = State::new(&ServConfig::default());
+        state.metrics.events_in.add(3);
+        let (fmt_a, wire_a) = state.encode_stats().expect("snapshot encodes");
+        let (fmt_b, _) = state.encode_stats().expect("snapshot encodes");
+        assert_eq!(
+            fmt_a, fmt_b,
+            "equal metric sets produce one registered format"
+        );
+        assert!(!wire_a.is_empty());
+        // A new metric changes the schema, hence the format id.
+        state.registry.counter("serv_extra").inc();
+        let (fmt_c, _) = state.encode_stats().expect("snapshot encodes");
+        assert_ne!(fmt_a, fmt_c);
     }
 }

@@ -22,6 +22,13 @@
 //!   format with the same DCG machinery as the conversions and evaluates
 //!   it *before* transmission, so unwanted events never touch the wire.
 //!
+//! * **Stats are dogfooded**: the daemon and every client keep their
+//!   books in a [`pbio_obs::Registry`]; the daemon publishes periodic
+//!   snapshots on the reserved `$stats` channel *as PBIO records*,
+//!   described by their own generated format — heterogeneous monitors
+//!   receive the measurements through the very conversion machinery the
+//!   measurements describe. One-shot pulls ride the `STATS` frame.
+//!
 //! Layering: [`protocol`] defines the session frames (carried by
 //! [`pbio_net::frame`]); [`daemon`] is the thread-per-connection server
 //! built on [`pbio_chan::dispatch::Fanout`]; [`client`] is the blocking
@@ -34,6 +41,7 @@ pub mod daemon;
 pub mod error;
 pub mod protocol;
 
-pub use client::{ClientStats, Event, ServClient};
+pub use client::{ClientStats, Event, RawEvent, ServClient};
 pub use daemon::{ConnStats, ServConfig, ServDaemon, ServStats};
 pub use error::ServError;
+pub use protocol::STATS_CHANNEL;

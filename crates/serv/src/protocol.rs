@@ -46,6 +46,11 @@
 /// Protocol version carried in `HELLO`/`HELLO_ACK`.
 pub const PROTOCOL_VERSION: u32 = 1;
 
+/// Name of the reserved channel the daemon publishes its own metric
+/// snapshots on (clients may publish theirs too). Opened at daemon
+/// startup; `open_channel(STATS_CHANNEL)` from any client returns it.
+pub const STATS_CHANNEL: &str = "$stats";
+
 /// Client → daemon: open a session. `a` = version, body = architecture
 /// profile name (e.g. `"sparc-v8"`).
 pub const K_HELLO: u8 = 0x01;
@@ -77,6 +82,14 @@ pub const K_EVENT: u8 = 0x21;
 /// see. `a` = format id, body = serialized layout. Sent once per
 /// (connection, format), always before that format's first [`K_EVENT`].
 pub const K_ANNOUNCE: u8 = 0x22;
+/// Client → daemon: request a one-shot stats snapshot. `a` = client
+/// token. The daemon answers with [`K_STATS_ACK`], preceded — once per
+/// connection — by a [`K_ANNOUNCE`] for the snapshot's format.
+pub const K_STATS: u8 = 0x40;
+/// Daemon → client: a stats snapshot. `a` = echoed token, `b` = the
+/// snapshot's daemon-global format id, body = the snapshot record's
+/// native (NDR) bytes — the same encoding the `$stats` channel carries.
+pub const K_STATS_ACK: u8 = 0x41;
 /// Client → daemon: graceful disconnect.
 pub const K_BYE: u8 = 0x30;
 /// Daemon → client: disconnect acknowledged; no further frames follow.

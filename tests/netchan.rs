@@ -235,7 +235,14 @@ fn daemon_rejects_bad_requests_with_typed_errors() {
 
 #[test]
 fn slow_subscriber_backpressure_drops_oldest_not_newest() {
-    let daemon = ServDaemon::bind_with("127.0.0.1:0", ServConfig { queue_capacity: 8 }).unwrap();
+    let daemon = ServDaemon::bind_with(
+        "127.0.0.1:0",
+        ServConfig {
+            queue_capacity: 8,
+            stats_interval: None,
+        },
+    )
+    .unwrap();
     let addr = daemon.local_addr();
     let schema = telemetry_schema();
 
@@ -310,7 +317,14 @@ fn drop_oldest_accounting_is_exact_across_many_slow_subscribers() {
     const SUBS: usize = 3;
     const TOTAL: i32 = 400;
 
-    let daemon = ServDaemon::bind_with("127.0.0.1:0", ServConfig { queue_capacity: 8 }).unwrap();
+    let daemon = ServDaemon::bind_with(
+        "127.0.0.1:0",
+        ServConfig {
+            queue_capacity: 8,
+            stats_interval: None,
+        },
+    )
+    .unwrap();
     let addr = daemon.local_addr();
     let schema = telemetry_schema();
 

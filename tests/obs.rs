@@ -1,0 +1,303 @@
+//! Observability integration: the `$stats` channel end to end, one-shot
+//! `STATS` pulls, cross-architecture decoding of stats records through the
+//! real conversion machinery, client/daemon stats parity, and the
+//! protocol-robustness guarantee that an unknown frame kind draws an
+//! `ERROR` reply without killing the session.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pbio::Reader;
+use pbio_net::frame::{read_frame, write_frame_raw};
+use pbio_obs::export::{
+    snapshot_from_value, stats_schema, stats_value, StatsHeader, ROLE_CLIENT, ROLE_DAEMON,
+};
+use pbio_obs::Registry;
+use pbio_serv::protocol::{
+    E_PROTOCOL, K_CHANNEL, K_CHANNEL_ACK, K_ERROR, K_HELLO, K_HELLO_ACK, PROTOCOL_VERSION,
+};
+use pbio_serv::{ServClient, ServConfig, ServDaemon, STATS_CHANNEL};
+use pbio_types::arch::ArchProfile;
+use pbio_types::layout::Layout;
+use pbio_types::meta::serialize_layout;
+use pbio_types::schema::{AtomType, FieldDecl, Schema};
+use pbio_types::value::{decode_native, encode_native, RecordValue};
+
+fn tick_schema() -> Schema {
+    Schema::new(
+        "tick",
+        vec![
+            FieldDecl::atom("seq", AtomType::CInt),
+            FieldDecl::atom("level", AtomType::CDouble),
+        ],
+    )
+    .unwrap()
+}
+
+fn tick(seq: i32) -> RecordValue {
+    RecordValue::new().with("seq", seq).with("level", 0.5f64)
+}
+
+/// An unknown frame kind must draw `ERROR(E_PROTOCOL)` and leave the
+/// session fully functional — spoken raw so the bogus frame is under the
+/// test's control rather than a client library's.
+#[test]
+fn unknown_frame_kind_gets_error_and_keeps_the_session() {
+    let daemon = ServDaemon::bind_with(
+        "127.0.0.1:0",
+        ServConfig {
+            queue_capacity: 8,
+            stats_interval: None,
+        },
+    )
+    .unwrap();
+    let mut stream = TcpStream::connect(daemon.local_addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+
+    write_frame_raw(
+        &mut stream,
+        K_HELLO,
+        PROTOCOL_VERSION,
+        0,
+        ArchProfile::X86_64.name.as_bytes(),
+    )
+    .unwrap();
+    let ack = read_frame(&mut stream).unwrap();
+    assert_eq!(ack.kind, K_HELLO_ACK);
+
+    // A frame kind the protocol never assigned.
+    write_frame_raw(&mut stream, 0x6E, 1, 2, b"junk").unwrap();
+    let err = read_frame(&mut stream).unwrap();
+    assert_eq!(err.kind, K_ERROR);
+    assert_eq!(err.a, E_PROTOCOL);
+    assert!(
+        String::from_utf8_lossy(&err.body).contains("0x6e"),
+        "error names the offending kind"
+    );
+
+    // The session is still alive: a valid request round-trips.
+    write_frame_raw(&mut stream, K_CHANNEL, 7, 0, b"survivor").unwrap();
+    let ack = read_frame(&mut stream).unwrap();
+    assert_eq!(ack.kind, K_CHANNEL_ACK);
+    assert_eq!(ack.a, 7);
+    daemon.shutdown();
+}
+
+/// Daemon snapshots arrive on `$stats` as PBIO records at both a
+/// homogeneous and a big-endian subscriber, carry the daemon's live
+/// counters, and sit alongside client-published snapshots on the same
+/// channel.
+#[test]
+fn stats_channel_feeds_homogeneous_and_heterogeneous_subscribers() {
+    let daemon = ServDaemon::bind_with(
+        "127.0.0.1:0",
+        ServConfig {
+            queue_capacity: 256,
+            stats_interval: Some(Duration::from_millis(100)),
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+
+    // Traffic for the daemon to account: a publisher on its own channel,
+    // which also publishes its *own* registry snapshot on `$stats`.
+    let mut publisher = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let schema = tick_schema();
+    let format = publisher.register_format(&schema).unwrap();
+    let chan = publisher.open_channel("ticks").unwrap();
+    let stats_chan = publisher.open_channel(STATS_CHANNEL).unwrap();
+    for seq in 0..5 {
+        publisher.publish_value(chan, format, &tick(seq)).unwrap();
+    }
+    publisher.publish_stats(stats_chan).unwrap();
+
+    for profile in [&ArchProfile::X86_64, &ArchProfile::SPARC_V8] {
+        let mut sub = ServClient::connect(addr, profile).unwrap();
+        let stats_chan = sub.open_channel(STATS_CHANNEL).unwrap();
+        sub.subscribe_raw(stats_chan, None).unwrap();
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut daemon_snap = None;
+        let mut client_snap = None;
+        while (daemon_snap.is_none() || client_snap.is_none()) && Instant::now() < deadline {
+            // Client snapshots predate this subscription; re-publishing
+            // each round keeps one in flight.
+            publisher.publish_stats(stats_chan).unwrap();
+            let Some(ev) = sub.poll_raw(Duration::from_millis(200)).unwrap() else {
+                continue;
+            };
+            let value = decode_native(ev.bytes, &ev.layout).unwrap();
+            let (header, snap) = snapshot_from_value(&value).unwrap();
+            match header.role {
+                ROLE_DAEMON => daemon_snap = Some(snap),
+                ROLE_CLIENT => client_snap = Some((header, snap)),
+                other => panic!("unknown stats role {other}"),
+            }
+        }
+
+        let daemon_snap = daemon_snap.expect("daemon snapshot arrived");
+        assert!(daemon_snap.counter("serv_events_in").unwrap() >= 5);
+        assert!(daemon_snap.counter("serv_bytes_in").unwrap() > 0);
+        assert!(daemon_snap.counter("serv_bytes_out").unwrap() > 0);
+        assert!(daemon_snap.histogram("serv_recv_ns").unwrap().count > 0);
+        // Module-level metrics ride along via the global registry merge.
+        assert!(daemon_snap.counter("net_bytes_in").is_some());
+
+        let (header, client_snap) = client_snap.expect("client snapshot arrived");
+        assert_eq!(header.id, publisher.conn_id());
+        assert!(client_snap.histogram("client_encode_ns").unwrap().count > 0);
+        assert!(client_snap.counter("client_bytes_out").unwrap() > 0);
+    }
+    daemon.shutdown();
+}
+
+/// `pull_stats` round-trips a one-shot snapshot over the `STATS` frame,
+/// announced and decoded like any other record.
+#[test]
+fn pull_stats_returns_the_daemon_books() {
+    let daemon = ServDaemon::bind_with(
+        "127.0.0.1:0",
+        ServConfig {
+            queue_capacity: 8,
+            stats_interval: None,
+        },
+    )
+    .unwrap();
+    let mut client = ServClient::connect(daemon.local_addr(), &ArchProfile::SPARC_V8).unwrap();
+    let schema = tick_schema();
+    let format = client.register_format(&schema).unwrap();
+    let chan = client.open_channel("ticks").unwrap();
+    for seq in 0..3 {
+        client.publish_value(chan, format, &tick(seq)).unwrap();
+    }
+
+    let (header, snap) = client.pull_stats().unwrap();
+    assert_eq!(header.role, ROLE_DAEMON);
+    // The daemon may not have drained all three publishes yet, but the
+    // pull itself is ordered behind them on this connection.
+    assert_eq!(snap.counter("serv_events_in"), Some(3));
+    assert_eq!(snap.gauge("serv_active_connections"), Some(1));
+    assert!(snap.counter("pool_hits").is_some());
+
+    // A second pull reuses the announced format and moves forward.
+    let (header2, snap2) = client.pull_stats().unwrap();
+    assert!(header2.seq > header.seq);
+    assert!(snap2.counter("serv_bytes_in").unwrap() >= snap.counter("serv_bytes_in").unwrap());
+    client.disconnect().unwrap();
+    daemon.shutdown();
+}
+
+/// A stats record encoded on a big-endian ILP32 architecture survives the
+/// *real* receive path of a little-endian reader — `Reader::expect` +
+/// announced wire format + DCG conversion — field for field.
+#[test]
+fn stats_snapshot_converts_across_architectures() {
+    let reg = Registry::new();
+    reg.counter("events_in").add(1234);
+    reg.gauge("depth").set(-7);
+    let h = reg.histogram("encode_ns");
+    h.record(0);
+    h.record(900);
+    h.record(1 << 20);
+    let snap = reg.snapshot();
+    let header = StatsHeader {
+        role: ROLE_CLIENT,
+        id: 42,
+        seq: 3,
+        t_ns: 999_999,
+    };
+
+    let schema = stats_schema(&snap);
+    let value = stats_value(&header, &snap);
+    let sparc_layout = Layout::of(&schema, &ArchProfile::SPARC_V8).unwrap();
+    let wire = encode_native(&value, &sparc_layout).unwrap();
+
+    let mut reader = Reader::new(&ArchProfile::X86_64);
+    reader.expect(&schema).unwrap();
+    reader
+        .on_format(9, &serialize_layout(&Arc::new(sparc_layout)))
+        .unwrap();
+    assert!(!reader.is_zero_copy(9), "sparc -> x86-64 must convert");
+    let view = reader.on_data(9, &wire).unwrap();
+    let decoded = view.to_value().unwrap();
+
+    let (header2, snap2) = snapshot_from_value(&decoded).unwrap();
+    assert_eq!(header2, header);
+    assert_eq!(snap2, snap);
+}
+
+/// Client-side books mirror the daemon's: byte counters both ways, pool
+/// hit/miss parity, and the bounded pending queue's drop-oldest policy
+/// surfacing in `ClientStats::dropped`.
+#[test]
+fn client_stats_track_bytes_pool_and_poll_overflow_drops() {
+    let daemon = ServDaemon::bind_with(
+        "127.0.0.1:0",
+        ServConfig {
+            queue_capacity: 1024,
+            stats_interval: None,
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+    let schema = tick_schema();
+
+    let mut sub = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let chan = sub.open_channel("flood").unwrap();
+    sub.subscribe(chan, &schema, None).unwrap();
+
+    let mut publisher = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let format = publisher.register_format(&schema).unwrap();
+    let chan = publisher.open_channel("flood").unwrap();
+    const FLOOD: usize = 400;
+    for seq in 0..FLOOD {
+        publisher
+            .publish_value(chan, format, &tick(seq as i32))
+            .unwrap();
+    }
+    // Sync barrier: this ack is processed by the daemon strictly after
+    // every publish above, so all events sit in the subscriber's outbound
+    // queue (and on the socket, ahead of any later reply to it).
+    publisher.open_channel("sync").unwrap();
+
+    // The subscriber now makes an acknowledged request; all FLOOD events
+    // arrive before its ack and must be buffered — but only up to the
+    // bounded budget, dropping oldest beyond it.
+    sub.open_channel("extra").unwrap();
+    let stats = sub.stats();
+    assert!(
+        stats.dropped > 0,
+        "pending-queue overflow must drop events (got {stats:?})"
+    );
+
+    let mut received = 0;
+    while sub.poll(Duration::from_millis(300)).unwrap().is_some() {
+        received += 1;
+    }
+    let stats = sub.stats();
+    assert_eq!(
+        received as u64 + stats.dropped,
+        FLOOD as u64,
+        "every flooded event was either delivered or counted dropped"
+    );
+    assert_eq!(stats.events, received as u64);
+    assert_eq!(stats.zero_copy_events, received as u64);
+    assert!(stats.bytes_in > 0);
+    assert!(stats.bytes_out > 0);
+    assert!(stats.pool_hits > 0, "steady-state reads recycle the pool");
+
+    // The registry view and the fixed-field view are the same books.
+    let reg_snap = sub.registry().snapshot();
+    assert_eq!(reg_snap.counter("client_events"), Some(stats.events));
+    assert_eq!(reg_snap.counter("client_dropped"), Some(stats.dropped));
+    assert_eq!(reg_snap.counter("pool_hits"), Some(stats.pool_hits));
+
+    let pub_stats = publisher.stats();
+    assert!(pub_stats.bytes_out > 0);
+    let pub_reg = publisher.registry().snapshot();
+    assert!(pub_reg.histogram("client_encode_ns").unwrap().count >= FLOOD as u64);
+    daemon.shutdown();
+}
