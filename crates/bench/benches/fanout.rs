@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pbio_bench::workloads::{workload, MsgSize};
-use pbio_serv::{ServClient, ServConfig, ServDaemon};
+use pbio_serv::{ServClient, ServConfig, ServDaemon, TraceConfig};
 use pbio_types::arch::ArchProfile;
 use pbio_types::layout::Layout;
 use pbio_types::value::encode_native;
@@ -100,6 +100,12 @@ fn run_case(subscribers: usize, heterogeneous: bool, warmup: u64, events: u64) -
             // The allocation count below must see only the event path,
             // not a concurrent stats publisher.
             stats_interval: None,
+            // Ditto for tracing: the guard measures the disabled path.
+            trace: TraceConfig {
+                sample_mod: 0,
+                publish_interval: None,
+                sink_capacity: 16,
+            },
         },
     )
     .expect("bind daemon");

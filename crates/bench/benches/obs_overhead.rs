@@ -10,13 +10,26 @@
 //! disabled one — a CI tripwire against accidentally putting locks or
 //! allocation into the measurement path.
 //!
+//! The distributed-tracing machinery makes the same promise in the
+//! other direction: with sampling *disabled* (modulus 0), the per-publish
+//! decision is one relaxed atomic load — no allocation, no lock, and a
+//! throughput cost lost in the noise. The second section measures the
+//! encode loop with and without a disabled [`pbio_obs::TraceSampler`]
+//! consulted per op, under a counting global allocator, and in `--guard`
+//! mode fails if the sampler added any allocation or more than 1% + a
+//! few ns of latency.
+//!
 //! Runs as a plain `harness = false` binary (like `fanout`): `--guard`
 //! enforces the bound, the default just reports.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use pbio::Writer;
 use pbio_bench::workloads::{workload, MsgSize};
+use pbio_obs::TraceSampler;
 use pbio_types::arch::ArchProfile;
 
 /// Iterations per timed repetition.
@@ -24,8 +37,32 @@ const ITERS: u32 = 30_000;
 /// Repetitions; the minimum is reported (least-noise estimate).
 const REPS: usize = 7;
 
-/// ns/op for one encode pass over the workload record.
-fn measure() -> f64 {
+/// [`System`] allocator with an allocation counter, so the guard can
+/// assert a code path allocates exactly as much as its baseline.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates verbatim to `System`; the counter has no effect on
+// the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// ns/op and allocations/rep for one encode pass over the workload
+/// record, optionally consulting a disabled trace sampler per op — the
+/// exact check `ServClient::publish` runs on every untraced publish.
+fn measure(sampler: Option<&TraceSampler>) -> (f64, u64) {
     let w = workload(MsgSize::B100);
     let mut writer = Writer::new(&ArchProfile::X86_64);
     let id = writer.register(&w.schema).expect("register");
@@ -36,25 +73,34 @@ fn measure() -> f64 {
         writer.write_value(id, &w.value, &mut out).expect("encode");
     }
     let mut best = f64::INFINITY;
+    let mut allocs = u64::MAX;
     for _ in 0..REPS {
+        let before = ALLOCS.load(Ordering::Relaxed);
         let start = Instant::now();
         for _ in 0..ITERS {
             out.clear();
             writer.write_value(id, &w.value, &mut out).expect("encode");
+            if let Some(s) = sampler {
+                if black_box(s.try_sample()) {
+                    unreachable!("modulus 0 never samples");
+                }
+            }
         }
         let ns = start.elapsed().as_nanos() as f64 / f64::from(ITERS);
         best = best.min(ns);
+        allocs = allocs.min(ALLOCS.load(Ordering::Relaxed) - before);
     }
-    best
+    (best, allocs)
 }
 
 fn main() {
     let guard = std::env::args().any(|a| a == "--guard");
+    let mut failed = false;
 
     pbio_obs::set_enabled(true);
-    let enabled_ns = measure();
+    let (enabled_ns, _) = measure(None);
     pbio_obs::set_enabled(false);
-    let disabled_ns = measure();
+    let (disabled_ns, _) = measure(None);
     pbio_obs::set_enabled(true);
 
     let delta = enabled_ns - disabled_ns;
@@ -68,9 +114,38 @@ fn main() {
     // a lock or allocation smuggled into the span path still will.
     if guard && delta > 300.0 && ratio > 2.0 {
         eprintln!("GUARD FAILED: span overhead exceeds noise bound");
-        std::process::exit(1);
+        failed = true;
     }
+
+    let (base_ns, base_allocs) = measure(None);
+    let sampler = TraceSampler::new(0);
+    let (traced_ns, traced_allocs) = measure(Some(&sampler));
+
+    let delta = traced_ns - base_ns;
+    let ratio = traced_ns / base_ns;
+    println!("\nencode without sampler:     {base_ns:>8.1} ns/op ({base_allocs} allocs/rep)");
+    println!("encode + disabled sampler:  {traced_ns:>8.1} ns/op ({traced_allocs} allocs/rep)");
+    println!("tracing-off overhead: {delta:+.1} ns/op ({ratio:.3}x)");
+
+    // The disabled path is one relaxed load: any extra allocation is a
+    // regression outright, and the latency bound is 1% plus a few ns of
+    // slack (1% of a ~100 ns op is below timer noise on its own).
+    if guard && traced_allocs > base_allocs {
+        eprintln!(
+            "GUARD FAILED: disabled sampler allocated \
+             ({traced_allocs} vs {base_allocs} allocs/rep)"
+        );
+        failed = true;
+    }
+    if guard && delta > 20.0 && ratio > 1.01 {
+        eprintln!("GUARD FAILED: disabled sampler exceeds 1% throughput bound");
+        failed = true;
+    }
+
     if guard {
-        println!("GUARD OK");
+        if failed {
+            std::process::exit(1);
+        }
+        println!("\nGUARD OK");
     }
 }

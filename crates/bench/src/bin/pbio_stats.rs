@@ -11,6 +11,7 @@
 //!                               #   + homogeneous + big-endian subscriber
 //! pbio-stats --addr HOST:PORT   # attach to a live daemon
 //! pbio-stats --duration 5       # observe for 5 seconds (default 3)
+//! pbio-stats --json             # machine-readable output
 //! pbio-stats --smoke            # short demo run + assertions (CI)
 //! ```
 
@@ -23,7 +24,7 @@ use std::time::{Duration, Instant};
 use pbio_bench::workloads::{workload, MsgSize};
 use pbio_obs::export::{snapshot_from_value, StatsHeader, ROLE_DAEMON};
 use pbio_obs::{HistogramSnapshot, Snapshot};
-use pbio_serv::{ServClient, ServConfig, ServDaemon, STATS_CHANNEL};
+use pbio_serv::{ServClient, ServConfig, ServDaemon, TraceConfig, STATS_CHANNEL};
 use pbio_types::arch::ArchProfile;
 use pbio_types::value::decode_native;
 
@@ -34,6 +35,7 @@ fn main() -> ExitCode {
     let mut addr: Option<String> = None;
     let mut duration = Duration::from_secs(3);
     let mut smoke = false;
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -49,9 +51,12 @@ fn main() -> ExitCode {
                 smoke = true;
                 duration = Duration::from_secs(2);
             }
+            "--json" => json = true,
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: pbio-stats [--addr HOST:PORT] [--duration SECS] [--smoke]");
+                eprintln!(
+                    "usage: pbio-stats [--addr HOST:PORT] [--duration SECS] [--json] [--smoke]"
+                );
                 return ExitCode::FAILURE;
             }
         }
@@ -68,7 +73,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    print_table(&snapshots);
+    if json {
+        print_json(&snapshots);
+    } else {
+        print_table(&snapshots);
+    }
     if smoke {
         if let Err(e) = check_smoke(&snapshots) {
             eprintln!("SMOKE FAILED: {e}");
@@ -123,6 +132,7 @@ fn demo(duration: Duration) -> Result<Snapshots, String> {
         ServConfig {
             queue_capacity: 4096,
             stats_interval: Some(Duration::from_millis(200)),
+            trace: TraceConfig::default(),
         },
     )
     .map_err(|e| format!("bind daemon: {e}"))?;
@@ -297,6 +307,87 @@ fn print_table(snapshots: &Snapshots) {
             );
         }
     }
+}
+
+/// Escape a metric name for a JSON string: labeled names like
+/// `client_dropped{chan="ticks"}` carry literal quotes.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Machine-readable report: one object per publisher snapshot, every
+/// metric keyed by its (escaped) registry name. Histograms are reduced
+/// to count/sum/mean/p50/p99 rather than raw buckets.
+fn print_json(snapshots: &Snapshots) {
+    let mut keys: Vec<&(u32, u32)> = snapshots.keys().collect();
+    keys.sort();
+    let mut out = String::from("{\"snapshots\":[");
+    for (i, key) in keys.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (header, snap) = &snapshots[key];
+        let role = if header.role == ROLE_DAEMON {
+            "daemon"
+        } else {
+            "client"
+        };
+        out.push_str(&format!(
+            "{{\"role\":\"{role}\",\"id\":{},\"seq\":{},\"t_ns\":{},",
+            header.id, header.seq, header.t_ns
+        ));
+        out.push_str("\"counters\":{");
+        for (j, (name, v)) in snap.counters.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", json_escape(name)));
+        }
+        out.push_str("},\"gauges\":{");
+        for (j, (name, v)) in snap.gauges.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{v}", json_escape(name)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (j, (name, h)) in snap.histograms.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p99_ns\":{}}}",
+                json_escape(name),
+                h.count,
+                h.sum,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+            ));
+        }
+        out.push_str("},\"traces\":[");
+        for (j, (stage, at, value)) in snap.traces.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"stage\":\"{}\",\"at\":{at},\"value\":{value}}}",
+                json_escape(stage)
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    println!("{out}");
 }
 
 /// CI assertions: the dogfooded channel actually carried nonzero

@@ -105,6 +105,7 @@ impl Subscriber for LocalSubscriber {
         &mut self,
         _format: u32,
         wire: &pbio_net::buf::WireBuf,
+        _trace: Option<&pbio_obs::TraceCtx>,
     ) -> Result<DeliveryOutcome, ChannelError> {
         match &mut self.delivery {
             Delivery::ZeroCopy { native } => {

@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use pbio_net::buf::WireBuf;
-use pbio_obs::{Counter, Histogram, Span};
+use pbio_obs::{epoch_ns, Counter, Histogram, Span, TraceCtx, TraceHop, TraceSink, HOP_FILTER};
 
 /// Identifies one subscription on a fan-out (and, re-exported, on a
 /// [`crate::channel::Channel`]).
@@ -49,7 +49,18 @@ pub trait Subscriber {
     /// Deliver the accepted event. The body is shared: subscribers that
     /// need to keep it (e.g. queue it for a connection's writer thread)
     /// clone the [`WireBuf`] — a refcount bump, not a copy.
-    fn deliver(&mut self, format: u32, wire: &WireBuf) -> Result<DeliveryOutcome, Self::Error>;
+    ///
+    /// `trace` is the event's sampled trace context, when it carries
+    /// one: delivery sites that constitute a hop (the daemon's enqueue
+    /// onto a subscriber's outbound queue) re-stamp it into their own
+    /// hop records. Untraced events — the overwhelming majority under
+    /// head-based sampling — pass `None` and pay nothing for it.
+    fn deliver(
+        &mut self,
+        format: u32,
+        wire: &WireBuf,
+        trace: Option<&TraceCtx>,
+    ) -> Result<DeliveryOutcome, Self::Error>;
 }
 
 /// Event-loop counters, shared by every fan-out user.
@@ -82,6 +93,22 @@ pub struct FanoutObs {
     /// Events discarded by subscriber backpressure (mirrors
     /// [`DispatchStats::dropped`] into a registry).
     pub dropped: Arc<Counter>,
+    /// Distributed-tracing hooks, installed per channel by owners that
+    /// export hop records. `None` keeps the loop byte-identical to the
+    /// untraced one.
+    pub trace: Option<FanoutTraceObs>,
+}
+
+/// Where a fan-out's `filter` hop records go: the owning channel's id, a
+/// per-channel labeled histogram, and the shared hop sink.
+pub struct FanoutTraceObs {
+    /// Hop-record sink shared with the other stages (ingress, flush…).
+    pub sink: Arc<TraceSink>,
+    /// Channel id stamped into this fan-out's hop records.
+    pub channel: u32,
+    /// Per-channel filter-stage latency (labeled, e.g.
+    /// `hop_filter_ns{chan="ticks"}`).
+    pub hop_filter_ns: Arc<Histogram>,
 }
 
 /// The shared fan-out engine: an ordered set of subscribers and the
@@ -179,24 +206,53 @@ impl<S: Subscriber> Fanout<S> {
     /// acceptance: an event every filter rejects allocates nothing, and
     /// one any number of subscribers accept allocates exactly once.
     pub fn publish(&mut self, format: u32, wire: &[u8]) -> Result<usize, S::Error> {
-        self.publish_impl(format, wire, None)
+        self.publish_impl(format, wire, None, None)
     }
 
     /// [`Fanout::publish`] for a publisher that already holds the event
     /// in shared storage (the daemon's ingest path): delivery is pure
     /// refcount bumps, zero allocations.
     pub fn publish_shared(&mut self, format: u32, wire: &WireBuf) -> Result<usize, S::Error> {
-        self.publish_impl(format, wire, Some(wire.clone()))
+        self.publish_impl(format, wire, Some(wire.clone()), None)
+    }
+
+    /// [`Fanout::publish_shared`] with the event's trace context, when
+    /// it carries one. A sampled context switches the loop into two
+    /// passes — every filter first, then every delivery — so the
+    /// `filter` hop is stamped strictly before any `enqueue` hop and
+    /// the reconstructed timeline stays causal.
+    pub fn publish_traced(
+        &mut self,
+        format: u32,
+        wire: &WireBuf,
+        trace: Option<&TraceCtx>,
+    ) -> Result<usize, S::Error> {
+        self.publish_impl(format, wire, Some(wire.clone()), trace)
     }
 
     fn publish_impl(
         &mut self,
         format: u32,
         wire: &[u8],
-        mut shared: Option<WireBuf>,
+        shared: Option<WireBuf>,
+        trace: Option<&TraceCtx>,
     ) -> Result<usize, S::Error> {
         self.stats.published += 1;
-        let _fanout_span = self.obs.as_ref().map(|o| Span::enter(&o.fanout_ns));
+        let fanout_hist = self.obs.as_ref().map(|o| o.fanout_ns.clone());
+        let _fanout_span = fanout_hist.as_ref().map(|h| Span::enter(h));
+        match trace.filter(|c| c.sampled()) {
+            Some(ctx) => self.publish_two_pass(format, wire, shared, ctx),
+            None => self.publish_one_pass(format, wire, shared),
+        }
+    }
+
+    /// The hot path: filter and deliver each subscriber in one sweep.
+    fn publish_one_pass(
+        &mut self,
+        format: u32,
+        wire: &[u8],
+        mut shared: Option<WireBuf>,
+    ) -> Result<usize, S::Error> {
         let mut delivered = 0usize;
         for entry in &mut self.subs {
             if !entry.active {
@@ -211,7 +267,65 @@ impl<S: Subscriber> Fanout<S> {
                 continue;
             }
             let buf = shared.get_or_insert_with(|| WireBuf::copy_from(wire));
-            match entry.sub.deliver(format, buf)? {
+            match entry.sub.deliver(format, buf, None)? {
+                DeliveryOutcome::Delivered => {
+                    delivered += 1;
+                    self.stats.delivered += 1;
+                }
+                DeliveryOutcome::Dropped => {
+                    self.stats.dropped += 1;
+                    if let Some(o) = &self.obs {
+                        o.dropped.inc();
+                    }
+                }
+            }
+        }
+        Ok(delivered)
+    }
+
+    /// The sampled path: all filters, the `filter` hop stamp, then all
+    /// deliveries. The verdict vector allocates — only 1-in-N sampled
+    /// events ever reach here.
+    fn publish_two_pass(
+        &mut self,
+        format: u32,
+        wire: &[u8],
+        mut shared: Option<WireBuf>,
+        ctx: &TraceCtx,
+    ) -> Result<usize, S::Error> {
+        let t0 = epoch_ns();
+        let mut verdicts = Vec::with_capacity(self.subs.len());
+        for entry in &mut self.subs {
+            let accepted = entry.active && {
+                let _filter_span = self.obs.as_ref().map(|o| Span::enter(&o.filter_ns));
+                entry.sub.accepts(format, wire)?
+            };
+            if entry.active && !accepted {
+                self.stats.filtered_out += 1;
+            }
+            verdicts.push(accepted);
+        }
+        let t1 = epoch_ns();
+        if let Some(tr) = self.obs.as_ref().and_then(|o| o.trace.as_ref()) {
+            let dur = t1.saturating_sub(t0);
+            tr.hop_filter_ns.record(dur);
+            tr.sink.push(TraceHop {
+                trace_id: ctx.trace_id,
+                span_id: HOP_FILTER,
+                hop: HOP_FILTER,
+                conn: 0,
+                channel: tr.channel,
+                t_ns: t1,
+                dur_ns: dur,
+            });
+        }
+        let mut delivered = 0usize;
+        for (entry, accepted) in self.subs.iter_mut().zip(verdicts) {
+            if !accepted {
+                continue;
+            }
+            let buf = shared.get_or_insert_with(|| WireBuf::copy_from(wire));
+            match entry.sub.deliver(format, buf, Some(ctx))? {
                 DeliveryOutcome::Delivered => {
                     delivered += 1;
                     self.stats.delivered += 1;
@@ -237,6 +351,7 @@ mod tests {
         seen: Vec<u8>,
         bufs: Vec<WireBuf>,
         capacity: usize,
+        traced: usize,
     }
 
     fn sub(threshold: u8, capacity: usize) -> TestSub {
@@ -245,6 +360,7 @@ mod tests {
             seen: Vec::new(),
             bufs: Vec::new(),
             capacity,
+            traced: 0,
         }
     }
 
@@ -255,12 +371,18 @@ mod tests {
             Ok(wire[0] >= self.threshold)
         }
 
-        fn deliver(&mut self, _format: u32, wire: &WireBuf) -> Result<DeliveryOutcome, ()> {
+        fn deliver(
+            &mut self,
+            _format: u32,
+            wire: &WireBuf,
+            trace: Option<&TraceCtx>,
+        ) -> Result<DeliveryOutcome, ()> {
             if self.seen.len() >= self.capacity {
                 return Ok(DeliveryOutcome::Dropped);
             }
             self.seen.push(wire[0]);
             self.bufs.push(wire.clone());
+            self.traced += usize::from(trace.is_some());
             Ok(DeliveryOutcome::Delivered)
         }
     }
@@ -300,6 +422,61 @@ mod tests {
         fanout.publish_shared(0, &shared).unwrap();
         let b = &fanout.get_mut(ids[1]).unwrap().bufs[1];
         assert!(WireBuf::ptr_eq(b, &shared));
+    }
+
+    #[test]
+    fn traced_publish_stamps_filter_before_delivery() {
+        use pbio_obs::{Registry, FLAG_SAMPLED};
+
+        let reg = Registry::new();
+        let sink = Arc::new(TraceSink::new(16));
+        let mut fanout = Fanout::new();
+        fanout.set_obs(FanoutObs {
+            fanout_ns: reg.histogram("fanout_ns"),
+            filter_ns: reg.histogram("filter_ns"),
+            dropped: reg.counter("dropped"),
+            trace: Some(FanoutTraceObs {
+                sink: sink.clone(),
+                channel: 9,
+                hop_filter_ns: reg.histogram_labeled("hop_filter_ns", "chan", "nine"),
+            }),
+        });
+        let lo = fanout.subscribe(sub(0, 99));
+        let hi = fanout.subscribe(sub(50, 99));
+
+        let ctx = TraceCtx {
+            trace_id: 77,
+            span_id: 0,
+            origin_ns: 1,
+            flags: FLAG_SAMPLED,
+        };
+        let wire = WireBuf::copy_from(&[10]);
+        let n = fanout.publish_traced(3, &wire, Some(&ctx)).unwrap();
+        assert_eq!(n, 1, "only the low-threshold subscriber accepts");
+        assert_eq!(fanout.get_mut(lo).unwrap().traced, 1, "ctx forwarded");
+        assert_eq!(fanout.get_mut(hi).unwrap().traced, 0);
+        assert_eq!(fanout.stats().filtered_out, 1);
+
+        let hops = sink.drain();
+        assert_eq!(hops.len(), 1);
+        assert_eq!(hops[0].hop, HOP_FILTER);
+        assert_eq!(hops[0].trace_id, 77);
+        assert_eq!(hops[0].channel, 9);
+        assert_eq!(
+            reg.snapshot()
+                .histogram("hop_filter_ns{chan=\"nine\"}")
+                .unwrap()
+                .count,
+            1
+        );
+
+        // An unsampled (or absent) context takes the one-pass loop and
+        // records nothing.
+        fanout.publish_traced(3, &wire, None).unwrap();
+        let unsampled = TraceCtx { flags: 0, ..ctx };
+        fanout.publish_traced(3, &wire, Some(&unsampled)).unwrap();
+        assert!(sink.is_empty());
+        assert_eq!(fanout.get_mut(lo).unwrap().traced, 1);
     }
 
     #[test]

@@ -37,6 +37,6 @@ pub mod filter;
 pub mod wire;
 
 pub use channel::{Channel, ChannelStats, SubscriptionId};
-pub use dispatch::{DeliveryOutcome, DispatchStats, Fanout, FanoutObs, Subscriber};
+pub use dispatch::{DeliveryOutcome, DispatchStats, Fanout, FanoutObs, FanoutTraceObs, Subscriber};
 pub use filter::{CmpOp, FilterError, FilterProgram, Literal, Predicate};
 pub use wire::{deserialize_predicate, serialize_predicate};

@@ -11,7 +11,9 @@
 //!   for 100 B / 1 KB / 10 KB / 100 KB messages match the network components
 //!   the paper reports in Figure 1,
 //! * [`clock::VirtualClock`] — accumulates simulated network time alongside
-//!   real measured CPU time,
+//!   real measured CPU time; [`clock::ClockSync`] estimates cross-process
+//!   clock offsets from one timestamp exchange (distributed tracing's
+//!   skew correction),
 //! * [`transport`] — real byte transports (in-process duplex pipe and a TCP
 //!   loopback, with read-timeout plumbing) used by integration tests to run
 //!   actual PBIO/MPI/XML/CDR streams end to end,
@@ -34,7 +36,7 @@ pub mod metrics;
 pub mod transport;
 
 pub use buf::WireBuf;
-pub use clock::VirtualClock;
+pub use clock::{ClockSync, VirtualClock};
 pub use exchange::{measure_leg, time_avg, LegCosts, RoundTripCosts};
 pub use frame::{read_frame, write_frame, Frame, FrameError};
 pub use link::SimLink;

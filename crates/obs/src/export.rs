@@ -14,15 +14,29 @@
 //! | counter `x`         | `c_x: u64`                                        |
 //! | gauge `x`           | `g_x: i64`                                        |
 //! | histogram `x`       | `h_x_count: u64`, `h_x_sum: u64`, `h_x_b: u64[B]` |
+//! | trace ring          | `tr_count: u64`, `tr_stage/tr_at/tr_value: u64[T]`|
+//!
+//! The trace-ring arrays are fixed at [`TRACE_EXPORT_CAP`] slots whether
+//! or not the ring is full, so the schema — and hence the registered
+//! format id — depends only on the metric set. Stage labels travel as
+//! their first 8 bytes packed big-endian into a `u64`.
+//!
+//! The same dogfooding applies to distributed-tracing hop records
+//! ([`crate::TraceHop`]): [`hop_schema`] describes them as an all-scalar
+//! PBIO record published on the reserved `$trace` channel.
 
 use pbio_types::schema::{AtomType, FieldDecl, Schema, TypeDesc};
 use pbio_types::value::{RecordValue, Value};
 
 use crate::metric::{HistogramSnapshot, BUCKETS};
-use crate::registry::Snapshot;
+use crate::registry::{Snapshot, TRACE_EXPORT_CAP};
+use crate::tracectx::TraceHop;
 
 /// Name of the generated stats format and of the reserved channel.
 pub const STATS_FORMAT_NAME: &str = "$stats";
+
+/// Name of the hop-record format and of the reserved trace channel.
+pub const TRACE_FORMAT_NAME: &str = "$trace";
 
 /// Snapshot publisher roles carried in the `role` header field.
 pub const ROLE_DAEMON: u32 = 0;
@@ -86,7 +100,29 @@ pub fn stats_schema(snap: &Snapshot) -> Schema {
             TypeDesc::array(AtomType::U64, BUCKETS),
         ));
     }
+    fields.push(FieldDecl::atom("tr_count", AtomType::U64));
+    for name in ["tr_stage", "tr_at", "tr_value"] {
+        fields.push(FieldDecl::new(
+            name,
+            TypeDesc::array(AtomType::U64, TRACE_EXPORT_CAP),
+        ));
+    }
     Schema::new(STATS_FORMAT_NAME, fields).expect("stats schema is always valid")
+}
+
+/// Pack a stage label's first 8 bytes into a big-endian `u64`.
+fn pack_stage(stage: &str) -> u64 {
+    let mut bytes = [0u8; 8];
+    let n = stage.len().min(8);
+    bytes[..n].copy_from_slice(&stage.as_bytes()[..n]);
+    u64::from_be_bytes(bytes)
+}
+
+/// Inverse of [`pack_stage`] (truncated labels stay truncated).
+fn unpack_stage(packed: u64) -> String {
+    let bytes = packed.to_be_bytes();
+    let end = bytes.iter().position(|&b| b == 0).unwrap_or(8);
+    String::from_utf8_lossy(&bytes[..end]).into_owned()
 }
 
 /// Build the record value carrying `snap` under `header`, matching
@@ -112,6 +148,16 @@ pub fn stats_value(header: &StatsHeader, snap: &Snapshot) -> RecordValue {
             Value::Array(h.buckets.iter().map(|&b| Value::U64(b)).collect()),
         );
     }
+    let traces = &snap.traces[snap.traces.len().saturating_sub(TRACE_EXPORT_CAP)..];
+    rv.set("tr_count", traces.len() as u64);
+    let column = |f: &dyn Fn(&(String, u64, u64)) -> u64| {
+        let mut col: Vec<Value> = traces.iter().map(|t| Value::U64(f(t))).collect();
+        col.resize(TRACE_EXPORT_CAP, Value::U64(0));
+        Value::Array(col)
+    };
+    rv.set("tr_stage", column(&|t| pack_stage(&t.0)));
+    rv.set("tr_at", column(&|t| t.1));
+    rv.set("tr_value", column(&|t| t.2));
     rv
 }
 
@@ -134,6 +180,20 @@ pub fn snapshot_from_value(rv: &RecordValue) -> Option<(StatsHeader, Snapshot)> 
         t_ns: as_u64(rv.get("t_ns")?)?,
     };
     let mut snap = Snapshot::default();
+    let tr_count = rv.get("tr_count").and_then(as_u64).unwrap_or(0) as usize;
+    if tr_count > 0 {
+        let col = |name: &str| -> Vec<u64> {
+            rv.get(name)
+                .and_then(|v| v.as_array())
+                .map(|a| a.iter().filter_map(as_u64).collect())
+                .unwrap_or_default()
+        };
+        let (stages, ats, values) = (col("tr_stage"), col("tr_at"), col("tr_value"));
+        for i in 0..tr_count.min(stages.len()).min(ats.len()).min(values.len()) {
+            snap.traces
+                .push((unpack_stage(stages[i]), ats[i], values[i]));
+        }
+    }
     for (name, value) in rv.fields() {
         if let Some(rest) = name.strip_prefix("c_") {
             if let Some(v) = as_u64(value) {
@@ -167,6 +227,50 @@ pub fn snapshot_from_value(rv: &RecordValue) -> Option<(StatsHeader, Snapshot)> 
     snap.gauges.sort_by(|a, b| a.0.cmp(&b.0));
     snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
     Some((header, snap))
+}
+
+/// The PBIO schema for one distributed-tracing hop record — all scalar
+/// fields, so homogeneous monitors view `$trace` events zero-copy.
+pub fn hop_schema() -> Schema {
+    Schema::new(
+        TRACE_FORMAT_NAME,
+        vec![
+            FieldDecl::atom("trace_id", AtomType::U64),
+            FieldDecl::atom("span_id", AtomType::U32),
+            FieldDecl::atom("hop", AtomType::U32),
+            FieldDecl::atom("conn", AtomType::U32),
+            FieldDecl::atom("chan", AtomType::U32),
+            FieldDecl::atom("t_ns", AtomType::U64),
+            FieldDecl::atom("dur_ns", AtomType::U64),
+        ],
+    )
+    .expect("hop schema is always valid")
+}
+
+/// Build the record value for one hop, matching [`hop_schema`].
+pub fn hop_value(hop: &TraceHop) -> RecordValue {
+    RecordValue::new()
+        .with("trace_id", hop.trace_id)
+        .with("span_id", hop.span_id)
+        .with("hop", hop.hop)
+        .with("conn", hop.conn)
+        .with("chan", hop.channel)
+        .with("t_ns", hop.t_ns)
+        .with("dur_ns", hop.dur_ns)
+}
+
+/// Parse a hop record decoded (or converted) from the wire. Returns
+/// `None` if any field is missing — e.g. the record isn't a hop at all.
+pub fn hop_from_value(rv: &RecordValue) -> Option<TraceHop> {
+    Some(TraceHop {
+        trace_id: as_u64(rv.get("trace_id")?)?,
+        span_id: as_u64(rv.get("span_id")?)? as u32,
+        hop: as_u64(rv.get("hop")?)? as u32,
+        conn: as_u64(rv.get("conn")?)? as u32,
+        channel: as_u64(rv.get("chan")?)? as u32,
+        t_ns: as_u64(rv.get("t_ns")?)?,
+        dur_ns: as_u64(rv.get("dur_ns")?)?,
+    })
 }
 
 #[cfg(test)]
@@ -230,5 +334,57 @@ mod tests {
         let (_, snap) = sample();
         let (_, snap2) = sample();
         assert_eq!(stats_schema(&snap), stats_schema(&snap2));
+    }
+
+    #[test]
+    fn trace_ring_rides_the_stats_record() {
+        let r = Registry::new();
+        r.counter("events").inc();
+        r.trace("drop", 3);
+        r.trace("tick", 4);
+        let snap = r.snapshot();
+        assert_eq!(snap.traces.len(), 2);
+
+        let header = StatsHeader::default();
+        let schema = stats_schema(&snap);
+        let value = stats_value(&header, &snap);
+        let layout = Layout::of(&schema, &ArchProfile::X86_64).unwrap();
+        let bytes = encode_native(&value, &layout).unwrap();
+        let decoded = decode_native(&bytes, &layout).unwrap();
+        let (_, snap2) = snapshot_from_value(&decoded).unwrap();
+        assert_eq!(snap2.traces, snap.traces);
+
+        // A fuller ring changes the payload but never the schema: the
+        // arrays are fixed-size, so the format id stays dedupable.
+        r.trace("more", 5);
+        let snap3 = r.snapshot();
+        assert_eq!(stats_schema(&snap3), schema);
+    }
+
+    #[test]
+    fn stage_labels_pack_to_eight_bytes() {
+        assert_eq!(unpack_stage(pack_stage("drop")), "drop");
+        assert_eq!(unpack_stage(pack_stage("exactly8")), "exactly8");
+        assert_eq!(unpack_stage(pack_stage("stats_publish")), "stats_pu");
+        assert_eq!(unpack_stage(0), "");
+    }
+
+    #[test]
+    fn hop_record_round_trips_natively() {
+        let hop = TraceHop {
+            trace_id: 0x1234_5678_9abc_def0,
+            span_id: 3,
+            hop: crate::HOP_FLUSH,
+            conn: 7,
+            channel: 2,
+            t_ns: 1_000_000,
+            dur_ns: 512,
+        };
+        let schema = hop_schema();
+        let layout = Layout::of(&schema, &ArchProfile::SPARC_V8).unwrap();
+        let bytes = encode_native(&hop_value(&hop), &layout).unwrap();
+        let decoded = decode_native(&bytes, &layout).unwrap();
+        assert_eq!(hop_from_value(&decoded), Some(hop));
+        assert!(hop_from_value(&RecordValue::new()).is_none());
     }
 }

@@ -12,6 +12,10 @@
 //! * [`Span`] — RAII timer recording elapsed ns into a histogram on drop,
 //!   globally disableable via [`set_enabled`] for overhead comparisons;
 //! * [`TraceRing`] — preallocated bounded ring of recent trace events;
+//! * [`TraceCtx`] / [`TraceHop`] / [`TraceSampler`] / [`TraceSink`] —
+//!   wire-propagated distributed tracing: a sampled publish carries a
+//!   compact context in a frame trailer, every stage re-stamps it into a
+//!   hop record, and completed hops export over the `$trace` channel;
 //! * [`export`] — describes a registry [`Snapshot`] as a PBIO record so
 //!   stats travel the wire format they measure (the `$stats` channel).
 //!
@@ -24,13 +28,18 @@ mod metric;
 mod registry;
 mod span;
 mod trace;
+mod tracectx;
 
 pub use metric::{
     bucket_index, bucket_lower, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,
 };
-pub use registry::{enabled, epoch_ns, set_enabled, Registry, Snapshot};
+pub use registry::{enabled, epoch_ns, labeled, set_enabled, Registry, Snapshot, TRACE_EXPORT_CAP};
 pub use span::Span;
 pub use trace::{TraceEvent, TraceRing};
+pub use tracectx::{
+    hop_name, TraceCtx, TraceHop, TraceSampler, TraceSink, FLAG_SAMPLED, HOP_COUNT, HOP_DECODE,
+    HOP_ENQUEUE, HOP_FILTER, HOP_FLUSH, HOP_INGRESS, HOP_PUBLISH, TRACE_TRAILER_LEN,
+};
 
 /// Shorthand for [`Registry::global`].
 pub fn global() -> &'static std::sync::Arc<Registry> {

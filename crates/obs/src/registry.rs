@@ -14,6 +14,20 @@ use crate::trace::{TraceEvent, TraceRing};
 
 const REG_SHARDS: usize = 8;
 
+/// Most recent trace-ring events carried in a [`Snapshot`] (and exported
+/// over the wire by [`crate::export`]).
+pub const TRACE_EXPORT_CAP: usize = 64;
+
+/// Render the canonical labeled metric name `name{key="value"}`.
+///
+/// Labels are resolved into ordinary registry entries: the composed name
+/// allocates once, at handle-resolution time, and the returned handle is
+/// then held by the hot path like any other metric — recording through
+/// it never touches strings again.
+pub fn labeled(name: &str, key: &str, value: &str) -> String {
+    format!("{name}{{{key}=\"{value}\"}}")
+}
+
 #[derive(Clone)]
 enum Metric {
     Counter(Arc<Counter>),
@@ -130,6 +144,17 @@ impl Registry {
         )
     }
 
+    /// Get or create the counter `name{key="value"}` — per-dimension
+    /// accounting (e.g. drops per channel) through one composed name.
+    pub fn counter_labeled(&self, name: &str, key: &str, value: &str) -> Arc<Counter> {
+        self.counter(&labeled(name, key, value))
+    }
+
+    /// Get or create the histogram `name{key="value"}`.
+    pub fn histogram_labeled(&self, name: &str, key: &str, value: &str) -> Arc<Histogram> {
+        self.histogram(&labeled(name, key, value))
+    }
+
     /// Register (or replace) `name` with an externally-owned counter — used to
     /// adopt counters that live inside another component (e.g. a `BufPool`).
     pub fn register_counter(&self, name: &str, counter: Arc<Counter>) {
@@ -164,6 +189,12 @@ impl Registry {
                 }
             }
         }
+        let events = self.trace.recent();
+        let skip = events.len().saturating_sub(TRACE_EXPORT_CAP);
+        snap.traces = events[skip..]
+            .iter()
+            .map(|e| (e.stage.to_owned(), e.at_ns, e.value))
+            .collect();
         snap.sort();
         snap
     }
@@ -178,6 +209,9 @@ pub struct Snapshot {
     pub gauges: Vec<(String, i64)>,
     /// Histogram snapshots by name.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// The most recent trace-ring events as `(stage, at_ns, value)`,
+    /// oldest first, bounded to [`TRACE_EXPORT_CAP`].
+    pub traces: Vec<(String, u64, u64)>,
 }
 
 impl Snapshot {
@@ -229,6 +263,11 @@ impl Snapshot {
                 None => self.histograms.push((name.clone(), *h)),
             }
         }
+        // Trace events interleave by time; the bound keeps the freshest.
+        self.traces.extend(other.traces.iter().cloned());
+        self.traces.sort_by_key(|&(_, at_ns, _)| at_ns);
+        let skip = self.traces.len().saturating_sub(TRACE_EXPORT_CAP);
+        self.traces.drain(..skip);
         self.sort();
     }
 }
@@ -297,6 +336,41 @@ mod tests {
         assert_eq!(s1.counter("c"), Some(7));
         assert_eq!(s1.gauge("depth"), Some(-6));
         assert_eq!(s1.histogram("lat").unwrap().count, 3);
+    }
+
+    #[test]
+    fn labeled_metrics_are_plain_entries() {
+        let r = Registry::new();
+        r.counter_labeled("dropped", "chan", "alpha").add(2);
+        r.counter_labeled("dropped", "chan", "beta").inc();
+        r.histogram_labeled("enqueue_ns", "chan", "alpha")
+            .record(50);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("dropped{chan=\"alpha\"}"), Some(2));
+        assert_eq!(snap.counter("dropped{chan=\"beta\"}"), Some(1));
+        assert_eq!(
+            snap.histogram(&labeled("enqueue_ns", "chan", "alpha"))
+                .unwrap()
+                .count,
+            1
+        );
+    }
+
+    #[test]
+    fn snapshot_carries_bounded_trace_ring() {
+        let r = Registry::new();
+        for i in 0..(TRACE_EXPORT_CAP as u64 + 10) {
+            r.trace("tick", i);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.traces.len(), TRACE_EXPORT_CAP);
+        assert_eq!(snap.traces[0].2, 10, "oldest beyond the cap trimmed");
+        assert_eq!(snap.traces.last().unwrap().2, TRACE_EXPORT_CAP as u64 + 9);
+
+        let mut merged = Snapshot::default();
+        merged.merge_from(&snap);
+        merged.merge_from(&snap);
+        assert_eq!(merged.traces.len(), TRACE_EXPORT_CAP, "merge keeps bound");
     }
 
     #[test]

@@ -22,12 +22,18 @@ use std::time::{Duration, Instant};
 use pbio::{BufPool, PbioError, PooledBuf, Reader, RecordView};
 use pbio_chan::filter::Predicate;
 use pbio_chan::wire::serialize_predicate;
+use pbio_net::clock::ClockSync;
 use pbio_net::frame::{
     read_frame, read_frame_body, read_frame_header, write_frame_raw, Frame, FrameError,
     FRAME_HEADER_SIZE,
 };
-use pbio_obs::export::{snapshot_from_value, stats_schema, stats_value, StatsHeader, ROLE_CLIENT};
-use pbio_obs::{epoch_ns, Counter, Histogram, Registry, Snapshot, Span};
+use pbio_obs::export::{
+    hop_schema, hop_value, snapshot_from_value, stats_schema, stats_value, StatsHeader, ROLE_CLIENT,
+};
+use pbio_obs::{
+    epoch_ns, Counter, Histogram, Registry, Snapshot, Span, TraceCtx, TraceHop, TraceSampler,
+    TraceSink, HOP_DECODE, TRACE_TRAILER_LEN,
+};
 use pbio_types::arch::ArchProfile;
 use pbio_types::layout::Layout;
 use pbio_types::meta::{deserialize_layout, serialize_layout};
@@ -111,6 +117,27 @@ impl ClientMetrics {
 /// kicks in (control frames are never dropped).
 const MAX_PENDING_EVENTS: usize = 256;
 
+/// Bounded capacity of the client-side hop sink (decode hops accumulate
+/// here until [`ServClient::publish_trace`] or
+/// [`ServClient::take_trace_hops`] drains them).
+const TRACE_SINK_CAPACITY: usize = 256;
+
+/// Client connection options.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Offer the distributed-tracing capability in the handshake. When
+    /// the daemon grants it, sampled publishes carry a trace trailer and
+    /// received traced events are stamped with a `decode` hop. `false`
+    /// makes this client indistinguishable from a pre-tracing one.
+    pub trace: bool,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig { trace: true }
+    }
+}
+
 /// Receive-buffer size: large enough that one of the daemon's coalesced
 /// write batches arrives in a single read syscall.
 const READ_BUF_SIZE: usize = 64 * 1024;
@@ -149,10 +176,34 @@ pub struct ServClient {
     /// metric set (hence the schema) changes.
     stats_format: Option<(Schema, u32)>,
     stats_seq: u64,
+    /// Capability bits granted by the daemon ([`CAP_TRACE`]…).
+    caps: u32,
+    /// Offset into the daemon's timebase, measured around the handshake;
+    /// every trace stamp this client produces is pre-corrected through it.
+    clock: ClockSync,
+    /// Head-based publish sampler (modulus adopted from the HELLO ack;
+    /// 0 whenever tracing is off, making [`TraceSampler::try_sample`] a
+    /// single relaxed load on the publish path).
+    sampler: TraceSampler,
+    /// Decode hops recorded for received traced events.
+    trace_hops: Arc<TraceSink>,
+    /// Channel names by id (from [`ServClient::open_channel`]), for hop
+    /// and drop metric labels.
+    chan_names: HashMap<u32, String>,
+    /// Per-channel `hop_decode_ns{chan=…}`, resolved lazily on the
+    /// sampled path only.
+    decode_hists: HashMap<u32, Arc<Histogram>>,
+    /// Per-channel `client_dropped{chan=…}`, resolved lazily on the drop
+    /// path only.
+    drop_counters: HashMap<u32, Arc<Counter>>,
+    /// Cached hop-record format id (registered on first
+    /// [`ServClient::publish_trace`]).
+    trace_format: Option<u32>,
 }
 
 /// One event delivered raw: the publisher's untouched NDR bytes plus the
 /// wire layout they were announced with (see [`ServClient::poll_raw`]).
+#[derive(Debug)]
 pub struct RawEvent<'a> {
     /// Channel the event arrived on.
     pub channel: u32,
@@ -165,10 +216,20 @@ pub struct RawEvent<'a> {
 }
 
 impl ServClient {
-    /// Connect and complete the session handshake.
+    /// Connect and complete the session handshake with default options
+    /// (tracing offered; see [`ClientConfig`]).
     pub fn connect(
         addr: impl ToSocketAddrs,
         profile: &ArchProfile,
+    ) -> Result<ServClient, ServError> {
+        ServClient::connect_with(addr, profile, ClientConfig::default())
+    }
+
+    /// Connect and complete the session handshake.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        profile: &ArchProfile,
+        config: ClientConfig,
     ) -> Result<ServClient, ServError> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
@@ -197,11 +258,37 @@ impl ServClient {
             wire_layouts: HashMap::new(),
             stats_format: None,
             stats_seq: 0,
+            caps: 0,
+            clock: ClockSync::identity(),
+            sampler: TraceSampler::new(0),
+            trace_hops: Arc::new(TraceSink::new(TRACE_SINK_CAPACITY)),
+            chan_names: HashMap::new(),
+            decode_hists: HashMap::new(),
+            drop_counters: HashMap::new(),
+            trace_format: None,
         };
-        client.send_raw(K_HELLO, PROTOCOL_VERSION, 0, profile.name.as_bytes())?;
+        // The HELLO round trip doubles as the clock-offset exchange: the
+        // daemon samples its clock while serving it, and the local stamps
+        // bracketing the round trip bound the error to rtt/2.
+        let offered = if config.trace { CAP_TRACE } else { 0 };
+        let t_send = epoch_ns();
+        client.send_raw(K_HELLO, PROTOCOL_VERSION, offered, profile.name.as_bytes())?;
         let ack = client.await_ack(K_HELLO_ACK, PROTOCOL_VERSION)?;
+        let t_recv = epoch_ns();
         debug_assert_eq!(ack.kind, K_HELLO_ACK);
         client.conn_id = ack.b;
+        // Old daemons send an empty ack body: no capabilities, no clock
+        // sample, tracing stays off.
+        if ack.body.len() >= 16 {
+            let granted = u32::from_be_bytes(ack.body[0..4].try_into().unwrap());
+            let t_peer = u64::from_be_bytes(ack.body[4..12].try_into().unwrap());
+            let sample_mod = u32::from_be_bytes(ack.body[12..16].try_into().unwrap());
+            client.caps = granted & offered;
+            if client.caps & CAP_TRACE != 0 {
+                client.clock = ClockSync::from_exchange(t_send, t_peer, t_recv);
+                client.sampler.set_modulus(sample_mod);
+            }
+        }
         Ok(client)
     }
 
@@ -236,7 +323,11 @@ impl ServClient {
         let token = self.next_token;
         self.next_token += 1;
         self.send_raw(K_CHANNEL, token, 0, name.as_bytes())?;
-        Ok(self.await_ack(K_CHANNEL_ACK, token)?.b)
+        let id = self.await_ack(K_CHANNEL_ACK, token)?.b;
+        // Remember the name so per-channel metrics label by it rather
+        // than by a bare id.
+        self.chan_names.entry(id).or_insert_with(|| name.to_owned());
+        Ok(id)
     }
 
     /// Subscribe to a channel. `schema` declares the record this
@@ -288,6 +379,22 @@ impl ServClient {
                 layout.size()
             )));
         }
+        self.send_publish(channel, format, native)
+    }
+
+    /// The publish tail shared by [`ServClient::publish`] and
+    /// [`ServClient::publish_value`]: stamp a trace trailer onto the 1-in-N
+    /// sampled publishes, send everything else untouched. With tracing off
+    /// (not negotiated, or modulus 0) the extra cost is one relaxed atomic
+    /// load — no branch on the wire, no allocation.
+    fn send_publish(&mut self, channel: u32, format: u32, native: &[u8]) -> Result<(), ServError> {
+        if self.caps & CAP_TRACE != 0 && self.sampler.try_sample() {
+            let ctx = self.sampler.next_ctx(self.clock.to_peer(epoch_ns()));
+            let mut buf = self.pool.get(native.len() + TRACE_TRAILER_LEN);
+            buf.extend_from_slice(native);
+            buf.extend_from_slice(&ctx.encode());
+            return self.send_raw(K_PUBLISH, channel, format | TRACE_FLAG, &buf);
+        }
         self.send_raw(K_PUBLISH, channel, format, native)
     }
 
@@ -310,7 +417,7 @@ impl ServClient {
             let _span = Span::enter(&self.metrics.encode_ns);
             encode_native_into(value, &layout, &mut native).map_err(PbioError::from)?;
         }
-        self.send_raw(K_PUBLISH, channel, format, &native)
+        self.send_publish(channel, format, &native)
     }
 
     /// Wait up to `timeout` for the next event. Returns `Ok(None)` when
@@ -320,7 +427,7 @@ impl ServClient {
     pub fn poll(&mut self, timeout: Duration) -> Result<Option<Event<'_>>, ServError> {
         let deadline = Instant::now() + timeout;
         loop {
-            let Some((kind, a, b, body)) = self.next_frame(deadline)? else {
+            let Some((kind, a, b, mut body)) = self.next_frame(deadline)? else {
                 return Ok(None);
             };
             match kind {
@@ -330,7 +437,8 @@ impl ServClient {
                 }
                 K_EVENT => {
                     self.metrics.events.inc();
-                    let zero_copy = self.reader.is_zero_copy(b);
+                    let (format, ctx) = self.split_trailer(b, &mut body)?;
+                    let zero_copy = self.reader.is_zero_copy(format);
                     if zero_copy {
                         self.metrics.zero_copy_events.inc();
                     } else {
@@ -339,12 +447,17 @@ impl ServClient {
                     // The previous event's buffer returns to the pool
                     // here, ready for the next frame read.
                     self.event_buf = body;
+                    if let Some(ctx) = ctx {
+                        // Stamped before the conversion below, while the
+                        // reader is still unborrowed.
+                        self.record_decode_hop(a, &ctx);
+                    }
                     let convert_hist = (!zero_copy).then(|| self.metrics.convert_ns.clone());
                     let _span = convert_hist.as_ref().map(|h| Span::enter(h));
-                    let view = self.reader.on_data(b, &self.event_buf)?;
+                    let view = self.reader.on_data(format, &self.event_buf)?;
                     return Ok(Some(Event {
                         channel: a,
-                        format: b,
+                        format,
                         view,
                     }));
                 }
@@ -369,22 +482,26 @@ impl ServClient {
     pub fn poll_raw(&mut self, timeout: Duration) -> Result<Option<RawEvent<'_>>, ServError> {
         let deadline = Instant::now() + timeout;
         loop {
-            let Some((kind, a, b, body)) = self.next_frame(deadline)? else {
+            let Some((kind, a, b, mut body)) = self.next_frame(deadline)? else {
                 return Ok(None);
             };
             match kind {
                 K_ANNOUNCE => self.note_wire_format(a, &body),
                 K_EVENT => {
                     self.metrics.events.inc();
-                    let Some(layout) = self.wire_layouts.get(&b).cloned() else {
+                    let (format, ctx) = self.split_trailer(b, &mut body)?;
+                    let Some(layout) = self.wire_layouts.get(&format).cloned() else {
                         return Err(ServError::Protocol(format!(
-                            "event for unannounced format {b}"
+                            "event for unannounced format {format}"
                         )));
                     };
                     self.event_buf = body;
+                    if let Some(ctx) = ctx {
+                        self.record_decode_hop(a, &ctx);
+                    }
                     return Ok(Some(RawEvent {
                         channel: a,
-                        format: b,
+                        format,
                         layout,
                         bytes: &self.event_buf,
                     }));
@@ -449,6 +566,57 @@ impl ServClient {
         }
     }
 
+    /// Strip a flagged trace trailer off an event body. Returns the
+    /// clean format id and the decoded context (sampled ones only; an
+    /// unflagged event passes through untouched).
+    fn split_trailer(
+        &self,
+        b: u32,
+        body: &mut PooledBuf,
+    ) -> Result<(u32, Option<TraceCtx>), ServError> {
+        if b & TRACE_FLAG == 0 {
+            return Ok((b, None));
+        }
+        let format = b & !TRACE_FLAG;
+        if body.len() < TRACE_TRAILER_LEN {
+            return Err(ServError::Protocol(
+                "event shorter than its trace trailer".into(),
+            ));
+        }
+        let split = body.len() - TRACE_TRAILER_LEN;
+        let ctx = TraceCtx::decode(&body[split..])
+            .ok_or_else(|| ServError::Protocol("malformed trace trailer".into()))?;
+        body.truncate(split);
+        Ok((format, Some(ctx).filter(|c| c.sampled())))
+    }
+
+    /// Stamp the final hop of a traced event: it reached this subscriber
+    /// and is about to be decoded. Times are mapped into the daemon's
+    /// timebase so the hop lines up with the daemon-side stamps.
+    fn record_decode_hop(&mut self, channel: u32, ctx: &TraceCtx) {
+        let t = self.clock.to_peer(epoch_ns());
+        let dur = t.saturating_sub(ctx.origin_ns);
+        let hist = self.decode_hists.entry(channel).or_insert_with(|| {
+            let label = self
+                .chan_names
+                .get(&channel)
+                .cloned()
+                .unwrap_or_else(|| channel.to_string());
+            self.registry
+                .histogram_labeled("hop_decode_ns", "chan", &label)
+        });
+        hist.record(dur);
+        self.trace_hops.push(TraceHop {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            hop: HOP_DECODE,
+            conn: self.conn_id,
+            channel,
+            t_ns: t,
+            dur_ns: dur,
+        });
+    }
+
     /// Whether records of a format reach this subscriber zero-copy
     /// (unknown formats report `false`).
     pub fn is_zero_copy(&self, format: u32) -> bool {
@@ -485,6 +653,77 @@ impl ServClient {
     /// The daemon-assigned connection id (echoed in the HELLO ack).
     pub fn conn_id(&self) -> u32 {
         self.conn_id
+    }
+
+    /// Whether the distributed-tracing capability was negotiated on this
+    /// session (offered by this client *and* granted by the daemon).
+    pub fn trace_negotiated(&self) -> bool {
+        self.caps & CAP_TRACE != 0
+    }
+
+    /// The clock offset measured against the daemon during the
+    /// handshake (identity when tracing was not negotiated).
+    pub fn clock_sync(&self) -> ClockSync {
+        self.clock
+    }
+
+    /// Change this client's head-sampling modulus locally (0 disables
+    /// stamping; the daemon's advertised default was adopted at connect).
+    pub fn set_trace_sampling(&self, modulus: u32) {
+        self.sampler.set_modulus(modulus);
+    }
+
+    /// Current head-sampling modulus (0 = off).
+    pub fn trace_sampling(&self) -> u32 {
+        self.sampler.modulus()
+    }
+
+    /// Set the *daemon's* sampling modulus ([`K_TRACE_CTL`]): the value
+    /// advertised to sessions that connect from now on (0 disables).
+    /// Returns the modulus that was in effect before.
+    pub fn set_daemon_trace(&mut self, modulus: u32) -> Result<u32, ServError> {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.send_raw(K_TRACE_CTL, token, modulus, &[])?;
+        Ok(self.await_ack(K_TRACE_CTL_ACK, token)?.b)
+    }
+
+    /// Drain the decode hops recorded by this client's poll loop.
+    pub fn take_trace_hops(&mut self) -> Vec<TraceHop> {
+        self.trace_hops.drain()
+    }
+
+    /// Publish this client's accumulated decode hops on `channel`
+    /// (normally the daemon's [`TRACE_CHANNEL`], opened by name). Hop
+    /// records travel as self-describing PBIO records like everything
+    /// else; this path never stamps trailers of its own, so exporting a
+    /// trace cannot generate further traces. Returns the number of hop
+    /// records published.
+    pub fn publish_trace(&mut self, channel: u32) -> Result<usize, ServError> {
+        let hops = self.trace_hops.drain();
+        if hops.is_empty() {
+            return Ok(0);
+        }
+        let format = match self.trace_format {
+            Some(f) => f,
+            None => {
+                let f = self.register_format(&hop_schema())?;
+                self.trace_format = Some(f);
+                f
+            }
+        };
+        let layout = self
+            .formats
+            .get(&format)
+            .ok_or(ServError::UnknownFormat(format))?
+            .clone();
+        let mut buf = self.pool.get(layout.size());
+        for hop in &hops {
+            buf.clear();
+            encode_native_into(&hop_value(hop), &layout, &mut buf).map_err(PbioError::from)?;
+            self.send_raw(K_PUBLISH, channel, format, &buf)?;
+        }
+        Ok(hops.len())
     }
 
     /// Pull a one-shot stats snapshot from the daemon ([`K_STATS`]). The
@@ -624,8 +863,25 @@ impl ServClient {
         let events = self.pending.iter().filter(|p| p.kind == K_EVENT).count();
         if events >= MAX_PENDING_EVENTS {
             if let Some(i) = self.pending.iter().position(|p| p.kind == K_EVENT) {
-                self.pending.remove(i);
+                let evicted = self.pending.remove(i);
                 self.metrics.dropped.inc();
+                // Attribute the drop to the channel it hit, not just the
+                // global total — the label resolves once per channel.
+                if let Some(evicted) = evicted {
+                    let chan = evicted.a;
+                    self.drop_counters
+                        .entry(chan)
+                        .or_insert_with(|| {
+                            let label = self
+                                .chan_names
+                                .get(&chan)
+                                .cloned()
+                                .unwrap_or_else(|| chan.to_string());
+                            self.registry
+                                .counter_labeled("client_dropped", "chan", &label)
+                        })
+                        .inc();
+                }
             }
         }
         self.pending.push_back(f);

@@ -31,13 +31,15 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::convert::Infallible;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, Weak};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use pbio::{BufPool, FormatServer};
-use pbio_chan::dispatch::{DeliveryOutcome, Fanout, FanoutObs, Subscriber, SubscriptionId};
+use pbio_chan::dispatch::{
+    DeliveryOutcome, Fanout, FanoutObs, FanoutTraceObs, Subscriber, SubscriptionId,
+};
 use pbio_chan::filter::{FilterProgram, Predicate};
 use pbio_chan::wire::deserialize_predicate;
 use pbio_net::buf::WireBuf;
@@ -45,8 +47,13 @@ use pbio_net::frame::{
     read_frame, read_frame_body, read_frame_header, write_frame, write_frames, Frame, FrameError,
     FRAME_HEADER_SIZE, MAX_WRITE_BATCH,
 };
-use pbio_obs::export::{stats_schema, stats_value, StatsHeader, ROLE_DAEMON};
-use pbio_obs::{epoch_ns, Counter, Gauge, Histogram, Registry, Span};
+use pbio_obs::export::{
+    hop_schema, hop_value, stats_schema, stats_value, StatsHeader, ROLE_DAEMON,
+};
+use pbio_obs::{
+    epoch_ns, Counter, Gauge, Histogram, Registry, Span, TraceCtx, TraceHop, TraceSink,
+    HOP_ENQUEUE, HOP_FLUSH, HOP_INGRESS, HOP_PUBLISH, TRACE_TRAILER_LEN,
+};
 use pbio_types::arch::ArchProfile;
 use pbio_types::layout::Layout;
 use pbio_types::value::encode_native_into;
@@ -70,6 +77,8 @@ pub struct ServConfig {
     /// through the same fan-out every other event takes. `None` disables
     /// the publisher thread (one-shot [`K_STATS`] pulls still work).
     pub stats_interval: Option<Duration>,
+    /// Distributed-tracing knobs (see [`TraceConfig`]).
+    pub trace: TraceConfig,
 }
 
 impl Default for ServConfig {
@@ -77,6 +86,39 @@ impl Default for ServConfig {
         ServConfig {
             queue_capacity: 256,
             stats_interval: Some(Duration::from_secs(1)),
+            trace: TraceConfig::default(),
+        }
+    }
+}
+
+/// Distributed-tracing knobs.
+///
+/// The daemon always speaks the trace-trailer extension (it grants
+/// [`CAP_TRACE`] to any client that offers it); these knobs govern how
+/// much tracing actually happens.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Head-sampling modulus advertised to publishers in the HELLO ack:
+    /// clients stamp one publish in `sample_mod` with a trace context.
+    /// `0` tells publishers not to sample at all. Changeable at run time
+    /// with [`K_TRACE_CTL`] (new sessions see the new value).
+    pub sample_mod: u32,
+    /// How often completed hop records are drained from the sink and
+    /// published on the reserved [`TRACE_CHANNEL`] as self-describing
+    /// PBIO records. `None` disables the exporter (hops still accumulate
+    /// in the bounded sink and surface via [`ServDaemon::registry`]).
+    pub publish_interval: Option<Duration>,
+    /// Bounded capacity of the hop sink; oldest hops are evicted when
+    /// tracing outpaces the exporter.
+    pub sink_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> TraceConfig {
+        TraceConfig {
+            sample_mod: 64,
+            publish_interval: Some(Duration::from_millis(250)),
+            sink_capacity: 1024,
         }
     }
 }
@@ -179,7 +221,10 @@ impl ServMetrics {
 // Outbound queue: bounded for events, unbounded for control frames.
 
 struct OutboundQ {
-    frames: VecDeque<Frame>,
+    /// Queued frames, each with the trace context it carries (if any) so
+    /// the writer thread can stamp a `flush` hop when it actually hits
+    /// the socket.
+    frames: VecDeque<(Frame, Option<TraceCtx>)>,
     events: usize,
     closed: bool,
 }
@@ -214,6 +259,12 @@ impl Outbound {
     /// discarded to admit the new one (fresh data beats stale data for
     /// monitoring-style consumers).
     fn send(&self, frame: Frame) -> Enqueue {
+        self.send_traced(frame, None)
+    }
+
+    /// [`Outbound::send`] with the trace context the frame carries, so
+    /// the writer can attribute its socket flush to the trace.
+    fn send_traced(&self, frame: Frame, trace: Option<TraceCtx>) -> Enqueue {
         let mut q = self.q.lock().unwrap_or_else(|p| p.into_inner());
         if q.closed {
             return Enqueue::Closed;
@@ -221,7 +272,7 @@ impl Outbound {
         let is_event = frame.kind == K_EVENT;
         let mut outcome = Enqueue::Sent;
         if is_event && q.events >= self.capacity {
-            if let Some(i) = q.frames.iter().position(|f| f.kind == K_EVENT) {
+            if let Some(i) = q.frames.iter().position(|(f, _)| f.kind == K_EVENT) {
                 q.frames.remove(i);
                 q.events -= 1;
                 outcome = Enqueue::DroppedOldest;
@@ -230,7 +281,7 @@ impl Outbound {
         if is_event {
             q.events += 1;
         }
-        q.frames.push_back(frame);
+        q.frames.push_back((frame, trace));
         drop(q);
         self.ready.notify_one();
         outcome
@@ -248,31 +299,39 @@ impl Outbound {
     #[cfg(test)]
     fn pop(&self) -> Option<Frame> {
         let mut batch = Vec::with_capacity(1);
-        if self.pop_batch(&mut batch, 1) {
+        let mut traces = Vec::with_capacity(1);
+        if self.pop_batch(&mut batch, &mut traces, 1) {
             batch.pop()
         } else {
             None
         }
     }
 
-    /// Drain up to `max` queued frames into `out`; blocks until at least
-    /// one frame is available. Returns `false` once closed *and* drained
+    /// Drain up to `max` queued frames into `out` (trace contexts into
+    /// the parallel `traces`); blocks until at least one frame is
+    /// available. Returns `false` once closed *and* drained
     /// (already-queued acks still reach the peer after a graceful close).
     /// Everything already queued when the writer wakes goes out in one
     /// batch — the coalescing that turns a hot channel's frame-per-event
     /// stream into ~one syscall per batch.
-    fn pop_batch(&self, out: &mut Vec<Frame>, max: usize) -> bool {
+    fn pop_batch(
+        &self,
+        out: &mut Vec<Frame>,
+        traces: &mut Vec<Option<TraceCtx>>,
+        max: usize,
+    ) -> bool {
         let mut q = self.q.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if !q.frames.is_empty() {
                 while out.len() < max {
-                    let Some(f) = q.frames.pop_front() else {
+                    let Some((f, t)) = q.frames.pop_front() else {
                         break;
                     };
                     if f.kind == K_EVENT {
                         q.events -= 1;
                     }
                     out.push(f);
+                    traces.push(t);
                 }
                 return true;
             }
@@ -317,6 +376,9 @@ struct ConnShared {
     announced: Mutex<HashSet<u32>>,
     alive: AtomicBool,
     counters: ConnCounters,
+    /// Capability bits granted in the HELLO ack ([`CAP_TRACE`]…). Only
+    /// capable subscribers receive events with the trace trailer flagged.
+    caps: u32,
 }
 
 impl ConnShared {
@@ -343,6 +405,10 @@ struct RemoteSubscriber {
     /// predicate, so they are rejected.
     compiled: HashMap<u32, Option<FilterProgram>>,
     formats: Arc<FormatServer>,
+    /// Hop sink shared with every other tracing stage.
+    sink: Arc<TraceSink>,
+    /// This channel's labeled hop histograms.
+    hops: Option<Arc<ChanHops>>,
 }
 
 impl Subscriber for RemoteSubscriber {
@@ -372,7 +438,12 @@ impl Subscriber for RemoteSubscriber {
         }
     }
 
-    fn deliver(&mut self, format: u32, wire: &WireBuf) -> Result<DeliveryOutcome, Infallible> {
+    fn deliver(
+        &mut self,
+        format: u32,
+        wire: &WireBuf,
+        trace: Option<&TraceCtx>,
+    ) -> Result<DeliveryOutcome, Infallible> {
         // Announce the format once per connection, strictly before its
         // first event; the lock spans both enqueues so a concurrent
         // publisher on another channel cannot interleave.
@@ -393,14 +464,38 @@ impl Subscriber for RemoteSubscriber {
                 ann.insert(format);
             }
         }
+        // A traced event's body still ends in the publisher's trailer.
+        // Subscribers that negotiated the capability get the flag and the
+        // trailer; for old clients the trailer is sliced off (a window
+        // adjustment on the shared buffer, no bytes move) so their frames
+        // are byte-identical to a pre-tracing daemon's.
+        let (b, body) = match trace {
+            Some(_) if self.conn.caps & CAP_TRACE != 0 => (format | TRACE_FLAG, wire.clone()),
+            Some(_) => (format, wire.slice(0, wire.len() - TRACE_TRAILER_LEN)),
+            None => (format, wire.clone()),
+        };
         // Per-subscriber cost of an event: one refcount bump.
-        let outcome = self.conn.outbound.send(Frame::with_body(
-            K_EVENT,
-            self.channel,
-            format,
-            wire.clone(),
-        ));
+        let outcome = self.conn.outbound.send_traced(
+            Frame::with_body(K_EVENT, self.channel, b, body),
+            trace.copied(),
+        );
         drop(ann);
+        if let Some(ctx) = trace {
+            let t = epoch_ns();
+            let dur = t.saturating_sub(ctx.origin_ns);
+            if let Some(h) = &self.hops {
+                h.enqueue_ns.record(dur);
+            }
+            self.sink.push(TraceHop {
+                trace_id: ctx.trace_id,
+                span_id: ctx.span_id,
+                hop: HOP_ENQUEUE,
+                conn: self.conn.id,
+                channel: self.channel,
+                t_ns: t,
+                dur_ns: dur,
+            });
+        }
         Ok(match outcome {
             Enqueue::Sent => DeliveryOutcome::Delivered,
             // The new event was admitted but an older one was discarded;
@@ -418,6 +513,18 @@ struct Channels {
     by_name: HashMap<String, u32>,
     by_id: HashMap<u32, Arc<Mutex<Fanout<RemoteSubscriber>>>>,
     next: u32,
+}
+
+/// One channel's labeled per-hop latency histograms, resolved once when
+/// the channel is opened — the hot path records through `Arc`s and never
+/// composes a label string.
+struct ChanHops {
+    /// `hop_ingress_ns{chan=…}`: publish stamp → daemon receipt.
+    ingress_ns: Arc<Histogram>,
+    /// `hop_enqueue_ns{chan=…}`: publish stamp → subscriber queue.
+    enqueue_ns: Arc<Histogram>,
+    /// `hop_flush_ns{chan=…}`: publish stamp → subscriber socket write.
+    flush_ns: Arc<Histogram>,
 }
 
 struct State {
@@ -438,6 +545,19 @@ struct State {
     stats_seq: AtomicU64,
     /// Channel id of the pre-opened [`STATS_CHANNEL`].
     stats_channel: u32,
+    /// Channel id of the pre-opened [`TRACE_CHANNEL`].
+    trace_channel: u32,
+    /// Head-sampling modulus advertised to publishers (0 = off); swapped
+    /// at run time by [`K_TRACE_CTL`].
+    trace_mod: AtomicU32,
+    /// Hop records from every tracing stage, bounded; drained by the
+    /// background exporter onto [`TRACE_CHANNEL`].
+    hops: Arc<TraceSink>,
+    /// Per-channel hop histograms, resolved at channel open.
+    chan_hops: Mutex<HashMap<u32, Arc<ChanHops>>>,
+    /// The hop record's registered `(format id, layout)`, registered on
+    /// first export.
+    trace_format: OnceLock<Option<(u32, Arc<Layout>)>>,
 }
 
 impl State {
@@ -464,8 +584,14 @@ impl State {
             conns: Mutex::new(Vec::new()),
             stats_seq: AtomicU64::new(0),
             stats_channel: 0,
+            trace_channel: 0,
+            trace_mod: AtomicU32::new(config.trace.sample_mod),
+            hops: Arc::new(TraceSink::new(config.trace.sink_capacity)),
+            chan_hops: Mutex::new(HashMap::new()),
+            trace_format: OnceLock::new(),
         };
         state.stats_channel = state.open_channel(STATS_CHANNEL);
+        state.trace_channel = state.open_channel(TRACE_CHANNEL);
         state
     }
 
@@ -487,10 +613,58 @@ impl State {
             fanout_ns: self.metrics.fanout_ns.clone(),
             filter_ns: self.metrics.filter_ns.clone(),
             dropped: self.metrics.dropped.clone(),
+            trace: Some(FanoutTraceObs {
+                sink: self.hops.clone(),
+                channel: id,
+                hop_filter_ns: self
+                    .registry
+                    .histogram_labeled("hop_filter_ns", "chan", name),
+            }),
         });
         chans.by_name.insert(name.to_owned(), id);
         chans.by_id.insert(id, Arc::new(Mutex::new(fanout)));
+        // Label the per-hop histograms once, here: the publish, enqueue
+        // and flush paths record through these `Arc`s without ever
+        // touching a string.
+        self.chan_hops
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(
+                id,
+                Arc::new(ChanHops {
+                    ingress_ns: self
+                        .registry
+                        .histogram_labeled("hop_ingress_ns", "chan", name),
+                    enqueue_ns: self
+                        .registry
+                        .histogram_labeled("hop_enqueue_ns", "chan", name),
+                    flush_ns: self
+                        .registry
+                        .histogram_labeled("hop_flush_ns", "chan", name),
+                }),
+            );
         id
+    }
+
+    fn chan_hops(&self, id: u32) -> Option<Arc<ChanHops>> {
+        self.chan_hops
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&id)
+            .cloned()
+    }
+
+    /// The hop record's daemon-global format, registered on first use
+    /// (`None` is sticky if the schema cannot lay out, which cannot
+    /// happen for the all-scalar hop record).
+    fn trace_format(&self) -> Option<(u32, Arc<Layout>)> {
+        self.trace_format
+            .get_or_init(|| {
+                let layout = Arc::new(Layout::of(&hop_schema(), STATS_PROFILE).ok()?);
+                let (format, _, _) = self.formats.register(&layout);
+                Some((format, layout))
+            })
+            .clone()
     }
 
     /// Encode one snapshot of the daemon's registry (merged with the
@@ -555,17 +729,19 @@ impl ServDaemon {
         let accept_thread = std::thread::Builder::new()
             .name("pbio-serv-accept".into())
             .spawn(move || accept_loop(listener, accept_state, accept_conns))?;
-        let stats_thread = match config.stats_interval {
-            Some(interval) => {
-                let stats_state = state.clone();
+        let stats_thread =
+            if config.stats_interval.is_some() || config.trace.publish_interval.is_some() {
+                let bg_state = state.clone();
+                let stats_interval = config.stats_interval;
+                let trace_interval = config.trace.publish_interval;
                 Some(
                     std::thread::Builder::new()
                         .name("pbio-serv-stats".into())
-                        .spawn(move || stats_loop(stats_state, interval))?,
+                        .spawn(move || background_loop(bg_state, stats_interval, trace_interval))?,
                 )
-            }
-            None => None,
-        };
+            } else {
+                None
+            };
         Ok(ServDaemon {
             state,
             addr,
@@ -594,6 +770,13 @@ impl ServDaemon {
     /// latency histograms, as published on the `$stats` channel.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.state.registry
+    }
+
+    /// Current head-sampling modulus advertised to new sessions (0 =
+    /// off). Changed by [`K_TRACE_CTL`] or set at bind time via
+    /// [`TraceConfig::sample_mod`].
+    pub fn trace_sampling(&self) -> u32 {
+        self.state.trace_mod.load(Ordering::Relaxed)
     }
 
     /// Writer-side counters for each connection still alive.
@@ -664,23 +847,42 @@ fn accept_loop(listener: TcpListener, state: Arc<State>, conns: Arc<Mutex<Vec<Jo
 }
 
 /// Periodically publish the daemon's registry snapshot on the reserved
-/// stats channel, through the same fan-out path as any client event:
-/// subscribers get the record announced, filtered, queued, and batched
+/// stats channel and drain completed trace hops onto the reserved trace
+/// channel — both through the same fan-out path as any client event:
+/// subscribers get the records announced, filtered, queued, and batched
 /// exactly like application data.
-fn stats_loop(state: Arc<State>, interval: Duration) {
-    let step = interval.min(POLL_INTERVAL).max(Duration::from_millis(1));
-    let mut since_tick = Duration::ZERO;
+fn background_loop(
+    state: Arc<State>,
+    stats_interval: Option<Duration>,
+    trace_interval: Option<Duration>,
+) {
+    let shortest = [stats_interval, trace_interval]
+        .into_iter()
+        .flatten()
+        .min()
+        .unwrap_or(POLL_INTERVAL);
+    let step = shortest.min(POLL_INTERVAL).max(Duration::from_millis(1));
+    let mut since_stats = Duration::ZERO;
+    let mut since_trace = Duration::ZERO;
     loop {
         std::thread::sleep(step);
         if state.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        since_tick += step;
-        if since_tick < interval {
-            continue;
+        since_stats += step;
+        since_trace += step;
+        if let Some(interval) = stats_interval {
+            if since_stats >= interval {
+                since_stats = Duration::ZERO;
+                publish_stats(&state);
+            }
         }
-        since_tick = Duration::ZERO;
-        publish_stats(&state);
+        if let Some(interval) = trace_interval {
+            if since_trace >= interval {
+                since_trace = Duration::ZERO;
+                publish_trace(&state);
+            }
+        }
     }
 }
 
@@ -694,6 +896,31 @@ fn publish_stats(state: &State) {
     let mut fanout = fanout.lock().unwrap_or_else(|p| p.into_inner());
     let _ = fanout.publish_shared(format, &wire);
     state.registry.trace("stats_publish", format as u64);
+}
+
+/// Drain the hop sink and publish each record on [`TRACE_CHANNEL`]:
+/// self-describing PBIO records, consumed by `pbio-trace` (or any raw
+/// subscriber) with no schema agreed out of band.
+fn publish_trace(state: &State) {
+    if state.hops.is_empty() {
+        return;
+    }
+    let Some((format, layout)) = state.trace_format() else {
+        return;
+    };
+    let Some(fanout) = state.channel(state.trace_channel) else {
+        return;
+    };
+    let mut buf = state.pool.get(layout.size());
+    for hop in state.hops.drain() {
+        buf.clear();
+        if encode_native_into(&hop_value(&hop), &layout, &mut buf).is_err() {
+            continue;
+        }
+        let wire = WireBuf::copy_from(&buf);
+        let mut fanout = fanout.lock().unwrap_or_else(|p| p.into_inner());
+        let _ = fanout.publish_shared(format, &wire);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -754,9 +981,17 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
         return;
     }
     let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed) as u32;
+    // Grant the intersection of what the client offered and what this
+    // daemon speaks, and sample our clock while serving the HELLO — the
+    // client's half of the offset exchange brackets this read.
+    let granted = hello.b & CAP_TRACE;
+    let mut ack_body = Vec::with_capacity(16);
+    ack_body.extend_from_slice(&granted.to_be_bytes());
+    ack_body.extend_from_slice(&epoch_ns().to_be_bytes());
+    ack_body.extend_from_slice(&state.trace_mod.load(Ordering::Relaxed).to_be_bytes());
     if write_frame(
         stream.get_mut(),
-        &Frame::control(K_HELLO_ACK, PROTOCOL_VERSION, conn_id),
+        &Frame::with_body(K_HELLO_ACK, PROTOCOL_VERSION, conn_id, ack_body),
     )
     .is_err()
     {
@@ -770,6 +1005,7 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
         announced: Mutex::new(HashSet::new()),
         alive: AtomicBool::new(true),
         counters: ConnCounters::default(),
+        caps: granted,
     });
     state.track(&conn);
     let writer = match stream.get_ref().try_clone() {
@@ -855,6 +1091,8 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
                     predicate,
                     compiled: HashMap::new(),
                     formats: state.formats.clone(),
+                    sink: state.hops.clone(),
+                    hops: state.chan_hops(header.a),
                 };
                 let id = fanout
                     .lock()
@@ -866,27 +1104,48 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
             }
             K_PUBLISH => {
                 state.metrics.events_in.inc();
-                let Some(layout) = state.formats.lookup(header.b) else {
-                    send_error(
-                        &conn.outbound,
-                        E_FORMAT,
-                        format!("unknown format {}", header.b),
-                    );
+                let traced = header.b & TRACE_FLAG != 0;
+                let format = header.b & !TRACE_FLAG;
+                let Some(layout) = state.formats.lookup(format) else {
+                    send_error(&conn.outbound, E_FORMAT, format!("unknown format {format}"));
                     continue;
                 };
-                if body.len() < layout.size() {
+                let trailer = if traced { TRACE_TRAILER_LEN } else { 0 };
+                if body.len() < layout.size() + trailer {
                     send_error(
                         &conn.outbound,
                         E_PROTOCOL,
                         format!(
-                            "event payload is {} bytes, format {} requires {}",
+                            "event payload is {} bytes, format {format} requires {}",
                             body.len(),
-                            header.b,
-                            layout.size()
+                            layout.size() + trailer
                         ),
                     );
                     continue;
                 }
+                // A flagged trailer is only meaningful on a session that
+                // negotiated the capability, and its reserved bits must
+                // decode — either failure is a protocol error the session
+                // survives (the event is not published).
+                let ctx = if traced {
+                    if conn.caps & CAP_TRACE == 0 {
+                        send_error(
+                            &conn.outbound,
+                            E_PROTOCOL,
+                            "trace trailer without negotiated capability",
+                        );
+                        continue;
+                    }
+                    match TraceCtx::decode(&body[body.len() - TRACE_TRAILER_LEN..]) {
+                        Some(c) => Some(c).filter(|c| c.sampled()),
+                        None => {
+                            send_error(&conn.outbound, E_PROTOCOL, "malformed trace trailer");
+                            continue;
+                        }
+                    }
+                } else {
+                    None
+                };
                 let Some(fanout) = state.channel(header.a) else {
                     send_error(
                         &conn.outbound,
@@ -895,12 +1154,47 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
                     );
                     continue;
                 };
+                if let Some(ctx) = &ctx {
+                    // The publisher's own stamp is the trace origin; the
+                    // ingress stamp is taken here, after the frame is off
+                    // the socket and validated.
+                    let t = epoch_ns();
+                    let dur = t.saturating_sub(ctx.origin_ns);
+                    if let Some(h) = state.chan_hops(header.a) {
+                        h.ingress_ns.record(dur);
+                    }
+                    state.hops.push(TraceHop {
+                        trace_id: ctx.trace_id,
+                        span_id: ctx.span_id,
+                        hop: HOP_PUBLISH,
+                        conn: conn.id,
+                        channel: header.a,
+                        t_ns: ctx.origin_ns,
+                        dur_ns: 0,
+                    });
+                    state.hops.push(TraceHop {
+                        trace_id: ctx.trace_id,
+                        span_id: ctx.span_id,
+                        hop: HOP_INGRESS,
+                        conn: conn.id,
+                        channel: header.a,
+                        t_ns: t,
+                        dur_ns: dur,
+                    });
+                }
                 // The one allocation a published event costs, however
-                // many subscribers it fans out to: its shared body.
-                let wire = WireBuf::copy_from(&body);
+                // many subscribers it fans out to: its shared body. A
+                // sampled trailer rides along (fan-out slices it off per
+                // subscriber as needed); an unsampled one is dead weight
+                // and is dropped here.
+                let payload = match ctx {
+                    None if traced => &body[..body.len() - TRACE_TRAILER_LEN],
+                    _ => &body[..],
+                };
+                let wire = WireBuf::copy_from(payload);
                 let mut fanout = fanout.lock().unwrap_or_else(|p| p.into_inner());
                 let before = fanout.stats();
-                let _ = fanout.publish_shared(header.b, &wire);
+                let _ = fanout.publish_traced(format, &wire, ctx.as_ref());
                 let after = fanout.stats();
                 // Drops are already counted by the fan-out's obs hook;
                 // only the filter suppressions need mirroring here.
@@ -932,6 +1226,11 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
                 }
                 None => send_error(&conn.outbound, E_FORMAT, "stats snapshot encoding failed"),
             },
+            K_TRACE_CTL => {
+                let prev = state.trace_mod.swap(header.b, Ordering::Relaxed);
+                conn.outbound
+                    .send(Frame::control(K_TRACE_CTL_ACK, header.a, prev));
+            }
             K_BYE => {
                 conn.outbound.send(Frame::control(K_BYE_ACK, 0, 0));
                 break;
@@ -961,9 +1260,14 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
 
 fn writer_loop(mut stream: TcpStream, conn: Arc<ConnShared>, state: Arc<State>) {
     let mut batch: Vec<Frame> = Vec::with_capacity(MAX_WRITE_BATCH);
+    let mut traces: Vec<Option<TraceCtx>> = Vec::with_capacity(MAX_WRITE_BATCH);
     loop {
         batch.clear();
-        if !conn.outbound.pop_batch(&mut batch, MAX_WRITE_BATCH) {
+        traces.clear();
+        if !conn
+            .outbound
+            .pop_batch(&mut batch, &mut traces, MAX_WRITE_BATCH)
+        {
             break;
         }
         let written = {
@@ -979,6 +1283,27 @@ fn writer_loop(mut stream: TcpStream, conn: Arc<ConnShared>, state: Arc<State>) 
                 return;
             }
         };
+        // Traced events in the batch get their flush hop stamped once
+        // the vectored write has actually handed them to the kernel.
+        let t_flush = traces.iter().any(Option::is_some).then(epoch_ns);
+        if let Some(t) = t_flush {
+            for (frame, ctx) in batch.iter().zip(&traces) {
+                let Some(ctx) = ctx else { continue };
+                let dur = t.saturating_sub(ctx.origin_ns);
+                if let Some(h) = state.chan_hops(frame.a) {
+                    h.flush_ns.record(dur);
+                }
+                state.hops.push(TraceHop {
+                    trace_id: ctx.trace_id,
+                    span_id: ctx.span_id,
+                    hop: HOP_FLUSH,
+                    conn: conn.id,
+                    channel: frame.a,
+                    t_ns: t,
+                    dur_ns: dur,
+                });
+            }
+        }
         let events = batch.iter().filter(|f| f.kind == K_EVENT).count() as u64;
         state.metrics.events_out.add(events);
         state.metrics.bytes_out.add(bytes);
@@ -1046,8 +1371,10 @@ mod tests {
         }
         out.send(Frame::control(K_SUBSCRIBE_ACK, 0, 0));
         let mut batch = Vec::new();
-        assert!(out.pop_batch(&mut batch, MAX_WRITE_BATCH));
+        let mut traces = Vec::new();
+        assert!(out.pop_batch(&mut batch, &mut traces, MAX_WRITE_BATCH));
         assert_eq!(batch.len(), 6, "one wakeup drains the whole queue");
+        assert_eq!(traces.len(), 6, "trace slots stay parallel to frames");
         // Event accounting went down with the drain: room for more again.
         for i in 0..8u8 {
             assert!(matches!(
@@ -1056,13 +1383,15 @@ mod tests {
             ));
         }
         let mut rest = Vec::new();
-        assert!(out.pop_batch(&mut rest, 3));
+        let mut rest_traces = Vec::new();
+        assert!(out.pop_batch(&mut rest, &mut rest_traces, 3));
         assert_eq!(rest.len(), 3, "batch size is capped by `max`");
         out.close();
         let mut tail = Vec::new();
-        assert!(out.pop_batch(&mut tail, MAX_WRITE_BATCH));
+        let mut tail_traces = Vec::new();
+        assert!(out.pop_batch(&mut tail, &mut tail_traces, MAX_WRITE_BATCH));
         assert_eq!(tail.len(), 5, "close still drains queued frames");
-        assert!(!out.pop_batch(&mut tail, MAX_WRITE_BATCH));
+        assert!(!out.pop_batch(&mut tail, &mut tail_traces, MAX_WRITE_BATCH));
     }
 
     #[test]
@@ -1083,6 +1412,7 @@ mod tests {
         let state = State::new(&ServConfig {
             queue_capacity: 4,
             stats_interval: None,
+            trace: TraceConfig::default(),
         });
         let a = state.open_channel("alpha");
         let b = state.open_channel("beta");

@@ -29,6 +29,15 @@
 //!   receive the measurements through the very conversion machinery the
 //!   measurements describe. One-shot pulls ride the `STATS` frame.
 //!
+//! * **Traces are wire-propagated**: sessions that negotiate the
+//!   [`protocol::CAP_TRACE`] capability stamp 1-in-N publishes with a
+//!   compact trailer ([`pbio_obs::TraceCtx`]); every stage — publish,
+//!   daemon ingress, filter, enqueue, flush, subscriber decode — records
+//!   a hop against the same trace id on one skew-corrected time axis,
+//!   and completed hops are published on the reserved `$trace` channel
+//!   as self-describing PBIO records. Old peers negotiate nothing and
+//!   see plain frames.
+//!
 //! Layering: [`protocol`] defines the session frames (carried by
 //! [`pbio_net::frame`]); [`daemon`] is the thread-per-connection server
 //! built on [`pbio_chan::dispatch::Fanout`]; [`client`] is the blocking
@@ -41,7 +50,7 @@ pub mod daemon;
 pub mod error;
 pub mod protocol;
 
-pub use client::{ClientStats, Event, RawEvent, ServClient};
-pub use daemon::{ConnStats, ServConfig, ServDaemon, ServStats};
+pub use client::{ClientConfig, ClientStats, Event, RawEvent, ServClient};
+pub use daemon::{ConnStats, ServConfig, ServDaemon, ServStats, TraceConfig};
 pub use error::ServError;
-pub use protocol::STATS_CHANNEL;
+pub use protocol::{CAP_TRACE, STATS_CHANNEL, TRACE_CHANNEL};

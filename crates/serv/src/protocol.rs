@@ -10,10 +10,12 @@
 //!
 //! ```text
 //! client                                  daemon
-//!   | HELLO    a=version   body=arch name   |
-//!   |  -------------------------------->    |
-//!   |            HELLO_ACK a=version b=conn |
-//!   |  <--------------------------------    |
+//!   | HELLO    a=version b=caps            |   (b: capability bits the
+//!   |          body=arch name              |    client offers; old
+//!   |  -------------------------------->    |    clients send 0)
+//!   |            HELLO_ACK a=version b=conn |   (body: granted caps +
+//!   |  <--------------------------------    |    clock sample, may be
+//!   |                                       |    empty from old daemons)
 //!   | FORMAT   a=token     body=layout meta |   (once per distinct format;
 //!   |  -------------------------------->    |    daemon dedups via its
 //!   |            FORMAT_ACK a=token b=fmt   |    shared FormatServer)
@@ -51,10 +53,34 @@ pub const PROTOCOL_VERSION: u32 = 1;
 /// startup; `open_channel(STATS_CHANNEL)` from any client returns it.
 pub const STATS_CHANNEL: &str = "$stats";
 
-/// Client → daemon: open a session. `a` = version, body = architecture
+/// Name of the reserved channel completed distributed-tracing hop
+/// records are published on, as self-describing PBIO records — the same
+/// dogfooding as [`STATS_CHANNEL`]. Opened at daemon startup.
+pub const TRACE_CHANNEL: &str = "$trace";
+
+/// Capability bit (in `HELLO.b` / the HELLO ack body): the peer speaks
+/// the trace-trailer extension. Tracing is in effect on a session only
+/// when *both* sides advertise it; old peers advertise nothing and see
+/// plain frames, which is the whole negotiation.
+pub const CAP_TRACE: u32 = 0x1;
+
+/// High bit of the format-id argument (`b`) on [`K_PUBLISH`] and
+/// [`K_EVENT`]: the body carries a trace trailer
+/// ([`pbio_obs::TRACE_TRAILER_LEN`] bytes) after the record's NDR
+/// bytes. Format ids never reach this bit.
+pub const TRACE_FLAG: u32 = 0x8000_0000;
+
+/// Client → daemon: open a session. `a` = version, `b` = capability
+/// bits ([`CAP_TRACE`]; old clients send 0), body = architecture
 /// profile name (e.g. `"sparc-v8"`).
 pub const K_HELLO: u8 = 0x01;
-/// Daemon → client: session accepted. `a` = version, `b` = connection id.
+/// Daemon → client: session accepted. `a` = version, `b` = connection
+/// id. The body, absent from pre-tracing daemons and ignored by
+/// pre-tracing clients, is `granted_caps:u32be  t_ns:u64be
+/// sample_mod:u32be`: the intersection of offered and supported
+/// capabilities, the daemon's clock sampled while serving the HELLO
+/// (one half of the [`pbio_net::clock::ClockSync`] offset exchange),
+/// and the daemon's head-sampling modulus for publishers to adopt.
 pub const K_HELLO_ACK: u8 = 0x02;
 /// Client → daemon: register a format. `a` = client token, body =
 /// serialized layout meta-information.
@@ -90,6 +116,14 @@ pub const K_STATS: u8 = 0x40;
 /// snapshot's daemon-global format id, body = the snapshot record's
 /// native (NDR) bytes — the same encoding the `$stats` channel carries.
 pub const K_STATS_ACK: u8 = 0x41;
+/// Client → daemon: set the daemon's trace sampling at run time. `a` =
+/// client token, `b` = the new head-sampling modulus (sample one publish
+/// in `b`; `0` disables tracing daemon-wide). Answered with
+/// [`K_TRACE_CTL_ACK`].
+pub const K_TRACE_CTL: u8 = 0x42;
+/// Daemon → client: sampling updated. `a` = echoed token, `b` = the
+/// modulus that was in effect before this change.
+pub const K_TRACE_CTL_ACK: u8 = 0x43;
 /// Client → daemon: graceful disconnect.
 pub const K_BYE: u8 = 0x30;
 /// Daemon → client: disconnect acknowledged; no further frames follow.

@@ -6,7 +6,7 @@
 use std::time::{Duration, Instant};
 
 use pbio_chan::Predicate;
-use pbio_serv::{ServClient, ServConfig, ServDaemon, ServError};
+use pbio_serv::{ServClient, ServConfig, ServDaemon, ServError, TraceConfig};
 use pbio_types::arch::ArchProfile;
 use pbio_types::schema::{AtomType, FieldDecl, Schema};
 use pbio_types::value::{RecordValue, Value};
@@ -240,6 +240,7 @@ fn slow_subscriber_backpressure_drops_oldest_not_newest() {
         ServConfig {
             queue_capacity: 8,
             stats_interval: None,
+            trace: TraceConfig::default(),
         },
     )
     .unwrap();
@@ -322,6 +323,7 @@ fn drop_oldest_accounting_is_exact_across_many_slow_subscribers() {
         ServConfig {
             queue_capacity: 8,
             stats_interval: None,
+            trace: TraceConfig::default(),
         },
     )
     .unwrap();

@@ -17,7 +17,7 @@ use pbio_obs::Registry;
 use pbio_serv::protocol::{
     E_PROTOCOL, K_CHANNEL, K_CHANNEL_ACK, K_ERROR, K_HELLO, K_HELLO_ACK, PROTOCOL_VERSION,
 };
-use pbio_serv::{ServClient, ServConfig, ServDaemon, STATS_CHANNEL};
+use pbio_serv::{ServClient, ServConfig, ServDaemon, TraceConfig, STATS_CHANNEL};
 use pbio_types::arch::ArchProfile;
 use pbio_types::layout::Layout;
 use pbio_types::meta::serialize_layout;
@@ -49,6 +49,7 @@ fn unknown_frame_kind_gets_error_and_keeps_the_session() {
         ServConfig {
             queue_capacity: 8,
             stats_interval: None,
+            trace: TraceConfig::default(),
         },
     )
     .unwrap();
@@ -97,6 +98,7 @@ fn stats_channel_feeds_homogeneous_and_heterogeneous_subscribers() {
         ServConfig {
             queue_capacity: 256,
             stats_interval: Some(Duration::from_millis(100)),
+            trace: TraceConfig::default(),
         },
     )
     .unwrap();
@@ -163,6 +165,7 @@ fn pull_stats_returns_the_daemon_books() {
         ServConfig {
             queue_capacity: 8,
             stats_interval: None,
+            trace: TraceConfig::default(),
         },
     )
     .unwrap();
@@ -239,6 +242,7 @@ fn client_stats_track_bytes_pool_and_poll_overflow_drops() {
         ServConfig {
             queue_capacity: 1024,
             stats_interval: None,
+            trace: TraceConfig::default(),
         },
     )
     .unwrap();
