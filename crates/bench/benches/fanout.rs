@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pbio_bench::workloads::{workload, MsgSize};
-use pbio_serv::{ServClient, ServConfig, ServDaemon, TraceConfig};
+use pbio_serv::{ClientConfig, ServClient, ServConfig, ServDaemon, TraceConfig};
 use pbio_types::arch::ArchProfile;
 use pbio_types::layout::Layout;
 use pbio_types::value::encode_native;
@@ -106,6 +106,7 @@ fn run_case(subscribers: usize, heterogeneous: bool, warmup: u64, events: u64) -
                 publish_interval: None,
                 sink_capacity: 16,
             },
+            ..ServConfig::default()
         },
     )
     .expect("bind daemon");
@@ -196,13 +197,171 @@ fn run_case(subscribers: usize, heterogeneous: bool, warmup: u64, events: u64) -
     }
 }
 
+/// `--faults seed=N` mode: the same topology (one publisher, two
+/// subscribers, one daemon) with every daemon connection wrapped in the
+/// seeded deterministic fault plan — torn writes, read stalls, byte
+/// corruption, and (odd seeds) mid-stream disconnects. Not a
+/// measurement: a reproducible crash-recovery exercise. Resume clients
+/// must ride out whatever the seed injects, and every delivered event is
+/// still a valid record; damage shows up only in the printed counters.
+fn run_fault_case(seed: u64, events: u64) {
+    let w = workload(MsgSize::B100);
+    let daemon = ServDaemon::bind_with(
+        "127.0.0.1:0",
+        ServConfig {
+            fault_seed: Some(seed),
+            // Deep queues: losses in this mode should come from the fault
+            // plan, not from drop-oldest backpressure.
+            queue_capacity: events as usize + 64,
+            stats_interval: None,
+            trace: TraceConfig {
+                sample_mod: 0,
+                publish_interval: None,
+                sink_capacity: 16,
+            },
+            // Aggressive liveness so a connection severed by the plan is
+            // detected, evicted, and resumed within the run, not after it.
+            heartbeat_ping: Duration::from_millis(250),
+            heartbeat_dead: Duration::from_millis(750),
+            stall_budget: Duration::from_millis(250),
+        },
+    )
+    .expect("bind daemon");
+    let addr = daemon.local_addr();
+    let resume = ClientConfig {
+        resume: true,
+        backoff_initial: Duration::from_millis(10),
+        backoff_max: Duration::from_millis(250),
+        ..ClientConfig::default()
+    };
+    // Connecting runs through the faulty transport too; each retry is a
+    // fresh connection with its own derived plan.
+    let connect = move |profile: &ArchProfile| -> ServClient {
+        for _ in 0..10 {
+            if let Ok(c) = ServClient::connect_with(addr, profile, resume.clone()) {
+                return c;
+            }
+        }
+        panic!("seed {seed}: no session within 10 attempts");
+    };
+
+    let done = Arc::new(AtomicUsize::new(0));
+    let mut sub_threads = Vec::new();
+    for profile in [ArchProfile::X86_64, ArchProfile::SPARC_V8] {
+        let schema = w.schema.clone();
+        let done = Arc::clone(&done);
+        let connect = connect.clone();
+        sub_threads.push(std::thread::spawn(move || {
+            let mut client = connect(&profile);
+            let chan = loop {
+                if let Ok(c) = client.open_channel(CHANNEL) {
+                    break c;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            };
+            while client.subscribe(chan, &schema, None).is_err() {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            let mut delivered = 0u64;
+            let mut errors = 0u64;
+            let mut quiet = 0u32;
+            let deadline = Instant::now() + CASE_DEADLINE;
+            // Keep draining until the publisher is done and the wire has
+            // gone quiet; poll errors (a corrupted frame, a dropped
+            // session mid-resume) are counted and survived.
+            while quiet < 10 && Instant::now() < deadline {
+                match client.poll(Duration::from_millis(200)) {
+                    Ok(Some(_event)) => {
+                        quiet = 0;
+                        delivered += 1;
+                    }
+                    // Quiet only counts on a healthy session: a
+                    // subscriber severed mid-run must finish its
+                    // reconnect before it may call the wire drained.
+                    Ok(None) => {
+                        if done.load(Ordering::Acquire) == 1 && !client.in_outage() {
+                            quiet += 1;
+                        }
+                    }
+                    Err(_) => errors += 1,
+                }
+            }
+            (delivered, errors, client.stats())
+        }));
+    }
+
+    let mut publisher = connect(&ArchProfile::X86_64);
+    let chan = loop {
+        if let Ok(c) = publisher.open_channel(CHANNEL) {
+            break c;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let fmt = loop {
+        if let Ok(f) = publisher.register_format(&w.schema) {
+            break f;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let layout = Layout::of(&w.schema, &ArchProfile::X86_64).expect("layout");
+    let native = encode_native(&w.value, &layout).expect("encode");
+    let mut publish_errors = 0u64;
+    for _ in 0..events {
+        if publisher.publish(chan, fmt, &native).is_err() {
+            publish_errors += 1;
+        }
+    }
+    // Give an in-flight reconnect a chance to flush the outage buffer.
+    let grace = Instant::now() + Duration::from_secs(3);
+    while publisher.in_outage() && Instant::now() < grace {
+        std::thread::sleep(Duration::from_millis(25));
+        let _ = publisher.publish(chan, fmt, &native);
+    }
+    done.store(1, Ordering::Release);
+
+    println!("fan-out under faults: seed {seed}, {events} events, 2 subscribers");
+    println!("| peer        | delivered | errors | reconnects | rejected |");
+    println!("|-------------|-----------|--------|------------|----------|");
+    let p = publisher.stats();
+    println!(
+        "| publisher   | {:>9} | {:>6} | {:>10} | {:>8} |",
+        p.publishes, publish_errors, p.reconnects, p.frames_rejected
+    );
+    for (i, t) in sub_threads.into_iter().enumerate() {
+        let (delivered, errors, s) = t.join().expect("subscriber thread");
+        println!(
+            "| subscriber{i} | {delivered:>9} | {errors:>6} | {:>10} | {:>8} |",
+            s.reconnects, s.frames_rejected
+        );
+    }
+    let d = daemon.stats();
+    println!(
+        "daemon: rejected {} frames, dropped {} events, resumed {} sessions, \
+         evicted {} dead / {} stalled",
+        d.frames_rejected, d.dropped, d.resumes, d.evicted_dead, d.evicted_stalled
+    );
+    daemon.shutdown();
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let fault_seed: Option<u64> = args.iter().position(|a| a == "--faults").map(|i| {
+        args.get(i + 1)
+            .and_then(|s| s.strip_prefix("seed="))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("--faults requires seed=N"))
+    });
     let (subscriber_counts, warmup, events): (&[usize], u64, u64) = if smoke {
         (&[1], 10, 50)
     } else {
         (&[1, 8, 64], 200, 2000)
     };
+
+    if let Some(seed) = fault_seed {
+        run_fault_case(seed, if smoke { 2_000 } else { 10_000 });
+        return;
+    }
 
     println!("fan-out benchmark: 100b records, publisher x86-64, loopback TCP");
     println!("| subs | mode   | events/s | deliveries/s | allocs/event |");

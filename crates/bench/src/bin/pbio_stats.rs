@@ -133,6 +133,7 @@ fn demo(duration: Duration) -> Result<Snapshots, String> {
             queue_capacity: 4096,
             stats_interval: Some(Duration::from_millis(200)),
             trace: TraceConfig::default(),
+            ..ServConfig::default()
         },
     )
     .map_err(|e| format!("bind daemon: {e}"))?;

@@ -154,6 +154,7 @@ fn demo(duration: Duration, subs: usize) -> Result<Vec<TraceHop>, String> {
                 publish_interval: Some(Duration::from_millis(100)),
                 sink_capacity: 4096,
             },
+            ..ServConfig::default()
         },
     )
     .map_err(|e| format!("bind daemon: {e}"))?;

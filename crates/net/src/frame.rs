@@ -8,8 +8,16 @@
 //! ids, status codes).
 //!
 //! ```text
-//! frame := kind:u8  a:u32be  b:u32be  len:u32be  body[len]
+//! frame := kind:u8  a:u32be  b:u32be  len:u32be  crc:u32be  body[len]
 //! ```
+//!
+//! `crc` is a CRC-32 (IEEE) over the 13 header bytes that precede it plus
+//! the body. The stream has no other redundancy, so without it a single
+//! flipped bit in flight silently delivers a *wrong record* — the checksum
+//! turns every corruption into a typed, counted [`FrameError::Corrupt`]
+//! instead. It detects all single-byte errors and all burst errors up to
+//! 32 bits, which covers the failure modes a TCP-borne stream (bad NIC,
+//! proxy truncation, in-memory scribbles) realistically produces.
 //!
 //! Frame bodies are [`WireBuf`]s — shared immutable buffers — so a frame
 //! queued to many connections is one allocation plus refcount bumps.
@@ -31,8 +39,60 @@ use std::io::{self, IoSlice, Read, Write};
 use crate::buf::WireBuf;
 use crate::metrics::net_metrics;
 
-/// Size of the fixed frame header.
-pub const FRAME_HEADER_SIZE: usize = 13;
+/// Size of the fixed frame header (kind + a + b + len + crc).
+pub const FRAME_HEADER_SIZE: usize = 17;
+
+/// Bytes of the header covered by the checksum (everything before it).
+const CRC_PREFIX: usize = 13;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected), table-driven.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// Feed `bytes` into a running CRC-32 state (start from
+/// [`CRC_INIT`], finish with [`crc32_finish`]).
+#[inline]
+pub fn crc32_update(mut state: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        state = CRC_TABLE[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+/// Initial CRC-32 state.
+pub const CRC_INIT: u32 = 0xFFFF_FFFF;
+
+/// Finalize a CRC-32 state into the checksum value.
+#[inline]
+pub fn crc32_finish(state: u32) -> u32 {
+    !state
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_finish(crc32_update(CRC_INIT, bytes))
+}
 
 /// Upper bound on a frame body; larger lengths are rejected as corrupt
 /// (protects the reader from allocating on a garbage length field).
@@ -93,6 +153,9 @@ pub struct FrameHeader {
     pub b: u32,
     /// Body length in bytes (already validated against [`MAX_FRAME_BODY`]).
     pub len: usize,
+    /// Checksum announced by the sender (CRC-32 over the 13 preceding
+    /// header bytes plus the body); verified when the body is read.
+    pub crc: u32,
 }
 
 /// Errors surfaced by the frame codec.
@@ -104,6 +167,15 @@ pub enum FrameError {
     Closed,
     /// The header announced a body longer than [`MAX_FRAME_BODY`].
     TooLarge(usize),
+    /// The frame's checksum did not match its header + body bytes: the
+    /// stream was corrupted in flight (or desynchronized). The frame must
+    /// not be interpreted.
+    Corrupt {
+        /// Checksum the sender announced.
+        expected: u32,
+        /// Checksum of the bytes actually received.
+        actual: u32,
+    },
     /// Connection truncated mid-frame, or any other I/O failure.
     Io(io::Error),
 }
@@ -117,6 +189,12 @@ impl fmt::Display for FrameError {
                 write!(
                     f,
                     "frame body of {n} bytes exceeds the {MAX_FRAME_BODY} byte limit"
+                )
+            }
+            FrameError::Corrupt { expected, actual } => {
+                write!(
+                    f,
+                    "frame checksum mismatch (announced {expected:#010x}, computed {actual:#010x})"
                 )
             }
             FrameError::Io(e) => write!(f, "frame i/o error: {e}"),
@@ -162,14 +240,21 @@ fn read_full(r: &mut impl Read, buf: &mut [u8]) -> Result<(), FrameError> {
     Ok(())
 }
 
+/// Encode a frame header (checksum included) into a stack buffer.
+fn encode_header_raw(kind: u8, a: u32, b: u32, body: &[u8]) -> [u8; FRAME_HEADER_SIZE] {
+    let mut h = [0u8; FRAME_HEADER_SIZE];
+    h[0] = kind;
+    h[1..5].copy_from_slice(&a.to_be_bytes());
+    h[5..9].copy_from_slice(&b.to_be_bytes());
+    h[9..13].copy_from_slice(&(body.len() as u32).to_be_bytes());
+    let crc = crc32_finish(crc32_update(crc32_update(CRC_INIT, &h[..CRC_PREFIX]), body));
+    h[13..17].copy_from_slice(&crc.to_be_bytes());
+    h
+}
+
 /// Encode `frame`'s header into a stack buffer.
 fn encode_header(frame: &Frame) -> [u8; FRAME_HEADER_SIZE] {
-    let mut h = [0u8; FRAME_HEADER_SIZE];
-    h[0] = frame.kind;
-    h[1..5].copy_from_slice(&frame.a.to_be_bytes());
-    h[5..9].copy_from_slice(&frame.b.to_be_bytes());
-    h[9..13].copy_from_slice(&(frame.body.len() as u32).to_be_bytes());
-    h
+    encode_header_raw(frame.kind, frame.a, frame.b, &frame.body)
 }
 
 /// Drive `write_vectored` until every buffer is fully written (the stable
@@ -212,11 +297,7 @@ pub fn write_frame_raw(
     body: &[u8],
 ) -> io::Result<()> {
     debug_assert!(body.len() <= MAX_FRAME_BODY);
-    let mut h = [0u8; FRAME_HEADER_SIZE];
-    h[0] = kind;
-    h[1..5].copy_from_slice(&a.to_be_bytes());
-    h[5..9].copy_from_slice(&b.to_be_bytes());
-    h[9..13].copy_from_slice(&(body.len() as u32).to_be_bytes());
+    let h = encode_header_raw(kind, a, b, body);
     let mut slices = [IoSlice::new(&h), IoSlice::new(body)];
     write_all_vectored(w, &mut slices)?;
     let m = net_metrics();
@@ -285,6 +366,7 @@ pub fn read_frame_header(r: &mut impl Read) -> Result<FrameHeader, FrameError> {
     let a = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]);
     let b = u32::from_be_bytes([rest[4], rest[5], rest[6], rest[7]]);
     let len = u32::from_be_bytes([rest[8], rest[9], rest[10], rest[11]]) as usize;
+    let crc = u32::from_be_bytes([rest[12], rest[13], rest[14], rest[15]]);
     if len > MAX_FRAME_BODY {
         return Err(FrameError::TooLarge(len));
     }
@@ -296,11 +378,73 @@ pub fn read_frame_header(r: &mut impl Read) -> Result<FrameHeader, FrameError> {
         a,
         b,
         len,
+        crc,
     })
 }
 
-/// Read the `len`-byte body that follows a [`read_frame_header`] into
-/// `buf` (cleared, then filled to exactly `len`; its capacity is reused).
+/// Running CRC of a decoded header's checksummed prefix (the 13 bytes
+/// before the `crc` field), reconstructed from its fields.
+fn header_prefix_crc(header: &FrameHeader) -> u32 {
+    let mut h = [0u8; CRC_PREFIX];
+    h[0] = header.kind;
+    h[1..5].copy_from_slice(&header.a.to_be_bytes());
+    h[5..9].copy_from_slice(&header.b.to_be_bytes());
+    h[9..13].copy_from_slice(&(header.len as u32).to_be_bytes());
+    crc32_update(CRC_INIT, &h)
+}
+
+/// Read and throw away the `len`-byte body that follows a
+/// [`read_frame_header`] — the recovery path for a frame the session
+/// refuses to buffer (e.g. one whose announced length exceeds the
+/// receiver's budget): the stream stays in sync without the receiver
+/// ever allocating proportionally to the hostile length field.
+///
+/// Timeouts are retried only while the drain makes progress. A long run
+/// of zero-progress timeouts means the announced bytes are not coming —
+/// a desynced stream (the length field itself was damaged) or a stalled
+/// hostile peer — and the drain gives up with [`FrameError::Timeout`] so
+/// the caller can tear the connection down instead of blocking forever.
+pub fn discard_frame_body(r: &mut impl Read, len: usize) -> Result<(), FrameError> {
+    const STALL_LIMIT: u32 = 20;
+    let mut chunk = [0u8; 4096];
+    let mut remaining = len;
+    let mut stalled = 0u32;
+    while remaining > 0 {
+        let want = remaining.min(chunk.len());
+        match r.read(&mut chunk[..want]) {
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                )))
+            }
+            Ok(n) => {
+                remaining -= n;
+                stalled = 0;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if is_timeout(&e) => {
+                stalled += 1;
+                if stalled >= STALL_LIMIT {
+                    return Err(FrameError::Timeout);
+                }
+            }
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    net_metrics().bytes_in.add(len as u64);
+    Ok(())
+}
+
+/// Read the body announced by `header` (from [`read_frame_header`]) into
+/// `buf` (cleared, then filled to exactly `header.len`; its capacity is
+/// reused), then verify the frame's checksum.
+///
+/// The length is re-validated against [`MAX_FRAME_BODY`] here, *before*
+/// any allocation, so the bound holds even for callers that construct a
+/// [`FrameHeader`] themselves rather than going through
+/// [`read_frame_header`] — a hostile 4-byte length field can never drive
+/// a proportional allocation.
 ///
 /// The body is read through `Read::take` + `read_to_end` into the cleared
 /// vector, so reused capacity is *not* redundantly zero-filled before being
@@ -308,7 +452,15 @@ pub fn read_frame_header(r: &mut impl Read) -> Result<FrameHeader, FrameError> {
 /// every frame body. Timeouts and interrupts mid-body are retried just as
 /// [`read_full`] would: partial data read before the error stays appended
 /// and the `take` limit accounts for it.
-pub fn read_frame_body(r: &mut impl Read, len: usize, buf: &mut Vec<u8>) -> Result<(), FrameError> {
+pub fn read_frame_body(
+    r: &mut impl Read,
+    header: &FrameHeader,
+    buf: &mut Vec<u8>,
+) -> Result<(), FrameError> {
+    let len = header.len;
+    if len > MAX_FRAME_BODY {
+        return Err(FrameError::TooLarge(len));
+    }
     buf.clear();
     if len > 0 {
         // +1 so the final length-check read in `read_to_end` lands in spare
@@ -331,7 +483,16 @@ pub fn read_frame_body(r: &mut impl Read, len: usize, buf: &mut Vec<u8>) -> Resu
             }
         }
     }
-    net_metrics().bytes_in.add(len as u64);
+    let m = net_metrics();
+    m.bytes_in.add(len as u64);
+    let actual = crc32_finish(crc32_update(header_prefix_crc(header), buf));
+    if actual != header.crc {
+        m.frames_corrupt.inc();
+        return Err(FrameError::Corrupt {
+            expected: header.crc,
+            actual,
+        });
+    }
     Ok(())
 }
 
@@ -340,7 +501,7 @@ pub fn read_frame_body(r: &mut impl Read, len: usize, buf: &mut Vec<u8>) -> Resu
 /// an unbounded frame stream with no per-frame allocation.
 pub fn read_frame_into(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<FrameHeader, FrameError> {
     let header = read_frame_header(r)?;
-    read_frame_body(r, header.len, buf)?;
+    read_frame_body(r, &header, buf)?;
     Ok(header)
 }
 
@@ -351,7 +512,7 @@ pub fn read_frame_into(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<FrameHead
 pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
     let header = read_frame_header(r)?;
     let mut body = Vec::new();
-    read_frame_body(r, header.len, &mut body)?;
+    read_frame_body(r, &header, &mut body)?;
     Ok(Frame {
         kind: header.kind,
         a: header.a,
@@ -517,8 +678,71 @@ mod tests {
         wire.extend_from_slice(&0u32.to_be_bytes());
         wire.extend_from_slice(&0u32.to_be_bytes());
         wire.extend_from_slice(&(MAX_FRAME_BODY as u32 + 1).to_be_bytes());
+        wire.extend_from_slice(&0u32.to_be_bytes());
         let mut r = Cursor::new(wire);
         assert!(matches!(read_frame(&mut r), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_any_allocation_in_body_read() {
+        // A caller that hand-builds a header cannot drive an allocation:
+        // the bound is re-checked inside `read_frame_body` itself.
+        let header = FrameHeader {
+            kind: 0x10,
+            a: 0,
+            b: 0,
+            len: usize::MAX,
+            crc: 0,
+        };
+        let mut buf = Vec::new();
+        let mut r = Cursor::new(Vec::new());
+        assert!(matches!(
+            read_frame_body(&mut r, &header, &mut buf),
+            Err(FrameError::TooLarge(_))
+        ));
+        assert_eq!(buf.capacity(), 0, "rejected before reserving");
+    }
+
+    #[test]
+    fn corrupted_byte_is_detected_anywhere_in_the_frame() {
+        let frame = Frame::with_body(0x21, 7, 9, (0u8..64).collect::<Vec<u8>>());
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        // Flip one byte at every offset: header corruption surfaces as
+        // Corrupt or TooLarge (when the length field inflates past the
+        // cursor's EOF, as Io); body corruption is always Corrupt. No
+        // offset ever yields a silently different frame.
+        for i in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[i] ^= 0x40;
+            let mut r = Cursor::new(bad);
+            match read_frame(&mut r) {
+                Ok(f) => panic!("corruption at byte {i} went undetected: {f:?}"),
+                Err(
+                    FrameError::Corrupt { .. }
+                    | FrameError::TooLarge(_)
+                    | FrameError::Io(_)
+                    | FrameError::Closed,
+                ) => {}
+                Err(e) => panic!("unexpected error for corruption at byte {i}: {e}"),
+            }
+        }
+        // The pristine wire still decodes.
+        let mut r = Cursor::new(wire);
+        assert_eq!(read_frame(&mut r).unwrap(), frame);
+    }
+
+    #[test]
+    fn discard_skips_the_body_and_resyncs() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::with_body(0x21, 1, 2, vec![0xEE; 5000])).unwrap();
+        write_frame(&mut wire, &Frame::control(0x22, 3, 4)).unwrap();
+        let mut r = Cursor::new(wire);
+        let h = read_frame_header(&mut r).unwrap();
+        assert_eq!(h.len, 5000);
+        discard_frame_body(&mut r, h.len).unwrap();
+        let next = read_frame(&mut r).unwrap();
+        assert_eq!((next.kind, next.a, next.b), (0x22, 3, 4));
     }
 
     #[test]

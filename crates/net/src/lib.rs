@@ -18,7 +18,12 @@
 //!   loopback, with read-timeout plumbing) used by integration tests to run
 //!   actual PBIO/MPI/XML/CDR streams end to end,
 //! * [`frame`] — the timeout-aware session-frame codec `pbio-serv` speaks
-//!   on the wire (PBIO record streams ride inside frame bodies),
+//!   on the wire (PBIO record streams ride inside frame bodies), with a
+//!   CRC-32 header checksum so in-flight corruption is detected rather
+//!   than decoded,
+//! * [`fault`] — seeded, deterministic fault injection
+//!   ([`fault::FaultyStream`]) for exercising the serv layer's recovery
+//!   paths from tests, benches, and the daemon's `--faults` mode,
 //! * [`buf`] — [`buf::WireBuf`], the shared immutable byte buffer frame
 //!   bodies are made of, so fanning one event out to many connections is
 //!   refcount bumps rather than copies,
@@ -30,6 +35,7 @@
 pub mod buf;
 pub mod clock;
 pub mod exchange;
+pub mod fault;
 pub mod frame;
 pub mod link;
 pub mod metrics;
@@ -38,6 +44,7 @@ pub mod transport;
 pub use buf::WireBuf;
 pub use clock::{ClockSync, VirtualClock};
 pub use exchange::{measure_leg, time_avg, LegCosts, RoundTripCosts};
+pub use fault::{FaultLog, FaultOp, FaultPlan, FaultyStream, MaybeFaulty};
 pub use frame::{read_frame, write_frame, Frame, FrameError};
 pub use link::SimLink;
 pub use transport::{duplex_pipe, PipeEnd, TcpPipe, TransportError};

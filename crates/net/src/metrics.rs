@@ -17,6 +17,8 @@ pub struct NetMetrics {
     pub bytes_out: Arc<Counter>,
     /// Frames fully read.
     pub frames_in: Arc<Counter>,
+    /// Frames rejected by the checksum (corrupted in flight).
+    pub frames_corrupt: Arc<Counter>,
     /// Frames fully written.
     pub frames_out: Arc<Counter>,
     /// Vectored write calls issued (≈ syscalls on a raw socket).
@@ -34,6 +36,7 @@ pub fn net_metrics() -> &'static NetMetrics {
             bytes_in: r.counter("net_bytes_in"),
             bytes_out: r.counter("net_bytes_out"),
             frames_in: r.counter("net_frames_in"),
+            frames_corrupt: r.counter("net_frames_corrupt"),
             frames_out: r.counter("net_frames_out"),
             writes: r.counter("net_writes"),
             write_batch: r.histogram("net_write_batch"),

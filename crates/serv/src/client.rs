@@ -12,10 +12,21 @@
 //!   receive-side conversion runs here, in an embedded [`pbio::Reader`]:
 //!   homogeneous publisher/subscriber pairs stay zero-copy, heterogeneous
 //!   pairs get a DCG conversion compiled on first contact with the format.
+//!
+//! With [`ClientConfig::resume`] enabled the session is **fault
+//! tolerant**: a broken connection flips the client into an outage state
+//! instead of erroring, publishes buffer locally (bounded, drop-oldest,
+//! counted), and every subsequent call drives a reconnect with capped
+//! exponential backoff plus deterministic jitter. On reconnect the client
+//! resumes under a bumped session epoch ([`crate::protocol::K_RESUME`]),
+//! replays its format registrations, channel opens, and subscriptions,
+//! then flushes the buffered publishes — callers never see the outage
+//! beyond the counters and the latency.
 
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -24,8 +35,8 @@ use pbio_chan::filter::Predicate;
 use pbio_chan::wire::serialize_predicate;
 use pbio_net::clock::ClockSync;
 use pbio_net::frame::{
-    read_frame, read_frame_body, read_frame_header, write_frame_raw, Frame, FrameError,
-    FRAME_HEADER_SIZE,
+    discard_frame_body, read_frame, read_frame_body, read_frame_header, write_frame_raw, Frame,
+    FrameError, FRAME_HEADER_SIZE,
 };
 use pbio_obs::export::{
     hop_schema, hop_value, snapshot_from_value, stats_schema, stats_value, StatsHeader, ROLE_CLIENT,
@@ -82,6 +93,21 @@ pub struct ClientStats {
     /// Events discarded because they raced an acknowledged request and
     /// overflowed the bounded pending queue.
     pub dropped: u64,
+    /// Publish calls made (whether sent directly or buffered).
+    pub publishes: u64,
+    /// Publishes buffered locally during an outage (sent-direct count is
+    /// `publishes - buffered`).
+    pub buffered: u64,
+    /// Buffered publishes replayed to the daemon after a reconnect.
+    pub buffered_replayed: u64,
+    /// Buffered publishes discarded by the outage buffer's drop-oldest
+    /// bound before any reconnect succeeded.
+    pub buffer_dropped: u64,
+    /// Completed reconnect + resume + replay cycles.
+    pub reconnects: u64,
+    /// Inbound frames rejected (failed checksum or oversized length) and
+    /// skipped without tearing the session down.
+    pub frames_rejected: u64,
 }
 
 /// Pre-resolved handles into the client's per-instance registry.
@@ -92,6 +118,12 @@ struct ClientMetrics {
     bytes_in: Arc<Counter>,
     bytes_out: Arc<Counter>,
     dropped: Arc<Counter>,
+    publishes: Arc<Counter>,
+    buffered: Arc<Counter>,
+    buffered_replayed: Arc<Counter>,
+    buffer_dropped: Arc<Counter>,
+    reconnects: Arc<Counter>,
+    frames_rejected: Arc<Counter>,
     /// Time encoding a [`RecordValue`] in [`ServClient::publish_value`].
     encode_ns: Arc<Histogram>,
     /// Time converting a received record that was not zero-copy.
@@ -107,6 +139,12 @@ impl ClientMetrics {
             bytes_in: reg.counter("client_bytes_in"),
             bytes_out: reg.counter("client_bytes_out"),
             dropped: reg.counter("client_dropped"),
+            publishes: reg.counter("client_publishes"),
+            buffered: reg.counter("client_buffered"),
+            buffered_replayed: reg.counter("client_buffered_replayed"),
+            buffer_dropped: reg.counter("client_buffer_dropped"),
+            reconnects: reg.counter("client_reconnects"),
+            frames_rejected: reg.counter("client_frames_rejected"),
             encode_ns: reg.histogram("client_encode_ns"),
             convert_ns: reg.histogram("client_convert_ns"),
         }
@@ -130,11 +168,31 @@ pub struct ClientConfig {
     /// received traced events are stamped with a `decode` hop. `false`
     /// makes this client indistinguishable from a pre-tracing one.
     pub trace: bool,
+    /// Offer the session-resume capability and auto-reconnect on
+    /// connection loss. When granted by the daemon, a broken socket is an
+    /// *outage* rather than an error: publishes buffer locally and the
+    /// session (formats, channels, subscriptions) is re-established
+    /// transparently under a new epoch once the daemon is reachable.
+    pub resume: bool,
+    /// First reconnect backoff step; doubles per failed attempt.
+    pub backoff_initial: Duration,
+    /// Backoff ceiling (the "capped" in capped exponential backoff).
+    pub backoff_max: Duration,
+    /// Publishes buffered during an outage before drop-oldest discards
+    /// the oldest (each discard is counted in
+    /// [`ClientStats::buffer_dropped`]).
+    pub outage_buffer: usize,
 }
 
 impl Default for ClientConfig {
     fn default() -> ClientConfig {
-        ClientConfig { trace: true }
+        ClientConfig {
+            trace: true,
+            resume: false,
+            backoff_initial: Duration::from_millis(25),
+            backoff_max: Duration::from_secs(1),
+            outage_buffer: 256,
+        }
     }
 }
 
@@ -199,6 +257,49 @@ pub struct ServClient {
     /// Cached hop-record format id (registered on first
     /// [`ServClient::publish_trace`]).
     trace_format: Option<u32>,
+    /// Connection options (resume, backoff, tracing offer).
+    config: ClientConfig,
+    /// Resolved daemon address, kept for reconnects.
+    addr: SocketAddr,
+    /// Process-unique identity this client resumes sessions under.
+    client_id: u64,
+    /// Monotonic session epoch: bumped for every [`K_RESUME`], so the
+    /// daemon can tell the surviving connection from stale duplicates.
+    epoch: u32,
+    /// Resume was offered *and* granted: connection loss is an outage,
+    /// not an error.
+    resume_on: bool,
+    /// Present while disconnected: the reconnect backoff schedule.
+    outage: Option<Outage>,
+    /// Publishes buffered during an outage (public channel + format ids,
+    /// native bytes), drained oldest-first after a successful resume.
+    outage_buf: VecDeque<(u32, u32, Vec<u8>)>,
+    /// Format registrations in order, by public id, for session replay
+    /// (the layout itself lives in `formats`).
+    journal_formats: Vec<u32>,
+    /// Channel opens in order: `(name, public id)`.
+    journal_channels: Vec<(String, u32)>,
+    /// Subscriptions in order: `(public channel, predicate flag,
+    /// serialized predicate)`.
+    journal_subs: Vec<(u32, u32, Vec<u8>)>,
+    /// Public→wire id maps. Public ids are what callers hold; wire ids
+    /// are what the *current* daemon session assigned. Identity until a
+    /// daemon restart makes them diverge.
+    fmt_to_wire: HashMap<u32, u32>,
+    fmt_from_wire: HashMap<u32, u32>,
+    chan_to_wire: HashMap<u32, u32>,
+    chan_from_wire: HashMap<u32, u32>,
+    /// Mint for public ids whose wire id collided with an existing
+    /// public id after a daemon restart.
+    next_public: u32,
+}
+
+/// Reconnect schedule while disconnected.
+struct Outage {
+    /// Failed attempts so far (drives the exponential step).
+    attempts: u32,
+    /// Next moment a reconnect may be attempted.
+    next_try: Instant,
 }
 
 /// One event delivered raw: the publisher's untouched NDR bytes plus the
@@ -231,6 +332,10 @@ impl ServClient {
         profile: &ArchProfile,
         config: ClientConfig,
     ) -> Result<ServClient, ServError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "no address"))?;
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         let rx = BufReader::with_capacity(READ_BUF_SIZE, stream.try_clone()?);
@@ -266,30 +371,67 @@ impl ServClient {
             decode_hists: HashMap::new(),
             drop_counters: HashMap::new(),
             trace_format: None,
+            config,
+            addr,
+            client_id: fresh_client_id(),
+            epoch: 0,
+            resume_on: false,
+            outage: None,
+            outage_buf: VecDeque::new(),
+            journal_formats: Vec::new(),
+            journal_channels: Vec::new(),
+            journal_subs: Vec::new(),
+            fmt_to_wire: HashMap::new(),
+            fmt_from_wire: HashMap::new(),
+            chan_to_wire: HashMap::new(),
+            chan_from_wire: HashMap::new(),
+            next_public: 0,
         };
+        client.handshake()?;
+        if client.resume_on {
+            // Register the resume identity immediately: epoch 1 for the
+            // first session, so any later reconnect's epoch supersedes it.
+            client.send_resume()?;
+        }
+        Ok(client)
+    }
+
+    /// The HELLO exchange over the current socket: version and
+    /// capability negotiation plus the clock-offset sample. Used by the
+    /// initial connect and every reconnect.
+    fn handshake(&mut self) -> Result<(), ServError> {
         // The HELLO round trip doubles as the clock-offset exchange: the
         // daemon samples its clock while serving it, and the local stamps
         // bracketing the round trip bound the error to rtt/2.
-        let offered = if config.trace { CAP_TRACE } else { 0 };
+        let mut offered = 0;
+        if self.config.trace {
+            offered |= CAP_TRACE;
+        }
+        if self.config.resume {
+            offered |= CAP_RESUME;
+        }
+        let name = self.profile.name.as_bytes().to_vec();
         let t_send = epoch_ns();
-        client.send_raw(K_HELLO, PROTOCOL_VERSION, offered, profile.name.as_bytes())?;
-        let ack = client.await_ack(K_HELLO_ACK, PROTOCOL_VERSION)?;
+        self.send_raw(K_HELLO, PROTOCOL_VERSION, offered, &name)?;
+        let ack = self.await_ack(K_HELLO_ACK, PROTOCOL_VERSION)?;
         let t_recv = epoch_ns();
         debug_assert_eq!(ack.kind, K_HELLO_ACK);
-        client.conn_id = ack.b;
+        self.conn_id = ack.b;
+        self.caps = 0;
         // Old daemons send an empty ack body: no capabilities, no clock
         // sample, tracing stays off.
         if ack.body.len() >= 16 {
             let granted = u32::from_be_bytes(ack.body[0..4].try_into().unwrap());
             let t_peer = u64::from_be_bytes(ack.body[4..12].try_into().unwrap());
             let sample_mod = u32::from_be_bytes(ack.body[12..16].try_into().unwrap());
-            client.caps = granted & offered;
-            if client.caps & CAP_TRACE != 0 {
-                client.clock = ClockSync::from_exchange(t_send, t_peer, t_recv);
-                client.sampler.set_modulus(sample_mod);
+            self.caps = granted & offered;
+            if self.caps & CAP_TRACE != 0 {
+                self.clock = ClockSync::from_exchange(t_send, t_peer, t_recv);
+                self.sampler.set_modulus(sample_mod);
             }
         }
-        Ok(client)
+        self.resume_on = self.config.resume && self.caps & CAP_RESUME != 0;
+        Ok(())
     }
 
     /// Set the timeout applied to acknowledged requests (format and
@@ -307,27 +449,257 @@ impl ServClient {
     /// client's architecture, serialized, and shipped once; the returned
     /// id is the daemon-global format id (identical layouts registered by
     /// any session share it).
+    /// The ids handed back are **public**: stable across reconnects.
+    /// While the session never breaks they equal the daemon's wire ids;
+    /// after a daemon restart the replay re-registers everything and the
+    /// client maps between the caller's ids and the new session's.
     pub fn register_format(&mut self, schema: &Schema) -> Result<u32, ServError> {
+        self.ensure_connected()?;
         let layout = Arc::new(Layout::of(schema, &self.profile).map_err(PbioError::from)?);
         let meta = serialize_layout(&layout);
-        let token = self.next_token;
-        self.next_token += 1;
-        self.send_raw(K_FORMAT, token, 0, &meta)?;
-        let ack = self.await_ack(K_FORMAT_ACK, token)?;
-        self.formats.insert(ack.b, layout);
-        Ok(ack.b)
+        let wire = self.request_format(&meta)?;
+        let public = match self.fmt_from_wire.get(&wire) {
+            Some(&p) => p,
+            None => {
+                // Adopt the wire id as the public id unless a previous
+                // session already claimed it for a different format.
+                let p = if self.formats.contains_key(&wire) {
+                    self.mint_public()
+                } else {
+                    wire
+                };
+                self.fmt_from_wire.insert(wire, p);
+                self.fmt_to_wire.insert(p, wire);
+                self.journal_formats.push(p);
+                p
+            }
+        };
+        self.formats.insert(public, layout);
+        Ok(public)
     }
 
-    /// Create or open the named channel; returns its id.
+    /// Create or open the named channel; returns its (public) id.
     pub fn open_channel(&mut self, name: &str) -> Result<u32, ServError> {
+        self.ensure_connected()?;
+        let wire = self.request_channel(name)?;
+        let public = match self.chan_from_wire.get(&wire) {
+            Some(&p) => p,
+            None => {
+                let journaled = self
+                    .journal_channels
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|&(_, p)| p);
+                let p = match journaled {
+                    Some(p) => p,
+                    None => {
+                        let p = if self.journal_channels.iter().any(|&(_, jp)| jp == wire) {
+                            self.mint_public()
+                        } else {
+                            wire
+                        };
+                        self.journal_channels.push((name.to_owned(), p));
+                        p
+                    }
+                };
+                self.chan_from_wire.insert(wire, p);
+                self.chan_to_wire.insert(p, wire);
+                p
+            }
+        };
+        // Remember the name so per-channel metrics label by it rather
+        // than by a bare id.
+        self.chan_names
+            .entry(public)
+            .or_insert_with(|| name.to_owned());
+        Ok(public)
+    }
+
+    /// One K_FORMAT round trip; returns the daemon's wire format id.
+    fn request_format(&mut self, meta: &[u8]) -> Result<u32, ServError> {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.send_raw(K_FORMAT, token, 0, meta)?;
+        Ok(self.await_ack(K_FORMAT_ACK, token)?.b)
+    }
+
+    /// One K_CHANNEL round trip; returns the daemon's wire channel id.
+    fn request_channel(&mut self, name: &str) -> Result<u32, ServError> {
         let token = self.next_token;
         self.next_token += 1;
         self.send_raw(K_CHANNEL, token, 0, name.as_bytes())?;
-        let id = self.await_ack(K_CHANNEL_ACK, token)?.b;
-        // Remember the name so per-channel metrics label by it rather
-        // than by a bare id.
-        self.chan_names.entry(id).or_insert_with(|| name.to_owned());
-        Ok(id)
+        Ok(self.await_ack(K_CHANNEL_ACK, token)?.b)
+    }
+
+    /// A public id not colliding with any id a daemon session might
+    /// assign (wire ids count up from zero; this mints from a high range).
+    fn mint_public(&mut self) -> u32 {
+        self.next_public += 1;
+        0x4000_0000 + self.next_public
+    }
+
+    /// Register this client's resume identity under a freshly bumped
+    /// epoch ([`K_RESUME`]). The daemon evicts any stale predecessor
+    /// connection still holding the identity and acks; an `E_STALE`
+    /// answer means *this* connection is the stale one.
+    fn send_resume(&mut self) -> Result<(), ServError> {
+        self.epoch += 1;
+        let body = self.client_id.to_be_bytes();
+        self.send_raw(K_RESUME, self.epoch, self.client_id as u32, &body)?;
+        self.await_ack(K_RESUME_ACK, self.epoch)?;
+        Ok(())
+    }
+
+    /// One full reconnect cycle: dial, handshake, resume under a new
+    /// epoch, replay the session journal, flush the outage buffer. Any
+    /// failure leaves the client disconnected for the caller to
+    /// reschedule.
+    fn reconnect_now(&mut self) -> Result<(), ServError> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_nodelay(true)?;
+        self.rx = BufReader::with_capacity(READ_BUF_SIZE, stream.try_clone()?);
+        self.stream = stream;
+        self.pending.clear();
+        self.handshake()?;
+        if !self.resume_on {
+            return Err(ServError::Protocol(
+                "daemon stopped granting session resume".into(),
+            ));
+        }
+        self.send_resume()?;
+        self.replay_session()?;
+        self.outage = None;
+        self.metrics.reconnects.inc();
+        self.flush_outage()
+    }
+
+    /// Re-establish everything the caller set up before the outage:
+    /// formats, channels, subscriptions — in registration order, against
+    /// whatever wire ids the (possibly restarted) daemon now assigns.
+    fn replay_session(&mut self) -> Result<(), ServError> {
+        self.fmt_to_wire.clear();
+        self.fmt_from_wire.clear();
+        self.chan_to_wire.clear();
+        self.chan_from_wire.clear();
+        for public in self.journal_formats.clone() {
+            let layout = self
+                .formats
+                .get(&public)
+                .ok_or(ServError::UnknownFormat(public))?
+                .clone();
+            let meta = serialize_layout(&layout);
+            let wire = self.request_format(&meta)?;
+            self.fmt_to_wire.insert(public, wire);
+            self.fmt_from_wire.insert(wire, public);
+        }
+        for (name, public) in self.journal_channels.clone() {
+            let wire = self.request_channel(&name)?;
+            self.chan_to_wire.insert(public, wire);
+            self.chan_from_wire.insert(wire, public);
+        }
+        for (public, flagged, body) in self.journal_subs.clone() {
+            let wire = self.chan_to_wire.get(&public).copied().unwrap_or(public);
+            self.send_raw(K_SUBSCRIBE, wire, flagged, &body)?;
+            self.await_ack(K_SUBSCRIBE_ACK, wire)?;
+        }
+        Ok(())
+    }
+
+    /// Replay buffered publishes oldest-first. On failure the unsent
+    /// entry goes back to the front — nothing is lost to a reconnect that
+    /// itself dies mid-flush.
+    fn flush_outage(&mut self) -> Result<(), ServError> {
+        while let Some((channel, format, native)) = self.outage_buf.pop_front() {
+            match self.send_publish(channel, format, &native) {
+                Ok(()) => self.metrics.buffered_replayed.inc(),
+                Err(e) => {
+                    self.outage_buf.push_front((channel, format, native));
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Enter the outage state (idempotent): first detection schedules an
+    /// immediate reconnect attempt.
+    fn mark_outage(&mut self) {
+        if self.outage.is_none() {
+            self.outage = Some(Outage {
+                attempts: 0,
+                next_try: Instant::now(),
+            });
+        }
+    }
+
+    /// Push the next attempt out by capped exponential backoff plus
+    /// deterministic jitter (a hash of identity and attempt number — the
+    /// same client replays the same schedule, which keeps seeded fault
+    /// runs reproducible while still de-synchronizing distinct clients).
+    fn schedule_retry(&mut self) {
+        let Some(o) = self.outage.as_mut() else {
+            return;
+        };
+        o.attempts += 1;
+        let shift = (o.attempts - 1).min(10);
+        let backoff = self
+            .config
+            .backoff_initial
+            .saturating_mul(1u32 << shift)
+            .min(self.config.backoff_max);
+        let quarter = (backoff.as_nanos() as u64 / 4).max(1);
+        let jitter = splitmix64(self.client_id ^ u64::from(o.attempts)) % quarter;
+        o.next_try = Instant::now() + backoff + Duration::from_nanos(jitter);
+    }
+
+    /// One reconnect attempt right now; on failure the retry is
+    /// rescheduled and `false` comes back.
+    fn try_reconnect(&mut self) -> bool {
+        match self.reconnect_now() {
+            Ok(()) => true,
+            Err(_) => {
+                self.mark_outage();
+                self.schedule_retry();
+                false
+            }
+        }
+    }
+
+    /// `true` when connected — possibly by completing a due reconnect
+    /// attempt on the spot. `false` while the backoff clock still runs.
+    fn reconnect_if_due(&mut self) -> bool {
+        match &self.outage {
+            None => true,
+            Some(o) if Instant::now() >= o.next_try => self.try_reconnect(),
+            Some(_) => false,
+        }
+    }
+
+    /// Block (bounded by the client timeout) until connected — the gate
+    /// acknowledged requests go through, since unlike publishes they
+    /// cannot be buffered.
+    fn ensure_connected(&mut self) -> Result<(), ServError> {
+        if self.outage.is_none() {
+            return Ok(());
+        }
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            if self.reconnect_if_due() {
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(ServError::Timeout);
+            }
+            let wait = self
+                .outage
+                .as_ref()
+                .map(|o| o.next_try.saturating_duration_since(now))
+                .unwrap_or_default()
+                .min(deadline - now)
+                .max(MIN_TIMEOUT);
+            std::thread::sleep(wait);
+        }
     }
 
     /// Subscribe to a channel. `schema` declares the record this
@@ -355,18 +727,28 @@ impl ServClient {
         channel: u32,
         filter: Option<&Predicate>,
     ) -> Result<(), ServError> {
+        self.ensure_connected()?;
         let (flagged, body) = match filter {
             Some(p) => (1, serialize_predicate(p)),
             None => (0, Vec::new()),
         };
-        self.send_raw(K_SUBSCRIBE, channel, flagged, &body)?;
-        self.await_ack(K_SUBSCRIBE_ACK, channel)?;
+        let wire = self.chan_to_wire.get(&channel).copied().unwrap_or(channel);
+        self.send_raw(K_SUBSCRIBE, wire, flagged, &body)?;
+        self.await_ack(K_SUBSCRIBE_ACK, wire)?;
+        let entry = (channel, flagged, body);
+        if !self.journal_subs.contains(&entry) {
+            self.journal_subs.push(entry);
+        }
         Ok(())
     }
 
     /// Publish one event: the record's native bytes, sent as-is (no
     /// translation — the wire format *is* this machine's memory layout).
     /// Fire-and-forget; delivery errors surface on the daemon side.
+    ///
+    /// With resume negotiated, a dead connection never errors here: the
+    /// publish lands in the bounded outage buffer (drop-oldest, counted)
+    /// and is replayed after the next successful reconnect.
     pub fn publish(&mut self, channel: u32, format: u32, native: &[u8]) -> Result<(), ServError> {
         let layout = self
             .formats
@@ -379,23 +761,68 @@ impl ServClient {
                 layout.size()
             )));
         }
-        self.send_publish(channel, format, native)
+        self.publish_native(channel, format, native)
+    }
+
+    /// The outage-aware publish tail: send directly while connected,
+    /// buffer (bounded) while not, and convert a send that *discovers*
+    /// the outage into a buffered publish rather than an error.
+    fn publish_native(
+        &mut self,
+        channel: u32,
+        format: u32,
+        native: &[u8],
+    ) -> Result<(), ServError> {
+        self.metrics.publishes.inc();
+        if !self.resume_on {
+            return self.send_publish(channel, format, native);
+        }
+        if self.outage.is_some() && !self.reconnect_if_due() {
+            self.buffer_publish(channel, format, native);
+            return Ok(());
+        }
+        match self.send_publish(channel, format, native) {
+            Ok(()) => Ok(()),
+            Err(e) if is_disconnect(&e) => {
+                self.mark_outage();
+                self.buffer_publish(channel, format, native);
+                Ok(())
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// The publish tail shared by [`ServClient::publish`] and
-    /// [`ServClient::publish_value`]: stamp a trace trailer onto the 1-in-N
-    /// sampled publishes, send everything else untouched. With tracing off
-    /// (not negotiated, or modulus 0) the extra cost is one relaxed atomic
-    /// load — no branch on the wire, no allocation.
+    /// [`ServClient::publish_value`]: map public ids to the current
+    /// session's wire ids, then stamp a trace trailer onto the 1-in-N
+    /// sampled publishes and send everything else untouched. With tracing
+    /// off (not negotiated, or modulus 0) the extra cost is one relaxed
+    /// atomic load — no branch on the wire, no allocation.
     fn send_publish(&mut self, channel: u32, format: u32, native: &[u8]) -> Result<(), ServError> {
+        let wire_chan = self.chan_to_wire.get(&channel).copied().unwrap_or(channel);
+        let wire_fmt = self.fmt_to_wire.get(&format).copied().unwrap_or(format);
         if self.caps & CAP_TRACE != 0 && self.sampler.try_sample() {
             let ctx = self.sampler.next_ctx(self.clock.to_peer(epoch_ns()));
             let mut buf = self.pool.get(native.len() + TRACE_TRAILER_LEN);
             buf.extend_from_slice(native);
             buf.extend_from_slice(&ctx.encode());
-            return self.send_raw(K_PUBLISH, channel, format | TRACE_FLAG, &buf);
+            return self.send_raw(K_PUBLISH, wire_chan, wire_fmt | TRACE_FLAG, &buf);
         }
-        self.send_raw(K_PUBLISH, channel, format, native)
+        self.send_raw(K_PUBLISH, wire_chan, wire_fmt, native)
+    }
+
+    /// Park a publish in the outage buffer, evicting oldest-first past
+    /// the configured bound. Every entry and eviction is counted, so
+    /// `buffered == buffered_replayed + buffer_dropped` once the buffer
+    /// drains.
+    fn buffer_publish(&mut self, channel: u32, format: u32, native: &[u8]) {
+        self.metrics.buffered.inc();
+        self.outage_buf
+            .push_back((channel, format, native.to_vec()));
+        while self.outage_buf.len() > self.config.outage_buffer {
+            self.outage_buf.pop_front();
+            self.metrics.buffer_dropped.inc();
+        }
     }
 
     /// Publish a dynamic value, encoding it through the registered
@@ -417,7 +844,7 @@ impl ServClient {
             let _span = Span::enter(&self.metrics.encode_ns);
             encode_native_into(value, &layout, &mut native).map_err(PbioError::from)?;
         }
-        self.send_publish(channel, format, &native)
+        self.publish_native(channel, format, &native)
     }
 
     /// Wait up to `timeout` for the next event. Returns `Ok(None)` when
@@ -444,20 +871,24 @@ impl ServClient {
                     } else {
                         self.metrics.converted_events.inc();
                     }
+                    // The reader runs on wire ids (announcements carry
+                    // them); the caller sees its stable public ids.
+                    let channel_pub = self.chan_from_wire.get(&a).copied().unwrap_or(a);
+                    let format_pub = self.fmt_from_wire.get(&format).copied().unwrap_or(format);
                     // The previous event's buffer returns to the pool
                     // here, ready for the next frame read.
                     self.event_buf = body;
                     if let Some(ctx) = ctx {
                         // Stamped before the conversion below, while the
                         // reader is still unborrowed.
-                        self.record_decode_hop(a, &ctx);
+                        self.record_decode_hop(channel_pub, &ctx);
                     }
                     let convert_hist = (!zero_copy).then(|| self.metrics.convert_ns.clone());
                     let _span = convert_hist.as_ref().map(|h| Span::enter(h));
                     let view = self.reader.on_data(format, &self.event_buf)?;
                     return Ok(Some(Event {
-                        channel: a,
-                        format,
+                        channel: channel_pub,
+                        format: format_pub,
                         view,
                     }));
                 }
@@ -495,13 +926,15 @@ impl ServClient {
                             "event for unannounced format {format}"
                         )));
                     };
+                    let channel_pub = self.chan_from_wire.get(&a).copied().unwrap_or(a);
+                    let format_pub = self.fmt_from_wire.get(&format).copied().unwrap_or(format);
                     self.event_buf = body;
                     if let Some(ctx) = ctx {
-                        self.record_decode_hop(a, &ctx);
+                        self.record_decode_hop(channel_pub, &ctx);
                     }
                     return Ok(Some(RawEvent {
-                        channel: a,
-                        format,
+                        channel: channel_pub,
+                        format: format_pub,
                         layout,
                         bytes: &self.event_buf,
                     }));
@@ -525,6 +958,12 @@ impl ServClient {
     /// socket; `None` once `deadline` passes. One frame per call: the
     /// steady state (frames read off the socket, bodies cycling through
     /// the pool) allocates nothing.
+    ///
+    /// Damaged input is survived rather than surfaced: oversized frames
+    /// are drained and skipped, checksum failures are skipped (the body
+    /// was consumed in full, so the stream stays in sync), and — with
+    /// resume negotiated — a dead socket flips into the outage state and
+    /// this keeps driving the reconnect schedule until `deadline`.
     fn next_frame(
         &mut self,
         deadline: Instant,
@@ -534,28 +973,91 @@ impl ServClient {
             buf.extend_from_slice(&f.body);
             return Ok(Some((f.kind, f.a, f.b, buf)));
         }
-        // Arm the socket timeout only when the next read will actually
-        // hit the socket; frames already sitting in the receive buffer
-        // cost no syscalls at all.
-        if self.rx.buffer().is_empty() {
-            let now = Instant::now();
-            if now >= deadline {
-                return Ok(None);
+        loop {
+            if self.outage.is_some() && !self.reconnect_if_due() {
+                // Disconnected with the next attempt still scheduled:
+                // sleep toward it (bounded by the caller's deadline)
+                // instead of spinning.
+                let now = Instant::now();
+                if now >= deadline {
+                    return Ok(None);
+                }
+                let wait = self
+                    .outage
+                    .as_ref()
+                    .map(|o| o.next_try.saturating_duration_since(now))
+                    .unwrap_or_default()
+                    .min(deadline - now)
+                    .max(MIN_TIMEOUT);
+                std::thread::sleep(wait);
+                continue;
             }
-            self.stream
-                .set_read_timeout(Some((deadline - now).max(MIN_TIMEOUT)))?;
+            // Arm the socket timeout only when the next read will actually
+            // hit the socket; frames already sitting in the receive buffer
+            // cost no syscalls at all.
+            if self.rx.buffer().is_empty() {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Ok(None);
+                }
+                self.stream
+                    .set_read_timeout(Some((deadline - now).max(MIN_TIMEOUT)))?;
+            }
+            let header = match read_frame_header(&mut self.rx) {
+                Ok(h) => h,
+                Err(FrameError::Timeout) => return Ok(None),
+                Err(FrameError::TooLarge(len)) => {
+                    // Hostile length field: drain without allocating
+                    // proportionally, count, and stay in the session. A
+                    // drain that fails (EOF, or a zero-progress stall —
+                    // the stream is desynced and the bytes are never
+                    // coming) means the connection is unusable: an
+                    // outage for a resume client, an error otherwise.
+                    match discard_frame_body(&mut self.rx, len) {
+                        Ok(()) => {
+                            self.metrics.frames_rejected.inc();
+                            continue;
+                        }
+                        Err(_) if self.resume_on => {
+                            self.mark_outage();
+                            continue;
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                Err(e) if self.resume_on && is_disconnect_frame(&e) => {
+                    self.mark_outage();
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            let mut buf = self.pool.get(header.len);
+            match read_frame_body(&mut self.rx, &header, &mut buf) {
+                Ok(()) => {}
+                Err(FrameError::Corrupt { .. }) => {
+                    self.metrics.frames_rejected.inc();
+                    continue;
+                }
+                Err(e) if self.resume_on && is_disconnect_frame(&e) => {
+                    self.mark_outage();
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            }
+            self.metrics
+                .bytes_in
+                .add((FRAME_HEADER_SIZE + header.len) as u64);
+            // Liveness probes are answered transparently from the poll
+            // loop — a subscriber that never publishes still pongs.
+            if header.kind == K_PING {
+                self.send_raw(K_PONG, header.a, 0, &[])?;
+                continue;
+            }
+            if header.kind == K_PONG {
+                continue;
+            }
+            return Ok(Some((header.kind, header.a, header.b, buf)));
         }
-        let header = match read_frame_header(&mut self.rx) {
-            Ok(h) => h,
-            Err(FrameError::Timeout) => return Ok(None),
-            Err(e) => return Err(e.into()),
-        };
-        let mut buf = self.pool.get(header.len);
-        read_frame_body(&mut self.rx, header.len, &mut buf)?;
-        self.metrics
-            .bytes_in
-            .add((FRAME_HEADER_SIZE + header.len) as u64);
-        Ok(Some((header.kind, header.a, header.b, buf)))
     }
 
     /// Remember the wire layout an ANNOUNCE carried (undecodable metadata
@@ -620,13 +1122,15 @@ impl ServClient {
     /// Whether records of a format reach this subscriber zero-copy
     /// (unknown formats report `false`).
     pub fn is_zero_copy(&self, format: u32) -> bool {
-        self.reader.is_zero_copy(format)
+        let wire = self.fmt_to_wire.get(&format).copied().unwrap_or(format);
+        self.reader.is_zero_copy(wire)
     }
 
     /// DCG compile statistics for a format — `None` when no conversion
     /// was ever built (zero-copy path, or format not yet seen).
     pub fn dcg_stats(&self, format: u32) -> Option<pbio::CompileStats> {
-        self.reader.dcg_stats(format)
+        let wire = self.fmt_to_wire.get(&format).copied().unwrap_or(format);
+        self.reader.dcg_stats(wire)
     }
 
     /// Counters (a fixed-field view of [`ServClient::registry`]).
@@ -641,7 +1145,39 @@ impl ServClient {
             pool_hits: pool.hits,
             pool_misses: pool.misses,
             dropped: self.metrics.dropped.get(),
+            publishes: self.metrics.publishes.get(),
+            buffered: self.metrics.buffered.get(),
+            buffered_replayed: self.metrics.buffered_replayed.get(),
+            buffer_dropped: self.metrics.buffer_dropped.get(),
+            reconnects: self.metrics.reconnects.get(),
+            frames_rejected: self.metrics.frames_rejected.get(),
         }
+    }
+
+    /// Whether session resume was negotiated (offered *and* granted) —
+    /// i.e. whether connection loss is an outage instead of an error.
+    pub fn resume_negotiated(&self) -> bool {
+        self.resume_on
+    }
+
+    /// The current session epoch (0 when resume was never negotiated;
+    /// otherwise 1 for the initial session, +1 per reconnect).
+    pub fn session_epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Whether the client is currently in the outage state (disconnected,
+    /// buffering publishes, driving the reconnect schedule).
+    pub fn in_outage(&self) -> bool {
+        self.outage.is_some()
+    }
+
+    /// Publishes currently parked in the outage buffer (awaiting replay
+    /// after the next successful reconnect). With this term,
+    /// `buffered == buffered_replayed + buffer_dropped + outage_backlog()`
+    /// holds at every instant, not just after the buffer drains.
+    pub fn outage_backlog(&self) -> usize {
+        self.outage_buf.len()
     }
 
     /// This client's metric registry: every [`ClientStats`] field plus
@@ -717,11 +1253,15 @@ impl ServClient {
             .get(&format)
             .ok_or(ServError::UnknownFormat(format))?
             .clone();
+        // Hop records never stamp trailers of their own, so this maps ids
+        // and sends directly rather than going through `send_publish`.
+        let wire_chan = self.chan_to_wire.get(&channel).copied().unwrap_or(channel);
+        let wire_fmt = self.fmt_to_wire.get(&format).copied().unwrap_or(format);
         let mut buf = self.pool.get(layout.size());
         for hop in &hops {
             buf.clear();
             encode_native_into(&hop_value(hop), &layout, &mut buf).map_err(PbioError::from)?;
-            self.send_raw(K_PUBLISH, channel, format, &buf)?;
+            self.send_raw(K_PUBLISH, wire_chan, wire_fmt, &buf)?;
         }
         Ok(hops.len())
     }
@@ -786,8 +1326,9 @@ impl ServClient {
                 .set_read_timeout(Some((deadline - now).max(MIN_TIMEOUT)))?;
             match read_frame(&mut self.rx) {
                 Ok(f) if f.kind == K_BYE_ACK => return Ok(()),
-                // Late events/announcements racing the goodbye: discard.
-                Ok(f) if f.kind == K_EVENT || f.kind == K_ANNOUNCE => continue,
+                // Late events/announcements/probes racing the goodbye:
+                // discard.
+                Ok(f) if matches!(f.kind, K_EVENT | K_ANNOUNCE | K_PING | K_PONG) => continue,
                 Ok(f) if f.kind == K_ERROR => return Err(remote_error(&f)),
                 Ok(f) => {
                     return Err(ServError::Protocol(format!(
@@ -841,6 +1382,11 @@ impl ServClient {
                             self.pending.push_back(f);
                         }
                         K_EVENT => self.buffer_event(f),
+                        // Liveness probes are answered even mid-request:
+                        // a client blocked in a long await must not look
+                        // dead to the daemon.
+                        K_PING => self.send_raw(K_PONG, f.a, 0, &[])?,
+                        K_PONG => {}
                         K_ERROR => return Err(remote_error(&f)),
                         other => {
                             return Err(ServError::Protocol(format!(
@@ -893,4 +1439,37 @@ fn remote_error(frame: &Frame) -> ServError {
         code: frame.a,
         message: String::from_utf8_lossy(&frame.body).into_owned(),
     }
+}
+
+/// A process-unique resume identity: wall clock, a per-process sequence,
+/// and the pid, mixed so two clients — even in two processes started the
+/// same nanosecond — do not collide.
+fn fresh_client_id() -> u64 {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    splitmix64(epoch_ns() ^ seq.rotate_left(32) ^ (u64::from(std::process::id()) << 16))
+}
+
+/// SplitMix64 finalizer: the dependency-free mixer behind client ids and
+/// reconnect jitter.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Errors that mean "the connection is gone", as opposed to a protocol
+/// violation or a caller mistake — only these flip a resuming client
+/// into the outage state.
+fn is_disconnect(e: &ServError) -> bool {
+    match e {
+        ServError::Io(_) => true,
+        ServError::Frame(f) => is_disconnect_frame(f),
+        _ => false,
+    }
+}
+
+fn is_disconnect_frame(e: &FrameError) -> bool {
+    matches!(e, FrameError::Closed | FrameError::Io(_))
 }

@@ -34,7 +34,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pbio::{BufPool, FormatServer};
 use pbio_chan::dispatch::{
@@ -43,9 +43,10 @@ use pbio_chan::dispatch::{
 use pbio_chan::filter::{FilterProgram, Predicate};
 use pbio_chan::wire::deserialize_predicate;
 use pbio_net::buf::WireBuf;
+use pbio_net::fault::{FaultLog, FaultPlan, MaybeFaulty};
 use pbio_net::frame::{
-    read_frame, read_frame_body, read_frame_header, write_frame, write_frames, Frame, FrameError,
-    FRAME_HEADER_SIZE, MAX_WRITE_BATCH,
+    discard_frame_body, read_frame, read_frame_body, read_frame_header, write_frame, write_frames,
+    Frame, FrameError, FRAME_HEADER_SIZE, MAX_WRITE_BATCH,
 };
 use pbio_obs::export::{
     hop_schema, hop_value, stats_schema, stats_value, StatsHeader, ROLE_DAEMON,
@@ -79,6 +80,24 @@ pub struct ServConfig {
     pub stats_interval: Option<Duration>,
     /// Distributed-tracing knobs (see [`TraceConfig`]).
     pub trace: TraceConfig,
+    /// Idle time on a connection before the daemon probes it with
+    /// [`K_PING`]. Any inbound frame counts as liveness, so busy
+    /// publishers are never pinged.
+    pub heartbeat_ping: Duration,
+    /// Idle time before a silent connection is declared dead and
+    /// evicted. Must exceed [`ServConfig::heartbeat_ping`] by enough for
+    /// a round trip; a peer that answers pings is never evicted.
+    pub heartbeat_dead: Duration,
+    /// How long a subscriber's outbound queue may sit in continuous
+    /// drop-oldest overflow (its writer making no progress) before the
+    /// daemon escalates from dropping events to evicting the connection.
+    pub stall_budget: Duration,
+    /// Deterministic fault injection: wrap every accepted connection in a
+    /// [`pbio_net::fault::FaultyStream`] whose plan derives from this
+    /// seed and the connection sequence number (the daemon's `--faults
+    /// seed=N` mode). `None` — the default — leaves transports
+    /// untouched; the wrapper is compiled in but inert.
+    pub fault_seed: Option<u64>,
 }
 
 impl Default for ServConfig {
@@ -87,6 +106,10 @@ impl Default for ServConfig {
             queue_capacity: 256,
             stats_interval: Some(Duration::from_secs(1)),
             trace: TraceConfig::default(),
+            heartbeat_ping: Duration::from_secs(2),
+            heartbeat_dead: Duration::from_secs(8),
+            stall_budget: Duration::from_secs(2),
+            fault_seed: None,
         }
     }
 }
@@ -155,6 +178,20 @@ pub struct ServStats {
     pub pool_hits: u64,
     /// Receive-scratch requests that had to allocate.
     pub pool_misses: u64,
+    /// Liveness probes ([`K_PING`]) sent to idle connections.
+    pub pings: u64,
+    /// Connections evicted for answering nothing within the dead budget.
+    pub evicted_dead: u64,
+    /// Connections evicted because their writer stalled past the stall
+    /// budget (escalation beyond drop-oldest).
+    pub evicted_stalled: u64,
+    /// Sessions resumed under a fresh epoch ([`K_RESUME`] accepted).
+    pub resumes: u64,
+    /// Resume attempts rejected as stale duplicates ([`E_STALE`]).
+    pub resumes_stale: u64,
+    /// Inbound frames rejected (oversized or checksum-corrupt) without
+    /// killing the session.
+    pub frames_rejected: u64,
 }
 
 /// The daemon's metric handles, resolved once from its per-instance
@@ -170,6 +207,12 @@ struct ServMetrics {
     bytes_out: Arc<Counter>,
     frames_batched: Arc<Counter>,
     writes: Arc<Counter>,
+    pings: Arc<Counter>,
+    evicted_dead: Arc<Counter>,
+    evicted_stalled: Arc<Counter>,
+    resumes: Arc<Counter>,
+    resumes_stale: Arc<Counter>,
+    frames_rejected: Arc<Counter>,
     /// Time handling one received frame (post-read, dispatch included).
     recv_ns: Arc<Histogram>,
     /// Time in one writer-thread vectored write (whole batch).
@@ -192,6 +235,12 @@ impl ServMetrics {
             bytes_out: reg.counter("serv_bytes_out"),
             frames_batched: reg.counter("serv_frames_batched"),
             writes: reg.counter("serv_writes"),
+            pings: reg.counter("serv_pings"),
+            evicted_dead: reg.counter("serv_evicted_dead"),
+            evicted_stalled: reg.counter("serv_evicted_stalled"),
+            resumes: reg.counter("serv_resumes"),
+            resumes_stale: reg.counter("serv_resumes_stale"),
+            frames_rejected: reg.counter("serv_frames_rejected"),
             recv_ns: reg.histogram("serv_recv_ns"),
             send_ns: reg.histogram("serv_send_ns"),
             fanout_ns: reg.histogram("serv_fanout_ns"),
@@ -213,6 +262,12 @@ impl ServMetrics {
             writes: self.writes.get(),
             pool_hits: pool.hits,
             pool_misses: pool.misses,
+            pings: self.pings.get(),
+            evicted_dead: self.evicted_dead.get(),
+            evicted_stalled: self.evicted_stalled.get(),
+            resumes: self.resumes.get(),
+            resumes_stale: self.resumes_stale.get(),
+            frames_rejected: self.frames_rejected.get(),
         }
     }
 }
@@ -227,30 +282,43 @@ struct OutboundQ {
     frames: VecDeque<(Frame, Option<TraceCtx>)>,
     events: usize,
     closed: bool,
+    /// When the queue first overflowed into drop-oldest with no writer
+    /// progress since; cleared every time the writer drains frames. A
+    /// queue that stays in this state past the stall budget marks a
+    /// writer that has stopped moving — dropping events can't help, so
+    /// the connection is escalated to eviction.
+    stalled_since: Option<Instant>,
 }
 
 struct Outbound {
     q: Mutex<OutboundQ>,
     ready: Condvar,
     capacity: usize,
+    stall_budget: Duration,
 }
 
 enum Enqueue {
     Sent,
     DroppedOldest,
     Closed,
+    /// The queue has been in continuous overflow for longer than the
+    /// stall budget: the peer's writer is not draining at all and the
+    /// connection should be evicted, not fed.
+    Stalled,
 }
 
 impl Outbound {
-    fn new(capacity: usize) -> Outbound {
+    fn new(capacity: usize, stall_budget: Duration) -> Outbound {
         Outbound {
             q: Mutex::new(OutboundQ {
                 frames: VecDeque::new(),
                 events: 0,
                 closed: false,
+                stalled_since: None,
             }),
             ready: Condvar::new(),
             capacity: capacity.max(1),
+            stall_budget,
         }
     }
 
@@ -272,6 +340,11 @@ impl Outbound {
         let is_event = frame.kind == K_EVENT;
         let mut outcome = Enqueue::Sent;
         if is_event && q.events >= self.capacity {
+            match q.stalled_since {
+                Some(t) if t.elapsed() >= self.stall_budget => return Enqueue::Stalled,
+                Some(_) => {}
+                None => q.stalled_since = Some(Instant::now()),
+            }
             if let Some(i) = q.frames.iter().position(|(f, _)| f.kind == K_EVENT) {
                 q.frames.remove(i);
                 q.events -= 1;
@@ -323,6 +396,9 @@ impl Outbound {
         let mut q = self.q.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if !q.frames.is_empty() {
+                // The writer is draining: whatever overflow episode was
+                // in progress ends here.
+                q.stalled_since = None;
                 while out.len() < max {
                     let Some((f, t)) = q.frames.pop_front() else {
                         break;
@@ -379,9 +455,30 @@ struct ConnShared {
     /// Capability bits granted in the HELLO ack ([`CAP_TRACE`]…). Only
     /// capable subscribers receive events with the trace trailer flagged.
     caps: u32,
+    /// A raw handle on the connection's socket, for forced eviction: a
+    /// shutdown here unblocks both the reader (timeout/EOF) and a writer
+    /// stuck in a full socket buffer, which closing the queue cannot do.
+    raw: Mutex<Option<TcpStream>>,
 }
 
 impl ConnShared {
+    /// Force the connection down from outside its own threads: stop the
+    /// fan-out feeding it, wake its writer, and sever the socket so both
+    /// loops observe the end promptly. Idempotent.
+    fn evict(&self) {
+        self.alive.store(false, Ordering::Relaxed);
+        self.outbound.close();
+        let mut raw = self.raw.lock().unwrap_or_else(|p| p.into_inner());
+        // Take the handle out so the fd drops now: the resume session
+        // table may keep this `ConnShared` alive long after both loops
+        // exit, and a lingering clone would hold the socket open — the
+        // peer would see silence instead of the EOF that tells it to
+        // start reconnecting.
+        if let Some(s) = raw.take() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
     fn stats(&self) -> ConnStats {
         ConnStats {
             conn: self.id,
@@ -409,6 +506,9 @@ struct RemoteSubscriber {
     sink: Arc<TraceSink>,
     /// This channel's labeled hop histograms.
     hops: Option<Arc<ChanHops>>,
+    /// Stall-escalation counter, bumped when this subscriber's queue
+    /// overflow outlives the stall budget and the connection is evicted.
+    evicted_stalled: Arc<Counter>,
 }
 
 impl Subscriber for RemoteSubscriber {
@@ -502,6 +602,14 @@ impl Subscriber for RemoteSubscriber {
             // report the discard so it lands in the drop counters.
             Enqueue::DroppedOldest => DeliveryOutcome::Dropped,
             Enqueue::Closed => DeliveryOutcome::Dropped,
+            // Dropping has not freed the queue for a full stall budget:
+            // the writer is wedged, so degrade gracefully by cutting the
+            // connection loose instead of shoveling into a dead queue.
+            Enqueue::Stalled => {
+                self.evicted_stalled.inc();
+                self.conn.evict();
+                DeliveryOutcome::Dropped
+            }
         })
     }
 }
@@ -527,6 +635,13 @@ struct ChanHops {
     flush_ns: Arc<Histogram>,
 }
 
+/// One client identity's resume registration: the highest epoch seen and
+/// the connection currently holding it.
+struct Session {
+    epoch: u32,
+    conn: Weak<ConnShared>,
+}
+
 struct State {
     formats: Arc<FormatServer>,
     channels: Mutex<Channels>,
@@ -536,6 +651,15 @@ struct State {
     metrics: ServMetrics,
     shutdown: AtomicBool,
     queue_capacity: usize,
+    heartbeat_ping: Duration,
+    heartbeat_dead: Duration,
+    stall_budget: Duration,
+    /// Seed for per-connection fault plans (`None` = transparent).
+    fault_seed: Option<u64>,
+    /// Resume registry: client identity → highest epoch + its connection.
+    /// Entries outlive connections (and daemon restarts start empty, so a
+    /// replayed resume after restart simply registers fresh).
+    sessions: Mutex<HashMap<u64, Session>>,
     next_conn: AtomicU64,
     /// Receive-scratch pool, shared by every connection's read loop.
     pool: Arc<BufPool>,
@@ -579,6 +703,11 @@ impl State {
             metrics,
             shutdown: AtomicBool::new(false),
             queue_capacity: config.queue_capacity,
+            heartbeat_ping: config.heartbeat_ping,
+            heartbeat_dead: config.heartbeat_dead,
+            stall_budget: config.stall_budget,
+            fault_seed: config.fault_seed,
+            sessions: Mutex::new(HashMap::new()),
             next_conn: AtomicU64::new(0),
             pool,
             conns: Mutex::new(Vec::new()),
@@ -938,9 +1067,32 @@ fn send_error(out: &Outbound, code: u32, message: impl Into<String>) {
 fn handle_connection(stream: TcpStream, state: Arc<State>) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let conn_seq = state.next_conn.fetch_add(1, Ordering::Relaxed);
+    let conn_id = conn_seq as u32;
+    let raw = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    let writer_stream = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    // Fault mode wraps both halves of the connection in deterministic
+    // injection, with the plan split per direction so read and write
+    // offsets advance independently. The plan derives from (seed, conn
+    // sequence): every connection of a seeded run misbehaves its own
+    // reproducible way. Unseeded, both wrappers are pass-through enums.
+    let plan = state.fault_seed.map(|s| FaultPlan::for_conn(s, conn_seq));
+    let fault_log = FaultLog::new();
+    let read_plan = plan.as_ref().map(FaultPlan::read_half);
+    let write_plan = plan.as_ref().map(FaultPlan::write_half);
+    let writer_stream = MaybeFaulty::new(writer_stream, write_plan, fault_log.clone());
     // Buffer the receive side: a publisher burst (or a client's batched
     // writer) lands in ~one read syscall instead of two per frame.
-    let mut stream = io::BufReader::with_capacity(READ_BUF_SIZE, stream);
+    let mut stream = io::BufReader::with_capacity(
+        READ_BUF_SIZE,
+        MaybeFaulty::new(stream, read_plan, fault_log),
+    );
 
     // --- Handshake: one HELLO, answered directly (no writer thread yet).
     let hello = loop {
@@ -980,11 +1132,10 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
         );
         return;
     }
-    let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed) as u32;
     // Grant the intersection of what the client offered and what this
     // daemon speaks, and sample our clock while serving the HELLO — the
     // client's half of the offset exchange brackets this read.
-    let granted = hello.b & CAP_TRACE;
+    let granted = hello.b & (CAP_TRACE | CAP_RESUME);
     let mut ack_body = Vec::with_capacity(16);
     ack_body.extend_from_slice(&granted.to_be_bytes());
     ack_body.extend_from_slice(&epoch_ns().to_be_bytes());
@@ -1001,28 +1152,31 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
     // --- Session: all further writes go through the outbound queue.
     let conn = Arc::new(ConnShared {
         id: conn_id,
-        outbound: Outbound::new(state.queue_capacity),
+        outbound: Outbound::new(state.queue_capacity, state.stall_budget),
         announced: Mutex::new(HashSet::new()),
         alive: AtomicBool::new(true),
         counters: ConnCounters::default(),
         caps: granted,
+        raw: Mutex::new(Some(raw)),
     });
     state.track(&conn);
-    let writer = match stream.get_ref().try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
     let writer_conn = conn.clone();
     let writer_state = state.clone();
     let writer_thread = std::thread::Builder::new()
         .name("pbio-serv-write".into())
-        .spawn(move || writer_loop(writer, writer_conn, writer_state));
+        .spawn(move || writer_loop(writer_stream, writer_conn, writer_state));
     let Ok(writer_thread) = writer_thread else {
         return;
     };
 
     state.metrics.active_connections.inc();
     let mut subscriptions: Vec<(u32, SubscriptionId)> = Vec::new();
+    // Liveness: any fully received frame refreshes `last_rx`; after
+    // `heartbeat_ping` of silence the daemon probes, after
+    // `heartbeat_dead` it evicts.
+    let mut last_rx = Instant::now();
+    let mut last_ping = Instant::now();
+    let mut ping_token: u32 = 0;
 
     loop {
         // Steady-state receive: header first, then the body into a
@@ -1034,14 +1188,58 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
                 if state.shutdown.load(Ordering::SeqCst) || !conn.alive.load(Ordering::Relaxed) {
                     break;
                 }
+                let idle = last_rx.elapsed();
+                if idle >= state.heartbeat_dead {
+                    state.metrics.evicted_dead.inc();
+                    break;
+                }
+                if idle >= state.heartbeat_ping && last_ping.elapsed() >= state.heartbeat_ping {
+                    ping_token = ping_token.wrapping_add(1);
+                    conn.outbound.send(Frame::control(K_PING, ping_token, 0));
+                    state.metrics.pings.inc();
+                    last_ping = Instant::now();
+                }
+                continue;
+            }
+            // A header announcing an impossible body is rejected without
+            // killing the session: the announced length still tells us
+            // where the next frame starts, so skip the body unread (never
+            // allocated) and answer with a protocol error.
+            Err(FrameError::TooLarge(len)) => {
+                if discard_frame_body(&mut stream, len).is_err() {
+                    break;
+                }
+                state.metrics.frames_rejected.inc();
+                send_error(
+                    &conn.outbound,
+                    E_PROTOCOL,
+                    format!("frame body of {len} bytes exceeds the frame size limit"),
+                );
+                last_rx = Instant::now();
                 continue;
             }
             Err(_) => break,
         };
         let mut body = state.pool.get(header.len);
-        if read_frame_body(&mut stream, header.len, &mut body).is_err() {
-            break;
+        match read_frame_body(&mut stream, &header, &mut body) {
+            Ok(()) => {}
+            // The checksum failed but the full frame was consumed, so the
+            // stream is still in sync: reject the frame, keep the session.
+            Err(FrameError::Corrupt { expected, actual }) => {
+                state.metrics.frames_rejected.inc();
+                send_error(
+                    &conn.outbound,
+                    E_PROTOCOL,
+                    format!(
+                        "frame checksum mismatch (announced {expected:#010x}, computed {actual:#010x})"
+                    ),
+                );
+                last_rx = Instant::now();
+                continue;
+            }
+            Err(_) => break,
         }
+        last_rx = Instant::now();
         state
             .metrics
             .bytes_in
@@ -1093,6 +1291,7 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
                     formats: state.formats.clone(),
                     sink: state.hops.clone(),
                     hops: state.chan_hops(header.a),
+                    evicted_stalled: state.metrics.evicted_stalled.clone(),
                 };
                 let id = fanout
                     .lock()
@@ -1231,6 +1430,65 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
                 conn.outbound
                     .send(Frame::control(K_TRACE_CTL_ACK, header.a, prev));
             }
+            // A peer probing us gets the echo; a pong (the answer to our
+            // own probe) needs no handling beyond the `last_rx` refresh
+            // every received frame already performed.
+            K_PING => {
+                conn.outbound.send(Frame::control(K_PONG, header.a, 0));
+            }
+            K_PONG => {}
+            K_RESUME => {
+                if conn.caps & CAP_RESUME == 0 {
+                    send_error(
+                        &conn.outbound,
+                        E_PROTOCOL,
+                        "resume without negotiated capability",
+                    );
+                    continue;
+                }
+                if body.len() < 8 {
+                    send_error(&conn.outbound, E_PROTOCOL, "resume body lacks client id");
+                    continue;
+                }
+                let client_id = u64::from_be_bytes(body[..8].try_into().unwrap());
+                let epoch = header.a;
+                let mut sessions = state.sessions.lock().unwrap_or_else(|p| p.into_inner());
+                // Epochs are monotonic per identity: an attempt at or
+                // below the registered epoch is the stale duplicate
+                // (e.g. a zombie predecessor racing the reconnect), and
+                // is refused so it cannot hijack the session. A newer
+                // epoch supersedes: the predecessor connection is forced
+                // down before the successor takes over.
+                let prior_epoch = sessions.get(&client_id).map(|p| p.epoch);
+                if let Some(prior_epoch) = prior_epoch {
+                    if prior_epoch >= epoch {
+                        drop(sessions);
+                        state.metrics.resumes_stale.inc();
+                        send_error(
+                            &conn.outbound,
+                            E_STALE,
+                            format!("epoch {epoch} is not newer than {prior_epoch}"),
+                        );
+                        break;
+                    }
+                }
+                let old = sessions.get(&client_id).and_then(|p| p.conn.upgrade());
+                if let Some(old) = old {
+                    if old.id != conn.id {
+                        old.evict();
+                    }
+                }
+                sessions.insert(
+                    client_id,
+                    Session {
+                        epoch,
+                        conn: Arc::downgrade(&conn),
+                    },
+                );
+                drop(sessions);
+                state.metrics.resumes.inc();
+                conn.outbound.send(Frame::control(K_RESUME_ACK, epoch, 0));
+            }
             K_BYE => {
                 conn.outbound.send(Frame::control(K_BYE_ACK, 0, 0));
                 break;
@@ -1243,7 +1501,13 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
         }
     }
 
-    // --- Teardown: detach subscriptions, flush the queue, join the writer.
+    // --- Teardown: detach subscriptions, let the writer drain what is
+    // already queued (a BYE_ACK, a final error), then sever the socket.
+    // The final `evict` (not just closing the queue) matters: the resume
+    // session table can outlive both loops holding this conn, so the
+    // socket must be shut down explicitly for the peer to observe EOF
+    // and begin reconnecting — e.g. after the writer died on a
+    // fault-severed stream.
     conn.alive.store(false, Ordering::Relaxed);
     for (chan, sub) in subscriptions {
         if let Some(fanout) = state.channel(chan) {
@@ -1255,10 +1519,11 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
     }
     conn.outbound.close();
     let _ = writer_thread.join();
+    conn.evict();
     state.metrics.active_connections.dec();
 }
 
-fn writer_loop(mut stream: TcpStream, conn: Arc<ConnShared>, state: Arc<State>) {
+fn writer_loop(mut stream: MaybeFaulty<TcpStream>, conn: Arc<ConnShared>, state: Arc<State>) {
     let mut batch: Vec<Frame> = Vec::with_capacity(MAX_WRITE_BATCH);
     let mut traces: Vec<Option<TraceCtx>> = Vec::with_capacity(MAX_WRITE_BATCH);
     loop {
@@ -1320,7 +1585,7 @@ fn writer_loop(mut stream: TcpStream, conn: Arc<ConnShared>, state: Arc<State>) 
                 .fetch_add(batch.len() as u64, Ordering::Relaxed);
         }
     }
-    let _ = stream.shutdown(Shutdown::Write);
+    let _ = stream.get_ref().shutdown(Shutdown::Write);
 }
 
 #[cfg(test)]
@@ -1329,7 +1594,7 @@ mod tests {
 
     #[test]
     fn outbound_drops_oldest_event_but_never_control_frames() {
-        let out = Outbound::new(2);
+        let out = Outbound::new(2, Duration::from_secs(60));
         assert!(matches!(
             out.send(Frame::with_body(K_EVENT, 0, 0, vec![1])),
             Enqueue::Sent
@@ -1365,7 +1630,7 @@ mod tests {
 
     #[test]
     fn pop_batch_drains_everything_queued() {
-        let out = Outbound::new(8);
+        let out = Outbound::new(8, Duration::from_secs(60));
         for i in 0..5u8 {
             out.send(Frame::with_body(K_EVENT, 0, 0, vec![i]));
         }
@@ -1396,7 +1661,7 @@ mod tests {
 
     #[test]
     fn outbound_close_drains_then_ends() {
-        let out = Outbound::new(4);
+        let out = Outbound::new(4, Duration::from_secs(60));
         out.send(Frame::control(K_BYE_ACK, 0, 0));
         out.close();
         assert!(matches!(
@@ -1412,7 +1677,7 @@ mod tests {
         let state = State::new(&ServConfig {
             queue_capacity: 4,
             stats_interval: None,
-            trace: TraceConfig::default(),
+            ..ServConfig::default()
         });
         let a = state.open_channel("alpha");
         let b = state.open_channel("beta");

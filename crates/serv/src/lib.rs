@@ -38,6 +38,18 @@
 //!   as self-describing PBIO records. Old peers negotiate nothing and
 //!   see plain frames.
 //!
+//! * **Sessions survive faults**: peers that negotiate
+//!   [`protocol::CAP_RESUME`] treat a broken socket as an *outage*, not
+//!   an error — the client reconnects with capped exponential backoff,
+//!   resumes under a bumped session epoch, replays its registrations and
+//!   subscriptions, and flushes the publishes it buffered while away.
+//!   The daemon pings idle connections and evicts dead or persistently
+//!   stalled ones; corrupt or oversized frames are rejected (counted,
+//!   answered with `ERROR`) without tearing the session down. For
+//!   deterministic fault testing the daemon can wrap every connection in
+//!   a seeded [`pbio_net::fault::FaultyStream`] via
+//!   [`ServConfig::fault_seed`].
+//!
 //! Layering: [`protocol`] defines the session frames (carried by
 //! [`pbio_net::frame`]); [`daemon`] is the thread-per-connection server
 //! built on [`pbio_chan::dispatch::Fanout`]; [`client`] is the blocking
@@ -53,4 +65,4 @@ pub mod protocol;
 pub use client::{ClientConfig, ClientStats, Event, RawEvent, ServClient};
 pub use daemon::{ConnStats, ServConfig, ServDaemon, ServStats, TraceConfig};
 pub use error::ServError;
-pub use protocol::{CAP_TRACE, STATS_CHANNEL, TRACE_CHANNEL};
+pub use protocol::{CAP_RESUME, CAP_TRACE, STATS_CHANNEL, TRACE_CHANNEL};

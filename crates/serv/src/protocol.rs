@@ -64,6 +64,13 @@ pub const TRACE_CHANNEL: &str = "$trace";
 /// plain frames, which is the whole negotiation.
 pub const CAP_TRACE: u32 = 0x1;
 
+/// Capability bit (in `HELLO.b` / the HELLO ack body): the client may
+/// resume its session after a reconnect via [`K_RESUME`]. Granted
+/// unconditionally by resume-aware daemons; its absence from an ack
+/// tells the client the daemon will treat every connection as brand new
+/// (so the client re-registers from scratch instead of resuming).
+pub const CAP_RESUME: u32 = 0x2;
+
 /// High bit of the format-id argument (`b`) on [`K_PUBLISH`] and
 /// [`K_EVENT`]: the body carries a trace trailer
 /// ([`pbio_obs::TRACE_TRAILER_LEN`] bytes) after the record's NDR
@@ -124,6 +131,29 @@ pub const K_TRACE_CTL: u8 = 0x42;
 /// Daemon → client: sampling updated. `a` = echoed token, `b` = the
 /// modulus that was in effect before this change.
 pub const K_TRACE_CTL_ACK: u8 = 0x43;
+/// Daemon → client: liveness probe, sent when a connection has been
+/// silent for longer than the daemon's ping budget. `a` = a probe token
+/// the pong must echo. Clients answer transparently from their poll
+/// loop; a peer that answers nothing for the daemon's dead budget is
+/// evicted.
+pub const K_PING: u8 = 0x50;
+/// Client → daemon: liveness answer. `a` = the echoed probe token.
+/// (Any inbound frame refreshes liveness; the PONG matters for clients
+/// with nothing else to say.)
+pub const K_PONG: u8 = 0x51;
+/// Client → daemon, instead of a fresh handshake's first post-HELLO
+/// frame: resume a previous session. `a` = session epoch (monotonic per
+/// client identity, bumped on every reconnect), `b` = low 32 bits of the
+/// client identity, body = `client_id:u64be`. The daemon discards state
+/// held for lower epochs of the same identity (a stale predecessor
+/// connection is evicted) and answers [`K_RESUME_ACK`]; a resume with an
+/// epoch at or below the registered one is answered with
+/// `ERROR(E_STALE)` and the connection closed.
+pub const K_RESUME: u8 = 0x52;
+/// Daemon → client: resume accepted. `a` = the echoed epoch. The client
+/// then replays FORMAT/CHANNEL/SUBSCRIBE registrations (the daemon may
+/// have restarted and lost them; replay is idempotent either way).
+pub const K_RESUME_ACK: u8 = 0x53;
 /// Client → daemon: graceful disconnect.
 pub const K_BYE: u8 = 0x30;
 /// Daemon → client: disconnect acknowledged; no further frames follow.
@@ -144,3 +174,7 @@ pub const E_FORMAT: u32 = 4;
 pub const E_CHANNEL: u32 = 5;
 /// Undecodable subscription predicate.
 pub const E_PREDICATE: u32 = 6;
+/// A [`K_RESUME`] carried an epoch no newer than the one already
+/// registered for that client identity: the resuming connection is the
+/// stale duplicate, not the survivor.
+pub const E_STALE: u32 = 7;

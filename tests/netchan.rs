@@ -241,6 +241,7 @@ fn slow_subscriber_backpressure_drops_oldest_not_newest() {
             queue_capacity: 8,
             stats_interval: None,
             trace: TraceConfig::default(),
+            ..ServConfig::default()
         },
     )
     .unwrap();
@@ -324,6 +325,7 @@ fn drop_oldest_accounting_is_exact_across_many_slow_subscribers() {
             queue_capacity: 8,
             stats_interval: None,
             trace: TraceConfig::default(),
+            ..ServConfig::default()
         },
     )
     .unwrap();

@@ -50,6 +50,7 @@ fn unknown_frame_kind_gets_error_and_keeps_the_session() {
             queue_capacity: 8,
             stats_interval: None,
             trace: TraceConfig::default(),
+            ..ServConfig::default()
         },
     )
     .unwrap();
@@ -99,6 +100,7 @@ fn stats_channel_feeds_homogeneous_and_heterogeneous_subscribers() {
             queue_capacity: 256,
             stats_interval: Some(Duration::from_millis(100)),
             trace: TraceConfig::default(),
+            ..ServConfig::default()
         },
     )
     .unwrap();
@@ -166,6 +168,7 @@ fn pull_stats_returns_the_daemon_books() {
             queue_capacity: 8,
             stats_interval: None,
             trace: TraceConfig::default(),
+            ..ServConfig::default()
         },
     )
     .unwrap();
@@ -243,6 +246,7 @@ fn client_stats_track_bytes_pool_and_poll_overflow_drops() {
             queue_capacity: 1024,
             stats_interval: None,
             trace: TraceConfig::default(),
+            ..ServConfig::default()
         },
     )
     .unwrap();

@@ -47,6 +47,7 @@ fn traced_daemon(sample_mod: u32) -> ServDaemon {
                 publish_interval: Some(Duration::from_millis(50)),
                 sink_capacity: 4096,
             },
+            ..ServConfig::default()
         },
     )
     .unwrap()
