@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pbio_bench::workloads::{workload, MsgSize};
-use pbio_serv::{ClientConfig, ServClient, ServConfig, ServDaemon, TraceConfig};
+use pbio_serv::{ClientConfig, ServClient, ServConfig, ServDaemon, StoreConfig, TraceConfig};
 use pbio_types::arch::ArchProfile;
 use pbio_types::layout::Layout;
 use pbio_types::value::encode_native;
@@ -197,6 +197,161 @@ fn run_case(subscribers: usize, heterogeneous: bool, warmup: u64, events: u64) -
     }
 }
 
+/// `--durable` mode: the same fan-out topology over a *durable* channel.
+///
+/// Three numbers per case, all of which EXPERIMENTS.md tracks:
+/// * **live events/s** — publisher clock from first measured publish
+///   until every subscriber has every event *and* every publish has been
+///   acked durable (the honest durable-path throughput: fan-out plus the
+///   store writer thread plus the ack round-trip);
+/// * **replay events/s** — a fresh `subscribe_from(0)` client draining
+///   the whole log from disk;
+/// * **disk bytes/event** — segment-file bytes on disk (entry framing,
+///   CRCs and per-segment format metas included) over total events.
+fn run_durable_case(subscribers: usize, warmup: u64, events: u64) {
+    let dir = std::env::temp_dir().join(format!(
+        "pbio-fanout-durable-{}-{subscribers}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let w = workload(MsgSize::B100);
+    let daemon = ServDaemon::bind_with(
+        "127.0.0.1:0",
+        ServConfig {
+            queue_capacity: (warmup + events) as usize + 64,
+            stats_interval: None,
+            trace: TraceConfig {
+                sample_mod: 0,
+                publish_interval: None,
+                sink_capacity: 16,
+            },
+            durability: Some(StoreConfig::new(dir.clone())),
+            ..ServConfig::default()
+        },
+    )
+    .expect("bind daemon");
+    let addr = daemon.local_addr();
+
+    let total = warmup + events;
+    let received: Vec<Arc<AtomicU64>> = (0..subscribers)
+        .map(|_| Arc::new(AtomicU64::new(0)))
+        .collect();
+    let ready = Arc::new(AtomicUsize::new(0));
+    let mut sub_threads = Vec::with_capacity(subscribers);
+    for counter in &received {
+        let counter = Arc::clone(counter);
+        let schema = w.schema.clone();
+        let ready = ready.clone();
+        sub_threads.push(std::thread::spawn(move || {
+            let mut client =
+                ServClient::connect(addr, &ArchProfile::X86_64).expect("subscriber connect");
+            let chan = client.open_channel(CHANNEL).expect("open channel");
+            client.subscribe(chan, &schema, None).expect("subscribe");
+            ready.fetch_add(1, Ordering::Release);
+            let start = Instant::now();
+            while counter.load(Ordering::Acquire) < total {
+                match client.poll(Duration::from_millis(200)) {
+                    Ok(Some(_event)) => {
+                        counter.fetch_add(1, Ordering::Release);
+                    }
+                    Ok(None) => {
+                        if start.elapsed() > CASE_DEADLINE {
+                            panic!("subscriber starved");
+                        }
+                    }
+                    Err(e) => panic!("subscriber poll failed: {e}"),
+                }
+            }
+            client.disconnect().expect("disconnect");
+        }));
+    }
+
+    let mut publisher = ServClient::connect(addr, &ArchProfile::X86_64).expect("publisher connect");
+    assert!(publisher.durable_negotiated(), "daemon grants CAP_DURABLE");
+    let chan = publisher
+        .open_channel_durable(CHANNEL)
+        .expect("open channel");
+    let fmt = publisher.register_format(&w.schema).expect("register");
+    let layout = Layout::of(&w.schema, &ArchProfile::X86_64).expect("layout");
+    let native = encode_native(&w.value, &layout).expect("encode");
+
+    let setup_start = Instant::now();
+    while ready.load(Ordering::Acquire) < subscribers {
+        if setup_start.elapsed() > CASE_DEADLINE {
+            panic!("subscribers failed to subscribe in time");
+        }
+        std::thread::yield_now();
+    }
+    for _ in 0..warmup {
+        publisher.publish(chan, fmt, &native).expect("publish");
+    }
+    wait_for(&received, warmup, setup_start, "warmup delivery");
+
+    let t0 = Instant::now();
+    for _ in 0..events {
+        publisher.publish(chan, fmt, &native).expect("publish");
+    }
+    wait_for(&received, total, t0, "measured delivery");
+    // The durable clock stops only once every publish is acked on disk.
+    while publisher.stats().publishes_acked < total {
+        if t0.elapsed() > CASE_DEADLINE {
+            panic!(
+                "acks stalled at {}/{total}",
+                publisher.stats().publishes_acked
+            );
+        }
+        let _ = publisher.poll(Duration::from_millis(50)).expect("poll");
+    }
+    let live_secs = t0.elapsed().as_secs_f64();
+
+    for t in sub_threads {
+        t.join().expect("subscriber thread");
+    }
+
+    let log = daemon
+        .store()
+        .expect("durable daemon has a store")
+        .channel(CHANNEL)
+        .expect("open channel log");
+    let disk_bytes = log.disk_bytes().expect("disk bytes") as f64 / total as f64;
+
+    // Replay path: a fresh subscriber drains the entire log from disk.
+    let mut replayer = ServClient::connect(addr, &ArchProfile::X86_64).expect("replayer connect");
+    let r_chan = replayer.open_channel(CHANNEL).expect("open channel");
+    let r0 = Instant::now();
+    replayer
+        .subscribe_from(r_chan, &w.schema, 0)
+        .expect("subscribe_from");
+    let mut replayed = 0u64;
+    while replayed < total {
+        match replayer.poll(Duration::from_millis(200)) {
+            Ok(Some(_event)) => replayed += 1,
+            Ok(None) => {
+                if r0.elapsed() > CASE_DEADLINE {
+                    panic!("replay starved at {replayed}/{total}");
+                }
+            }
+            Err(e) => panic!("replay poll failed: {e}"),
+        }
+    }
+    let replay_secs = r0.elapsed().as_secs_f64();
+    replayer.disconnect().expect("replayer disconnect");
+    publisher.disconnect().expect("publisher disconnect");
+
+    let stats = daemon.stats();
+    assert_eq!(stats.dropped, 0, "benchmark must run drop-free: {stats:?}");
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!(
+        "| {:>4} | {:>13.0} | {:>11.0} | {:>12.1} |",
+        subscribers,
+        events as f64 / live_secs,
+        total as f64 / replay_secs,
+        disk_bytes,
+    );
+}
+
 /// `--faults seed=N` mode: the same topology (one publisher, two
 /// subscribers, one daemon) with every daemon connection wrapped in the
 /// seeded deterministic fault plan — torn writes, read stalls, byte
@@ -224,6 +379,7 @@ fn run_fault_case(seed: u64, events: u64) {
             heartbeat_ping: Duration::from_millis(250),
             heartbeat_dead: Duration::from_millis(750),
             stall_budget: Duration::from_millis(250),
+            durability: None,
         },
     )
     .expect("bind daemon");
@@ -360,6 +516,16 @@ fn main() {
 
     if let Some(seed) = fault_seed {
         run_fault_case(seed, if smoke { 2_000 } else { 10_000 });
+        return;
+    }
+
+    if args.iter().any(|a| a == "--durable") {
+        println!("fan-out --durable: 100b records, durable channel, flush-per-batch to OS");
+        println!("| subs | live+ack ev/s | replay ev/s | disk B/event |");
+        println!("|------|---------------|-------------|--------------|");
+        for &subs in subscriber_counts {
+            run_durable_case(subs, warmup, events);
+        }
         return;
     }
 

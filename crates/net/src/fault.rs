@@ -184,6 +184,18 @@ impl FaultPlan {
         self
     }
 
+    /// Add a *short write on flush*: the write covering offset `at`
+    /// accepts at most `keep` bytes and every later write fails, as if
+    /// the process died (or the disk vanished) mid-append. This is the
+    /// torn-tail generator for durable-log recovery tests: exactly
+    /// `keep` bytes of the in-flight record land, the completion loop's
+    /// retry is refused, and whatever was buffered past the tear never
+    /// reaches the file.
+    pub fn short_write_on_flush(self, at: u64, keep: usize) -> FaultPlan {
+        self.partial_write(at, keep.max(1))
+            .disconnect_write(at + keep.max(1) as u64)
+    }
+
     /// Sever the read direction at `at` (the peer vanishes mid-frame).
     pub fn disconnect_read(mut self, at: u64) -> FaultPlan {
         self.read.push(FaultOp::Disconnect { at });

@@ -68,6 +68,9 @@ pub struct Event<'a> {
     pub channel: u32,
     /// Daemon-global format id of the record.
     pub format: u32,
+    /// The event's offset in the channel's segment log — present only on
+    /// durable channels with the durable capability negotiated.
+    pub offset: Option<u64>,
     /// The record itself.
     pub view: RecordView<'a>,
 }
@@ -108,6 +111,9 @@ pub struct ClientStats {
     /// Inbound frames rejected (failed checksum or oversized length) and
     /// skipped without tearing the session down.
     pub frames_rejected: u64,
+    /// Publishes the daemon acknowledged as durable (flushed to its
+    /// segment log) via [`crate::protocol::K_PUBLISH_ACK`].
+    pub publishes_acked: u64,
 }
 
 /// Pre-resolved handles into the client's per-instance registry.
@@ -124,6 +130,7 @@ struct ClientMetrics {
     buffer_dropped: Arc<Counter>,
     reconnects: Arc<Counter>,
     frames_rejected: Arc<Counter>,
+    publishes_acked: Arc<Counter>,
     /// Time encoding a [`RecordValue`] in [`ServClient::publish_value`].
     encode_ns: Arc<Histogram>,
     /// Time converting a received record that was not zero-copy.
@@ -145,6 +152,7 @@ impl ClientMetrics {
             buffer_dropped: reg.counter("client_buffer_dropped"),
             reconnects: reg.counter("client_reconnects"),
             frames_rejected: reg.counter("client_frames_rejected"),
+            publishes_acked: reg.counter("client_publishes_acked"),
             encode_ns: reg.histogram("client_encode_ns"),
             convert_ns: reg.histogram("client_convert_ns"),
         }
@@ -182,6 +190,13 @@ pub struct ClientConfig {
     /// the oldest (each discard is counted in
     /// [`ClientStats::buffer_dropped`]).
     pub outage_buffer: usize,
+    /// Offer the durable-channels capability in the handshake. When the
+    /// daemon grants it (it runs a store), events on durable channels
+    /// arrive with their log offset, publishes are acknowledged once on
+    /// disk ([`crate::protocol::K_PUBLISH_ACK`]), and
+    /// [`ServClient::subscribe_from`] replays history. `false` makes
+    /// this client indistinguishable from a pre-durability one.
+    pub durable: bool,
 }
 
 impl Default for ClientConfig {
@@ -192,6 +207,7 @@ impl Default for ClientConfig {
             backoff_initial: Duration::from_millis(25),
             backoff_max: Duration::from_secs(1),
             outage_buffer: 256,
+            durable: true,
         }
     }
 }
@@ -277,11 +293,22 @@ pub struct ServClient {
     /// Format registrations in order, by public id, for session replay
     /// (the layout itself lives in `formats`).
     journal_formats: Vec<u32>,
-    /// Channel opens in order: `(name, public id)`.
-    journal_channels: Vec<(String, u32)>,
+    /// Channel opens in order: `(name, public id, flags)` — flags carry
+    /// [`CHAN_DURABLE`] so a replayed open re-attaches the segment log.
+    journal_channels: Vec<(String, u32, u32)>,
     /// Subscriptions in order: `(public channel, predicate flag,
     /// serialized predicate)`.
     journal_subs: Vec<(u32, u32, Vec<u8>)>,
+    /// Offset subscriptions in order: `(public channel, starting
+    /// offset)`. On resume each replays from
+    /// `max(start, last seen offset + 1)` — lossless across the outage.
+    journal_subs_from: Vec<(u32, u64)>,
+    /// Per public channel: highest event offset seen by the poll loop
+    /// (drives lossless `subscribe_from` resume).
+    last_offsets: HashMap<u32, u64>,
+    /// Per public channel: last offset the daemon acked as durable
+    /// ([`K_PUBLISH_ACK`]).
+    durable_offsets: HashMap<u32, u64>,
     /// Public→wire id maps. Public ids are what callers hold; wire ids
     /// are what the *current* daemon session assigned. Identity until a
     /// daemon restart makes them diverge.
@@ -310,6 +337,9 @@ pub struct RawEvent<'a> {
     pub channel: u32,
     /// Daemon-global format id of the record.
     pub format: u32,
+    /// The event's offset in the channel's segment log — present only on
+    /// durable channels with the durable capability negotiated.
+    pub offset: Option<u64>,
     /// The publisher's layout, as announced.
     pub layout: Arc<Layout>,
     /// The record's native bytes, exactly as published.
@@ -381,6 +411,9 @@ impl ServClient {
             journal_formats: Vec::new(),
             journal_channels: Vec::new(),
             journal_subs: Vec::new(),
+            journal_subs_from: Vec::new(),
+            last_offsets: HashMap::new(),
+            durable_offsets: HashMap::new(),
             fmt_to_wire: HashMap::new(),
             fmt_from_wire: HashMap::new(),
             chan_to_wire: HashMap::new(),
@@ -409,6 +442,9 @@ impl ServClient {
         }
         if self.config.resume {
             offered |= CAP_RESUME;
+        }
+        if self.config.durable {
+            offered |= CAP_DURABLE;
         }
         let name = self.profile.name.as_bytes().to_vec();
         let t_send = epoch_ns();
@@ -480,25 +516,49 @@ impl ServClient {
 
     /// Create or open the named channel; returns its (public) id.
     pub fn open_channel(&mut self, name: &str) -> Result<u32, ServError> {
+        self.open_channel_flags(name, 0)
+    }
+
+    /// Create or open the named channel as **durable**: the daemon
+    /// appends every event published on it to its segment log, acks
+    /// publishers once bytes are flushed ([`ClientStats::publishes_acked`],
+    /// [`ServClient::last_durable_offset`]), and serves history through
+    /// [`ServClient::subscribe_from`]. Fails if the daemon runs without a
+    /// store. Durability is sticky daemon-side: later plain opens of the
+    /// same name share the durable channel.
+    pub fn open_channel_durable(&mut self, name: &str) -> Result<u32, ServError> {
+        self.open_channel_flags(name, CHAN_DURABLE)
+    }
+
+    fn open_channel_flags(&mut self, name: &str, flags: u32) -> Result<u32, ServError> {
         self.ensure_connected()?;
-        let wire = self.request_channel(name)?;
+        let wire = self.request_channel(name, flags)?;
         let public = match self.chan_from_wire.get(&wire) {
-            Some(&p) => p,
+            Some(&p) => {
+                // An already-open channel re-opened with stronger flags:
+                // upgrade the journal entry so a resume replays them.
+                if flags != 0 {
+                    if let Some(e) = self.journal_channels.iter_mut().find(|(n, _, _)| n == name) {
+                        e.2 |= flags;
+                    }
+                }
+                p
+            }
             None => {
                 let journaled = self
                     .journal_channels
                     .iter()
-                    .find(|(n, _)| n == name)
-                    .map(|&(_, p)| p);
+                    .find(|(n, _, _)| n == name)
+                    .map(|&(_, p, _)| p);
                 let p = match journaled {
                     Some(p) => p,
                     None => {
-                        let p = if self.journal_channels.iter().any(|&(_, jp)| jp == wire) {
+                        let p = if self.journal_channels.iter().any(|&(_, jp, _)| jp == wire) {
                             self.mint_public()
                         } else {
                             wire
                         };
-                        self.journal_channels.push((name.to_owned(), p));
+                        self.journal_channels.push((name.to_owned(), p, flags));
                         p
                     }
                 };
@@ -524,10 +584,10 @@ impl ServClient {
     }
 
     /// One K_CHANNEL round trip; returns the daemon's wire channel id.
-    fn request_channel(&mut self, name: &str) -> Result<u32, ServError> {
+    fn request_channel(&mut self, name: &str, flags: u32) -> Result<u32, ServError> {
         let token = self.next_token;
         self.next_token += 1;
-        self.send_raw(K_CHANNEL, token, 0, name.as_bytes())?;
+        self.send_raw(K_CHANNEL, token, flags, name.as_bytes())?;
         Ok(self.await_ack(K_CHANNEL_ACK, token)?.b)
     }
 
@@ -592,14 +652,26 @@ impl ServClient {
             self.fmt_to_wire.insert(public, wire);
             self.fmt_from_wire.insert(wire, public);
         }
-        for (name, public) in self.journal_channels.clone() {
-            let wire = self.request_channel(&name)?;
+        for (name, public, flags) in self.journal_channels.clone() {
+            let wire = self.request_channel(&name, flags)?;
             self.chan_to_wire.insert(public, wire);
             self.chan_from_wire.insert(wire, public);
         }
         for (public, flagged, body) in self.journal_subs.clone() {
             let wire = self.chan_to_wire.get(&public).copied().unwrap_or(public);
             self.send_raw(K_SUBSCRIBE, wire, flagged, &body)?;
+            self.await_ack(K_SUBSCRIBE_ACK, wire)?;
+        }
+        // Offset subscriptions resume from one past the last event this
+        // client actually saw — the outage loses nothing: the daemon
+        // replays the gap from its segment log.
+        for (public, start) in self.journal_subs_from.clone() {
+            let from = match self.last_offsets.get(&public) {
+                Some(&last) => start.max(last + 1),
+                None => start,
+            };
+            let wire = self.chan_to_wire.get(&public).copied().unwrap_or(public);
+            self.send_raw(K_SUBSCRIBE_FROM, wire, 0, &from.to_be_bytes())?;
             self.await_ack(K_SUBSCRIBE_ACK, wire)?;
         }
         Ok(())
@@ -742,6 +814,45 @@ impl ServClient {
         Ok(())
     }
 
+    /// Subscribe to a **durable** channel starting at log offset `from`
+    /// (0 = everything retained). The daemon streams history from its
+    /// segment log — each event stamped with its offset — then hands off
+    /// to live delivery with no gap and no duplicates. `schema` declares
+    /// the expected record, as in [`ServClient::subscribe`].
+    ///
+    /// Requires the durable capability (offered by default, granted by
+    /// daemons running a store) and a channel opened with
+    /// [`ServClient::open_channel_durable`]. With resume negotiated, an
+    /// outage resumes from one past the last offset this client saw —
+    /// lossless reconnection.
+    pub fn subscribe_from(
+        &mut self,
+        channel: u32,
+        schema: &Schema,
+        from: u64,
+    ) -> Result<(), ServError> {
+        self.reader.expect(schema)?;
+        self.subscribe_from_raw(channel, from)
+    }
+
+    /// [`ServClient::subscribe_from`] without declaring a record schema;
+    /// consume through [`ServClient::poll_raw`].
+    pub fn subscribe_from_raw(&mut self, channel: u32, from: u64) -> Result<(), ServError> {
+        self.ensure_connected()?;
+        if self.caps & CAP_DURABLE == 0 {
+            return Err(ServError::Protocol(
+                "durable capability not negotiated with this daemon".into(),
+            ));
+        }
+        let wire = self.chan_to_wire.get(&channel).copied().unwrap_or(channel);
+        self.send_raw(K_SUBSCRIBE_FROM, wire, 0, &from.to_be_bytes())?;
+        self.await_ack(K_SUBSCRIBE_ACK, wire)?;
+        if !self.journal_subs_from.iter().any(|&(c, _)| c == channel) {
+            self.journal_subs_from.push((channel, from));
+        }
+        Ok(())
+    }
+
     /// Publish one event: the record's native bytes, sent as-is (no
     /// translation — the wire format *is* this machine's memory layout).
     /// Fire-and-forget; delivery errors surface on the daemon side.
@@ -864,7 +975,7 @@ impl ServClient {
                 }
                 K_EVENT => {
                     self.metrics.events.inc();
-                    let (format, ctx) = self.split_trailer(b, &mut body)?;
+                    let (format, ctx, offset) = self.split_trailer(b, &mut body)?;
                     let zero_copy = self.reader.is_zero_copy(format);
                     if zero_copy {
                         self.metrics.zero_copy_events.inc();
@@ -875,6 +986,9 @@ impl ServClient {
                     // them); the caller sees its stable public ids.
                     let channel_pub = self.chan_from_wire.get(&a).copied().unwrap_or(a);
                     let format_pub = self.fmt_from_wire.get(&format).copied().unwrap_or(format);
+                    if let Some(off) = offset {
+                        self.note_offset(channel_pub, off);
+                    }
                     // The previous event's buffer returns to the pool
                     // here, ready for the next frame read.
                     self.event_buf = body;
@@ -889,6 +1003,7 @@ impl ServClient {
                     return Ok(Some(Event {
                         channel: channel_pub,
                         format: format_pub,
+                        offset,
                         view,
                     }));
                 }
@@ -920,7 +1035,7 @@ impl ServClient {
                 K_ANNOUNCE => self.note_wire_format(a, &body),
                 K_EVENT => {
                     self.metrics.events.inc();
-                    let (format, ctx) = self.split_trailer(b, &mut body)?;
+                    let (format, ctx, offset) = self.split_trailer(b, &mut body)?;
                     let Some(layout) = self.wire_layouts.get(&format).cloned() else {
                         return Err(ServError::Protocol(format!(
                             "event for unannounced format {format}"
@@ -928,6 +1043,9 @@ impl ServClient {
                     };
                     let channel_pub = self.chan_from_wire.get(&a).copied().unwrap_or(a);
                     let format_pub = self.fmt_from_wire.get(&format).copied().unwrap_or(format);
+                    if let Some(off) = offset {
+                        self.note_offset(channel_pub, off);
+                    }
                     self.event_buf = body;
                     if let Some(ctx) = ctx {
                         self.record_decode_hop(channel_pub, &ctx);
@@ -935,6 +1053,7 @@ impl ServClient {
                     return Ok(Some(RawEvent {
                         channel: channel_pub,
                         format: format_pub,
+                        offset,
                         layout,
                         bytes: &self.event_buf,
                     }));
@@ -1056,7 +1175,36 @@ impl ServClient {
             if header.kind == K_PONG {
                 continue;
             }
+            // Durability acks are bookkeeping, not payload: count them
+            // and keep polling.
+            if header.kind == K_PUBLISH_ACK {
+                self.note_publish_ack(header.a, header.b, &buf);
+                continue;
+            }
             return Ok(Some((header.kind, header.a, header.b, buf)));
+        }
+    }
+
+    /// Record the highest event offset seen per (public) channel — the
+    /// resume point for lossless `subscribe_from` reconnection.
+    fn note_offset(&mut self, channel: u32, offset: u64) {
+        let e = self.last_offsets.entry(channel).or_insert(offset);
+        *e = (*e).max(offset);
+    }
+
+    /// Account one [`K_PUBLISH_ACK`]: `b` events on (wire) channel `a`
+    /// became durable, the last at the offset in the body.
+    fn note_publish_ack(&mut self, wire_chan: u32, count: u32, body: &[u8]) {
+        self.metrics.publishes_acked.add(u64::from(count));
+        if body.len() >= 8 {
+            let last = u64::from_be_bytes(body[..8].try_into().unwrap());
+            let public = self
+                .chan_from_wire
+                .get(&wire_chan)
+                .copied()
+                .unwrap_or(wire_chan);
+            let e = self.durable_offsets.entry(public).or_insert(last);
+            *e = (*e).max(last);
         }
     }
 
@@ -1068,16 +1216,32 @@ impl ServClient {
         }
     }
 
-    /// Strip a flagged trace trailer off an event body. Returns the
-    /// clean format id and the decoded context (sampled ones only; an
-    /// unflagged event passes through untouched).
+    /// Strip the flagged trailers off an event body, outermost first:
+    /// the offset stamp (durable channels), then the trace trailer.
+    /// Returns the clean format id, the decoded trace context (sampled
+    /// ones only) and the log offset; an unflagged event passes through
+    /// untouched.
     fn split_trailer(
         &self,
         b: u32,
         body: &mut PooledBuf,
-    ) -> Result<(u32, Option<TraceCtx>), ServError> {
+    ) -> Result<(u32, Option<TraceCtx>, Option<u64>), ServError> {
+        let offset = if b & OFFSET_FLAG != 0 {
+            if body.len() < OFFSET_TRAILER_LEN {
+                return Err(ServError::Protocol(
+                    "event shorter than its offset trailer".into(),
+                ));
+            }
+            let split = body.len() - OFFSET_TRAILER_LEN;
+            let off = u64::from_be_bytes(body[split..].try_into().unwrap());
+            body.truncate(split);
+            Some(off)
+        } else {
+            None
+        };
+        let b = b & !OFFSET_FLAG;
         if b & TRACE_FLAG == 0 {
-            return Ok((b, None));
+            return Ok((b, None, offset));
         }
         let format = b & !TRACE_FLAG;
         if body.len() < TRACE_TRAILER_LEN {
@@ -1089,7 +1253,7 @@ impl ServClient {
         let ctx = TraceCtx::decode(&body[split..])
             .ok_or_else(|| ServError::Protocol("malformed trace trailer".into()))?;
         body.truncate(split);
-        Ok((format, Some(ctx).filter(|c| c.sampled())))
+        Ok((format, Some(ctx).filter(|c| c.sampled()), offset))
     }
 
     /// Stamp the final hop of a traced event: it reached this subscriber
@@ -1151,6 +1315,7 @@ impl ServClient {
             buffer_dropped: self.metrics.buffer_dropped.get(),
             reconnects: self.metrics.reconnects.get(),
             frames_rejected: self.metrics.frames_rejected.get(),
+            publishes_acked: self.metrics.publishes_acked.get(),
         }
     }
 
@@ -1195,6 +1360,26 @@ impl ServClient {
     /// session (offered by this client *and* granted by the daemon).
     pub fn trace_negotiated(&self) -> bool {
         self.caps & CAP_TRACE != 0
+    }
+
+    /// Whether the durable-channels capability was negotiated (offered by
+    /// this client *and* granted — i.e. the daemon runs a store).
+    pub fn durable_negotiated(&self) -> bool {
+        self.caps & CAP_DURABLE != 0
+    }
+
+    /// Last offset the daemon acknowledged as durable on `channel`
+    /// (`None` until the first [`K_PUBLISH_ACK`] arrives). Everything at
+    /// or below it survives a daemon crash.
+    pub fn last_durable_offset(&self, channel: u32) -> Option<u64> {
+        self.durable_offsets.get(&channel).copied()
+    }
+
+    /// Highest event offset this client has seen on `channel` (`None`
+    /// before the first stamped event) — the basis for lossless
+    /// `subscribe_from` resume.
+    pub fn last_seen_offset(&self, channel: u32) -> Option<u64> {
+        self.last_offsets.get(&channel).copied()
     }
 
     /// The clock offset measured against the daemon during the
@@ -1328,7 +1513,14 @@ impl ServClient {
                 Ok(f) if f.kind == K_BYE_ACK => return Ok(()),
                 // Late events/announcements/probes racing the goodbye:
                 // discard.
-                Ok(f) if matches!(f.kind, K_EVENT | K_ANNOUNCE | K_PING | K_PONG) => continue,
+                Ok(f)
+                    if matches!(
+                        f.kind,
+                        K_EVENT | K_ANNOUNCE | K_PING | K_PONG | K_PUBLISH_ACK
+                    ) =>
+                {
+                    continue
+                }
                 Ok(f) if f.kind == K_ERROR => return Err(remote_error(&f)),
                 Ok(f) => {
                     return Err(ServError::Protocol(format!(
@@ -1387,6 +1579,7 @@ impl ServClient {
                         // dead to the daemon.
                         K_PING => self.send_raw(K_PONG, f.a, 0, &[])?,
                         K_PONG => {}
+                        K_PUBLISH_ACK => self.note_publish_ack(f.a, f.b, &f.body),
                         K_ERROR => return Err(remote_error(&f)),
                         other => {
                             return Err(ServError::Protocol(format!(

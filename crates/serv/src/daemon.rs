@@ -55,6 +55,7 @@ use pbio_obs::{
     epoch_ns, Counter, Gauge, Histogram, Registry, Span, TraceCtx, TraceHop, TraceSink,
     HOP_ENQUEUE, HOP_FLUSH, HOP_INGRESS, HOP_PUBLISH, TRACE_TRAILER_LEN,
 };
+use pbio_store::{Append, ChannelLog, ReplayItem, Store, StoreConfig};
 use pbio_types::arch::ArchProfile;
 use pbio_types::layout::Layout;
 use pbio_types::value::encode_native_into;
@@ -98,6 +99,15 @@ pub struct ServConfig {
     /// seed=N` mode). `None` — the default — leaves transports
     /// untouched; the wrapper is compiled in but inert.
     pub fault_seed: Option<u64>,
+    /// Durable channels: when set, channels opened with the
+    /// [`CHAN_DURABLE`] flag append every published event to a
+    /// `pbio-store` segment log under [`StoreConfig::dir`], off the
+    /// publish hot loop (a dedicated writer thread batches appends and
+    /// acks publishers with [`K_PUBLISH_ACK`] once bytes are flushed).
+    /// Subscribers replay history with `subscribe_from`. `None` — the
+    /// default — disables durability entirely: the publish path takes no
+    /// extra allocation or syscall.
+    pub durability: Option<StoreConfig>,
 }
 
 impl Default for ServConfig {
@@ -110,6 +120,7 @@ impl Default for ServConfig {
             heartbeat_dead: Duration::from_secs(8),
             stall_budget: Duration::from_secs(2),
             fault_seed: None,
+            durability: None,
         }
     }
 }
@@ -367,6 +378,14 @@ impl Outbound {
         self.ready.notify_all();
     }
 
+    /// Events currently queued. Replay threads pace themselves on this
+    /// so streamed history never lands in drop-oldest territory — a
+    /// dropped replay frame would be silent loss of the very records a
+    /// durable subscriber asked for.
+    fn event_backlog(&self) -> usize {
+        self.q.lock().unwrap_or_else(|p| p.into_inner()).events
+    }
+
     /// Next frame to write; blocks. `None` once closed *and* drained, so
     /// already-queued acks still reach the peer after a graceful close.
     #[cfg(test)]
@@ -420,6 +439,87 @@ impl Outbound {
 }
 
 // ---------------------------------------------------------------------------
+// Store queue: publish hot loop → dedicated append thread.
+
+/// One event headed for the segment log, queued by the publish path and
+/// drained in batches by the store writer thread.
+struct AppendReq {
+    log: Arc<ChannelLog>,
+    chan: u32,
+    offset: u64,
+    format: u32,
+    /// The record's NDR bytes, trailer-free (a window on the same shared
+    /// buffer the fan-out uses — queueing for disk is a refcount bump).
+    payload: WireBuf,
+    /// The publisher, for the [`K_PUBLISH_ACK`] once bytes are on disk.
+    conn: Weak<ConnShared>,
+}
+
+/// Bounded handoff between publish threads and the store writer. Pushes
+/// block when the writer falls `capacity` requests behind — durability
+/// backpressure, in place of silently widening the ack window.
+struct StoreQueue {
+    q: Mutex<(VecDeque<AppendReq>, bool)>,
+    ready: Condvar,
+    space: Condvar,
+    capacity: usize,
+}
+
+impl StoreQueue {
+    fn new(capacity: usize) -> StoreQueue {
+        StoreQueue {
+            q: Mutex::new((VecDeque::new(), false)),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn push(&self, req: AppendReq) {
+        let mut q = self.q.lock().unwrap_or_else(|p| p.into_inner());
+        while q.0.len() >= self.capacity && !q.1 {
+            q = self.space.wait(q).unwrap_or_else(|p| p.into_inner());
+        }
+        if q.1 {
+            return;
+        }
+        q.0.push_back(req);
+        drop(q);
+        self.ready.notify_one();
+    }
+
+    /// Blocks until at least one request is queued; `false` once closed
+    /// *and* drained (every accepted append still reaches disk on
+    /// graceful shutdown).
+    fn pop_batch(&self, out: &mut Vec<AppendReq>, max: usize) -> bool {
+        let mut q = self.q.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if !q.0.is_empty() {
+                while out.len() < max {
+                    let Some(r) = q.0.pop_front() else { break };
+                    out.push(r);
+                }
+                drop(q);
+                self.space.notify_all();
+                return true;
+            }
+            if q.1 {
+                return false;
+            }
+            q = self.ready.wait(q).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    fn close(&self) {
+        let mut q = self.q.lock().unwrap_or_else(|p| p.into_inner());
+        q.1 = true;
+        drop(q);
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Per-connection shared state and the remote subscriber.
 
 /// A snapshot of one connection's writer-side counters.
@@ -459,6 +559,11 @@ struct ConnShared {
     /// shutdown here unblocks both the reader (timeout/EOF) and a writer
     /// stuck in a full socket buffer, which closing the queue cannot do.
     raw: Mutex<Option<TcpStream>>,
+    /// Live subscriptions registered *by replay threads* at their
+    /// replay→live handoff (`K_SUBSCRIBE_FROM`). The connection thread
+    /// cannot own these — it never sees them created — so teardown
+    /// drains this list instead.
+    durable_subs: Mutex<Vec<(u32, SubscriptionId)>>,
 }
 
 impl ConnShared {
@@ -515,6 +620,9 @@ impl Subscriber for RemoteSubscriber {
     type Error = Infallible;
 
     fn accepts(&mut self, format: u32, wire: &[u8]) -> Result<bool, Infallible> {
+        // Durable channels publish with the offset bit riding on the
+        // format argument; the filter wants the bare format id.
+        let format = format & !OFFSET_FLAG;
         if !self.conn.alive.load(Ordering::Relaxed) {
             return Ok(false);
         }
@@ -544,6 +652,8 @@ impl Subscriber for RemoteSubscriber {
         wire: &WireBuf,
         trace: Option<&TraceCtx>,
     ) -> Result<DeliveryOutcome, Infallible> {
+        let has_offset = format & OFFSET_FLAG != 0;
+        let format = format & !OFFSET_FLAG;
         // Announce the format once per connection, strictly before its
         // first event; the lock spans both enqueues so a concurrent
         // publisher on another channel cannot interleave.
@@ -564,15 +674,36 @@ impl Subscriber for RemoteSubscriber {
                 ann.insert(format);
             }
         }
-        // A traced event's body still ends in the publisher's trailer.
-        // Subscribers that negotiated the capability get the flag and the
-        // trailer; for old clients the trailer is sliced off (a window
-        // adjustment on the shared buffer, no bytes move) so their frames
-        // are byte-identical to a pre-tracing daemon's.
-        let (b, body) = match trace {
-            Some(_) if self.conn.caps & CAP_TRACE != 0 => (format | TRACE_FLAG, wire.clone()),
-            Some(_) => (format, wire.slice(0, wire.len() - TRACE_TRAILER_LEN)),
-            None => (format, wire.clone()),
+        // The body may end in up to two trailers — the publisher's trace
+        // trailer, then (outermost, on durable channels) the daemon's
+        // offset stamp. Each subscriber receives exactly the trailers its
+        // negotiated capabilities cover, with the flags to match; for
+        // capability-less clients both are sliced off (window adjustments
+        // on the shared buffer, no bytes move) so their frames are
+        // byte-identical to an old daemon's. The one combination that
+        // cannot be expressed as a suffix slice — offset without the
+        // trace trailer sandwiched under it — pays a copy; it only
+        // occurs for a durable subscriber on a pre-tracing client.
+        let want_trace = trace.is_some() && self.conn.caps & CAP_TRACE != 0;
+        let want_offset = has_offset && self.conn.caps & CAP_DURABLE != 0;
+        let trace_len = if trace.is_some() {
+            TRACE_TRAILER_LEN
+        } else {
+            0
+        };
+        let off_len = if has_offset { OFFSET_TRAILER_LEN } else { 0 };
+        let (b, body) = match (want_trace, want_offset) {
+            (true, true) => (format | TRACE_FLAG | OFFSET_FLAG, wire.clone()),
+            (true, false) => (format | TRACE_FLAG, wire.slice(0, wire.len() - off_len)),
+            (false, false) => (format, wire.slice(0, wire.len() - trace_len - off_len)),
+            (false, true) if trace_len == 0 => (format | OFFSET_FLAG, wire.clone()),
+            (false, true) => {
+                let n = wire.len();
+                let mut v = Vec::with_capacity(n - trace_len);
+                v.extend_from_slice(&wire[..n - trace_len - off_len]);
+                v.extend_from_slice(&wire[n - off_len..]);
+                (format | OFFSET_FLAG, WireBuf::from(v))
+            }
         };
         // Per-subscriber cost of an event: one refcount bump.
         let outcome = self.conn.outbound.send_traced(
@@ -682,16 +813,37 @@ struct State {
     /// The hop record's registered `(format id, layout)`, registered on
     /// first export.
     trace_format: OnceLock<Option<(u32, Arc<Layout>)>>,
+    /// The segment-log store behind durable channels (`None` = durability
+    /// disabled; the publish path then skips every store branch on one
+    /// `Option` check).
+    store: Option<Arc<Store>>,
+    /// Channel id → its segment log, for channels opened [`CHAN_DURABLE`].
+    logs: Mutex<HashMap<u32, Arc<ChannelLog>>>,
+    /// Publish → store-writer handoff (present but idle when `store` is
+    /// `None`).
+    store_q: Arc<StoreQueue>,
+    /// Replay threads spawned for `K_SUBSCRIBE_FROM`, joined at shutdown.
+    replay_threads: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl State {
-    fn new(config: &ServConfig) -> State {
+    fn new(config: &ServConfig) -> io::Result<State> {
         let registry = Arc::new(Registry::new());
         let metrics = ServMetrics::resolve(&registry);
         let pool = BufPool::new();
         // Adopt the pool's own counters: one set of books, read through.
         registry.register_counter("pool_hits", pool.hit_counter().clone());
         registry.register_counter("pool_misses", pool.miss_counter().clone());
+        let store = match &config.durability {
+            Some(cfg) => {
+                let store = Store::open(cfg.clone())?;
+                // Adopt the store's counters too: durability shows up on
+                // the `$stats` channel (and in `pbio-stats`) for free.
+                store.metrics().register(&registry);
+                Some(Arc::new(store))
+            }
+            None => None,
+        };
         let mut state = State {
             formats: FormatServer::new(),
             channels: Mutex::new(Channels {
@@ -718,10 +870,14 @@ impl State {
             hops: Arc::new(TraceSink::new(config.trace.sink_capacity)),
             chan_hops: Mutex::new(HashMap::new()),
             trace_format: OnceLock::new(),
+            store,
+            logs: Mutex::new(HashMap::new()),
+            store_q: Arc::new(StoreQueue::new(4096)),
+            replay_threads: Mutex::new(Vec::new()),
         };
         state.stats_channel = state.open_channel(STATS_CHANNEL);
         state.trace_channel = state.open_channel(TRACE_CHANNEL);
-        state
+        Ok(state)
     }
 
     fn track(&self, conn: &Arc<ConnShared>) {
@@ -731,6 +887,44 @@ impl State {
     }
 
     fn open_channel(&self, name: &str) -> u32 {
+        // Non-durable open cannot fail.
+        self.open_channel_flags(name, 0).unwrap()
+    }
+
+    /// Create-or-open `name`; [`CHAN_DURABLE`] in `flags` additionally
+    /// attaches the channel to its segment log (creating it, running
+    /// crash recovery if it already exists on disk). Durability is
+    /// sticky: once any opener passed the flag, later plain opens of the
+    /// same name share the durable channel.
+    fn open_channel_flags(&self, name: &str, flags: u32) -> Result<u32, String> {
+        let id = self.open_channel_inner(name);
+        if flags & CHAN_DURABLE != 0 {
+            let Some(store) = &self.store else {
+                return Err(format!(
+                    "channel {name:?} requested durability, but this daemon has no store configured"
+                ));
+            };
+            let mut logs = self.logs.lock().unwrap_or_else(|p| p.into_inner());
+            if let std::collections::hash_map::Entry::Vacant(e) = logs.entry(id) {
+                let log = store
+                    .channel(name)
+                    .map_err(|e| format!("opening segment log for {name:?}: {e}"))?;
+                e.insert(log);
+            }
+        }
+        Ok(id)
+    }
+
+    /// The segment log for channel `id`, if it was opened durable.
+    fn log(&self, id: u32) -> Option<Arc<ChannelLog>> {
+        self.logs
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&id)
+            .cloned()
+    }
+
+    fn open_channel_inner(&self, name: &str) -> u32 {
         let mut chans = self.channels.lock().unwrap_or_else(|p| p.into_inner());
         if let Some(&id) = chans.by_name.get(name) {
             return id;
@@ -837,6 +1031,7 @@ pub struct ServDaemon {
     addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
     stats_thread: Option<JoinHandle<()>>,
+    store_thread: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -851,7 +1046,18 @@ impl ServDaemon {
     pub fn bind_with(addr: impl ToSocketAddrs, config: ServConfig) -> io::Result<ServDaemon> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(State::new(&config));
+        let state = Arc::new(State::new(&config)?);
+        let store_thread = match &state.store {
+            Some(_) => {
+                let store_state = state.clone();
+                Some(
+                    std::thread::Builder::new()
+                        .name("pbio-serv-store".into())
+                        .spawn(move || store_loop(store_state))?,
+                )
+            }
+            None => None,
+        };
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
         let accept_state = state.clone();
         let accept_conns = conn_threads.clone();
@@ -876,6 +1082,7 @@ impl ServDaemon {
             addr,
             accept_thread: Some(accept_thread),
             stats_thread,
+            store_thread,
             conn_threads,
         })
     }
@@ -899,6 +1106,13 @@ impl ServDaemon {
     /// latency histograms, as published on the `$stats` channel.
     pub fn registry(&self) -> &Arc<Registry> {
         &self.state.registry
+    }
+
+    /// The segment-log store behind durable channels, when this daemon
+    /// was configured with [`ServConfig::durability`] — for inspecting
+    /// durability counters, per-channel logs, and bytes on disk.
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.state.store.as_ref()
     }
 
     /// Current head-sampling modulus advertised to new sessions (0 =
@@ -941,6 +1155,27 @@ impl ServDaemon {
         };
         for h in handles {
             let _ = h.join();
+        }
+        // Replay threads observe the shutdown flag (or their dead conns)
+        // and exit; then close the store queue so the writer drains every
+        // accepted append, acks what it can, and stops.
+        let replays: Vec<_> = {
+            let mut r = self
+                .state
+                .replay_threads
+                .lock()
+                .unwrap_or_else(|p| p.into_inner());
+            r.drain(..).collect()
+        };
+        for h in replays {
+            let _ = h.join();
+        }
+        self.state.store_q.close();
+        if let Some(h) = self.store_thread.take() {
+            let _ = h.join();
+        }
+        if let Some(store) = &self.state.store {
+            let _ = store.sync_all();
         }
     }
 }
@@ -1135,7 +1370,11 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
     // Grant the intersection of what the client offered and what this
     // daemon speaks, and sample our clock while serving the HELLO — the
     // client's half of the offset exchange brackets this read.
-    let granted = hello.b & (CAP_TRACE | CAP_RESUME);
+    let mut supported = CAP_TRACE | CAP_RESUME;
+    if state.store.is_some() {
+        supported |= CAP_DURABLE;
+    }
+    let granted = hello.b & supported;
     let mut ack_body = Vec::with_capacity(16);
     ack_body.extend_from_slice(&granted.to_be_bytes());
     ack_body.extend_from_slice(&epoch_ns().to_be_bytes());
@@ -1158,6 +1397,7 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
         counters: ConnCounters::default(),
         caps: granted,
         raw: Mutex::new(Some(raw)),
+        durable_subs: Mutex::new(Vec::new()),
     });
     state.track(&conn);
     let writer_conn = conn.clone();
@@ -1256,11 +1496,13 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
                 Err(e) => send_error(&conn.outbound, E_FORMAT, e.to_string()),
             },
             K_CHANNEL => match std::str::from_utf8(&body) {
-                Ok(name) => {
-                    let id = state.open_channel(name);
-                    conn.outbound
-                        .send(Frame::control(K_CHANNEL_ACK, header.a, id));
-                }
+                Ok(name) => match state.open_channel_flags(name, header.b) {
+                    Ok(id) => {
+                        conn.outbound
+                            .send(Frame::control(K_CHANNEL_ACK, header.a, id));
+                    }
+                    Err(msg) => send_error(&conn.outbound, E_CHANNEL, msg),
+                },
                 Err(_) => send_error(&conn.outbound, E_PROTOCOL, "channel name is not UTF-8"),
             },
             K_SUBSCRIBE => {
@@ -1300,6 +1542,54 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
                 subscriptions.push((header.a, id));
                 conn.outbound
                     .send(Frame::control(K_SUBSCRIBE_ACK, header.a, 0));
+            }
+            K_SUBSCRIBE_FROM => {
+                if conn.caps & CAP_DURABLE == 0 {
+                    send_error(
+                        &conn.outbound,
+                        E_PROTOCOL,
+                        "subscribe_from without negotiated durability capability",
+                    );
+                    continue;
+                }
+                if body.len() < 8 {
+                    send_error(
+                        &conn.outbound,
+                        E_PROTOCOL,
+                        "subscribe_from body lacks offset",
+                    );
+                    continue;
+                }
+                let from = u64::from_be_bytes(body[..8].try_into().unwrap());
+                let Some(log) = state.log(header.a) else {
+                    send_error(
+                        &conn.outbound,
+                        E_CHANNEL,
+                        format!("channel {} is not durable", header.a),
+                    );
+                    continue;
+                };
+                // Ack first, then stream: the subscriber knows history
+                // follows. The replay thread walks the segment log,
+                // paces itself on the subscriber's queue so replayed
+                // frames never hit drop-oldest, and registers a live
+                // subscription at the exact point disk has caught up
+                // with the channel head — one gapless sequence.
+                conn.outbound
+                    .send(Frame::control(K_SUBSCRIBE_ACK, header.a, 0));
+                let rp_state = state.clone();
+                let rp_conn = conn.clone();
+                let chan = header.a;
+                let handle = std::thread::Builder::new()
+                    .name("pbio-serv-replay".into())
+                    .spawn(move || replay_loop(rp_state, rp_conn, chan, log, from));
+                if let Ok(h) = handle {
+                    state
+                        .replay_threads
+                        .lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .push(h);
+                }
             }
             K_PUBLISH => {
                 state.metrics.events_in.inc();
@@ -1390,10 +1680,46 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
                     None if traced => &body[..body.len() - TRACE_TRAILER_LEN],
                     _ => &body[..],
                 };
-                let wire = WireBuf::copy_from(payload);
+                // When no store is configured this is a single Option
+                // check: the disabled path adds no allocation and no
+                // syscall to the publish hot loop.
+                let log = if state.store.is_some() {
+                    state.log(header.a)
+                } else {
+                    None
+                };
                 let mut fanout = fanout.lock().unwrap_or_else(|p| p.into_inner());
                 let before = fanout.stats();
-                let _ = fanout.publish_traced(format, &wire, ctx.as_ref());
+                match log {
+                    None => {
+                        let wire = WireBuf::copy_from(payload);
+                        let _ = fanout.publish_traced(format, &wire, ctx.as_ref());
+                    }
+                    Some(log) => {
+                        // Reserve the offset, enqueue the disk append and
+                        // fan out — all under the fan-out lock, so the
+                        // per-channel store-queue order matches offset
+                        // order and replay handoff can freeze the head.
+                        // (The store thread never takes a fan-out lock,
+                        // so fanout -> store-queue is a safe lock order.)
+                        let offset = log.reserve(1);
+                        let mut v = Vec::with_capacity(payload.len() + OFFSET_TRAILER_LEN);
+                        v.extend_from_slice(payload);
+                        v.extend_from_slice(&offset.to_be_bytes());
+                        let wire = WireBuf::from(v);
+                        let trace_len = if ctx.is_some() { TRACE_TRAILER_LEN } else { 0 };
+                        let clean = wire.slice(0, payload.len() - trace_len);
+                        state.store_q.push(AppendReq {
+                            log: log.clone(),
+                            chan: header.a,
+                            offset,
+                            format,
+                            payload: clean,
+                            conn: Arc::downgrade(&conn),
+                        });
+                        let _ = fanout.publish_traced(format | OFFSET_FLAG, &wire, ctx.as_ref());
+                    }
+                }
                 let after = fanout.stats();
                 // Drops are already counted by the fan-out's obs hook;
                 // only the filter suppressions need mirroring here.
@@ -1517,10 +1843,243 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
                 .retain(|id, _| id != sub);
         }
     }
+    // Subscriptions a replay thread handed off to live delivery. The
+    // replay side re-checks `alive` after registering and removes its
+    // own registration if it lost the race with this store; retain() is
+    // idempotent, so whichever side runs second is a no-op.
+    let durable = std::mem::take(&mut *conn.durable_subs.lock().unwrap_or_else(|p| p.into_inner()));
+    for (chan, sub) in durable {
+        if let Some(fanout) = state.channel(chan) {
+            fanout
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .retain(|id, _| id != sub);
+        }
+    }
     conn.outbound.close();
     let _ = writer_thread.join();
     conn.evict();
     state.metrics.active_connections.dec();
+}
+
+/// The store writer: drains the publish→disk queue in batches, groups
+/// consecutive same-channel runs into one `append_batch` (one flush
+/// boundary each), then acks the publishers whose events just became
+/// durable. Runs until the queue is closed *and* drained, so graceful
+/// shutdown never abandons an accepted append.
+/// Publisher acks accumulated across one drained store batch:
+/// conn id → (conn, per-channel (count, last offset)).
+type PendingAcks = HashMap<u32, (Arc<ConnShared>, HashMap<u32, (u32, u64)>)>;
+
+fn store_loop(state: Arc<State>) {
+    let append_ns = state.registry.histogram("store_append_ns");
+    let mut batch: Vec<AppendReq> = Vec::with_capacity(512);
+    loop {
+        batch.clear();
+        if !state.store_q.pop_batch(&mut batch, 512) {
+            break;
+        }
+        let mut acks: PendingAcks = HashMap::new();
+        let mut i = 0;
+        while i < batch.len() {
+            // One consecutive run of the same channel log = one batched
+            // append (requests were queued in offset order per channel,
+            // under the fan-out lock).
+            let log = batch[i].log.clone();
+            let mut j = i;
+            while j < batch.len() && Arc::ptr_eq(&batch[j].log, &log) {
+                j += 1;
+            }
+            let recs: Vec<Append<'_>> = batch[i..j]
+                .iter()
+                .map(|r| Append {
+                    offset: r.offset,
+                    format: r.format,
+                    payload: &r.payload,
+                })
+                .collect();
+            let appended = {
+                let _span = Span::enter(&append_ns);
+                log.append_batch(&recs, &mut |id| state.formats.meta(id))
+            };
+            match appended {
+                Ok(()) => {
+                    for r in &batch[i..j] {
+                        let Some(conn) = r.conn.upgrade() else {
+                            continue;
+                        };
+                        if conn.caps & CAP_DURABLE == 0 {
+                            continue;
+                        }
+                        let (_, chans) = acks
+                            .entry(conn.id)
+                            .or_insert_with(|| (conn.clone(), HashMap::new()));
+                        let e = chans.entry(r.chan).or_insert((0, 0));
+                        e.0 += 1;
+                        e.1 = r.offset;
+                    }
+                }
+                Err(e) => {
+                    // append_batch already counted the failure and
+                    // repaired what it could; the unacked suffix is lost
+                    // durability the publisher never got promised.
+                    eprintln!("pbio-serv: store append failed: {e}");
+                }
+            }
+            i = j;
+        }
+        // Acks ride the ordinary outbound queues as control frames (so
+        // they are never drop-oldest'd): b = newly-durable count, body =
+        // the last durable offset.
+        for (_, (conn, chans)) in acks {
+            for (chan, (count, last)) in chans {
+                conn.outbound.send(Frame::with_body(
+                    K_PUBLISH_ACK,
+                    chan,
+                    count,
+                    WireBuf::from(last.to_be_bytes().to_vec()),
+                ));
+            }
+        }
+    }
+    if let Some(store) = &state.store {
+        let _ = store.sync_all();
+    }
+}
+
+/// Replay history for one `K_SUBSCRIBE_FROM`, then hand off to live
+/// delivery without a gap: walk the segment log from `from`, stream each
+/// record as a `K_EVENT` with the offset trailer, and register a live
+/// subscription under the fan-out lock exactly when disk has caught up
+/// with the channel head.
+fn replay_loop(
+    state: Arc<State>,
+    conn: Arc<ConnShared>,
+    chan: u32,
+    log: Arc<ChannelLog>,
+    from: u64,
+) {
+    if let Some(store) = &state.store {
+        store.metrics().replays.inc();
+    }
+    // Retention may have retired segments below `from`; start at the
+    // oldest record still on disk rather than failing the subscribe.
+    let mut next = from.max(log.oldest());
+    // Format ids are assigned per daemon run; a record appended before a
+    // restart may carry an id the current registry assigned to a
+    // different layout (or none). Each segment is self-describing, so
+    // re-register its meta and map recorded id → current id as we go.
+    let mut fmt_map: HashMap<u32, Option<u32>> = HashMap::new();
+    // Pace replay off the subscriber's queue: stream a chunk, then wait
+    // for the writer to drain below a low-water mark before the next.
+    // Replayed history must never be drop-oldest'd — the whole point of
+    // `subscribe_from` is losslessness.
+    let chunk = (state.queue_capacity / 4).max(16);
+    let low_water = chunk;
+    loop {
+        if !conn.alive.load(Ordering::Relaxed) || state.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        while conn.outbound.event_backlog() > low_water {
+            if !conn.alive.load(Ordering::Relaxed) || state.shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let readable = log.readable();
+        if next < readable {
+            let to = readable.min(next + chunk as u64);
+            let sent = log.read_range(next, to, &mut |item| match item {
+                ReplayItem::Meta { format, meta } => {
+                    let current = fmt_map.entry(format).or_insert_with(|| {
+                        state.formats.register_meta(meta).ok().map(|(id, _, _)| id)
+                    });
+                    let Some(current) = *current else { return };
+                    let mut ann = conn.announced.lock().unwrap_or_else(|p| p.into_inner());
+                    if ann.insert(current) {
+                        if let Some(m) = state.formats.meta(current) {
+                            conn.outbound.send(Frame::with_body(
+                                K_ANNOUNCE,
+                                current,
+                                0,
+                                WireBuf::from(m),
+                            ));
+                        }
+                    }
+                }
+                ReplayItem::Event {
+                    offset,
+                    format,
+                    payload,
+                } => {
+                    let Some(Some(current)) = fmt_map.get(&format) else {
+                        // Its meta failed to register — undecodable for
+                        // this daemon, skip rather than ship garbage.
+                        return;
+                    };
+                    let mut v = Vec::with_capacity(payload.len() + OFFSET_TRAILER_LEN);
+                    v.extend_from_slice(payload);
+                    v.extend_from_slice(&offset.to_be_bytes());
+                    conn.outbound.send(Frame::with_body(
+                        K_EVENT,
+                        chan,
+                        current | OFFSET_FLAG,
+                        WireBuf::from(v),
+                    ));
+                }
+            });
+            match sent {
+                Ok(_) => next = to,
+                Err(e) => {
+                    send_error(&conn.outbound, E_CHANNEL, format!("replay failed: {e}"));
+                    return;
+                }
+            }
+            continue;
+        }
+        // Disk is caught up with everything flushed. Try the handoff: if,
+        // under the fan-out lock, nothing is still in flight between the
+        // flushed frontier and the head (publishers reserve offsets under
+        // this same lock, so the head is frozen here), a live
+        // subscription registered now continues the sequence gaplessly.
+        let Some(fanout) = state.channel(chan) else {
+            return;
+        };
+        let mut f = fanout.lock().unwrap_or_else(|p| p.into_inner());
+        if log.readable() >= log.head() && next >= log.head() {
+            let sub = RemoteSubscriber {
+                conn: conn.clone(),
+                channel: chan,
+                predicate: None,
+                compiled: HashMap::new(),
+                formats: state.formats.clone(),
+                sink: state.hops.clone(),
+                hops: state.chan_hops(chan),
+                evicted_stalled: state.metrics.evicted_stalled.clone(),
+            };
+            let id = f.subscribe(sub);
+            drop(f);
+            conn.durable_subs
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .push((chan, id));
+            // Closes the race with connection teardown: if the conn died
+            // between registration and our push, its teardown may have
+            // drained `durable_subs` before we added this entry — remove
+            // our own registration (idempotent with teardown's).
+            if !conn.alive.load(Ordering::Relaxed) {
+                fanout
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .retain(|sid, _| sid != id);
+            }
+            return;
+        }
+        drop(f);
+        // Appends are still in flight between `readable` and `head`;
+        // yield until the store writer flushes them.
+        std::thread::sleep(Duration::from_millis(1));
+    }
 }
 
 fn writer_loop(mut stream: MaybeFaulty<TcpStream>, conn: Arc<ConnShared>, state: Arc<State>) {
@@ -1678,7 +2237,8 @@ mod tests {
             queue_capacity: 4,
             stats_interval: None,
             ..ServConfig::default()
-        });
+        })
+        .unwrap();
         let a = state.open_channel("alpha");
         let b = state.open_channel("beta");
         assert_ne!(a, b);
@@ -1691,7 +2251,7 @@ mod tests {
 
     #[test]
     fn encoded_stats_dedup_until_the_metric_set_changes() {
-        let state = State::new(&ServConfig::default());
+        let state = State::new(&ServConfig::default()).unwrap();
         state.metrics.events_in.add(3);
         let (fmt_a, wire_a) = state.encode_stats().expect("snapshot encodes");
         let (fmt_b, _) = state.encode_stats().expect("snapshot encodes");

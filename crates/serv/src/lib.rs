@@ -50,6 +50,19 @@
 //!   a seeded [`pbio_net::fault::FaultyStream`] via
 //!   [`ServConfig::fault_seed`].
 //!
+//! * **Channels can be durable**: a daemon configured with
+//!   [`ServConfig::durability`] appends every event published on a
+//!   [`protocol::CHAN_DURABLE`] channel to a `pbio-store` append-only
+//!   segment log — off the hot loop, on a dedicated writer thread —
+//!   and acks publishers once bytes are flushed
+//!   ([`protocol::K_PUBLISH_ACK`]). Events on durable channels carry
+//!   their log offset as an outer trailer; subscribers replay history
+//!   from any offset with [`ServClient::subscribe_from`], which streams
+//!   the log and hands off to live delivery gaplessly. Crash recovery
+//!   (CRC-checked scan, torn tails truncated) runs when the store
+//!   reopens; with resume negotiated a client reconnects and resumes
+//!   from the last offset it saw — lossless across daemon restarts.
+//!
 //! Layering: [`protocol`] defines the session frames (carried by
 //! [`pbio_net::frame`]); [`daemon`] is the thread-per-connection server
 //! built on [`pbio_chan::dispatch::Fanout`]; [`client`] is the blocking
@@ -65,4 +78,7 @@ pub mod protocol;
 pub use client::{ClientConfig, ClientStats, Event, RawEvent, ServClient};
 pub use daemon::{ConnStats, ServConfig, ServDaemon, ServStats, TraceConfig};
 pub use error::ServError;
-pub use protocol::{CAP_RESUME, CAP_TRACE, STATS_CHANNEL, TRACE_CHANNEL};
+pub use pbio_store::{FlushPolicy, StoreConfig};
+pub use protocol::{
+    CAP_DURABLE, CAP_RESUME, CAP_TRACE, CHAN_DURABLE, STATS_CHANNEL, TRACE_CHANNEL,
+};

@@ -28,8 +28,14 @@
 //!   |  -------------------------------->    |    pbio-chan predicate, to be
 //!   |            SUBSCRIBE_ACK a=chan       |    evaluated at the source)
 //!   |  <--------------------------------    |
-//!   | PUBLISH  a=chan b=fmt body=NDR bytes  |   (fire-and-forget)
-//!   |  -------------------------------->    |
+//!   | SUBSCRIBE_FROM a=chan body=offset     |   (durable channels only:
+//!   |  -------------------------------->    |    replay history from
+//!   |            SUBSCRIBE_ACK a=chan       |    offset, then hand off
+//!   |  <--------------------------------    |    seamlessly to live)
+//!   | PUBLISH  a=chan b=fmt body=NDR bytes  |   (fire-and-forget; durable
+//!   |  -------------------------------->    |    channels ack once the
+//!   |            PUBLISH_ACK a=chan b=n     |    bytes are on disk, body
+//!   |  <--------------------------------    |    = last durable offset)
 //!   |            ANNOUNCE a=fmt body=meta   |   (once per (conn, format),
 //!   |  <--------------------------------    |    before its first event)
 //!   |            EVENT    a=chan b=fmt      |   (sender's untouched native
@@ -71,11 +77,38 @@ pub const CAP_TRACE: u32 = 0x1;
 /// (so the client re-registers from scratch instead of resuming).
 pub const CAP_RESUME: u32 = 0x2;
 
+/// Capability bit (in `HELLO.b` / the HELLO ack body): durable
+/// channels. Granted only by daemons configured with
+/// `ServConfig::durability`; a client holding the grant may open
+/// channels with [`CHAN_DURABLE`], replay history with
+/// [`K_SUBSCRIBE_FROM`], and receives [`K_PUBLISH_ACK`] durability
+/// acknowledgements plus offset trailers ([`OFFSET_FLAG`]) on events.
+pub const CAP_DURABLE: u32 = 0x4;
+
 /// High bit of the format-id argument (`b`) on [`K_PUBLISH`] and
 /// [`K_EVENT`]: the body carries a trace trailer
 /// ([`pbio_obs::TRACE_TRAILER_LEN`] bytes) after the record's NDR
 /// bytes. Format ids never reach this bit.
 pub const TRACE_FLAG: u32 = 0x8000_0000;
+
+/// Bit 30 of the format-id argument (`b`) on [`K_EVENT`]: the body ends
+/// with the event's durable channel offset (`u64be`, *after* the trace
+/// trailer when both are present — the daemon appends it last, so it is
+/// stripped first). Daemon-global format ids count up from zero and
+/// never reach this bit.
+pub const OFFSET_FLAG: u32 = 0x4000_0000;
+
+/// Channel-flags bit (in `K_CHANNEL.b`): open the channel *durable* —
+/// every event published to it is appended to the daemon's pbio-store
+/// segment log and replayable by offset. Requires a daemon configured
+/// with `ServConfig::durability` (else `ERROR(E_CHANNEL)`); opening an
+/// already-durable channel without the bit is fine (durability is a
+/// channel property, not a per-subscriber one).
+pub const CHAN_DURABLE: u32 = 0x1;
+
+/// Trailing bytes a [`OFFSET_FLAG`] offset trailer adds to an event
+/// body.
+pub const OFFSET_TRAILER_LEN: usize = 8;
 
 /// Client → daemon: open a session. `a` = version, `b` = capability
 /// bits ([`CAP_TRACE`]; old clients send 0), body = architecture
@@ -105,12 +138,29 @@ pub const K_CHANNEL_ACK: u8 = 0x13;
 pub const K_SUBSCRIBE: u8 = 0x14;
 /// Daemon → client: subscription active. `a` = channel id.
 pub const K_SUBSCRIBE_ACK: u8 = 0x15;
+/// Client → daemon: subscribe to a channel *from a durable offset*.
+/// `a` = channel id, body = `offset:u64be`. The daemon streams history
+/// from that offset (clamped to what retention kept), then hands off
+/// seamlessly to live events — the subscriber sees one gapless,
+/// offset-stamped sequence. Requires [`CAP_DURABLE`] and a durable
+/// channel; acked with [`K_SUBSCRIBE_ACK`] before the first replayed
+/// event.
+pub const K_SUBSCRIBE_FROM: u8 = 0x16;
 /// Client → daemon: publish an event. `a` = channel id, `b` = format id,
-/// body = the record's native (NDR) bytes. No acknowledgement.
+/// body = the record's native (NDR) bytes. No acknowledgement on
+/// transient channels; on durable channels the daemon answers (possibly
+/// batched) with [`K_PUBLISH_ACK`] once the bytes are on disk.
 pub const K_PUBLISH: u8 = 0x20;
 /// Daemon → subscriber: an event. `a` = channel id, `b` = format id,
 /// body = the *publisher's* NDR bytes, forwarded without conversion.
 pub const K_EVENT: u8 = 0x21;
+/// Daemon → publisher: durability acknowledgement for a durable
+/// channel. `a` = channel id, `b` = how many of the publisher's events
+/// this ack newly covers, body = `last_offset:u64be` — the highest
+/// channel offset now on disk for this publisher. Sent only to
+/// [`CAP_DURABLE`] connections; an acked event survives a daemon crash
+/// and replays via [`K_SUBSCRIBE_FROM`].
+pub const K_PUBLISH_ACK: u8 = 0x23;
 /// Daemon → subscriber: format meta for an id the subscriber is about to
 /// see. `a` = format id, body = serialized layout. Sent once per
 /// (connection, format), always before that format's first [`K_EVENT`].

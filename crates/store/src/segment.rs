@@ -1,0 +1,299 @@
+//! On-disk segment encoding and scanning.
+//!
+//! A segment is a self-describing PBIO file: every format published into
+//! it is preceded (once per segment) by a [`REC_META`] entry carrying the
+//! format's serialized layout meta-information, so a reader needs no
+//! out-of-band registry — the paper's self-describing stream property,
+//! applied to disk. Layout:
+//!
+//! ```text
+//! header := "PBIOSEG" version:u8  base_offset:u64be          (16 bytes)
+//! entry  := kind:u8  len:u32be  crc:u32be  body[len]
+//!   kind 1 (META):  format:u32be  serialized layout meta
+//!   kind 2 (EVENT): offset:u64be  format:u32be  NDR payload
+//! ```
+//!
+//! `crc` is the same CRC-32 the frame protocol uses, over `body` only.
+//! The scanner treats *any* decode failure — short header, absurd
+//! length, unknown kind, CRC mismatch, short body — as a torn tail at
+//! that entry's boundary, never an abort: recovery truncates there and
+//! the log keeps serving everything before it.
+
+use std::fs::File;
+use std::io::{self, BufReader, Read};
+use std::path::Path;
+
+use pbio_net::frame::crc32;
+
+/// Segment file magic; the trailing byte is the format version.
+pub(crate) const MAGIC: &[u8; 8] = b"PBIOSEG\x01";
+/// Fixed header: magic+version (8) + base offset (8).
+pub(crate) const HEADER_LEN: u64 = 16;
+/// Entry header: kind (1) + len (4) + crc (4).
+pub(crate) const ENTRY_HEADER_LEN: usize = 9;
+/// Entry kind: serialized layout meta for a format id, written once per
+/// (segment, format) before that format's first event entry.
+pub(crate) const REC_META: u8 = 1;
+/// Entry kind: one event record.
+pub(crate) const REC_EVENT: u8 = 2;
+/// Sanity bound on a single entry body; anything larger is treated as a
+/// torn tail rather than an allocation request.
+pub(crate) const MAX_ENTRY_LEN: u32 = 64 << 20;
+
+/// File name for the segment whose first event has offset `base`.
+pub(crate) fn segment_file_name(base: u64) -> String {
+    format!("seg-{base:020}.pbio")
+}
+
+/// Inverse of [`segment_file_name`]; `None` for foreign files.
+pub(crate) fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("seg-")?.strip_suffix(".pbio")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Append the 16-byte segment header to `out`.
+pub(crate) fn push_header(out: &mut Vec<u8>, base: u64) {
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&base.to_be_bytes());
+}
+
+/// Append one CRC-framed entry (body = concatenated `parts`) to `out`.
+pub(crate) fn push_entry(out: &mut Vec<u8>, kind: u8, parts: &[&[u8]]) {
+    let len: usize = parts.iter().map(|p| p.len()).sum();
+    out.push(kind);
+    out.extend_from_slice(&(len as u32).to_be_bytes());
+    let crc_pos = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    let body_pos = out.len();
+    for p in parts {
+        out.extend_from_slice(p);
+    }
+    let crc = crc32(&out[body_pos..]);
+    out[crc_pos..crc_pos + 4].copy_from_slice(&crc.to_be_bytes());
+}
+
+/// One decoded scan step. `Meta`/`Event` bodies live in the scanner's
+/// buffer — fetch them via [`SegmentScanner::body`].
+pub(crate) enum Scan {
+    /// Clean end of file at an entry boundary.
+    Eof,
+    /// The bytes from [`SegmentScanner::entry_start`] on do not decode as
+    /// a valid entry: torn tail (or corruption).
+    Torn,
+    /// A format-meta entry; meta bytes are `body()[4..]`.
+    Meta { format: u32 },
+    /// An event entry; payload bytes are `body()[12..]`.
+    Event { offset: u64, format: u32 },
+}
+
+/// Sequential validating reader over one segment file.
+pub(crate) struct SegmentScanner {
+    r: BufReader<File>,
+    buf: Vec<u8>,
+    /// Byte offset where the most recently attempted entry starts.
+    entry_start: u64,
+    /// Byte offset just past the last *valid* entry.
+    pos: u64,
+}
+
+enum Fill {
+    Full,
+    Partial,
+    Eof,
+}
+
+fn read_fill(r: &mut impl Read, out: &mut [u8]) -> io::Result<Fill> {
+    let mut got = 0;
+    while got < out.len() {
+        match r.read(&mut out[got..])? {
+            0 if got == 0 => return Ok(Fill::Eof),
+            0 => return Ok(Fill::Partial),
+            n => got += n,
+        }
+    }
+    Ok(Fill::Full)
+}
+
+impl SegmentScanner {
+    /// Open `path` and validate the 16-byte header. `Ok(None)` means the
+    /// header itself is torn or foreign — the whole file is unusable.
+    pub(crate) fn open(path: &Path) -> io::Result<Option<(SegmentScanner, u64)>> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut hdr = [0u8; HEADER_LEN as usize];
+        match read_fill(&mut r, &mut hdr)? {
+            Fill::Full => {}
+            Fill::Partial | Fill::Eof => return Ok(None),
+        }
+        if &hdr[..8] != MAGIC {
+            return Ok(None);
+        }
+        let base = u64::from_be_bytes(hdr[8..16].try_into().unwrap());
+        Ok(Some((
+            SegmentScanner {
+                r,
+                buf: Vec::new(),
+                entry_start: HEADER_LEN,
+                pos: HEADER_LEN,
+            },
+            base,
+        )))
+    }
+
+    /// Decode the next entry. Never fails on malformed bytes (that is
+    /// [`Scan::Torn`]); `Err` is a real I/O error from the filesystem.
+    pub(crate) fn next(&mut self) -> io::Result<Scan> {
+        self.entry_start = self.pos;
+        let mut hdr = [0u8; ENTRY_HEADER_LEN];
+        match read_fill(&mut self.r, &mut hdr)? {
+            Fill::Eof => return Ok(Scan::Eof),
+            Fill::Partial => return Ok(Scan::Torn),
+            Fill::Full => {}
+        }
+        let kind = hdr[0];
+        let len = u32::from_be_bytes(hdr[1..5].try_into().unwrap());
+        let crc = u32::from_be_bytes(hdr[5..9].try_into().unwrap());
+        if (kind != REC_META && kind != REC_EVENT) || len > MAX_ENTRY_LEN {
+            return Ok(Scan::Torn);
+        }
+        self.buf.resize(len as usize, 0);
+        match read_fill(&mut self.r, &mut self.buf)? {
+            Fill::Full => {}
+            Fill::Partial | Fill::Eof => {
+                // A zero-length body "fills" trivially; Eof only means
+                // torn when bytes were actually required.
+                if len > 0 {
+                    return Ok(Scan::Torn);
+                }
+            }
+        }
+        if crc32(&self.buf) != crc {
+            return Ok(Scan::Torn);
+        }
+        self.pos += (ENTRY_HEADER_LEN + len as usize) as u64;
+        match kind {
+            REC_META if self.buf.len() >= 4 => Ok(Scan::Meta {
+                format: u32::from_be_bytes(self.buf[..4].try_into().unwrap()),
+            }),
+            REC_EVENT if self.buf.len() >= 12 => Ok(Scan::Event {
+                offset: u64::from_be_bytes(self.buf[..8].try_into().unwrap()),
+                format: u32::from_be_bytes(self.buf[8..12].try_into().unwrap()),
+            }),
+            _ => {
+                // CRC passed but the body is shorter than its fixed
+                // prefix — only writable by a buggy writer; treat as torn
+                // so recovery still terminates.
+                self.pos = self.entry_start;
+                Ok(Scan::Torn)
+            }
+        }
+    }
+
+    /// Body bytes of the entry most recently returned by [`next`].
+    ///
+    /// [`next`]: SegmentScanner::next
+    pub(crate) fn body(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Byte offset where the most recently attempted entry starts — the
+    /// truncation point when that attempt returned [`Scan::Torn`].
+    pub(crate) fn entry_start(&self) -> u64 {
+        self.entry_start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "pbio-seg-{tag}-{}-{}.pbio",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(parse_segment_name(&segment_file_name(0)), Some(0));
+        assert_eq!(
+            parse_segment_name(&segment_file_name(u64::MAX)),
+            Some(u64::MAX)
+        );
+        assert_eq!(parse_segment_name("seg-123.pbio"), None);
+        assert_eq!(parse_segment_name("other.txt"), None);
+    }
+
+    #[test]
+    fn scan_round_trips_and_flags_torn_tail() {
+        let path = temp_file("scan");
+        let mut bytes = Vec::new();
+        push_header(&mut bytes, 7);
+        push_entry(&mut bytes, REC_META, &[&3u32.to_be_bytes(), b"layout"]);
+        push_entry(
+            &mut bytes,
+            REC_EVENT,
+            &[&7u64.to_be_bytes(), &3u32.to_be_bytes(), b"payload"],
+        );
+        let valid_len = bytes.len() as u64;
+        // A torn half-entry after the valid prefix.
+        bytes.push(REC_EVENT);
+        bytes.extend_from_slice(&[0, 0, 0, 9]);
+        File::create(&path).unwrap().write_all(&bytes).unwrap();
+
+        let (mut sc, base) = SegmentScanner::open(&path).unwrap().unwrap();
+        assert_eq!(base, 7);
+        match sc.next().unwrap() {
+            Scan::Meta { format } => {
+                assert_eq!(format, 3);
+                assert_eq!(&sc.body()[4..], b"layout");
+            }
+            _ => panic!("expected meta"),
+        }
+        match sc.next().unwrap() {
+            Scan::Event { offset, format } => {
+                assert_eq!((offset, format), (7, 3));
+                assert_eq!(&sc.body()[12..], b"payload");
+            }
+            _ => panic!("expected event"),
+        }
+        match sc.next().unwrap() {
+            Scan::Torn => assert_eq!(sc.entry_start(), valid_len),
+            _ => panic!("expected torn tail"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_crc_is_torn_not_panic() {
+        let path = temp_file("crc");
+        let mut bytes = Vec::new();
+        push_header(&mut bytes, 0);
+        push_entry(
+            &mut bytes,
+            REC_EVENT,
+            &[&0u64.to_be_bytes(), &1u32.to_be_bytes(), b"x"],
+        );
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x40; // flip a payload bit; CRC no longer matches
+        File::create(&path).unwrap().write_all(&bytes).unwrap();
+        let (mut sc, _) = SegmentScanner::open(&path).unwrap().unwrap();
+        assert!(matches!(sc.next().unwrap(), Scan::Torn));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn short_header_is_unusable_not_error() {
+        let path = temp_file("hdr");
+        File::create(&path).unwrap().write_all(b"PBIOS").unwrap();
+        assert!(SegmentScanner::open(&path).unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,125 @@
+//! Durable channels: crash the daemon mid-stream, restart it over the
+//! same store directory, and replay every acked event from disk.
+//!
+//! A telemetry publisher writes to a *durable* channel — the daemon
+//! appends each event to a `pbio-store` segment log (self-describing
+//! PBIO files) and acks once the bytes are flushed. The daemon is then
+//! shut down and restarted over the same directory; a late monitor uses
+//! `subscribe_from(0)` to replay the full history from disk and hands
+//! off gaplessly to live delivery of post-restart events.
+//!
+//! ```text
+//! cargo run -p pbio-examples --bin durable_replay
+//! ```
+
+use std::time::{Duration, Instant};
+
+use pbio_serv::{ServClient, ServConfig, ServDaemon, StoreConfig, TraceConfig};
+use pbio_types::schema::{AtomType, FieldDecl, Schema};
+use pbio_types::value::RecordValue;
+use pbio_types::ArchProfile;
+
+fn telemetry() -> Schema {
+    Schema::new(
+        "telemetry",
+        vec![
+            FieldDecl::atom("step", AtomType::I64),
+            FieldDecl::atom("max_temp", AtomType::CDouble),
+        ],
+    )
+    .unwrap()
+}
+
+fn durable_config(dir: &std::path::Path) -> ServConfig {
+    ServConfig {
+        durability: Some(StoreConfig::new(dir)),
+        stats_interval: None,
+        trace: TraceConfig {
+            sample_mod: 0,
+            publish_interval: None,
+            sink_capacity: 16,
+        },
+        ..ServConfig::default()
+    }
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("pbio-durable-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- Life 1: publish ten acked events, then crash. -----------------
+    let daemon = ServDaemon::bind_with("127.0.0.1:0", durable_config(&dir)).unwrap();
+    let addr = daemon.local_addr();
+    println!("daemon listening on {addr}, store at {}", dir.display());
+
+    let mut sim = ServClient::connect(addr, &ArchProfile::SPARC_V8).unwrap();
+    assert!(sim.durable_negotiated());
+    let fmt = sim.register_format(&telemetry()).unwrap();
+    let chan = sim.open_channel_durable("telemetry").unwrap();
+    for step in 0..10i64 {
+        let r = RecordValue::new()
+            .with("step", step)
+            .with("max_temp", 900.0 + step as f64 * 20.0);
+        sim.publish_value(chan, fmt, &r).unwrap();
+    }
+    // An ack is a durability promise: these ten events are on disk.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while sim.stats().publishes_acked < 10 && Instant::now() < deadline {
+        let _ = sim.poll(Duration::from_millis(50)).unwrap();
+    }
+    println!(
+        "[sim/sparc] 10 events acked, last durable offset = {:?}",
+        sim.last_durable_offset(chan)
+    );
+    drop(sim);
+    daemon.shutdown();
+    println!("daemon stopped — the store directory is all that survives");
+
+    // ---- Life 2: restart over the same directory and replay. -----------
+    let daemon = ServDaemon::bind_with("127.0.0.1:0", durable_config(&dir)).unwrap();
+    let addr = daemon.local_addr();
+    println!("daemon restarted on {addr}");
+
+    // A publisher from *this* life appends past the recovered head.
+    let mut sim = ServClient::connect(addr, &ArchProfile::SPARC_V8).unwrap();
+    let fmt = sim.register_format(&telemetry()).unwrap();
+    let chan = sim.open_channel_durable("telemetry").unwrap();
+
+    // The monitor replays history it never witnessed, then goes live.
+    let mut monitor = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let m_chan = monitor.open_channel("telemetry").unwrap();
+    monitor.subscribe_from(m_chan, &telemetry(), 0).unwrap();
+
+    for step in 10..15i64 {
+        let r = RecordValue::new()
+            .with("step", step)
+            .with("max_temp", 900.0 + step as f64 * 20.0);
+        sim.publish_value(chan, fmt, &r).unwrap();
+    }
+
+    let mut seen = 0u32;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while seen < 15 && Instant::now() < deadline {
+        if let Some(event) = monitor.poll(Duration::from_millis(200)).unwrap() {
+            let source = if event.offset.unwrap() < 10 {
+                "replayed from disk"
+            } else {
+                "live"
+            };
+            println!(
+                "[monitor/x86-64] offset={} step={} max_temp={} ({source})",
+                event.offset.unwrap(),
+                event.view.get("step").unwrap(),
+                event.view.get("max_temp").unwrap(),
+            );
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, 15, "full history + live tail, gapless");
+    println!("replay → live handoff complete: 15 events, offsets 0..15, no gaps");
+
+    monitor.disconnect().unwrap();
+    sim.disconnect().unwrap();
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,451 @@
+//! Durable-channel suite: publish acks, `subscribe_from` replay with a
+//! gapless handoff to live delivery, daemon kill/restart with exact
+//! accounting (every event acked before the crash is delivered after
+//! it), torn-tail crash recovery, and live store-fault recovery.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use pbio_net::fault::FaultPlan;
+use pbio_serv::{
+    ClientConfig, FlushPolicy, ServClient, ServConfig, ServDaemon, StoreConfig, TraceConfig,
+};
+use pbio_types::arch::ArchProfile;
+use pbio_types::schema::{AtomType, FieldDecl, Schema};
+use pbio_types::value::{RecordValue, Value};
+
+/// A test-unique store directory under the system temp dir.
+fn store_dir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("pbio-durable-{tag}-{}-{seq}", std::process::id()))
+}
+
+fn durable_config(dir: &Path) -> ServConfig {
+    ServConfig {
+        stats_interval: None,
+        trace: TraceConfig {
+            sample_mod: 0,
+            publish_interval: None,
+            sink_capacity: 16,
+        },
+        durability: Some(StoreConfig {
+            flush: FlushPolicy::EveryBatch,
+            ..StoreConfig::new(dir.to_path_buf())
+        }),
+        ..ServConfig::default()
+    }
+}
+
+fn resume_client() -> ClientConfig {
+    ClientConfig {
+        resume: true,
+        backoff_initial: Duration::from_millis(10),
+        backoff_max: Duration::from_millis(200),
+        ..ClientConfig::default()
+    }
+}
+
+fn tick_schema() -> Schema {
+    Schema::new(
+        "tick",
+        vec![
+            FieldDecl::atom("seq", AtomType::I64),
+            FieldDecl::atom("temp", AtomType::F64),
+        ],
+    )
+    .unwrap()
+}
+
+fn tick(seq: i64) -> RecordValue {
+    RecordValue::new()
+        .with("seq", seq)
+        .with("temp", seq as f64 * 0.5)
+}
+
+fn seq_of(ev: &pbio_serv::Event<'_>) -> i64 {
+    let Some(Value::I64(s)) = ev.view.get("seq") else {
+        panic!("seq missing from delivered event")
+    };
+    let Some(Value::F64(t)) = ev.view.get("temp") else {
+        panic!("temp missing from delivered event")
+    };
+    assert_eq!(t, s as f64 * 0.5, "delivered record is self-consistent");
+    s
+}
+
+/// Block until the publisher has seen acks for all `n` publishes.
+fn await_acks(publisher: &mut ServClient, n: u64) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while publisher.stats().publishes_acked < n {
+        assert!(Instant::now() < deadline, "acks stalled at {}/{n}", {
+            publisher.stats().publishes_acked
+        });
+        // Acks are consumed transparently by the poll loop.
+        let _ = publisher.poll(Duration::from_millis(50)).unwrap();
+    }
+}
+
+/// Happy path: events on a durable channel arrive stamped with
+/// contiguous offsets, publishes are acked once on disk, and a *late*
+/// subscriber reading from offset 0 receives the full history followed
+/// gaplessly by live events.
+#[test]
+fn durable_channel_acks_replays_and_hands_off_gaplessly() {
+    let dir = store_dir("handoff");
+    let daemon = ServDaemon::bind_with("127.0.0.1:0", durable_config(&dir)).unwrap();
+    let addr = daemon.local_addr();
+    let schema = tick_schema();
+
+    let mut publisher = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    assert!(publisher.durable_negotiated());
+    let format = publisher.register_format(&schema).unwrap();
+    let chan = publisher.open_channel_durable("events").unwrap();
+
+    // Live subscriber from the start: sees offsets stamped on the
+    // ordinary subscription path too.
+    let mut live = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let live_chan = live.open_channel("events").unwrap();
+    live.subscribe(live_chan, &schema, None).unwrap();
+
+    const HISTORY: i64 = 200;
+    for seq in 0..HISTORY {
+        publisher.publish_value(chan, format, &tick(seq)).unwrap();
+    }
+    await_acks(&mut publisher, HISTORY as u64);
+    assert_eq!(
+        publisher.last_durable_offset(chan),
+        Some(HISTORY as u64 - 1),
+        "ack carries the last durable offset"
+    );
+
+    // The live subscriber sees every event with its offset.
+    let mut live_seen = 0i64;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while live_seen < HISTORY && Instant::now() < deadline {
+        if let Some(ev) = live.poll(Duration::from_millis(100)).unwrap() {
+            assert_eq!(seq_of(&ev), live_seen);
+            assert_eq!(ev.offset, Some(live_seen as u64), "offset rides the event");
+            live_seen += 1;
+        }
+    }
+    assert_eq!(live_seen, HISTORY, "live subscriber saw the full stream");
+
+    // Late subscriber: full replay from 0, then live events, one gapless
+    // contiguous sequence. Publish the live tail *while* replay streams.
+    let mut late = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let late_chan = late.open_channel("events").unwrap();
+    late.subscribe_from(late_chan, &schema, 0).unwrap();
+    const TAIL: i64 = 100;
+    for seq in HISTORY..HISTORY + TAIL {
+        publisher.publish_value(chan, format, &tick(seq)).unwrap();
+    }
+    let mut next = 0i64;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while next < HISTORY + TAIL && Instant::now() < deadline {
+        if let Some(ev) = late.poll(Duration::from_millis(100)).unwrap() {
+            assert_eq!(
+                seq_of(&ev),
+                next,
+                "replay → live handoff is gapless and duplicate-free"
+            );
+            assert_eq!(ev.offset, Some(next as u64));
+            next += 1;
+        }
+    }
+    assert_eq!(next, HISTORY + TAIL, "replay handed off to live delivery");
+    assert_eq!(
+        late.last_seen_offset(late_chan),
+        Some((HISTORY + TAIL - 1) as u64)
+    );
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The tentpole acceptance: kill the daemon mid-storm, restart it over
+/// the same store directory, and verify **every event acked before the
+/// crash is delivered** to a `subscribe_from` reader after the restart —
+/// exact accounting, zero silent loss.
+#[test]
+fn kill_and_restart_preserves_every_acked_event() {
+    let dir = store_dir("restart");
+    let daemon = ServDaemon::bind_with("127.0.0.1:0", durable_config(&dir)).unwrap();
+    let addr = daemon.local_addr();
+    let schema = tick_schema();
+
+    let mut publisher =
+        ServClient::connect_with(addr, &ArchProfile::X86_64, resume_client()).unwrap();
+    let format = publisher.register_format(&schema).unwrap();
+    let chan = publisher.open_channel_durable("storm").unwrap();
+
+    const STORM: i64 = 500;
+    for seq in 0..STORM {
+        publisher.publish_value(chan, format, &tick(seq)).unwrap();
+    }
+    await_acks(&mut publisher, STORM as u64);
+    let acked_through = publisher.last_durable_offset(chan).unwrap();
+    assert_eq!(acked_through, STORM as u64 - 1);
+
+    // Crash. (Graceful shutdown also syncs; the torn-tail variant below
+    // simulates the un-synced case.)
+    daemon.shutdown();
+
+    // Restart over the same store directory, same port.
+    let daemon2 = ServDaemon::bind_with(addr, durable_config(&dir)).unwrap();
+
+    // A fresh subscriber replays everything that was ever acked.
+    let mut reader = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let r_chan = reader.open_channel_durable("storm").unwrap();
+    reader.subscribe_from(r_chan, &schema, 0).unwrap();
+    let mut next = 0i64;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while next <= acked_through as i64 && Instant::now() < deadline {
+        if let Some(ev) = reader.poll(Duration::from_millis(100)).unwrap() {
+            assert_eq!(
+                seq_of(&ev),
+                next,
+                "acked event lost or reordered by restart"
+            );
+            assert_eq!(ev.offset, Some(next as u64));
+            next += 1;
+        }
+    }
+    assert_eq!(
+        next - 1,
+        acked_through as i64,
+        "every event acked before the crash was delivered after it"
+    );
+
+    // The publisher's socket died with the old daemon; poll until it
+    // notices and resumes (publishes to an undetected-dead socket would
+    // vanish into the kernel buffer).
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while publisher.stats().reconnects == 0 && Instant::now() < deadline {
+        let _ = publisher.poll(Duration::from_millis(50));
+    }
+    assert!(publisher.stats().reconnects >= 1, "publisher resumed");
+
+    // New publishes continue the offset sequence past the recovered head.
+    publisher.publish_value(chan, format, &tick(STORM)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut tail = None;
+    while tail.is_none() && Instant::now() < deadline {
+        if let Some(ev) = reader.poll(Duration::from_millis(100)).unwrap() {
+            tail = Some((seq_of(&ev), ev.offset));
+        }
+    }
+    let (tail_seq, tail_off) = tail.expect("post-restart publish flows to the replay reader");
+    assert_eq!(tail_seq, STORM);
+    assert_eq!(tail_off, Some(STORM as u64), "offsets continue, no reuse");
+
+    daemon2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash mid-write leaves a torn final record. Restarting must
+/// truncate exactly the torn tail (counted), keep every intact record,
+/// and never refuse to start.
+#[test]
+fn torn_final_record_is_truncated_and_counted_on_restart() {
+    let dir = store_dir("torn");
+    let daemon = ServDaemon::bind_with("127.0.0.1:0", durable_config(&dir)).unwrap();
+    let addr = daemon.local_addr();
+    let schema = tick_schema();
+
+    let mut publisher = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let format = publisher.register_format(&schema).unwrap();
+    let chan = publisher.open_channel_durable("torn").unwrap();
+    const N: i64 = 50;
+    for seq in 0..N {
+        publisher.publish_value(chan, format, &tick(seq)).unwrap();
+    }
+    await_acks(&mut publisher, N as u64);
+    daemon.shutdown();
+
+    // Simulate dying mid-append: a partial entry at the tail of the
+    // active segment (a plausible header announcing more bytes than
+    // follow).
+    let seg = newest_segment(&dir);
+    let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+    f.write_all(&[2u8]).unwrap(); // REC_EVENT kind
+    f.write_all(&1000u32.to_be_bytes()).unwrap(); // length the crash never wrote
+    f.write_all(&[0xAA; 7]).unwrap(); // a fragment of what should be 1008 bytes
+    drop(f);
+
+    let daemon2 = ServDaemon::bind_with(addr, durable_config(&dir)).unwrap();
+
+    // Recovery runs when the channel log is first reopened — which
+    // happens as soon as a client opens the durable channel.
+    let mut reader = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let r_chan = reader.open_channel_durable("torn").unwrap();
+    let metrics = daemon2.store().unwrap().metrics().clone();
+    assert_eq!(metrics.torn_tails.get(), 1, "the torn tail was counted");
+    assert!(metrics.truncated_bytes.get() >= 12, "and its bytes tallied");
+
+    // All intact records replay; the torn one is gone without a trace.
+    reader.subscribe_from(r_chan, &schema, 0).unwrap();
+    let mut next = 0i64;
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while next < N && Instant::now() < deadline {
+        if let Some(ev) = reader.poll(Duration::from_millis(100)).unwrap() {
+            assert_eq!(seq_of(&ev), next);
+            next += 1;
+        }
+    }
+    assert_eq!(next, N, "every intact record survived the torn tail");
+
+    daemon2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Live store-fault recovery: a short write injected into the segment
+/// log *while the daemon is running* must not lose any event the daemon
+/// acked — the store seals the damaged segment, re-appends the suffix,
+/// and only then acks.
+#[test]
+fn injected_short_write_on_the_live_store_loses_nothing_acked() {
+    let dir = store_dir("live-fault");
+    let mut config = durable_config(&dir);
+    // The CI fault matrix sets `PBIO_FAULT_SEED`; each seed tears the
+    // stream at a different byte position, so the matrix walks distinct
+    // torn-entry boundaries (mid-header, mid-payload, between entries).
+    let seed: u64 = std::env::var("PBIO_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    if let Some(store) = &mut config.durability {
+        // Tear the stream mid-record a few KiB in; the plan is one-shot,
+        // so recovery faces a clean segment afterwards.
+        let at = 2048 + (seed % 97) * 53;
+        store.fault = Some(FaultPlan::new().short_write_on_flush(at, (seed % 17) as usize));
+    }
+    let daemon = ServDaemon::bind_with("127.0.0.1:0", config).unwrap();
+    let addr = daemon.local_addr();
+    let schema = tick_schema();
+
+    let mut publisher = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let format = publisher.register_format(&schema).unwrap();
+    let chan = publisher.open_channel_durable("frail").unwrap();
+    const N: i64 = 400;
+    for seq in 0..N {
+        publisher.publish_value(chan, format, &tick(seq)).unwrap();
+    }
+    await_acks(&mut publisher, N as u64);
+    let metrics = daemon.store().unwrap().metrics().clone();
+    assert!(
+        metrics.torn_tails.get() >= 1,
+        "the injected fault actually fired and was recovered live"
+    );
+
+    // Everything acked replays, in order, despite the mid-run tear.
+    let mut reader = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let r_chan = reader.open_channel_durable("frail").unwrap();
+    reader.subscribe_from(r_chan, &schema, 0).unwrap();
+    let mut next = 0i64;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while next < N && Instant::now() < deadline {
+        if let Some(ev) = reader.poll(Duration::from_millis(100)).unwrap() {
+            assert_eq!(seq_of(&ev), next, "acked event lost to the live fault");
+            next += 1;
+        }
+    }
+    assert_eq!(next, N, "all acked events recovered after the live tear");
+
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Reconnect-resume over a durable channel is lossless: after the daemon
+/// restarts, a resuming `subscribe_from` client continues from the last
+/// offset it saw — the outage gap is replayed from the log, nothing is
+/// duplicated.
+#[test]
+fn resume_over_durable_channel_replays_the_outage_gap() {
+    let dir = store_dir("resume");
+    let daemon = ServDaemon::bind_with("127.0.0.1:0", durable_config(&dir)).unwrap();
+    let addr = daemon.local_addr();
+    let schema = tick_schema();
+
+    let mut publisher =
+        ServClient::connect_with(addr, &ArchProfile::X86_64, resume_client()).unwrap();
+    let format = publisher.register_format(&schema).unwrap();
+    let chan = publisher.open_channel_durable("gap").unwrap();
+
+    let mut reader = ServClient::connect_with(addr, &ArchProfile::X86_64, resume_client()).unwrap();
+    let r_chan = reader.open_channel_durable("gap").unwrap();
+    reader.subscribe_from(r_chan, &schema, 0).unwrap();
+
+    const FIRST: i64 = 100;
+    for seq in 0..FIRST {
+        publisher.publish_value(chan, format, &tick(seq)).unwrap();
+    }
+    let mut next = 0i64;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while next < FIRST && Instant::now() < deadline {
+        if let Some(ev) = reader.poll(Duration::from_millis(100)).unwrap() {
+            assert_eq!(seq_of(&ev), next);
+            next += 1;
+        }
+    }
+    assert_eq!(next, FIRST);
+
+    // Daemon dies; restart over the same store. The publisher's next
+    // publishes buffer through the outage; the reader's poll loop drives
+    // its own resume, replaying `subscribe_from` from the last offset.
+    daemon.shutdown();
+    let daemon2 = ServDaemon::bind_with(addr, durable_config(&dir)).unwrap();
+
+    const SECOND: i64 = 100;
+    // The publisher hasn't *noticed* the outage yet (a write to a
+    // freshly-dead socket can vanish into the kernel buffer without an
+    // error) — poll until it has actually reconnected before publishing.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while publisher.stats().reconnects == 0 && Instant::now() < deadline {
+        let _ = publisher.poll(Duration::from_millis(50));
+    }
+    assert!(publisher.stats().reconnects >= 1, "publisher resumed");
+    for seq in FIRST..FIRST + SECOND {
+        publisher.publish_value(chan, format, &tick(seq)).unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while next < FIRST + SECOND && Instant::now() < deadline {
+        if let Ok(Some(ev)) = reader.poll(Duration::from_millis(100)) {
+            assert_eq!(
+                seq_of(&ev),
+                next,
+                "resume lost or duplicated events across the restart"
+            );
+            next += 1;
+        }
+    }
+    assert_eq!(next, FIRST + SECOND, "the outage gap was replayed exactly");
+    assert!(
+        reader.stats().reconnects >= 1,
+        "the reader actually resumed"
+    );
+
+    daemon2.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The newest segment file anywhere under the store directory.
+fn newest_segment(dir: &Path) -> PathBuf {
+    let mut segs = Vec::new();
+    for chan in std::fs::read_dir(dir).unwrap() {
+        let chan = chan.unwrap().path();
+        if chan.is_dir() {
+            for f in std::fs::read_dir(&chan).unwrap() {
+                let f = f.unwrap().path();
+                if f.extension().is_some_and(|e| e == "pbio") {
+                    segs.push(f);
+                }
+            }
+        }
+    }
+    segs.sort();
+    segs.pop().expect("store has at least one segment")
+}
