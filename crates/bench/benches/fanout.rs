@@ -4,7 +4,7 @@
 //! events/sec (publisher clock: first publish until every subscriber has
 //! received every event) and heap allocations per published event, counted
 //! by a wrapping global allocator across the whole process — daemon fan-out,
-//! writer threads and subscriber decode included. The allocation count is
+//! reactor flushes and subscriber decode included. The allocation count is
 //! the tentpole metric: with shared event buffers it must stay O(1) in the
 //! subscriber count instead of O(subscribers).
 //!
@@ -352,6 +352,122 @@ fn run_durable_case(subscribers: usize, warmup: u64, events: u64) {
     );
 }
 
+/// `--subs` mode: connection scaling. Same topology as the default sweep
+/// (one publisher, N subscribers, homogeneous), but N climbs into the
+/// thousands and the interesting numbers change: events/s, the per-event
+/// and per-delivery cost in µs, and how many OS threads the daemon needs
+/// to serve N connections. With the sharded reactor core that last column
+/// must stay O(shards) — it is the whole point of the measurement.
+fn run_subs_case(subscribers: usize, warmup: u64, events: u64) {
+    let w = workload(MsgSize::B100);
+    let daemon = ServDaemon::bind_with(
+        "127.0.0.1:0",
+        ServConfig {
+            queue_capacity: (warmup + events) as usize + 64,
+            stats_interval: None,
+            trace: TraceConfig {
+                sample_mod: 0,
+                publish_interval: None,
+                sink_capacity: 16,
+            },
+            // Fixed so the thread-count column is comparable across
+            // machines (and across rows on CI runners of any width).
+            shards: 4,
+            ..ServConfig::default()
+        },
+    )
+    .expect("bind daemon");
+    let addr = daemon.local_addr();
+
+    let total = warmup + events;
+    let received: Vec<Arc<AtomicU64>> = (0..subscribers)
+        .map(|_| Arc::new(AtomicU64::new(0)))
+        .collect();
+    let ready = Arc::new(AtomicUsize::new(0));
+    let mut sub_threads = Vec::with_capacity(subscribers);
+    for counter in &received {
+        let counter = Arc::clone(counter);
+        let schema = w.schema.clone();
+        let ready = ready.clone();
+        // Thousands of subscriber threads are the *load generator*, not
+        // the system under test; small stacks keep the harness cheap.
+        let t = std::thread::Builder::new()
+            .stack_size(128 * 1024)
+            .spawn(move || {
+                let mut client =
+                    ServClient::connect(addr, &ArchProfile::X86_64).expect("subscriber connect");
+                let chan = client.open_channel(CHANNEL).expect("open channel");
+                client.subscribe(chan, &schema, None).expect("subscribe");
+                ready.fetch_add(1, Ordering::Release);
+                let start = Instant::now();
+                while counter.load(Ordering::Acquire) < total {
+                    match client.poll(Duration::from_millis(200)) {
+                        Ok(Some(_event)) => {
+                            counter.fetch_add(1, Ordering::Release);
+                        }
+                        Ok(None) => {
+                            if start.elapsed() > CASE_DEADLINE {
+                                panic!("subscriber starved");
+                            }
+                        }
+                        Err(e) => panic!("subscriber poll failed: {e}"),
+                    }
+                }
+                client.disconnect().expect("disconnect");
+            })
+            .expect("spawn subscriber");
+        sub_threads.push(t);
+    }
+
+    let mut publisher = ServClient::connect(addr, &ArchProfile::X86_64).expect("publisher connect");
+    let chan = publisher.open_channel(CHANNEL).expect("open channel");
+    let fmt = publisher.register_format(&w.schema).expect("register");
+    let layout = Layout::of(&w.schema, &ArchProfile::X86_64).expect("layout");
+    let native = encode_native(&w.value, &layout).expect("encode");
+
+    let setup_start = Instant::now();
+    while ready.load(Ordering::Acquire) < subscribers {
+        if setup_start.elapsed() > CASE_DEADLINE {
+            panic!("subscribers failed to subscribe in time");
+        }
+        std::thread::yield_now();
+    }
+    for _ in 0..warmup {
+        publisher.publish(chan, fmt, &native).expect("publish");
+    }
+    wait_for(&received, warmup, setup_start, "warmup delivery");
+
+    // Sampled while every subscriber connection is live.
+    let daemon_threads = daemon.thread_count();
+
+    let t0 = Instant::now();
+    for _ in 0..events {
+        publisher.publish(chan, fmt, &native).expect("publish");
+    }
+    wait_for(&received, total, t0, "measured delivery");
+    let elapsed = t0.elapsed();
+
+    for t in sub_threads {
+        t.join().expect("subscriber thread");
+    }
+    publisher.disconnect().expect("publisher disconnect");
+    let stats = daemon.stats();
+    assert_eq!(stats.dropped, 0, "benchmark must run drop-free: {stats:?}");
+    daemon.shutdown();
+
+    let secs = elapsed.as_secs_f64();
+    let per_event_us = secs * 1e6 / events as f64;
+    let per_delivery_us = per_event_us / subscribers as f64;
+    println!(
+        "| {:>4} | {:>8.0} | {:>11.1} | {:>14.3} | {:>14} |",
+        subscribers,
+        events as f64 / secs,
+        per_event_us,
+        per_delivery_us,
+        daemon_threads,
+    );
+}
+
 /// `--faults seed=N` mode: the same topology (one publisher, two
 /// subscribers, one daemon) with every daemon connection wrapped in the
 /// seeded deterministic fault plan — torn writes, read stalls, byte
@@ -380,6 +496,8 @@ fn run_fault_case(seed: u64, events: u64) {
             heartbeat_dead: Duration::from_millis(750),
             stall_budget: Duration::from_millis(250),
             durability: None,
+            shards: 0,
+            max_replay: 32,
         },
     )
     .expect("bind daemon");
@@ -516,6 +634,22 @@ fn main() {
 
     if let Some(seed) = fault_seed {
         run_fault_case(seed, if smoke { 2_000 } else { 10_000 });
+        return;
+    }
+
+    if args.iter().any(|a| a == "--subs") {
+        let counts: &[usize] = if smoke {
+            &[64, 256]
+        } else {
+            &[64, 256, 1024, 4096]
+        };
+        println!("fan-out --subs: connection scaling, 100b records, 4 reactor shards");
+        println!("| subs |     ev/s | ev cost µs | delivery cost µs | daemon threads |");
+        println!("|------|----------|------------|------------------|----------------|");
+        for &subs in counts {
+            let events = (200_000 / subs as u64).max(200);
+            run_subs_case(subs, 50, events);
+        }
         return;
     }
 

@@ -47,7 +47,7 @@ pub trait Subscriber {
     fn accepts(&mut self, format: u32, wire: &[u8]) -> Result<bool, Self::Error>;
 
     /// Deliver the accepted event. The body is shared: subscribers that
-    /// need to keep it (e.g. queue it for a connection's writer thread)
+    /// need to keep it (e.g. queue it for a connection's reactor flush)
     /// clone the [`WireBuf`] — a refcount bump, not a copy.
     ///
     /// `trace` is the event's sampled trace context, when it carries

@@ -427,7 +427,11 @@ impl<S: Write> Write for FaultyStream<S> {
         }
         let mut want = buf.len();
         // Only the first pending op can shape this write; later ops wait
-        // for the offset to reach them.
+        // for the offset to reach them. Nothing is popped or logged until
+        // the inner write *succeeds*: a nonblocking transport returning
+        // `WouldBlock` must leave every op pending so it fires on the
+        // retry instead of being silently consumed.
+        let mut partial_pending = false;
         if let Some(op) = self.write.peek() {
             match op {
                 FaultOp::Disconnect { at } if at <= self.write.offset => {
@@ -440,8 +444,7 @@ impl<S: Write> Write for FaultyStream<S> {
                     ));
                 }
                 FaultOp::PartialWrite { at, max } if at <= self.write.offset => {
-                    self.write.pop();
-                    self.log.push(true, op);
+                    partial_pending = true;
                     want = want.min(max.max(1));
                 }
                 FaultOp::Disconnect { at } | FaultOp::PartialWrite { at, .. } => {
@@ -454,7 +457,9 @@ impl<S: Write> Write for FaultyStream<S> {
         }
         let want = want.max(1).min(buf.len());
         // Apply any corruption landing inside this write to a scratch
-        // copy, so the caller's buffer is never mutated.
+        // copy, so the caller's buffer is never mutated. The ops stay in
+        // the plan for now — corrupted bytes past what the transport
+        // accepts are re-corrupted identically on the retry.
         let end = self.write.offset + want as u64;
         let mut corrupted = false;
         let mut probe = self.write.next;
@@ -462,30 +467,28 @@ impl<S: Write> Write for FaultyStream<S> {
             if op.at() >= end {
                 break;
             }
-            if let FaultOp::CorruptByte { .. } = op {
-                corrupted = true;
-                break;
+            if let FaultOp::CorruptByte { at, .. } = op {
+                if at >= self.write.offset {
+                    corrupted = true;
+                    break;
+                }
             }
             probe += 1;
         }
         let n = if corrupted {
             self.scratch.clear();
             self.scratch.extend_from_slice(&buf[..want]);
-            while let Some(op) = self.write.peek() {
-                match op {
-                    FaultOp::CorruptByte { at, xor } if at < end => {
-                        self.write.pop();
-                        if at >= self.write.offset {
-                            self.scratch[(at - self.write.offset) as usize] ^= xor;
-                            self.log.push(true, op);
-                        }
-                    }
-                    FaultOp::ReadStall { at, .. } if at < end => {
-                        self.write.pop();
-                        let _ = at;
-                    }
-                    _ => break,
+            let mut i = self.write.next;
+            while let Some(op) = self.write.ops.get(i).copied() {
+                if op.at() >= end {
+                    break;
                 }
+                if let FaultOp::CorruptByte { at, xor } = op {
+                    if at >= self.write.offset {
+                        self.scratch[(at - self.write.offset) as usize] ^= xor;
+                    }
+                }
+                i += 1;
             }
             let scratch = std::mem::take(&mut self.scratch);
             let r = self.inner.write(&scratch);
@@ -494,7 +497,31 @@ impl<S: Write> Write for FaultyStream<S> {
         } else {
             self.inner.write(&buf[..want])?
         };
-        self.write.offset += n as u64;
+        // The write landed: now retire the ops it consumed, bounded by the
+        // bytes the transport actually accepted.
+        let accepted_end = self.write.offset + n as u64;
+        if partial_pending {
+            if let Some(op) = self.write.pop() {
+                self.log.push(true, op);
+            }
+        }
+        while let Some(op) = self.write.peek() {
+            match op {
+                FaultOp::CorruptByte { at, xor } if at < accepted_end => {
+                    self.write.pop();
+                    let _ = xor;
+                    if at >= self.write.offset {
+                        self.log.push(true, op);
+                    }
+                }
+                FaultOp::ReadStall { at, .. } if at < accepted_end => {
+                    self.write.pop();
+                    let _ = at;
+                }
+                _ => break,
+            }
+        }
+        self.write.offset = accepted_end;
         Ok(n)
     }
 
@@ -652,6 +679,54 @@ mod tests {
             FaultPlan::from_seed(2),
             "distinct seeds produce distinct plans"
         );
+    }
+
+    #[test]
+    fn write_faults_survive_wouldblock_and_fire_on_retry() {
+        /// Refuses the first attempt at every offset, then accepts — a
+        /// nonblocking socket with a momentarily full buffer.
+        struct Congested {
+            out: Vec<u8>,
+            open: bool,
+        }
+        impl Write for Congested {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if !self.open {
+                    self.open = true;
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+                }
+                self.open = false;
+                self.out.extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let plan = FaultPlan::new().partial_write(0, 3).corrupt_write(5, 0x80);
+        let log = FaultLog::new();
+        let mut s = FaultyStream::new(
+            Congested {
+                out: Vec::new(),
+                open: false,
+            },
+            plan,
+            log.clone(),
+        );
+        let data = [0u8; 10];
+        let mut written = 0;
+        while written < data.len() {
+            match s.write(&data[written..]) {
+                Ok(n) => written += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(e) => panic!("unexpected write error: {e}"),
+            }
+        }
+        // Both faults fired exactly once despite every offset first
+        // hitting WouldBlock: the truncation clamped the opening write
+        // and the corruption landed at byte 5.
+        assert_eq!(s.get_ref().out, [0, 0, 0, 0, 0, 0x80, 0, 0, 0, 0]);
+        assert_eq!(log.direction(true).len(), 2);
     }
 
     #[test]

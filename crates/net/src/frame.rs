@@ -521,6 +521,276 @@ pub fn read_frame(r: &mut impl Read) -> Result<Frame, FrameError> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Nonblocking-path codec: incremental decode + resumable batched writes.
+
+/// Read-side scratch size for [`FrameDecoder::fill`] — one `read(2)` pulls
+/// up to this much off the socket per call.
+const DECODE_SCRATCH: usize = 64 * 1024;
+
+/// Accumulation threshold past which the decoder compacts its buffer by
+/// memmoving unconsumed bytes to the front rather than letting the
+/// consumed prefix grow without bound.
+const COMPACT_THRESHOLD: usize = 16 * 1024;
+
+/// Incremental frame decoder for nonblocking streams.
+///
+/// The blocking read path ([`read_frame`]) can simply block until a frame
+/// completes; a readiness loop cannot — a wakeup delivers *some* bytes,
+/// which may be half a header, three frames and a tail, or the middle of
+/// a body. `FrameDecoder` owns that reassembly: [`fill`](Self::fill)
+/// moves whatever the socket has into an internal buffer, and
+/// [`next`](Self::next) yields complete frames from it until it runs dry.
+///
+/// Error recovery mirrors the blocking path's session semantics: a
+/// [`FrameError::Corrupt`] frame is consumed (the stream stays in sync —
+/// framing is still trustworthy, the CRC just failed) and decoding
+/// continues with the next frame; a [`FrameError::TooLarge`] header arms
+/// an internal skip state so the announced body is discarded as it
+/// arrives without ever being buffered — the nonblocking equivalent of
+/// [`discard_frame_body`].
+#[derive(Debug)]
+pub struct FrameDecoder {
+    scratch: Box<[u8]>,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`.
+    pos: usize,
+    /// Remaining body bytes of an oversized frame to discard on arrival.
+    skip: u64,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> FrameDecoder {
+        FrameDecoder::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A fresh decoder (one 64 KiB read scratch, empty reassembly buffer).
+    pub fn new() -> FrameDecoder {
+        FrameDecoder {
+            scratch: vec![0u8; DECODE_SCRATCH].into_boxed_slice(),
+            buf: Vec::new(),
+            pos: 0,
+            skip: 0,
+        }
+    }
+
+    /// Bytes buffered but not yet consumed by [`next`](Self::next).
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pull one `read`'s worth of bytes from `r` into the decoder.
+    ///
+    /// Returns the byte count on success — `Ok(0)` means EOF. A
+    /// `WouldBlock` error propagates (the readiness loop's "drained for
+    /// now" signal); `Interrupted` is retried internally. Bytes owed to
+    /// an armed oversized-frame skip are discarded here and still count
+    /// toward the return value.
+    pub fn fill(&mut self, r: &mut impl Read) -> io::Result<usize> {
+        let n = loop {
+            match r.read(&mut self.scratch) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        if n == 0 {
+            return Ok(0);
+        }
+        let mut fresh = &self.scratch[..n];
+        if self.skip > 0 {
+            let discard = (self.skip).min(fresh.len() as u64) as usize;
+            self.skip -= discard as u64;
+            net_metrics().bytes_in.add(discard as u64);
+            fresh = &fresh[discard..];
+        }
+        if !fresh.is_empty() {
+            if self.pos == self.buf.len() {
+                self.buf.clear();
+                self.pos = 0;
+            } else if self.pos >= COMPACT_THRESHOLD {
+                self.buf.drain(..self.pos);
+                self.pos = 0;
+            }
+            self.buf.extend_from_slice(fresh);
+        }
+        Ok(n)
+    }
+
+    /// Decode the next complete frame out of the buffered bytes.
+    ///
+    /// `Ok(None)` means more bytes are needed ([`fill`](Self::fill)
+    /// again on the next readiness event). `Ok(Some(_))` borrows the body
+    /// from the decoder's buffer — process it before the next call.
+    /// `Err(Corrupt)`/`Err(TooLarge)` consume the offending frame and
+    /// leave the decoder in sync for the one after it.
+    // Not an Iterator: items borrow from the decoder's buffer (lending),
+    // and errors are in-band — the signature cannot be `Option<Item>`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<(FrameHeader, &[u8])>, FrameError> {
+        let avail = self.buf.len() - self.pos;
+        if avail < FRAME_HEADER_SIZE {
+            return Ok(None);
+        }
+        let h = &self.buf[self.pos..self.pos + FRAME_HEADER_SIZE];
+        let header = FrameHeader {
+            kind: h[0],
+            a: u32::from_be_bytes([h[1], h[2], h[3], h[4]]),
+            b: u32::from_be_bytes([h[5], h[6], h[7], h[8]]),
+            len: u32::from_be_bytes([h[9], h[10], h[11], h[12]]) as usize,
+            crc: u32::from_be_bytes([h[13], h[14], h[15], h[16]]),
+        };
+        if header.len > MAX_FRAME_BODY {
+            // Consume the header plus any body bytes already buffered and
+            // arm the skip for the rest, so a hostile length never drives
+            // a proportional allocation (same bound as read_frame_body).
+            let buffered_body = (avail - FRAME_HEADER_SIZE).min(header.len);
+            self.pos += FRAME_HEADER_SIZE + buffered_body;
+            self.skip = (header.len - buffered_body) as u64;
+            net_metrics()
+                .bytes_in
+                .add((FRAME_HEADER_SIZE + buffered_body) as u64);
+            return Err(FrameError::TooLarge(header.len));
+        }
+        if avail < FRAME_HEADER_SIZE + header.len {
+            return Ok(None);
+        }
+        let body_start = self.pos + FRAME_HEADER_SIZE;
+        let actual = crc32_finish(crc32_update(
+            header_prefix_crc(&header),
+            &self.buf[body_start..body_start + header.len],
+        ));
+        self.pos += FRAME_HEADER_SIZE + header.len;
+        let m = net_metrics();
+        m.frames_in.inc();
+        m.bytes_in.add((FRAME_HEADER_SIZE + header.len) as u64);
+        if actual != header.crc {
+            m.frames_corrupt.inc();
+            return Err(FrameError::Corrupt {
+                expected: header.crc,
+                actual,
+            });
+        }
+        Ok(Some((
+            header,
+            &self.buf[body_start..body_start + header.len],
+        )))
+    }
+}
+
+/// What one [`write_frames_nonblocking`] call accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushProgress {
+    /// Frames written to completion — the caller drains exactly this many
+    /// from the front of its pending queue.
+    pub frames_done: usize,
+    /// Bytes written by this call (partial frames included).
+    pub bytes: usize,
+    /// The socket refused further bytes (`WouldBlock`): the caller should
+    /// arm writable interest and resume on the next wakeup.
+    pub blocked: bool,
+}
+
+/// Batched vectored writes for a nonblocking stream, resumable across
+/// `WouldBlock` at any byte boundary.
+///
+/// `cursor` is the connection's partial-write state: how many bytes of
+/// `frames[0]` a previous call already put on the wire (`0` for a fresh
+/// queue). On return it holds the same for the new front of the queue —
+/// after the caller drains `frames_done` frames. Headers are recomputed
+/// deterministically from the frame on resume, so only the byte offset
+/// needs remembering, never header bytes.
+///
+/// The batching shape matches [`write_frames`]: up to [`MAX_WRITE_BATCH`]
+/// frames (stack headers + borrowed bodies) per `writev`.
+pub fn write_frames_nonblocking(
+    w: &mut impl Write,
+    frames: &[Frame],
+    cursor: &mut usize,
+) -> io::Result<FlushProgress> {
+    let m = net_metrics();
+    let mut done = 0usize;
+    let mut bytes = 0usize;
+    let mut skip = *cursor;
+    let mut blocked = false;
+    while done < frames.len() {
+        let chunk = &frames[done..(done + MAX_WRITE_BATCH).min(frames.len())];
+        debug_assert!(skip < FRAME_HEADER_SIZE + chunk[0].body.len());
+        let mut headers = [[0u8; FRAME_HEADER_SIZE]; MAX_WRITE_BATCH];
+        for (h, frame) in headers.iter_mut().zip(chunk) {
+            debug_assert!(frame.body.len() <= MAX_FRAME_BODY);
+            *h = encode_header(frame);
+        }
+        let mut slices = [IoSlice::new(&[]); 2 * MAX_WRITE_BATCH];
+        let mut n = 0;
+        for (i, (h, frame)) in headers.iter().zip(chunk).enumerate() {
+            // The in-progress front frame enters the iovec list at its
+            // resume offset, which may fall inside the header or the body.
+            let (hdr, body): (&[u8], &[u8]) = if i == 0 && skip > 0 {
+                if skip < FRAME_HEADER_SIZE {
+                    (&h[skip..], &frame.body)
+                } else {
+                    (&[], &frame.body[skip - FRAME_HEADER_SIZE..])
+                }
+            } else {
+                (&h[..], &frame.body)
+            };
+            if !hdr.is_empty() {
+                slices[n] = IoSlice::new(hdr);
+                n += 1;
+            }
+            if !body.is_empty() {
+                slices[n] = IoSlice::new(body);
+                n += 1;
+            }
+        }
+        let written = match w.write_vectored(&slices[..n]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "failed to write whole frame batch",
+                ))
+            }
+            Ok(written) => written,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                blocked = true;
+                break;
+            }
+            Err(e) => return Err(e),
+        };
+        bytes += written;
+        m.writes.inc();
+        m.bytes_out.add(written as u64);
+        // Attribute the written bytes to frames: those fully covered are
+        // finished; the remainder becomes the new front frame's cursor.
+        let mut rem = written;
+        let mut fin = 0usize;
+        for (i, frame) in chunk.iter().enumerate() {
+            let left = FRAME_HEADER_SIZE + frame.body.len() - if i == 0 { skip } else { 0 };
+            if rem < left {
+                break;
+            }
+            rem -= left;
+            fin += 1;
+        }
+        if fin > 0 {
+            m.frames_out.add(fin as u64);
+            m.write_batch.record(fin as u64);
+        }
+        skip = if fin == 0 { skip + rem } else { rem };
+        done += fin;
+    }
+    *cursor = skip;
+    Ok(FlushProgress {
+        frames_done: done,
+        bytes,
+        blocked,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -769,5 +1039,190 @@ mod tests {
             read_frame(&mut TimeoutReader),
             Err(FrameError::Timeout)
         ));
+    }
+
+    /// Yields at most `step` bytes per read — a socket delivering a frame
+    /// stream in arbitrary fragments.
+    struct Dribble {
+        data: Vec<u8>,
+        pos: usize,
+        step: usize,
+    }
+    impl Read for Dribble {
+        fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+            let n = out.len().min(self.step).min(self.data.len() - self.pos);
+            out[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn decoder_reassembles_frames_from_any_fragmentation() {
+        let frames = [
+            Frame::control(0x10, 7, 9),
+            Frame::with_body(0x21, 1, 2, (0u8..200).collect::<Vec<u8>>()),
+            Frame::with_body(0x22, 3, 4, b"tail".to_vec()),
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            write_frame(&mut wire, f).unwrap();
+        }
+        // Worst case: one byte per read. Every header and body boundary
+        // is split.
+        for step in [1usize, 3, 16, 4096] {
+            let mut r = Dribble {
+                data: wire.clone(),
+                pos: 0,
+                step,
+            };
+            let mut dec = FrameDecoder::new();
+            let mut got = Vec::new();
+            loop {
+                let n = dec.fill(&mut r).unwrap();
+                while let Some((h, body)) = dec.next().unwrap() {
+                    got.push(Frame::with_body(h.kind, h.a, h.b, body.to_vec()));
+                }
+                if n == 0 {
+                    break;
+                }
+            }
+            assert_eq!(got.as_slice(), &frames, "fragmentation step {step}");
+            assert_eq!(dec.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn decoder_consumes_a_corrupt_frame_and_stays_in_sync() {
+        let good = Frame::with_body(0x21, 1, 2, vec![0xAB; 64]);
+        let tail = Frame::control(0x22, 5, 6);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &good).unwrap();
+        let corrupt_at = FRAME_HEADER_SIZE + 10;
+        wire[corrupt_at] ^= 0x40;
+        write_frame(&mut wire, &tail).unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut r = Cursor::new(wire);
+        dec.fill(&mut r).unwrap();
+        assert!(matches!(dec.next(), Err(FrameError::Corrupt { .. })));
+        let (h, _) = dec.next().unwrap().expect("frame after the corrupt one");
+        assert_eq!((h.kind, h.a, h.b), (0x22, 5, 6));
+    }
+
+    #[test]
+    fn decoder_skips_an_oversized_body_without_buffering_it() {
+        let announced = MAX_FRAME_BODY + 1;
+        let mut bad_header = Vec::new();
+        bad_header.push(0x21u8);
+        bad_header.extend_from_slice(&1u32.to_be_bytes());
+        bad_header.extend_from_slice(&2u32.to_be_bytes());
+        bad_header.extend_from_slice(&(announced as u32).to_be_bytes());
+        bad_header.extend_from_slice(&0u32.to_be_bytes());
+        let mut tail_wire = Vec::new();
+        write_frame(&mut tail_wire, &Frame::control(0x22, 7, 8)).unwrap();
+        // Oversized header, then the announced body (produced lazily, so
+        // the test itself never allocates 64 MB), then a valid frame.
+        let mut r = Cursor::new(bad_header)
+            .chain(io::repeat(0xEE).take(announced as u64))
+            .chain(Cursor::new(tail_wire));
+        let mut dec = FrameDecoder::new();
+        let mut saw_too_large = false;
+        let mut tail = None;
+        loop {
+            let n = dec.fill(&mut r).unwrap();
+            loop {
+                match dec.next() {
+                    Ok(Some((h, _))) => tail = Some(h),
+                    Ok(None) => break,
+                    Err(FrameError::TooLarge(len)) => {
+                        assert_eq!(len, announced);
+                        saw_too_large = true;
+                    }
+                    Err(e) => panic!("unexpected decode error: {e}"),
+                }
+            }
+            assert!(
+                dec.buffered() <= DECODE_SCRATCH,
+                "oversized body must not accumulate"
+            );
+            if n == 0 {
+                break;
+            }
+        }
+        assert!(saw_too_large);
+        let h = tail.expect("frame after the oversized one");
+        assert_eq!((h.kind, h.a, h.b), (0x22, 7, 8));
+    }
+
+    #[test]
+    fn nonblocking_writes_resume_byte_identically_through_wouldblock() {
+        /// Accepts at most 5 bytes per write and interleaves WouldBlock
+        /// between every acceptance — a congested nonblocking socket.
+        struct Choked {
+            out: Vec<u8>,
+            open: bool,
+        }
+        impl Write for Choked {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                if !self.open {
+                    self.open = true;
+                    return Err(io::Error::new(io::ErrorKind::WouldBlock, "full"));
+                }
+                self.open = false;
+                let n = buf.len().min(5);
+                self.out.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut frames = Vec::new();
+        for i in 0..(MAX_WRITE_BATCH as u32 + 5) {
+            if i % 4 == 0 {
+                frames.push(Frame::control(0x30, i, i));
+            } else {
+                frames.push(Frame::with_body(0x31, i, 0, vec![i as u8; 3 + i as usize]));
+            }
+        }
+        let mut sequential = Vec::new();
+        for f in &frames {
+            write_frame(&mut sequential, f).unwrap();
+        }
+        let mut w = Choked {
+            out: Vec::new(),
+            open: false,
+        };
+        let mut pending: Vec<Frame> = frames.clone();
+        let mut cursor = 0usize;
+        let mut spins = 0;
+        while !pending.is_empty() {
+            let p = write_frames_nonblocking(&mut w, &pending, &mut cursor).unwrap();
+            pending.drain(..p.frames_done);
+            if pending.is_empty() {
+                assert_eq!(cursor, 0, "cursor must clear with the queue");
+            }
+            spins += 1;
+            assert!(spins < 10_000, "writer failed to make progress");
+        }
+        assert_eq!(w.out, sequential);
+    }
+
+    #[test]
+    fn nonblocking_write_progress_accounting_is_exact() {
+        let frames = vec![
+            Frame::with_body(0x21, 1, 2, vec![7u8; 40]),
+            Frame::control(0x22, 3, 4),
+        ];
+        let mut out = Vec::new();
+        let mut cursor = 0usize;
+        let p = write_frames_nonblocking(&mut out, &frames, &mut cursor).unwrap();
+        assert_eq!(p.frames_done, 2);
+        assert!(!p.blocked);
+        assert_eq!(cursor, 0);
+        assert_eq!(p.bytes, out.len());
+        let mut r = Cursor::new(out);
+        assert_eq!(read_frame(&mut r).unwrap(), frames[0]);
+        assert_eq!(read_frame(&mut r).unwrap(), frames[1]);
     }
 }

@@ -27,6 +27,10 @@
 //! * [`buf`] — [`buf::WireBuf`], the shared immutable byte buffer frame
 //!   bodies are made of, so fanning one event out to many connections is
 //!   refcount bumps rather than copies,
+//! * [`poll`] — a dependency-free readiness selector ([`poll::Poller`]
+//!   over raw `ppoll(2)` on Linux, a portable fallback elsewhere) plus a
+//!   cross-thread [`poll::Waker`], the foundation of the serv daemon's
+//!   sharded reactor event loop,
 //! * [`exchange`] — the measurement harness that produces the per-leg cost
 //!   breakdowns the figure binaries print.
 
@@ -39,6 +43,7 @@ pub mod fault;
 pub mod frame;
 pub mod link;
 pub mod metrics;
+pub mod poll;
 pub mod transport;
 
 pub use buf::WireBuf;
@@ -47,4 +52,5 @@ pub use exchange::{measure_leg, time_avg, LegCosts, RoundTripCosts};
 pub use fault::{FaultLog, FaultOp, FaultPlan, FaultyStream, MaybeFaulty};
 pub use frame::{read_frame, write_frame, Frame, FrameError};
 pub use link::SimLink;
+pub use poll::{poller, Event as PollEvent, Interest, Poller, Waker};
 pub use transport::{duplex_pipe, PipeEnd, TcpPipe, TransportError};

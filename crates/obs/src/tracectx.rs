@@ -34,7 +34,7 @@ pub const HOP_INGRESS: u32 = 1;
 pub const HOP_FILTER: u32 = 2;
 /// Hop kind: the event was enqueued on one subscriber's outbound queue.
 pub const HOP_ENQUEUE: u32 = 3;
-/// Hop kind: a writer thread flushed the event's frame to the socket.
+/// Hop kind: a reactor shard flushed the event's frame to the socket.
 pub const HOP_FLUSH: u32 = 4;
 /// Hop kind: a subscribing client decoded (or zero-copy viewed) the event.
 pub const HOP_DECODE: u32 = 5;

@@ -1,5 +1,6 @@
-//! The event-channel daemon: a thread-per-connection TCP server that
-//! routes published events to subscribers, filtering at the source.
+//! The event-channel daemon: an event-driven TCP server built on sharded
+//! readiness reactors, routing published events to subscribers and
+//! filtering at the source.
 //!
 //! All connections share one [`FormatServer`], so a format registered by
 //! one publisher is known — under the same id — to every session, and its
@@ -19,23 +20,41 @@
 //! frames (acks, format announcements) are exempt so the session itself
 //! cannot be dropped.
 //!
+//! ## Threading model
+//!
+//! Connections do not own threads. The accept loop hands each accepted
+//! socket — switched to nonblocking mode — to one of
+//! [`ServConfig::shards`] *reactor* threads, chosen round-robin. A
+//! reactor owns its slice of connections outright: their registration
+//! with a [`pbio_net::poll::Poller`], their inbound [`FrameDecoder`]
+//! state, their outbound queues, and their flush work. One poll wakeup
+//! drains every readable socket, dispatches the decoded frames through
+//! the same protocol machine a dedicated thread used to run, and then
+//! flushes every connection with queued output via batched vectored
+//! writes ([`write_frames_nonblocking`]), keeping per-connection
+//! partial-write cursors so a full socket buffer suspends — never
+//! blocks — the shard. Cross-thread work (new connections, "this
+//! connection has frames queued" nudges from publishers on other shards)
+//! arrives over a lock-free channel paired with a [`Waker`], so the
+//! daemon's thread count is O(shards), not O(connections): 10k idle
+//! subscribers cost file descriptors, not stacks.
+//!
 //! The fan-out path is allocation-flat: a published event is copied once
-//! into a shared [`WireBuf`] as it is read off the publisher's socket
-//! (its receive scratch comes from a capacity-classed [`BufPool`]), and
-//! every subscriber queue, ANNOUNCE body, and outgoing frame after that
-//! is a refcount bump. Writer threads drain their queues in batches
-//! through vectored writes — a hot connection pays ~one syscall per
+//! into a shared [`WireBuf`] as it is decoded off the publisher's socket,
+//! and every subscriber queue, ANNOUNCE body, and outgoing frame after
+//! that is a refcount bump. A hot connection pays ~one syscall per
 //! [`pbio_net::frame::MAX_WRITE_BATCH`] frames, not per event.
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::convert::Infallible;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use pbio::{BufPool, FormatServer};
 use pbio_chan::dispatch::{
     DeliveryOutcome, Fanout, FanoutObs, FanoutTraceObs, Subscriber, SubscriptionId,
@@ -45,9 +64,10 @@ use pbio_chan::wire::deserialize_predicate;
 use pbio_net::buf::WireBuf;
 use pbio_net::fault::{FaultLog, FaultPlan, MaybeFaulty};
 use pbio_net::frame::{
-    discard_frame_body, read_frame, read_frame_body, read_frame_header, write_frame, write_frames,
-    Frame, FrameError, FRAME_HEADER_SIZE, MAX_WRITE_BATCH,
+    write_frames_nonblocking, Frame, FrameDecoder, FrameError, FrameHeader, FRAME_HEADER_SIZE,
+    MAX_WRITE_BATCH,
 };
+use pbio_net::poll::{poller, source_of, Event as PollEvent, Interest, Poller, RawSource, Waker};
 use pbio_obs::export::{
     hop_schema, hop_value, stats_schema, stats_value, StatsHeader, ROLE_DAEMON,
 };
@@ -62,18 +82,25 @@ use pbio_types::value::encode_native_into;
 
 use crate::protocol::*;
 
-/// How often a blocked connection thread wakes to check for shutdown.
+/// Upper bound on one reactor poll wait: the cadence of shutdown checks
+/// and heartbeat scans when no readiness event arrives sooner.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
-
-/// Receive-buffer size for each connection's read side — large enough to
-/// swallow a full writer batch ([`MAX_WRITE_BATCH`] frames) in one syscall.
-const READ_BUF_SIZE: usize = 64 * 1024;
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServConfig {
     /// Maximum events queued per connection before drop-oldest kicks in.
     pub queue_capacity: usize,
+    /// Reactor shard count: how many event-loop threads share the
+    /// connection population. `0` (the default) sizes from available
+    /// parallelism. Each accepted connection is pinned round-robin to one
+    /// shard for its lifetime.
+    pub shards: usize,
+    /// Maximum `subscribe_from` replay streams running concurrently.
+    /// Replays walk segment logs on short-lived dedicated threads; past
+    /// this bound further `K_SUBSCRIBE_FROM` requests are refused with a
+    /// typed [`E_BUSY`] error instead of spawning without limit.
+    pub max_replay: usize,
     /// How often the daemon publishes a snapshot of its metric registry
     /// on the reserved [`STATS_CHANNEL`] — as an ordinary PBIO record,
     /// through the same fan-out every other event takes. `None` disables
@@ -114,6 +141,8 @@ impl Default for ServConfig {
     fn default() -> ServConfig {
         ServConfig {
             queue_capacity: 256,
+            shards: 0,
+            max_replay: 32,
             stats_interval: Some(Duration::from_secs(1)),
             trace: TraceConfig::default(),
             heartbeat_ping: Duration::from_secs(2),
@@ -182,7 +211,7 @@ pub struct ServStats {
     pub bytes_out: u64,
     /// Frames written as part of a coalesced batch of ≥ 2 frames.
     pub frames_batched: u64,
-    /// Vectored writes issued by writer threads (each covers a whole
+    /// Flush passes issued by reactor shards (each covers a whole
     /// batch; `bytes_out / writes` is the realized batching factor).
     pub writes: u64,
     /// Receive-scratch requests served from the buffer pool.
@@ -226,7 +255,7 @@ struct ServMetrics {
     frames_rejected: Arc<Counter>,
     /// Time handling one received frame (post-read, dispatch included).
     recv_ns: Arc<Histogram>,
-    /// Time in one writer-thread vectored write (whole batch).
+    /// Time in one reactor flush pass over a connection (whole batch).
     send_ns: Arc<Histogram>,
     /// Time fanning one event out to a channel's subscribers.
     fanout_ns: Arc<Histogram>,
@@ -283,29 +312,77 @@ impl ServMetrics {
     }
 }
 
+/// Resolve [`ServConfig::shards`]: an explicit count is honored (capped
+/// at 64); `0` sizes from available parallelism, clamped to a small
+/// range — reactors are I/O-bound, so a handful saturates loopback.
+fn effective_shards(config: &ServConfig) -> usize {
+    if config.shards > 0 {
+        return config.shards.min(64);
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(1, 8)
+}
+
+/// One reactor shard's metric handles, labeled `shard=<index>` so the
+/// `$stats` channel (and `pbio-stats`) can attribute load per event loop.
+struct ShardMetrics {
+    /// Poll returns (readiness events, waker nudges, or timeout ticks).
+    wakeups: Arc<Counter>,
+    /// Inbound frames dispatched per wakeup (batching on the read side).
+    frames_per_wakeup: Arc<Histogram>,
+    /// Readiness events reported per wakeup (ready-queue depth).
+    ready_depth: Arc<Histogram>,
+    /// Flush passes that hit `WouldBlock` mid-batch and parked a
+    /// partial-write cursor for resumption.
+    writev_partials: Arc<Counter>,
+}
+
+impl ShardMetrics {
+    fn resolve(reg: &Registry, shard: usize) -> ShardMetrics {
+        let v = shard.to_string();
+        ShardMetrics {
+            wakeups: reg.counter_labeled("serv_shard_wakeups", "shard", &v),
+            frames_per_wakeup: reg.histogram_labeled("serv_shard_frames_per_wakeup", "shard", &v),
+            ready_depth: reg.histogram_labeled("serv_shard_ready_depth", "shard", &v),
+            writev_partials: reg.counter_labeled("serv_shard_writev_partials", "shard", &v),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Outbound queue: bounded for events, unbounded for control frames.
 
 struct OutboundQ {
     /// Queued frames, each with the trace context it carries (if any) so
-    /// the writer thread can stamp a `flush` hop when it actually hits
+    /// the flushing reactor can stamp a `flush` hop when it actually hits
     /// the socket.
     frames: VecDeque<(Frame, Option<TraceCtx>)>,
     events: usize,
     closed: bool,
-    /// When the queue first overflowed into drop-oldest with no writer
-    /// progress since; cleared every time the writer drains frames. A
+    /// When the queue first overflowed into drop-oldest with no flush
+    /// progress since; cleared every time the reactor drains frames. A
     /// queue that stays in this state past the stall budget marks a
-    /// writer that has stopped moving — dropping events can't help, so
-    /// the connection is escalated to eviction.
+    /// connection that has stopped moving — dropping events can't help,
+    /// so the connection is escalated to eviction.
     stalled_since: Option<Instant>,
 }
 
 struct Outbound {
     q: Mutex<OutboundQ>,
-    ready: Condvar,
     capacity: usize,
     stall_budget: Duration,
+}
+
+/// What [`Outbound::try_pop_batch`] found.
+enum Drained {
+    /// At least one frame was moved into the caller's batch.
+    Got,
+    /// Nothing queued right now; the queue is still open.
+    Empty,
+    /// Closed *and* drained: no frame will ever appear again.
+    Done,
 }
 
 enum Enqueue {
@@ -327,22 +404,23 @@ impl Outbound {
                 closed: false,
                 stalled_since: None,
             }),
-            ready: Condvar::new(),
             capacity: capacity.max(1),
             stall_budget,
         }
     }
 
-    /// Queue a frame for the writer thread. Control frames always fit;
-    /// when the event budget is exhausted the *oldest queued event* is
-    /// discarded to admit the new one (fresh data beats stale data for
-    /// monitoring-style consumers).
+    /// Queue a frame for the owning reactor to flush. Control frames
+    /// always fit; when the event budget is exhausted the *oldest queued
+    /// event* is discarded to admit the new one (fresh data beats stale
+    /// data for monitoring-style consumers).
+    #[cfg(test)]
     fn send(&self, frame: Frame) -> Enqueue {
         self.send_traced(frame, None)
     }
 
-    /// [`Outbound::send`] with the trace context the frame carries, so
-    /// the writer can attribute its socket flush to the trace.
+    /// Enqueue with the trace context the frame carries, so the flushing
+    /// reactor can attribute its socket flush to the trace. Callers go
+    /// through [`ConnShared::send`], which adds the reactor wakeup.
     fn send_traced(&self, frame: Frame, trace: Option<TraceCtx>) -> Enqueue {
         let mut q = self.q.lock().unwrap_or_else(|p| p.into_inner());
         if q.closed {
@@ -366,16 +444,12 @@ impl Outbound {
             q.events += 1;
         }
         q.frames.push_back((frame, trace));
-        drop(q);
-        self.ready.notify_one();
         outcome
     }
 
     fn close(&self) {
         let mut q = self.q.lock().unwrap_or_else(|p| p.into_inner());
         q.closed = true;
-        drop(q);
-        self.ready.notify_all();
     }
 
     /// Events currently queued. Replay threads pace themselves on this
@@ -386,55 +460,53 @@ impl Outbound {
         self.q.lock().unwrap_or_else(|p| p.into_inner()).events
     }
 
-    /// Next frame to write; blocks. `None` once closed *and* drained, so
-    /// already-queued acks still reach the peer after a graceful close.
+    /// Next frame to write, if any; `None` covers both "empty for now"
+    /// and "closed and drained".
     #[cfg(test)]
     fn pop(&self) -> Option<Frame> {
         let mut batch = Vec::with_capacity(1);
         let mut traces = Vec::with_capacity(1);
-        if self.pop_batch(&mut batch, &mut traces, 1) {
-            batch.pop()
-        } else {
-            None
+        match self.try_pop_batch(&mut batch, &mut traces, 1) {
+            Drained::Got => batch.pop(),
+            _ => None,
         }
     }
 
-    /// Drain up to `max` queued frames into `out` (trace contexts into
-    /// the parallel `traces`); blocks until at least one frame is
-    /// available. Returns `false` once closed *and* drained
-    /// (already-queued acks still reach the peer after a graceful close).
-    /// Everything already queued when the writer wakes goes out in one
-    /// batch — the coalescing that turns a hot channel's frame-per-event
-    /// stream into ~one syscall per batch.
-    fn pop_batch(
+    /// Move up to `max` queued frames into `out` (trace contexts into the
+    /// parallel `traces`) without blocking. Everything already queued
+    /// when the reactor flushes goes out in one batch — the coalescing
+    /// that turns a hot channel's frame-per-event stream into ~one
+    /// syscall per batch. [`Drained::Done`] only after close *and* drain,
+    /// so already-queued acks still reach the peer after a graceful
+    /// close.
+    fn try_pop_batch(
         &self,
         out: &mut Vec<Frame>,
         traces: &mut Vec<Option<TraceCtx>>,
         max: usize,
-    ) -> bool {
+    ) -> Drained {
         let mut q = self.q.lock().unwrap_or_else(|p| p.into_inner());
-        loop {
-            if !q.frames.is_empty() {
-                // The writer is draining: whatever overflow episode was
-                // in progress ends here.
-                q.stalled_since = None;
-                while out.len() < max {
-                    let Some((f, t)) = q.frames.pop_front() else {
-                        break;
-                    };
-                    if f.kind == K_EVENT {
-                        q.events -= 1;
-                    }
-                    out.push(f);
-                    traces.push(t);
-                }
-                return true;
-            }
-            if q.closed {
-                return false;
-            }
-            q = self.ready.wait(q).unwrap_or_else(|p| p.into_inner());
+        if q.frames.is_empty() {
+            return if q.closed {
+                Drained::Done
+            } else {
+                Drained::Empty
+            };
         }
+        // The reactor is draining: whatever overflow episode was in
+        // progress ends here.
+        q.stalled_since = None;
+        while out.len() < max {
+            let Some((f, t)) = q.frames.pop_front() else {
+                break;
+            };
+            if f.kind == K_EVENT {
+                q.events -= 1;
+            }
+            out.push(f);
+            traces.push(t);
+        }
+        Drained::Got
     }
 }
 
@@ -545,6 +617,38 @@ struct ConnCounters {
     writes: AtomicU64,
 }
 
+/// One socket, many roles: the reactor's read wrapper, its write wrapper
+/// and the eviction handle in [`ConnShared`] all hold the same
+/// `TcpStream` (whose I/O methods take `&self`), so a connection costs
+/// exactly one fd. `O_NONBLOCK` is set once, before the shares are made.
+struct SharedTcp(Arc<TcpStream>);
+
+impl io::Read for SharedTcp {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        io::Read::read(&mut &*self.0, buf)
+    }
+}
+
+impl io::Write for SharedTcp {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        io::Write::write(&mut &*self.0, buf)
+    }
+
+    fn write_vectored(&mut self, bufs: &[io::IoSlice<'_>]) -> io::Result<usize> {
+        io::Write::write_vectored(&mut &*self.0, bufs)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        io::Write::flush(&mut &*self.0)
+    }
+}
+
+impl std::os::fd::AsRawFd for SharedTcp {
+    fn as_raw_fd(&self) -> std::os::fd::RawFd {
+        std::os::fd::AsRawFd::as_raw_fd(&*self.0)
+    }
+}
+
 struct ConnShared {
     id: u32,
     outbound: Outbound,
@@ -552,35 +656,70 @@ struct ConnShared {
     announced: Mutex<HashSet<u32>>,
     alive: AtomicBool,
     counters: ConnCounters,
-    /// Capability bits granted in the HELLO ack ([`CAP_TRACE`]…). Only
-    /// capable subscribers receive events with the trace trailer flagged.
-    caps: u32,
-    /// A raw handle on the connection's socket, for forced eviction: a
-    /// shutdown here unblocks both the reader (timeout/EOF) and a writer
-    /// stuck in a full socket buffer, which closing the queue cannot do.
-    raw: Mutex<Option<TcpStream>>,
+    /// Capability bits granted in the HELLO ack ([`CAP_TRACE`]…), `0`
+    /// until the handshake completes. Only capable subscribers receive
+    /// events with the trace trailer flagged.
+    caps: AtomicU32,
+    /// A handle on the connection's socket, for forced eviction: a
+    /// shutdown here surfaces as a readiness event on the owning reactor
+    /// (the poll reports the severed fd), which closing the queue alone
+    /// cannot do.
+    raw: Mutex<Option<Arc<TcpStream>>>,
     /// Live subscriptions registered *by replay threads* at their
-    /// replay→live handoff (`K_SUBSCRIBE_FROM`). The connection thread
+    /// replay→live handoff (`K_SUBSCRIBE_FROM`). The owning reactor
     /// cannot own these — it never sees them created — so teardown
     /// drains this list instead.
     durable_subs: Mutex<Vec<(u32, SubscriptionId)>>,
+    /// The reactor shard this connection is pinned to, for flush nudges.
+    shard: Arc<ShardHandle>,
+    /// True while a [`ShardMsg::Writable`] nudge for this connection is
+    /// in flight, so N queued frames cost one cross-thread message, not
+    /// N. Cleared by the reactor when it processes the nudge — *before*
+    /// draining the queue, so a send racing the drain can never be lost.
+    write_queued: AtomicBool,
 }
 
 impl ConnShared {
-    /// Force the connection down from outside its own threads: stop the
-    /// fan-out feeding it, wake its writer, and sever the socket so both
-    /// loops observe the end promptly. Idempotent.
+    /// Force the connection down from outside its owning reactor: stop
+    /// the fan-out feeding it and sever the socket so the reactor
+    /// observes the end promptly (as a readiness event). Idempotent.
     fn evict(&self) {
         self.alive.store(false, Ordering::Relaxed);
         self.outbound.close();
         let mut raw = self.raw.lock().unwrap_or_else(|p| p.into_inner());
-        // Take the handle out so the fd drops now: the resume session
-        // table may keep this `ConnShared` alive long after both loops
-        // exit, and a lingering clone would hold the socket open — the
-        // peer would see silence instead of the EOF that tells it to
-        // start reconnecting.
+        // The shutdown (not the drop) is what the peer observes: it
+        // severs the shared socket for every holder at once, so the peer
+        // sees EOF and starts reconnecting even while the owning reactor
+        // still holds its wrappers. Taking the handle out makes repeat
+        // evictions free and releases this clone's refcount.
         if let Some(s) = raw.take() {
             let _ = s.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn caps(&self) -> u32 {
+        self.caps.load(Ordering::Relaxed)
+    }
+
+    /// Queue a frame and nudge the owning reactor to flush it.
+    fn send(&self, frame: Frame) -> Enqueue {
+        self.send_traced(frame, None)
+    }
+
+    /// [`ConnShared::send`] with the trace context the frame carries.
+    fn send_traced(&self, frame: Frame, trace: Option<TraceCtx>) -> Enqueue {
+        let outcome = self.outbound.send_traced(frame, trace);
+        if matches!(outcome, Enqueue::Sent | Enqueue::DroppedOldest) {
+            self.notify_writable();
+        }
+        outcome
+    }
+
+    /// Tell the owning reactor this connection has frames to flush —
+    /// deduplicated, so a burst of sends costs one message and one wake.
+    fn notify_writable(&self) {
+        if !self.write_queued.swap(true, Ordering::AcqRel) {
+            self.shard.notify(ShardMsg::Writable(self.id));
         }
     }
 
@@ -665,12 +804,8 @@ impl Subscriber for RemoteSubscriber {
         if !ann.contains(&format) {
             if let Some(meta) = self.formats.meta(format) {
                 // The registry's metadata is already shared storage.
-                self.conn.outbound.send(Frame::with_body(
-                    K_ANNOUNCE,
-                    format,
-                    0,
-                    WireBuf::from(meta),
-                ));
+                self.conn
+                    .send(Frame::with_body(K_ANNOUNCE, format, 0, WireBuf::from(meta)));
                 ann.insert(format);
             }
         }
@@ -684,8 +819,9 @@ impl Subscriber for RemoteSubscriber {
         // cannot be expressed as a suffix slice — offset without the
         // trace trailer sandwiched under it — pays a copy; it only
         // occurs for a durable subscriber on a pre-tracing client.
-        let want_trace = trace.is_some() && self.conn.caps & CAP_TRACE != 0;
-        let want_offset = has_offset && self.conn.caps & CAP_DURABLE != 0;
+        let caps = self.conn.caps();
+        let want_trace = trace.is_some() && caps & CAP_TRACE != 0;
+        let want_offset = has_offset && caps & CAP_DURABLE != 0;
         let trace_len = if trace.is_some() {
             TRACE_TRAILER_LEN
         } else {
@@ -706,7 +842,7 @@ impl Subscriber for RemoteSubscriber {
             }
         };
         // Per-subscriber cost of an event: one refcount bump.
-        let outcome = self.conn.outbound.send_traced(
+        let outcome = self.conn.send_traced(
             Frame::with_body(K_EVENT, self.channel, b, body),
             trace.copied(),
         );
@@ -824,6 +960,11 @@ struct State {
     store_q: Arc<StoreQueue>,
     /// Replay threads spawned for `K_SUBSCRIBE_FROM`, joined at shutdown.
     replay_threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Concurrency bound on those replay threads ([`ServConfig::max_replay`]).
+    max_replay: usize,
+    /// Replay threads currently running; a `K_SUBSCRIBE_FROM` that would
+    /// push this past `max_replay` is refused with [`E_BUSY`].
+    active_replays: AtomicUsize,
 }
 
 impl State {
@@ -874,6 +1015,8 @@ impl State {
             logs: Mutex::new(HashMap::new()),
             store_q: Arc::new(StoreQueue::new(4096)),
             replay_threads: Mutex::new(Vec::new()),
+            max_replay: config.max_replay.max(1),
+            active_replays: AtomicUsize::new(0),
         };
         state.stats_channel = state.open_channel(STATS_CHANNEL);
         state.trace_channel = state.open_channel(TRACE_CHANNEL);
@@ -1023,16 +1166,17 @@ impl State {
     }
 }
 
-/// The event-channel daemon. Binding spawns the accept loop; dropping (or
-/// calling [`ServDaemon::shutdown`]) stops it and joins every connection
-/// thread.
+/// The event-channel daemon. Binding spawns the accept loop and the
+/// reactor shards; dropping (or calling [`ServDaemon::shutdown`]) stops
+/// them and joins every thread.
 pub struct ServDaemon {
     state: Arc<State>,
     addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
     stats_thread: Option<JoinHandle<()>>,
     store_thread: Option<JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shard_threads: Vec<JoinHandle<()>>,
+    shards: Vec<Arc<ShardHandle>>,
 }
 
 impl ServDaemon {
@@ -1058,12 +1202,32 @@ impl ServDaemon {
             }
             None => None,
         };
-        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let shard_count = effective_shards(&config);
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut shard_threads = Vec::with_capacity(shard_count);
+        for i in 0..shard_count {
+            let (p, waker) = poller()?;
+            let (tx, rx) = unbounded();
+            let handle = Arc::new(ShardHandle {
+                tx,
+                waker,
+                wake_pending: AtomicBool::new(false),
+            });
+            let sm = ShardMetrics::resolve(&state.registry, i);
+            let shard_state = state.clone();
+            let shard_handle = handle.clone();
+            shard_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("pbio-serv-shard{i}"))
+                    .spawn(move || reactor_loop(shard_state, shard_handle, rx, p, sm))?,
+            );
+            shards.push(handle);
+        }
         let accept_state = state.clone();
-        let accept_conns = conn_threads.clone();
+        let accept_shards = shards.clone();
         let accept_thread = std::thread::Builder::new()
             .name("pbio-serv-accept".into())
-            .spawn(move || accept_loop(listener, accept_state, accept_conns))?;
+            .spawn(move || accept_loop(listener, accept_state, accept_shards))?;
         let stats_thread =
             if config.stats_interval.is_some() || config.trace.publish_interval.is_some() {
                 let bg_state = state.clone();
@@ -1083,8 +1247,20 @@ impl ServDaemon {
             accept_thread: Some(accept_thread),
             stats_thread,
             store_thread,
-            conn_threads,
+            shard_threads,
+            shards,
         })
+    }
+
+    /// How many threads this daemon is running right now: the accept
+    /// loop, the reactor shards, the optional stats and store threads,
+    /// and any in-flight replay streams. Notably *not* a function of the
+    /// connection count — the property the reactor core exists for.
+    pub fn thread_count(&self) -> usize {
+        1 + self.shard_threads.len()
+            + usize::from(self.stats_thread.is_some())
+            + usize::from(self.store_thread.is_some())
+            + self.state.active_replays.load(Ordering::Relaxed)
     }
 
     /// The address the daemon is listening on.
@@ -1149,11 +1325,12 @@ impl ServDaemon {
         if let Some(h) = self.stats_thread.take() {
             let _ = h.join();
         }
-        let handles: Vec<_> = {
-            let mut conns = self.conn_threads.lock().unwrap_or_else(|p| p.into_inner());
-            conns.drain(..).collect()
-        };
-        for h in handles {
+        // Reactors check the shutdown flag at the top of every wakeup;
+        // fire the wakers so none of them sits out its poll timeout.
+        for s in &self.shards {
+            s.waker.wake();
+        }
+        for h in self.shard_threads.drain(..) {
             let _ = h.join();
         }
         // Replay threads observe the shutdown flag (or their dead conns)
@@ -1186,7 +1363,7 @@ impl Drop for ServDaemon {
     }
 }
 
-fn accept_loop(listener: TcpListener, state: Arc<State>, conns: Arc<Mutex<Vec<JoinHandle<()>>>>) {
+fn accept_loop(listener: TcpListener, state: Arc<State>, shards: Vec<Arc<ShardHandle>>) {
     loop {
         let stream = match listener.accept() {
             Ok((s, _)) => s,
@@ -1200,13 +1377,47 @@ fn accept_loop(listener: TcpListener, state: Arc<State>, conns: Arc<Mutex<Vec<Jo
         if state.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let conn_state = state.clone();
-        let handle = std::thread::Builder::new()
-            .name("pbio-serv-conn".into())
-            .spawn(move || handle_connection(stream, conn_state));
-        if let Ok(h) = handle {
-            conns.lock().unwrap_or_else(|p| p.into_inner()).push(h);
+        let _ = stream.set_nodelay(true);
+        // Nonblocking before the clones: O_NONBLOCK lives on the shared
+        // open file description, so both halves inherit it.
+        if stream.set_nonblocking(true).is_err() {
+            continue;
         }
+        let conn_seq = state.next_conn.fetch_add(1, Ordering::Relaxed);
+        let conn_id = conn_seq as u32;
+        // One fd per connection: the read wrapper, the write wrapper and
+        // the eviction handle all share a single socket (TcpStream I/O
+        // takes `&self`). Connection capacity is bounded by the fd
+        // rlimit, so a dup per half would cost a third of it.
+        let sock = Arc::new(stream);
+        // Fault mode wraps both halves of the connection in deterministic
+        // injection, with the plan split per direction so read and write
+        // offsets advance independently. The plan derives from (seed,
+        // conn sequence): every connection of a seeded run misbehaves its
+        // own reproducible way. Unseeded, both wrappers are pass-through
+        // enums.
+        let plan = state.fault_seed.map(|s| FaultPlan::for_conn(s, conn_seq));
+        let fault_log = FaultLog::new();
+        let read_plan = plan.as_ref().map(FaultPlan::read_half);
+        let write_plan = plan.as_ref().map(FaultPlan::write_half);
+        let rd = MaybeFaulty::new(SharedTcp(sock.clone()), read_plan, fault_log.clone());
+        let wr = MaybeFaulty::new(SharedTcp(sock.clone()), write_plan, fault_log);
+        let shard = shards[conn_seq as usize % shards.len()].clone();
+        let conn = Arc::new(ConnShared {
+            id: conn_id,
+            outbound: Outbound::new(state.queue_capacity, state.stall_budget),
+            announced: Mutex::new(HashSet::new()),
+            alive: AtomicBool::new(true),
+            counters: ConnCounters::default(),
+            caps: AtomicU32::new(0),
+            raw: Mutex::new(Some(sock)),
+            durable_subs: Mutex::new(Vec::new()),
+            shard: shard.clone(),
+            write_queued: AtomicBool::new(false),
+        });
+        state.track(&conn);
+        let fd = source_of(rd.get_ref());
+        shard.notify(ShardMsg::NewConn(Box::new(NewConn { conn, rd, wr, fd })));
     }
 }
 
@@ -1288,554 +1499,467 @@ fn publish_trace(state: &State) {
 }
 
 // ---------------------------------------------------------------------------
-// Per-connection protocol machine.
+// Reactor shards: the event-driven connection core.
 
-fn send_error(out: &Outbound, code: u32, message: impl Into<String>) {
-    out.send(Frame::with_body(
-        K_ERROR,
-        code,
-        0,
-        message.into().into_bytes(),
-    ));
+/// A reactor shard's cross-thread face: the message channel plus the
+/// waker that interrupts its poll, with a latch so message bursts
+/// collapse into one wakeup.
+struct ShardHandle {
+    tx: Sender<ShardMsg>,
+    waker: Waker,
+    /// Set when a wake is already pending; reset by the reactor at the
+    /// top of every wakeup, before it drains the channel.
+    wake_pending: AtomicBool,
 }
 
-fn handle_connection(stream: TcpStream, state: Arc<State>) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let conn_seq = state.next_conn.fetch_add(1, Ordering::Relaxed);
-    let conn_id = conn_seq as u32;
-    let raw = match stream.try_clone() {
-        Ok(r) => r,
-        Err(_) => return,
-    };
-    let writer_stream = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    // Fault mode wraps both halves of the connection in deterministic
-    // injection, with the plan split per direction so read and write
-    // offsets advance independently. The plan derives from (seed, conn
-    // sequence): every connection of a seeded run misbehaves its own
-    // reproducible way. Unseeded, both wrappers are pass-through enums.
-    let plan = state.fault_seed.map(|s| FaultPlan::for_conn(s, conn_seq));
-    let fault_log = FaultLog::new();
-    let read_plan = plan.as_ref().map(FaultPlan::read_half);
-    let write_plan = plan.as_ref().map(FaultPlan::write_half);
-    let writer_stream = MaybeFaulty::new(writer_stream, write_plan, fault_log.clone());
-    // Buffer the receive side: a publisher burst (or a client's batched
-    // writer) lands in ~one read syscall instead of two per frame.
-    let mut stream = io::BufReader::with_capacity(
-        READ_BUF_SIZE,
-        MaybeFaulty::new(stream, read_plan, fault_log),
-    );
+impl ShardHandle {
+    fn notify(&self, msg: ShardMsg) {
+        let _ = self.tx.send(msg);
+        if !self.wake_pending.swap(true, Ordering::AcqRel) {
+            self.waker.wake();
+        }
+    }
+}
 
-    // --- Handshake: one HELLO, answered directly (no writer thread yet).
-    let hello = loop {
-        match read_frame(&mut stream) {
-            Ok(f) => break f,
-            Err(FrameError::Timeout) => {
-                if state.shutdown.load(Ordering::SeqCst) {
-                    return;
+/// Cross-thread work handed to a reactor shard.
+enum ShardMsg {
+    /// A freshly accepted connection to adopt.
+    NewConn(Box<NewConn>),
+    /// Connection `id` has queued outbound frames to flush.
+    Writable(u32),
+}
+
+/// Everything the accept loop hands a shard for one new connection.
+struct NewConn {
+    conn: Arc<ConnShared>,
+    rd: MaybeFaulty<SharedTcp>,
+    wr: MaybeFaulty<SharedTcp>,
+    fd: RawSource,
+}
+
+/// The handshake state machine: one HELLO, then the full protocol.
+enum Phase {
+    AwaitHello,
+    Active,
+}
+
+/// One connection's reactor-side state, owned exclusively by its shard.
+struct ConnState {
+    conn: Arc<ConnShared>,
+    rd: MaybeFaulty<SharedTcp>,
+    wr: MaybeFaulty<SharedTcp>,
+    fd: RawSource,
+    /// Inbound frame reassembly across partial reads.
+    decoder: FrameDecoder,
+    phase: Phase,
+    /// Live subscriptions this session registered via `K_SUBSCRIBE`.
+    subscriptions: Vec<(u32, SubscriptionId)>,
+    /// Frames popped from the outbound queue but not yet fully written
+    /// (with their parallel trace contexts): `cursor` bytes of
+    /// `pending[0]` are already on the wire — the partial-write
+    /// resumption state a blocking writer never needed.
+    pending: Vec<Frame>,
+    pending_traces: Vec<Option<TraceCtx>>,
+    cursor: usize,
+    /// The last flush hit `WouldBlock` and wants writable-readiness.
+    wants_write: bool,
+    /// Whether writable interest is currently armed with the poller.
+    armed_write: bool,
+    /// Whether this session passed HELLO and was counted in
+    /// `active_connections`.
+    counted_active: bool,
+    /// The session is over; flush what is queued, then tear down.
+    closing: bool,
+    last_rx: Instant,
+    last_ping: Instant,
+    ping_token: u32,
+}
+
+impl ConnState {
+    fn new(nc: NewConn) -> ConnState {
+        let NewConn { conn, rd, wr, fd } = nc;
+        ConnState {
+            conn,
+            rd,
+            wr,
+            fd,
+            decoder: FrameDecoder::new(),
+            phase: Phase::AwaitHello,
+            subscriptions: Vec::new(),
+            pending: Vec::new(),
+            pending_traces: Vec::new(),
+            cursor: 0,
+            wants_write: false,
+            armed_write: false,
+            counted_active: false,
+            closing: false,
+            last_rx: Instant::now(),
+            last_ping: Instant::now(),
+            ping_token: 0,
+        }
+    }
+}
+
+/// The slice of a connection's state the protocol machine may touch
+/// while the decoder's borrow of the inbound buffer is live.
+struct SessionCtx<'a> {
+    conn: &'a Arc<ConnShared>,
+    subscriptions: &'a mut Vec<(u32, SubscriptionId)>,
+    phase: &'a mut Phase,
+    closing: &'a mut bool,
+    counted_active: &'a mut bool,
+}
+
+/// Holds one of the daemon's bounded replay slots; dropping it — however
+/// the replay thread exits — releases the slot.
+struct ReplayGuard(Arc<State>);
+
+impl Drop for ReplayGuard {
+    fn drop(&mut self) {
+        self.0.active_replays.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// One shard's event loop: poll for readiness, adopt new connections,
+/// decode and dispatch inbound frames, flush outbound queues, and run
+/// the heartbeat scan — for every connection the shard owns, on one
+/// thread.
+fn reactor_loop(
+    state: Arc<State>,
+    shard: Arc<ShardHandle>,
+    rx: Receiver<ShardMsg>,
+    mut poller: Box<dyn Poller>,
+    sm: ShardMetrics,
+) {
+    let mut conns: HashMap<u32, ConnState> = HashMap::new();
+    let mut events: Vec<PollEvent> = Vec::new();
+    let mut last_hb = Instant::now();
+    loop {
+        events.clear();
+        let _ = poller.poll(&mut events, POLL_INTERVAL);
+        // Reset the wake latch *before* draining the channel: a notify
+        // racing this drain either lands in the channel in time to be
+        // seen now, or re-latches and fires the waker for the next poll.
+        shard.wake_pending.store(false, Ordering::Release);
+        sm.wakeups.inc();
+        sm.ready_depth.record(events.len() as u64);
+        while let Ok(msg) = rx.try_recv() {
+            match msg {
+                ShardMsg::NewConn(nc) => {
+                    let cs = ConnState::new(*nc);
+                    poller.register(cs.fd, cs.conn.id as usize, Interest::READABLE);
+                    conns.insert(cs.conn.id, cs);
+                }
+                ShardMsg::Writable(id) => {
+                    let Some(mut cs) = conns.remove(&id) else {
+                        continue;
+                    };
+                    // Clear the nudge latch before draining: a send that
+                    // races this flush either lands in the queue in time
+                    // to be flushed now, or re-latches a fresh nudge.
+                    cs.conn.write_queued.store(false, Ordering::Release);
+                    if flush_and_rearm(&state, &sm, poller.as_mut(), &mut cs) {
+                        conns.insert(id, cs);
+                    } else {
+                        teardown_conn(&state, poller.as_mut(), cs);
+                    }
                 }
             }
-            Err(_) => return,
         }
-    };
-    if hello.kind != K_HELLO {
-        let _ = write_frame(
-            stream.get_mut(),
-            &Frame::with_body(K_ERROR, E_PROTOCOL, 0, b"expected HELLO".to_vec()),
-        );
-        return;
-    }
-    if hello.a != PROTOCOL_VERSION {
-        let msg = format!("unsupported protocol version {}", hello.a);
-        let _ = write_frame(
-            stream.get_mut(),
-            &Frame::with_body(K_ERROR, E_VERSION, 0, msg.into_bytes()),
-        );
-        return;
-    }
-    let arch_ok = std::str::from_utf8(&hello.body)
-        .ok()
-        .and_then(ArchProfile::by_name)
-        .is_some();
-    if !arch_ok {
-        let _ = write_frame(
-            stream.get_mut(),
-            &Frame::with_body(K_ERROR, E_ARCH, 0, b"unknown architecture profile".to_vec()),
-        );
-        return;
-    }
-    // Grant the intersection of what the client offered and what this
-    // daemon speaks, and sample our clock while serving the HELLO — the
-    // client's half of the offset exchange brackets this read.
-    let mut supported = CAP_TRACE | CAP_RESUME;
-    if state.store.is_some() {
-        supported |= CAP_DURABLE;
-    }
-    let granted = hello.b & supported;
-    let mut ack_body = Vec::with_capacity(16);
-    ack_body.extend_from_slice(&granted.to_be_bytes());
-    ack_body.extend_from_slice(&epoch_ns().to_be_bytes());
-    ack_body.extend_from_slice(&state.trace_mod.load(Ordering::Relaxed).to_be_bytes());
-    if write_frame(
-        stream.get_mut(),
-        &Frame::with_body(K_HELLO_ACK, PROTOCOL_VERSION, conn_id, ack_body),
-    )
-    .is_err()
-    {
-        return;
-    }
-
-    // --- Session: all further writes go through the outbound queue.
-    let conn = Arc::new(ConnShared {
-        id: conn_id,
-        outbound: Outbound::new(state.queue_capacity, state.stall_budget),
-        announced: Mutex::new(HashSet::new()),
-        alive: AtomicBool::new(true),
-        counters: ConnCounters::default(),
-        caps: granted,
-        raw: Mutex::new(Some(raw)),
-        durable_subs: Mutex::new(Vec::new()),
-    });
-    state.track(&conn);
-    let writer_conn = conn.clone();
-    let writer_state = state.clone();
-    let writer_thread = std::thread::Builder::new()
-        .name("pbio-serv-write".into())
-        .spawn(move || writer_loop(writer_stream, writer_conn, writer_state));
-    let Ok(writer_thread) = writer_thread else {
-        return;
-    };
-
-    state.metrics.active_connections.inc();
-    let mut subscriptions: Vec<(u32, SubscriptionId)> = Vec::new();
-    // Liveness: any fully received frame refreshes `last_rx`; after
-    // `heartbeat_ping` of silence the daemon probes, after
-    // `heartbeat_dead` it evicts.
-    let mut last_rx = Instant::now();
-    let mut last_ping = Instant::now();
-    let mut ping_token: u32 = 0;
-
-    loop {
-        // Steady-state receive: header first, then the body into a
-        // pool-recycled scratch buffer sized by the header — no per-frame
-        // allocation once the pool is warm.
-        let header = match read_frame_header(&mut stream) {
-            Ok(h) => h,
-            Err(FrameError::Timeout) => {
-                if state.shutdown.load(Ordering::SeqCst) || !conn.alive.load(Ordering::Relaxed) {
-                    break;
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut frames = 0u64;
+        for ev in &events {
+            let id = ev.token as u32;
+            let Some(mut cs) = conns.remove(&id) else {
+                continue;
+            };
+            if ev.readable && !cs.closing {
+                frames += handle_readable(&state, &mut cs);
+            }
+            // Always run the flush: readable processing usually queued
+            // replies, and a writable event means a parked partial write
+            // can resume. An empty queue costs one try_pop.
+            if flush_and_rearm(&state, &sm, poller.as_mut(), &mut cs) {
+                conns.insert(id, cs);
+            } else {
+                teardown_conn(&state, poller.as_mut(), cs);
+            }
+        }
+        if frames > 0 {
+            sm.frames_per_wakeup.record(frames);
+        }
+        // Heartbeats: any fully received frame refreshes `last_rx`;
+        // after `heartbeat_ping` of silence the daemon probes, after
+        // `heartbeat_dead` it evicts. Externally evicted connections
+        // (`!alive`) are reaped here as a safety net — the socket
+        // shutdown normally surfaces as a readiness event first.
+        if last_hb.elapsed() >= POLL_INTERVAL {
+            last_hb = Instant::now();
+            let mut dead: Vec<u32> = Vec::new();
+            for (id, cs) in conns.iter_mut() {
+                if !cs.conn.alive.load(Ordering::Relaxed) {
+                    dead.push(*id);
+                    continue;
                 }
-                let idle = last_rx.elapsed();
+                let idle = cs.last_rx.elapsed();
                 if idle >= state.heartbeat_dead {
                     state.metrics.evicted_dead.inc();
-                    break;
+                    dead.push(*id);
+                    continue;
                 }
-                if idle >= state.heartbeat_ping && last_ping.elapsed() >= state.heartbeat_ping {
-                    ping_token = ping_token.wrapping_add(1);
-                    conn.outbound.send(Frame::control(K_PING, ping_token, 0));
+                if matches!(cs.phase, Phase::Active)
+                    && !cs.closing
+                    && idle >= state.heartbeat_ping
+                    && cs.last_ping.elapsed() >= state.heartbeat_ping
+                {
+                    cs.ping_token = cs.ping_token.wrapping_add(1);
+                    cs.conn.send(Frame::control(K_PING, cs.ping_token, 0));
                     state.metrics.pings.inc();
-                    last_ping = Instant::now();
+                    cs.last_ping = Instant::now();
                 }
-                continue;
             }
-            // A header announcing an impossible body is rejected without
-            // killing the session: the announced length still tells us
-            // where the next frame starts, so skip the body unread (never
-            // allocated) and answer with a protocol error.
-            Err(FrameError::TooLarge(len)) => {
-                if discard_frame_body(&mut stream, len).is_err() {
-                    break;
+            for id in dead {
+                if let Some(cs) = conns.remove(&id) {
+                    teardown_conn(&state, poller.as_mut(), cs);
                 }
-                state.metrics.frames_rejected.inc();
-                send_error(
-                    &conn.outbound,
-                    E_PROTOCOL,
-                    format!("frame body of {len} bytes exceeds the frame size limit"),
-                );
-                last_rx = Instant::now();
-                continue;
             }
-            Err(_) => break,
-        };
-        let mut body = state.pool.get(header.len);
-        match read_frame_body(&mut stream, &header, &mut body) {
-            Ok(()) => {}
-            // The checksum failed but the full frame was consumed, so the
-            // stream is still in sync: reject the frame, keep the session.
-            Err(FrameError::Corrupt { expected, actual }) => {
-                state.metrics.frames_rejected.inc();
-                send_error(
-                    &conn.outbound,
-                    E_PROTOCOL,
-                    format!(
-                        "frame checksum mismatch (announced {expected:#010x}, computed {actual:#010x})"
-                    ),
-                );
-                last_rx = Instant::now();
-                continue;
-            }
-            Err(_) => break,
         }
-        last_rx = Instant::now();
-        state
-            .metrics
-            .bytes_in
-            .add((FRAME_HEADER_SIZE + header.len) as u64);
-        // Times the handling of this frame (dispatch included), not the
-        // blocking read above it.
-        let _recv_span = Span::enter(&state.metrics.recv_ns);
-        match header.kind {
-            K_FORMAT => match state.formats.register_meta(&body) {
-                Ok((id, _, _)) => {
-                    conn.outbound
-                        .send(Frame::control(K_FORMAT_ACK, header.a, id));
-                }
-                Err(e) => send_error(&conn.outbound, E_FORMAT, e.to_string()),
-            },
-            K_CHANNEL => match std::str::from_utf8(&body) {
-                Ok(name) => match state.open_channel_flags(name, header.b) {
-                    Ok(id) => {
-                        conn.outbound
-                            .send(Frame::control(K_CHANNEL_ACK, header.a, id));
-                    }
-                    Err(msg) => send_error(&conn.outbound, E_CHANNEL, msg),
-                },
-                Err(_) => send_error(&conn.outbound, E_PROTOCOL, "channel name is not UTF-8"),
-            },
-            K_SUBSCRIBE => {
-                let predicate = if header.b == 1 {
-                    match deserialize_predicate(&body) {
-                        Ok(p) => Some(p),
-                        Err(e) => {
-                            send_error(&conn.outbound, E_PREDICATE, e.to_string());
-                            continue;
-                        }
-                    }
-                } else {
-                    None
-                };
-                let Some(fanout) = state.channel(header.a) else {
-                    send_error(
-                        &conn.outbound,
-                        E_CHANNEL,
-                        format!("unknown channel {}", header.a),
-                    );
-                    continue;
-                };
-                let sub = RemoteSubscriber {
-                    conn: conn.clone(),
-                    channel: header.a,
-                    predicate,
-                    compiled: HashMap::new(),
-                    formats: state.formats.clone(),
-                    sink: state.hops.clone(),
-                    hops: state.chan_hops(header.a),
-                    evicted_stalled: state.metrics.evicted_stalled.clone(),
-                };
-                let id = fanout
-                    .lock()
-                    .unwrap_or_else(|p| p.into_inner())
-                    .subscribe(sub);
-                subscriptions.push((header.a, id));
-                conn.outbound
-                    .send(Frame::control(K_SUBSCRIBE_ACK, header.a, 0));
+    }
+    // Shutdown: one best-effort flush (a queued BYE_ACK or final error
+    // still reaches the peer), then tear everything down.
+    for (_, mut cs) in conns.drain() {
+        cs.conn.outbound.close();
+        let _ = flush_conn(&state, &sm, &mut cs);
+        teardown_conn(&state, poller.as_mut(), cs);
+    }
+}
+
+/// Drain the socket into the frame decoder and dispatch every complete
+/// frame. Returns the number of frames dispatched. Oversized and
+/// corrupt frames are rejected without killing the session (the decoder
+/// stays in sync); EOF and hard errors set `closing`.
+fn handle_readable(state: &Arc<State>, cs: &mut ConnState) -> u64 {
+    let ConnState {
+        conn,
+        rd,
+        decoder,
+        phase,
+        subscriptions,
+        closing,
+        counted_active,
+        last_rx,
+        ..
+    } = cs;
+    let mut frames = 0u64;
+    'fill: loop {
+        match decoder.fill(rd) {
+            Ok(0) => {
+                *closing = true;
+                break;
             }
-            K_SUBSCRIBE_FROM => {
-                if conn.caps & CAP_DURABLE == 0 {
-                    send_error(
-                        &conn.outbound,
-                        E_PROTOCOL,
-                        "subscribe_from without negotiated durability capability",
-                    );
-                    continue;
-                }
-                if body.len() < 8 {
-                    send_error(
-                        &conn.outbound,
-                        E_PROTOCOL,
-                        "subscribe_from body lacks offset",
-                    );
-                    continue;
-                }
-                let from = u64::from_be_bytes(body[..8].try_into().unwrap());
-                let Some(log) = state.log(header.a) else {
-                    send_error(
-                        &conn.outbound,
-                        E_CHANNEL,
-                        format!("channel {} is not durable", header.a),
-                    );
-                    continue;
-                };
-                // Ack first, then stream: the subscriber knows history
-                // follows. The replay thread walks the segment log,
-                // paces itself on the subscriber's queue so replayed
-                // frames never hit drop-oldest, and registers a live
-                // subscription at the exact point disk has caught up
-                // with the channel head — one gapless sequence.
-                conn.outbound
-                    .send(Frame::control(K_SUBSCRIBE_ACK, header.a, 0));
-                let rp_state = state.clone();
-                let rp_conn = conn.clone();
-                let chan = header.a;
-                let handle = std::thread::Builder::new()
-                    .name("pbio-serv-replay".into())
-                    .spawn(move || replay_loop(rp_state, rp_conn, chan, log, from));
-                if let Ok(h) = handle {
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Drained for now (or a fault-injected stall): wait for
+                // the next readiness event.
+                break;
+            }
+            Err(_) => {
+                *closing = true;
+                break;
+            }
+        }
+        loop {
+            match decoder.next() {
+                Ok(Some((header, body))) => {
+                    *last_rx = Instant::now();
+                    frames += 1;
                     state
-                        .replay_threads
-                        .lock()
-                        .unwrap_or_else(|p| p.into_inner())
-                        .push(h);
+                        .metrics
+                        .bytes_in
+                        .add((FRAME_HEADER_SIZE + header.len) as u64);
+                    // Times the handling of this frame (dispatch
+                    // included), not the socket read above it.
+                    let _recv_span = Span::enter(&state.metrics.recv_ns);
+                    let mut sctx = SessionCtx {
+                        conn: &*conn,
+                        subscriptions: &mut *subscriptions,
+                        phase: &mut *phase,
+                        closing: &mut *closing,
+                        counted_active: &mut *counted_active,
+                    };
+                    handle_frame(state, &mut sctx, &header, body);
+                    if *closing {
+                        break 'fill;
+                    }
                 }
-            }
-            K_PUBLISH => {
-                state.metrics.events_in.inc();
-                let traced = header.b & TRACE_FLAG != 0;
-                let format = header.b & !TRACE_FLAG;
-                let Some(layout) = state.formats.lookup(format) else {
-                    send_error(&conn.outbound, E_FORMAT, format!("unknown format {format}"));
-                    continue;
-                };
-                let trailer = if traced { TRACE_TRAILER_LEN } else { 0 };
-                if body.len() < layout.size() + trailer {
+                Ok(None) => break,
+                // A header announcing an impossible body is rejected
+                // without killing the session: the decoder discards the
+                // announced bytes as they arrive (never buffered), so
+                // framing stays trustworthy.
+                Err(FrameError::TooLarge(len)) => {
+                    state.metrics.frames_rejected.inc();
                     send_error(
-                        &conn.outbound,
+                        conn,
+                        E_PROTOCOL,
+                        format!("frame body of {len} bytes exceeds the frame size limit"),
+                    );
+                    *last_rx = Instant::now();
+                }
+                // The checksum failed but the full frame was consumed,
+                // so the stream is still in sync: reject the frame, keep
+                // the session.
+                Err(FrameError::Corrupt { expected, actual }) => {
+                    state.metrics.frames_rejected.inc();
+                    send_error(
+                        conn,
                         E_PROTOCOL,
                         format!(
-                            "event payload is {} bytes, format {format} requires {}",
-                            body.len(),
-                            layout.size() + trailer
+                            "frame checksum mismatch (announced {expected:#010x}, computed {actual:#010x})"
                         ),
                     );
-                    continue;
+                    *last_rx = Instant::now();
                 }
-                // A flagged trailer is only meaningful on a session that
-                // negotiated the capability, and its reserved bits must
-                // decode — either failure is a protocol error the session
-                // survives (the event is not published).
-                let ctx = if traced {
-                    if conn.caps & CAP_TRACE == 0 {
-                        send_error(
-                            &conn.outbound,
-                            E_PROTOCOL,
-                            "trace trailer without negotiated capability",
-                        );
-                        continue;
-                    }
-                    match TraceCtx::decode(&body[body.len() - TRACE_TRAILER_LEN..]) {
-                        Some(c) => Some(c).filter(|c| c.sampled()),
-                        None => {
-                            send_error(&conn.outbound, E_PROTOCOL, "malformed trace trailer");
-                            continue;
-                        }
-                    }
-                } else {
-                    None
-                };
-                let Some(fanout) = state.channel(header.a) else {
-                    send_error(
-                        &conn.outbound,
-                        E_CHANNEL,
-                        format!("unknown channel {}", header.a),
-                    );
-                    continue;
-                };
-                if let Some(ctx) = &ctx {
-                    // The publisher's own stamp is the trace origin; the
-                    // ingress stamp is taken here, after the frame is off
-                    // the socket and validated.
-                    let t = epoch_ns();
+                Err(_) => {
+                    *closing = true;
+                    break 'fill;
+                }
+            }
+        }
+    }
+    frames
+}
+
+/// Flush the connection's outbound queue through batched vectored
+/// writes, resuming any partial frame first. Returns `false` when the
+/// connection is finished — write error, or closed *and* fully drained —
+/// and the caller should tear it down.
+fn flush_conn(state: &Arc<State>, sm: &ShardMetrics, cs: &mut ConnState) -> bool {
+    loop {
+        if cs.pending.is_empty() {
+            cs.cursor = 0;
+            cs.pending_traces.clear();
+            match cs.conn.outbound.try_pop_batch(
+                &mut cs.pending,
+                &mut cs.pending_traces,
+                MAX_WRITE_BATCH,
+            ) {
+                Drained::Got => {}
+                Drained::Empty => break,
+                Drained::Done => return false,
+            }
+        }
+        let progress = {
+            let _send_span = Span::enter(&state.metrics.send_ns);
+            write_frames_nonblocking(&mut cs.wr, &cs.pending, &mut cs.cursor)
+        };
+        let p = match progress {
+            Ok(p) => p,
+            // Peer gone: stop queuing for it and report the end.
+            Err(_) => return false,
+        };
+        if p.frames_done > 0 {
+            let done = &cs.pending[..p.frames_done];
+            let done_traces = &cs.pending_traces[..p.frames_done];
+            // Traced events get their flush hop stamped once the
+            // vectored write has actually handed them to the kernel.
+            let t_flush = done_traces.iter().any(Option::is_some).then(epoch_ns);
+            if let Some(t) = t_flush {
+                for (frame, ctx) in done.iter().zip(done_traces) {
+                    let Some(ctx) = ctx else { continue };
                     let dur = t.saturating_sub(ctx.origin_ns);
-                    if let Some(h) = state.chan_hops(header.a) {
-                        h.ingress_ns.record(dur);
+                    if let Some(h) = state.chan_hops(frame.a) {
+                        h.flush_ns.record(dur);
                     }
                     state.hops.push(TraceHop {
                         trace_id: ctx.trace_id,
                         span_id: ctx.span_id,
-                        hop: HOP_PUBLISH,
-                        conn: conn.id,
-                        channel: header.a,
-                        t_ns: ctx.origin_ns,
-                        dur_ns: 0,
-                    });
-                    state.hops.push(TraceHop {
-                        trace_id: ctx.trace_id,
-                        span_id: ctx.span_id,
-                        hop: HOP_INGRESS,
-                        conn: conn.id,
-                        channel: header.a,
+                        hop: HOP_FLUSH,
+                        conn: cs.conn.id,
+                        channel: frame.a,
                         t_ns: t,
                         dur_ns: dur,
                     });
                 }
-                // The one allocation a published event costs, however
-                // many subscribers it fans out to: its shared body. A
-                // sampled trailer rides along (fan-out slices it off per
-                // subscriber as needed); an unsampled one is dead weight
-                // and is dropped here.
-                let payload = match ctx {
-                    None if traced => &body[..body.len() - TRACE_TRAILER_LEN],
-                    _ => &body[..],
-                };
-                // When no store is configured this is a single Option
-                // check: the disabled path adds no allocation and no
-                // syscall to the publish hot loop.
-                let log = if state.store.is_some() {
-                    state.log(header.a)
-                } else {
-                    None
-                };
-                let mut fanout = fanout.lock().unwrap_or_else(|p| p.into_inner());
-                let before = fanout.stats();
-                match log {
-                    None => {
-                        let wire = WireBuf::copy_from(payload);
-                        let _ = fanout.publish_traced(format, &wire, ctx.as_ref());
-                    }
-                    Some(log) => {
-                        // Reserve the offset, enqueue the disk append and
-                        // fan out — all under the fan-out lock, so the
-                        // per-channel store-queue order matches offset
-                        // order and replay handoff can freeze the head.
-                        // (The store thread never takes a fan-out lock,
-                        // so fanout -> store-queue is a safe lock order.)
-                        let offset = log.reserve(1);
-                        let mut v = Vec::with_capacity(payload.len() + OFFSET_TRAILER_LEN);
-                        v.extend_from_slice(payload);
-                        v.extend_from_slice(&offset.to_be_bytes());
-                        let wire = WireBuf::from(v);
-                        let trace_len = if ctx.is_some() { TRACE_TRAILER_LEN } else { 0 };
-                        let clean = wire.slice(0, payload.len() - trace_len);
-                        state.store_q.push(AppendReq {
-                            log: log.clone(),
-                            chan: header.a,
-                            offset,
-                            format,
-                            payload: clean,
-                            conn: Arc::downgrade(&conn),
-                        });
-                        let _ = fanout.publish_traced(format | OFFSET_FLAG, &wire, ctx.as_ref());
-                    }
-                }
-                let after = fanout.stats();
-                // Drops are already counted by the fan-out's obs hook;
-                // only the filter suppressions need mirroring here.
-                state
-                    .metrics
-                    .filtered_at_source
-                    .add(after.filtered_out - before.filtered_out);
             }
-            K_STATS => match state.encode_stats() {
-                Some((format, wire)) => {
-                    // Announce the snapshot's format once per connection
-                    // (under the same lock the event path uses), so the
-                    // client can decode the body that follows.
-                    let mut ann = conn.announced.lock().unwrap_or_else(|p| p.into_inner());
-                    if !ann.contains(&format) {
-                        if let Some(meta) = state.formats.meta(format) {
-                            conn.outbound.send(Frame::with_body(
-                                K_ANNOUNCE,
-                                format,
-                                0,
-                                WireBuf::from(meta),
-                            ));
-                            ann.insert(format);
-                        }
-                    }
-                    conn.outbound
-                        .send(Frame::with_body(K_STATS_ACK, header.a, format, wire));
-                    drop(ann);
-                }
-                None => send_error(&conn.outbound, E_FORMAT, "stats snapshot encoding failed"),
-            },
-            K_TRACE_CTL => {
-                let prev = state.trace_mod.swap(header.b, Ordering::Relaxed);
-                conn.outbound
-                    .send(Frame::control(K_TRACE_CTL_ACK, header.a, prev));
+            let events = done.iter().filter(|f| f.kind == K_EVENT).count() as u64;
+            state.metrics.events_out.add(events);
+            let n = p.frames_done as u64;
+            cs.conn.counters.frames_sent.fetch_add(n, Ordering::Relaxed);
+            if p.frames_done > 1 {
+                state.metrics.frames_batched.add(n);
+                cs.conn
+                    .counters
+                    .frames_batched
+                    .fetch_add(n, Ordering::Relaxed);
             }
-            // A peer probing us gets the echo; a pong (the answer to our
-            // own probe) needs no handling beyond the `last_rx` refresh
-            // every received frame already performed.
-            K_PING => {
-                conn.outbound.send(Frame::control(K_PONG, header.a, 0));
-            }
-            K_PONG => {}
-            K_RESUME => {
-                if conn.caps & CAP_RESUME == 0 {
-                    send_error(
-                        &conn.outbound,
-                        E_PROTOCOL,
-                        "resume without negotiated capability",
-                    );
-                    continue;
-                }
-                if body.len() < 8 {
-                    send_error(&conn.outbound, E_PROTOCOL, "resume body lacks client id");
-                    continue;
-                }
-                let client_id = u64::from_be_bytes(body[..8].try_into().unwrap());
-                let epoch = header.a;
-                let mut sessions = state.sessions.lock().unwrap_or_else(|p| p.into_inner());
-                // Epochs are monotonic per identity: an attempt at or
-                // below the registered epoch is the stale duplicate
-                // (e.g. a zombie predecessor racing the reconnect), and
-                // is refused so it cannot hijack the session. A newer
-                // epoch supersedes: the predecessor connection is forced
-                // down before the successor takes over.
-                let prior_epoch = sessions.get(&client_id).map(|p| p.epoch);
-                if let Some(prior_epoch) = prior_epoch {
-                    if prior_epoch >= epoch {
-                        drop(sessions);
-                        state.metrics.resumes_stale.inc();
-                        send_error(
-                            &conn.outbound,
-                            E_STALE,
-                            format!("epoch {epoch} is not newer than {prior_epoch}"),
-                        );
-                        break;
-                    }
-                }
-                let old = sessions.get(&client_id).and_then(|p| p.conn.upgrade());
-                if let Some(old) = old {
-                    if old.id != conn.id {
-                        old.evict();
-                    }
-                }
-                sessions.insert(
-                    client_id,
-                    Session {
-                        epoch,
-                        conn: Arc::downgrade(&conn),
-                    },
-                );
-                drop(sessions);
-                state.metrics.resumes.inc();
-                conn.outbound.send(Frame::control(K_RESUME_ACK, epoch, 0));
-            }
-            K_BYE => {
-                conn.outbound.send(Frame::control(K_BYE_ACK, 0, 0));
-                break;
-            }
-            other => send_error(
-                &conn.outbound,
-                E_PROTOCOL,
-                format!("unexpected frame kind {other:#04x}"),
-            ),
+            cs.pending.drain(..p.frames_done);
+            cs.pending_traces.drain(..p.frames_done);
+        }
+        if p.bytes > 0 {
+            state.metrics.bytes_out.add(p.bytes as u64);
+            state.metrics.writes.inc();
+            cs.conn
+                .counters
+                .bytes_sent
+                .fetch_add(p.bytes as u64, Ordering::Relaxed);
+            cs.conn.counters.writes.fetch_add(1, Ordering::Relaxed);
+        }
+        if p.blocked {
+            // Socket buffer full: park the cursor, arm writable
+            // interest, resume on the next readiness event.
+            sm.writev_partials.inc();
+            cs.wants_write = true;
+            return true;
         }
     }
+    cs.wants_write = false;
+    true
+}
 
-    // --- Teardown: detach subscriptions, let the writer drain what is
-    // already queued (a BYE_ACK, a final error), then sever the socket.
-    // The final `evict` (not just closing the queue) matters: the resume
-    // session table can outlive both loops holding this conn, so the
-    // socket must be shut down explicitly for the peer to observe EOF
-    // and begin reconnecting — e.g. after the writer died on a
-    // fault-severed stream.
-    conn.alive.store(false, Ordering::Relaxed);
-    for (chan, sub) in subscriptions {
+/// [`flush_conn`], plus poller interest maintenance: writable interest
+/// is armed exactly while a flush is parked on `WouldBlock`.
+fn flush_and_rearm(
+    state: &Arc<State>,
+    sm: &ShardMetrics,
+    poller: &mut dyn Poller,
+    cs: &mut ConnState,
+) -> bool {
+    if cs.closing {
+        // No new frames will be accepted; once the queue and the
+        // partial-write cursor drain, the flush reports `Done` and the
+        // connection is torn down.
+        cs.conn.outbound.close();
+    }
+    if !flush_conn(state, sm, cs) {
+        return false;
+    }
+    if cs.wants_write != cs.armed_write {
+        let interest = if cs.wants_write {
+            Interest::READ_WRITE
+        } else {
+            Interest::READABLE
+        };
+        poller.modify(cs.fd, cs.conn.id as usize, interest);
+        cs.armed_write = cs.wants_write;
+    }
+    true
+}
+
+/// Detach the connection from everything that can reach it — the
+/// poller, its channel subscriptions (live and replay-handed-off), the
+/// fan-out — then sever the socket. The final `evict` (not just closing
+/// the queue) matters: the resume session table can outlive the reactor's
+/// state for this conn, so the socket must be shut down explicitly for
+/// the peer to observe EOF and begin reconnecting.
+fn teardown_conn(state: &Arc<State>, poller: &mut dyn Poller, mut cs: ConnState) {
+    poller.deregister(cs.fd);
+    cs.conn.alive.store(false, Ordering::Relaxed);
+    for (chan, sub) in cs.subscriptions.drain(..) {
         if let Some(fanout) = state.channel(chan) {
             fanout
                 .lock()
@@ -1845,9 +1969,15 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
     }
     // Subscriptions a replay thread handed off to live delivery. The
     // replay side re-checks `alive` after registering and removes its
-    // own registration if it lost the race with this store; retain() is
+    // own registration if it lost the race with this take; retain() is
     // idempotent, so whichever side runs second is a no-op.
-    let durable = std::mem::take(&mut *conn.durable_subs.lock().unwrap_or_else(|p| p.into_inner()));
+    let durable = std::mem::take(
+        &mut *cs
+            .conn
+            .durable_subs
+            .lock()
+            .unwrap_or_else(|p| p.into_inner()),
+    );
     for (chan, sub) in durable {
         if let Some(fanout) = state.channel(chan) {
             fanout
@@ -1856,10 +1986,435 @@ fn handle_connection(stream: TcpStream, state: Arc<State>) {
                 .retain(|id, _| id != sub);
         }
     }
-    conn.outbound.close();
-    let _ = writer_thread.join();
-    conn.evict();
-    state.metrics.active_connections.dec();
+    cs.conn.outbound.close();
+    cs.conn.evict();
+    if cs.counted_active {
+        state.metrics.active_connections.dec();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-connection protocol machine.
+
+fn send_error(conn: &ConnShared, code: u32, message: impl Into<String>) {
+    conn.send(Frame::with_body(
+        K_ERROR,
+        code,
+        0,
+        message.into().into_bytes(),
+    ));
+}
+
+/// The handshake: one HELLO frame, validated and acked. Errors are
+/// queued (the reactor flushes them) and end the session.
+fn handle_hello(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, body: &[u8]) {
+    let conn = ctx.conn;
+    if header.kind != K_HELLO {
+        send_error(conn, E_PROTOCOL, "expected HELLO");
+        *ctx.closing = true;
+        return;
+    }
+    if header.a != PROTOCOL_VERSION {
+        send_error(
+            conn,
+            E_VERSION,
+            format!("unsupported protocol version {}", header.a),
+        );
+        *ctx.closing = true;
+        return;
+    }
+    let arch_ok = std::str::from_utf8(body)
+        .ok()
+        .and_then(ArchProfile::by_name)
+        .is_some();
+    if !arch_ok {
+        send_error(conn, E_ARCH, "unknown architecture profile");
+        *ctx.closing = true;
+        return;
+    }
+    // Grant the intersection of what the client offered and what this
+    // daemon speaks, and sample our clock while serving the HELLO — the
+    // client's half of the offset exchange brackets this exchange.
+    let mut supported = CAP_TRACE | CAP_RESUME;
+    if state.store.is_some() {
+        supported |= CAP_DURABLE;
+    }
+    let granted = header.b & supported;
+    conn.caps.store(granted, Ordering::Relaxed);
+    let mut ack_body = Vec::with_capacity(16);
+    ack_body.extend_from_slice(&granted.to_be_bytes());
+    ack_body.extend_from_slice(&epoch_ns().to_be_bytes());
+    ack_body.extend_from_slice(&state.trace_mod.load(Ordering::Relaxed).to_be_bytes());
+    conn.send(Frame::with_body(
+        K_HELLO_ACK,
+        PROTOCOL_VERSION,
+        conn.id,
+        ack_body,
+    ));
+    state.metrics.active_connections.inc();
+    *ctx.counted_active = true;
+    *ctx.phase = Phase::Active;
+}
+
+/// Dispatch one complete, checksum-valid frame through the protocol
+/// machine. Runs on the owning reactor; every reply goes through the
+/// connection's outbound queue.
+fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, body: &[u8]) {
+    if matches!(ctx.phase, Phase::AwaitHello) {
+        handle_hello(state, ctx, header, body);
+        return;
+    }
+    let conn = ctx.conn;
+
+    match header.kind {
+        K_FORMAT => match state.formats.register_meta(body) {
+            Ok((id, _, _)) => {
+                conn.send(Frame::control(K_FORMAT_ACK, header.a, id));
+            }
+            Err(e) => send_error(conn, E_FORMAT, e.to_string()),
+        },
+        K_CHANNEL => match std::str::from_utf8(body) {
+            Ok(name) => match state.open_channel_flags(name, header.b) {
+                Ok(id) => {
+                    conn.send(Frame::control(K_CHANNEL_ACK, header.a, id));
+                }
+                Err(msg) => send_error(conn, E_CHANNEL, msg),
+            },
+            Err(_) => send_error(conn, E_PROTOCOL, "channel name is not UTF-8"),
+        },
+        K_SUBSCRIBE => {
+            let predicate = if header.b == 1 {
+                match deserialize_predicate(body) {
+                    Ok(p) => Some(p),
+                    Err(e) => {
+                        send_error(conn, E_PREDICATE, e.to_string());
+                        return;
+                    }
+                }
+            } else {
+                None
+            };
+            let Some(fanout) = state.channel(header.a) else {
+                send_error(conn, E_CHANNEL, format!("unknown channel {}", header.a));
+                return;
+            };
+            let sub = RemoteSubscriber {
+                conn: conn.clone(),
+                channel: header.a,
+                predicate,
+                compiled: HashMap::new(),
+                formats: state.formats.clone(),
+                sink: state.hops.clone(),
+                hops: state.chan_hops(header.a),
+                evicted_stalled: state.metrics.evicted_stalled.clone(),
+            };
+            let id = fanout
+                .lock()
+                .unwrap_or_else(|p| p.into_inner())
+                .subscribe(sub);
+            ctx.subscriptions.push((header.a, id));
+            conn.send(Frame::control(K_SUBSCRIBE_ACK, header.a, 0));
+        }
+        K_SUBSCRIBE_FROM => {
+            if conn.caps() & CAP_DURABLE == 0 {
+                send_error(
+                    conn,
+                    E_PROTOCOL,
+                    "subscribe_from without negotiated durability capability",
+                );
+                return;
+            }
+            if body.len() < 8 {
+                send_error(conn, E_PROTOCOL, "subscribe_from body lacks offset");
+                return;
+            }
+            let from = u64::from_be_bytes(body[..8].try_into().unwrap());
+            let Some(log) = state.log(header.a) else {
+                send_error(
+                    conn,
+                    E_CHANNEL,
+                    format!("channel {} is not durable", header.a),
+                );
+                return;
+            };
+            // Claim a bounded replay slot before acking: replays run
+            // on dedicated threads, and an unbounded spawn rate is a
+            // resource-exhaustion vector. A refused claim is a typed,
+            // retryable error — the subscription does not exist.
+            let claimed =
+                state
+                    .active_replays
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                        (n < state.max_replay).then_some(n + 1)
+                    });
+            if claimed.is_err() {
+                send_error(
+                    conn,
+                    E_BUSY,
+                    format!(
+                        "replay concurrency limit ({}) reached; retry later",
+                        state.max_replay
+                    ),
+                );
+                return;
+            }
+            let guard = ReplayGuard(state.clone());
+            // Ack first, then stream: the subscriber knows history
+            // follows. The replay thread walks the segment log,
+            // paces itself on the subscriber's queue so replayed
+            // frames never hit drop-oldest, and registers a live
+            // subscription at the exact point disk has caught up
+            // with the channel head — one gapless sequence.
+            conn.send(Frame::control(K_SUBSCRIBE_ACK, header.a, 0));
+            let rp_state = state.clone();
+            let rp_conn = conn.clone();
+            let chan = header.a;
+            let handle = std::thread::Builder::new()
+                .name("pbio-serv-replay".into())
+                .spawn(move || {
+                    let _slot = guard;
+                    replay_loop(rp_state, rp_conn, chan, log, from);
+                });
+            if let Ok(h) = handle {
+                let mut threads = state
+                    .replay_threads
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner());
+                // Reap finished replays so a long-lived daemon does
+                // not hoard exited thread handles.
+                let mut i = 0;
+                while i < threads.len() {
+                    if threads[i].is_finished() {
+                        let _ = threads.swap_remove(i).join();
+                    } else {
+                        i += 1;
+                    }
+                }
+                threads.push(h);
+            }
+        }
+        K_PUBLISH => {
+            state.metrics.events_in.inc();
+            let traced = header.b & TRACE_FLAG != 0;
+            let format = header.b & !TRACE_FLAG;
+            let Some(layout) = state.formats.lookup(format) else {
+                send_error(conn, E_FORMAT, format!("unknown format {format}"));
+                return;
+            };
+            let trailer = if traced { TRACE_TRAILER_LEN } else { 0 };
+            if body.len() < layout.size() + trailer {
+                send_error(
+                    conn,
+                    E_PROTOCOL,
+                    format!(
+                        "event payload is {} bytes, format {format} requires {}",
+                        body.len(),
+                        layout.size() + trailer
+                    ),
+                );
+                return;
+            }
+            // A flagged trailer is only meaningful on a session that
+            // negotiated the capability, and its reserved bits must
+            // decode — either failure is a protocol error the session
+            // survives (the event is not published).
+            let ctx = if traced {
+                if conn.caps() & CAP_TRACE == 0 {
+                    send_error(
+                        conn,
+                        E_PROTOCOL,
+                        "trace trailer without negotiated capability",
+                    );
+                    return;
+                }
+                match TraceCtx::decode(&body[body.len() - TRACE_TRAILER_LEN..]) {
+                    Some(c) => Some(c).filter(|c| c.sampled()),
+                    None => {
+                        send_error(conn, E_PROTOCOL, "malformed trace trailer");
+                        return;
+                    }
+                }
+            } else {
+                None
+            };
+            let Some(fanout) = state.channel(header.a) else {
+                send_error(conn, E_CHANNEL, format!("unknown channel {}", header.a));
+                return;
+            };
+            if let Some(ctx) = &ctx {
+                // The publisher's own stamp is the trace origin; the
+                // ingress stamp is taken here, after the frame is off
+                // the socket and validated.
+                let t = epoch_ns();
+                let dur = t.saturating_sub(ctx.origin_ns);
+                if let Some(h) = state.chan_hops(header.a) {
+                    h.ingress_ns.record(dur);
+                }
+                state.hops.push(TraceHop {
+                    trace_id: ctx.trace_id,
+                    span_id: ctx.span_id,
+                    hop: HOP_PUBLISH,
+                    conn: conn.id,
+                    channel: header.a,
+                    t_ns: ctx.origin_ns,
+                    dur_ns: 0,
+                });
+                state.hops.push(TraceHop {
+                    trace_id: ctx.trace_id,
+                    span_id: ctx.span_id,
+                    hop: HOP_INGRESS,
+                    conn: conn.id,
+                    channel: header.a,
+                    t_ns: t,
+                    dur_ns: dur,
+                });
+            }
+            // The one allocation a published event costs, however
+            // many subscribers it fans out to: its shared body. A
+            // sampled trailer rides along (fan-out slices it off per
+            // subscriber as needed); an unsampled one is dead weight
+            // and is dropped here.
+            let payload = match ctx {
+                None if traced => &body[..body.len() - TRACE_TRAILER_LEN],
+                _ => body,
+            };
+            // When no store is configured this is a single Option
+            // check: the disabled path adds no allocation and no
+            // syscall to the publish hot loop.
+            let log = if state.store.is_some() {
+                state.log(header.a)
+            } else {
+                None
+            };
+            let mut fanout = fanout.lock().unwrap_or_else(|p| p.into_inner());
+            let before = fanout.stats();
+            match log {
+                None => {
+                    let wire = WireBuf::copy_from(payload);
+                    let _ = fanout.publish_traced(format, &wire, ctx.as_ref());
+                }
+                Some(log) => {
+                    // Reserve the offset, enqueue the disk append and
+                    // fan out — all under the fan-out lock, so the
+                    // per-channel store-queue order matches offset
+                    // order and replay handoff can freeze the head.
+                    // (The store thread never takes a fan-out lock,
+                    // so fanout -> store-queue is a safe lock order.)
+                    let offset = log.reserve(1);
+                    let mut v = Vec::with_capacity(payload.len() + OFFSET_TRAILER_LEN);
+                    v.extend_from_slice(payload);
+                    v.extend_from_slice(&offset.to_be_bytes());
+                    let wire = WireBuf::from(v);
+                    let trace_len = if ctx.is_some() { TRACE_TRAILER_LEN } else { 0 };
+                    let clean = wire.slice(0, payload.len() - trace_len);
+                    state.store_q.push(AppendReq {
+                        log: log.clone(),
+                        chan: header.a,
+                        offset,
+                        format,
+                        payload: clean,
+                        conn: Arc::downgrade(conn),
+                    });
+                    let _ = fanout.publish_traced(format | OFFSET_FLAG, &wire, ctx.as_ref());
+                }
+            }
+            let after = fanout.stats();
+            // Drops are already counted by the fan-out's obs hook;
+            // only the filter suppressions need mirroring here.
+            state
+                .metrics
+                .filtered_at_source
+                .add(after.filtered_out - before.filtered_out);
+        }
+        K_STATS => match state.encode_stats() {
+            Some((format, wire)) => {
+                // Announce the snapshot's format once per connection
+                // (under the same lock the event path uses), so the
+                // client can decode the body that follows.
+                let mut ann = conn.announced.lock().unwrap_or_else(|p| p.into_inner());
+                if !ann.contains(&format) {
+                    if let Some(meta) = state.formats.meta(format) {
+                        conn.send(Frame::with_body(K_ANNOUNCE, format, 0, WireBuf::from(meta)));
+                        ann.insert(format);
+                    }
+                }
+                conn.send(Frame::with_body(K_STATS_ACK, header.a, format, wire));
+                drop(ann);
+            }
+            None => send_error(conn, E_FORMAT, "stats snapshot encoding failed"),
+        },
+        K_TRACE_CTL => {
+            let prev = state.trace_mod.swap(header.b, Ordering::Relaxed);
+            conn.send(Frame::control(K_TRACE_CTL_ACK, header.a, prev));
+        }
+        // A peer probing us gets the echo; a pong (the answer to our
+        // own probe) needs no handling beyond the `last_rx` refresh
+        // every received frame already performed.
+        K_PING => {
+            conn.send(Frame::control(K_PONG, header.a, 0));
+        }
+        K_PONG => {}
+        K_RESUME => {
+            if conn.caps() & CAP_RESUME == 0 {
+                send_error(conn, E_PROTOCOL, "resume without negotiated capability");
+                return;
+            }
+            if body.len() < 8 {
+                send_error(conn, E_PROTOCOL, "resume body lacks client id");
+                return;
+            }
+            let client_id = u64::from_be_bytes(body[..8].try_into().unwrap());
+            let epoch = header.a;
+            let mut sessions = state.sessions.lock().unwrap_or_else(|p| p.into_inner());
+            // Epochs are monotonic per identity: an attempt at or
+            // below the registered epoch is the stale duplicate
+            // (e.g. a zombie predecessor racing the reconnect), and
+            // is refused so it cannot hijack the session. A newer
+            // epoch supersedes: the predecessor connection is forced
+            // down before the successor takes over.
+            let prior_epoch = sessions.get(&client_id).map(|p| p.epoch);
+            if let Some(prior_epoch) = prior_epoch {
+                if prior_epoch >= epoch {
+                    drop(sessions);
+                    state.metrics.resumes_stale.inc();
+                    send_error(
+                        conn,
+                        E_STALE,
+                        format!("epoch {epoch} is not newer than {prior_epoch}"),
+                    );
+                    // A refused resume closes the session: the zombie
+                    // must not linger half-attached.
+                    *ctx.closing = true;
+                    return;
+                }
+            }
+            let old = sessions.get(&client_id).and_then(|p| p.conn.upgrade());
+            if let Some(old) = old {
+                if old.id != conn.id {
+                    old.evict();
+                }
+            }
+            sessions.insert(
+                client_id,
+                Session {
+                    epoch,
+                    conn: Arc::downgrade(conn),
+                },
+            );
+            drop(sessions);
+            state.metrics.resumes.inc();
+            conn.send(Frame::control(K_RESUME_ACK, epoch, 0));
+        }
+        K_BYE => {
+            conn.send(Frame::control(K_BYE_ACK, 0, 0));
+            *ctx.closing = true;
+        }
+        other => send_error(
+            conn,
+            E_PROTOCOL,
+            format!("unexpected frame kind {other:#04x}"),
+        ),
+    }
 }
 
 /// The store writer: drains the publish→disk queue in batches, groups
@@ -1908,7 +2463,7 @@ fn store_loop(state: Arc<State>) {
                         let Some(conn) = r.conn.upgrade() else {
                             continue;
                         };
-                        if conn.caps & CAP_DURABLE == 0 {
+                        if conn.caps() & CAP_DURABLE == 0 {
                             continue;
                         }
                         let (_, chans) = acks
@@ -1933,7 +2488,7 @@ fn store_loop(state: Arc<State>) {
         // the last durable offset.
         for (_, (conn, chans)) in acks {
             for (chan, (count, last)) in chans {
-                conn.outbound.send(Frame::with_body(
+                conn.send(Frame::with_body(
                     K_PUBLISH_ACK,
                     chan,
                     count,
@@ -1998,12 +2553,7 @@ fn replay_loop(
                     let mut ann = conn.announced.lock().unwrap_or_else(|p| p.into_inner());
                     if ann.insert(current) {
                         if let Some(m) = state.formats.meta(current) {
-                            conn.outbound.send(Frame::with_body(
-                                K_ANNOUNCE,
-                                current,
-                                0,
-                                WireBuf::from(m),
-                            ));
+                            conn.send(Frame::with_body(K_ANNOUNCE, current, 0, WireBuf::from(m)));
                         }
                     }
                 }
@@ -2020,7 +2570,7 @@ fn replay_loop(
                     let mut v = Vec::with_capacity(payload.len() + OFFSET_TRAILER_LEN);
                     v.extend_from_slice(payload);
                     v.extend_from_slice(&offset.to_be_bytes());
-                    conn.outbound.send(Frame::with_body(
+                    conn.send(Frame::with_body(
                         K_EVENT,
                         chan,
                         current | OFFSET_FLAG,
@@ -2031,7 +2581,7 @@ fn replay_loop(
             match sent {
                 Ok(_) => next = to,
                 Err(e) => {
-                    send_error(&conn.outbound, E_CHANNEL, format!("replay failed: {e}"));
+                    send_error(&conn, E_CHANNEL, format!("replay failed: {e}"));
                     return;
                 }
             }
@@ -2082,71 +2632,6 @@ fn replay_loop(
     }
 }
 
-fn writer_loop(mut stream: MaybeFaulty<TcpStream>, conn: Arc<ConnShared>, state: Arc<State>) {
-    let mut batch: Vec<Frame> = Vec::with_capacity(MAX_WRITE_BATCH);
-    let mut traces: Vec<Option<TraceCtx>> = Vec::with_capacity(MAX_WRITE_BATCH);
-    loop {
-        batch.clear();
-        traces.clear();
-        if !conn
-            .outbound
-            .pop_batch(&mut batch, &mut traces, MAX_WRITE_BATCH)
-        {
-            break;
-        }
-        let written = {
-            let _send_span = Span::enter(&state.metrics.send_ns);
-            write_frames(&mut stream, &batch)
-        };
-        let bytes = match written {
-            Ok(n) => n as u64,
-            Err(_) => {
-                // Peer gone: stop queuing for it and wake the reader.
-                conn.alive.store(false, Ordering::Relaxed);
-                conn.outbound.close();
-                return;
-            }
-        };
-        // Traced events in the batch get their flush hop stamped once
-        // the vectored write has actually handed them to the kernel.
-        let t_flush = traces.iter().any(Option::is_some).then(epoch_ns);
-        if let Some(t) = t_flush {
-            for (frame, ctx) in batch.iter().zip(&traces) {
-                let Some(ctx) = ctx else { continue };
-                let dur = t.saturating_sub(ctx.origin_ns);
-                if let Some(h) = state.chan_hops(frame.a) {
-                    h.flush_ns.record(dur);
-                }
-                state.hops.push(TraceHop {
-                    trace_id: ctx.trace_id,
-                    span_id: ctx.span_id,
-                    hop: HOP_FLUSH,
-                    conn: conn.id,
-                    channel: frame.a,
-                    t_ns: t,
-                    dur_ns: dur,
-                });
-            }
-        }
-        let events = batch.iter().filter(|f| f.kind == K_EVENT).count() as u64;
-        state.metrics.events_out.add(events);
-        state.metrics.bytes_out.add(bytes);
-        state.metrics.writes.inc();
-        conn.counters.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
-        conn.counters
-            .frames_sent
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        conn.counters.writes.fetch_add(1, Ordering::Relaxed);
-        if batch.len() > 1 {
-            state.metrics.frames_batched.add(batch.len() as u64);
-            conn.counters
-                .frames_batched
-                .fetch_add(batch.len() as u64, Ordering::Relaxed);
-        }
-    }
-    let _ = stream.get_ref().shutdown(Shutdown::Write);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2188,7 +2673,7 @@ mod tests {
     }
 
     #[test]
-    fn pop_batch_drains_everything_queued() {
+    fn try_pop_batch_drains_everything_queued() {
         let out = Outbound::new(8, Duration::from_secs(60));
         for i in 0..5u8 {
             out.send(Frame::with_body(K_EVENT, 0, 0, vec![i]));
@@ -2196,9 +2681,19 @@ mod tests {
         out.send(Frame::control(K_SUBSCRIBE_ACK, 0, 0));
         let mut batch = Vec::new();
         let mut traces = Vec::new();
-        assert!(out.pop_batch(&mut batch, &mut traces, MAX_WRITE_BATCH));
+        assert!(matches!(
+            out.try_pop_batch(&mut batch, &mut traces, MAX_WRITE_BATCH),
+            Drained::Got
+        ));
         assert_eq!(batch.len(), 6, "one wakeup drains the whole queue");
         assert_eq!(traces.len(), 6, "trace slots stay parallel to frames");
+        // An empty open queue reports Empty, not end-of-stream.
+        batch.clear();
+        traces.clear();
+        assert!(matches!(
+            out.try_pop_batch(&mut batch, &mut traces, MAX_WRITE_BATCH),
+            Drained::Empty
+        ));
         // Event accounting went down with the drain: room for more again.
         for i in 0..8u8 {
             assert!(matches!(
@@ -2208,14 +2703,23 @@ mod tests {
         }
         let mut rest = Vec::new();
         let mut rest_traces = Vec::new();
-        assert!(out.pop_batch(&mut rest, &mut rest_traces, 3));
+        assert!(matches!(
+            out.try_pop_batch(&mut rest, &mut rest_traces, 3),
+            Drained::Got
+        ));
         assert_eq!(rest.len(), 3, "batch size is capped by `max`");
         out.close();
         let mut tail = Vec::new();
         let mut tail_traces = Vec::new();
-        assert!(out.pop_batch(&mut tail, &mut tail_traces, MAX_WRITE_BATCH));
+        assert!(matches!(
+            out.try_pop_batch(&mut tail, &mut tail_traces, MAX_WRITE_BATCH),
+            Drained::Got
+        ));
         assert_eq!(tail.len(), 5, "close still drains queued frames");
-        assert!(!out.pop_batch(&mut tail, &mut tail_traces, MAX_WRITE_BATCH));
+        assert!(matches!(
+            out.try_pop_batch(&mut tail, &mut tail_traces, MAX_WRITE_BATCH),
+            Drained::Done
+        ));
     }
 
     #[test]

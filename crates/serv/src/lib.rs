@@ -64,9 +64,19 @@
 //!   from the last offset it saw — lossless across daemon restarts.
 //!
 //! Layering: [`protocol`] defines the session frames (carried by
-//! [`pbio_net::frame`]); [`daemon`] is the thread-per-connection server
-//! built on [`pbio_chan::dispatch::Fanout`]; [`client`] is the blocking
-//! client library.
+//! [`pbio_net::frame`]); [`daemon`] is an event-driven server — a small
+//! fixed set of sharded readiness reactors (built on
+//! [`pbio_net::poll`]) multiplexing every connection over nonblocking
+//! sockets, with fan-out routed through
+//! [`pbio_chan::dispatch::Fanout`]; [`client`] is the blocking client
+//! library. Daemon thread count is O(shards), not O(connections):
+//! each connection is one file descriptor owned by exactly one
+//! reactor, which decodes its inbound frames, drains its bounded
+//! outbound queue with batched vectored writes, and resumes partial
+//! writes when the socket next reports writable. Only the durable
+//! store writer and historical-replay streams (bounded by
+//! [`ServConfig::max_replay`]) run on dedicated threads, and even
+//! their output is handed back to the owning reactor's queue.
 
 #![warn(missing_docs)]
 

@@ -228,3 +228,7 @@ pub const E_PREDICATE: u32 = 6;
 /// registered for that client identity: the resuming connection is the
 /// stale duplicate, not the survivor.
 pub const E_STALE: u32 = 7;
+/// The daemon is at its concurrency limit for the requested work (e.g.
+/// [`K_SUBSCRIBE_FROM`] when every replay slot is busy). Transient: the
+/// request may be retried once load subsides; the session stays open.
+pub const E_BUSY: u32 = 8;

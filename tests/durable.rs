@@ -449,3 +449,105 @@ fn newest_segment(dir: &Path) -> PathBuf {
     segs.sort();
     segs.pop().expect("store has at least one segment")
 }
+
+/// `ServConfig::max_replay` bounds concurrent replay threads. While the
+/// single allowed replay is wedged against a subscriber that is not
+/// draining (20MB of history cannot fit in its queue plus socket
+/// buffers), a second `subscribe_from` must be refused with the typed
+/// `E_BUSY` error — and once the first drains and its slot frees, a
+/// retry succeeds and delivers the full history.
+#[test]
+fn replay_concurrency_limit_returns_typed_busy_error() {
+    use pbio_bench::workloads::{workload, MsgSize};
+    use pbio_types::layout::Layout;
+    use pbio_types::value::encode_native;
+
+    const EVENTS: u64 = 2_000;
+    let dir = store_dir("busy");
+    let daemon = ServDaemon::bind_with(
+        "127.0.0.1:0",
+        ServConfig {
+            max_replay: 1,
+            // A small queue makes replay pace itself in small chunks
+            // (but still ≥ the 16-frame chunk floor, so pacing — not
+            // drop-oldest — is what bounds it), and wedge, slot held,
+            // against a non-draining subscriber.
+            queue_capacity: 32,
+            ..durable_config(&dir)
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+
+    // 2000 × 10KB of durable history: far more than any loopback socket
+    // buffering, so a replay cannot complete unless its reader drains.
+    let w = workload(MsgSize::K10);
+    let mut publisher = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let fmt = publisher.register_format(&w.schema).unwrap();
+    let chan = publisher.open_channel_durable("history").unwrap();
+    let layout = Layout::of(&w.schema, &ArchProfile::X86_64).unwrap();
+    let native = encode_native(&w.value, &layout).unwrap();
+    for _ in 0..EVENTS {
+        publisher.publish(chan, fmt, &native).unwrap();
+    }
+    await_acks(&mut publisher, EVENTS);
+
+    // First reader claims the only replay slot and then sits on it by
+    // not polling.
+    let mut wedged = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let w_chan = wedged.open_channel("history").unwrap();
+    wedged.subscribe_from(w_chan, &w.schema, 0).unwrap();
+
+    // Second reader: the limit is enforced as a typed, retryable error.
+    let mut refused = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let r_chan = refused.open_channel("history").unwrap();
+    let err = refused.subscribe_from(r_chan, &w.schema, 0).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            pbio_serv::ServError::Remote { code, .. }
+                if code == pbio_serv::protocol::E_BUSY
+        ),
+        "expected E_BUSY, got: {err}"
+    );
+
+    // The wedged reader drains; its replay finishes and frees the slot.
+    let mut got = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while got < EVENTS && Instant::now() < deadline {
+        if wedged.poll(Duration::from_millis(100)).unwrap().is_some() {
+            got += 1;
+        }
+    }
+    assert_eq!(got, EVENTS, "first replay delivers the full history");
+
+    // Retry until the slot frees (the thread exits shortly after the
+    // last frame is queued), then the refused reader gets everything.
+    let retry_deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match refused.subscribe_from(r_chan, &w.schema, 0) {
+            Ok(()) => break,
+            Err(e) => {
+                assert!(
+                    Instant::now() < retry_deadline,
+                    "slot never freed, last error: {e}"
+                );
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    let mut got = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while got < EVENTS && Instant::now() < deadline {
+        if refused.poll(Duration::from_millis(100)).unwrap().is_some() {
+            got += 1;
+        }
+    }
+    assert_eq!(got, EVENTS, "retry after E_BUSY replays the full history");
+
+    publisher.disconnect().unwrap();
+    wedged.disconnect().unwrap();
+    refused.disconnect().unwrap();
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

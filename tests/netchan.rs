@@ -3,6 +3,8 @@
 //! architectures (one with a source-side filter), and the zero-copy
 //! guarantee for a homogeneous subscriber.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pbio_chan::Predicate;
@@ -406,6 +408,178 @@ fn drop_oldest_accounting_is_exact_across_many_slow_subscribers() {
         "per-connection frame counts ({conn_frames}) must cover all \
          delivered events ({received_total})"
     );
+
+    publisher.disconnect().unwrap();
+    for s in subs {
+        s.disconnect().unwrap();
+    }
+    daemon.shutdown();
+}
+
+/// High-connection smoke for the reactor core: 512 concurrent
+/// subscribers on a handful of shards, every one of them receiving every
+/// event exactly once and in order, while the daemon's thread count
+/// stays O(shards) — the property the event-driven rewrite exists for.
+#[test]
+fn five_hundred_twelve_subscribers_exact_delivery() {
+    const SUBS: usize = 512;
+    const EVENTS: i64 = 16;
+
+    let daemon = ServDaemon::bind_with(
+        "127.0.0.1:0",
+        ServConfig {
+            queue_capacity: 64,
+            stats_interval: None,
+            // No background stats/trace publisher: the thread-count
+            // assertion below is exact.
+            trace: TraceConfig {
+                sample_mod: 0,
+                publish_interval: None,
+                sink_capacity: 16,
+            },
+            shards: 4,
+            ..ServConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+    let schema = telemetry_schema();
+
+    let ready = Arc::new(AtomicUsize::new(0));
+    let mut threads = Vec::with_capacity(SUBS);
+    for n in 0..SUBS {
+        let schema = schema.clone();
+        let ready = ready.clone();
+        // The subscribers are load, not the system under test: small
+        // stacks keep 512 of them cheap.
+        let t = std::thread::Builder::new()
+            .stack_size(128 * 1024)
+            .spawn(move || {
+                let mut client = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+                let chan = client.open_channel("smoke").unwrap();
+                client.subscribe(chan, &schema, None).unwrap();
+                ready.fetch_add(1, Ordering::Release);
+                let mut seqs = Vec::new();
+                let deadline = Instant::now() + Duration::from_secs(60);
+                while (seqs.len() as i64) < EVENTS && Instant::now() < deadline {
+                    if let Some(ev) = client.poll(Duration::from_millis(200)).unwrap() {
+                        let Some(Value::I64(seq)) = ev.view.get("seq") else {
+                            panic!("subscriber {n}: seq missing")
+                        };
+                        seqs.push(seq);
+                    }
+                }
+                assert_eq!(
+                    seqs,
+                    (0..EVENTS).collect::<Vec<_>>(),
+                    "subscriber {n} must see every event exactly once, in order"
+                );
+                client.disconnect().unwrap();
+            })
+            .unwrap();
+        threads.push(t);
+    }
+
+    let mut publisher = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let fmt = publisher.register_format(&schema).unwrap();
+    let chan = publisher.open_channel("smoke").unwrap();
+    let setup = Instant::now();
+    while ready.load(Ordering::Acquire) < SUBS {
+        assert!(
+            setup.elapsed() < Duration::from_secs(60),
+            "subscribers stalled at {}/{SUBS}",
+            ready.load(Ordering::Acquire)
+        );
+        std::thread::yield_now();
+    }
+
+    // All 513 connections live on a fixed reactor pool: one accept
+    // thread plus four shards, nothing per-connection.
+    assert_eq!(
+        daemon.thread_count(),
+        5,
+        "daemon threads must be O(shards), not O(connections)"
+    );
+
+    for seq in 0..EVENTS {
+        publisher
+            .publish_value(chan, fmt, &reading(seq as i32, 0.0, false))
+            .unwrap();
+    }
+    for t in threads {
+        t.join().expect("subscriber thread");
+    }
+    let stats = daemon.stats();
+    assert_eq!(stats.dropped, 0, "deep queues: nothing may drop: {stats:?}");
+    assert_eq!(stats.events_in, EVENTS as u64);
+    assert_eq!(stats.events_out, EVENTS as u64 * SUBS as u64);
+
+    publisher.disconnect().unwrap();
+    daemon.shutdown();
+}
+
+/// Publish ordering across shard boundaries: the publisher's connection
+/// lives on one reactor shard, the subscribers on others, and the
+/// cross-shard handoff (publish under the fan-out lock → per-connection
+/// queue → owning shard's flush) must preserve publish order for every
+/// subscriber with no event lost or duplicated.
+#[test]
+fn cross_shard_publish_ordering_is_exact() {
+    const SUBS: usize = 6;
+    const EVENTS: i64 = 300;
+
+    let daemon = ServDaemon::bind_with(
+        "127.0.0.1:0",
+        ServConfig {
+            queue_capacity: EVENTS as usize + 16,
+            stats_interval: None,
+            trace: TraceConfig::default(),
+            // More connections than shards, so publisher and subscribers
+            // are spread round-robin across distinct reactors.
+            shards: 3,
+            ..ServConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+    let schema = telemetry_schema();
+
+    let mut publisher = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let fmt = publisher.register_format(&schema).unwrap();
+    let chan = publisher.open_channel("ordered").unwrap();
+
+    let mut subs = Vec::new();
+    for _ in 0..SUBS {
+        let mut s = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+        let c = s.open_channel("ordered").unwrap();
+        s.subscribe(c, &schema, None).unwrap();
+        subs.push(s);
+    }
+
+    for seq in 0..EVENTS {
+        publisher
+            .publish_value(chan, fmt, &reading(seq as i32, 0.0, false))
+            .unwrap();
+    }
+
+    for (n, sub) in subs.iter_mut().enumerate() {
+        let mut seqs = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while (seqs.len() as i64) < EVENTS && Instant::now() < deadline {
+            if let Some(ev) = sub.poll(Duration::from_millis(200)).unwrap() {
+                let Some(Value::I64(seq)) = ev.view.get("seq") else {
+                    panic!()
+                };
+                seqs.push(seq);
+            }
+        }
+        assert_eq!(
+            seqs,
+            (0..EVENTS).collect::<Vec<_>>(),
+            "subscriber {n} must see the exact publish order across shards"
+        );
+    }
+    assert_eq!(daemon.stats().dropped, 0);
 
     publisher.disconnect().unwrap();
     for s in subs {

@@ -149,6 +149,18 @@ fn stats_channel_feeds_homogeneous_and_heterogeneous_subscribers() {
         assert!(daemon_snap.histogram("serv_recv_ns").unwrap().count > 0);
         // Module-level metrics ride along via the global registry merge.
         assert!(daemon_snap.counter("net_bytes_in").is_some());
+        // Per-shard reactor accounting flows over `$stats` too, labeled
+        // by shard index (names arrive field-sanitized); shard 0 must
+        // have woken at least once to serve this very subscriber.
+        assert!(
+            daemon_snap
+                .counter("serv_shard_wakeups_shard__0__")
+                .unwrap()
+                > 0
+        );
+        assert!(daemon_snap
+            .histogram("serv_shard_frames_per_wakeup_shard__0__")
+            .is_some());
 
         let (header, client_snap) = client_snap.expect("client snapshot arrived");
         assert_eq!(header.id, publisher.conn_id());
