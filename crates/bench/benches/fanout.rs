@@ -498,6 +498,8 @@ fn run_fault_case(seed: u64, events: u64) {
             durability: None,
             shards: 0,
             max_replay: 32,
+            flight_capacity: 256,
+            flight_dump: None,
         },
     )
     .expect("bind daemon");

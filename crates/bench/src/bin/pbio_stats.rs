@@ -327,7 +327,7 @@ fn json_escape(s: &str) -> String {
 
 /// Machine-readable report: one object per publisher snapshot, every
 /// metric keyed by its (escaped) registry name. Histograms are reduced
-/// to count/sum/mean/p50/p99 rather than raw buckets.
+/// to count/sum/mean/p50/p90/p99 rather than raw buckets.
 fn print_json(snapshots: &Snapshots) {
     let mut keys: Vec<&(u32, u32)> = snapshots.keys().collect();
     keys.sort();
@@ -366,12 +366,13 @@ fn print_json(snapshots: &Snapshots) {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\"{}\":{{\"count\":{},\"sum\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p99_ns\":{}}}",
+                "\"{}\":{{\"count\":{},\"sum\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{}}}",
                 json_escape(name),
                 h.count,
                 h.sum,
                 h.mean(),
                 h.quantile(0.50),
+                h.quantile(0.90),
                 h.quantile(0.99),
             ));
         }

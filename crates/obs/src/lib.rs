@@ -16,24 +16,35 @@
 //!   wire-propagated distributed tracing: a sampled publish carries a
 //!   compact context in a frame trailer, every stage re-stamps it into a
 //!   hop record, and completed hops export over the `$trace` channel;
+//! * [`FlightRecorder`] — bounded lock-free seqlock ring of structured
+//!   lifecycle events (connect/evict/resume, protocol errors, repairs,
+//!   replays): the black box behind daemon post-mortems;
 //! * [`export`] — describes a registry [`Snapshot`] as a PBIO record so
-//!   stats travel the wire format they measure (the `$stats` channel).
+//!   stats travel the wire format they measure (the `$stats` channel),
+//!   plus topology snapshots (`$topo`) and flight-event records.
 //!
 //! Module-level instrumentation (encoders, converters, frame I/O) records
 //! into [`Registry::global`]; daemons and clients own per-instance
 //! registries so components sharing a process keep separate books.
 
 pub mod export;
+mod flight;
 mod metric;
 mod registry;
 mod span;
 mod trace;
 mod tracectx;
 
+pub use flight::{
+    flight_kind_name, FlightEvent, FlightRecorder, FL_CONNECT, FL_EVICT, FL_FAULT, FL_PROTO_ERROR,
+    FL_REPAIR, FL_REPLAY_FINISH, FL_REPLAY_START, FL_RESUME, FL_SHUTDOWN,
+};
 pub use metric::{
     bucket_index, bucket_lower, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,
 };
-pub use registry::{enabled, epoch_ns, labeled, set_enabled, Registry, Snapshot, TRACE_EXPORT_CAP};
+pub use registry::{
+    enabled, epoch_ns, labeled, labeled2, set_enabled, Registry, Snapshot, TRACE_EXPORT_CAP,
+};
 pub use span::Span;
 pub use trace::{TraceEvent, TraceRing};
 pub use tracectx::{

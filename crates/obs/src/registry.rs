@@ -28,6 +28,12 @@ pub fn labeled(name: &str, key: &str, value: &str) -> String {
     format!("{name}{{{key}=\"{value}\"}}")
 }
 
+/// Render a two-label metric name `name{k1="v1",k2="v2"}` — used for
+/// per-(channel, connection) dimensions like consumer lag.
+pub fn labeled2(name: &str, k1: &str, v1: &str, k2: &str, v2: &str) -> String {
+    format!("{name}{{{k1}=\"{v1}\",{k2}=\"{v2}\"}}")
+}
+
 #[derive(Clone)]
 enum Metric {
     Counter(Arc<Counter>),
@@ -153,6 +159,18 @@ impl Registry {
     /// Get or create the histogram `name{key="value"}`.
     pub fn histogram_labeled(&self, name: &str, key: &str, value: &str) -> Arc<Histogram> {
         self.histogram(&labeled(name, key, value))
+    }
+
+    /// Get or create the gauge `name{key="value"}` — per-dimension level
+    /// tracking (e.g. connections per shard) through one composed name.
+    pub fn gauge_labeled(&self, name: &str, key: &str, value: &str) -> Arc<Gauge> {
+        self.gauge(&labeled(name, key, value))
+    }
+
+    /// Get or create the gauge `name{k1="v1",k2="v2"}` — two-dimensional
+    /// level tracking (e.g. consumer lag per channel *and* connection).
+    pub fn gauge_labeled2(&self, name: &str, k1: &str, v1: &str, k2: &str, v2: &str) -> Arc<Gauge> {
+        self.gauge(&labeled2(name, k1, v1, k2, v2))
     }
 
     /// Register (or replace) `name` with an externally-owned counter — used to

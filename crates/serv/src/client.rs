@@ -39,7 +39,8 @@ use pbio_net::frame::{
     FrameError, FRAME_HEADER_SIZE,
 };
 use pbio_obs::export::{
-    hop_schema, hop_value, snapshot_from_value, stats_schema, stats_value, StatsHeader, ROLE_CLIENT,
+    hop_schema, hop_value, snapshot_from_value, stats_schema, stats_value, topo_from_value,
+    StatsHeader, TopoSnapshot, ROLE_CLIENT,
 };
 use pbio_obs::{
     epoch_ns, Counter, Histogram, Registry, Snapshot, Span, TraceCtx, TraceHop, TraceSampler,
@@ -1468,6 +1469,25 @@ impl ServClient {
             .ok_or_else(|| ServError::Protocol("stats record lacks header fields".into()))
     }
 
+    /// Pull a live topology snapshot from the daemon ([`K_INSPECT`]):
+    /// per-connection queue depths and liveness, per-channel fan-out and
+    /// durable-log footprint, per-shard reactor load, consumer-lag
+    /// watermarks, and the flight-recorder tail — one self-describing
+    /// PBIO record under the fixed `$topo` format, decoded here across
+    /// architectures like any other event.
+    pub fn inspect(&mut self) -> Result<TopoSnapshot, ServError> {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.send_raw(K_INSPECT, token, 0, &[])?;
+        let ack = self.await_ack(K_INSPECT_ACK, token)?;
+        let layout = self.wire_layouts.get(&ack.b).cloned().ok_or_else(|| {
+            ServError::Protocol(format!("topology format {} was never announced", ack.b))
+        })?;
+        let value = decode_native(&ack.body, &layout).map_err(PbioError::from)?;
+        topo_from_value(&value)
+            .ok_or_else(|| ServError::Protocol("topology record lacks required fields".into()))
+    }
+
     /// Publish a snapshot of this client's own registry on `channel`
     /// (normally the daemon's `$stats` channel, opened by name via
     /// [`ServClient::open_channel`]). The snapshot's schema is generated
@@ -1476,11 +1496,13 @@ impl ServClient {
     /// client's architecture.
     pub fn publish_stats(&mut self, channel: u32) -> Result<(), ServError> {
         let snap = self.registry.snapshot();
+        let t = epoch_ns();
         let header = StatsHeader {
             role: ROLE_CLIENT,
             id: self.conn_id,
             seq: self.stats_seq,
-            t_ns: epoch_ns(),
+            t_ns: t,
+            snapshot_ns: t,
         };
         self.stats_seq += 1;
         let schema = stats_schema(&snap);

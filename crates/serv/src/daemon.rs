@@ -49,6 +49,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::convert::Infallible;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::thread::JoinHandle;
@@ -69,13 +70,16 @@ use pbio_net::frame::{
 };
 use pbio_net::poll::{poller, source_of, Event as PollEvent, Interest, Poller, RawSource, Waker};
 use pbio_obs::export::{
-    hop_schema, hop_value, stats_schema, stats_value, StatsHeader, ROLE_DAEMON,
+    flight_schema, flight_value, hop_schema, hop_value, stats_schema, stats_value, topo_schema,
+    topo_value, StatsHeader, TopoChannel, TopoConn, TopoLag, TopoShard, TopoSnapshot, ROLE_DAEMON,
 };
 use pbio_obs::{
-    epoch_ns, Counter, Gauge, Histogram, Registry, Span, TraceCtx, TraceHop, TraceSink,
-    HOP_ENQUEUE, HOP_FLUSH, HOP_INGRESS, HOP_PUBLISH, TRACE_TRAILER_LEN,
+    epoch_ns, Counter, FlightRecorder, Gauge, Histogram, Registry, Span, TraceCtx, TraceHop,
+    TraceSink, FL_CONNECT, FL_EVICT, FL_FAULT, FL_PROTO_ERROR, FL_REPAIR, FL_REPLAY_FINISH,
+    FL_REPLAY_START, FL_RESUME, FL_SHUTDOWN, HOP_ENQUEUE, HOP_FLUSH, HOP_INGRESS, HOP_PUBLISH,
+    TRACE_TRAILER_LEN,
 };
-use pbio_store::{Append, ChannelLog, ReplayItem, Store, StoreConfig};
+use pbio_store::{Append, ChannelLog, FlushPolicy, ReplayItem, Store, StoreConfig};
 use pbio_types::arch::ArchProfile;
 use pbio_types::layout::Layout;
 use pbio_types::value::encode_native_into;
@@ -135,6 +139,17 @@ pub struct ServConfig {
     /// default — disables durability entirely: the publish path takes no
     /// extra allocation or syscall.
     pub durability: Option<StoreConfig>,
+    /// Flight-recorder ring capacity: how many recent lifecycle events
+    /// (connect/evict/resume, protocol errors, repairs, replays) the
+    /// daemon's black box retains for [`K_INSPECT`] and post-mortems.
+    pub flight_capacity: usize,
+    /// When set, flight events are additionally drained — incrementally,
+    /// off the hot path, with every batch fsynced — into a `pbio-store`
+    /// segment log under this directory. A killed daemon leaves a
+    /// decodable dump (torn tails are CRC-recovered on the next open);
+    /// an orderly shutdown flushes the full tail. `None` — the default —
+    /// keeps the recorder memory-only.
+    pub flight_dump: Option<PathBuf>,
 }
 
 impl Default for ServConfig {
@@ -150,6 +165,8 @@ impl Default for ServConfig {
             stall_budget: Duration::from_secs(2),
             fault_seed: None,
             durability: None,
+            flight_capacity: 256,
+            flight_dump: None,
         }
     }
 }
@@ -232,6 +249,10 @@ pub struct ServStats {
     /// Inbound frames rejected (oversized or checksum-corrupt) without
     /// killing the session.
     pub frames_rejected: u64,
+    /// Reserved-channel (`$stats`/`$trace`/`$topo`) publishes skipped
+    /// because the channel had no subscribers — the snapshot was never
+    /// even encoded.
+    pub stats_suppressed: u64,
 }
 
 /// The daemon's metric handles, resolved once from its per-instance
@@ -253,6 +274,7 @@ struct ServMetrics {
     resumes: Arc<Counter>,
     resumes_stale: Arc<Counter>,
     frames_rejected: Arc<Counter>,
+    stats_suppressed: Arc<Counter>,
     /// Time handling one received frame (post-read, dispatch included).
     recv_ns: Arc<Histogram>,
     /// Time in one reactor flush pass over a connection (whole batch).
@@ -281,6 +303,7 @@ impl ServMetrics {
             resumes: reg.counter("serv_resumes"),
             resumes_stale: reg.counter("serv_resumes_stale"),
             frames_rejected: reg.counter("serv_frames_rejected"),
+            stats_suppressed: reg.counter("serv_stats_suppressed"),
             recv_ns: reg.histogram("serv_recv_ns"),
             send_ns: reg.histogram("serv_send_ns"),
             fanout_ns: reg.histogram("serv_fanout_ns"),
@@ -308,6 +331,7 @@ impl ServMetrics {
             resumes: self.resumes.get(),
             resumes_stale: self.resumes_stale.get(),
             frames_rejected: self.frames_rejected.get(),
+            stats_suppressed: self.stats_suppressed.get(),
         }
     }
 }
@@ -337,6 +361,10 @@ struct ShardMetrics {
     /// Flush passes that hit `WouldBlock` mid-batch and parked a
     /// partial-write cursor for resumption.
     writev_partials: Arc<Counter>,
+    /// Connections currently owned by this shard (topology gauge).
+    conns: Arc<Gauge>,
+    /// Ready fds reported by the most recent poll wakeup (topology gauge).
+    ready: Arc<Gauge>,
 }
 
 impl ShardMetrics {
@@ -347,8 +375,19 @@ impl ShardMetrics {
             frames_per_wakeup: reg.histogram_labeled("serv_shard_frames_per_wakeup", "shard", &v),
             ready_depth: reg.histogram_labeled("serv_shard_ready_depth", "shard", &v),
             writev_partials: reg.counter_labeled("serv_shard_writev_partials", "shard", &v),
+            conns: reg.gauge_labeled("serv_shard_conns", "shard", &v),
+            ready: reg.gauge_labeled("serv_shard_ready", "shard", &v),
         }
     }
+}
+
+/// The topology-snapshot view of one shard's load: the same registry
+/// handles [`ShardMetrics`] records through, resolved a second time (by
+/// name, so they alias) for [`State::capture`] to read without strings.
+struct ShardLoad {
+    conns: Arc<Gauge>,
+    ready: Arc<Gauge>,
+    wakeups: Arc<Counter>,
 }
 
 // ---------------------------------------------------------------------------
@@ -592,6 +631,24 @@ impl StoreQueue {
 }
 
 // ---------------------------------------------------------------------------
+// Flight dump: recorder → crash-safe segment log.
+
+/// The flight recorder's on-disk tail: its own `pbio-store` channel log
+/// (flushed every batch, so a killed daemon leaves a decodable prefix and
+/// CRC recovery handles the torn tail), plus the drain cursor and the
+/// flight record's registered layout. Drained by the background thread
+/// each tick and once more at orderly shutdown.
+struct FlightSink {
+    log: Arc<ChannelLog>,
+    /// Keeps the dump's store (and its flush policy) alive.
+    _store: Store,
+    format: u32,
+    layout: Arc<Layout>,
+    /// Next recorder generation to drain ([`FlightRecorder::drain_since`]).
+    cursor: u64,
+}
+
+// ---------------------------------------------------------------------------
 // Per-connection shared state and the remote subscriber.
 
 /// A snapshot of one connection's writer-side counters.
@@ -672,6 +729,12 @@ struct ConnShared {
     durable_subs: Mutex<Vec<(u32, SubscriptionId)>>,
     /// The reactor shard this connection is pinned to, for flush nudges.
     shard: Arc<ShardHandle>,
+    /// Index of that shard, for topology snapshots.
+    shard_idx: u32,
+    /// [`epoch_ns`] of the last wakeup that read inbound frames off this
+    /// connection — a relaxed store per read batch, read by
+    /// [`State::capture`].
+    last_active_ns: AtomicU64,
     /// True while a [`ShardMsg::Writable`] nudge for this connection is
     /// in flight, so N queued frames cost one cross-thread message, not
     /// N. Cleared by the reactor when it processes the nudge — *before*
@@ -753,6 +816,13 @@ struct RemoteSubscriber {
     /// Stall-escalation counter, bumped when this subscriber's queue
     /// overflow outlives the stall budget and the connection is evicted.
     evicted_stalled: Arc<Counter>,
+    /// Consumer-lag watermark on durable channels: events delivered to
+    /// this subscriber (equivalently the next offset due), advanced with
+    /// a relaxed `fetch_max` per delivered event and read by the `$stats`
+    /// lag gauges and topology snapshots. `None` on non-durable channels.
+    /// Events a subscriber's own filter suppresses are *not* delivered,
+    /// so a filtering durable subscriber legitimately shows lag.
+    delivered: Option<Arc<AtomicU64>>,
 }
 
 impl Subscriber for RemoteSubscriber {
@@ -847,6 +917,21 @@ impl Subscriber for RemoteSubscriber {
             trace.copied(),
         );
         drop(ann);
+        // Advance the lag watermark once the event is actually queued
+        // (drop-oldest admitted this event at an older one's expense, so
+        // it counts; a closed or stalled queue delivered nothing). The
+        // offset rides the outermost trailer of the shared buffer.
+        if has_offset && matches!(outcome, Enqueue::Sent | Enqueue::DroppedOldest) {
+            if let Some(d) = &self.delivered {
+                let n = wire.len();
+                if let Ok(tail) =
+                    <[u8; OFFSET_TRAILER_LEN]>::try_from(&wire[n - OFFSET_TRAILER_LEN..])
+                {
+                    // fetch_max: replay handoff and live delivery may race.
+                    d.fetch_max(u64::from_be_bytes(tail) + 1, Ordering::Relaxed);
+                }
+            }
+        }
         if let Some(ctx) = trace {
             let t = epoch_ns();
             let dur = t.saturating_sub(ctx.origin_ns);
@@ -938,6 +1023,8 @@ struct State {
     stats_channel: u32,
     /// Channel id of the pre-opened [`TRACE_CHANNEL`].
     trace_channel: u32,
+    /// Channel id of the pre-opened [`TOPO_CHANNEL`].
+    topo_channel: u32,
     /// Head-sampling modulus advertised to publishers (0 = off); swapped
     /// at run time by [`K_TRACE_CTL`].
     trace_mod: AtomicU32,
@@ -949,6 +1036,22 @@ struct State {
     /// The hop record's registered `(format id, layout)`, registered on
     /// first export.
     trace_format: OnceLock<Option<(u32, Arc<Layout>)>>,
+    /// The topology record's `(format id, layout)` — fixed columnar
+    /// schema, so one registration serves the daemon's lifetime.
+    topo_format: OnceLock<Option<(u32, Arc<Layout>)>>,
+    /// The daemon's black box: bounded lock-free ring of lifecycle
+    /// events, served through [`K_INSPECT`] and dumped via `flight_sink`.
+    flight: Arc<FlightRecorder>,
+    /// Crash-safe flight dump: a dedicated segment log (fsync per batch)
+    /// the recorder drains into incrementally. `None` when
+    /// [`ServConfig::flight_dump`] is unset.
+    flight_sink: Option<Mutex<FlightSink>>,
+    /// Per-shard load gauges, indexed by shard, read by topology capture.
+    shard_load: Vec<ShardLoad>,
+    /// Durable consumer-lag watermarks: `(channel, conn)` → events
+    /// delivered. Entries are created at subscribe time and dropped with
+    /// the connection.
+    lags: Mutex<HashMap<(u32, u32), Arc<AtomicU64>>>,
     /// The segment-log store behind durable channels (`None` = durability
     /// disabled; the publish path then skips every store branch on one
     /// `Option` check).
@@ -975,18 +1078,61 @@ impl State {
         // Adopt the pool's own counters: one set of books, read through.
         registry.register_counter("pool_hits", pool.hit_counter().clone());
         registry.register_counter("pool_misses", pool.miss_counter().clone());
+        let formats = FormatServer::new();
+        let flight = Arc::new(FlightRecorder::new(config.flight_capacity));
+        if let Some(seed) = config.fault_seed {
+            flight.record(FL_FAULT, 0, 0, 0, seed);
+        }
         let store = match &config.durability {
             Some(cfg) => {
                 let store = Store::open(cfg.clone())?;
                 // Adopt the store's counters too: durability shows up on
                 // the `$stats` channel (and in `pbio-stats`) for free.
                 store.metrics().register(&registry);
+                // Crash recovery already ran channel-by-channel inside
+                // open; torn tails it truncated are flight-worthy.
+                let torn = store.metrics().torn_tails.get();
+                if torn > 0 {
+                    flight.record(FL_REPAIR, 0, 0, 0, torn);
+                }
                 Some(Arc::new(store))
             }
             None => None,
         };
+        let flight_sink = match &config.flight_dump {
+            Some(dir) => {
+                let mut cfg = StoreConfig::new(dir.clone());
+                // Every drained batch is fsynced: the dump's whole point
+                // is surviving an unclean death.
+                cfg.flush = FlushPolicy::EveryBatch;
+                let fstore = Store::open(cfg)?;
+                let log = fstore.channel("flight")?;
+                let layout = Layout::of(&flight_schema(), STATS_PROFILE)
+                    .map_err(|e| io::Error::other(format!("flight record layout: {e}")))?;
+                let layout = Arc::new(layout);
+                let (format, _, _) = formats.register(&layout);
+                Some(Mutex::new(FlightSink {
+                    log,
+                    _store: fstore,
+                    format,
+                    layout,
+                    cursor: 0,
+                }))
+            }
+            None => None,
+        };
+        let shard_load = (0..effective_shards(config))
+            .map(|i| {
+                let v = i.to_string();
+                ShardLoad {
+                    conns: registry.gauge_labeled("serv_shard_conns", "shard", &v),
+                    ready: registry.gauge_labeled("serv_shard_ready", "shard", &v),
+                    wakeups: registry.counter_labeled("serv_shard_wakeups", "shard", &v),
+                }
+            })
+            .collect();
         let mut state = State {
-            formats: FormatServer::new(),
+            formats,
             channels: Mutex::new(Channels {
                 by_name: HashMap::new(),
                 by_id: HashMap::new(),
@@ -1007,10 +1153,16 @@ impl State {
             stats_seq: AtomicU64::new(0),
             stats_channel: 0,
             trace_channel: 0,
+            topo_channel: 0,
             trace_mod: AtomicU32::new(config.trace.sample_mod),
             hops: Arc::new(TraceSink::new(config.trace.sink_capacity)),
             chan_hops: Mutex::new(HashMap::new()),
             trace_format: OnceLock::new(),
+            topo_format: OnceLock::new(),
+            flight,
+            flight_sink,
+            shard_load,
+            lags: Mutex::new(HashMap::new()),
             store,
             logs: Mutex::new(HashMap::new()),
             store_q: Arc::new(StoreQueue::new(4096)),
@@ -1020,6 +1172,7 @@ impl State {
         };
         state.stats_channel = state.open_channel(STATS_CHANNEL);
         state.trace_channel = state.open_channel(TRACE_CHANNEL);
+        state.topo_channel = state.open_channel(TOPO_CHANNEL);
         Ok(state)
     }
 
@@ -1133,19 +1286,242 @@ impl State {
             .clone()
     }
 
+    /// The topology record's daemon-global format: one fixed columnar
+    /// schema (every section is a capped array plus a count), so the id
+    /// never varies with daemon load and is registered exactly once.
+    fn topo_format(&self) -> Option<(u32, Arc<Layout>)> {
+        self.topo_format
+            .get_or_init(|| {
+                let layout = Arc::new(Layout::of(&topo_schema(), STATS_PROFILE).ok()?);
+                let (format, _, _) = self.formats.register(&layout);
+                Some((format, layout))
+            })
+            .clone()
+    }
+
+    /// The name a channel id was opened under, for metric labels.
+    fn channel_name(&self, id: u32) -> Option<String> {
+        let chans = self.channels.lock().unwrap_or_else(|p| p.into_inner());
+        chans
+            .by_name
+            .iter()
+            .find(|(_, &v)| v == id)
+            .map(|(k, _)| k.clone())
+    }
+
+    /// Register (or fetch) the delivered watermark for one durable
+    /// subscriber, seeded at `init` when new.
+    fn lag_entry(&self, chan: u32, conn: u32, init: u64) -> Arc<AtomicU64> {
+        let mut lags = self.lags.lock().unwrap_or_else(|p| p.into_inner());
+        lags.entry((chan, conn))
+            .or_insert_with(|| Arc::new(AtomicU64::new(init)))
+            .clone()
+    }
+
+    /// Drop every lag watermark belonging to a dead connection, zeroing
+    /// its gauges so the last reading doesn't linger as live state.
+    fn drop_lag_entries(&self, conn: u32) {
+        let removed: Vec<u32> = {
+            let mut lags = self.lags.lock().unwrap_or_else(|p| p.into_inner());
+            let doomed: Vec<(u32, u32)> =
+                lags.keys().filter(|(_, c)| *c == conn).copied().collect();
+            for k in &doomed {
+                lags.remove(k);
+            }
+            doomed.into_iter().map(|(chan, _)| chan).collect()
+        };
+        for chan in removed {
+            if let Some(name) = self.channel_name(chan) {
+                self.registry
+                    .gauge_labeled2(
+                        "serv_consumer_lag",
+                        "chan",
+                        &name,
+                        "conn",
+                        &conn.to_string(),
+                    )
+                    .set(0);
+            }
+        }
+    }
+
+    /// Current consumer-lag watermarks, refreshing the
+    /// `serv_consumer_lag{chan,conn}` gauges as a side effect — called
+    /// from every stats encode and topology capture, so the gauges ride
+    /// both `$stats` and `$topo`. Replay-in-progress consumers are
+    /// included: their watermark advances as the replay streams.
+    fn lag_watermarks(&self) -> Vec<TopoLag> {
+        let entries: Vec<((u32, u32), Arc<AtomicU64>)> = {
+            let lags = self.lags.lock().unwrap_or_else(|p| p.into_inner());
+            lags.iter().map(|(k, v)| (*k, v.clone())).collect()
+        };
+        let mut out = Vec::with_capacity(entries.len());
+        for ((chan, conn), delivered) in entries {
+            let Some(log) = self.log(chan) else { continue };
+            let lag = TopoLag {
+                chan,
+                conn,
+                head: log.head(),
+                delivered: delivered.load(Ordering::Relaxed),
+            };
+            if let Some(name) = self.channel_name(chan) {
+                self.registry
+                    .gauge_labeled2(
+                        "serv_consumer_lag",
+                        "chan",
+                        &name,
+                        "conn",
+                        &conn.to_string(),
+                    )
+                    .set(i64::try_from(lag.lag()).unwrap_or(i64::MAX));
+            }
+            out.push(lag);
+        }
+        out.sort_by_key(|l| (l.chan, l.conn));
+        out
+    }
+
+    /// Capture the daemon's live topology: every lock is taken briefly
+    /// and in a fixed order (conns, then channels, then per-fanout, then
+    /// lags), never nested with the publish path's channel→fanout order
+    /// reversed — capture is safe to run concurrently with full load.
+    fn capture(&self) -> TopoSnapshot {
+        let mut topo = TopoSnapshot {
+            t_ns: epoch_ns(),
+            ..TopoSnapshot::default()
+        };
+        {
+            let conns = self.conns.lock().unwrap_or_else(|p| p.into_inner());
+            for c in conns.iter().filter_map(Weak::upgrade) {
+                if !c.alive.load(Ordering::Relaxed) {
+                    continue;
+                }
+                topo.conns.push(TopoConn {
+                    conn: c.id,
+                    shard: c.shard_idx,
+                    caps: c.caps(),
+                    queue_depth: c.outbound.event_backlog() as u64,
+                    bytes_sent: c.counters.bytes_sent.load(Ordering::Relaxed),
+                    frames_sent: c.counters.frames_sent.load(Ordering::Relaxed),
+                    last_active_ns: c.last_active_ns.load(Ordering::Relaxed),
+                });
+            }
+        }
+        topo.conns.sort_by_key(|c| c.conn);
+        type ChanRow = (String, u32, Arc<Mutex<Fanout<RemoteSubscriber>>>);
+        let chans: Vec<ChanRow> = {
+            let chans = self.channels.lock().unwrap_or_else(|p| p.into_inner());
+            chans
+                .by_name
+                .iter()
+                .filter_map(|(name, &id)| {
+                    chans.by_id.get(&id).map(|f| (name.clone(), id, f.clone()))
+                })
+                .collect()
+        };
+        for (name, id, fanout) in chans {
+            let (subscribers, publishes) = {
+                let f = fanout.lock().unwrap_or_else(|p| p.into_inner());
+                (f.active_count() as u64, f.stats().published)
+            };
+            let log = self.log(id);
+            topo.channels.push(TopoChannel {
+                id,
+                name,
+                subscribers,
+                publishes,
+                durable: log.is_some(),
+                head: log.as_ref().map_or(0, |l| l.head()),
+                segments: log.as_ref().map_or(0, |l| l.segment_count() as u64),
+                disk_bytes: log.as_ref().and_then(|l| l.disk_bytes().ok()).unwrap_or(0),
+            });
+        }
+        topo.channels.sort_by_key(|c| c.id);
+        for (i, s) in self.shard_load.iter().enumerate() {
+            topo.shards.push(TopoShard {
+                shard: i as u32,
+                conns: s.conns.get(),
+                ready: s.ready.get(),
+                wakeups: s.wakeups.get(),
+            });
+        }
+        topo.lags = self.lag_watermarks();
+        topo.flight = self.flight.recent();
+        topo.conn_total = topo.conns.len() as u64;
+        topo.chan_total = topo.channels.len() as u64;
+        topo.lag_total = topo.lags.len() as u64;
+        topo.flight_total = self.flight.recorded();
+        topo
+    }
+
+    /// Encode one topology capture as a PBIO record under the fixed
+    /// `$topo` format; `(format id, NDR bytes)` like [`State::encode_stats`].
+    fn encode_topo(&self) -> Option<(u32, WireBuf)> {
+        let (format, layout) = self.topo_format()?;
+        let topo = self.capture();
+        let mut buf = self.pool.get(layout.size());
+        encode_native_into(&topo_value(&topo), &layout, &mut buf).ok()?;
+        Some((format, WireBuf::copy_from(&buf)))
+    }
+
+    /// Drain new flight events into the dump log. Each batch is fsynced
+    /// by the sink's flush policy, so however the process dies after this
+    /// returns, everything drained so far is decodable; an abrupt death
+    /// mid-append leaves a torn tail the next open CRC-recovers.
+    fn drain_flight(&self) {
+        let Some(sink) = &self.flight_sink else {
+            return;
+        };
+        let mut sink = sink.lock().unwrap_or_else(|p| p.into_inner());
+        let (events, next) = self.flight.drain_since(sink.cursor);
+        if events.is_empty() {
+            sink.cursor = next;
+            return;
+        }
+        let mut bufs: Vec<Vec<u8>> = Vec::with_capacity(events.len());
+        for ev in &events {
+            let mut buf = Vec::with_capacity(sink.layout.size());
+            if encode_native_into(&flight_value(ev), &sink.layout, &mut buf).is_ok() {
+                bufs.push(buf);
+            }
+        }
+        let start = sink.log.reserve(bufs.len() as u64);
+        let recs: Vec<Append<'_>> = bufs
+            .iter()
+            .enumerate()
+            .map(|(i, b)| Append {
+                offset: start + i as u64,
+                format: sink.format,
+                payload: b,
+            })
+            .collect();
+        if sink
+            .log
+            .append_batch(&recs, &mut |id| self.formats.meta(id))
+            .is_ok()
+        {
+            sink.cursor = next;
+        }
+    }
+
     /// Encode one snapshot of the daemon's registry (merged with the
     /// process-global module metrics) as a PBIO record: generate its
     /// schema, register the layout like any client format (equal metric
     /// sets dedup to the same id), and return `(format id, NDR bytes)`.
     fn encode_stats(&self) -> Option<(u32, WireBuf)> {
         let seq = self.stats_seq.fetch_add(1, Ordering::Relaxed);
+        // Refresh the consumer-lag gauges first so they ride this very
+        // snapshot, not the previous one.
+        let _ = self.lag_watermarks();
         let mut snap = self.registry.snapshot();
         snap.merge_from(&Registry::global().snapshot());
+        let t = epoch_ns();
         let header = StatsHeader {
             role: ROLE_DAEMON,
             id: 0,
             seq,
-            t_ns: epoch_ns(),
+            t_ns: t,
+            snapshot_ns: t,
         };
         let schema = stats_schema(&snap);
         let layout = Arc::new(Layout::of(&schema, STATS_PROFILE).ok()?);
@@ -1228,19 +1604,21 @@ impl ServDaemon {
         let accept_thread = std::thread::Builder::new()
             .name("pbio-serv-accept".into())
             .spawn(move || accept_loop(listener, accept_state, accept_shards))?;
-        let stats_thread =
-            if config.stats_interval.is_some() || config.trace.publish_interval.is_some() {
-                let bg_state = state.clone();
-                let stats_interval = config.stats_interval;
-                let trace_interval = config.trace.publish_interval;
-                Some(
-                    std::thread::Builder::new()
-                        .name("pbio-serv-stats".into())
-                        .spawn(move || background_loop(bg_state, stats_interval, trace_interval))?,
-                )
-            } else {
-                None
-            };
+        let stats_thread = if config.stats_interval.is_some()
+            || config.trace.publish_interval.is_some()
+            || state.flight_sink.is_some()
+        {
+            let bg_state = state.clone();
+            let stats_interval = config.stats_interval;
+            let trace_interval = config.trace.publish_interval;
+            Some(
+                std::thread::Builder::new()
+                    .name("pbio-serv-stats".into())
+                    .spawn(move || background_loop(bg_state, stats_interval, trace_interval))?,
+            )
+        } else {
+            None
+        };
         Ok(ServDaemon {
             state,
             addr,
@@ -1298,6 +1676,20 @@ impl ServDaemon {
         self.state.trace_mod.load(Ordering::Relaxed)
     }
 
+    /// A live topology snapshot — the same capture [`K_INSPECT`] answers
+    /// and the `$topo` channel pushes: per-connection queue depths,
+    /// per-channel fan-out and durable-log footprint, per-shard load,
+    /// consumer-lag watermarks, and the flight-recorder tail.
+    pub fn topology(&self) -> TopoSnapshot {
+        self.state.capture()
+    }
+
+    /// The daemon's flight recorder: the bounded ring of lifecycle
+    /// events behind [`K_INSPECT`] dumps and [`ServConfig::flight_dump`].
+    pub fn flight(&self) -> &Arc<FlightRecorder> {
+        &self.state.flight
+    }
+
     /// Writer-side counters for each connection still alive.
     pub fn conn_stats(&self) -> Vec<ConnStats> {
         let conns = self.state.conns.lock().unwrap_or_else(|p| p.into_inner());
@@ -1317,6 +1709,7 @@ impl ServDaemon {
         if self.state.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.state.flight.record(FL_SHUTDOWN, 0, 0, 0, 0);
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_thread.take() {
@@ -1354,6 +1747,9 @@ impl ServDaemon {
         if let Some(store) = &self.state.store {
             let _ = store.sync_all();
         }
+        // Final flight flush: teardown events recorded during this stop
+        // (evictions, the shutdown marker itself) reach the dump.
+        self.state.drain_flight();
     }
 }
 
@@ -1402,7 +1798,8 @@ fn accept_loop(listener: TcpListener, state: Arc<State>, shards: Vec<Arc<ShardHa
         let write_plan = plan.as_ref().map(FaultPlan::write_half);
         let rd = MaybeFaulty::new(SharedTcp(sock.clone()), read_plan, fault_log.clone());
         let wr = MaybeFaulty::new(SharedTcp(sock.clone()), write_plan, fault_log);
-        let shard = shards[conn_seq as usize % shards.len()].clone();
+        let shard_idx = (conn_seq as usize % shards.len()) as u32;
+        let shard = shards[shard_idx as usize].clone();
         let conn = Arc::new(ConnShared {
             id: conn_id,
             outbound: Outbound::new(state.queue_capacity, state.stall_budget),
@@ -1413,6 +1810,8 @@ fn accept_loop(listener: TcpListener, state: Arc<State>, shards: Vec<Arc<ShardHa
             raw: Mutex::new(Some(sock)),
             durable_subs: Mutex::new(Vec::new()),
             shard: shard.clone(),
+            shard_idx,
+            last_active_ns: AtomicU64::new(epoch_ns()),
             write_queued: AtomicBool::new(false),
         });
         state.track(&conn);
@@ -1450,6 +1849,7 @@ fn background_loop(
             if since_stats >= interval {
                 since_stats = Duration::ZERO;
                 publish_stats(&state);
+                publish_topo(&state);
             }
         }
         if let Some(interval) = trace_interval {
@@ -1458,10 +1858,35 @@ fn background_loop(
                 publish_trace(&state);
             }
         }
+        // Incremental flight dump on every tick: the window an unclean
+        // death can lose is one step, not the whole ring.
+        state.drain_flight();
     }
 }
 
+/// True when the reserved channel has at least one live subscriber.
+/// Snapshot publishers check this *before* encoding: with nobody
+/// listening the daemon skips the whole capture/encode, and the skip is
+/// counted in `serv_stats_suppressed`.
+fn reserved_has_audience(state: &State, chan: u32) -> bool {
+    let Some(fanout) = state.channel(chan) else {
+        return false;
+    };
+    let n = fanout
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+        .active_count();
+    if n == 0 {
+        state.metrics.stats_suppressed.inc();
+        return false;
+    }
+    true
+}
+
 fn publish_stats(state: &State) {
+    if !reserved_has_audience(state, state.stats_channel) {
+        return;
+    }
     let Some((format, wire)) = state.encode_stats() else {
         return;
     };
@@ -1473,11 +1898,32 @@ fn publish_stats(state: &State) {
     state.registry.trace("stats_publish", format as u64);
 }
 
+/// Publish one topology capture on the reserved [`TOPO_CHANNEL`] — the
+/// push side of [`K_INSPECT`], riding the same fan-out as any event.
+fn publish_topo(state: &State) {
+    if !reserved_has_audience(state, state.topo_channel) {
+        return;
+    }
+    let Some((format, wire)) = state.encode_topo() else {
+        return;
+    };
+    let Some(fanout) = state.channel(state.topo_channel) else {
+        return;
+    };
+    let mut fanout = fanout.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = fanout.publish_shared(format, &wire);
+}
+
 /// Drain the hop sink and publish each record on [`TRACE_CHANNEL`]:
 /// self-describing PBIO records, consumed by `pbio-trace` (or any raw
-/// subscriber) with no schema agreed out of band.
+/// subscriber) with no schema agreed out of band. With no subscriber the
+/// drain (and every encode) is skipped; hops keep accumulating in the
+/// bounded sink, oldest evicted first.
 fn publish_trace(state: &State) {
     if state.hops.is_empty() {
+        return;
+    }
+    if !reserved_has_audience(state, state.trace_channel) {
         return;
     }
     let Some((format, layout)) = state.trace_format() else {
@@ -1643,6 +2089,7 @@ fn reactor_loop(
         shard.wake_pending.store(false, Ordering::Release);
         sm.wakeups.inc();
         sm.ready_depth.record(events.len() as u64);
+        sm.ready.set(events.len() as i64);
         while let Ok(msg) = rx.try_recv() {
             match msg {
                 ShardMsg::NewConn(nc) => {
@@ -1666,6 +2113,7 @@ fn reactor_loop(
                 }
             }
         }
+        sm.conns.set(conns.len() as i64);
         if state.shutdown.load(Ordering::SeqCst) {
             break;
         }
@@ -1804,6 +2252,7 @@ fn handle_readable(state: &Arc<State>, cs: &mut ConnState) -> u64 {
                 Err(FrameError::TooLarge(len)) => {
                     state.metrics.frames_rejected.inc();
                     send_error(
+                        state,
                         conn,
                         E_PROTOCOL,
                         format!("frame body of {len} bytes exceeds the frame size limit"),
@@ -1815,8 +2264,7 @@ fn handle_readable(state: &Arc<State>, cs: &mut ConnState) -> u64 {
                 // the session.
                 Err(FrameError::Corrupt { expected, actual }) => {
                     state.metrics.frames_rejected.inc();
-                    send_error(
-                        conn,
+                    send_error(state, conn,
                         E_PROTOCOL,
                         format!(
                             "frame checksum mismatch (announced {expected:#010x}, computed {actual:#010x})"
@@ -1830,6 +2278,11 @@ fn handle_readable(state: &Arc<State>, cs: &mut ConnState) -> u64 {
                 }
             }
         }
+    }
+    if frames > 0 {
+        // One relaxed store per read batch (not per frame): the
+        // topology snapshot's liveness column.
+        conn.last_active_ns.store(epoch_ns(), Ordering::Relaxed);
     }
     frames
 }
@@ -1988,7 +2441,11 @@ fn teardown_conn(state: &Arc<State>, poller: &mut dyn Poller, mut cs: ConnState)
     }
     cs.conn.outbound.close();
     cs.conn.evict();
+    state.drop_lag_entries(cs.conn.id);
     if cs.counted_active {
+        state
+            .flight
+            .record(FL_EVICT, cs.conn.id, 0, 0, u64::from(cs.conn.shard_idx));
         state.metrics.active_connections.dec();
     }
 }
@@ -1996,7 +2453,8 @@ fn teardown_conn(state: &Arc<State>, poller: &mut dyn Poller, mut cs: ConnState)
 // ---------------------------------------------------------------------------
 // Per-connection protocol machine.
 
-fn send_error(conn: &ConnShared, code: u32, message: impl Into<String>) {
+fn send_error(state: &State, conn: &ConnShared, code: u32, message: impl Into<String>) {
+    state.flight.record(FL_PROTO_ERROR, conn.id, 0, code, 0);
     conn.send(Frame::with_body(
         K_ERROR,
         code,
@@ -2010,12 +2468,13 @@ fn send_error(conn: &ConnShared, code: u32, message: impl Into<String>) {
 fn handle_hello(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, body: &[u8]) {
     let conn = ctx.conn;
     if header.kind != K_HELLO {
-        send_error(conn, E_PROTOCOL, "expected HELLO");
+        send_error(state, conn, E_PROTOCOL, "expected HELLO");
         *ctx.closing = true;
         return;
     }
     if header.a != PROTOCOL_VERSION {
         send_error(
+            state,
             conn,
             E_VERSION,
             format!("unsupported protocol version {}", header.a),
@@ -2028,7 +2487,7 @@ fn handle_hello(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
         .and_then(ArchProfile::by_name)
         .is_some();
     if !arch_ok {
-        send_error(conn, E_ARCH, "unknown architecture profile");
+        send_error(state, conn, E_ARCH, "unknown architecture profile");
         *ctx.closing = true;
         return;
     }
@@ -2052,6 +2511,9 @@ fn handle_hello(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
         ack_body,
     ));
     state.metrics.active_connections.inc();
+    state
+        .flight
+        .record(FL_CONNECT, conn.id, 0, 0, u64::from(granted));
     *ctx.counted_active = true;
     *ctx.phase = Phase::Active;
 }
@@ -2071,23 +2533,23 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
             Ok((id, _, _)) => {
                 conn.send(Frame::control(K_FORMAT_ACK, header.a, id));
             }
-            Err(e) => send_error(conn, E_FORMAT, e.to_string()),
+            Err(e) => send_error(state, conn, E_FORMAT, e.to_string()),
         },
         K_CHANNEL => match std::str::from_utf8(body) {
             Ok(name) => match state.open_channel_flags(name, header.b) {
                 Ok(id) => {
                     conn.send(Frame::control(K_CHANNEL_ACK, header.a, id));
                 }
-                Err(msg) => send_error(conn, E_CHANNEL, msg),
+                Err(msg) => send_error(state, conn, E_CHANNEL, msg),
             },
-            Err(_) => send_error(conn, E_PROTOCOL, "channel name is not UTF-8"),
+            Err(_) => send_error(state, conn, E_PROTOCOL, "channel name is not UTF-8"),
         },
         K_SUBSCRIBE => {
             let predicate = if header.b == 1 {
                 match deserialize_predicate(body) {
                     Ok(p) => Some(p),
                     Err(e) => {
-                        send_error(conn, E_PREDICATE, e.to_string());
+                        send_error(state, conn, E_PREDICATE, e.to_string());
                         return;
                     }
                 }
@@ -2095,9 +2557,19 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
                 None
             };
             let Some(fanout) = state.channel(header.a) else {
-                send_error(conn, E_CHANNEL, format!("unknown channel {}", header.a));
+                send_error(
+                    state,
+                    conn,
+                    E_CHANNEL,
+                    format!("unknown channel {}", header.a),
+                );
                 return;
             };
+            // A durable channel's live subscriber starts caught up: its
+            // lag watermark seeds at the head and advances per delivery.
+            let delivered = state
+                .log(header.a)
+                .map(|log| state.lag_entry(header.a, conn.id, log.head()));
             let sub = RemoteSubscriber {
                 conn: conn.clone(),
                 channel: header.a,
@@ -2107,6 +2579,7 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
                 sink: state.hops.clone(),
                 hops: state.chan_hops(header.a),
                 evicted_stalled: state.metrics.evicted_stalled.clone(),
+                delivered,
             };
             let id = fanout
                 .lock()
@@ -2118,6 +2591,7 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
         K_SUBSCRIBE_FROM => {
             if conn.caps() & CAP_DURABLE == 0 {
                 send_error(
+                    state,
                     conn,
                     E_PROTOCOL,
                     "subscribe_from without negotiated durability capability",
@@ -2125,12 +2599,13 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
                 return;
             }
             if body.len() < 8 {
-                send_error(conn, E_PROTOCOL, "subscribe_from body lacks offset");
+                send_error(state, conn, E_PROTOCOL, "subscribe_from body lacks offset");
                 return;
             }
             let from = u64::from_be_bytes(body[..8].try_into().unwrap());
             let Some(log) = state.log(header.a) else {
                 send_error(
+                    state,
                     conn,
                     E_CHANNEL,
                     format!("channel {} is not durable", header.a),
@@ -2149,6 +2624,7 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
                     });
             if claimed.is_err() {
                 send_error(
+                    state,
                     conn,
                     E_BUSY,
                     format!(
@@ -2166,6 +2642,11 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
             // subscription at the exact point disk has caught up
             // with the channel head — one gapless sequence.
             conn.send(Frame::control(K_SUBSCRIBE_ACK, header.a, 0));
+            // The replaying consumer is visible in the lag books from
+            // the first moment: watermark seeded where the replay will
+            // start, advanced by the replay thread as it streams.
+            let delivered =
+                state.lag_entry(header.a, conn.id, from.max(log.oldest()).min(log.head()));
             let rp_state = state.clone();
             let rp_conn = conn.clone();
             let chan = header.a;
@@ -2173,7 +2654,7 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
                 .name("pbio-serv-replay".into())
                 .spawn(move || {
                     let _slot = guard;
-                    replay_loop(rp_state, rp_conn, chan, log, from);
+                    replay_loop(rp_state, rp_conn, chan, log, from, delivered);
                 });
             if let Ok(h) = handle {
                 let mut threads = state
@@ -2198,12 +2679,13 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
             let traced = header.b & TRACE_FLAG != 0;
             let format = header.b & !TRACE_FLAG;
             let Some(layout) = state.formats.lookup(format) else {
-                send_error(conn, E_FORMAT, format!("unknown format {format}"));
+                send_error(state, conn, E_FORMAT, format!("unknown format {format}"));
                 return;
             };
             let trailer = if traced { TRACE_TRAILER_LEN } else { 0 };
             if body.len() < layout.size() + trailer {
                 send_error(
+                    state,
                     conn,
                     E_PROTOCOL,
                     format!(
@@ -2221,6 +2703,7 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
             let ctx = if traced {
                 if conn.caps() & CAP_TRACE == 0 {
                     send_error(
+                        state,
                         conn,
                         E_PROTOCOL,
                         "trace trailer without negotiated capability",
@@ -2230,7 +2713,7 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
                 match TraceCtx::decode(&body[body.len() - TRACE_TRAILER_LEN..]) {
                     Some(c) => Some(c).filter(|c| c.sampled()),
                     None => {
-                        send_error(conn, E_PROTOCOL, "malformed trace trailer");
+                        send_error(state, conn, E_PROTOCOL, "malformed trace trailer");
                         return;
                     }
                 }
@@ -2238,7 +2721,12 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
                 None
             };
             let Some(fanout) = state.channel(header.a) else {
-                send_error(conn, E_CHANNEL, format!("unknown channel {}", header.a));
+                send_error(
+                    state,
+                    conn,
+                    E_CHANNEL,
+                    format!("unknown channel {}", header.a),
+                );
                 return;
             };
             if let Some(ctx) = &ctx {
@@ -2341,7 +2829,25 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
                 conn.send(Frame::with_body(K_STATS_ACK, header.a, format, wire));
                 drop(ann);
             }
-            None => send_error(conn, E_FORMAT, "stats snapshot encoding failed"),
+            None => send_error(state, conn, E_FORMAT, "stats snapshot encoding failed"),
+        },
+        // The pull side of the introspection plane: capture live
+        // topology, announce the fixed `$topo` format once per
+        // connection, and answer with the snapshot's NDR bytes — the
+        // same record the `$topo` channel pushes.
+        K_INSPECT => match state.encode_topo() {
+            Some((format, wire)) => {
+                let mut ann = conn.announced.lock().unwrap_or_else(|p| p.into_inner());
+                if !ann.contains(&format) {
+                    if let Some(meta) = state.formats.meta(format) {
+                        conn.send(Frame::with_body(K_ANNOUNCE, format, 0, WireBuf::from(meta)));
+                        ann.insert(format);
+                    }
+                }
+                conn.send(Frame::with_body(K_INSPECT_ACK, header.a, format, wire));
+                drop(ann);
+            }
+            None => send_error(state, conn, E_FORMAT, "topology snapshot encoding failed"),
         },
         K_TRACE_CTL => {
             let prev = state.trace_mod.swap(header.b, Ordering::Relaxed);
@@ -2356,11 +2862,16 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
         K_PONG => {}
         K_RESUME => {
             if conn.caps() & CAP_RESUME == 0 {
-                send_error(conn, E_PROTOCOL, "resume without negotiated capability");
+                send_error(
+                    state,
+                    conn,
+                    E_PROTOCOL,
+                    "resume without negotiated capability",
+                );
                 return;
             }
             if body.len() < 8 {
-                send_error(conn, E_PROTOCOL, "resume body lacks client id");
+                send_error(state, conn, E_PROTOCOL, "resume body lacks client id");
                 return;
             }
             let client_id = u64::from_be_bytes(body[..8].try_into().unwrap());
@@ -2378,6 +2889,7 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
                     drop(sessions);
                     state.metrics.resumes_stale.inc();
                     send_error(
+                        state,
                         conn,
                         E_STALE,
                         format!("epoch {epoch} is not newer than {prior_epoch}"),
@@ -2403,6 +2915,9 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
             );
             drop(sessions);
             state.metrics.resumes.inc();
+            state
+                .flight
+                .record(FL_RESUME, conn.id, 0, 0, u64::from(epoch));
             conn.send(Frame::control(K_RESUME_ACK, epoch, 0));
         }
         K_BYE => {
@@ -2410,6 +2925,7 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
             *ctx.closing = true;
         }
         other => send_error(
+            state,
             conn,
             E_PROTOCOL,
             format!("unexpected frame kind {other:#04x}"),
@@ -2428,6 +2944,8 @@ type PendingAcks = HashMap<u32, (Arc<ConnShared>, HashMap<u32, (u32, u64)>)>;
 
 fn store_loop(state: Arc<State>) {
     let append_ns = state.registry.histogram("store_append_ns");
+    let torn = state.store.as_ref().map(|s| s.metrics().torn_tails.clone());
+    let mut torn_seen = torn.as_ref().map_or(0, |c| c.get());
     let mut batch: Vec<AppendReq> = Vec::with_capacity(512);
     loop {
         batch.clear();
@@ -2483,6 +3001,15 @@ fn store_loop(state: Arc<State>) {
             }
             i = j;
         }
+        // Live torn-tail repairs (append hit a fault, recovery truncated
+        // and re-appended) are flight-recorder moments.
+        if let Some(c) = &torn {
+            let now = c.get();
+            if now > torn_seen {
+                state.flight.record(FL_REPAIR, 0, 0, 0, now);
+                torn_seen = now;
+            }
+        }
         // Acks ride the ordinary outbound queues as control frames (so
         // they are never drop-oldest'd): b = newly-durable count, body =
         // the last durable offset.
@@ -2513,6 +3040,7 @@ fn replay_loop(
     chan: u32,
     log: Arc<ChannelLog>,
     from: u64,
+    delivered: Arc<AtomicU64>,
 ) {
     if let Some(store) = &state.store {
         store.metrics().replays.inc();
@@ -2520,6 +3048,7 @@ fn replay_loop(
     // Retention may have retired segments below `from`; start at the
     // oldest record still on disk rather than failing the subscribe.
     let mut next = from.max(log.oldest());
+    state.flight.record(FL_REPLAY_START, conn.id, chan, 0, next);
     // Format ids are assigned per daemon run; a record appended before a
     // restart may carry an id the current registry assigned to a
     // different layout (or none). Each segment is self-describing, so
@@ -2579,9 +3108,14 @@ fn replay_loop(
                 }
             });
             match sent {
-                Ok(_) => next = to,
+                Ok(_) => {
+                    next = to;
+                    // The streamed chunk is delivered: the lag watermark
+                    // tracks replay progress, not just live delivery.
+                    delivered.fetch_max(next, Ordering::Relaxed);
+                }
                 Err(e) => {
-                    send_error(&conn, E_CHANNEL, format!("replay failed: {e}"));
+                    send_error(&state, &conn, E_CHANNEL, format!("replay failed: {e}"));
                     return;
                 }
             }
@@ -2606,9 +3140,13 @@ fn replay_loop(
                 sink: state.hops.clone(),
                 hops: state.chan_hops(chan),
                 evicted_stalled: state.metrics.evicted_stalled.clone(),
+                delivered: Some(delivered.clone()),
             };
             let id = f.subscribe(sub);
             drop(f);
+            state
+                .flight
+                .record(FL_REPLAY_FINISH, conn.id, chan, 0, next);
             conn.durable_subs
                 .lock()
                 .unwrap_or_else(|p| p.into_inner())

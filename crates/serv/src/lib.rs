@@ -50,6 +50,18 @@
 //!   a seeded [`pbio_net::fault::FaultyStream`] via
 //!   [`ServConfig::fault_seed`].
 //!
+//! * **The daemon is introspectable**: an `INSPECT` exchange (and the
+//!   reserved `$topo` push channel) returns a live topology snapshot —
+//!   per-connection queue depth and shard assignment, per-channel
+//!   subscriber counts and durable heads, per-shard reactor load,
+//!   consumer-lag watermarks for every durable subscriber (including
+//!   replays in progress), and the tail of a lock-free **flight
+//!   recorder** of lifecycle events (connects, evictions, resumes,
+//!   protocol errors, fault injections, store repairs). The snapshot is
+//!   itself a self-describing PBIO record; with
+//!   [`ServConfig::flight_dump`] the recorder also drains incrementally
+//!   to a crash-safe `pbio-store` segment a post-mortem can decode.
+//!
 //! * **Channels can be durable**: a daemon configured with
 //!   [`ServConfig::durability`] appends every event published on a
 //!   [`protocol::CHAN_DURABLE`] channel to a `pbio-store` append-only
@@ -90,5 +102,5 @@ pub use daemon::{ConnStats, ServConfig, ServDaemon, ServStats, TraceConfig};
 pub use error::ServError;
 pub use pbio_store::{FlushPolicy, StoreConfig};
 pub use protocol::{
-    CAP_DURABLE, CAP_RESUME, CAP_TRACE, CHAN_DURABLE, STATS_CHANNEL, TRACE_CHANNEL,
+    CAP_DURABLE, CAP_RESUME, CAP_TRACE, CHAN_DURABLE, STATS_CHANNEL, TOPO_CHANNEL, TRACE_CHANNEL,
 };

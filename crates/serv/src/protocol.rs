@@ -64,6 +64,14 @@ pub const STATS_CHANNEL: &str = "$stats";
 /// dogfooding as [`STATS_CHANNEL`]. Opened at daemon startup.
 pub const TRACE_CHANNEL: &str = "$trace";
 
+/// Name of the reserved channel the daemon pushes live topology
+/// snapshots on ([`pbio_obs::export::topo_schema`] records: per
+/// connection, channel, shard, consumer-lag watermark, plus the recent
+/// flight-recorder tail). Opened at daemon startup; push is suppressed
+/// while the channel has zero subscribers. One-shot pulls ride
+/// [`K_INSPECT`].
+pub const TOPO_CHANNEL: &str = "$topo";
+
 /// Capability bit (in `HELLO.b` / the HELLO ack body): the peer speaks
 /// the trace-trailer extension. Tracing is in effect on a session only
 /// when *both* sides advertise it; old peers advertise nothing and see
@@ -181,6 +189,18 @@ pub const K_TRACE_CTL: u8 = 0x42;
 /// Daemon → client: sampling updated. `a` = echoed token, `b` = the
 /// modulus that was in effect before this change.
 pub const K_TRACE_CTL_ACK: u8 = 0x43;
+/// Client → daemon: request a one-shot topology snapshot (the
+/// introspection plane's pull side). `a` = client token. The daemon
+/// captures live state — per-connection queue depths, per-channel
+/// fan-out and durable-log footprint, per-shard load, consumer-lag
+/// watermarks, the flight-recorder tail — and answers with
+/// [`K_INSPECT_ACK`], preceded (once per connection) by a
+/// [`K_ANNOUNCE`] for the topology format.
+pub const K_INSPECT: u8 = 0x44;
+/// Daemon → client: a topology snapshot. `a` = echoed token, `b` = the
+/// snapshot's daemon-global format id, body = the record's native (NDR)
+/// bytes — the same encoding the `$topo` channel pushes.
+pub const K_INSPECT_ACK: u8 = 0x45;
 /// Daemon → client: liveness probe, sent when a connection has been
 /// silent for longer than the daemon's ping budget. `a` = a probe token
 /// the pong must echo. Clients answer transparently from their poll

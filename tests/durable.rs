@@ -432,6 +432,88 @@ fn resume_over_durable_channel_replays_the_outage_gap() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Consumer-lag watermarks during historical replay: a
+/// `subscribe_from(0)` reader over 4000 events of history shows a
+/// visibly nonzero lag while the replay is wedged against its bounded
+/// queue, and the watermark converges to exactly 0 once the reader
+/// drains and replay hands off to live delivery.
+#[test]
+fn subscribe_from_replay_surfaces_then_clears_consumer_lag() {
+    const EVENTS: u64 = 4_000;
+    let dir = store_dir("lag");
+    let daemon = ServDaemon::bind_with(
+        "127.0.0.1:0",
+        ServConfig {
+            // A small queue wedges the replay stream until the reader
+            // polls, freezing a mid-replay watermark for inspection.
+            queue_capacity: 32,
+            ..durable_config(&dir)
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+    let schema = tick_schema();
+
+    let mut publisher = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let format = publisher.register_format(&schema).unwrap();
+    let chan = publisher.open_channel_durable("lagged").unwrap();
+    for seq in 0..EVENTS {
+        publisher
+            .publish_value(chan, format, &tick(seq as i64))
+            .unwrap();
+    }
+    await_acks(&mut publisher, EVENTS);
+
+    // Replay from 0 without polling: the lag entry is seeded at the
+    // requested offset, so the watermark is immediately the full
+    // backlog, shrinking only as far as the wedged queue allows.
+    let mut reader = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let r_chan = reader.open_channel("lagged").unwrap();
+    reader.subscribe_from(r_chan, &schema, 0).unwrap();
+    let topo = daemon.topology();
+    let row = topo
+        .lags
+        .iter()
+        .find(|l| l.chan == r_chan && l.conn == reader.conn_id())
+        .expect("replay-in-progress consumer has a watermark");
+    assert_eq!(row.head, EVENTS);
+    assert!(
+        row.delivered < EVENTS && row.lag() > 0,
+        "mid-replay watermark is visibly behind: {row:?}"
+    );
+
+    // Drain; replay hands off to live delivery and the watermark
+    // converges to exactly 0.
+    let mut got = 0u64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while got < EVENTS && Instant::now() < deadline {
+        if reader.poll(Duration::from_millis(100)).unwrap().is_some() {
+            got += 1;
+        }
+    }
+    assert_eq!(got, EVENTS, "replay delivered the full history");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let topo = daemon.topology();
+        let row = topo
+            .lags
+            .iter()
+            .find(|l| l.chan == r_chan && l.conn == reader.conn_id())
+            .expect("watermark persists while the reader is connected");
+        if row.delivered == EVENTS && row.head == EVENTS {
+            assert_eq!(row.lag(), 0, "lag converged to exactly 0");
+            break;
+        }
+        assert!(Instant::now() < deadline, "lag never converged: {row:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    publisher.disconnect().unwrap();
+    reader.disconnect().unwrap();
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The newest segment file anywhere under the store directory.
 fn newest_segment(dir: &Path) -> PathBuf {
     let mut segs = Vec::new();

@@ -1,0 +1,144 @@
+//! Flight-recorder crash durability: a daemon killed without any
+//! shutdown handshake (SIGKILL — no destructors, no atexit) must leave
+//! behind a flight-dump segment that `pbio-store`'s ordinary reader can
+//! open, recover, and decode back into lifecycle events.
+//!
+//! The killed daemon runs in a child process: this test re-execs its own
+//! binary with `PBIO_FLIGHT_CHILD` set, waits for the child to report
+//! that the background drain has persisted a few events, kills it, and
+//! then decodes the dump the corpse left behind.
+
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use pbio_obs::export::flight_from_value;
+use pbio_obs::{FlightEvent, FL_CONNECT};
+use pbio_serv::{ServClient, ServConfig, ServDaemon, TraceConfig};
+use pbio_store::{FlushPolicy, ReplayItem, Store, StoreConfig};
+use pbio_types::arch::ArchProfile;
+use pbio_types::layout::Layout;
+use pbio_types::meta::deserialize_layout;
+use pbio_types::value::decode_native;
+
+/// Child mode: run a daemon with a flight dump, let the background
+/// drain tick a few times, announce readiness, and then idle until the
+/// parent kills us mid-flight.
+fn flight_child(dir: PathBuf) -> ! {
+    let daemon = ServDaemon::bind_with(
+        "127.0.0.1:0",
+        ServConfig {
+            stats_interval: Some(Duration::from_millis(20)),
+            trace: TraceConfig {
+                sample_mod: 0,
+                publish_interval: None,
+                sink_capacity: 16,
+            },
+            flight_dump: Some(dir),
+            ..ServConfig::default()
+        },
+    )
+    .expect("child daemon bind");
+    let addr = daemon.local_addr();
+
+    // Two connects and a little traffic: lifecycle events for the
+    // recorder, which the background loop drains to the dump each tick.
+    let mut a = ServClient::connect(addr, &ArchProfile::X86_64).expect("child connect a");
+    let mut b = ServClient::connect(addr, &ArchProfile::X86_64).expect("child connect b");
+    let _ = a.open_channel("doomed").expect("child open");
+    let _ = b.open_channel("doomed").expect("child open");
+
+    // Several 20ms drain ticks pass; the connects are on disk now.
+    std::thread::sleep(Duration::from_millis(400));
+    println!("FLIGHT-READY");
+    loop {
+        std::thread::sleep(Duration::from_secs(1));
+    }
+}
+
+/// Decode every flight event out of the dump directory through the
+/// public store reader — recovery included, exactly as a post-mortem
+/// tool would.
+fn decode_dump(dir: &Path) -> Vec<FlightEvent> {
+    let store = Store::open(StoreConfig {
+        flush: FlushPolicy::EveryBatch,
+        ..StoreConfig::new(dir.to_path_buf())
+    })
+    .expect("open dump store");
+    let log = store.channel("flight").expect("open flight log");
+    let mut layouts: HashMap<u32, Layout> = HashMap::new();
+    let mut events = Vec::new();
+    log.read_range(0, log.readable(), &mut |item| match item {
+        ReplayItem::Meta { format, meta } => {
+            let layout = deserialize_layout(meta).expect("dump meta deserializes");
+            layouts.insert(format, layout);
+        }
+        ReplayItem::Event {
+            format, payload, ..
+        } => {
+            let layout = layouts.get(&format).expect("meta precedes events");
+            let value = decode_native(payload, layout).expect("dump record decodes");
+            events.push(flight_from_value(&value).expect("record is a flight event"));
+        }
+    })
+    .expect("dump replays");
+    events
+}
+
+/// SIGKILL the daemon process mid-run; the flight dump left on disk
+/// must decode through the ordinary store reader and contain the
+/// lifecycle the child lived through.
+#[test]
+fn killed_daemon_leaves_a_decodable_flight_dump() {
+    if let Ok(dir) = std::env::var("PBIO_FLIGHT_CHILD") {
+        flight_child(PathBuf::from(dir));
+    }
+
+    let dir = std::env::temp_dir().join(format!("pbio-flight-kill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut child = Command::new(std::env::current_exe().unwrap())
+        .arg("--exact")
+        .arg("killed_daemon_leaves_a_decodable_flight_dump")
+        .arg("--nocapture")
+        .env("PBIO_FLIGHT_CHILD", &dir)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn child");
+
+    // Wait for the child to report that the dump has content, then kill
+    // it dead — no shutdown path runs, the dump is whatever already hit
+    // the disk.
+    let stdout = child.stdout.take().expect("child stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let mut ready = false;
+    for line in &mut lines {
+        if line.expect("read child").contains("FLIGHT-READY") {
+            ready = true;
+            break;
+        }
+    }
+    assert!(ready, "child exited before its dump was populated");
+    child.kill().expect("kill child");
+    let _ = child.wait();
+
+    let events = decode_dump(&dir);
+    assert!(
+        !events.is_empty(),
+        "the killed daemon left no decodable flight events"
+    );
+    assert!(
+        events.iter().filter(|e| e.kind == FL_CONNECT).count() >= 2,
+        "both client connects were recorded: {events:?}"
+    );
+    // Timestamps are monotone in dump order — the ring drained in
+    // generation order, and nothing after the kill scrambled it.
+    assert!(
+        events.windows(2).all(|w| w[0].t_ns <= w[1].t_ns),
+        "flight events decode in timeline order"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -4,6 +4,7 @@
 //! protocol-robustness guarantee that an unknown frame kind draws an
 //! `ERROR` reply without killing the session.
 
+use std::collections::HashSet;
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -17,7 +18,9 @@ use pbio_obs::Registry;
 use pbio_serv::protocol::{
     E_PROTOCOL, K_CHANNEL, K_CHANNEL_ACK, K_ERROR, K_HELLO, K_HELLO_ACK, PROTOCOL_VERSION,
 };
-use pbio_serv::{ServClient, ServConfig, ServDaemon, TraceConfig, STATS_CHANNEL};
+use pbio_serv::{
+    FlushPolicy, ServClient, ServConfig, ServDaemon, StoreConfig, TraceConfig, STATS_CHANNEL,
+};
 use pbio_types::arch::ArchProfile;
 use pbio_types::layout::Layout;
 use pbio_types::meta::serialize_layout;
@@ -226,6 +229,7 @@ fn stats_snapshot_converts_across_architectures() {
         id: 42,
         seq: 3,
         t_ns: 999_999,
+        snapshot_ns: 999_999,
     };
 
     let schema = stats_schema(&snap);
@@ -320,4 +324,176 @@ fn client_stats_track_bytes_pool_and_poll_overflow_drops() {
     let pub_reg = publisher.registry().snapshot();
     assert!(pub_reg.histogram("client_encode_ns").unwrap().count >= FLOOD as u64);
     daemon.shutdown();
+}
+
+/// Cross-shard traffic shows up in per-shard accounting twice over: the
+/// topology snapshot's per-shard rows (each reactor's connection count
+/// and wakeups) and the `$stats` registry's labeled metrics (names
+/// arrive field-sanitized, one per shard index).
+#[test]
+fn per_shard_metrics_label_every_reactor() {
+    let daemon = ServDaemon::bind_with(
+        "127.0.0.1:0",
+        ServConfig {
+            shards: 2,
+            stats_interval: None,
+            trace: TraceConfig::default(),
+            ..ServConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+    let schema = tick_schema();
+
+    // Round-robin accept: these two land on different reactors, so the
+    // publish below crosses shards on its way to the subscriber.
+    let mut sub = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let chan = sub.open_channel("cross").unwrap();
+    sub.subscribe(chan, &schema, None).unwrap();
+    let mut publisher = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let format = publisher.register_format(&schema).unwrap();
+    let chan = publisher.open_channel("cross").unwrap();
+    const EVENTS: i32 = 20;
+    for seq in 0..EVENTS {
+        publisher.publish_value(chan, format, &tick(seq)).unwrap();
+    }
+    let mut got = 0;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while got < EVENTS && Instant::now() < deadline {
+        if sub.poll(Duration::from_millis(100)).unwrap().is_some() {
+            got += 1;
+        }
+    }
+    assert_eq!(got, EVENTS, "cross-shard events all arrived");
+
+    // Topology view: both reactors exist, each owns one of the two
+    // connections, and each has woken to serve its side of the traffic.
+    let topo = daemon.topology();
+    assert_eq!(topo.shards.len(), 2);
+    assert_eq!(topo.shards.iter().map(|s| s.conns).sum::<i64>(), 2);
+    for sh in &topo.shards {
+        assert!(sh.wakeups > 0, "shard {} never woke", sh.shard);
+    }
+    let owners: HashSet<u32> = topo.conns.iter().map(|c| c.shard).collect();
+    assert_eq!(owners.len(), 2, "connections spread across both shards");
+
+    // The same accounting flows over `$stats` as labeled per-shard
+    // metrics, one set per shard index.
+    let (_, snap) = publisher.pull_stats().unwrap();
+    for shard in 0..2 {
+        assert!(
+            snap.counter(&format!("serv_shard_wakeups_shard__{shard}__"))
+                .unwrap()
+                > 0
+        );
+        assert!(snap
+            .gauge(&format!("serv_shard_conns_shard__{shard}__"))
+            .is_some());
+    }
+    daemon.shutdown();
+}
+
+/// Consumer-lag watermarks on a durable channel: a subscriber's
+/// delivered offset is tracked per (channel, connection) with publisher
+/// and subscriber pinned to different reactor shards, converges to the
+/// log head once the subscriber drains, is exported both in the
+/// topology snapshot and as a labeled `serv_consumer_lag` gauge on
+/// `$stats`, and disappears when the subscriber leaves.
+#[test]
+fn consumer_lag_watermarks_converge_across_shards() {
+    let dir = std::env::temp_dir().join(format!("pbio-obs-lag-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let daemon = ServDaemon::bind_with(
+        "127.0.0.1:0",
+        ServConfig {
+            shards: 2,
+            stats_interval: None,
+            trace: TraceConfig::default(),
+            durability: Some(StoreConfig {
+                flush: FlushPolicy::EveryBatch,
+                ..StoreConfig::new(dir.clone())
+            }),
+            ..ServConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = daemon.local_addr();
+    let schema = tick_schema();
+
+    let mut publisher = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let format = publisher.register_format(&schema).unwrap();
+    let chan = publisher.open_channel_durable("lagged").unwrap();
+    const HISTORY: u64 = 50;
+    for seq in 0..HISTORY {
+        publisher
+            .publish_value(chan, format, &tick(seq as i32))
+            .unwrap();
+    }
+    let deadline = Instant::now() + Duration::from_secs(15);
+    while publisher.stats().publishes_acked < HISTORY && Instant::now() < deadline {
+        let _ = publisher.poll(Duration::from_millis(50)).unwrap();
+    }
+    assert_eq!(publisher.stats().publishes_acked, HISTORY);
+
+    // Live durable subscriber on the other shard: its watermark starts
+    // at the head it joined at, then tracks the tail publishes.
+    let mut sub = ServClient::connect(addr, &ArchProfile::X86_64).unwrap();
+    let sub_chan = sub.open_channel("lagged").unwrap();
+    sub.subscribe(sub_chan, &schema, None).unwrap();
+    const TAIL: u64 = 30;
+    for seq in HISTORY..HISTORY + TAIL {
+        publisher
+            .publish_value(chan, format, &tick(seq as i32))
+            .unwrap();
+    }
+    let mut got = 0;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while got < TAIL && Instant::now() < deadline {
+        if sub.poll(Duration::from_millis(100)).unwrap().is_some() {
+            got += 1;
+        }
+    }
+    assert_eq!(got, TAIL, "subscriber drained the tail");
+
+    // The watermark converges to exactly the log head.
+    let total = HISTORY + TAIL;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let topo = daemon.topology();
+        let row = topo
+            .lags
+            .iter()
+            .find(|l| l.chan == sub_chan && l.conn == sub.conn_id());
+        if let Some(row) = row {
+            if row.head == total && row.delivered == total {
+                assert_eq!(row.lag(), 0);
+                break;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "lag never converged: {:?}",
+            daemon.topology().lags
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // The same watermark rides `$stats` as a two-label gauge, keyed by
+    // channel name and connection id (sanitized for the wire schema).
+    let (_, snap) = publisher.pull_stats().unwrap();
+    let gauge = format!("serv_consumer_lag_chan__lagged__conn__{}__", sub.conn_id());
+    assert_eq!(snap.gauge(&gauge), Some(0), "exported lag gauge is 0");
+
+    // Teardown drops the watermark with the connection.
+    sub.disconnect().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !daemon.topology().lags.is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "lag entries survived their subscriber"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
