@@ -20,7 +20,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pbio_bench::workloads::{workload, MsgSize};
-use pbio_serv::{ClientConfig, ServClient, ServConfig, ServDaemon, StoreConfig, TraceConfig};
+use pbio_serv::{
+    ClientConfig, ServClient, ServConfig, ServDaemon, StoreConfig, TapConfig, TraceConfig,
+};
 use pbio_types::arch::ArchProfile;
 use pbio_types::layout::Layout;
 use pbio_types::value::encode_native;
@@ -68,6 +70,25 @@ struct CaseResult {
     events_per_sec: f64,
     deliveries_per_sec: f64,
     allocs_per_event: f64,
+    capture_bytes: u64,
+}
+
+/// Total file bytes under a capture directory (recursive: the store
+/// lays segment files out in per-channel subdirectories).
+fn dir_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| {
+            let path = e.path();
+            if path.is_dir() {
+                dir_bytes(&path)
+            } else {
+                e.metadata().map_or(0, |m| m.len())
+            }
+        })
+        .sum()
 }
 
 /// Wait until every per-subscriber counter reaches `target`.
@@ -84,7 +105,13 @@ fn wait_for(counters: &[Arc<AtomicU64>], target: u64, start: Instant, what: &str
     }
 }
 
-fn run_case(subscribers: usize, heterogeneous: bool, warmup: u64, events: u64) -> CaseResult {
+fn run_case(
+    subscribers: usize,
+    heterogeneous: bool,
+    warmup: u64,
+    events: u64,
+    tap_dir: Option<std::path::PathBuf>,
+) -> CaseResult {
     let pub_profile = ArchProfile::X86_64;
     let sub_profile = if heterogeneous {
         ArchProfile::SPARC_V8
@@ -106,6 +133,12 @@ fn run_case(subscribers: usize, heterogeneous: bool, warmup: u64, events: u64) -
                 publish_interval: None,
                 sink_capacity: 16,
             },
+            // The tap ring must absorb the whole burst: a drop would
+            // understate capture bytes/event.
+            tap: tap_dir.clone().map(|dir| TapConfig {
+                ring_capacity: ((warmup + events) as usize * (subscribers + 1) + 1024).max(4096),
+                ..TapConfig::new(dir)
+            }),
             ..ServConfig::default()
         },
     )
@@ -185,6 +218,7 @@ fn run_case(subscribers: usize, heterogeneous: bool, warmup: u64, events: u64) -
     let stats = daemon.stats();
     assert_eq!(stats.dropped, 0, "benchmark must run drop-free: {stats:?}");
     daemon.shutdown();
+    let capture_bytes = tap_dir.as_deref().map_or(0, dir_bytes);
 
     let secs = elapsed.as_secs_f64();
     CaseResult {
@@ -194,6 +228,7 @@ fn run_case(subscribers: usize, heterogeneous: bool, warmup: u64, events: u64) -
         events_per_sec: events as f64 / secs,
         deliveries_per_sec: (events as f64 * subscribers as f64) / secs,
         allocs_per_event: (allocs_after - allocs_before) as f64 / events as f64,
+        capture_bytes,
     }
 }
 
@@ -475,7 +510,15 @@ fn run_subs_case(subscribers: usize, warmup: u64, events: u64) {
 /// measurement: a reproducible crash-recovery exercise. Resume clients
 /// must ride out whatever the seed injects, and every delivered event is
 /// still a valid record; damage shows up only in the printed counters.
-fn run_fault_case(seed: u64, events: u64) {
+fn run_fault_case(seed: u64, events: u64, tap: bool) {
+    let tap_dir = tap.then(|| {
+        let dir = std::env::temp_dir().join(format!(
+            "pbio-fanout-fault-tap-{}-{seed}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    });
     let w = workload(MsgSize::B100);
     let daemon = ServDaemon::bind_with(
         "127.0.0.1:0",
@@ -500,6 +543,11 @@ fn run_fault_case(seed: u64, events: u64) {
             max_replay: 32,
             flight_capacity: 256,
             flight_dump: None,
+            tap: tap_dir.clone().map(|dir| TapConfig {
+                ring_capacity: (events as usize * 4).max(4096),
+                ..TapConfig::new(dir)
+            }),
+            pin_shards: false,
         },
     )
     .expect("bind daemon");
@@ -617,6 +665,26 @@ fn run_fault_case(seed: u64, events: u64) {
         d.frames_rejected, d.dropped, d.resumes, d.evicted_dead, d.evicted_stalled
     );
     daemon.shutdown();
+
+    // With the tap on, the capture itself must survive the fault plan:
+    // torn tails may be truncated by recovery, but every frame that
+    // reads back clean must actually decode — a corrupted record behind
+    // a valid CRC would be a capture-path bug, not a wire fault.
+    if let Some(dir) = tap_dir {
+        let capture = pbio_serv::read_capture(&dir).expect("capture must recover and decode");
+        println!(
+            "capture under faults: {} frame(s) decoded clean, {} torn tail(s) truncated \
+             ({} bytes)",
+            capture.frames.len(),
+            capture.torn_tails,
+            capture.truncated_bytes
+        );
+        assert!(
+            !capture.frames.is_empty(),
+            "tap was enabled but captured nothing"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 fn main() {
@@ -635,7 +703,8 @@ fn main() {
     };
 
     if let Some(seed) = fault_seed {
-        run_fault_case(seed, if smoke { 2_000 } else { 10_000 });
+        let tap = args.iter().any(|a| a == "--tap");
+        run_fault_case(seed, if smoke { 2_000 } else { 10_000 }, tap);
         return;
     }
 
@@ -665,12 +734,41 @@ fn main() {
         return;
     }
 
+    if args.iter().any(|a| a == "--tap") {
+        println!("fan-out --tap: 100b records, homogeneous, wire capture off vs full");
+        println!("| subs | tap  | events/s | deliveries/s | capture B/event frame |");
+        println!("|------|------|----------|--------------|-----------------------|");
+        for &subs in subscriber_counts {
+            let off = run_case(subs, false, warmup, events, None);
+            let dir =
+                std::env::temp_dir().join(format!("pbio-fanout-tap-{}-{subs}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let on = run_case(subs, false, warmup, events, Some(dir.clone()));
+            let _ = std::fs::remove_dir_all(&dir);
+            // Every publish (in) and delivery (out) is one captured
+            // event frame; warmup traffic is captured too.
+            let frames = (warmup + events) * (1 + subs as u64);
+            println!(
+                "| {:>4} | off  | {:>8.0} | {:>12.0} | {:>21} |",
+                subs, off.events_per_sec, off.deliveries_per_sec, "-"
+            );
+            println!(
+                "| {:>4} | full | {:>8.0} | {:>12.0} | {:>21.1} |",
+                subs,
+                on.events_per_sec,
+                on.deliveries_per_sec,
+                on.capture_bytes as f64 / frames as f64
+            );
+        }
+        return;
+    }
+
     println!("fan-out benchmark: 100b records, publisher x86-64, loopback TCP");
     println!("| subs | mode   | events/s | deliveries/s | allocs/event |");
     println!("|------|--------|----------|--------------|--------------|");
     for &heterogeneous in &[false, true] {
         for &subs in subscriber_counts {
-            let r = run_case(subs, heterogeneous, warmup, events);
+            let r = run_case(subs, heterogeneous, warmup, events, None);
             println!(
                 "| {:>4} | {} | {:>8.0} | {:>12.0} | {:>12.1} |",
                 r.subscribers,

@@ -19,6 +19,12 @@
 //! mode fails if the sampler added any allocation or more than 1% + a
 //! few ns of latency.
 //!
+//! The wire-tap capture plane repeats the promise a third time: with the
+//! tap off, the per-frame decision is one relaxed atomic load
+//! ([`TapState::enabled`]). The third section measures the encode loop
+//! with and without a disabled tap consulted per op, under the same
+//! allocator and bounds.
+//!
 //! Runs as a plain `harness = false` binary (like `fanout`): `--guard`
 //! enforces the bound, the default just reports.
 
@@ -30,6 +36,7 @@ use std::time::Instant;
 use pbio::Writer;
 use pbio_bench::workloads::{workload, MsgSize};
 use pbio_obs::TraceSampler;
+use pbio_serv::tap::{TapMode, TapState};
 use pbio_types::arch::ArchProfile;
 
 /// Iterations per timed repetition.
@@ -87,12 +94,13 @@ fn measure() -> (f64, u64) {
     (best, allocs)
 }
 
-/// Baseline encode vs encode + disabled sampler, measured as
-/// *interleaved* repetition pairs: two long sequential phases would let
-/// clock-frequency drift (thermal throttling, co-tenant load) bias a 1%
-/// bound, whereas alternating reps exposes both variants to the same
-/// drift and each keeps its own minimum.
-fn measure_vs(sampler: &TraceSampler) -> ((f64, u64), (f64, u64)) {
+/// Baseline encode vs encode + a per-op probe (a disabled sampler or a
+/// disabled tap check), measured as *interleaved* repetition pairs: two
+/// long sequential phases would let clock-frequency drift (thermal
+/// throttling, co-tenant load) bias a 1% bound, whereas alternating reps
+/// exposes both variants to the same drift and each keeps its own
+/// minimum. The probe must return `false` — it models a disabled path.
+fn measure_vs(probe: &dyn Fn() -> bool) -> ((f64, u64), (f64, u64)) {
     let w = workload(MsgSize::B100);
     let mut writer = Writer::new(&ArchProfile::X86_64);
     let id = writer.register(&w.schema).expect("register");
@@ -104,19 +112,19 @@ fn measure_vs(sampler: &TraceSampler) -> ((f64, u64), (f64, u64)) {
     let mut base = (f64::INFINITY, u64::MAX);
     let mut traced = (f64::INFINITY, u64::MAX);
     for _ in 0..REPS {
-        for with_sampler in [false, true] {
+        for with_probe in [false, true] {
             let before = ALLOCS.load(Ordering::Relaxed);
             let start = Instant::now();
             for _ in 0..ITERS {
                 out.clear();
                 writer.write_value(id, &w.value, &mut out).expect("encode");
-                if with_sampler && black_box(sampler.try_sample()) {
-                    unreachable!("modulus 0 never samples");
+                if with_probe && black_box(probe()) {
+                    unreachable!("disabled probe never fires");
                 }
             }
             let ns = start.elapsed().as_nanos() as f64 / f64::from(ITERS);
             let allocs = ALLOCS.load(Ordering::Relaxed) - before;
-            let slot = if with_sampler { &mut traced } else { &mut base };
+            let slot = if with_probe { &mut traced } else { &mut base };
             slot.0 = slot.0.min(ns);
             slot.1 = slot.1.min(allocs);
         }
@@ -149,7 +157,7 @@ fn main() {
     }
 
     let sampler = TraceSampler::new(0);
-    let ((base_ns, base_allocs), (traced_ns, traced_allocs)) = measure_vs(&sampler);
+    let ((base_ns, base_allocs), (traced_ns, traced_allocs)) = measure_vs(&|| sampler.try_sample());
 
     let delta = traced_ns - base_ns;
     let ratio = traced_ns / base_ns;
@@ -169,6 +177,30 @@ fn main() {
     }
     if guard && delta > 20.0 && ratio > 1.01 {
         eprintln!("GUARD FAILED: disabled sampler exceeds 1% throughput bound");
+        failed = true;
+    }
+
+    let tap = TapState::new(TapMode::Off, 16);
+    let ((base_ns, base_allocs), (tapped_ns, tapped_allocs)) = measure_vs(&|| tap.enabled());
+
+    let delta = tapped_ns - base_ns;
+    let ratio = tapped_ns / base_ns;
+    println!("\nencode without tap check:   {base_ns:>8.1} ns/op ({base_allocs} allocs/rep)");
+    println!("encode + disabled tap:      {tapped_ns:>8.1} ns/op ({tapped_allocs} allocs/rep)");
+    println!("tap-off overhead: {delta:+.1} ns/op ({ratio:.3}x)");
+
+    // Same contract as the sampler: the tap-disabled decision is one
+    // relaxed load per frame, so zero added allocations and within the
+    // 1% + slack latency bound.
+    if guard && tapped_allocs > base_allocs {
+        eprintln!(
+            "GUARD FAILED: disabled tap allocated \
+             ({tapped_allocs} vs {base_allocs} allocs/rep)"
+        );
+        failed = true;
+    }
+    if guard && delta > 20.0 && ratio > 1.01 {
+        eprintln!("GUARD FAILED: disabled tap exceeds 1% throughput bound");
         failed = true;
     }
 

@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pbio_bench::cli::{json_escape, json_object, require, CommonArgs};
 use pbio_bench::workloads::{workload, MsgSize};
 use pbio_obs::export::{snapshot_from_value, StatsHeader, ROLE_DAEMON};
 use pbio_obs::{HistogramSnapshot, Snapshot};
@@ -32,34 +33,23 @@ use pbio_types::value::decode_native;
 const DEMO_CHANNEL: &str = "pbio-stats-demo";
 
 fn main() -> ExitCode {
-    let mut addr: Option<String> = None;
     let mut duration = Duration::from_secs(3);
-    let mut smoke = false;
-    let mut json = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--addr" => addr = args.next(),
+    let parsed = CommonArgs::parse(
+        "pbio-stats [--addr HOST:PORT] [--duration SECS] [--json] [--smoke]",
+        |flag, args| match flag {
             "--duration" => {
-                let secs: u64 = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--duration takes whole seconds");
+                let secs: u64 = require(args, "--duration", "whole seconds")?;
                 duration = Duration::from_secs(secs);
+                Ok(true)
             }
-            "--smoke" => {
-                smoke = true;
-                duration = Duration::from_secs(2);
-            }
-            "--json" => json = true,
-            other => {
-                eprintln!("unknown argument {other:?}");
-                eprintln!(
-                    "usage: pbio-stats [--addr HOST:PORT] [--duration SECS] [--json] [--smoke]"
-                );
-                return ExitCode::FAILURE;
-            }
-        }
+            _ => Ok(false),
+        },
+    );
+    let Some(CommonArgs { addr, json, smoke }) = parsed else {
+        return ExitCode::FAILURE;
+    };
+    if smoke {
+        duration = Duration::from_secs(2);
     }
 
     let outcome = match addr {
@@ -310,28 +300,14 @@ fn print_table(snapshots: &Snapshots) {
     }
 }
 
-/// Escape a metric name for a JSON string: labeled names like
-/// `client_dropped{chan="ticks"}` carry literal quotes.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Machine-readable report: one object per publisher snapshot, every
-/// metric keyed by its (escaped) registry name. Histograms are reduced
-/// to count/sum/mean/p50/p90/p99 rather than raw buckets.
+/// Machine-readable report: one schema-bearing object with one entry
+/// per publisher snapshot, every metric keyed by its (escaped) registry
+/// name. Histograms are reduced to count/sum/mean/p50/p90/p99 rather
+/// than raw buckets.
 fn print_json(snapshots: &Snapshots) {
     let mut keys: Vec<&(u32, u32)> = snapshots.keys().collect();
     keys.sort();
-    let mut out = String::from("{\"snapshots\":[");
+    let mut out = String::from("\"snapshots\":[");
     for (i, key) in keys.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -388,8 +364,8 @@ fn print_json(snapshots: &Snapshots) {
         }
         out.push_str("]}");
     }
-    out.push_str("]}");
-    println!("{out}");
+    out.push(']');
+    println!("{}", json_object("pbio-stats/v1", out));
 }
 
 /// CI assertions: the dogfooded channel actually carried nonzero

@@ -20,6 +20,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pbio_bench::cli::{json_escape, json_object, require, CommonArgs};
 use pbio_obs::export::TopoSnapshot;
 use pbio_obs::{flight_kind_name, FL_CONNECT, FL_REPLAY_FINISH, FL_REPLAY_START};
 use pbio_serv::{FlushPolicy, ServClient, ServConfig, ServDaemon, StoreConfig, TraceConfig};
@@ -43,29 +44,20 @@ struct Report {
 }
 
 fn main() -> ExitCode {
-    let mut addr: Option<String> = None;
     let mut events: u64 = 4_000;
-    let mut smoke = false;
-    let mut json = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--addr" => addr = args.next(),
+    let parsed = CommonArgs::parse(
+        "pbio-top [--addr HOST:PORT] [--events N] [--json] [--smoke]",
+        |flag, args| match flag {
             "--events" => {
-                events = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--events takes a count");
+                events = require(args, "--events", "a count")?;
+                Ok(true)
             }
-            "--smoke" => smoke = true,
-            "--json" => json = true,
-            other => {
-                eprintln!("unknown argument {other:?}");
-                eprintln!("usage: pbio-top [--addr HOST:PORT] [--events N] [--json] [--smoke]");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
+            _ => Ok(false),
+        },
+    );
+    let Some(CommonArgs { addr, json, smoke }) = parsed else {
+        return ExitCode::FAILURE;
+    };
 
     let outcome = match addr {
         Some(addr) => observe(&addr),
@@ -251,14 +243,14 @@ fn print_table(report: &Report) {
     );
 
     println!(
-        "\n{:<6} {:<6} {:<6} {:>7} {:>12} {:>9} {:>9}",
-        "conn", "shard", "caps", "queue", "bytes_sent", "frames", "idle_ms"
+        "\n{:<6} {:<6} {:<6} {:>7} {:>12} {:>9} {:>7} {:>9}",
+        "conn", "shard", "caps", "queue", "bytes_sent", "frames", "tapped", "idle_ms"
     );
     for c in &s.conns {
         let idle_ms = s.t_ns.saturating_sub(c.last_active_ns) / 1_000_000;
         println!(
-            "{:<6} {:<6} {:<#6x} {:>7} {:>12} {:>9} {:>9}",
-            c.conn, c.shard, c.caps, c.queue_depth, c.bytes_sent, c.frames_sent, idle_ms
+            "{:<6} {:<6} {:<#6x} {:>7} {:>12} {:>9} {:>7} {:>9}",
+            c.conn, c.shard, c.caps, c.queue_depth, c.bytes_sent, c.frames_sent, c.tapped, idle_ms
         );
     }
 
@@ -281,13 +273,18 @@ fn print_table(report: &Report) {
     }
 
     println!(
-        "\n{:<6} {:>6} {:>6} {:>9}",
-        "shard", "conns", "ready", "wakeups"
+        "\n{:<6} {:>6} {:>6} {:>9} {:>5}",
+        "shard", "conns", "ready", "wakeups", "cpu"
     );
     for sh in &s.shards {
+        let cpu = if sh.cpu < 0 {
+            "-".to_string()
+        } else {
+            sh.cpu.to_string()
+        };
         println!(
-            "{:<6} {:>6} {:>6} {:>9}",
-            sh.shard, sh.conns, sh.ready, sh.wakeups
+            "{:<6} {:>6} {:>6} {:>9} {:>5}",
+            sh.shard, sh.conns, sh.ready, sh.wakeups, cpu
         );
     }
 
@@ -338,24 +335,10 @@ fn print_table(report: &Report) {
     }
 }
 
-/// Escape a channel name for a JSON string.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 fn print_json(report: &Report) {
     let s = &report.snapshot;
     let mut out = format!(
-        "{{\"snapshot\":{{\"t_ns\":{},\"conn_total\":{},\"chan_total\":{},\
+        "\"snapshot\":{{\"t_ns\":{},\"conn_total\":{},\"chan_total\":{},\
          \"lag_total\":{},\"flight_total\":{},",
         s.t_ns, s.conn_total, s.chan_total, s.lag_total, s.flight_total
     );
@@ -366,8 +349,15 @@ fn print_json(report: &Report) {
         }
         out.push_str(&format!(
             "{{\"conn\":{},\"shard\":{},\"caps\":{},\"queue_depth\":{},\
-             \"bytes_sent\":{},\"frames_sent\":{},\"last_active_ns\":{}}}",
-            c.conn, c.shard, c.caps, c.queue_depth, c.bytes_sent, c.frames_sent, c.last_active_ns
+             \"bytes_sent\":{},\"frames_sent\":{},\"tapped\":{},\"last_active_ns\":{}}}",
+            c.conn,
+            c.shard,
+            c.caps,
+            c.queue_depth,
+            c.bytes_sent,
+            c.frames_sent,
+            c.tapped,
+            c.last_active_ns
         ));
     }
     out.push_str("],\"channels\":[");
@@ -394,8 +384,8 @@ fn print_json(report: &Report) {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"shard\":{},\"conns\":{},\"ready\":{},\"wakeups\":{}}}",
-            sh.shard, sh.conns, sh.ready, sh.wakeups
+            "{{\"shard\":{},\"conns\":{},\"ready\":{},\"wakeups\":{},\"cpu\":{}}}",
+            sh.shard, sh.conns, sh.ready, sh.wakeups, sh.cpu
         ));
     }
     out.push_str("],\"lags\":[");
@@ -437,8 +427,8 @@ fn print_json(report: &Report) {
             sample.t_ms, sample.max_lag, sample.max_queue
         ));
     }
-    out.push_str("]}");
-    println!("{out}");
+    out.push(']');
+    println!("{}", json_object("pbio-top/v1", out));
 }
 
 /// CI assertions: the demo's topology actually witnessed the replay —

@@ -22,6 +22,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pbio_bench::cli::{json_object, require, CommonArgs};
 use pbio_bench::workloads::{workload, MsgSize};
 use pbio_obs::export::hop_from_value;
 use pbio_obs::{hop_name, TraceHop, HOP_COUNT, HOP_PUBLISH};
@@ -41,43 +42,31 @@ const MAX_RENDERED: usize = 64;
 const SMOKE_SLACK_NS: u64 = 1_000_000;
 
 fn main() -> ExitCode {
-    let mut addr: Option<String> = None;
     let mut duration = Duration::from_secs(3);
-    let mut smoke = false;
-    let mut json = false;
     let mut subs = 2usize;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--addr" => addr = args.next(),
+    let parsed = CommonArgs::parse(
+        "pbio-trace [--addr HOST:PORT] [--duration SECS] [--subs N] [--json] [--smoke]",
+        |flag, args| match flag {
             "--duration" => {
-                let secs: u64 = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--duration takes whole seconds");
+                let secs: u64 = require(args, "--duration", "whole seconds")?;
                 duration = Duration::from_secs(secs);
+                Ok(true)
             }
-            "--smoke" => {
-                smoke = true;
-                duration = Duration::from_secs(2);
-            }
-            "--json" => json = true,
             "--subs" => {
-                subs = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .filter(|&n| n >= 1)
-                    .expect("--subs takes a subscriber count >= 1");
+                subs = require(args, "--subs", "a subscriber count >= 1")?;
+                if subs < 1 {
+                    return Err("--subs takes a subscriber count >= 1".into());
+                }
+                Ok(true)
             }
-            other => {
-                eprintln!("unknown argument {other:?}");
-                eprintln!(
-                    "usage: pbio-trace [--addr HOST:PORT] [--duration SECS] \
-                     [--subs N] [--json] [--smoke]"
-                );
-                return ExitCode::FAILURE;
-            }
-        }
+            _ => Ok(false),
+        },
+    );
+    let Some(CommonArgs { addr, json, smoke }) = parsed else {
+        return ExitCode::FAILURE;
+    };
+    if smoke {
+        duration = Duration::from_secs(2);
     }
 
     let outcome = match addr {
@@ -390,12 +379,11 @@ fn print_json(timelines: &[Timeline]) {
         .rev()
         .collect::<Vec<_>>();
 
-    let mut out = String::from("{");
-    out.push_str(&format!(
+    let mut out = format!(
         "\"timelines\":{},\"complete\":{},\"traces\":[",
         timelines.len(),
         complete.len()
-    ));
+    );
     for (i, t) in shown.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -434,8 +422,8 @@ fn print_json(timelines: &[Timeline]) {
             percentile(col, 0.99),
         ));
     }
-    out.push_str("]}");
-    println!("{out}");
+    out.push(']');
+    println!("{}", json_object("pbio-trace/v1", out));
 }
 
 /// CI assertions: at least one event's timeline reconstructed with all

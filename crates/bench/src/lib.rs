@@ -8,13 +8,16 @@
 //! * [`protocols`] — uniform prepared encode/decode closures for every wire
 //!   format under test (PBIO zero-copy / interpreted / DCG, MPICH-model,
 //!   CORBA CDR, XML), so figures and Criterion benches measure identical
-//!   work.
+//!   work,
+//! * [`cli`] — the flag loop and schema-bearing JSON envelope shared by
+//!   the `pbio-*` observability tools.
 //!
 //! See `DESIGN.md` (per-experiment index) and `EXPERIMENTS.md`
 //! (paper-vs-measured results).
 
 #![warn(missing_docs)]
 
+pub mod cli;
 pub mod era;
 pub mod protocols;
 pub mod workloads;

@@ -31,11 +31,15 @@
 //!   over raw `ppoll(2)` on Linux, a portable fallback elsewhere) plus a
 //!   cross-thread [`poll::Waker`], the foundation of the serv daemon's
 //!   sharded reactor event loop,
+//! * [`affinity`] — thread → CPU pinning (raw `sched_setaffinity(2)` on
+//!   Linux, unsupported elsewhere) so those reactor shards can stop
+//!   migrating between cores,
 //! * [`exchange`] — the measurement harness that produces the per-leg cost
 //!   breakdowns the figure binaries print.
 
 #![warn(missing_docs)]
 
+pub mod affinity;
 pub mod buf;
 pub mod clock;
 pub mod exchange;

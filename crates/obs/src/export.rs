@@ -328,6 +328,9 @@ pub struct TopoConn {
     pub bytes_sent: u64,
     /// Frames written to this connection so far.
     pub frames_sent: u64,
+    /// Frames the wire tap captured on this connection (both directions;
+    /// 0 when the tap is off or the daemon has none).
+    pub tapped: u64,
     /// [`crate::epoch_ns`] of the last inbound activity (read or pong).
     pub last_active_ns: u64,
 }
@@ -364,6 +367,9 @@ pub struct TopoShard {
     pub ready: i64,
     /// Poll wakeups since the daemon started.
     pub wakeups: u64,
+    /// CPU this shard's reactor thread is pinned to, or -1 when
+    /// unpinned (pinning off, or `sched_setaffinity` unavailable).
+    pub cpu: i64,
 }
 
 /// One consumer-lag watermark: how far a durable subscriber trails the
@@ -449,6 +455,7 @@ pub fn topo_schema() -> Schema {
             "cn_queue",
             "cn_bytes",
             "cn_frames",
+            "cn_tap",
             "cn_active_ns",
         ],
         TOPO_CONN_CAP,
@@ -467,7 +474,7 @@ pub fn topo_schema() -> Schema {
         TOPO_CHAN_CAP,
     );
     arrays(
-        &["sh_id", "sh_conns", "sh_ready", "sh_wakeups"],
+        &["sh_id", "sh_conns", "sh_ready", "sh_wakeups", "sh_cpu"],
         TOPO_SHARD_CAP,
     );
     arrays(
@@ -525,6 +532,7 @@ pub fn topo_value(topo: &TopoSnapshot) -> RecordValue {
         "cn_frames",
         topo_column(cn, TOPO_CONN_CAP, |c| c.frames_sent),
     );
+    rv.set("cn_tap", topo_column(cn, TOPO_CONN_CAP, |c| c.tapped));
     rv.set(
         "cn_active_ns",
         topo_column(cn, TOPO_CONN_CAP, |c| c.last_active_ns),
@@ -558,6 +566,12 @@ pub fn topo_value(topo: &TopoSnapshot) -> RecordValue {
         topo_column(sh, TOPO_SHARD_CAP, |s| s.ready.max(0) as u64),
     );
     rv.set("sh_wakeups", topo_column(sh, TOPO_SHARD_CAP, |s| s.wakeups));
+    // CPU pins are biased by one on the wire so the all-zero padding of
+    // an unused slot reads back as "unpinned", not "CPU 0".
+    rv.set(
+        "sh_cpu",
+        topo_column(sh, TOPO_SHARD_CAP, |s| (s.cpu + 1).max(0) as u64),
+    );
     let lag = &topo.lags;
     rv.set(
         "lag_chan",
@@ -618,7 +632,7 @@ pub fn topo_from_value(rv: &RecordValue) -> Option<TopoSnapshot> {
     {
         let (id, shard, caps) = (col("cn_id"), col("cn_shard"), col("cn_caps"));
         let (queue, bytes) = (col("cn_queue"), col("cn_bytes"));
-        let (frames, active) = (col("cn_frames"), col("cn_active_ns"));
+        let (frames, tap, active) = (col("cn_frames"), col("cn_tap"), col("cn_active_ns"));
         for (i, &id) in id.iter().enumerate().take(count("cn_count")) {
             topo.conns.push(TopoConn {
                 conn: id as u32,
@@ -627,6 +641,7 @@ pub fn topo_from_value(rv: &RecordValue) -> Option<TopoSnapshot> {
                 queue_depth: queue.get(i).copied().unwrap_or(0),
                 bytes_sent: bytes.get(i).copied().unwrap_or(0),
                 frames_sent: frames.get(i).copied().unwrap_or(0),
+                tapped: tap.get(i).copied().unwrap_or(0),
                 last_active_ns: active.get(i).copied().unwrap_or(0),
             });
         }
@@ -659,12 +674,14 @@ pub fn topo_from_value(rv: &RecordValue) -> Option<TopoSnapshot> {
             col("sh_ready"),
             col("sh_wakeups"),
         );
+        let cpu = col("sh_cpu");
         for (i, &id) in id.iter().enumerate().take(count("sh_count")) {
             topo.shards.push(TopoShard {
                 shard: id as u32,
                 conns: conns.get(i).copied().unwrap_or(0) as i64,
                 ready: ready.get(i).copied().unwrap_or(0) as i64,
                 wakeups: wakeups.get(i).copied().unwrap_or(0),
+                cpu: cpu.get(i).copied().unwrap_or(0) as i64 - 1,
             });
         }
     }
@@ -881,6 +898,7 @@ mod tests {
                     queue_depth: 5,
                     bytes_sent: 1024,
                     frames_sent: 10,
+                    tapped: 6,
                     last_active_ns: 99,
                 },
                 TopoConn {
@@ -899,12 +917,23 @@ mod tests {
                 segments: 2,
                 disk_bytes: 468_000,
             }],
-            shards: vec![TopoShard {
-                shard: 0,
-                conns: 2,
-                ready: 1,
-                wakeups: 77,
-            }],
+            shards: vec![
+                TopoShard {
+                    shard: 0,
+                    conns: 2,
+                    ready: 1,
+                    wakeups: 77,
+                    cpu: 3,
+                },
+                // An unpinned shard: -1 must survive the biased wire column.
+                TopoShard {
+                    shard: 1,
+                    conns: 0,
+                    ready: 0,
+                    wakeups: 1,
+                    cpu: -1,
+                },
+            ],
             lags: vec![TopoLag {
                 chan: 3,
                 conn: 2,

@@ -39,6 +39,17 @@ pub const FL_REPLAY_START: u32 = 7;
 pub const FL_REPLAY_FINISH: u32 = 8;
 /// The daemon began an orderly shutdown.
 pub const FL_SHUTDOWN: u32 = 9;
+/// The wire tap was switched on or reconfigured (`conn` = requester, 0
+/// at boot; `code` = mode, `aux` = mode parameter).
+pub const FL_TAP_START: u32 = 10;
+/// The wire tap was switched off (`conn` = requester, `aux` = frames
+/// captured so far).
+pub const FL_TAP_STOP: u32 = 11;
+/// The capture log rotated into a new segment (`aux` = segment count).
+pub const FL_TAP_ROTATE: u32 = 12;
+/// The capture ring overflowed and dropped frames (`aux` = total frames
+/// dropped so far).
+pub const FL_TAP_DROP: u32 = 13;
 
 /// Human-readable name for a flight-event kind.
 pub fn flight_kind_name(kind: u32) -> &'static str {
@@ -52,6 +63,10 @@ pub fn flight_kind_name(kind: u32) -> &'static str {
         FL_REPLAY_START => "replay_start",
         FL_REPLAY_FINISH => "replay_finish",
         FL_SHUTDOWN => "shutdown",
+        FL_TAP_START => "tap_start",
+        FL_TAP_STOP => "tap_stop",
+        FL_TAP_ROTATE => "tap_rotate",
+        FL_TAP_DROP => "tap_drop",
         _ => "unknown",
     }
 }

@@ -37,7 +37,8 @@ mod tracectx;
 
 pub use flight::{
     flight_kind_name, FlightEvent, FlightRecorder, FL_CONNECT, FL_EVICT, FL_FAULT, FL_PROTO_ERROR,
-    FL_REPAIR, FL_REPLAY_FINISH, FL_REPLAY_START, FL_RESUME, FL_SHUTDOWN,
+    FL_REPAIR, FL_REPLAY_FINISH, FL_REPLAY_START, FL_RESUME, FL_SHUTDOWN, FL_TAP_DROP,
+    FL_TAP_ROTATE, FL_TAP_START, FL_TAP_STOP,
 };
 pub use metric::{
     bucket_index, bucket_lower, bucket_upper, Counter, Gauge, Histogram, HistogramSnapshot, BUCKETS,

@@ -1410,6 +1410,22 @@ impl ServClient {
         Ok(self.await_ack(K_TRACE_CTL_ACK, token)?.b)
     }
 
+    /// Switch the daemon's wire tap ([`K_TAP_CTL`]) to `mode`. Returns
+    /// the wire code of the mode previously in effect. The daemon
+    /// answers `ERROR` if it was started without
+    /// [`crate::ServConfig::tap`], or for an unknown mode (including a
+    /// zero sampling modulus) — both surface as [`ServError::Remote`].
+    pub fn tap_ctl(&mut self, mode: crate::tap::TapMode) -> Result<u32, ServError> {
+        let token = self.next_token;
+        self.next_token += 1;
+        let (mode, param) = mode.to_wire();
+        let body: &[u8] = &param.to_be_bytes();
+        // Parameterless modes send an empty body.
+        let body = if param == 0 { &[] } else { body };
+        self.send_raw(K_TAP_CTL, token, mode, body)?;
+        Ok(self.await_ack(K_TAP_CTL_ACK, token)?.b)
+    }
+
     /// Drain the decode hops recorded by this client's poll loop.
     pub fn take_trace_hops(&mut self) -> Vec<TraceHop> {
         self.trace_hops.drain()

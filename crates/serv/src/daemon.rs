@@ -50,7 +50,7 @@ use std::convert::Infallible;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -76,15 +76,16 @@ use pbio_obs::export::{
 use pbio_obs::{
     epoch_ns, Counter, FlightRecorder, Gauge, Histogram, Registry, Span, TraceCtx, TraceHop,
     TraceSink, FL_CONNECT, FL_EVICT, FL_FAULT, FL_PROTO_ERROR, FL_REPAIR, FL_REPLAY_FINISH,
-    FL_REPLAY_START, FL_RESUME, FL_SHUTDOWN, HOP_ENQUEUE, HOP_FLUSH, HOP_INGRESS, HOP_PUBLISH,
-    TRACE_TRAILER_LEN,
+    FL_REPLAY_START, FL_RESUME, FL_SHUTDOWN, FL_TAP_DROP, FL_TAP_ROTATE, FL_TAP_START, FL_TAP_STOP,
+    HOP_ENQUEUE, HOP_FLUSH, HOP_INGRESS, HOP_PUBLISH, TRACE_TRAILER_LEN,
 };
-use pbio_store::{Append, ChannelLog, FlushPolicy, ReplayItem, Store, StoreConfig};
+use pbio_store::{Append, ChannelLog, FlushPolicy, ReplayItem, Store, StoreConfig, FORMAT_RAW};
 use pbio_types::arch::ArchProfile;
 use pbio_types::layout::Layout;
 use pbio_types::value::encode_native_into;
 
 use crate::protocol::*;
+use crate::tap::{TapConfig, TapEntry, TapMode, TapState, CAPTURE_CHANNEL, TAP_IN, TAP_OUT};
 
 /// Upper bound on one reactor poll wait: the cadence of shutdown checks
 /// and heartbeat scans when no readiness event arrives sooner.
@@ -150,6 +151,21 @@ pub struct ServConfig {
     /// an orderly shutdown flushes the full tail. `None` — the default —
     /// keeps the recorder memory-only.
     pub flight_dump: Option<PathBuf>,
+    /// Wire-tap capture plane: when set, frames crossing every
+    /// connection are recorded — per [`crate::tap::TapConfig::mode`],
+    /// switchable at run time with [`K_TAP_CTL`] — into crash-safe
+    /// capture segments under [`crate::tap::TapConfig::dir`]. Bodies
+    /// are captured by refcount bump on the outbound path; with the tap
+    /// disabled the per-frame cost is one relaxed load. `None` — the
+    /// default — compiles the tap points in but leaves them inert, and
+    /// makes [`K_TAP_CTL`] a protocol error.
+    pub tap: Option<TapConfig>,
+    /// Pin each reactor shard thread to its own CPU
+    /// (`shard i → cpu i % parallelism`, via raw `sched_setaffinity`)
+    /// so per-connection state stops migrating between cores. Pinning
+    /// failures are non-fatal: the shard runs unpinned and reports
+    /// `cpu = -1` in topology snapshots.
+    pub pin_shards: bool,
 }
 
 impl Default for ServConfig {
@@ -167,6 +183,8 @@ impl Default for ServConfig {
             durability: None,
             flight_capacity: 256,
             flight_dump: None,
+            tap: None,
+            pin_shards: false,
         }
     }
 }
@@ -649,6 +667,25 @@ struct FlightSink {
 }
 
 // ---------------------------------------------------------------------------
+// Wire tap: capture ring → crash-safe segment log.
+
+/// The tap's on-disk half, mirroring [`FlightSink`]: a dedicated
+/// `pbio-store` channel log (flushed every batch, torn tails CRC-recovered
+/// on reopen) that the background thread drains captured frames into.
+/// Records are opaque capture bytes, appended under [`FORMAT_RAW`].
+struct TapSink {
+    log: Arc<ChannelLog>,
+    /// Keeps the capture store (and its flush policy) alive.
+    _store: Store,
+    /// Encode scratch, reused across drains.
+    scratch: Vec<TapEntry>,
+    /// Segment count at the last drain, to spot rotations.
+    segments: usize,
+    /// Drop counter at the last drain, to report overflow once per leap.
+    dropped_seen: u64,
+}
+
+// ---------------------------------------------------------------------------
 // Per-connection shared state and the remote subscriber.
 
 /// A snapshot of one connection's writer-side counters.
@@ -672,6 +709,8 @@ struct ConnCounters {
     frames_sent: AtomicU64,
     frames_batched: AtomicU64,
     writes: AtomicU64,
+    /// Frames (either direction) captured by the wire tap.
+    frames_tapped: AtomicU64,
 }
 
 /// One socket, many roles: the reactor's read wrapper, its write wrapper
@@ -1046,8 +1085,20 @@ struct State {
     /// the recorder drains into incrementally. `None` when
     /// [`ServConfig::flight_dump`] is unset.
     flight_sink: Option<Mutex<FlightSink>>,
+    /// The wire tap's in-memory half: runtime mode switch + bounded
+    /// capture ring, consulted (one relaxed load) on every frame both
+    /// directions. `None` when [`ServConfig::tap`] is unset — then
+    /// [`K_TAP_CTL`] is a protocol error and the tap points are inert.
+    tap: Option<Arc<TapState>>,
+    /// The tap's on-disk half: the capture segment log the background
+    /// thread drains the ring into (fsync per batch, like the flight
+    /// dump). Present iff `tap` is.
+    tap_sink: Option<Mutex<TapSink>>,
     /// Per-shard load gauges, indexed by shard, read by topology capture.
     shard_load: Vec<ShardLoad>,
+    /// CPU each reactor shard is pinned to (`-1` = unpinned), written by
+    /// the shard thread at startup, read by topology capture.
+    shard_cpus: Vec<AtomicI64>,
     /// Durable consumer-lag watermarks: `(channel, conn)` → events
     /// delivered. Entries are created at subscribe time and dropped with
     /// the connection.
@@ -1121,6 +1172,33 @@ impl State {
             }
             None => None,
         };
+        let (tap, tap_sink) = match &config.tap {
+            Some(cfg) => {
+                let mut scfg = StoreConfig::new(cfg.dir.clone());
+                // Same contract as the flight dump: a killed daemon must
+                // leave a decodable capture, so every batch is fsynced.
+                scfg.flush = FlushPolicy::EveryBatch;
+                let tstore = Store::open(scfg)?;
+                let log = tstore.channel(CAPTURE_CHANNEL)?;
+                let state = Arc::new(TapState::new(cfg.mode, cfg.ring_capacity));
+                if cfg.mode != TapMode::Off {
+                    let (mode, param) = cfg.mode.to_wire();
+                    flight.record(FL_TAP_START, 0, 0, mode, u64::from(param));
+                }
+                let sink = TapSink {
+                    segments: log.segment_count(),
+                    log,
+                    _store: tstore,
+                    scratch: Vec::new(),
+                    dropped_seen: 0,
+                };
+                (Some(state), Some(Mutex::new(sink)))
+            }
+            None => (None, None),
+        };
+        let shard_cpus = (0..effective_shards(config))
+            .map(|_| AtomicI64::new(-1))
+            .collect();
         let shard_load = (0..effective_shards(config))
             .map(|i| {
                 let v = i.to_string();
@@ -1161,7 +1239,10 @@ impl State {
             topo_format: OnceLock::new(),
             flight,
             flight_sink,
+            tap,
+            tap_sink,
             shard_load,
+            shard_cpus,
             lags: Mutex::new(HashMap::new()),
             store,
             logs: Mutex::new(HashMap::new()),
@@ -1403,6 +1484,7 @@ impl State {
                     queue_depth: c.outbound.event_backlog() as u64,
                     bytes_sent: c.counters.bytes_sent.load(Ordering::Relaxed),
                     frames_sent: c.counters.frames_sent.load(Ordering::Relaxed),
+                    tapped: c.counters.frames_tapped.load(Ordering::Relaxed),
                     last_active_ns: c.last_active_ns.load(Ordering::Relaxed),
                 });
             }
@@ -1443,6 +1525,7 @@ impl State {
                 conns: s.conns.get(),
                 ready: s.ready.get(),
                 wakeups: s.wakeups.get(),
+                cpu: self.shard_cpus[i].load(Ordering::Relaxed),
             });
         }
         topo.lags = self.lag_watermarks();
@@ -1501,6 +1584,55 @@ impl State {
             .is_ok()
         {
             sink.cursor = next;
+        }
+    }
+
+    /// Drain the tap ring into the capture segment log. Same crash
+    /// contract as [`State::drain_flight`]: every appended batch is
+    /// fsynced, a death mid-append leaves a CRC-recoverable torn tail.
+    /// Rotations and ring overflow observed since the last drain are
+    /// recorded into the flight recorder, so `$topo` narrates the
+    /// capture's own lifecycle.
+    fn drain_tap(&self) {
+        let (Some(tap), Some(sink)) = (&self.tap, &self.tap_sink) else {
+            return;
+        };
+        let mut sink = sink.lock().unwrap_or_else(|p| p.into_inner());
+        let sink = &mut *sink;
+        sink.scratch.clear();
+        tap.drain(&mut sink.scratch);
+        if !sink.scratch.is_empty() {
+            let mut bufs: Vec<Vec<u8>> = Vec::with_capacity(sink.scratch.len());
+            for entry in &sink.scratch {
+                let mut buf = Vec::with_capacity(13 + FRAME_HEADER_SIZE + entry.body.len());
+                entry.encode_into(&mut buf);
+                bufs.push(buf);
+            }
+            let start = sink.log.reserve(bufs.len() as u64);
+            let recs: Vec<Append<'_>> = bufs
+                .iter()
+                .enumerate()
+                .map(|(i, b)| Append {
+                    offset: start + i as u64,
+                    // Raw capture bytes: no layout, no meta record.
+                    format: FORMAT_RAW,
+                    payload: b,
+                })
+                .collect();
+            let _ = sink
+                .log
+                .append_batch(&recs, &mut |id| self.formats.meta(id));
+            sink.scratch.clear();
+        }
+        let segments = sink.log.segment_count();
+        if segments > sink.segments {
+            self.flight.record(FL_TAP_ROTATE, 0, 0, 0, segments as u64);
+        }
+        sink.segments = segments;
+        let dropped = tap.dropped();
+        if dropped > sink.dropped_seen {
+            self.flight.record(FL_TAP_DROP, 0, 0, 0, dropped);
+            sink.dropped_seen = dropped;
         }
     }
 
@@ -1592,10 +1724,26 @@ impl ServDaemon {
             let sm = ShardMetrics::resolve(&state.registry, i);
             let shard_state = state.clone();
             let shard_handle = handle.clone();
+            let pin_to = config.pin_shards.then(|| {
+                let parallelism = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                i % parallelism
+            });
             shard_threads.push(
                 std::thread::Builder::new()
                     .name(format!("pbio-serv-shard{i}"))
-                    .spawn(move || reactor_loop(shard_state, shard_handle, rx, p, sm))?,
+                    .spawn(move || {
+                        if let Some(cpu) = pin_to {
+                            // Best-effort: a refused mask (cgroup cpuset,
+                            // non-Linux host) leaves the shard unpinned
+                            // and the snapshot reporting -1.
+                            if pbio_net::affinity::pin_current_thread(cpu).is_ok() {
+                                shard_state.shard_cpus[i].store(cpu as i64, Ordering::Relaxed);
+                            }
+                        }
+                        reactor_loop(shard_state, shard_handle, rx, p, sm)
+                    })?,
             );
             shards.push(handle);
         }
@@ -1607,6 +1755,7 @@ impl ServDaemon {
         let stats_thread = if config.stats_interval.is_some()
             || config.trace.publish_interval.is_some()
             || state.flight_sink.is_some()
+            || state.tap_sink.is_some()
         {
             let bg_state = state.clone();
             let stats_interval = config.stats_interval;
@@ -1747,9 +1896,11 @@ impl ServDaemon {
         if let Some(store) = &self.state.store {
             let _ = store.sync_all();
         }
-        // Final flight flush: teardown events recorded during this stop
-        // (evictions, the shutdown marker itself) reach the dump.
+        // Final flight and capture flushes: teardown events recorded
+        // during this stop (evictions, the shutdown marker itself) and
+        // the tail of the tap ring reach their dumps.
         self.state.drain_flight();
+        self.state.drain_tap();
     }
 }
 
@@ -1858,9 +2009,10 @@ fn background_loop(
                 publish_trace(&state);
             }
         }
-        // Incremental flight dump on every tick: the window an unclean
-        // death can lose is one step, not the whole ring.
+        // Incremental flight and capture dumps on every tick: the window
+        // an unclean death can lose is one step, not the whole ring.
         state.drain_flight();
+        state.drain_tap();
     }
 }
 
@@ -2229,6 +2381,27 @@ fn handle_readable(state: &Arc<State>, cs: &mut ConnState) -> u64 {
                         .metrics
                         .bytes_in
                         .add((FRAME_HEADER_SIZE + header.len) as u64);
+                    // Inbound tap point. The decoder's body is borrowed,
+                    // so capturing copies it — but only here, with the
+                    // tap on; the disabled path is the one relaxed load
+                    // inside `enabled()`.
+                    if let Some(tap) = &state.tap {
+                        if tap.enabled() {
+                            let is_event = header.kind == K_PUBLISH || header.kind == K_EVENT;
+                            if !is_event || tap.wants_event(header.a) {
+                                tap.push(TapEntry {
+                                    t_ns: epoch_ns(),
+                                    conn: conn.id,
+                                    dir: TAP_IN,
+                                    kind: header.kind,
+                                    a: header.a,
+                                    b: header.b,
+                                    body: WireBuf::copy_from(body),
+                                });
+                                conn.counters.frames_tapped.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
                     // Times the handling of this frame (dispatch
                     // included), not the socket read above it.
                     let _recv_span = Span::enter(&state.metrics.recv_ns);
@@ -2337,6 +2510,38 @@ fn flush_conn(state: &Arc<State>, sm: &ShardMetrics, cs: &mut ConnState) -> bool
                         t_ns: t,
                         dur_ns: dur,
                     });
+                }
+            }
+            // Outbound tap point: frames are captured once the vectored
+            // write has handed them to the kernel, bodies by refcount
+            // bump — fanning a tapped event to N subscribers still
+            // never copies it.
+            if let Some(tap) = &state.tap {
+                if tap.enabled() {
+                    let t_ns = epoch_ns();
+                    let mut tapped = 0u64;
+                    for frame in done {
+                        let is_event = frame.kind == K_EVENT;
+                        if is_event && !tap.wants_event(frame.a) {
+                            continue;
+                        }
+                        tap.push(TapEntry {
+                            t_ns,
+                            conn: cs.conn.id,
+                            dir: TAP_OUT,
+                            kind: frame.kind,
+                            a: frame.a,
+                            b: frame.b,
+                            body: frame.body.clone(),
+                        });
+                        tapped += 1;
+                    }
+                    if tapped > 0 {
+                        cs.conn
+                            .counters
+                            .frames_tapped
+                            .fetch_add(tapped, Ordering::Relaxed);
+                    }
                 }
             }
             let events = done.iter().filter(|f| f.kind == K_EVENT).count() as u64;
@@ -2852,6 +3057,48 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
         K_TRACE_CTL => {
             let prev = state.trace_mod.swap(header.b, Ordering::Relaxed);
             conn.send(Frame::control(K_TRACE_CTL_ACK, header.a, prev));
+        }
+        K_TAP_CTL => {
+            let Some(tap) = &state.tap else {
+                send_error(
+                    state,
+                    conn,
+                    E_PROTOCOL,
+                    "tap control on a daemon with no capture plane configured",
+                );
+                return;
+            };
+            let param = match body {
+                [] => 0,
+                [p0, p1, p2, p3] => u32::from_be_bytes([*p0, *p1, *p2, *p3]),
+                _ => {
+                    send_error(state, conn, E_PROTOCOL, "malformed tap control body");
+                    return;
+                }
+            };
+            let Some(mode) = TapMode::from_wire(header.b, param) else {
+                send_error(
+                    state,
+                    conn,
+                    E_PROTOCOL,
+                    format!("unknown tap mode {} (param {param})", header.b),
+                );
+                return;
+            };
+            let prev = tap.set_mode(mode);
+            if mode == TapMode::Off {
+                if prev != TapMode::Off {
+                    state
+                        .flight
+                        .record(FL_TAP_STOP, conn.id, 0, 0, tap.captured());
+                }
+            } else {
+                state
+                    .flight
+                    .record(FL_TAP_START, conn.id, 0, header.b, u64::from(param));
+            }
+            let (prev_mode, _) = prev.to_wire();
+            conn.send(Frame::control(K_TAP_CTL_ACK, header.a, prev_mode));
         }
         // A peer probing us gets the echo; a pong (the answer to our
         // own probe) needs no handling beyond the `last_rx` refresh

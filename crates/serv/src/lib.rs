@@ -62,6 +62,18 @@
 //!   [`ServConfig::flight_dump`] the recorder also drains incrementally
 //!   to a crash-safe `pbio-store` segment a post-mortem can decode.
 //!
+//! * **The wire itself can be captured**: a daemon configured with
+//!   [`ServConfig::tap`] records frames — direction, timestamp,
+//!   connection id, exact bytes — into crash-safe capture segments
+//!   ([`tap`]), toggleable per-mode at run time over the wire
+//!   ([`protocol::K_TAP_CTL`]: full / 1-in-N sampled / single-channel).
+//!   Captures are self-describing (the session's own `FORMAT` frames
+//!   travel inside), decodable offline frame-by-frame and record-by-
+//!   record, and *replayable*: [`tap::replay_session`] re-drives a
+//!   captured client session against a fresh daemon and diffs the
+//!   delivered event stream byte-for-byte. Disabled, the tap costs one
+//!   relaxed load per frame.
+//!
 //! * **Channels can be durable**: a daemon configured with
 //!   [`ServConfig::durability`] appends every event published on a
 //!   [`protocol::CHAN_DURABLE`] channel to a `pbio-store` append-only
@@ -96,6 +108,7 @@ pub mod client;
 pub mod daemon;
 pub mod error;
 pub mod protocol;
+pub mod tap;
 
 pub use client::{ClientConfig, ClientStats, Event, RawEvent, ServClient};
 pub use daemon::{ConnStats, ServConfig, ServDaemon, ServStats, TraceConfig};
@@ -103,4 +116,8 @@ pub use error::ServError;
 pub use pbio_store::{FlushPolicy, StoreConfig};
 pub use protocol::{
     CAP_DURABLE, CAP_RESUME, CAP_TRACE, CHAN_DURABLE, STATS_CHANNEL, TOPO_CHANNEL, TRACE_CHANNEL,
+};
+pub use tap::{
+    read_capture, replay_session, CaptureFile, CapturedFrame, ReplayOptions, ReplayReport,
+    ReplaySpeed, TapConfig, TapMode,
 };

@@ -201,6 +201,31 @@ pub const K_INSPECT: u8 = 0x44;
 /// snapshot's daemon-global format id, body = the record's native (NDR)
 /// bytes — the same encoding the `$topo` channel pushes.
 pub const K_INSPECT_ACK: u8 = 0x45;
+/// Client → daemon: reconfigure the wire tap at run time. `a` = client
+/// token, `b` = the new tap mode ([`TAP_OFF`], [`TAP_FULL`],
+/// [`TAP_SAMPLED`], [`TAP_CHANNEL`]); for the parameterized modes the
+/// body is `param:u32be` — the sampling modulus (capture one event
+/// frame in `param`) or the channel id to scope to. Control frames are
+/// always captured while any mode is on, so a capture stays
+/// self-describing. Requires a daemon configured with
+/// `ServConfig::tap` (else `ERROR(E_PROTOCOL)`); answered with
+/// [`K_TAP_CTL_ACK`].
+pub const K_TAP_CTL: u8 = 0x46;
+/// Daemon → client: tap reconfigured. `a` = echoed token, `b` = the tap
+/// mode that was in effect before this change.
+pub const K_TAP_CTL_ACK: u8 = 0x47;
+
+/// [`K_TAP_CTL`] mode: capture nothing (the hot path pays one relaxed
+/// load per frame and no more).
+pub const TAP_OFF: u32 = 0;
+/// [`K_TAP_CTL`] mode: capture every frame, both directions.
+pub const TAP_FULL: u32 = 1;
+/// [`K_TAP_CTL`] mode: capture every control frame but only one event
+/// frame ([`K_PUBLISH`]/[`K_EVENT`]) in `param`.
+pub const TAP_SAMPLED: u32 = 2;
+/// [`K_TAP_CTL`] mode: capture every control frame but only the event
+/// frames of channel `param`.
+pub const TAP_CHANNEL: u32 = 3;
 /// Daemon → client: liveness probe, sent when a connection has been
 /// silent for longer than the daemon's ping budget. `a` = a probe token
 /// the pong must echo. Clients answer transparently from their poll
@@ -252,3 +277,40 @@ pub const E_STALE: u32 = 7;
 /// [`K_SUBSCRIBE_FROM`] when every replay slot is busy). Transient: the
 /// request may be retried once load subsides; the session stays open.
 pub const E_BUSY: u32 = 8;
+
+/// Human-readable name for a frame kind — what `pbio-dump` prints per
+/// captured frame. Unknown kinds render as `"?"` (a capture may come
+/// from a newer daemon).
+pub fn kind_name(kind: u8) -> &'static str {
+    match kind {
+        K_HELLO => "HELLO",
+        K_HELLO_ACK => "HELLO_ACK",
+        K_FORMAT => "FORMAT",
+        K_FORMAT_ACK => "FORMAT_ACK",
+        K_CHANNEL => "CHANNEL",
+        K_CHANNEL_ACK => "CHANNEL_ACK",
+        K_SUBSCRIBE => "SUBSCRIBE",
+        K_SUBSCRIBE_ACK => "SUBSCRIBE_ACK",
+        K_SUBSCRIBE_FROM => "SUBSCRIBE_FROM",
+        K_PUBLISH => "PUBLISH",
+        K_EVENT => "EVENT",
+        K_ANNOUNCE => "ANNOUNCE",
+        K_PUBLISH_ACK => "PUBLISH_ACK",
+        K_STATS => "STATS",
+        K_STATS_ACK => "STATS_ACK",
+        K_TRACE_CTL => "TRACE_CTL",
+        K_TRACE_CTL_ACK => "TRACE_CTL_ACK",
+        K_INSPECT => "INSPECT",
+        K_INSPECT_ACK => "INSPECT_ACK",
+        K_TAP_CTL => "TAP_CTL",
+        K_TAP_CTL_ACK => "TAP_CTL_ACK",
+        K_PING => "PING",
+        K_PONG => "PONG",
+        K_RESUME => "RESUME",
+        K_RESUME_ACK => "RESUME_ACK",
+        K_BYE => "BYE",
+        K_BYE_ACK => "BYE_ACK",
+        K_ERROR => "ERROR",
+        _ => "?",
+    }
+}

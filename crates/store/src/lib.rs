@@ -44,6 +44,20 @@ use pbio_obs::{Counter, Registry};
 
 pub use crate::log::{Append, ChannelLog, RecoveryReport, ReplayItem};
 
+/// Reserved format id for *raw* (non-PBIO) record payloads.
+///
+/// Most channels store self-describing PBIO records, with each format's
+/// serialized layout written once per segment. Some logs — the wire
+/// tap's frame captures, notably — store payloads whose structure is
+/// defined by the payload bytes themselves (a captured frame carries
+/// its own header and CRC). Appending under `FORMAT_RAW` with a
+/// `meta_for` that returns `None` marks the records as opaque: segments
+/// stay CRC-checked and crash-recoverable like any other, but no layout
+/// meta precedes them and [`ReplayItem::Meta`] is never emitted for
+/// this id. Daemon-global PBIO format ids count up from zero and never
+/// reach this value.
+pub const FORMAT_RAW: u32 = u32::MAX;
+
 /// How often appended bytes are fsynced to stable storage.
 ///
 /// Independently of this knob, every batch is flushed to the OS before
