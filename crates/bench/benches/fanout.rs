@@ -19,12 +19,15 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use pbio_bench::cli::json_object;
 use pbio_bench::workloads::{workload, MsgSize};
 use pbio_serv::{
-    ClientConfig, ServClient, ServConfig, ServDaemon, StoreConfig, TapConfig, TraceConfig,
+    home_of, ClientConfig, MeshConfig, ServClient, ServConfig, ServDaemon, StoreConfig, TapConfig,
+    TraceConfig,
 };
 use pbio_types::arch::ArchProfile;
 use pbio_types::layout::Layout;
+use pbio_types::schema::{AtomType, FieldDecl, Schema};
 use pbio_types::value::encode_native;
 
 // ---------------------------------------------------------------------------
@@ -548,6 +551,7 @@ fn run_fault_case(seed: u64, events: u64, tap: bool) {
                 ..TapConfig::new(dir)
             }),
             pin_shards: false,
+            peers: None,
         },
     )
     .expect("bind daemon");
@@ -687,20 +691,343 @@ fn run_fault_case(seed: u64, events: u64, tap: bool) {
     }
 }
 
+// ---------------------------------------------------------------------------
+// `--mesh N` mode: sharded channels over a daemon federation.
+
+/// Bind `n` federated daemons (each one reactor shard, so added daemons
+/// are the only added capacity) and fully cross-connect their peer
+/// links.
+fn mesh_bind(n: usize, queue: usize) -> Vec<ServDaemon> {
+    let daemons: Vec<ServDaemon> = (0..n)
+        .map(|i| {
+            ServDaemon::bind_with(
+                "127.0.0.1:0",
+                ServConfig {
+                    queue_capacity: queue,
+                    stats_interval: None,
+                    trace: TraceConfig {
+                        sample_mod: 0,
+                        publish_interval: None,
+                        sink_capacity: 16,
+                    },
+                    shards: 1,
+                    peers: Some(MeshConfig::new(i as u32, n as u32, Vec::new())),
+                    ..ServConfig::default()
+                },
+            )
+            .expect("bind mesh daemon")
+        })
+        .collect();
+    for (i, d) in daemons.iter().enumerate() {
+        for (j, peer) in daemons.iter().enumerate() {
+            if i != j {
+                assert!(d.connect_peer(j as u32, peer.local_addr().to_string()));
+            }
+        }
+    }
+    let t0 = Instant::now();
+    while !daemons
+        .iter()
+        .all(|d| d.peer_stats().iter().all(|p| p.connected))
+    {
+        if t0.elapsed() > CASE_DEADLINE {
+            panic!("mesh links failed to connect");
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    daemons
+}
+
+/// A channel name whose home is daemon `home` in a mesh of `size`.
+fn mesh_chan_name(c: usize, home: u32, size: u32) -> String {
+    (0..)
+        .map(|k| format!("mesh-{c}-{k}"))
+        .find(|n| home_of(n, size) == home)
+        .unwrap()
+}
+
+/// Relay correctness: a publisher and a subscriber both attached to the
+/// *wrong* daemon for a channel homed elsewhere. Every event crosses
+/// two peer hops (forward to home, relay back) and must arrive exactly
+/// once, byte-identical to what was published.
+fn mesh_relay_check(daemons: &[ServDaemon]) {
+    let n = daemons.len() as u32;
+    let name = mesh_chan_name(usize::MAX, 1, n);
+    let schema = Schema::new("mesh-check", vec![FieldDecl::atom("seq", AtomType::U64)]).unwrap();
+
+    let mut sub =
+        ServClient::connect(daemons[0].local_addr(), &ArchProfile::X86_64).expect("sub connect");
+    let chan = sub.open_channel(&name).expect("open channel");
+    sub.subscribe_raw(chan, None).expect("subscribe");
+
+    let mut publisher =
+        ServClient::connect(daemons[0].local_addr(), &ArchProfile::X86_64).expect("pub connect");
+    let fmt = publisher.register_format(&schema).expect("register");
+    let pchan = publisher.open_channel(&name).expect("open channel");
+
+    // Probe until the relay subscription is live end to end.
+    let t0 = Instant::now();
+    loop {
+        publisher
+            .publish(pchan, fmt, &0u64.to_le_bytes())
+            .expect("probe publish");
+        if sub
+            .poll_raw(Duration::from_millis(100))
+            .expect("poll")
+            .is_some()
+        {
+            break;
+        }
+        if t0.elapsed() > CASE_DEADLINE {
+            panic!("relay subscription never became live");
+        }
+    }
+
+    const K: u64 = 32;
+    for seq in 1..=K {
+        publisher
+            .publish(pchan, fmt, &seq.to_le_bytes())
+            .expect("publish");
+    }
+    let mut got = vec![0u32; K as usize + 1];
+    let deadline = Instant::now() + CASE_DEADLINE;
+    while got[1..].contains(&0) {
+        if Instant::now() > deadline {
+            panic!("relay delivery incomplete: {got:?}");
+        }
+        let Some(ev) = sub.poll_raw(Duration::from_millis(100)).expect("poll") else {
+            continue;
+        };
+        let seq = u64::from_le_bytes(ev.bytes[..8].try_into().unwrap());
+        assert_eq!(
+            ev.bytes,
+            &seq.to_le_bytes(),
+            "relayed event bytes differ from the published record"
+        );
+        got[seq as usize] += 1;
+    }
+    // Drain a beat to catch duplicates.
+    while let Some(ev) = sub.poll_raw(Duration::from_millis(200)).expect("poll") {
+        let seq = u64::from_le_bytes(ev.bytes[..8].try_into().unwrap());
+        got[seq as usize] += 1;
+    }
+    assert!(
+        got[1..].iter().all(|&c| c == 1),
+        "relay duplicated events: {got:?}"
+    );
+    sub.disconnect().expect("sub disconnect");
+    publisher.disconnect().expect("pub disconnect");
+}
+
+/// One aggregate-throughput cell: `channels` channels sharded across
+/// `n` daemons, each with its own publisher and `subs_per_chan`
+/// subscribers attached to the channel's *home* daemon (the steady
+/// state a shard map buys: hot-path traffic never crosses a peer link).
+/// Returns aggregate events/s across all channels on one wall clock.
+fn run_mesh_sweep(
+    n: usize,
+    channels: usize,
+    subs_per_chan: usize,
+    warmup: u64,
+    events: u64,
+) -> f64 {
+    let total = warmup + events;
+    let daemons = mesh_bind(n, total as usize + 64);
+    let w = workload(MsgSize::B100);
+
+    let received: Vec<Vec<Arc<AtomicU64>>> = (0..channels)
+        .map(|_| {
+            (0..subs_per_chan)
+                .map(|_| Arc::new(AtomicU64::new(0)))
+                .collect()
+        })
+        .collect();
+    let ready = Arc::new(AtomicUsize::new(0));
+    // Publishers + the timing thread meet here once every channel has
+    // finished warmup, so the measured window is pure steady state.
+    let start_gate = Arc::new(std::sync::Barrier::new(channels + 1));
+
+    let mut threads = Vec::new();
+    for (c, counters) in received.iter().enumerate() {
+        let home = (c % n) as u32;
+        let name: Arc<str> = Arc::from(mesh_chan_name(c, home, n as u32));
+        let addr = daemons[home as usize].local_addr();
+
+        for counter in counters {
+            let counter = Arc::clone(counter);
+            let schema = w.schema.clone();
+            let ready = ready.clone();
+            let name = name.clone();
+            threads.push(std::thread::spawn(move || {
+                let mut client =
+                    ServClient::connect(addr, &ArchProfile::X86_64).expect("subscriber connect");
+                let chan = client.open_channel(&name).expect("open channel");
+                client.subscribe(chan, &schema, None).expect("subscribe");
+                ready.fetch_add(1, Ordering::Release);
+                let start = Instant::now();
+                while counter.load(Ordering::Acquire) < total {
+                    match client.poll(Duration::from_millis(200)) {
+                        Ok(Some(_event)) => {
+                            counter.fetch_add(1, Ordering::Release);
+                        }
+                        Ok(None) => {
+                            if start.elapsed() > CASE_DEADLINE {
+                                panic!("mesh subscriber starved");
+                            }
+                        }
+                        Err(e) => panic!("mesh subscriber poll failed: {e}"),
+                    }
+                }
+                client.disconnect().expect("disconnect");
+            }));
+        }
+
+        let counters: Vec<Arc<AtomicU64>> = counters.clone();
+        let schema = w.schema.clone();
+        let value = w.value.clone();
+        let ready = ready.clone();
+        let gate = start_gate.clone();
+        let want_ready = channels * subs_per_chan;
+        threads.push(std::thread::spawn(move || {
+            let mut publisher =
+                ServClient::connect(addr, &ArchProfile::X86_64).expect("publisher connect");
+            let chan = publisher.open_channel(&name).expect("open channel");
+            let fmt = publisher.register_format(&schema).expect("register");
+            let layout = Layout::of(&schema, &ArchProfile::X86_64).expect("layout");
+            let native = encode_native(&value, &layout).expect("encode");
+            let t0 = Instant::now();
+            while ready.load(Ordering::Acquire) < want_ready {
+                if t0.elapsed() > CASE_DEADLINE {
+                    panic!("mesh subscribers failed to subscribe in time");
+                }
+                std::thread::yield_now();
+            }
+            for _ in 0..warmup {
+                publisher.publish(chan, fmt, &native).expect("publish");
+            }
+            wait_for(&counters, warmup, t0, "mesh warmup delivery");
+            gate.wait();
+            for _ in 0..events {
+                publisher.publish(chan, fmt, &native).expect("publish");
+            }
+            wait_for(&counters, total, t0, "mesh measured delivery");
+            publisher.disconnect().expect("publisher disconnect");
+        }));
+    }
+
+    start_gate.wait();
+    let t0 = Instant::now();
+    let all: Vec<Arc<AtomicU64>> = received.iter().flatten().cloned().collect();
+    wait_for(&all, total, t0, "mesh aggregate delivery");
+    let wall = t0.elapsed().as_secs_f64();
+
+    for t in threads {
+        t.join().expect("mesh worker thread");
+    }
+    for d in daemons {
+        let stats = d.stats();
+        assert_eq!(stats.dropped, 0, "mesh bench must run drop-free: {stats:?}");
+        d.shutdown();
+    }
+    (channels as u64 * events) as f64 / wall
+}
+
+fn run_mesh_mode(n: usize, smoke: bool, json: bool) {
+    assert!(n >= 2, "--mesh needs at least 2 daemons");
+    let (channels, subs_per_chan, warmup, events) = if smoke {
+        (2, 2, 20, 150)
+    } else {
+        (4, 4, 100, 1500)
+    };
+
+    // Phase 1: correctness across a relay hop.
+    let relay_daemons = mesh_bind(2, 4096);
+    mesh_relay_check(&relay_daemons);
+    for d in relay_daemons {
+        d.shutdown();
+    }
+
+    // Phase 2: aggregate throughput, single daemon vs the mesh, at
+    // equal channel count and equal total subscribers. Best of three
+    // per cell: the cells are sub-second and the max is the honest
+    // capability number on a shared host.
+    let trials = if smoke { 1 } else { 3 };
+    let mut rows = Vec::new();
+    for daemons in [1, n] {
+        let evps = (0..trials)
+            .map(|_| run_mesh_sweep(daemons, channels, subs_per_chan, warmup, events))
+            .fold(0.0f64, f64::max);
+        rows.push((daemons, evps));
+    }
+    let single = rows[0].1;
+    let meshed = rows[1].1;
+
+    if json {
+        let body = format!(
+            "\"mode\":\"mesh\",\"relay_check\":\"pass\",\"channels\":{channels},\
+             \"subs_per_chan\":{subs_per_chan},\"events_per_chan\":{events},\"rows\":[{}],\
+             \"speedup\":{:.3}",
+            rows.iter()
+                .map(|(d, e)| format!("{{\"daemons\":{d},\"events_per_sec\":{e:.0}}}"))
+                .collect::<Vec<_>>()
+                .join(","),
+            meshed / single,
+        );
+        println!("{}", json_object("pbio-fanout/v1", body));
+    } else {
+        println!(
+            "fan-out --mesh: {channels} channels x {subs_per_chan} subs, 100b records, \
+             relay check passed"
+        );
+        println!("| daemons | aggregate ev/s |");
+        println!("|---------|----------------|");
+        for (d, e) in &rows {
+            println!("| {d:>7} | {e:>14.0} |");
+        }
+        println!("mesh speedup over single daemon: {:.2}x", meshed / single);
+    }
+    // The scale-out claim is only falsifiable with real parallelism:
+    // on a single-core host the comparison measures the OS scheduler,
+    // not the mesh.
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    if !smoke && cores >= 2 {
+        assert!(
+            meshed > single,
+            "a {n}-daemon mesh must beat one daemon at equal load: {meshed:.0} <= {single:.0} ev/s"
+        );
+    } else if !smoke {
+        eprintln!(
+            "single-core host: mesh-vs-single assertion skipped (measured {:.2}x)",
+            meshed / single
+        );
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
     let fault_seed: Option<u64> = args.iter().position(|a| a == "--faults").map(|i| {
         args.get(i + 1)
             .and_then(|s| s.strip_prefix("seed="))
             .and_then(|s| s.parse().ok())
             .unwrap_or_else(|| panic!("--faults requires seed=N"))
     });
+    let mesh: Option<usize> = args.iter().position(|a| a == "--mesh").map(|i| {
+        args.get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("--mesh requires a daemon count"))
+    });
     let (subscriber_counts, warmup, events): (&[usize], u64, u64) = if smoke {
         (&[1], 10, 50)
     } else {
         (&[1, 8, 64], 200, 2000)
     };
+
+    if let Some(n) = mesh {
+        run_mesh_mode(n, smoke, json);
+        return;
+    }
 
     if let Some(seed) = fault_seed {
         let tap = args.iter().any(|a| a == "--tap");
@@ -763,21 +1090,46 @@ fn main() {
         return;
     }
 
-    println!("fan-out benchmark: 100b records, publisher x86-64, loopback TCP");
-    println!("| subs | mode   | events/s | deliveries/s | allocs/event |");
-    println!("|------|--------|----------|--------------|--------------|");
+    let mut results = Vec::new();
+    if !json {
+        println!("fan-out benchmark: 100b records, publisher x86-64, loopback TCP");
+        println!("| subs | mode   | events/s | deliveries/s | allocs/event |");
+        println!("|------|--------|----------|--------------|--------------|");
+    }
     for &heterogeneous in &[false, true] {
         for &subs in subscriber_counts {
             let r = run_case(subs, heterogeneous, warmup, events, None);
-            println!(
-                "| {:>4} | {} | {:>8.0} | {:>12.0} | {:>12.1} |",
-                r.subscribers,
-                if r.heterogeneous { "hetero" } else { "homo  " },
-                r.events_per_sec,
-                r.deliveries_per_sec,
-                r.allocs_per_event,
-            );
+            if !json {
+                println!(
+                    "| {:>4} | {} | {:>8.0} | {:>12.0} | {:>12.1} |",
+                    r.subscribers,
+                    if r.heterogeneous { "hetero" } else { "homo  " },
+                    r.events_per_sec,
+                    r.deliveries_per_sec,
+                    r.allocs_per_event,
+                );
+            }
             let _ = r.events;
+            results.push(r);
         }
+    }
+    if json {
+        let body = format!(
+            "\"mode\":\"fanout\",\"events_per_case\":{events},\"rows\":[{}]",
+            results
+                .iter()
+                .map(|r| format!(
+                    "{{\"subscribers\":{},\"heterogeneous\":{},\"events_per_sec\":{:.0},\
+                     \"deliveries_per_sec\":{:.0},\"allocs_per_event\":{:.1}}}",
+                    r.subscribers,
+                    r.heterogeneous,
+                    r.events_per_sec,
+                    r.deliveries_per_sec,
+                    r.allocs_per_event
+                ))
+                .collect::<Vec<_>>()
+                .join(",")
+        );
+        println!("{}", json_object("pbio-fanout/v1", body));
     }
 }

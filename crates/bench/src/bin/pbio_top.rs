@@ -255,21 +255,42 @@ fn print_table(report: &Report) {
     }
 
     println!(
-        "\n{:<6} {:<18} {:<7} {:>5} {:>10} {:>8} {:>5} {:>11}",
-        "chan", "name", "durable", "subs", "publishes", "head", "segs", "disk_bytes"
+        "\n{:<6} {:<18} {:<7} {:>4} {:>5} {:>10} {:>8} {:>5} {:>11}",
+        "chan", "name", "durable", "home", "subs", "publishes", "head", "segs", "disk_bytes"
     );
     for ch in &s.channels {
         println!(
-            "{:<6} {:<18} {:<7} {:>5} {:>10} {:>8} {:>5} {:>11}",
+            "{:<6} {:<18} {:<7} {:>4} {:>5} {:>10} {:>8} {:>5} {:>11}",
             ch.id,
             ch.name,
             if ch.durable { "yes" } else { "-" },
+            ch.home,
             ch.subscribers,
             ch.publishes,
             ch.head,
             ch.segments,
             ch.disk_bytes
         );
+    }
+
+    if !s.peers.is_empty() {
+        println!(
+            "\n{:<6} {:<5} {:>10} {:>10} {:>9} {:>8} {:>9}",
+            "peer", "up", "relay_tx", "relay_rx", "dropped", "pending", "idle_ms"
+        );
+        for p in &s.peers {
+            let idle_ms = s.t_ns.saturating_sub(p.last_rx_ns) / 1_000_000;
+            println!(
+                "{:<6} {:<5} {:>10} {:>10} {:>9} {:>8} {:>9}",
+                p.peer,
+                if p.connected { "yes" } else { "-" },
+                p.relay_tx,
+                p.relay_rx,
+                p.relay_dropped,
+                p.pending,
+                idle_ms
+            );
+        }
     }
 
     println!(
@@ -366,16 +387,28 @@ fn print_json(report: &Report) {
             out.push(',');
         }
         out.push_str(&format!(
-            "{{\"id\":{},\"name\":\"{}\",\"durable\":{},\"subscribers\":{},\
+            "{{\"id\":{},\"name\":\"{}\",\"durable\":{},\"home\":{},\"subscribers\":{},\
              \"publishes\":{},\"head\":{},\"segments\":{},\"disk_bytes\":{}}}",
             ch.id,
             json_escape(&ch.name),
             ch.durable,
+            ch.home,
             ch.subscribers,
             ch.publishes,
             ch.head,
             ch.segments,
             ch.disk_bytes
+        ));
+    }
+    out.push_str("],\"peers\":[");
+    for (i, p) in s.peers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"peer\":{},\"connected\":{},\"relay_tx\":{},\"relay_rx\":{},\
+             \"relay_dropped\":{},\"pending\":{},\"last_rx_ns\":{}}}",
+            p.peer, p.connected, p.relay_tx, p.relay_rx, p.relay_dropped, p.pending, p.last_rx_ns
         ));
     }
     out.push_str("],\"shards\":[");

@@ -25,7 +25,7 @@ use std::time::{Duration, Instant};
 use pbio_bench::cli::{json_object, require, CommonArgs};
 use pbio_bench::workloads::{workload, MsgSize};
 use pbio_obs::export::hop_from_value;
-use pbio_obs::{hop_name, TraceHop, HOP_COUNT, HOP_PUBLISH};
+use pbio_obs::{hop_name, TraceHop, HOP_COUNT, HOP_PUBLISH, HOP_REQUIRED};
 use pbio_serv::{ServClient, ServConfig, ServDaemon, TraceConfig, TRACE_CHANNEL};
 use pbio_types::arch::ArchProfile;
 use pbio_types::value::decode_native;
@@ -225,9 +225,10 @@ impl Timeline {
             .map_or(0, |h| h.t_ns)
     }
 
-    /// Whether all [`HOP_COUNT`] stages are present at least once.
+    /// Whether all [`HOP_REQUIRED`] mandatory stages are present at
+    /// least once (relay hops are mesh-only and never required).
     fn complete(&self) -> bool {
-        let mut seen = [false; HOP_COUNT];
+        let mut seen = [false; HOP_REQUIRED];
         for h in &self.hops {
             if let Some(slot) = seen.get_mut(h.hop as usize) {
                 *slot = true;
@@ -337,7 +338,7 @@ fn print_waterfall(t: &Timeline) {
 fn print_report(timelines: &[Timeline]) {
     let complete: Vec<&Timeline> = timelines.iter().filter(|t| t.complete()).collect();
     println!(
-        "collected {} timeline(s) on {TRACE_CHANNEL}, {} complete (all {HOP_COUNT} stages)",
+        "collected {} timeline(s) on {TRACE_CHANNEL}, {} complete (all {HOP_REQUIRED} stages)",
         timelines.len(),
         complete.len()
     );
@@ -447,7 +448,7 @@ fn check_smoke(timelines: &[Timeline]) -> Result<(), String> {
             *slot = (*slot).min(h.t_ns);
         }
     }
-    for kind in 1..HOP_COUNT {
+    for kind in 1..HOP_REQUIRED {
         if earliest[kind] + SMOKE_SLACK_NS < earliest[kind - 1] {
             return Err(format!(
                 "hop {} (t={}ns) precedes {} (t={}ns) beyond slack",
@@ -459,7 +460,7 @@ fn check_smoke(timelines: &[Timeline]) -> Result<(), String> {
         }
     }
     let cols = summarize(timelines);
-    for (kind, col) in cols.iter().enumerate() {
+    for (kind, col) in cols.iter().enumerate().take(HOP_REQUIRED) {
         if col.is_empty() {
             return Err(format!("no {} hop was recorded", hop_name(kind as u32)));
         }

@@ -1,0 +1,98 @@
+//! Blocking TCP dialing with capped exponential backoff.
+//!
+//! The serv layer has two long-lived dialers — resuming clients and
+//! daemon↔daemon mesh links — and both want the same connect loop: try,
+//! sleep, double the delay up to a cap, give up only when told to. The
+//! backoff schedule is deterministic (no jitter) so seeded fault runs
+//! replay identically.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Deterministic capped exponential backoff schedule: `initial`,
+/// `2*initial`, … clamped to `max`. `attempt` counts from 0.
+pub fn backoff_delay(initial: Duration, max: Duration, attempt: u32) -> Duration {
+    let factor = 1u32 << attempt.min(16);
+    initial.saturating_mul(factor).min(max)
+}
+
+/// Dial `addr` until a connection succeeds or `give_up` flips true.
+/// Sleeps the [`backoff_delay`] schedule between attempts (in small
+/// slices, so a shutdown is honored mid-sleep). Returns `None` only on
+/// give-up; transient resolve/connect errors just burn an attempt.
+pub fn dial_retry(
+    addr: &str,
+    initial: Duration,
+    max: Duration,
+    give_up: &AtomicBool,
+) -> Option<TcpStream> {
+    let mut attempt = 0u32;
+    loop {
+        if give_up.load(Ordering::Acquire) {
+            return None;
+        }
+        if let Ok(mut addrs) = addr.to_socket_addrs() {
+            if let Some(a) = addrs.next() {
+                if let Ok(stream) = TcpStream::connect(a) {
+                    let _ = stream.set_nodelay(true);
+                    return Some(stream);
+                }
+            }
+        }
+        let mut left = backoff_delay(initial, max, attempt);
+        attempt = attempt.saturating_add(1);
+        let slice = Duration::from_millis(10);
+        while left > Duration::ZERO {
+            if give_up.load(Ordering::Acquire) {
+                return None;
+            }
+            let nap = left.min(slice);
+            std::thread::sleep(nap);
+            left -= nap;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_to_cap() {
+        let i = Duration::from_millis(10);
+        let m = Duration::from_millis(80);
+        assert_eq!(backoff_delay(i, m, 0), Duration::from_millis(10));
+        assert_eq!(backoff_delay(i, m, 1), Duration::from_millis(20));
+        assert_eq!(backoff_delay(i, m, 3), Duration::from_millis(80));
+        assert_eq!(backoff_delay(i, m, 30), Duration::from_millis(80));
+    }
+
+    #[test]
+    fn dial_retry_honors_give_up() {
+        let stop = AtomicBool::new(true);
+        // Unroutable in practice, but give_up short-circuits before any
+        // sleep either way.
+        assert!(dial_retry(
+            "127.0.0.1:1",
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            &stop
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn dial_retry_connects_to_a_listener() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let stop = AtomicBool::new(false);
+        let got = dial_retry(
+            &addr,
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            &stop,
+        );
+        assert!(got.is_some());
+    }
+}

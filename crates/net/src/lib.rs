@@ -24,6 +24,8 @@
 //! * [`fault`] — seeded, deterministic fault injection
 //!   ([`fault::FaultyStream`]) for exercising the serv layer's recovery
 //!   paths from tests, benches, and the daemon's `--faults` mode,
+//! * [`dial`] — blocking connect with a deterministic capped-backoff
+//!   schedule, shared by resuming clients and daemon mesh links,
 //! * [`buf`] — [`buf::WireBuf`], the shared immutable byte buffer frame
 //!   bodies are made of, so fanning one event out to many connections is
 //!   refcount bumps rather than copies,
@@ -42,6 +44,7 @@
 pub mod affinity;
 pub mod buf;
 pub mod clock;
+pub mod dial;
 pub mod exchange;
 pub mod fault;
 pub mod frame;
@@ -52,6 +55,7 @@ pub mod transport;
 
 pub use buf::WireBuf;
 pub use clock::{ClockSync, VirtualClock};
+pub use dial::{backoff_delay, dial_retry};
 pub use exchange::{measure_leg, time_avg, LegCosts, RoundTripCosts};
 pub use fault::{FaultLog, FaultOp, FaultPlan, FaultyStream, MaybeFaulty};
 pub use frame::{read_frame, write_frame, Frame, FrameError};

@@ -312,6 +312,8 @@ pub const TOPO_SHARD_CAP: usize = 32;
 pub const TOPO_LAG_CAP: usize = 64;
 /// Flight-recorder events embedded per topology record.
 pub const FLIGHT_EXPORT_CAP: usize = 64;
+/// Mesh peer links carried per topology record.
+pub const TOPO_PEER_CAP: usize = 16;
 
 /// Per-connection topology: one live session as the daemon sees it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -354,6 +356,31 @@ pub struct TopoChannel {
     pub segments: u64,
     /// Bytes on disk across those segments (0 when not durable).
     pub disk_bytes: u64,
+    /// Shard-map home: the mesh index of the daemon that owns this
+    /// channel's fan-out (the snapshotting daemon's own index for local
+    /// and reserved channels; always 0 without a mesh).
+    pub home: u32,
+}
+
+/// One daemon↔daemon mesh link as the dialing side sees it: liveness
+/// plus the relay counters `pbio-top` renders per peer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TopoPeer {
+    /// The peer daemon's mesh index.
+    pub peer: u32,
+    /// Whether the link session is currently established.
+    pub connected: bool,
+    /// Publishes forwarded to the peer (frames written to the link).
+    pub relay_tx: u64,
+    /// Relayed events received from the peer and injected locally.
+    pub relay_rx: u64,
+    /// Forwards dropped (pending-queue overflow while resolving ids or
+    /// riding out a disconnect).
+    pub relay_dropped: u64,
+    /// Forwards parked awaiting id resolution or reconnect.
+    pub pending: u64,
+    /// [`crate::epoch_ns`] of the last frame received from the peer.
+    pub last_rx_ns: u64,
 }
 
 /// Per-shard topology: one readiness reactor's load.
@@ -420,6 +447,9 @@ pub struct TopoSnapshot {
     pub lags: Vec<TopoLag>,
     /// Most recent flight events, capped at [`FLIGHT_EXPORT_CAP`].
     pub flight: Vec<FlightEvent>,
+    /// Mesh peer links, capped at [`TOPO_PEER_CAP`] (empty without a
+    /// mesh, and when parsing records from pre-mesh daemons).
+    pub peers: Vec<TopoPeer>,
 }
 
 /// The fixed PBIO schema describing a [`TopoSnapshot`]. Like the trace
@@ -438,6 +468,7 @@ pub fn topo_schema() -> Schema {
         FieldDecl::atom("sh_count", AtomType::U64),
         FieldDecl::atom("lag_count", AtomType::U64),
         FieldDecl::atom("fl_count", AtomType::U64),
+        FieldDecl::atom("pe_count", AtomType::U64),
     ];
     let mut arrays = |names: &[&str], cap: usize| {
         for name in names {
@@ -470,6 +501,7 @@ pub fn topo_schema() -> Schema {
             "ch_head",
             "ch_segs",
             "ch_disk",
+            "ch_home",
         ],
         TOPO_CHAN_CAP,
     );
@@ -484,6 +516,18 @@ pub fn topo_schema() -> Schema {
     arrays(
         &["fl_t", "fl_kind", "fl_conn", "fl_chan", "fl_code", "fl_aux"],
         FLIGHT_EXPORT_CAP,
+    );
+    arrays(
+        &[
+            "pe_id",
+            "pe_up",
+            "pe_tx",
+            "pe_rx",
+            "pe_drop",
+            "pe_pend",
+            "pe_last_ns",
+        ],
+        TOPO_PEER_CAP,
     );
     Schema::new(TOPO_FORMAT_NAME, fields).expect("topo schema is always valid")
 }
@@ -509,7 +553,8 @@ pub fn topo_value(topo: &TopoSnapshot) -> RecordValue {
         .with("ch_count", topo.channels.len().min(TOPO_CHAN_CAP) as u64)
         .with("sh_count", topo.shards.len().min(TOPO_SHARD_CAP) as u64)
         .with("lag_count", topo.lags.len().min(TOPO_LAG_CAP) as u64)
-        .with("fl_count", topo.flight.len().min(FLIGHT_EXPORT_CAP) as u64);
+        .with("fl_count", topo.flight.len().min(FLIGHT_EXPORT_CAP) as u64)
+        .with("pe_count", topo.peers.len().min(TOPO_PEER_CAP) as u64);
     let cn = &topo.conns;
     rv.set(
         "cn_id",
@@ -552,6 +597,10 @@ pub fn topo_value(topo: &TopoSnapshot) -> RecordValue {
     rv.set("ch_head", topo_column(ch, TOPO_CHAN_CAP, |c| c.head));
     rv.set("ch_segs", topo_column(ch, TOPO_CHAN_CAP, |c| c.segments));
     rv.set("ch_disk", topo_column(ch, TOPO_CHAN_CAP, |c| c.disk_bytes));
+    rv.set(
+        "ch_home",
+        topo_column(ch, TOPO_CHAN_CAP, |c| u64::from(c.home)),
+    );
     let sh = &topo.shards;
     rv.set(
         "sh_id",
@@ -607,6 +656,26 @@ pub fn topo_value(topo: &TopoSnapshot) -> RecordValue {
         topo_column(fl, FLIGHT_EXPORT_CAP, |e| u64::from(e.code)),
     );
     rv.set("fl_aux", topo_column(fl, FLIGHT_EXPORT_CAP, |e| e.aux));
+    let pe = &topo.peers;
+    rv.set(
+        "pe_id",
+        topo_column(pe, TOPO_PEER_CAP, |p| u64::from(p.peer)),
+    );
+    rv.set(
+        "pe_up",
+        topo_column(pe, TOPO_PEER_CAP, |p| u64::from(p.connected)),
+    );
+    rv.set("pe_tx", topo_column(pe, TOPO_PEER_CAP, |p| p.relay_tx));
+    rv.set("pe_rx", topo_column(pe, TOPO_PEER_CAP, |p| p.relay_rx));
+    rv.set(
+        "pe_drop",
+        topo_column(pe, TOPO_PEER_CAP, |p| p.relay_dropped),
+    );
+    rv.set("pe_pend", topo_column(pe, TOPO_PEER_CAP, |p| p.pending));
+    rv.set(
+        "pe_last_ns",
+        topo_column(pe, TOPO_PEER_CAP, |p| p.last_rx_ns),
+    );
     rv
 }
 
@@ -654,6 +723,7 @@ pub fn topo_from_value(rv: &RecordValue) -> Option<TopoSnapshot> {
             col("ch_segs"),
             col("ch_disk"),
         );
+        let home = col("ch_home");
         for (i, &id) in id.iter().enumerate().take(count("ch_count")) {
             topo.channels.push(TopoChannel {
                 id: id as u32,
@@ -664,6 +734,7 @@ pub fn topo_from_value(rv: &RecordValue) -> Option<TopoSnapshot> {
                 head: head.get(i).copied().unwrap_or(0),
                 segments: segs.get(i).copied().unwrap_or(0),
                 disk_bytes: disk.get(i).copied().unwrap_or(0),
+                home: home.get(i).copied().unwrap_or(0) as u32,
             });
         }
     }
@@ -712,6 +783,21 @@ pub fn topo_from_value(rv: &RecordValue) -> Option<TopoSnapshot> {
                 chan: chan.get(i).copied().unwrap_or(0) as u32,
                 code: code.get(i).copied().unwrap_or(0) as u32,
                 aux: aux.get(i).copied().unwrap_or(0),
+            });
+        }
+    }
+    {
+        let (id, up, tx, rx) = (col("pe_id"), col("pe_up"), col("pe_tx"), col("pe_rx"));
+        let (drop, pend, last) = (col("pe_drop"), col("pe_pend"), col("pe_last_ns"));
+        for (i, &id) in id.iter().enumerate().take(count("pe_count")) {
+            topo.peers.push(TopoPeer {
+                peer: id as u32,
+                connected: up.get(i).copied().unwrap_or(0) != 0,
+                relay_tx: tx.get(i).copied().unwrap_or(0),
+                relay_rx: rx.get(i).copied().unwrap_or(0),
+                relay_dropped: drop.get(i).copied().unwrap_or(0),
+                pending: pend.get(i).copied().unwrap_or(0),
+                last_rx_ns: last.get(i).copied().unwrap_or(0),
             });
         }
     }
@@ -916,6 +1002,7 @@ mod tests {
                 head: 4000,
                 segments: 2,
                 disk_bytes: 468_000,
+                home: 1,
             }],
             shards: vec![
                 TopoShard {
@@ -948,6 +1035,21 @@ mod tests {
                 code: 0,
                 aux: 7,
             }],
+            peers: vec![
+                TopoPeer {
+                    peer: 1,
+                    connected: true,
+                    relay_tx: 300,
+                    relay_rx: 120,
+                    relay_dropped: 2,
+                    pending: 5,
+                    last_rx_ns: 41,
+                },
+                TopoPeer {
+                    peer: 2,
+                    ..TopoPeer::default()
+                },
+            ],
         };
         let schema = topo_schema();
         let layout = Layout::of(&schema, &ArchProfile::SPARC_V8).unwrap();

@@ -50,7 +50,8 @@ pub use span::Span;
 pub use trace::{TraceEvent, TraceRing};
 pub use tracectx::{
     hop_name, TraceCtx, TraceHop, TraceSampler, TraceSink, FLAG_SAMPLED, HOP_COUNT, HOP_DECODE,
-    HOP_ENQUEUE, HOP_FILTER, HOP_FLUSH, HOP_INGRESS, HOP_PUBLISH, TRACE_TRAILER_LEN,
+    HOP_ENQUEUE, HOP_FILTER, HOP_FLUSH, HOP_INGRESS, HOP_PUBLISH, HOP_RELAY, HOP_REQUIRED,
+    TRACE_TRAILER_LEN,
 };
 
 /// Shorthand for [`Registry::global`].

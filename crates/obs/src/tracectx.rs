@@ -38,8 +38,16 @@ pub const HOP_ENQUEUE: u32 = 3;
 pub const HOP_FLUSH: u32 = 4;
 /// Hop kind: a subscribing client decoded (or zero-copy viewed) the event.
 pub const HOP_DECODE: u32 = 5;
-/// Number of hop kinds — a complete end-to-end timeline has all of them.
-pub const HOP_COUNT: usize = 6;
+/// Hop kind: the event crossed a daemon↔daemon mesh link — stamped once
+/// per link crossing (publish forwarded to the channel's home daemon, or
+/// a home-side event injected into a peer's local fan-out). Only meshed
+/// deployments record it; single-daemon timelines never do.
+pub const HOP_RELAY: u32 = 6;
+/// Number of hop kinds (array-sizing bound for per-hop tables).
+pub const HOP_COUNT: usize = 7;
+/// Number of hop kinds every complete end-to-end timeline carries —
+/// the kinds below [`HOP_RELAY`], which is optional (mesh-only).
+pub const HOP_REQUIRED: usize = 6;
 
 /// Human-readable name of a hop kind.
 pub fn hop_name(hop: u32) -> &'static str {
@@ -50,6 +58,7 @@ pub fn hop_name(hop: u32) -> &'static str {
         HOP_ENQUEUE => "enqueue",
         HOP_FLUSH => "flush",
         HOP_DECODE => "decode",
+        HOP_RELAY => "relay",
         _ => "unknown",
     }
 }

@@ -71,19 +71,21 @@ use pbio_net::frame::{
 use pbio_net::poll::{poller, source_of, Event as PollEvent, Interest, Poller, RawSource, Waker};
 use pbio_obs::export::{
     flight_schema, flight_value, hop_schema, hop_value, stats_schema, stats_value, topo_schema,
-    topo_value, StatsHeader, TopoChannel, TopoConn, TopoLag, TopoShard, TopoSnapshot, ROLE_DAEMON,
+    topo_value, StatsHeader, TopoChannel, TopoConn, TopoLag, TopoPeer, TopoShard, TopoSnapshot,
+    ROLE_DAEMON,
 };
 use pbio_obs::{
     epoch_ns, Counter, FlightRecorder, Gauge, Histogram, Registry, Span, TraceCtx, TraceHop,
     TraceSink, FL_CONNECT, FL_EVICT, FL_FAULT, FL_PROTO_ERROR, FL_REPAIR, FL_REPLAY_FINISH,
     FL_REPLAY_START, FL_RESUME, FL_SHUTDOWN, FL_TAP_DROP, FL_TAP_ROTATE, FL_TAP_START, FL_TAP_STOP,
-    HOP_ENQUEUE, HOP_FLUSH, HOP_INGRESS, HOP_PUBLISH, TRACE_TRAILER_LEN,
+    HOP_ENQUEUE, HOP_FLUSH, HOP_INGRESS, HOP_PUBLISH, HOP_RELAY, TRACE_TRAILER_LEN,
 };
 use pbio_store::{Append, ChannelLog, FlushPolicy, ReplayItem, Store, StoreConfig, FORMAT_RAW};
 use pbio_types::arch::ArchProfile;
 use pbio_types::layout::Layout;
 use pbio_types::value::encode_native_into;
 
+use crate::mesh::{Mesh, MeshConfig, MeshHost, PeerStats};
 use crate::protocol::*;
 use crate::tap::{TapConfig, TapEntry, TapMode, TapState, CAPTURE_CHANNEL, TAP_IN, TAP_OUT};
 
@@ -166,6 +168,14 @@ pub struct ServConfig {
     /// failures are non-fatal: the shard runs unpinned and reports
     /// `cpu = -1` in topology snapshots.
     pub pin_shards: bool,
+    /// Daemon federation: when set, this daemon joins a static mesh —
+    /// channels shard across members by [`crate::mesh::home_of`], any
+    /// daemon accepts any publish and forwards it to the channel's home
+    /// over a dialed peer link, and subscribers anywhere receive relayed
+    /// events through their local daemon (see [`crate::mesh`]). `None` —
+    /// the default — runs a standalone daemon: no links, no `CAP_PEER`
+    /// grants, every channel homed locally.
+    pub peers: Option<MeshConfig>,
 }
 
 impl Default for ServConfig {
@@ -185,6 +195,7 @@ impl Default for ServConfig {
             flight_dump: None,
             tap: None,
             pin_shards: false,
+            peers: None,
         }
     }
 }
@@ -1011,6 +1022,12 @@ impl Subscriber for RemoteSubscriber {
 struct Channels {
     by_name: HashMap<String, u32>,
     by_id: HashMap<u32, Arc<Mutex<Fanout<RemoteSubscriber>>>>,
+    /// id → name, shared so the mesh forward path labels work without
+    /// re-allocating the name per publish.
+    name_by_id: HashMap<u32, Arc<str>>,
+    /// id → home daemon's mesh index (this daemon's own index for local
+    /// and reserved channels; 0 when no mesh is configured).
+    home_by_id: HashMap<u32, u32>,
     next: u32,
 }
 
@@ -1119,6 +1136,9 @@ struct State {
     /// Replay threads currently running; a `K_SUBSCRIBE_FROM` that would
     /// push this past `max_replay` is refused with [`E_BUSY`].
     active_replays: AtomicUsize,
+    /// Daemon federation state ([`ServConfig::peers`]): membership, the
+    /// shard map, and one dialed link per peer. `None` = standalone.
+    mesh: Option<Arc<Mesh>>,
 }
 
 impl State {
@@ -1209,11 +1229,17 @@ impl State {
                 }
             })
             .collect();
+        let mesh = config
+            .peers
+            .as_ref()
+            .map(|m| Arc::new(Mesh::new(m.index, m.size)));
         let mut state = State {
             formats,
             channels: Mutex::new(Channels {
                 by_name: HashMap::new(),
                 by_id: HashMap::new(),
+                name_by_id: HashMap::new(),
+                home_by_id: HashMap::new(),
                 next: 0,
             }),
             registry,
@@ -1250,6 +1276,7 @@ impl State {
             replay_threads: Mutex::new(Vec::new()),
             max_replay: config.max_replay.max(1),
             active_replays: AtomicUsize::new(0),
+            mesh,
         };
         state.stats_channel = state.open_channel(STATS_CHANNEL);
         state.trace_channel = state.open_channel(TRACE_CHANNEL);
@@ -1323,6 +1350,10 @@ impl State {
         });
         chans.by_name.insert(name.to_owned(), id);
         chans.by_id.insert(id, Arc::new(Mutex::new(fanout)));
+        chans.name_by_id.insert(id, Arc::from(name));
+        chans
+            .home_by_id
+            .insert(id, self.mesh.as_ref().map_or(0, |m| m.home(name)));
         // Label the per-hop histograms once, here: the publish, enqueue
         // and flush paths record through these `Arc`s without ever
         // touching a string.
@@ -1344,6 +1375,47 @@ impl State {
                 }),
             );
         id
+    }
+
+    /// A channel's `(name, home index)` for mesh routing — both shared
+    /// copies, so the publish path pays two map hits and no allocation.
+    fn channel_route(&self, id: u32) -> Option<(Arc<str>, u32)> {
+        let chans = self.channels.lock().unwrap_or_else(|p| p.into_inner());
+        let name = chans.name_by_id.get(&id)?.clone();
+        let home = *chans.home_by_id.get(&id)?;
+        Some((name, home))
+    }
+
+    /// A fresh format registration, visible mesh-wide: gossip it to
+    /// every dialed link and every inbound `CAP_PEER` connection except
+    /// the one it arrived on. The far side's registry dedups, so the
+    /// echo terminates after one round.
+    fn broadcast_format(&self, id: u32, exclude_conn: Option<u32>) {
+        let Some(mesh) = &self.mesh else { return };
+        mesh.gossip(id);
+        let Some(meta) = self.formats.meta(id) else {
+            return;
+        };
+        let peers: Vec<Arc<ConnShared>> = {
+            let conns = self.conns.lock().unwrap_or_else(|p| p.into_inner());
+            conns
+                .iter()
+                .filter_map(Weak::upgrade)
+                .filter(|c| {
+                    c.caps() & CAP_PEER != 0
+                        && c.alive.load(Ordering::Relaxed)
+                        && Some(c.id) != exclude_conn
+                })
+                .collect()
+        };
+        for c in peers {
+            c.send(Frame::with_body(
+                K_FORMAT,
+                id,
+                0,
+                WireBuf::from(meta.clone()),
+            ));
+        }
     }
 
     fn chan_hops(&self, id: u32) -> Option<Arc<ChanHops>> {
@@ -1507,6 +1579,7 @@ impl State {
                 (f.active_count() as u64, f.stats().published)
             };
             let log = self.log(id);
+            let home = self.mesh.as_ref().map_or(0, |m| m.home(&name));
             topo.channels.push(TopoChannel {
                 id,
                 name,
@@ -1516,9 +1589,23 @@ impl State {
                 head: log.as_ref().map_or(0, |l| l.head()),
                 segments: log.as_ref().map_or(0, |l| l.segment_count() as u64),
                 disk_bytes: log.as_ref().and_then(|l| l.disk_bytes().ok()).unwrap_or(0),
+                home,
             });
         }
         topo.channels.sort_by_key(|c| c.id);
+        if let Some(mesh) = &self.mesh {
+            for p in mesh.peer_stats() {
+                topo.peers.push(TopoPeer {
+                    peer: p.peer,
+                    connected: p.connected,
+                    relay_tx: p.relay_tx,
+                    relay_rx: p.relay_rx,
+                    relay_dropped: p.relay_dropped,
+                    pending: p.pending,
+                    last_rx_ns: p.last_rx_ns,
+                });
+            }
+        }
         for (i, s) in self.shard_load.iter().enumerate() {
             topo.shards.push(TopoShard {
                 shard: i as u32,
@@ -1674,6 +1761,89 @@ impl State {
     }
 }
 
+/// What a peer link needs from its daemon: the format registry (for
+/// gossip) and a fan-out injection point (for relayed events).
+impl MeshHost for State {
+    fn register_meta(&self, meta: &[u8]) -> Option<(u32, bool)> {
+        let (id, _, fresh) = self.formats.register_meta(meta).ok()?;
+        if fresh {
+            // A layout learned over one link is news to every other
+            // peer too.
+            self.broadcast_format(id, None);
+        }
+        Some((id, fresh))
+    }
+
+    fn format_meta(&self, id: u32) -> Option<Arc<[u8]>> {
+        self.formats.meta(id)
+    }
+
+    fn format_count(&self) -> u32 {
+        self.formats.len() as u32
+    }
+
+    /// Fan a relayed event out locally: the mesh's relay fan-out
+    /// property — one inter-daemon frame, N refcount-bump deliveries —
+    /// rides the same [`Fanout`] as a local publish. `format` carries
+    /// the local id plus trailer flags; the flags describe what is
+    /// still on `body`, and per-subscriber slicing happens in
+    /// [`RemoteSubscriber::deliver`] as usual.
+    fn inject_event(&self, chan: u32, format: u32, body: WireBuf, _peer: u32) {
+        let Some(fanout) = self.channel(chan) else {
+            return;
+        };
+        let traced = format & TRACE_FLAG != 0;
+        let has_offset = format & OFFSET_FLAG != 0;
+        let bare = format & !(TRACE_FLAG | OFFSET_FLAG);
+        let off_len = if has_offset { OFFSET_TRAILER_LEN } else { 0 };
+        let ctx = if traced && body.len() >= off_len + TRACE_TRAILER_LEN {
+            let t = &body[body.len() - off_len - TRACE_TRAILER_LEN..body.len() - off_len];
+            TraceCtx::decode(t).filter(|c| c.sampled())
+        } else {
+            None
+        };
+        // A flagged-but-undecodable trailer must not leak into payload
+        // bytes: strip it (the inner-trailer removal pays a copy when an
+        // offset trailer sits outside it, like the deliver path's rare
+        // case).
+        let body = if traced && ctx.is_none() && body.len() >= off_len + TRACE_TRAILER_LEN {
+            if off_len == 0 {
+                body.slice(0, body.len() - TRACE_TRAILER_LEN)
+            } else {
+                let n = body.len();
+                let mut v = Vec::with_capacity(n - TRACE_TRAILER_LEN);
+                v.extend_from_slice(&body[..n - off_len - TRACE_TRAILER_LEN]);
+                v.extend_from_slice(&body[n - off_len..]);
+                WireBuf::from(v)
+            }
+        } else {
+            body
+        };
+        self.metrics.events_in.inc();
+        let mut fanout = fanout.lock().unwrap_or_else(|p| p.into_inner());
+        let before = fanout.stats();
+        let pub_fmt = if has_offset { bare | OFFSET_FLAG } else { bare };
+        let _ = fanout.publish_traced(pub_fmt, &body, ctx.as_ref());
+        let after = fanout.stats();
+        self.metrics
+            .filtered_at_source
+            .add(after.filtered_out - before.filtered_out);
+    }
+
+    fn relay_hop(&self, ctx: &TraceCtx, chan: u32, peer: u32) {
+        let t = epoch_ns();
+        self.hops.push(TraceHop {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            hop: HOP_RELAY,
+            conn: peer,
+            channel: chan,
+            t_ns: t,
+            dur_ns: t.saturating_sub(ctx.origin_ns),
+        });
+    }
+}
+
 /// The event-channel daemon. Binding spawns the accept loop and the
 /// reactor shards; dropping (or calling [`ServDaemon::shutdown`]) stops
 /// them and joins every thread.
@@ -1699,6 +1869,15 @@ impl ServDaemon {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let state = Arc::new(State::new(&config)?);
+        // Dial the configured mesh peers. Links reconnect on their own,
+        // so member start order doesn't matter: whoever comes up last
+        // still converges.
+        if let (Some(mesh), Some(mcfg)) = (&state.mesh, &config.peers) {
+            let host: Arc<dyn MeshHost> = state.clone();
+            for p in &mcfg.peers {
+                mesh.add_peer(p.index, p.addr.clone(), host.clone());
+            }
+        }
         let store_thread = match &state.store {
             Some(_) => {
                 let store_state = state.clone();
@@ -1839,6 +2018,46 @@ impl ServDaemon {
         &self.state.flight
     }
 
+    /// This daemon's mesh index, when it is a federation member.
+    pub fn mesh_index(&self) -> Option<u32> {
+        self.state.mesh.as_ref().map(|m| m.index)
+    }
+
+    /// Dial an additional mesh peer at run time (a late joiner, or a
+    /// test that only learns ports after binding). Requires the daemon
+    /// to have been configured with [`ServConfig::peers`]; returns
+    /// false on a standalone daemon. Re-adding an index replaces the
+    /// old link.
+    pub fn connect_peer(&self, index: u32, addr: impl Into<String>) -> bool {
+        let Some(mesh) = &self.state.mesh else {
+            return false;
+        };
+        let host: Arc<dyn MeshHost> = self.state.clone();
+        mesh.add_peer(index, addr.into(), host);
+        true
+    }
+
+    /// Test hook: sever (or heal) the dialed link to `index`. While
+    /// partitioned the link neither sends nor redials; forwards park in
+    /// its bounded pending queue and drain on heal. Returns false for
+    /// an unknown peer or a standalone daemon.
+    pub fn partition_peer(&self, index: u32, partitioned: bool) -> bool {
+        self.state
+            .mesh
+            .as_ref()
+            .is_some_and(|m| m.set_partitioned(index, partitioned))
+    }
+
+    /// Per-peer relay counters for every dialed link, sorted by peer
+    /// index — the same numbers the `$topo` peers section carries.
+    pub fn peer_stats(&self) -> Vec<PeerStats> {
+        self.state
+            .mesh
+            .as_ref()
+            .map(|m| m.peer_stats())
+            .unwrap_or_default()
+    }
+
     /// Writer-side counters for each connection still alive.
     pub fn conn_stats(&self) -> Vec<ConnStats> {
         let conns = self.state.conns.lock().unwrap_or_else(|p| p.into_inner());
@@ -1866,6 +2085,10 @@ impl ServDaemon {
         }
         if let Some(h) = self.stats_thread.take() {
             let _ = h.join();
+        }
+        // Peer links observe the mesh shutdown flag within one tick.
+        if let Some(mesh) = &self.state.mesh {
+            mesh.stop();
         }
         // Reactors check the shutdown flag at the top of every wakeup;
         // fire the wakers so none of them sits out its poll timeout.
@@ -2703,6 +2926,9 @@ fn handle_hello(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
     if state.store.is_some() {
         supported |= CAP_DURABLE;
     }
+    if state.mesh.is_some() {
+        supported |= CAP_PEER;
+    }
     let granted = header.b & supported;
     conn.caps.store(granted, Ordering::Relaxed);
     let mut ack_body = Vec::with_capacity(16);
@@ -2715,6 +2941,18 @@ fn handle_hello(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
         conn.id,
         ack_body,
     ));
+    // A peer daemon just connected: dump the whole format registry at
+    // it. Together with the symmetric dump the dialing side performs,
+    // this is the gossip that lets remote-origin events decode
+    // everywhere — a late joiner learns every layout registered before
+    // it existed, and fresh registrations broadcast from then on.
+    if granted & CAP_PEER != 0 {
+        for id in 0..state.formats.len() as u32 {
+            if let Some(meta) = state.formats.meta(id) {
+                conn.send(Frame::with_body(K_FORMAT, id, 0, WireBuf::from(meta)));
+            }
+        }
+    }
     state.metrics.active_connections.inc();
     state
         .flight
@@ -2735,8 +2973,16 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
 
     match header.kind {
         K_FORMAT => match state.formats.register_meta(body) {
-            Ok((id, _, _)) => {
+            Ok((id, _, fresh)) => {
                 conn.send(Frame::control(K_FORMAT_ACK, header.a, id));
+                // In a mesh, a layout registered here must decode on
+                // every member: gossip fresh registrations to all peers
+                // (minus whoever just told us — its registry already
+                // has it).
+                if fresh {
+                    let from_peer = (conn.caps() & CAP_PEER != 0).then_some(conn.id);
+                    state.broadcast_format(id, from_peer);
+                }
             }
             Err(e) => send_error(state, conn, E_FORMAT, e.to_string()),
         },
@@ -2792,6 +3038,20 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
                 .subscribe(sub);
             ctx.subscriptions.push((header.a, id));
             conn.send(Frame::control(K_SUBSCRIBE_ACK, header.a, 0));
+            // First local interest in a remote-homed channel: relay it.
+            // All publishes flow through the home daemon's fan-out, so
+            // a relay subscription there feeds every local subscriber
+            // through this one link (the link dedups by name; peers
+            // never trigger relays — their subscriptions *are* relays).
+            if let Some(mesh) = &state.mesh {
+                if conn.caps() & CAP_PEER == 0 {
+                    if let Some((name, home)) = state.channel_route(header.a) {
+                        if home != mesh.index {
+                            mesh.ensure_relay_sub(home, name, header.a);
+                        }
+                    }
+                }
+            }
         }
         K_SUBSCRIBE_FROM => {
             if conn.caps() & CAP_DURABLE == 0 {
@@ -2971,6 +3231,30 @@ fn handle_frame(state: &Arc<State>, ctx: &mut SessionCtx, header: &FrameHeader, 
                 None if traced => &body[..body.len() - TRACE_TRAILER_LEN],
                 _ => body,
             };
+            // Mesh routing: a publish from an ordinary client whose
+            // channel is homed elsewhere is forwarded to the home
+            // daemon and NOT fanned out here — the home's fan-out is
+            // the channel's single ordering point, so nothing is ever
+            // delivered twice. Publishes arriving over a peer link
+            // (`CAP_PEER`) are the forwarded copies: they always fan
+            // out locally and are never re-forwarded, which is the
+            // structural guard against relay loops.
+            if let Some(mesh) = &state.mesh {
+                if conn.caps() & CAP_PEER == 0 {
+                    if let Some((name, home)) = state.channel_route(header.a) {
+                        if home != mesh.index {
+                            mesh.forward(
+                                home,
+                                name,
+                                format,
+                                ctx.is_some(),
+                                WireBuf::copy_from(payload),
+                            );
+                            return;
+                        }
+                    }
+                }
+            }
             // When no store is configured this is a single Option
             // check: the disabled path adds no allocation and no
             // syscall to the publish hot loop.

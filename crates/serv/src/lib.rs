@@ -87,6 +87,14 @@
 //!   reopens; with resume negotiated a client reconnects and resumes
 //!   from the last offset it saw — lossless across daemon restarts.
 //!
+//! * **Federation** ([`mesh`]): daemons peer over the same frame
+//!   protocol ([`protocol::CAP_PEER`]). Channels shard across the mesh
+//!   by a deterministic name hash ([`mesh::home_of`]); any daemon
+//!   accepts any publish and forwards it to the channel's home daemon,
+//!   whose fan-out is the single ordering point; format-registry
+//!   gossip makes remote-origin events decode everywhere; and one
+//!   relayed frame fans out to N local subscribers by refcount bumps.
+//!
 //! Layering: [`protocol`] defines the session frames (carried by
 //! [`pbio_net::frame`]); [`daemon`] is an event-driven server — a small
 //! fixed set of sharded readiness reactors (built on
@@ -107,15 +115,18 @@
 pub mod client;
 pub mod daemon;
 pub mod error;
+pub mod mesh;
 pub mod protocol;
 pub mod tap;
 
 pub use client::{ClientConfig, ClientStats, Event, RawEvent, ServClient};
 pub use daemon::{ConnStats, ServConfig, ServDaemon, ServStats, TraceConfig};
 pub use error::ServError;
+pub use mesh::{home_of, MeshConfig, PeerAddr, PeerStats};
 pub use pbio_store::{FlushPolicy, StoreConfig};
 pub use protocol::{
-    CAP_DURABLE, CAP_RESUME, CAP_TRACE, CHAN_DURABLE, STATS_CHANNEL, TOPO_CHANNEL, TRACE_CHANNEL,
+    CAP_DURABLE, CAP_PEER, CAP_RESUME, CAP_TRACE, CHAN_DURABLE, STATS_CHANNEL, TOPO_CHANNEL,
+    TRACE_CHANNEL,
 };
 pub use tap::{
     read_capture, replay_session, CaptureFile, CapturedFrame, ReplayOptions, ReplayReport,

@@ -93,6 +93,17 @@ pub const CAP_RESUME: u32 = 0x2;
 /// acknowledgements plus offset trailers ([`OFFSET_FLAG`]) on events.
 pub const CAP_DURABLE: u32 = 0x4;
 
+/// Capability bit (in `HELLO.b` / the HELLO ack body): the connecting
+/// peer is another daemon's mesh link, not an application client.
+/// Granted only by daemons configured with a `ServConfig::peers` mesh.
+/// Publishes arriving on a peer connection are home-side deliveries:
+/// they fan out locally and are **never** forwarded again (the
+/// structural loop guard of the relay mesh). Granting the bit also
+/// triggers the format-registry gossip dump: the daemon pushes every
+/// registered layout to the new link as `FORMAT` frames so
+/// remote-origin events decode everywhere.
+pub const CAP_PEER: u32 = 0x8;
+
 /// High bit of the format-id argument (`b`) on [`K_PUBLISH`] and
 /// [`K_EVENT`]: the body carries a trace trailer
 /// ([`pbio_obs::TRACE_TRAILER_LEN`] bytes) after the record's NDR

@@ -10,7 +10,7 @@ use std::time::{Duration, Instant};
 
 use pbio_net::frame::{read_frame, write_frame, Frame};
 use pbio_obs::export::hop_from_value;
-use pbio_obs::{TraceCtx, TraceHop, FLAG_SAMPLED, HOP_COUNT, HOP_DECODE, HOP_PUBLISH};
+use pbio_obs::{TraceCtx, TraceHop, FLAG_SAMPLED, HOP_DECODE, HOP_PUBLISH, HOP_REQUIRED};
 use pbio_serv::protocol::PROTOCOL_VERSION;
 use pbio_serv::protocol::{
     E_CHANNEL, E_PROTOCOL, K_BYE, K_BYE_ACK, K_CHANNEL, K_CHANNEL_ACK, K_EVENT, K_FORMAT,
@@ -116,7 +116,7 @@ fn traced_publish_reconstructs_six_hop_timeline() {
         }
         let Some(last) = hops.last() else { continue };
         let id = last.trace_id;
-        let mut seen = [false; HOP_COUNT];
+        let mut seen = [false; HOP_REQUIRED];
         for h in hops.iter().filter(|h| h.trace_id == id) {
             seen[h.hop as usize] = true;
         }
@@ -128,12 +128,12 @@ fn traced_publish_reconstructs_six_hop_timeline() {
     let timeline: Vec<&TraceHop> = hops.iter().filter(|h| h.trace_id == complete).collect();
     // Earliest stamp per stage must be causally ordered (one shared
     // daemon timebase; allow a little cross-process correction residue).
-    let mut earliest = [u64::MAX; HOP_COUNT];
+    let mut earliest = [u64::MAX; HOP_REQUIRED];
     for h in &timeline {
         earliest[h.hop as usize] = earliest[h.hop as usize].min(h.t_ns);
     }
     const SLACK_NS: u64 = 2_000_000;
-    for stage in 1..HOP_COUNT {
+    for stage in 1..HOP_REQUIRED {
         assert!(
             earliest[stage] + SLACK_NS >= earliest[stage - 1],
             "stage {stage} out of causal order: {timeline:?}"
